@@ -1,0 +1,97 @@
+//! Criterion sweep over block sizes (the Figure 6/7 axis): encryption and
+//! edit cost per block size for rECB mode.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pe_core::{DocumentKey, EditOp, IncrementalCipherDoc, RecbDocument, SchemeParams, SealedBlock};
+use pe_crypto::CtrDrbg;
+use pe_indexlist::IndexedAvlTree;
+
+fn key() -> DocumentKey {
+    DocumentKey::derive("criterion", &[0x56; 16], 100)
+}
+
+fn text(len: usize) -> Vec<u8> {
+    (0..len).map(|i| 32 + ((i * 31) % 95) as u8).collect()
+}
+
+fn encrypt_by_block_size(c: &mut Criterion) {
+    let plaintext = text(10_000);
+    let mut group = c.benchmark_group("encrypt_by_block_size");
+    group.throughput(Throughput::Bytes(plaintext.len() as u64));
+    for b in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(b), &plaintext, |bench, pt| {
+            bench.iter(|| {
+                RecbDocument::create(&key(), SchemeParams::recb(b), pt, CtrDrbg::from_seed(4))
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn edit_by_block_size(c: &mut Criterion) {
+    let plaintext = text(10_000);
+    let mut group = c.benchmark_group("edit_by_block_size");
+    for b in [1usize, 2, 4, 8] {
+        let mut doc =
+            RecbDocument::create(&key(), SchemeParams::recb(b), &plaintext, CtrDrbg::from_seed(5))
+                .unwrap();
+        group.bench_function(BenchmarkId::from_parameter(b), |bench| {
+            let mut toggle = false;
+            bench.iter(|| {
+                // Alternate insert/delete so the document size stays bounded.
+                if toggle {
+                    doc.apply(&EditOp::delete(doc.len() / 2, 7)).unwrap()
+                } else {
+                    doc.apply(&EditOp::insert(doc.len() / 2, b"seven!!")).unwrap()
+                };
+                toggle = !toggle;
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Scheme-level ablation of the §V-C backing-store choice: the same rECB
+/// edits over the IndexedSkipList vs the IndexedAvlTree.
+fn edit_by_backing_store(c: &mut Criterion) {
+    let plaintext = text(10_000);
+    let mut group = c.benchmark_group("edit_by_backing_store");
+    group.bench_function("skiplist", |bench| {
+        let mut doc =
+            RecbDocument::create(&key(), SchemeParams::recb(8), &plaintext, CtrDrbg::from_seed(8))
+                .unwrap();
+        let mut toggle = false;
+        bench.iter(|| {
+            if toggle {
+                doc.apply(&EditOp::delete(doc.len() / 2, 7)).unwrap()
+            } else {
+                doc.apply(&EditOp::insert(doc.len() / 2, b"seven!!")).unwrap()
+            };
+            toggle = !toggle;
+        })
+    });
+    group.bench_function("avl", |bench| {
+        let mut doc: RecbDocument<IndexedAvlTree<SealedBlock>> =
+            RecbDocument::create_with_backing(
+                &key(),
+                SchemeParams::recb(8),
+                &plaintext,
+                CtrDrbg::from_seed(8),
+            )
+            .unwrap();
+        let mut toggle = false;
+        bench.iter(|| {
+            if toggle {
+                doc.apply(&EditOp::delete(doc.len() / 2, 7)).unwrap()
+            } else {
+                doc.apply(&EditOp::insert(doc.len() / 2, b"seven!!")).unwrap()
+            };
+            toggle = !toggle;
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, encrypt_by_block_size, edit_by_block_size, edit_by_backing_store);
+criterion_main!(benches);

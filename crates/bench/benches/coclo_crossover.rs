@@ -1,0 +1,63 @@
+//! Criterion comparison of one edit under incremental encryption vs the
+//! CoClo full-re-encryption baseline, across document sizes — the
+//! efficiency claim that motivates the paper's scheme.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pe_core::baseline::CoCloDocument;
+use pe_core::{DocumentKey, EditOp, IncrementalCipherDoc, RecbDocument, SchemeParams};
+use pe_crypto::CtrDrbg;
+
+fn key() -> DocumentKey {
+    DocumentKey::derive("criterion", &[0x57; 16], 100)
+}
+
+fn text(len: usize) -> Vec<u8> {
+    (0..len).map(|i| 32 + ((i * 31) % 95) as u8).collect()
+}
+
+fn single_edit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single_edit_cost");
+    for size in [1_000usize, 10_000, 50_000] {
+        let plaintext = text(size);
+        group.bench_with_input(
+            BenchmarkId::new("incremental_recb", size),
+            &plaintext,
+            |b, pt| {
+                let mut doc = RecbDocument::create(
+                    &key(),
+                    SchemeParams::recb(8),
+                    pt,
+                    CtrDrbg::from_seed(6),
+                )
+                .unwrap();
+                let mut toggle = false;
+                b.iter(|| {
+                    if toggle {
+                        doc.apply(&EditOp::delete(doc.len() / 2, 10)).unwrap()
+                    } else {
+                        doc.apply(&EditOp::insert(doc.len() / 2, b"ten chars!")).unwrap()
+                    };
+                    toggle = !toggle;
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("coclo_full", size), &plaintext, |b, pt| {
+            let mut doc =
+                CoCloDocument::create(&key(), SchemeParams::recb(8), pt, CtrDrbg::from_seed(7))
+                    .unwrap();
+            let mut toggle = false;
+            b.iter(|| {
+                if toggle {
+                    doc.apply(&EditOp::delete(doc.len() / 2, 10)).unwrap()
+                } else {
+                    doc.apply(&EditOp::insert(doc.len() / 2, b"ten chars!")).unwrap()
+                };
+                toggle = !toggle;
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, single_edit);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Criterion comparison of the IndexedSkipList against the IndexedAvlTree
+//! (the §V-C "any balanced tree would do" ablation) and against naive
+//! `Vec` splicing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pe_indexlist::{BlockSeq, IndexedAvlTree, IndexedSkipList, Weighted};
+
+#[derive(Debug, Clone)]
+struct Block(u8);
+
+impl Weighted for Block {
+    fn weight(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+fn fill<S: BlockSeq<Block>>(seq: &mut S, n: usize) {
+    for i in 0..n {
+        seq.insert(i, Block(1 + (i % 8) as u8));
+    }
+}
+
+fn locate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("locate_by_char");
+    for n in [1_000usize, 10_000, 100_000] {
+        let mut skiplist = IndexedSkipList::with_seed(1);
+        fill(&mut skiplist, n);
+        let mut avl = IndexedAvlTree::new();
+        fill(&mut avl, n);
+        let total = skiplist.total_weight();
+        group.bench_with_input(BenchmarkId::new("skiplist", n), &total, |b, &total| {
+            let mut probe = 0usize;
+            b.iter(|| {
+                probe = (probe + 7919) % total;
+                skiplist.locate(probe)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("avl", n), &total, |b, &total| {
+            let mut probe = 0usize;
+            b.iter(|| {
+                probe = (probe + 7919) % total;
+                avl.locate(probe)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn insert_remove(c: &mut Criterion) {
+    let mut group = c.benchmark_group("insert_remove_middle");
+    for n in [1_000usize, 10_000, 100_000] {
+        group.bench_function(BenchmarkId::new("skiplist", n), |b| {
+            let mut seq = IndexedSkipList::with_seed(2);
+            fill(&mut seq, n);
+            b.iter(|| {
+                seq.insert(n / 2, Block(4));
+                seq.remove(n / 2);
+            })
+        });
+        group.bench_function(BenchmarkId::new("avl", n), |b| {
+            let mut seq = IndexedAvlTree::new();
+            fill(&mut seq, n);
+            b.iter(|| {
+                seq.insert(n / 2, Block(4));
+                seq.remove(n / 2);
+            })
+        });
+        group.bench_function(BenchmarkId::new("vec_splice", n), |b| {
+            let mut seq: Vec<Block> = (0..n).map(|i| Block(1 + (i % 8) as u8)).collect();
+            b.iter(|| {
+                seq.insert(n / 2, Block(4));
+                seq.remove(n / 2);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, locate, insert_remove);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion micro-benchmarks for the cryptographic operations of both
+//! incremental schemes (the Figure 4 quantities, statistically rigorous).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pe_core::{
+    DeltaTransformer, DocumentKey, IncrementalCipherDoc, RecbDocument, RpcDocument, SchemeParams,
+};
+use pe_crypto::CtrDrbg;
+use pe_delta::Delta;
+
+fn key() -> DocumentKey {
+    DocumentKey::derive("criterion", &[0x55; 16], 100)
+}
+
+fn text(len: usize) -> Vec<u8> {
+    (0..len).map(|i| 32 + ((i * 31) % 95) as u8).collect()
+}
+
+fn encrypt_whole(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encrypt_whole_document");
+    for size in [1_000usize, 5_000, 10_000] {
+        let plaintext = text(size);
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("rpc_b7", size), &plaintext, |b, pt| {
+            b.iter(|| {
+                RpcDocument::create(&key(), SchemeParams::rpc(7), pt, CtrDrbg::from_seed(1))
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("recb_b8", size), &plaintext, |b, pt| {
+            b.iter(|| {
+                RecbDocument::create(&key(), SchemeParams::recb(8), pt, CtrDrbg::from_seed(1))
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn decrypt_whole(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decrypt_whole_document");
+    for size in [1_000usize, 10_000] {
+        let plaintext = text(size);
+        let rpc =
+            RpcDocument::create(&key(), SchemeParams::rpc(7), &plaintext, CtrDrbg::from_seed(2))
+                .unwrap();
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("rpc_b7", size), &rpc, |b, doc| {
+            b.iter(|| doc.decrypt().unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn incremental_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental_update");
+    for size in [1_000usize, 10_000] {
+        let plaintext = text(size);
+        let delta = {
+            let mut builder = Delta::builder();
+            builder.retain(size / 2).delete(5).insert("refre");
+            builder.build()
+        };
+        group.bench_with_input(BenchmarkId::new("rpc_b7", size), &plaintext, |b, pt| {
+            let doc =
+                RpcDocument::create(&key(), SchemeParams::rpc(7), pt, CtrDrbg::from_seed(3))
+                    .unwrap();
+            let mut transformer = DeltaTransformer::new(doc);
+            b.iter(|| {
+                transformer.transform(&delta).unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, encrypt_whole, decrypt_whole, incremental_update);
+criterion_main!(benches);

@@ -1,0 +1,233 @@
+//! Ablation experiments: the design choices DESIGN.md calls out.
+//!
+//! * [`coclo_crossover`] — incremental encryption vs the CoClo
+//!   full-re-encryption baseline, across document sizes: the paper's core
+//!   efficiency claim ("we focus on integrating incremental encryption
+//!   which is vital for efficiently editing medium to large size
+//!   documents").
+//! * [`attack_matrix`] — active-attack outcomes per scheme: rECB and the
+//!   XOR baseline accept manipulations that RPC (and rECB hardened with a
+//!   client-side Merkle tree) detect, mirroring §V-A/§VI.
+
+use pe_core::baseline::{CoCloDocument, MerkleTree, XorDocument};
+use pe_core::wire::split_records;
+use pe_core::{
+    update_wire_len, DocumentKey, EditOp, IncrementalCipherDoc, RecbDocument, RpcDocument,
+    SchemeParams,
+};
+use pe_crypto::CtrDrbg;
+
+use crate::timing::timed;
+
+/// One row of the incremental-vs-CoClo comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct CrossoverRow {
+    /// Document size in characters.
+    pub doc_size: usize,
+    /// Wire bytes for one small edit, incremental scheme.
+    pub incremental_bytes: usize,
+    /// Wire bytes for one small edit, CoClo.
+    pub coclo_bytes: usize,
+    /// CPU seconds for the edit, incremental scheme.
+    pub incremental_secs: f64,
+    /// CPU seconds for the edit, CoClo.
+    pub coclo_secs: f64,
+}
+
+fn key() -> DocumentKey {
+    DocumentKey::derive("ablation", &[0x33; 16], 100)
+}
+
+/// Measures the cost of a single 10-character insertion in the middle of
+/// documents of the given sizes under both schemes.
+pub fn coclo_crossover(sizes: &[usize], seed: u64) -> Vec<CrossoverRow> {
+    let mut rows = Vec::new();
+    for (i, &size) in sizes.iter().enumerate() {
+        let text: Vec<u8> = (0..size).map(|k| 32 + ((k * 37) % 95) as u8).collect();
+        let op = EditOp::insert(size / 2, b"ten chars!");
+
+        let mut incremental = RecbDocument::create(
+            &key(),
+            SchemeParams::recb(8),
+            &text,
+            CtrDrbg::from_seed(seed ^ i as u64),
+        )
+        .unwrap();
+        let (patches, inc_time) = timed(|| incremental.apply(&op).unwrap());
+        let incremental_bytes = update_wire_len(&patches, incremental.layout());
+
+        let mut coclo = CoCloDocument::create(
+            &key(),
+            SchemeParams::recb(8),
+            &text,
+            CtrDrbg::from_seed(seed ^ (i as u64) << 8),
+        )
+        .unwrap();
+        let (patches, coclo_time) = timed(|| coclo.apply(&op).unwrap());
+        let coclo_bytes = update_wire_len(&patches, coclo.layout());
+
+        rows.push(CrossoverRow {
+            doc_size: size,
+            incremental_bytes,
+            coclo_bytes,
+            incremental_secs: inc_time.as_secs_f64(),
+            coclo_secs: coclo_time.as_secs_f64(),
+        });
+    }
+    rows
+}
+
+/// Whether an active manipulation was accepted (undetected) or detected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttackOutcome {
+    /// The manipulated ciphertext decrypted without complaint.
+    Accepted,
+    /// The scheme rejected the manipulated ciphertext.
+    Detected,
+}
+
+/// One row of the attack matrix.
+#[derive(Debug, Clone)]
+pub struct AttackRow {
+    /// Scheme under attack.
+    pub scheme: &'static str,
+    /// Attack name.
+    pub attack: &'static str,
+    /// Observed outcome.
+    pub outcome: AttackOutcome,
+}
+
+/// Swaps two data records of a serialized document.
+fn swap_data_records(wire: &str, a: usize, b: usize) -> String {
+    let preamble = pe_core::wire::PREAMBLE_CHARS;
+    let mut records: Vec<String> =
+        split_records(wire).unwrap().iter().map(|r| r.to_string()).collect();
+    records.swap(a, b);
+    format!("{}{}", &wire[..preamble], records.concat())
+}
+
+/// Runs every scheme × attack combination, deriving outcomes by actually
+/// performing the manipulations.
+pub fn attack_matrix(seed: u64) -> Vec<AttackRow> {
+    let mut rows = Vec::new();
+    let plaintext = b"AAAAAAAABBBBBBBBCCCCCCCC";
+
+    // rECB: block swap goes undetected (decrypts to swapped text).
+    let recb = RecbDocument::create(
+        &key(),
+        SchemeParams::recb(8),
+        plaintext,
+        CtrDrbg::from_seed(seed),
+    )
+    .unwrap();
+    let swapped = swap_data_records(&recb.serialize(), 1, 2);
+    let outcome = match RecbDocument::open(&key(), &swapped, CtrDrbg::from_seed(0)) {
+        Ok(doc) if doc.decrypt().is_ok() => AttackOutcome::Accepted,
+        _ => AttackOutcome::Detected,
+    };
+    rows.push(AttackRow { scheme: "rECB", attack: "block substitution", outcome });
+
+    // rECB + Merkle tree kept client-side: the same swap is detected.
+    let wire = recb.serialize();
+    let records = split_records(&wire).unwrap();
+    let tree = MerkleTree::build(records.iter().map(|r| r.as_bytes()));
+    let swapped = swap_data_records(&wire, 1, 2);
+    let swapped_records = split_records(&swapped).unwrap();
+    let tampered_tree = MerkleTree::build(swapped_records.iter().map(|r| r.as_bytes()));
+    let outcome = if tampered_tree.root() == tree.root() {
+        AttackOutcome::Accepted
+    } else {
+        AttackOutcome::Detected
+    };
+    rows.push(AttackRow { scheme: "rECB + Merkle", attack: "block substitution", outcome });
+
+    // XOR baseline: known-plaintext forgery succeeds without the key.
+    let xor = XorDocument::create(
+        &key(),
+        SchemeParams::recb(8),
+        b"pay $100",
+        CtrDrbg::from_seed(seed ^ 1),
+    )
+    .unwrap();
+    let forged =
+        XorDocument::forge_without_key(&xor.serialize(), 0, b"pay $100", b"pay $999").unwrap();
+    let outcome = match XorDocument::open(&key(), &forged, CtrDrbg::from_seed(0)) {
+        Ok(doc) if doc.decrypt().as_deref() == Ok(b"pay $999") => AttackOutcome::Accepted,
+        _ => AttackOutcome::Detected,
+    };
+    rows.push(AttackRow { scheme: "XOR", attack: "known-plaintext forgery", outcome });
+
+    // RPC: substitution, truncation and bit-flip forgery all detected.
+    let rpc = RpcDocument::create(
+        &key(),
+        SchemeParams::rpc(7),
+        plaintext,
+        CtrDrbg::from_seed(seed ^ 2),
+    )
+    .unwrap();
+    let wire = rpc.serialize();
+    let swapped = swap_data_records(&wire, 1, 2);
+    let outcome = match RpcDocument::open(&key(), &swapped, CtrDrbg::from_seed(0)) {
+        Ok(_) => AttackOutcome::Accepted,
+        Err(_) => AttackOutcome::Detected,
+    };
+    rows.push(AttackRow { scheme: "RPC", attack: "block substitution", outcome });
+
+    let preamble = pe_core::wire::PREAMBLE_CHARS;
+    let records: Vec<String> =
+        split_records(&wire).unwrap().iter().map(|r| r.to_string()).collect();
+    let mut truncated = records.clone();
+    truncated.remove(2);
+    let truncated = format!("{}{}", &wire[..preamble], truncated.concat());
+    let outcome = match RpcDocument::open(&key(), &truncated, CtrDrbg::from_seed(0)) {
+        Ok(_) => AttackOutcome::Accepted,
+        Err(_) => AttackOutcome::Detected,
+    };
+    rows.push(AttackRow { scheme: "RPC", attack: "block deletion (truncation)", outcome });
+
+    let mut flipped: Vec<char> = wire.chars().collect();
+    let pos = preamble + 28; // inside the first data record body
+    flipped[pos] = if flipped[pos] == 'A' { 'B' } else { 'A' };
+    let flipped: String = flipped.into_iter().collect();
+    let outcome = match RpcDocument::open(&key(), &flipped, CtrDrbg::from_seed(0)) {
+        Ok(_) => AttackOutcome::Accepted,
+        Err(_) => AttackOutcome::Detected,
+    };
+    rows.push(AttackRow { scheme: "RPC", attack: "ciphertext bit flip", outcome });
+
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coclo_bytes_grow_with_document_while_incremental_stays_flat() {
+        let rows = coclo_crossover(&[200, 1_000, 5_000], 3);
+        assert_eq!(rows.len(), 3);
+        // CoClo's update size tracks the document size.
+        assert!(rows[2].coclo_bytes > rows[0].coclo_bytes * 10);
+        // Incremental updates stay within a small constant band.
+        assert!(rows[2].incremental_bytes < rows[0].incremental_bytes * 4);
+        // And incremental is strictly cheaper on the wire for large docs.
+        assert!(rows[2].incremental_bytes * 10 < rows[2].coclo_bytes);
+    }
+
+    #[test]
+    fn attack_matrix_matches_security_analysis() {
+        let rows = attack_matrix(11);
+        let find = |scheme: &str, attack: &str| {
+            rows.iter()
+                .find(|r| r.scheme == scheme && r.attack == attack)
+                .unwrap_or_else(|| panic!("{scheme}/{attack}"))
+                .outcome
+        };
+        assert_eq!(find("rECB", "block substitution"), AttackOutcome::Accepted);
+        assert_eq!(find("rECB + Merkle", "block substitution"), AttackOutcome::Detected);
+        assert_eq!(find("XOR", "known-plaintext forgery"), AttackOutcome::Accepted);
+        assert_eq!(find("RPC", "block substitution"), AttackOutcome::Detected);
+        assert_eq!(find("RPC", "block deletion (truncation)"), AttackOutcome::Detected);
+        assert_eq!(find("RPC", "ciphertext bit flip"), AttackOutcome::Detected);
+    }
+}

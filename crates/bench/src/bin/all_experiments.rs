@@ -1,0 +1,181 @@
+//! Runs the complete evaluation in one shot and prints every table —
+//! the "regenerate the paper's §VII" button.
+//!
+//! Usage: `cargo run -p pe-bench --release --bin all_experiments [quick]`
+//!
+//! `quick` shrinks every workload for a fast smoke pass.
+
+use pe_bench::ablation::{attack_matrix, coclo_crossover, AttackOutcome};
+use pe_bench::blowup::fig7;
+use pe_bench::integrity::integrity_costs;
+use pe_bench::macrobench::{run_macro, MacroSpec};
+use pe_bench::matrix::functionality_matrix;
+use pe_bench::micro::{fig4, fig6};
+use pe_bench::report::{markdown_table, percent};
+use pe_cloud::net::NetworkModel;
+use pe_core::{Mode, SchemeParams};
+
+fn main() {
+    let quick = std::env::args().nth(1).as_deref() == Some("quick");
+    let (micro_tests, fig6_tests, trials, ops, blowup_edits, sweep_doc) =
+        if quick { (20, 2, 1, 3, 40, 1_000) } else { (500, 20, 3, 8, 200, 10_000) };
+
+    println!("# Complete evaluation run ({})\n", if quick { "quick" } else { "full" });
+
+    // ── Figure 4 ────────────────────────────────────────────────────
+    println!("## Figure 4 — micro-benchmark (RPC mode, {micro_tests} tests)\n");
+    let result = fig4(Mode::Rpc, 1, micro_tests, 0x0f04);
+    println!(
+        "{}",
+        markdown_table(
+            &["operation", "average (per char)"],
+            &[
+                vec!["encryption (D)".into(), format!("{:.6} ms", result.encrypt_ms_per_char)],
+                vec!["decryption (D′)".into(), format!("{:.6} ms", result.decrypt_ms_per_char)],
+                vec![
+                    "incremental encryption".into(),
+                    format!("{:.6} ms", result.incremental_ms_per_char)
+                ],
+            ]
+        )
+    );
+
+    // ── Figure 5 ────────────────────────────────────────────────────
+    println!("## Figure 5 — macro-benchmark degradation ({trials} trials × {ops} ops)\n");
+    for (size_label, file_size) in [("small ≈500", 500usize), ("large ≈10000", 10_000)] {
+        for (mode_label, scheme) in
+            [("rECB b=1", SchemeParams::recb(1)), ("RPC b=1", SchemeParams::rpc(1))]
+        {
+            let rows = run_macro(&MacroSpec {
+                scheme,
+                file_size,
+                ops_per_trial: ops,
+                trials,
+                seed: 0x0f05,
+                net: NetworkModel::default(),
+            });
+            let table: Vec<Vec<String>> = rows
+                .iter()
+                .map(|r| vec![r.label.clone(), percent(r.degradation.mean)])
+                .collect();
+            println!("### {size_label} — {mode_label}\n");
+            println!("{}", markdown_table(&["operation", "mean degradation"], &table));
+        }
+    }
+
+    // ── Figure 6 ────────────────────────────────────────────────────
+    println!("## Figure 6 — block-size sweep (rECB, {sweep_doc}-char docs)\n");
+    let rows = fig6(sweep_doc, fig6_tests, 0x0f06);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.block_size.to_string(),
+                format!("{:.3}", r.whole_doc_us_per_char),
+                format!("{:.3}", r.incremental_us_per_char),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        markdown_table(&["b", "(a) whole-doc µs/char", "(b) incremental µs/char"], &table)
+    );
+
+    // ── Figure 7 ────────────────────────────────────────────────────
+    println!("## Figure 7 — ciphertext blowup ({sweep_doc}-char docs, {blowup_edits} edits)\n");
+    let rows = fig7(sweep_doc, blowup_edits, 0x0f07);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![r.block_size.to_string(), format!("{:.2}x", r.blowup), percent(r.reduction)]
+        })
+        .collect();
+    println!("{}", markdown_table(&["b", "blowup", "reduction"], &table));
+
+    // ── Figure 8 ────────────────────────────────────────────────────
+    println!("## Figure 8 — macro-benchmark, 8-char rECB, large files\n");
+    let rows = run_macro(&MacroSpec {
+        scheme: SchemeParams::recb(8),
+        file_size: 10_000.min(sweep_doc.max(500)),
+        ops_per_trial: ops,
+        trials,
+        seed: 0x0f08,
+        net: NetworkModel::default(),
+    });
+    let table: Vec<Vec<String>> =
+        rows.iter().map(|r| vec![r.label.clone(), percent(r.degradation.mean)]).collect();
+    println!("{}", markdown_table(&["operation", "mean degradation"], &table));
+
+    // ── §VII-A functionality matrix ─────────────────────────────────
+    println!("## §VII-A — functionality matrix\n");
+    let rows = functionality_matrix(0x0f0a);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.feature.to_string(),
+                r.without_extension.to_string(),
+                r.with_extension.to_string(),
+            ]
+        })
+        .collect();
+    println!("{}", markdown_table(&["feature", "without ext", "with ext"], &table));
+
+    // ── Ablations ───────────────────────────────────────────────────
+    println!("## Ablation — incremental vs CoClo\n");
+    let sizes: &[usize] =
+        if quick { &[100, 1_000, 5_000] } else { &[100, 1_000, 10_000, 100_000] };
+    let rows = coclo_crossover(sizes, 0x0f0b);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.doc_size.to_string(),
+                r.incremental_bytes.to_string(),
+                r.coclo_bytes.to_string(),
+                format!("{:.1}x", r.coclo_bytes as f64 / r.incremental_bytes.max(1) as f64),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        markdown_table(&["doc size", "incremental B", "CoClo B", "advantage"], &table)
+    );
+
+    println!("## Ablation — attack matrix\n");
+    let rows = attack_matrix(0x0f0c);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.scheme.to_string(),
+                r.attack.to_string(),
+                match r.outcome {
+                    AttackOutcome::Accepted => "ACCEPTED".into(),
+                    AttackOutcome::Detected => "detected".into(),
+                },
+            ]
+        })
+        .collect();
+    println!("{}", markdown_table(&["scheme", "attack", "outcome"], &table));
+
+    println!("## Ablation — integrity design space\n");
+    let rows = integrity_costs(sweep_doc.min(5_000), if quick { 6 } else { 30 }, 0x0f0d);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.mechanism.to_string(),
+                format!("{} B", r.client_state_bytes),
+                format!("{:.3} ms", r.update_secs * 1e3),
+                format!("{:.3} ms", r.verify_secs * 1e3),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        markdown_table(&["mechanism", "client state", "per-update", "full verify"], &table)
+    );
+
+    println!("Done. Compare against the paper in EXPERIMENTS.md.");
+}

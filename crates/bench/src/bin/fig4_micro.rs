@@ -1,0 +1,37 @@
+//! Regenerates Figure 4: micro-benchmark of cryptographic operations in
+//! RPC mode (averages over random `(D, D′)` pairs, §VII-B).
+//!
+//! Usage: `cargo run -p pe-bench --bin fig4_micro --release [tests]`
+
+use pe_bench::micro::fig4;
+use pe_bench::report::markdown_table;
+use pe_core::Mode;
+
+fn main() {
+    let tests: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1000);
+    println!("# Figure 4 — micro-benchmark, RPC mode ({tests} tests)\n");
+    println!("Paper (2009-era JavaScript): encrypt .091 ms/char, decrypt .085 ms/char,");
+    println!("incremental .110 ms/char; throughput 9.1–11.8 kB/s.\n");
+    let result = fig4(Mode::Rpc, 1, tests, 0x0f04);
+    let rows = vec![
+        vec!["encryption (D)".to_string(), format!("{:.6} ms", result.encrypt_ms_per_char)],
+        vec!["decryption (D′)".to_string(), format!("{:.6} ms", result.decrypt_ms_per_char)],
+        vec![
+            "incremental encryption".to_string(),
+            format!("{:.6} ms", result.incremental_ms_per_char),
+        ],
+    ];
+    println!("{}", markdown_table(&["operation", "average (per char)"], &rows));
+    println!("Measured encryption throughput: {:.1} kB of plaintext per second", result.throughput_kb_per_s);
+    println!("\nFor comparison, rECB mode (confidentiality only):");
+    let recb = fig4(Mode::Recb, 1, tests, 0x0f04);
+    let rows = vec![
+        vec!["encryption (D)".to_string(), format!("{:.6} ms", recb.encrypt_ms_per_char)],
+        vec!["decryption (D′)".to_string(), format!("{:.6} ms", recb.decrypt_ms_per_char)],
+        vec![
+            "incremental encryption".to_string(),
+            format!("{:.6} ms", recb.incremental_ms_per_char),
+        ],
+    ];
+    println!("{}", markdown_table(&["operation", "average (per char)"], &rows));
+}

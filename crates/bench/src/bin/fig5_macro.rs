@@ -1,0 +1,44 @@
+//! Regenerates Figure 5: macro-benchmark latency degradation for rECB and
+//! RPC on small (≈500) and large (≈10000 character) files (§VII-C).
+//!
+//! Usage: `cargo run -p pe-bench --bin fig5_macro --release [trials] [ops]`
+
+use pe_bench::macrobench::{run_macro, MacroSpec};
+use pe_bench::report::{markdown_table, percent};
+use pe_cloud::net::NetworkModel;
+use pe_core::SchemeParams;
+
+fn main() {
+    let trials: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(5);
+    let ops: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(10);
+    println!("# Figure 5 — macro-benchmark performance degradation");
+    println!("({trials} trials × {ops} ops; network model: 100 ms RTT, 5 MB/s, 20 ms server)\n");
+    println!("Paper: initial 24–45 %, inserts 6.2–10 %, deletes 3.1–4.5 %, mixed 7.4–13 %.\n");
+    for (size_label, file_size) in [("small (≈500 chars)", 500usize), ("large (≈10000 chars)", 10_000)] {
+        for (mode_label, scheme) in
+            [("rECB", SchemeParams::recb(1)), ("RPC", SchemeParams::rpc(1))]
+        {
+            let spec = MacroSpec {
+                scheme,
+                file_size,
+                ops_per_trial: ops,
+                trials,
+                seed: 0x0f05,
+                net: NetworkModel::default(),
+            };
+            let rows = run_macro(&spec);
+            let table: Vec<Vec<String>> = rows
+                .iter()
+                .map(|row| {
+                    vec![
+                        row.label.clone(),
+                        percent(row.degradation.mean),
+                        format!("{:.3}", row.degradation.dev),
+                    ]
+                })
+                .collect();
+            println!("## {size_label} — {mode_label}\n");
+            println!("{}", markdown_table(&["operation", "mean degradation", "dev."], &table));
+        }
+    }
+}

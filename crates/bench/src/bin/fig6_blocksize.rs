@@ -1,0 +1,33 @@
+//! Regenerates Figure 6: impact of block size on (a) whole-document
+//! encryption and (b) incremental updates (§VII-D, rECB mode, 10000-char
+//! documents).
+//!
+//! Usage: `cargo run -p pe-bench --bin fig6_blocksize --release [tests]`
+
+use pe_bench::micro::fig6;
+use pe_bench::report::markdown_table;
+
+fn main() {
+    let tests: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(30);
+    println!("# Figure 6 — impact of block size (rECB, 10000-char documents, {tests} tests per size)\n");
+    println!("Paper: cost decreases with block size; 1-char blocks pay SkipIndexList");
+    println!("overhead, compensated at block size 7–8.\n");
+    let rows = fig6(10_000, tests, 0x0f06);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|row| {
+            vec![
+                row.block_size.to_string(),
+                format!("{:.3}", row.whole_doc_us_per_char),
+                format!("{:.3}", row.incremental_us_per_char),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        markdown_table(
+            &["block size", "(a) whole-doc µs/char", "(b) incremental µs/char"],
+            &table
+        )
+    );
+}

@@ -1,0 +1,29 @@
+//! Regenerates the §VII-A functionality matrix: which features of the
+//! cloud editor survive the privacy extension.
+//!
+//! Usage: `cargo run -p pe-bench --bin functionality_matrix`
+
+use pe_bench::matrix::functionality_matrix;
+use pe_bench::report::markdown_table;
+
+fn main() {
+    println!("# §VII-A — functionality with and without the privacy extension\n");
+    println!("Paper: translation, spell checking, drawing, and export become");
+    println!("unavailable; core editing and client-side features keep working;");
+    println!("collaborative editing is partially functional.\n");
+    let rows = functionality_matrix(0x0f0a);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|row| {
+            vec![
+                row.feature.to_string(),
+                row.without_extension.to_string(),
+                row.with_extension.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        markdown_table(&["feature", "without extension", "with extension"], &table)
+    );
+}

@@ -1,0 +1,104 @@
+//! "Typical use" throughput: keystroke-level editing with periodic
+//! autosave, with and without the privacy extension — the abstract's
+//! "less than 10% overhead for typical use" claim at interactive
+//! granularity.
+//!
+//! Usage: `cargo run -p pe-bench --release --bin typing_throughput [bursts] [keys_per_burst]`
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use pe_bench::report::{markdown_table, percent};
+use pe_client::workload::TypingSession;
+use pe_client::{Channel, DirectChannel, DocsClient, PrivateChannel};
+use pe_cloud::docs::DocsServer;
+use pe_cloud::meter::MeteredService;
+use pe_cloud::net::NetworkModel;
+use pe_cloud::{CloudService, Request};
+use pe_crypto::{form, CtrDrbg};
+use pe_extension::{DocsMediator, MediatorConfig};
+
+fn create_doc(server: &DocsServer) -> String {
+    let resp = server.handle(&Request::post("/Doc", &[("cmd", "create")], ""));
+    let pairs = form::parse_pairs(resp.body_text().unwrap()).unwrap();
+    form::first_value(&pairs, "docID").unwrap().to_string()
+}
+
+/// Runs a typing session, returning total seconds (CPU + modeled network).
+fn run<C: Channel>(
+    channel: C,
+    doc_id: &str,
+    metered: &MeteredService<Arc<DocsServer>>,
+    bursts: usize,
+    keys: usize,
+    net: &NetworkModel,
+) -> (f64, usize) {
+    let mut client = DocsClient::open(channel, doc_id).expect("open");
+    client.save();
+    metered.drain();
+    let mut session = TypingSession::new(42);
+    let mut total = 0.0;
+    for _ in 0..bursts {
+        session.type_burst(client.editor(), keys);
+        let start = Instant::now();
+        client.save();
+        total += start.elapsed().as_secs_f64();
+        total += metered
+            .drain()
+            .iter()
+            .map(|e| net.round_trip_bytes(e.request_bytes, e.response_bytes).as_secs_f64())
+            .sum::<f64>();
+    }
+    (total, client.content().len())
+}
+
+fn main() {
+    let bursts: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(60);
+    let keys: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(25);
+    let net = NetworkModel::default();
+    println!("# Typing throughput — {bursts} autosaves × {keys} keystrokes\n");
+
+    let mut rows = Vec::new();
+    let mut plain_time = 0.0;
+    for (label, config) in [
+        ("plaintext (no extension)", None),
+        ("rECB b=8", Some(MediatorConfig::recb(8))),
+        ("rECB b=1", Some(MediatorConfig::recb(1))),
+        ("RPC b=7", Some(MediatorConfig::rpc(7))),
+    ] {
+        let server = Arc::new(DocsServer::new());
+        let doc_id = create_doc(&server);
+        let metered = MeteredService::new(Arc::clone(&server));
+        let (time, final_len) = match config {
+            None => run(DirectChannel(metered.clone()), &doc_id, &metered, bursts, keys, &net),
+            Some(config) => {
+                let mut mediator =
+                    DocsMediator::with_rng(metered.clone(), config, CtrDrbg::from_seed(9));
+                mediator.register_password(&doc_id, "typing");
+                run(PrivateChannel(mediator), &doc_id, &metered, bursts, keys, &net)
+            }
+        };
+        if config.is_none() {
+            plain_time = time;
+        }
+        let keystrokes = (bursts * keys) as f64;
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.1}", keystrokes / time),
+            format!("{:.2} ms", time / bursts as f64 * 1e3),
+            if config.is_none() {
+                "—".to_string()
+            } else {
+                percent(time / plain_time - 1.0)
+            },
+            final_len.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &["configuration", "keystrokes/s", "latency per autosave", "overhead", "final chars"],
+            &rows
+        )
+    );
+}

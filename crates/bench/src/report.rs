@@ -1,0 +1,56 @@
+//! Markdown table rendering for the benchmark binaries.
+
+/// Renders a Markdown table from a header and rows.
+pub fn markdown_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push('|');
+    for cell in header {
+        out.push_str(&format!(" {cell} |"));
+    }
+    out.push('\n');
+    out.push('|');
+    for _ in header {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for row in rows {
+        out.push('|');
+        for cell in row {
+            out.push_str(&format!(" {cell} |"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a fraction as a percentage with one decimal (`0.084` → `8.4%`).
+pub fn percent(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+/// Formats a duration-like seconds value as milliseconds.
+pub fn millis(seconds: f64) -> String {
+    format!("{:.3} ms", seconds * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_table() {
+        let table = markdown_table(
+            &["op", "mean"],
+            &[vec!["inserts".into(), "6.2%".into()], vec!["deletes".into(), "3.1%".into()]],
+        );
+        assert!(table.contains("| op | mean |"));
+        assert!(table.contains("|---|---|"));
+        assert!(table.contains("| inserts | 6.2% |"));
+    }
+
+    #[test]
+    fn formats_numbers() {
+        assert_eq!(percent(0.0839), "8.4%");
+        assert_eq!(millis(0.00191), "1.910 ms");
+    }
+}

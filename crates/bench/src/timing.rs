@@ -1,0 +1,63 @@
+//! Small timing/statistics helpers shared by the harnesses.
+
+use std::time::{Duration, Instant};
+
+/// Times a closure, returning its result and the elapsed wall time.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed())
+}
+
+/// Mean and standard deviation of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stats {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub dev: f64,
+}
+
+impl Stats {
+    /// Computes statistics over a sample; empty samples give zeros.
+    pub fn of(samples: &[f64]) -> Stats {
+        if samples.is_empty() {
+            return Stats { mean: 0.0, dev: 0.0 };
+        }
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        Stats { mean, dev: var.sqrt() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_constant_sample() {
+        let stats = Stats::of(&[2.0, 2.0, 2.0]);
+        assert_eq!(stats.mean, 2.0);
+        assert_eq!(stats.dev, 0.0);
+    }
+
+    #[test]
+    fn stats_of_known_sample() {
+        let stats = Stats::of(&[1.0, 2.0, 3.0]);
+        assert!((stats.mean - 2.0).abs() < 1e-12);
+        assert!((stats.dev - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_of_empty_sample() {
+        assert_eq!(Stats::of(&[]), Stats { mean: 0.0, dev: 0.0 });
+    }
+
+    #[test]
+    fn timed_returns_value() {
+        let (value, elapsed) = timed(|| 41 + 1);
+        assert_eq!(value, 42);
+        assert!(elapsed < Duration::from_secs(1));
+    }
+}

@@ -1,0 +1,418 @@
+//! `pedit`: a command-line private editor.
+//!
+//! The paper's user story, as a tool: documents live on an untrusted
+//! "cloud" (here a file-persisted [`DocsServer`] snapshot — the provider's
+//! entire view), and every interaction goes through the privacy mediator,
+//! so the store file never contains a byte of plaintext.
+//!
+//! ```console
+//! $ pedit --store cloud.db create --password pw
+//! created doc1
+//! $ pedit --store cloud.db save --doc doc1 --password pw --text "my plans"
+//! $ pedit --store cloud.db show --doc doc1 --password pw
+//! my plans
+//! $ pedit --store cloud.db raw --doc doc1        # what the provider sees
+//! PE1;R;b8;…
+//! ```
+//!
+//! The command layer is a library so the binary stays a thin wrapper and
+//! integration tests can drive every command in-process.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use pe_cloud::docs::DocsServer;
+use pe_cloud::Request;
+use pe_crypto::form;
+use pe_delta::Delta;
+use pe_extension::{DocsMediator, ExtensionError, MediatorConfig};
+
+/// A parsed command-line invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliOptions {
+    /// Path of the store file holding the provider's state.
+    pub store: PathBuf,
+    /// Use RPC (integrity) mode for newly created documents.
+    pub rpc: bool,
+    /// The subcommand.
+    pub command: Command,
+}
+
+/// One `pedit` subcommand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// Create a new encrypted document.
+    Create {
+        /// Document password.
+        password: String,
+    },
+    /// List document ids the provider stores.
+    List,
+    /// Decrypt and print a document.
+    Show {
+        /// Document id.
+        doc: String,
+        /// Document password.
+        password: String,
+    },
+    /// Replace the whole document (full save).
+    Save {
+        /// Document id.
+        doc: String,
+        /// Document password.
+        password: String,
+        /// New content.
+        text: String,
+    },
+    /// Insert text at a byte offset (incremental save).
+    Insert {
+        /// Document id.
+        doc: String,
+        /// Document password.
+        password: String,
+        /// Byte offset.
+        at: usize,
+        /// Text to insert.
+        text: String,
+    },
+    /// Delete a byte range (incremental save).
+    Delete {
+        /// Document id.
+        doc: String,
+        /// Document password.
+        password: String,
+        /// Byte offset.
+        at: usize,
+        /// Bytes to delete.
+        len: usize,
+    },
+    /// Show decrypted revision history.
+    History {
+        /// Document id.
+        doc: String,
+        /// Document password.
+        password: String,
+    },
+    /// Rotate a document's password.
+    Rotate {
+        /// Document id.
+        doc: String,
+        /// Current password.
+        old: String,
+        /// New password.
+        new: String,
+    },
+    /// Print the raw stored ciphertext (the provider's view).
+    Raw {
+        /// Document id.
+        doc: String,
+    },
+}
+
+/// Errors surfaced to the user.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CliError {
+    /// Command line could not be parsed; the string is usage help.
+    Usage(String),
+    /// The store file could not be read or written.
+    Store(std::io::Error),
+    /// The store file contents were invalid.
+    BadStore(String),
+    /// The mediator/crypto layer failed (wrong password, tampering, …).
+    Extension(ExtensionError),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Store(e) => write!(f, "store i/o error: {e}"),
+            CliError::BadStore(msg) => write!(f, "invalid store file: {msg}"),
+            CliError::Extension(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ExtensionError> for CliError {
+    fn from(e: ExtensionError) -> CliError {
+        CliError::Extension(e)
+    }
+}
+
+/// Usage text shown for parse failures and `--help`.
+pub const USAGE: &str = "\
+pedit — private editing on an untrusted (file-simulated) cloud
+
+USAGE: pedit --store FILE [--rpc] COMMAND
+
+COMMANDS:
+  create  --password PW
+  list
+  show    --doc ID --password PW
+  save    --doc ID --password PW --text TEXT
+  insert  --doc ID --password PW --at N --text TEXT
+  delete  --doc ID --password PW --at N --len N
+  history --doc ID --password PW
+  rotate  --doc ID --old PW --new PW
+  raw     --doc ID";
+
+/// Parses command-line arguments (excluding `argv[0]`).
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] with help text for malformed invocations.
+pub fn parse_args(args: &[String]) -> Result<CliOptions, CliError> {
+    let usage = |msg: &str| CliError::Usage(format!("{msg}\n\n{USAGE}"));
+    let mut store: Option<PathBuf> = None;
+    let mut rpc = false;
+    let mut rest: Vec<String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--store" => {
+                store = Some(PathBuf::from(
+                    iter.next().ok_or_else(|| usage("--store needs a value"))?,
+                ));
+            }
+            "--rpc" => rpc = true,
+            "--help" | "-h" => return Err(CliError::Usage(USAGE.to_string())),
+            _ => rest.push(arg.clone()),
+        }
+    }
+    let store = store.ok_or_else(|| usage("missing --store FILE"))?;
+    let mut rest = rest.into_iter();
+    let verb = rest.next().ok_or_else(|| usage("missing command"))?;
+    // Collect remaining flags into key/value pairs.
+    let mut flags = std::collections::HashMap::new();
+    let remaining: Vec<String> = rest.collect();
+    let mut i = 0;
+    while i < remaining.len() {
+        let key = remaining[i]
+            .strip_prefix("--")
+            .ok_or_else(|| usage(&format!("unexpected argument {:?}", remaining[i])))?;
+        let value = remaining
+            .get(i + 1)
+            .ok_or_else(|| usage(&format!("--{key} needs a value")))?;
+        flags.insert(key.to_string(), value.clone());
+        i += 2;
+    }
+    let take = |flags: &std::collections::HashMap<String, String>, key: &str| {
+        flags
+            .get(key)
+            .cloned()
+            .ok_or_else(|| usage(&format!("{verb} requires --{key}")))
+    };
+    let number = |flags: &std::collections::HashMap<String, String>, key: &str| {
+        take(flags, key)?
+            .parse::<usize>()
+            .map_err(|_| usage(&format!("--{key} must be a number")))
+    };
+    let command = match verb.as_str() {
+        "create" => Command::Create { password: take(&flags, "password")? },
+        "list" => Command::List,
+        "show" => Command::Show { doc: take(&flags, "doc")?, password: take(&flags, "password")? },
+        "save" => Command::Save {
+            doc: take(&flags, "doc")?,
+            password: take(&flags, "password")?,
+            text: take(&flags, "text")?,
+        },
+        "insert" => Command::Insert {
+            doc: take(&flags, "doc")?,
+            password: take(&flags, "password")?,
+            at: number(&flags, "at")?,
+            text: take(&flags, "text")?,
+        },
+        "delete" => Command::Delete {
+            doc: take(&flags, "doc")?,
+            password: take(&flags, "password")?,
+            at: number(&flags, "at")?,
+            len: number(&flags, "len")?,
+        },
+        "history" => {
+            Command::History { doc: take(&flags, "doc")?, password: take(&flags, "password")? }
+        }
+        "rotate" => Command::Rotate {
+            doc: take(&flags, "doc")?,
+            old: take(&flags, "old")?,
+            new: take(&flags, "new")?,
+        },
+        "raw" => Command::Raw { doc: take(&flags, "doc")? },
+        other => return Err(usage(&format!("unknown command {other:?}"))),
+    };
+    Ok(CliOptions { store, rpc, command })
+}
+
+fn load_store(path: &Path) -> Result<DocsServer, CliError> {
+    match std::fs::read_to_string(path) {
+        Ok(snapshot) => DocsServer::restore(&snapshot).map_err(CliError::BadStore),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(DocsServer::new()),
+        Err(e) => Err(CliError::Store(e)),
+    }
+}
+
+fn persist_store(path: &Path, server: &DocsServer) -> Result<(), CliError> {
+    std::fs::write(path, server.snapshot()).map_err(CliError::Store)
+}
+
+fn mediator(
+    server: std::sync::Arc<DocsServer>,
+    rpc: bool,
+) -> DocsMediator<std::sync::Arc<DocsServer>> {
+    let config = if rpc { MediatorConfig::rpc(7) } else { MediatorConfig::recb(8) };
+    DocsMediator::new(server, config)
+}
+
+/// Executes a parsed invocation, returning the text to print.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for store, password, or integrity failures.
+pub fn run(options: &CliOptions) -> Result<String, CliError> {
+    let server = std::sync::Arc::new(load_store(&options.store)?);
+    let mut output = String::new();
+    match &options.command {
+        Command::Create { password } => {
+            let mut mediator = mediator(std::sync::Arc::clone(&server), options.rpc);
+            let doc_id = mediator.create_document(password)?;
+            // An empty full save materializes the encrypted document.
+            mediator.save_full(&doc_id, "")?;
+            output.push_str(&format!("created {doc_id}"));
+        }
+        Command::List => {
+            let ids = server.list_documents();
+            if ids.is_empty() {
+                output.push_str("(no documents)");
+            } else {
+                output.push_str(&ids.join("\n"));
+            }
+        }
+        Command::Show { doc, password } => {
+            let mut mediator = mediator(std::sync::Arc::clone(&server), options.rpc);
+            mediator.register_password(doc, password);
+            output.push_str(&mediator.open_document(doc)?);
+        }
+        Command::Save { doc, password, text } => {
+            let mut mediator = mediator(std::sync::Arc::clone(&server), options.rpc);
+            mediator.register_password(doc, password);
+            mediator.open_document(doc)?;
+            mediator.save_full(doc, text)?;
+            output.push_str("saved");
+        }
+        Command::Insert { doc, password, at, text } => {
+            let mut mediator = mediator(std::sync::Arc::clone(&server), options.rpc);
+            mediator.register_password(doc, password);
+            mediator.open_document(doc)?;
+            let mut delta = Delta::builder();
+            delta.retain(*at).insert(text);
+            mediator.save_delta(doc, &delta.build())?;
+            output.push_str("saved (incremental)");
+        }
+        Command::Delete { doc, password, at, len } => {
+            let mut mediator = mediator(std::sync::Arc::clone(&server), options.rpc);
+            mediator.register_password(doc, password);
+            mediator.open_document(doc)?;
+            let mut delta = Delta::builder();
+            delta.retain(*at).delete(*len);
+            mediator.save_delta(doc, &delta.build())?;
+            output.push_str("saved (incremental)");
+        }
+        Command::History { doc, password } => {
+            let mut mediator = mediator(std::sync::Arc::clone(&server), options.rpc);
+            mediator.register_password(doc, password);
+            mediator.open_document(doc)?;
+            let count_resp =
+                mediator.intercept(&Request::get("/Doc/revisions", &[("docID", doc)]))?;
+            let body = count_resp.response.body_text().unwrap_or("");
+            let pairs = form::parse_pairs(body).unwrap_or_default();
+            let count: usize = form::first_value(&pairs, "revisionCount")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0);
+            output.push_str(&format!("{count} revision(s)"));
+            for index in 0..count {
+                let idx = index.to_string();
+                let rev = mediator.intercept(&Request::get(
+                    "/Doc/revisions",
+                    &[("docID", doc), ("index", idx.as_str())],
+                ))?;
+                let body = rev.response.body_text().unwrap_or("");
+                let pairs = form::parse_pairs(body).unwrap_or_default();
+                let content = form::first_value(&pairs, "content").unwrap_or("");
+                let shown: String = content.chars().take(60).collect();
+                output.push_str(&format!("\n[{index}] {shown}"));
+            }
+        }
+        Command::Rotate { doc, old, new } => {
+            let mut mediator = mediator(std::sync::Arc::clone(&server), options.rpc);
+            mediator.register_password(doc, old);
+            mediator.change_password(doc, new)?;
+            output.push_str("password rotated (note: server-side history keeps old-key ciphertext)");
+        }
+        Command::Raw { doc } => match server.stored_content(doc) {
+            Some(content) => output.push_str(&content),
+            None => output.push_str("(no such document)"),
+        },
+    }
+    persist_store(&options.store, &server)?;
+    Ok(output)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_create() {
+        let options =
+            parse_args(&args(&["--store", "s.db", "create", "--password", "pw"])).unwrap();
+        assert_eq!(options.store, PathBuf::from("s.db"));
+        assert!(!options.rpc);
+        assert_eq!(options.command, Command::Create { password: "pw".into() });
+    }
+
+    #[test]
+    fn parses_rpc_flag_and_numbers() {
+        let options = parse_args(&args(&[
+            "--store", "s.db", "--rpc", "delete", "--doc", "doc1", "--password", "pw", "--at",
+            "3", "--len", "7",
+        ]))
+        .unwrap();
+        assert!(options.rpc);
+        assert_eq!(
+            options.command,
+            Command::Delete { doc: "doc1".into(), password: "pw".into(), at: 3, len: 7 }
+        );
+    }
+
+    #[test]
+    fn rejects_missing_store_and_bad_flags() {
+        assert!(matches!(parse_args(&args(&["create"])), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse_args(&args(&["--store", "s", "create"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(&args(&["--store", "s", "teleport"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(&args(&["--store", "s", "show", "--doc"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn help_shows_usage() {
+        let err = parse_args(&args(&["--help"])).unwrap_err();
+        assert!(err.to_string().contains("COMMANDS"));
+    }
+}

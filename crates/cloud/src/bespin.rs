@@ -1,0 +1,108 @@
+//! The Mozilla-Bespin-style file store (§III "Bespin").
+//!
+//! Bespin "simply uses HTTP PUT requests to send user content back to the
+//! server stored as a file. No incremental update mechanisms are found."
+//! The privacy wrapper therefore only needs to encrypt PUT bodies and
+//! decrypt GET responses.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use crate::{CloudService, Method, Request, Response};
+
+/// A whole-file PUT/GET code-hosting server.
+///
+/// # Example
+///
+/// ```
+/// use pe_cloud::bespin::BespinServer;
+/// use pe_cloud::{CloudService, Request};
+///
+/// let server = BespinServer::new();
+/// server.handle(&Request::put("/file/at/main.rs", &[], "fn main() {}"));
+/// let resp = server.handle(&Request::get("/file/at/main.rs", &[]));
+/// assert_eq!(resp.body_text(), Some("fn main() {}"));
+/// ```
+#[derive(Debug, Default)]
+pub struct BespinServer {
+    files: Mutex<HashMap<String, Vec<u8>>>,
+}
+
+impl BespinServer {
+    /// Creates an empty file store.
+    pub fn new() -> BespinServer {
+        BespinServer::default()
+    }
+
+    /// Lists stored file paths (sorted), for tests and examples.
+    pub fn list(&self) -> Vec<String> {
+        let mut paths: Vec<String> = self.files.lock().keys().cloned().collect();
+        paths.sort();
+        paths
+    }
+
+    /// Raw stored bytes for a path (what the provider can read).
+    pub fn stored(&self, path: &str) -> Option<Vec<u8>> {
+        self.files.lock().get(path).cloned()
+    }
+}
+
+impl CloudService for BespinServer {
+    fn handle(&self, request: &Request) -> Response {
+        let Some(path) = request.path.strip_prefix("/file/at/") else {
+            return Response::error(404, "unknown endpoint");
+        };
+        match request.method {
+            Method::Put => {
+                self.files.lock().insert(path.to_string(), request.body.to_vec());
+                Response::ok("")
+            }
+            Method::Get => match self.files.lock().get(path) {
+                Some(content) => Response::ok(content.clone()),
+                None => Response::error(404, "no such file"),
+            },
+            Method::Post => Response::error(405, "bespin uses PUT"),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "bespin"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let server = BespinServer::new();
+        let resp = server.handle(&Request::put("/file/at/src/lib.rs", &[], "pub fn f() {}"));
+        assert!(resp.is_success());
+        let resp = server.handle(&Request::get("/file/at/src/lib.rs", &[]));
+        assert_eq!(resp.body_text(), Some("pub fn f() {}"));
+    }
+
+    #[test]
+    fn overwrite_replaces() {
+        let server = BespinServer::new();
+        server.handle(&Request::put("/file/at/a", &[], "one"));
+        server.handle(&Request::put("/file/at/a", &[], "two"));
+        assert_eq!(server.stored("a").unwrap(), b"two");
+        assert_eq!(server.list(), vec!["a".to_string()]);
+    }
+
+    #[test]
+    fn missing_file_404() {
+        let server = BespinServer::new();
+        assert_eq!(server.handle(&Request::get("/file/at/none", &[])).status, 404);
+    }
+
+    #[test]
+    fn wrong_method_and_path_rejected() {
+        let server = BespinServer::new();
+        assert_eq!(server.handle(&Request::post("/file/at/a", &[], "x")).status, 405);
+        assert_eq!(server.handle(&Request::get("/other", &[])).status, 404);
+    }
+}

@@ -1,0 +1,145 @@
+//! The Adobe-Buzzword-style XML document store (§III "Buzzword").
+//!
+//! "On every update, the client sends back the whole document content as a
+//! XML file encapsulated in a HTTP POST request. By encrypting the text
+//! embedded in `<textRun>` tags, we keep submitted document content
+//! secure." This module provides the server plus the `<textRun>`
+//! extraction/rewriting helpers the mediator uses.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use crate::{CloudService, Method, Request, Response};
+
+/// Extracts the contents of every `<textRun>…</textRun>` element, in
+/// order.
+pub fn text_runs(xml: &str) -> Vec<&str> {
+    let mut runs = Vec::new();
+    let mut rest = xml;
+    while let Some(start) = rest.find("<textRun>") {
+        let after = &rest[start + "<textRun>".len()..];
+        let Some(end) = after.find("</textRun>") else { break };
+        runs.push(&after[..end]);
+        rest = &after[end + "</textRun>".len()..];
+    }
+    runs
+}
+
+/// Rewrites every `<textRun>` body with `f`, leaving all other markup
+/// untouched.
+pub fn map_text_runs<F>(xml: &str, mut f: F) -> String
+where
+    F: FnMut(&str) -> String,
+{
+    let mut out = String::with_capacity(xml.len());
+    let mut rest = xml;
+    while let Some(start) = rest.find("<textRun>") {
+        let body_start = start + "<textRun>".len();
+        let Some(end) = rest[body_start..].find("</textRun>") else { break };
+        out.push_str(&rest[..body_start]);
+        out.push_str(&f(&rest[body_start..body_start + end]));
+        out.push_str("</textRun>");
+        rest = &rest[body_start + end + "</textRun>".len()..];
+    }
+    out.push_str(rest);
+    out
+}
+
+/// A whole-document XML store.
+///
+/// # Example
+///
+/// ```
+/// use pe_cloud::buzzword::{text_runs, BuzzwordServer};
+/// use pe_cloud::{CloudService, Request};
+///
+/// let server = BuzzwordServer::new();
+/// let xml = "<doc><textRun>hi</textRun></doc>";
+/// server.handle(&Request::post("/buzzword/doc/d1", &[], xml));
+/// let stored = server.stored("d1").unwrap();
+/// assert_eq!(text_runs(&stored), vec!["hi"]);
+/// ```
+#[derive(Debug, Default)]
+pub struct BuzzwordServer {
+    docs: Mutex<HashMap<String, String>>,
+}
+
+impl BuzzwordServer {
+    /// Creates an empty store.
+    pub fn new() -> BuzzwordServer {
+        BuzzwordServer::default()
+    }
+
+    /// The stored XML for a document id.
+    pub fn stored(&self, id: &str) -> Option<String> {
+        self.docs.lock().get(id).cloned()
+    }
+}
+
+impl CloudService for BuzzwordServer {
+    fn handle(&self, request: &Request) -> Response {
+        let Some(id) = request.path.strip_prefix("/buzzword/doc/") else {
+            return Response::error(404, "unknown endpoint");
+        };
+        match request.method {
+            Method::Post => {
+                let Some(xml) = request.body_text() else {
+                    return Response::error(400, "body must be XML text");
+                };
+                self.docs.lock().insert(id.to_string(), xml.to_string());
+                Response::ok("")
+            }
+            Method::Get => match self.docs.lock().get(id) {
+                Some(xml) => Response::ok(xml.clone()),
+                None => Response::error(404, "no such document"),
+            },
+            Method::Put => Response::error(405, "buzzword uses POST"),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "buzzword"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_runs_in_order() {
+        let xml = "<doc><p><textRun>one</textRun></p><textRun>two</textRun></doc>";
+        assert_eq!(text_runs(xml), vec!["one", "two"]);
+    }
+
+    #[test]
+    fn no_runs_in_plain_markup() {
+        assert!(text_runs("<doc><p>bare</p></doc>").is_empty());
+    }
+
+    #[test]
+    fn map_rewrites_only_run_bodies() {
+        let xml = "<doc attr=\"keep\"><textRun>secret</textRun><b>bold</b></doc>";
+        let out = map_text_runs(xml, |t| t.to_uppercase());
+        assert_eq!(out, "<doc attr=\"keep\"><textRun>SECRET</textRun><b>bold</b></doc>");
+    }
+
+    #[test]
+    fn map_handles_empty_and_unterminated() {
+        assert_eq!(map_text_runs("", |t| t.into()), "");
+        let broken = "<textRun>open but never closed";
+        assert_eq!(map_text_runs(broken, |t| t.into()), broken);
+    }
+
+    #[test]
+    fn store_roundtrip() {
+        let server = BuzzwordServer::new();
+        let xml = "<doc><textRun>content</textRun></doc>";
+        assert!(server.handle(&Request::post("/buzzword/doc/x", &[], xml)).is_success());
+        let resp = server.handle(&Request::get("/buzzword/doc/x", &[]));
+        assert_eq!(resp.body_text(), Some(xml));
+        assert_eq!(server.handle(&Request::get("/buzzword/doc/other", &[])).status, 404);
+        assert_eq!(server.handle(&Request::put("/buzzword/doc/x", &[], xml)).status, 405);
+    }
+}

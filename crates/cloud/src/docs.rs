@@ -1,0 +1,597 @@
+//! The Google-Documents-style server (§IV-A of the paper).
+//!
+//! Reproduces the 2011 wire protocol the paper reverse-engineered:
+//!
+//! * `POST /Doc?cmd=create` — create a document, returns its `docID`.
+//! * `POST /Doc?docID=…&cmd=open` — open an edit session; the response
+//!   carries the current content and its hash.
+//! * `POST /Doc?docID=…` with a form body — save: the `docContents` field
+//!   replaces the whole document (the first save of every session), the
+//!   `delta` field applies an incremental update. The server answers with
+//!   an **Ack** carrying `contentFromServer` and `contentFromServerHash`.
+//! * `GET /Doc/load?docID=…` — passive reader refresh (collaboration).
+//!
+//! Server-side *features* operate on the stored content — which is exactly
+//! why they break under the privacy extension (§VII-A): spell checking
+//! (`POST /spell`), translation (`POST /translate`), export
+//! (`GET /export`), and drawing (`POST /drawing`, whose request body
+//! itself carries plaintext primitives, so the mediator must block it).
+//!
+//! The server enforces Google's 500-kilobyte document limit the paper
+//! cites when motivating multi-character blocks (§V-C).
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+use pe_crypto::form;
+use pe_crypto::hex;
+use pe_crypto::sha256::Sha256;
+use pe_delta::Delta;
+
+use crate::{CloudService, Request, Response};
+
+/// Maximum stored document size in bytes (Google's 2011 limit).
+pub const MAX_DOC_BYTES: usize = 500 * 1024;
+
+/// A small English dictionary for the spell-check feature. Real enough to
+/// make plaintext prose pass and Base32 ciphertext fail spectacularly.
+const DICTIONARY: &[&str] = &[
+    "a", "about", "all", "also", "an", "and", "are", "as", "at", "be", "because", "but", "by",
+    "can", "come", "could", "day", "do", "document", "even", "find", "first", "for", "from",
+    "get", "give", "go", "have", "he", "her", "here", "him", "his", "how", "i", "if", "in",
+    "into", "it", "its", "just", "know", "like", "look", "make", "man", "many", "me", "meet",
+    "more", "my", "new", "no", "noon", "not", "now", "of", "on", "one", "only", "or", "other",
+    "our", "out", "people", "say", "secret", "see", "she", "so", "some", "take", "than", "that",
+    "the", "their", "them", "then", "there", "these", "they", "thing", "think", "this", "those",
+    "time", "to", "two", "up", "use", "very", "want", "way", "we", "well", "what", "when",
+    "which", "who", "will", "with", "word", "world", "would", "year", "you", "your", "quick",
+    "brown", "fox", "jumps", "over", "lazy", "dog", "hello", "attack", "at", "dawn", "editing",
+    "private", "cloud", "service", "paper", "plan", "was", "old", "yes", "did", "has",
+];
+
+#[derive(Debug, Default)]
+struct DocRecord {
+    content: String,
+    version: u64,
+    open_sessions: Vec<String>,
+    /// Previous contents, oldest first. The real 2011 service kept (and
+    /// leaked) revision history — the §I motivation "leaks information
+    /// about previous versions of documents" — so the simulation keeps it
+    /// too, letting tests show that under the extension even history is
+    /// ciphertext.
+    revisions: Vec<String>,
+}
+
+#[derive(Debug, Default)]
+struct ServerState {
+    docs: HashMap<String, DocRecord>,
+    next_doc: u64,
+    next_session: u64,
+}
+
+/// The simulated Google-Documents word-processor backend.
+///
+/// Thread-safe; clients, mediators, and benchmark harnesses may share one
+/// instance.
+///
+/// # Example
+///
+/// ```
+/// use pe_cloud::docs::DocsServer;
+/// use pe_cloud::{CloudService, Request};
+/// use pe_crypto::form;
+///
+/// let server = DocsServer::new();
+/// let created = server.handle(&Request::post("/Doc", &[("cmd", "create")], ""));
+/// let pairs = form::parse_pairs(created.body_text().unwrap())?;
+/// let doc_id = form::first_value(&pairs, "docID").unwrap();
+/// assert!(doc_id.starts_with("doc"));
+/// # Ok::<(), pe_crypto::CryptoError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct DocsServer {
+    state: Mutex<ServerState>,
+}
+
+impl DocsServer {
+    /// Creates a server with no documents.
+    pub fn new() -> DocsServer {
+        DocsServer::default()
+    }
+
+    /// Hash the server reports in Ack messages (`contentFromServerHash`).
+    /// Note it is computed over the *stored* content — ciphertext when the
+    /// privacy extension is active, which is what makes collaborative
+    /// editing only partially functional (§VII-A).
+    pub fn content_hash(content: &str) -> String {
+        hex::encode(&Sha256::digest(content.as_bytes())[..8])
+    }
+
+    /// Direct (test/bench) access to a document's stored content.
+    pub fn stored_content(&self, doc_id: &str) -> Option<String> {
+        self.state.lock().docs.get(doc_id).map(|d| d.content.clone())
+    }
+
+    /// Direct (test/bench) access to a document's version counter.
+    pub fn stored_version(&self, doc_id: &str) -> Option<u64> {
+        self.state.lock().docs.get(doc_id).map(|d| d.version)
+    }
+
+    /// Direct (test/bench) access to the stored revision history.
+    pub fn stored_revisions(&self, doc_id: &str) -> Option<Vec<String>> {
+        self.state.lock().docs.get(doc_id).map(|d| d.revisions.clone())
+    }
+
+    /// Lists all document ids, sorted (tooling/tests).
+    pub fn list_documents(&self) -> Vec<String> {
+        let mut ids: Vec<String> = self.state.lock().docs.keys().cloned().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Serializes the full server state into a line-oriented snapshot
+    /// (one form-encoded line per document) so tools like the `pedit` CLI
+    /// can persist the "cloud" across invocations.
+    pub fn snapshot(&self) -> String {
+        let state = self.state.lock();
+        let mut doc_ids: Vec<&String> = state.docs.keys().collect();
+        doc_ids.sort();
+        let mut out = String::new();
+        out.push_str(&format!("next_doc={}\n", state.next_doc));
+        out.push_str(&format!("next_session={}\n", state.next_session));
+        for id in doc_ids {
+            let doc = &state.docs[id];
+            let mut fields: Vec<(String, String)> = vec![
+                ("docID".into(), id.clone()),
+                ("content".into(), doc.content.clone()),
+                ("version".into(), doc.version.to_string()),
+            ];
+            for revision in &doc.revisions {
+                fields.push(("revision".into(), revision.clone()));
+            }
+            out.push_str(&form::encode_pairs(&fields));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Restores a server from a [`DocsServer::snapshot`] string.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformed line on failure.
+    pub fn restore(snapshot: &str) -> Result<DocsServer, String> {
+        let server = DocsServer::new();
+        {
+            let mut state = server.state.lock();
+            for (line_no, line) in snapshot.lines().enumerate() {
+                if line.is_empty() {
+                    continue;
+                }
+                if let Some(n) = line.strip_prefix("next_doc=") {
+                    state.next_doc =
+                        n.parse().map_err(|_| format!("line {line_no}: bad next_doc"))?;
+                    continue;
+                }
+                if let Some(n) = line.strip_prefix("next_session=") {
+                    state.next_session =
+                        n.parse().map_err(|_| format!("line {line_no}: bad next_session"))?;
+                    continue;
+                }
+                let pairs = form::parse_pairs(line)
+                    .map_err(|e| format!("line {line_no}: {e}"))?;
+                let doc_id = form::first_value(&pairs, "docID")
+                    .ok_or_else(|| format!("line {line_no}: missing docID"))?
+                    .to_string();
+                let mut doc = DocRecord {
+                    content: form::first_value(&pairs, "content").unwrap_or("").to_string(),
+                    version: form::first_value(&pairs, "version")
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or(0),
+                    ..DocRecord::default()
+                };
+                doc.revisions = pairs
+                    .iter()
+                    .filter(|(k, _)| k == "revision")
+                    .map(|(_, v)| v.clone())
+                    .collect();
+                state.docs.insert(doc_id, doc);
+            }
+        }
+        Ok(server)
+    }
+
+    fn revisions(&self, doc_id: &str, index: Option<&str>) -> Response {
+        let state = self.state.lock();
+        let Some(doc) = state.docs.get(doc_id) else {
+            return Response::error(404, "no such document");
+        };
+        match index {
+            None => Response::ok(form::encode_pairs(&[(
+                "revisionCount",
+                doc.revisions.len().to_string().as_str(),
+            )])),
+            Some(raw) => {
+                let Ok(i) = raw.parse::<usize>() else {
+                    return Response::error(400, "bad revision index");
+                };
+                match doc.revisions.get(i) {
+                    Some(content) => Response::ok(form::encode_pairs(&[(
+                        "content",
+                        content.as_str(),
+                    )])),
+                    None => Response::error(404, "no such revision"),
+                }
+            }
+        }
+    }
+
+    fn create(&self) -> Response {
+        let mut state = self.state.lock();
+        state.next_doc += 1;
+        let id = format!("doc{}", state.next_doc);
+        state.docs.insert(id.clone(), DocRecord::default());
+        Response::ok(form::encode_pairs(&[("docID", id.as_str())]))
+    }
+
+    fn open(&self, doc_id: &str) -> Response {
+        let mut state = self.state.lock();
+        state.next_session += 1;
+        let session = format!("s{}", state.next_session);
+        let Some(doc) = state.docs.get_mut(doc_id) else {
+            return Response::error(404, "no such document");
+        };
+        doc.open_sessions.push(session.clone());
+        let hash = Self::content_hash(&doc.content);
+        Response::ok(form::encode_pairs(&[
+            ("sessionID", session.as_str()),
+            ("content", doc.content.as_str()),
+            ("contentHash", hash.as_str()),
+        ]))
+    }
+
+    fn save(&self, doc_id: &str, body: &str) -> Response {
+        let Ok(pairs) = form::parse_pairs(body) else {
+            return Response::error(400, "malformed form body");
+        };
+        let mut state = self.state.lock();
+        let Some(doc) = state.docs.get_mut(doc_id) else {
+            return Response::error(404, "no such document");
+        };
+        if let Some(contents) = form::first_value(&pairs, "docContents") {
+            if contents.len() > MAX_DOC_BYTES {
+                return Response::error(413, "document exceeds 500kB limit");
+            }
+            let previous = std::mem::replace(&mut doc.content, contents.to_string());
+            doc.revisions.push(previous);
+        } else if let Some(delta_text) = form::first_value(&pairs, "delta") {
+            let Ok(delta) = Delta::parse(delta_text) else {
+                return Response::error(400, "malformed delta");
+            };
+            let updated = match delta.apply_bytes(doc.content.as_bytes()) {
+                Ok(updated) => updated,
+                Err(e) => return Response::error(409, &format!("delta conflict: {e}")),
+            };
+            if updated.len() > MAX_DOC_BYTES {
+                return Response::error(413, "document exceeds 500kB limit");
+            }
+            match String::from_utf8(updated) {
+                Ok(content) => {
+                    let previous = std::mem::replace(&mut doc.content, content);
+                    doc.revisions.push(previous);
+                }
+                Err(_) => return Response::error(400, "delta produced invalid text"),
+            }
+        } else {
+            return Response::error(400, "save needs docContents or delta");
+        }
+        doc.version += 1;
+        // The Ack conveys "the current content to the best of the
+        // server's knowledge" (§IV-A). Like the real service, the content
+        // field stays empty on ordinary saves (the client already holds
+        // the content); the hash is what collaboration coordination uses.
+        let hash = Self::content_hash(&doc.content);
+        Response::ok(form::encode_pairs(&[
+            ("contentFromServer", ""),
+            ("contentFromServerHash", hash.as_str()),
+        ]))
+    }
+
+    fn load(&self, doc_id: &str) -> Response {
+        let state = self.state.lock();
+        let Some(doc) = state.docs.get(doc_id) else {
+            return Response::error(404, "no such document");
+        };
+        let hash = Self::content_hash(&doc.content);
+        Response::ok(form::encode_pairs(&[
+            ("content", doc.content.as_str()),
+            ("contentHash", hash.as_str()),
+        ]))
+    }
+
+    fn spell_check(&self, doc_id: &str) -> Response {
+        let state = self.state.lock();
+        let Some(doc) = state.docs.get(doc_id) else {
+            return Response::error(404, "no such document");
+        };
+        let misspelled: Vec<String> = doc
+            .content
+            .split(|c: char| !c.is_alphabetic())
+            .filter(|w| !w.is_empty())
+            .map(str::to_lowercase)
+            .filter(|w| !DICTIONARY.contains(&w.as_str()))
+            .collect();
+        let mut unique = misspelled;
+        unique.sort();
+        unique.dedup();
+        Response::ok(form::encode_pairs(&[("misspelled", unique.join(",").as_str())]))
+    }
+
+    fn translate(&self, doc_id: &str) -> Response {
+        let state = self.state.lock();
+        let Some(doc) = state.docs.get(doc_id) else {
+            return Response::error(404, "no such document");
+        };
+        // A toy "translation": pig latin, word by word. Stands in for the
+        // real service's plaintext-dependent translation feature.
+        let translated: String = doc
+            .content
+            .split(' ')
+            .map(pig_latin)
+            .collect::<Vec<_>>()
+            .join(" ");
+        Response::ok(form::encode_pairs(&[("translated", translated.as_str())]))
+    }
+
+    fn export(&self, doc_id: &str, format: &str) -> Response {
+        let state = self.state.lock();
+        let Some(doc) = state.docs.get(doc_id) else {
+            return Response::error(404, "no such document");
+        };
+        match format {
+            "txt" => Response::ok(doc.content.clone()),
+            "upper" => Response::ok(doc.content.to_uppercase()),
+            _ => Response::error(400, "unknown export format"),
+        }
+    }
+
+    fn drawing(&self, body: &str) -> Response {
+        // The real service rendered drawing primitives server-side. The
+        // request body itself carries plaintext, which is why the mediator
+        // must block this path.
+        Response::ok(format!("rendered:{body}"))
+    }
+}
+
+/// Pig-latin translation of a single word (punctuation passes through).
+fn pig_latin(word: &str) -> String {
+    let mut chars = word.chars();
+    match chars.next() {
+        Some(first) if first.is_alphabetic() => {
+            format!("{}{}ay", chars.as_str(), first.to_lowercase())
+        }
+        _ => word.to_string(),
+    }
+}
+
+impl CloudService for DocsServer {
+    fn handle(&self, request: &Request) -> Response {
+        let doc_id = request.query_param("docID").unwrap_or("");
+        match (request.method, request.path.as_str()) {
+            (crate::Method::Post, "/Doc") => match request.query_param("cmd") {
+                Some("create") => self.create(),
+                Some("open") => self.open(doc_id),
+                None => {
+                    self.save(doc_id, request.body_text().unwrap_or(""))
+                }
+                Some(other) => Response::error(400, &format!("unknown command {other}")),
+            },
+            (crate::Method::Get, "/Doc/load") => self.load(doc_id),
+            (crate::Method::Get, "/Doc/revisions") => {
+                self.revisions(doc_id, request.query_param("index"))
+            }
+            (crate::Method::Post, "/spell") => self.spell_check(doc_id),
+            (crate::Method::Post, "/translate") => self.translate(doc_id),
+            (crate::Method::Get, "/export") => {
+                self.export(doc_id, request.query_param("format").unwrap_or("txt"))
+            }
+            (crate::Method::Post, "/drawing") => {
+                self.drawing(request.body_text().unwrap_or(""))
+            }
+            _ => Response::error(404, "unknown endpoint"),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "google-documents"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn create_doc(server: &DocsServer) -> String {
+        let resp = server.handle(&Request::post("/Doc", &[("cmd", "create")], ""));
+        let pairs = form::parse_pairs(resp.body_text().unwrap()).unwrap();
+        form::first_value(&pairs, "docID").unwrap().to_string()
+    }
+
+    fn save_contents(server: &DocsServer, doc: &str, contents: &str) -> Response {
+        let body = form::encode_pairs(&[("docContents", contents)]);
+        server.handle(&Request::post("/Doc", &[("docID", doc)], body))
+    }
+
+    fn save_delta(server: &DocsServer, doc: &str, delta: &str) -> Response {
+        let body = form::encode_pairs(&[("delta", delta)]);
+        server.handle(&Request::post("/Doc", &[("docID", doc)], body))
+    }
+
+    #[test]
+    fn create_open_save_cycle() {
+        let server = DocsServer::new();
+        let doc = create_doc(&server);
+        let resp = save_contents(&server, &doc, "hello world");
+        assert!(resp.is_success());
+        assert_eq!(server.stored_content(&doc).unwrap(), "hello world");
+        let open = server.handle(&Request::post("/Doc", &[("docID", &doc), ("cmd", "open")], ""));
+        let pairs = form::parse_pairs(open.body_text().unwrap()).unwrap();
+        assert_eq!(form::first_value(&pairs, "content"), Some("hello world"));
+    }
+
+    #[test]
+    fn delta_saves_apply_incrementally() {
+        let server = DocsServer::new();
+        let doc = create_doc(&server);
+        save_contents(&server, &doc, "abcdefg");
+        // The paper's example: "=2 -3 +uv =2 +w" turns abcdefg into abuvfgw.
+        let resp = save_delta(&server, &doc, "=2\t-3\t+uv\t=2\t+w");
+        assert!(resp.is_success());
+        assert_eq!(server.stored_content(&doc).unwrap(), "abuvfgw");
+        assert_eq!(server.stored_version(&doc), Some(2));
+    }
+
+    #[test]
+    fn ack_carries_hash_of_stored_content() {
+        let server = DocsServer::new();
+        let doc = create_doc(&server);
+        let resp = save_contents(&server, &doc, "content");
+        let pairs = form::parse_pairs(resp.body_text().unwrap()).unwrap();
+        assert_eq!(form::first_value(&pairs, "contentFromServer"), Some(""));
+        assert_eq!(
+            form::first_value(&pairs, "contentFromServerHash"),
+            Some(DocsServer::content_hash("content").as_str())
+        );
+    }
+
+    #[test]
+    fn bad_delta_is_a_conflict() {
+        let server = DocsServer::new();
+        let doc = create_doc(&server);
+        save_contents(&server, &doc, "short");
+        let resp = save_delta(&server, &doc, "=100\t-1");
+        assert_eq!(resp.status, 409);
+        // Content unchanged on conflict.
+        assert_eq!(server.stored_content(&doc).unwrap(), "short");
+    }
+
+    #[test]
+    fn size_limit_enforced() {
+        let server = DocsServer::new();
+        let doc = create_doc(&server);
+        let huge = "x".repeat(MAX_DOC_BYTES + 1);
+        assert_eq!(save_contents(&server, &doc, &huge).status, 413);
+        save_contents(&server, &doc, "small");
+        let grow = format!("+{}", "y".repeat(MAX_DOC_BYTES));
+        assert_eq!(save_delta(&server, &doc, &grow).status, 413);
+    }
+
+    #[test]
+    fn unknown_document_is_404() {
+        let server = DocsServer::new();
+        assert_eq!(save_contents(&server, "nope", "x").status, 404);
+        assert_eq!(server.handle(&Request::get("/Doc/load", &[("docID", "nope")])).status, 404);
+    }
+
+    #[test]
+    fn spell_check_flags_unknown_words() {
+        let server = DocsServer::new();
+        let doc = create_doc(&server);
+        save_contents(&server, &doc, "the quick brown fox zzyzx");
+        let resp = server.handle(&Request::post("/spell", &[("docID", &doc)], ""));
+        let pairs = form::parse_pairs(resp.body_text().unwrap()).unwrap();
+        assert_eq!(form::first_value(&pairs, "misspelled"), Some("zzyzx"));
+    }
+
+    #[test]
+    fn spell_check_on_ciphertext_flags_everything() {
+        let server = DocsServer::new();
+        let doc = create_doc(&server);
+        // Simulates what the server sees under the extension.
+        save_contents(&server, &doc, "MZXW6YTB OI2DKNRU GEZDGNBV");
+        let resp = server.handle(&Request::post("/spell", &[("docID", &doc)], ""));
+        let pairs = form::parse_pairs(resp.body_text().unwrap()).unwrap();
+        // Digits split the Base32 tokens, so more fragments than "words"
+        // are flagged — the point is that nothing passes the dictionary.
+        let flagged = form::first_value(&pairs, "misspelled").unwrap();
+        assert!(flagged.split(',').count() >= 3, "ciphertext must be flagged: {flagged}");
+    }
+
+    #[test]
+    fn translate_and_export() {
+        let server = DocsServer::new();
+        let doc = create_doc(&server);
+        save_contents(&server, &doc, "hello world");
+        let resp = server.handle(&Request::post("/translate", &[("docID", &doc)], ""));
+        let pairs = form::parse_pairs(resp.body_text().unwrap()).unwrap();
+        assert_eq!(form::first_value(&pairs, "translated"), Some("ellohay orldway"));
+        let resp =
+            server.handle(&Request::get("/export", &[("docID", &doc), ("format", "upper")]));
+        assert_eq!(resp.body_text(), Some("HELLO WORLD"));
+    }
+
+    #[test]
+    fn drawing_renders_primitives() {
+        let server = DocsServer::new();
+        let resp = server.handle(&Request::post("/drawing", &[], "circle(3,4,5)"));
+        assert_eq!(resp.body_text(), Some("rendered:circle(3,4,5)"));
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let server = DocsServer::new();
+        let doc = create_doc(&server);
+        save_contents(&server, &doc, "persistent content with = & % chars");
+        save_delta(&server, &doc, "+more ");
+        let snapshot = server.snapshot();
+        let restored = DocsServer::restore(&snapshot).unwrap();
+        assert_eq!(
+            restored.stored_content(&doc),
+            server.stored_content(&doc)
+        );
+        assert_eq!(restored.stored_version(&doc), server.stored_version(&doc));
+        assert_eq!(restored.stored_revisions(&doc), server.stored_revisions(&doc));
+        // Restored servers continue issuing fresh ids.
+        let resp = restored.handle(&Request::post("/Doc", &[("cmd", "create")], ""));
+        let pairs = form::parse_pairs(resp.body_text().unwrap()).unwrap();
+        assert_ne!(form::first_value(&pairs, "docID"), Some(doc.as_str()));
+    }
+
+    #[test]
+    fn restore_rejects_garbage() {
+        assert!(DocsServer::restore("next_doc=abc").is_err());
+        assert!(DocsServer::restore("content=x").is_err(), "missing docID");
+    }
+
+    #[test]
+    fn revision_history_is_kept() {
+        let server = DocsServer::new();
+        let doc = create_doc(&server);
+        save_contents(&server, &doc, "v1");
+        save_delta(&server, &doc, "+x");
+        save_contents(&server, &doc, "v3");
+        // History: "", "v1", "xv1".
+        let revisions = server.stored_revisions(&doc).unwrap();
+        assert_eq!(revisions, vec!["".to_string(), "v1".to_string(), "xv1".to_string()]);
+        let resp = server.handle(&Request::get("/Doc/revisions", &[("docID", &doc)]));
+        let pairs = form::parse_pairs(resp.body_text().unwrap()).unwrap();
+        assert_eq!(form::first_value(&pairs, "revisionCount"), Some("3"));
+        let resp = server
+            .handle(&Request::get("/Doc/revisions", &[("docID", &doc), ("index", "1")]));
+        let pairs = form::parse_pairs(resp.body_text().unwrap()).unwrap();
+        assert_eq!(form::first_value(&pairs, "content"), Some("v1"));
+        let resp = server
+            .handle(&Request::get("/Doc/revisions", &[("docID", &doc), ("index", "9")]));
+        assert_eq!(resp.status, 404);
+    }
+
+    #[test]
+    fn version_counts_saves() {
+        let server = DocsServer::new();
+        let doc = create_doc(&server);
+        save_contents(&server, &doc, "v1");
+        save_delta(&server, &doc, "+x");
+        save_delta(&server, &doc, "+y");
+        assert_eq!(server.stored_version(&doc), Some(3));
+    }
+}

@@ -1,0 +1,129 @@
+//! Fault injection for resilience testing.
+//!
+//! Cloud services fail: requests time out, load balancers shed load,
+//! deploys 500. A [`FlakyService`] wraps any server and fails a
+//! deterministic, seeded fraction of requests so client retry behaviour
+//! can be tested. (The paper assumes a *reliable* storage service — §VI
+//! "we assume that the server provides a reliable storage service" — but
+//! a production-quality client still needs to behave sanely when it
+//! hiccups.)
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::{CloudService, Request, Response};
+
+/// A wrapper that fails a deterministic subset of requests with 503.
+///
+/// Failures are decided by a cheap seeded hash of the request counter, so
+/// runs are reproducible. Failed requests do **not** reach the inner
+/// service (they model transport/server-front failures, not partial
+/// application).
+///
+/// # Example
+///
+/// ```
+/// use pe_cloud::docs::DocsServer;
+/// use pe_cloud::fault::FlakyService;
+/// use pe_cloud::{CloudService, Request};
+///
+/// // period = 1: every request fails.
+/// let flaky = FlakyService::new(DocsServer::new(), 1, 0);
+/// let req = Request::post("/Doc", &[("cmd", "create")], "");
+/// assert_eq!(flaky.handle(&req).status, 503);
+/// // period = 0: failures disabled.
+/// let reliable = FlakyService::new(DocsServer::new(), 0, 0);
+/// assert!(reliable.handle(&req).is_success());
+/// ```
+#[derive(Debug)]
+pub struct FlakyService<S> {
+    inner: S,
+    /// Fail one request out of every `period` (`0` disables failures).
+    period: u64,
+    seed: u64,
+    counter: AtomicU64,
+}
+
+impl<S: CloudService> FlakyService<S> {
+    /// Wraps `inner`, failing one request in every `period`.
+    pub fn new(inner: S, period: u64, seed: u64) -> FlakyService<S> {
+        FlakyService { inner, period, seed, counter: AtomicU64::new(0) }
+    }
+
+    /// The wrapped service.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Number of requests seen so far (including failed ones).
+    pub fn requests(&self) -> u64 {
+        self.counter.load(Ordering::Relaxed)
+    }
+
+    fn should_fail(&self, n: u64) -> bool {
+        if self.period == 0 {
+            return false;
+        }
+        // SplitMix-style mix of counter and seed.
+        let mut z = n.wrapping_add(self.seed).wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        (z ^ (z >> 31)) % self.period == 0
+    }
+}
+
+impl<S: CloudService> CloudService for FlakyService<S> {
+    fn handle(&self, request: &Request) -> Response {
+        let n = self.counter.fetch_add(1, Ordering::Relaxed);
+        if self.should_fail(n) {
+            return Response::error(503, "service unavailable (injected fault)");
+        }
+        self.inner.handle(request)
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::docs::DocsServer;
+
+    #[test]
+    fn failure_rate_is_approximately_one_in_period() {
+        let flaky = FlakyService::new(DocsServer::new(), 4, 7);
+        let req = Request::post("/Doc", &[("cmd", "create")], "");
+        let failures = (0..400).filter(|_| flaky.handle(&req).status == 503).count();
+        assert!((60..=140).contains(&failures), "got {failures} failures out of 400");
+    }
+
+    #[test]
+    fn zero_period_never_fails() {
+        let flaky = FlakyService::new(DocsServer::new(), 0, 7);
+        let req = Request::post("/Doc", &[("cmd", "create")], "");
+        assert!((0..50).all(|_| flaky.handle(&req).is_success()));
+    }
+
+    #[test]
+    fn failures_are_deterministic() {
+        let pattern = |seed| -> Vec<bool> {
+            let flaky = FlakyService::new(DocsServer::new(), 3, seed);
+            let req = Request::post("/Doc", &[("cmd", "create")], "");
+            (0..50).map(|_| flaky.handle(&req).status == 503).collect()
+        };
+        assert_eq!(pattern(1), pattern(1));
+        assert_ne!(pattern(1), pattern(2));
+    }
+
+    #[test]
+    fn failed_requests_do_not_reach_inner() {
+        let flaky = FlakyService::new(DocsServer::new(), 1, 0); // always fail
+        let req = Request::post("/Doc", &[("cmd", "create")], "");
+        for _ in 0..5 {
+            assert_eq!(flaky.handle(&req).status, 503);
+        }
+        // No documents were created.
+        assert!(flaky.inner().stored_content("doc1").is_none());
+    }
+}

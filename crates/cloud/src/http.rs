@@ -1,0 +1,166 @@
+//! A minimal HTTP-shaped message model.
+//!
+//! Real HTTP framing is irrelevant to the paper's mechanism — what matters
+//! is that requests carry a method, a path, query parameters, and a body
+//! that the mediator can classify and rewrite. Bodies are
+//! [`bytes::Bytes`] so large ciphertext documents are cheap to pass
+//! between the client, the mediator, and the server without copying.
+
+use bytes::Bytes;
+
+/// Request method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Retrieve a resource.
+    Get,
+    /// Submit a form or command.
+    Post,
+    /// Store a resource (Bespin's save path).
+    Put,
+}
+
+impl std::fmt::Display for Method {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Method::Get => f.write_str("GET"),
+            Method::Post => f.write_str("POST"),
+            Method::Put => f.write_str("PUT"),
+        }
+    }
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method.
+    pub method: Method,
+    /// URL path (no query string).
+    pub path: String,
+    /// Decoded query parameters, in order.
+    pub query: Vec<(String, String)>,
+    /// Request body.
+    pub body: Bytes,
+}
+
+impl Request {
+    /// Builds a request with the given method.
+    pub fn new(
+        method: Method,
+        path: &str,
+        query: &[(&str, &str)],
+        body: impl Into<Bytes>,
+    ) -> Request {
+        Request {
+            method,
+            path: path.to_string(),
+            query: query.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+            body: body.into(),
+        }
+    }
+
+    /// Builds a GET request.
+    pub fn get(path: &str, query: &[(&str, &str)]) -> Request {
+        Request::new(Method::Get, path, query, Bytes::new())
+    }
+
+    /// Builds a POST request.
+    pub fn post(path: &str, query: &[(&str, &str)], body: impl Into<Bytes>) -> Request {
+        Request::new(Method::Post, path, query, body)
+    }
+
+    /// Builds a PUT request.
+    pub fn put(path: &str, query: &[(&str, &str)], body: impl Into<Bytes>) -> Request {
+        Request::new(Method::Put, path, query, body)
+    }
+
+    /// First value of a query parameter.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 text, if valid.
+    pub fn body_text(&self) -> Option<&str> {
+        std::str::from_utf8(&self.body).ok()
+    }
+
+    /// Total size on the wire (path + query + body), used by the network
+    /// model to charge transfer time.
+    pub fn wire_bytes(&self) -> usize {
+        let query: usize = self.query.iter().map(|(k, v)| k.len() + v.len() + 2).sum();
+        self.path.len() + query + self.body.len()
+    }
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP-style status code.
+    pub status: u16,
+    /// Response body.
+    pub body: Bytes,
+}
+
+impl Response {
+    /// A 200 response with the given body.
+    pub fn ok(body: impl Into<Bytes>) -> Response {
+        Response { status: 200, body: body.into() }
+    }
+
+    /// An error response.
+    pub fn error(status: u16, message: &str) -> Response {
+        Response { status, body: Bytes::copy_from_slice(message.as_bytes()) }
+    }
+
+    /// True for 2xx statuses.
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+
+    /// The body as UTF-8 text, if valid.
+    pub fn body_text(&self) -> Option<&str> {
+        std::str::from_utf8(&self.body).ok()
+    }
+
+    /// Total size on the wire.
+    pub fn wire_bytes(&self) -> usize {
+        self.body.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let req = Request::post("/Doc", &[("docID", "d1"), ("cmd", "save")], "delta=%3D1");
+        assert_eq!(req.method, Method::Post);
+        assert_eq!(req.query_param("docID"), Some("d1"));
+        assert_eq!(req.query_param("missing"), None);
+        assert_eq!(req.body_text(), Some("delta=%3D1"));
+        assert!(req.wire_bytes() > req.body.len());
+    }
+
+    #[test]
+    fn response_helpers() {
+        let ok = Response::ok("fine");
+        assert!(ok.is_success());
+        assert_eq!(ok.body_text(), Some("fine"));
+        let err = Response::error(403, "blocked by extension");
+        assert!(!err.is_success());
+        assert_eq!(err.status, 403);
+    }
+
+    #[test]
+    fn methods_display() {
+        assert_eq!(Method::Get.to_string(), "GET");
+        assert_eq!(Method::Post.to_string(), "POST");
+        assert_eq!(Method::Put.to_string(), "PUT");
+    }
+
+    #[test]
+    fn non_utf8_body_is_handled() {
+        let req = Request::new(Method::Post, "/x", &[], Bytes::from(vec![0xff, 0xfe]));
+        assert_eq!(req.body_text(), None);
+    }
+}

@@ -1,0 +1,69 @@
+//! Simulated cloud editing services.
+//!
+//! The paper interposes on three real 2011 services: **Google Documents**
+//! (incremental `delta` saves), **Mozilla Bespin** (whole-file HTTP PUT),
+//! and **Adobe Buzzword** (whole-document XML POST). Those services no
+//! longer exist in their 2011 form, so this crate provides in-process
+//! servers speaking the same wire shapes (see DESIGN.md §2 for the
+//! substitution argument):
+//!
+//! * [`docs::DocsServer`] — the Google-Documents-style server: edit
+//!   sessions, full (`docContents`) and incremental (`delta`) saves, Ack
+//!   messages carrying `contentFromServer`/`contentFromServerHash`, plus
+//!   the server-side features whose fate §VII-A reports (spell checking,
+//!   translation, export, drawing).
+//! * [`bespin::BespinServer`] — a whole-file PUT/GET store.
+//! * [`buzzword::BuzzwordServer`] — an XML store with `<textRun>` body
+//!   text.
+//! * [`net::NetworkModel`] — a deterministic latency/bandwidth model used
+//!   by the macro-benchmarks to relate crypto cost to end-to-end request
+//!   latency.
+//!
+//! All servers implement [`CloudService`]; the mediator (crate
+//! `pe-extension`) wraps any of them and rewrites traffic.
+//!
+//! # Example
+//!
+//! ```
+//! use pe_cloud::docs::DocsServer;
+//! use pe_cloud::{CloudService, Request};
+//!
+//! let server = DocsServer::new();
+//! let resp = server.handle(&Request::post("/Doc", &[("cmd", "create")], ""));
+//! assert_eq!(resp.status, 200);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bespin;
+pub mod buzzword;
+pub mod docs;
+pub mod fault;
+mod http;
+pub mod meter;
+pub mod net;
+
+pub use http::{Method, Request, Response};
+
+/// A cloud application server: a function from requests to responses.
+///
+/// Implemented by every simulated service; the mediator intercepts calls
+/// to this trait.
+pub trait CloudService: Send + Sync {
+    /// Handles one client request.
+    fn handle(&self, request: &Request) -> Response;
+
+    /// A short service name used in logs and the functionality matrix.
+    fn name(&self) -> &'static str;
+}
+
+impl<T: CloudService + ?Sized> CloudService for std::sync::Arc<T> {
+    fn handle(&self, request: &Request) -> Response {
+        (**self).handle(request)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}

@@ -1,0 +1,114 @@
+//! Wire-traffic metering.
+//!
+//! The macro-benchmarks (§VII-C) combine measured CPU time with modeled
+//! network time; the model needs the *actual* bytes that crossed the
+//! wire — including ciphertext blowup introduced by the mediator. A
+//! [`MeteredService`] wraps any server and records each exchange's sizes.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::{CloudService, Request, Response};
+
+/// One recorded exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exchange {
+    /// Bytes sent by the client (path + query + body).
+    pub request_bytes: usize,
+    /// Bytes returned by the server.
+    pub response_bytes: usize,
+}
+
+/// A transparent byte-counting wrapper around any [`CloudService`].
+///
+/// Clones share the same log, so a harness can keep a handle while the
+/// mediator owns the service.
+///
+/// # Example
+///
+/// ```
+/// use pe_cloud::docs::DocsServer;
+/// use pe_cloud::meter::MeteredService;
+/// use pe_cloud::{CloudService, Request};
+///
+/// let metered = MeteredService::new(DocsServer::new());
+/// let handle = metered.clone();
+/// metered.handle(&Request::post("/Doc", &[("cmd", "create")], ""));
+/// assert_eq!(handle.drain().len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct MeteredService<S> {
+    inner: Arc<S>,
+    log: Arc<Mutex<Vec<Exchange>>>,
+}
+
+impl<S> Clone for MeteredService<S> {
+    fn clone(&self) -> Self {
+        MeteredService { inner: Arc::clone(&self.inner), log: Arc::clone(&self.log) }
+    }
+}
+
+impl<S: CloudService> MeteredService<S> {
+    /// Wraps a service.
+    pub fn new(inner: S) -> MeteredService<S> {
+        MeteredService { inner: Arc::new(inner), log: Arc::new(Mutex::new(Vec::new())) }
+    }
+
+    /// The wrapped service.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Takes all recorded exchanges, clearing the log.
+    pub fn drain(&self) -> Vec<Exchange> {
+        std::mem::take(&mut *self.log.lock())
+    }
+
+    /// Total bytes over all recorded exchanges (without draining).
+    pub fn total_bytes(&self) -> usize {
+        self.log.lock().iter().map(|e| e.request_bytes + e.response_bytes).sum()
+    }
+}
+
+impl<S: CloudService> CloudService for MeteredService<S> {
+    fn handle(&self, request: &Request) -> Response {
+        let response = self.inner.handle(request);
+        self.log.lock().push(Exchange {
+            request_bytes: request.wire_bytes(),
+            response_bytes: response.wire_bytes(),
+        });
+        response
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::docs::DocsServer;
+
+    #[test]
+    fn records_sizes_and_drains() {
+        let metered = MeteredService::new(DocsServer::new());
+        let handle = metered.clone();
+        metered.handle(&Request::post("/Doc", &[("cmd", "create")], ""));
+        metered.handle(&Request::post("/Doc", &[("cmd", "create")], ""));
+        let log = handle.drain();
+        assert_eq!(log.len(), 2);
+        assert!(log[0].request_bytes > 0);
+        assert!(log[0].response_bytes > 0);
+        assert!(handle.drain().is_empty(), "drain clears the log");
+    }
+
+    #[test]
+    fn total_bytes_accumulates() {
+        let metered = MeteredService::new(DocsServer::new());
+        assert_eq!(metered.total_bytes(), 0);
+        metered.handle(&Request::post("/Doc", &[("cmd", "create")], ""));
+        assert!(metered.total_bytes() > 0);
+    }
+}

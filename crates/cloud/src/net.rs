@@ -1,0 +1,123 @@
+//! Deterministic network and server latency model.
+//!
+//! The paper's macro-benchmarks (§VII-C) measure end-to-end latency of
+//! editing operations against the live Google service: "the performance
+//! impact of cryptographic manipulations is offset by communication and
+//! server processing time". Our reproduction cannot reach the 2011
+//! service, so the harness combines *measured* crypto/mediation time with
+//! this *modeled* network time. The model is intentionally simple and
+//! fully deterministic:
+//!
+//! ```text
+//! latency(request) = rtt + wire_bytes / bandwidth + server_base
+//!                        + server_per_byte · wire_bytes
+//! ```
+//!
+//! Defaults approximate the 2011 environment the paper measured against
+//! (100 ms RTT, 5 MB/s effective throughput to the CDN-fronted service,
+//! 20 ms server processing); EXPERIMENTS.md records the calibration and
+//! the parameters used for each reported table.
+
+use std::time::Duration;
+
+use crate::{Request, Response};
+
+/// Parameters of the latency model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkModel {
+    /// Round-trip time charged once per request.
+    pub rtt: Duration,
+    /// Transfer rate in bytes per second (both directions).
+    pub bandwidth_bytes_per_sec: f64,
+    /// Fixed server processing cost per request.
+    pub server_base: Duration,
+    /// Additional server cost per transferred byte (parsing/storage).
+    pub server_per_byte: Duration,
+}
+
+impl Default for NetworkModel {
+    fn default() -> NetworkModel {
+        NetworkModel {
+            rtt: Duration::from_millis(100),
+            bandwidth_bytes_per_sec: 5_000_000.0,
+            server_base: Duration::from_millis(20),
+            server_per_byte: Duration::from_nanos(20),
+        }
+    }
+}
+
+impl NetworkModel {
+    /// A model with negligible network cost (for isolating crypto cost in
+    /// ablations).
+    pub fn instant() -> NetworkModel {
+        NetworkModel {
+            rtt: Duration::ZERO,
+            bandwidth_bytes_per_sec: f64::INFINITY,
+            server_base: Duration::ZERO,
+            server_per_byte: Duration::ZERO,
+        }
+    }
+
+    /// Modeled end-to-end latency for one request/response exchange.
+    pub fn round_trip(&self, request: &Request, response: &Response) -> Duration {
+        self.round_trip_bytes(request.wire_bytes(), response.wire_bytes())
+    }
+
+    /// Modeled latency from raw byte counts (used with
+    /// [`meter::Exchange`](crate::meter::Exchange) records).
+    pub fn round_trip_bytes(&self, request_bytes: usize, response_bytes: usize) -> Duration {
+        let bytes = (request_bytes + response_bytes) as f64;
+        let transfer = if self.bandwidth_bytes_per_sec.is_finite() {
+            Duration::from_secs_f64(bytes / self.bandwidth_bytes_per_sec)
+        } else {
+            Duration::ZERO
+        };
+        let server_var = self.server_per_byte * (request_bytes as u32);
+        self.rtt + transfer + self.server_base + server_var
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Request;
+
+    fn exchange(body_len: usize) -> (Request, Response) {
+        let body = "x".repeat(body_len);
+        (Request::post("/Doc", &[], body), Response::ok("ack"))
+    }
+
+    #[test]
+    fn default_model_charges_rtt_and_transfer() {
+        let model = NetworkModel::default();
+        let (req, resp) = exchange(1_000_000);
+        let latency = model.round_trip(&req, &resp);
+        // ~100ms RTT + ~200ms transfer + 20ms server + ~20ms per-byte.
+        assert!(latency > Duration::from_millis(300), "{latency:?}");
+        assert!(latency < Duration::from_millis(500), "{latency:?}");
+    }
+
+    #[test]
+    fn bigger_payloads_cost_more() {
+        let model = NetworkModel::default();
+        let (small_req, small_resp) = exchange(100);
+        let (big_req, big_resp) = exchange(100_000);
+        assert!(
+            model.round_trip(&big_req, &big_resp) > model.round_trip(&small_req, &small_resp)
+        );
+    }
+
+    #[test]
+    fn instant_model_is_zero() {
+        let model = NetworkModel::instant();
+        let (req, resp) = exchange(12345);
+        assert_eq!(model.round_trip(&req, &resp), Duration::ZERO);
+    }
+
+    #[test]
+    fn model_is_deterministic() {
+        let model = NetworkModel::default();
+        let (req, resp) = exchange(5000);
+        assert_eq!(model.round_trip(&req, &resp), model.round_trip(&req, &resp));
+    }
+}

@@ -1,0 +1,268 @@
+//! Merkle hash tree: the integrity mechanism §V-A contrasts with RPC.
+//!
+//! The paper notes that hash-tree schemes "achieve true tamperproofing but
+//! at the cost of O(n) size of signature, and O(log(n)) time complexity".
+//! This module provides a Merkle tree over ciphertext records so the
+//! ablation benchmarks can compare RPC's chained-nonce integrity (O(1)
+//! extra blocks, re-verified on load in O(n)) against an external hash
+//! tree kept client-side.
+//!
+//! Leaf replacement updates `O(log n)` hashes; leaf insertion/removal
+//! rebuilds the tree (`O(n)`), which is the honest cost for the
+//! array-backed complete-tree representation used here.
+
+use pe_crypto::sha256::Sha256;
+
+/// Domain-separation prefixes guard against second-preimage confusion
+/// between leaves and interior nodes.
+const LEAF_PREFIX: u8 = 0x00;
+const NODE_PREFIX: u8 = 0x01;
+
+/// An inclusion proof for one leaf.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MerkleProof {
+    /// Index of the proven leaf.
+    pub index: usize,
+    /// Sibling hashes from leaf level up to (excluding) the root.
+    pub siblings: Vec<[u8; 32]>,
+}
+
+/// A Merkle tree over opaque leaf byte strings (serialized ciphertext
+/// records).
+///
+/// # Example
+///
+/// ```
+/// use pe_core::baseline::MerkleTree;
+///
+/// let mut tree = MerkleTree::build([b"rec0".as_slice(), b"rec1", b"rec2"]);
+/// let root = tree.root();
+/// tree.replace(1, b"rec1-modified");
+/// assert_ne!(tree.root(), root);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MerkleTree {
+    /// Number of real leaves.
+    leaves: usize,
+    /// Leaf count padded to a power of two.
+    width: usize,
+    /// Heap-style array: `nodes[1]` is the root, leaf `i` lives at
+    /// `width + i`.
+    nodes: Vec<[u8; 32]>,
+}
+
+fn leaf_hash(data: &[u8]) -> [u8; 32] {
+    let mut hasher = Sha256::new();
+    hasher.update(&[LEAF_PREFIX]);
+    hasher.update(data);
+    hasher.finalize()
+}
+
+fn node_hash(left: &[u8; 32], right: &[u8; 32]) -> [u8; 32] {
+    let mut hasher = Sha256::new();
+    hasher.update(&[NODE_PREFIX]);
+    hasher.update(left);
+    hasher.update(right);
+    hasher.finalize()
+}
+
+impl MerkleTree {
+    /// Builds a tree over the given leaves. An empty iterator produces a
+    /// tree whose root is the hash of an empty leaf.
+    pub fn build<'a, I>(leaves: I) -> MerkleTree
+    where
+        I: IntoIterator<Item = &'a [u8]>,
+    {
+        let hashes: Vec<[u8; 32]> = leaves.into_iter().map(leaf_hash).collect();
+        Self::from_leaf_hashes(hashes)
+    }
+
+    fn from_leaf_hashes(hashes: Vec<[u8; 32]>) -> MerkleTree {
+        let leaves = hashes.len();
+        let width = leaves.max(1).next_power_of_two();
+        let mut nodes = vec![[0u8; 32]; 2 * width];
+        // Empty slots hash as empty leaves so the shape is total.
+        let empty = leaf_hash(b"");
+        for i in 0..width {
+            nodes[width + i] = if i < leaves { hashes[i] } else { empty };
+        }
+        for i in (1..width).rev() {
+            nodes[i] = node_hash(&nodes[2 * i], &nodes[2 * i + 1]);
+        }
+        MerkleTree { leaves, width, nodes }
+    }
+
+    /// Number of real leaves.
+    pub fn len(&self) -> usize {
+        self.leaves
+    }
+
+    /// True when no leaves are stored.
+    pub fn is_empty(&self) -> bool {
+        self.leaves == 0
+    }
+
+    /// The root commitment.
+    pub fn root(&self) -> [u8; 32] {
+        self.nodes[1]
+    }
+
+    /// Replaces leaf `index`, updating `O(log n)` interior hashes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    pub fn replace(&mut self, index: usize, data: &[u8]) {
+        assert!(index < self.leaves, "leaf {index} out of range");
+        let mut pos = self.width + index;
+        self.nodes[pos] = leaf_hash(data);
+        while pos > 1 {
+            pos /= 2;
+            self.nodes[pos] = node_hash(&self.nodes[2 * pos], &self.nodes[2 * pos + 1]);
+        }
+    }
+
+    /// Inserts a leaf at `index`, rebuilding the tree (`O(n)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > len()`.
+    pub fn insert(&mut self, index: usize, data: &[u8]) {
+        assert!(index <= self.leaves, "leaf {index} out of range");
+        let mut hashes: Vec<[u8; 32]> =
+            (0..self.leaves).map(|i| self.nodes[self.width + i]).collect();
+        hashes.insert(index, leaf_hash(data));
+        *self = Self::from_leaf_hashes(hashes);
+    }
+
+    /// Removes the leaf at `index`, rebuilding the tree (`O(n)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    pub fn remove(&mut self, index: usize) {
+        assert!(index < self.leaves, "leaf {index} out of range");
+        let mut hashes: Vec<[u8; 32]> =
+            (0..self.leaves).map(|i| self.nodes[self.width + i]).collect();
+        hashes.remove(index);
+        *self = Self::from_leaf_hashes(hashes);
+    }
+
+    /// Produces an inclusion proof for leaf `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    pub fn prove(&self, index: usize) -> MerkleProof {
+        assert!(index < self.leaves, "leaf {index} out of range");
+        let mut siblings = Vec::new();
+        let mut pos = self.width + index;
+        while pos > 1 {
+            siblings.push(self.nodes[pos ^ 1]);
+            pos /= 2;
+        }
+        MerkleProof { index, siblings }
+    }
+
+    /// Verifies an inclusion proof against a root commitment.
+    pub fn verify(root: &[u8; 32], data: &[u8], proof: &MerkleProof) -> bool {
+        let mut hash = leaf_hash(data);
+        let mut index = proof.index;
+        for sibling in &proof.siblings {
+            hash = if index % 2 == 0 {
+                node_hash(&hash, sibling)
+            } else {
+                node_hash(sibling, &hash)
+            };
+            index /= 2;
+        }
+        hash == *root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaves(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| format!("record-{i}").into_bytes()).collect()
+    }
+
+    fn tree(n: usize) -> MerkleTree {
+        let data = leaves(n);
+        MerkleTree::build(data.iter().map(Vec::as_slice))
+    }
+
+    #[test]
+    fn roots_differ_for_different_content() {
+        assert_ne!(tree(3).root(), tree(4).root());
+        let mut other = leaves(3);
+        other[1][0] ^= 1;
+        let changed = MerkleTree::build(other.iter().map(Vec::as_slice));
+        assert_ne!(tree(3).root(), changed.root());
+    }
+
+    #[test]
+    fn replace_updates_root_consistently() {
+        let mut t = tree(5);
+        t.replace(2, b"new content");
+        // A rebuilt tree over the same leaves must agree.
+        let mut data = leaves(5);
+        data[2] = b"new content".to_vec();
+        let rebuilt = MerkleTree::build(data.iter().map(Vec::as_slice));
+        assert_eq!(t.root(), rebuilt.root());
+    }
+
+    #[test]
+    fn insert_and_remove_match_rebuilds() {
+        let mut t = tree(4);
+        t.insert(2, b"inserted");
+        let mut data = leaves(4);
+        data.insert(2, b"inserted".to_vec());
+        let rebuilt = MerkleTree::build(data.iter().map(Vec::as_slice));
+        assert_eq!(t.root(), rebuilt.root());
+        t.remove(0);
+        data.remove(0);
+        let rebuilt = MerkleTree::build(data.iter().map(Vec::as_slice));
+        assert_eq!(t.root(), rebuilt.root());
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn proofs_verify_and_reject_tampering() {
+        let data = leaves(7);
+        let t = MerkleTree::build(data.iter().map(Vec::as_slice));
+        let root = t.root();
+        for (i, leaf) in data.iter().enumerate() {
+            let proof = t.prove(i);
+            assert!(MerkleTree::verify(&root, leaf, &proof), "leaf {i}");
+            assert!(!MerkleTree::verify(&root, b"forged", &proof));
+            // A proof for one index must not verify another leaf.
+            if i > 0 {
+                assert!(!MerkleTree::verify(&root, &data[i - 1], &proof));
+            }
+        }
+    }
+
+    #[test]
+    fn single_and_empty_trees() {
+        let empty = MerkleTree::build(std::iter::empty::<&[u8]>());
+        assert!(empty.is_empty());
+        let single = MerkleTree::build([b"only".as_slice()]);
+        assert_eq!(single.len(), 1);
+        let proof = single.prove(0);
+        assert!(MerkleTree::verify(&single.root(), b"only", &proof));
+    }
+
+    #[test]
+    fn domain_separation_prevents_leaf_node_confusion() {
+        // A leaf equal to the concatenation of two hashes must not produce
+        // the parent hash.
+        let t = tree(2);
+        let mut concat = Vec::new();
+        concat.push(NODE_PREFIX);
+        concat.extend_from_slice(&t.nodes[2]);
+        concat.extend_from_slice(&t.nodes[3]);
+        assert_ne!(leaf_hash(&concat), t.root());
+    }
+}

@@ -1,0 +1,29 @@
+//! Baseline schemes the paper compares against or discusses.
+//!
+//! * [`CoCloDocument`] — the CoClo comparator (D'Angelo, Vitali,
+//!   Zacchiroli, SAC 2010): correct and private, but it "requires
+//!   reencrypting and transmitting the entire document for every update".
+//!   Implemented so the benchmark harness can regenerate the incremental
+//!   vs full-re-encryption crossover that motivates the paper.
+//! * [`XorDocument`] — the XOR incremental scheme (§V-A cites
+//!   Bellare–Goldreich–Goldwasser's virus-protection paper): ideal update
+//!   cost, but malleable and subject to substitution attacks. Implemented
+//!   as a *negative control*: the attack tests demonstrate forgery
+//!   succeeding here and failing against RPC.
+//! * [`MerkleTree`] — the hash-tree integrity mechanism §V-A discusses
+//!   ("true tamperproofing but at the cost of … O(log(n)) time
+//!   complexity"): an external integrity layer that can be combined with
+//!   rECB, used in the ablation benchmarks.
+//! * [`IncMac`] — the IncXMACC-style per-block MAC §V-A cites, paying
+//!   Fischlin's Ω(n) authenticator-size lower bound for O(1)-MAC
+//!   replace-updates.
+
+mod coclo;
+mod hashtree;
+mod incmac;
+mod xor;
+
+pub use coclo::CoCloDocument;
+pub use hashtree::{MerkleProof, MerkleTree};
+pub use incmac::IncMac;
+pub use xor::XorDocument;

@@ -1,0 +1,92 @@
+//! Error type for the incremental encryption layer.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by encrypted-document operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// An edit referenced a position outside the document.
+    OutOfBounds {
+        /// Offset that was requested.
+        at: usize,
+        /// Current document length.
+        len: usize,
+    },
+    /// Integrity verification failed (RPC mode): the ciphertext was
+    /// modified, reordered, truncated, or the password is wrong.
+    IntegrityFailure {
+        /// Human-readable description of what failed to verify.
+        detail: String,
+    },
+    /// The serialized ciphertext could not be parsed.
+    Malformed {
+        /// Human-readable description of the malformation.
+        detail: String,
+    },
+    /// Scheme parameters were invalid (e.g. block size outside `1..=8`).
+    BadParams {
+        /// Human-readable description of the bad parameter.
+        detail: String,
+    },
+    /// A delta could not be transformed (propagated protocol error).
+    Delta(pe_delta::DeltaError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::OutOfBounds { at, len } => {
+                write!(f, "edit at byte {at} is outside document of length {len}")
+            }
+            CoreError::IntegrityFailure { detail } => {
+                write!(f, "integrity verification failed: {detail}")
+            }
+            CoreError::Malformed { detail } => {
+                write!(f, "malformed ciphertext document: {detail}")
+            }
+            CoreError::BadParams { detail } => write!(f, "bad parameters: {detail}"),
+            CoreError::Delta(e) => write!(f, "delta error: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Delta(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<pe_delta::DeltaError> for CoreError {
+    fn from(e: pe_delta::DeltaError) -> CoreError {
+        CoreError::Delta(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            CoreError::OutOfBounds { at: 9, len: 3 }.to_string(),
+            "edit at byte 9 is outside document of length 3"
+        );
+        assert!(CoreError::IntegrityFailure { detail: "chain broken".into() }
+            .to_string()
+            .contains("chain broken"));
+        assert!(CoreError::BadParams { detail: "b=0".into() }.to_string().contains("b=0"));
+    }
+
+    #[test]
+    fn delta_errors_convert_and_chain() {
+        let delta_err = pe_delta::DeltaError::EmptyToken;
+        let err: CoreError = delta_err.into();
+        assert!(err.source().is_some());
+    }
+}

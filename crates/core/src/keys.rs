@@ -1,0 +1,226 @@
+//! Per-document keys and scheme parameters.
+//!
+//! The paper's prototype prompts the user for a per-document password and
+//! encryption options when a document is created or opened (§IV-C). A
+//! [`DocumentKey`] is derived from that password with PBKDF2-HMAC-SHA-256
+//! over a random salt; the salt is public and stored in the ciphertext
+//! preamble so any party knowing the password can re-derive the key.
+
+use pe_crypto::aes::Aes128;
+use pe_crypto::drbg::NonceSource;
+use pe_crypto::pbkdf2::pbkdf2_sha256;
+
+use crate::error::CoreError;
+
+/// Default PBKDF2 iteration count used by [`DocumentKey::generate`].
+pub const DEFAULT_KDF_ITERATIONS: u32 = 10_000;
+
+/// Which incremental encryption mode a document uses (§V-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Randomized ECB: confidentiality only.
+    Recb,
+    /// RPC with the length amendment: confidentiality and integrity.
+    Rpc,
+}
+
+impl Mode {
+    /// One-character wire tag used in the ciphertext preamble.
+    pub(crate) fn tag(self) -> char {
+        match self {
+            Mode::Recb => 'R',
+            Mode::Rpc => 'P',
+        }
+    }
+
+    pub(crate) fn from_tag(tag: char) -> Option<Mode> {
+        match tag {
+            'R' => Some(Mode::Recb),
+            'P' => Some(Mode::Rpc),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Mode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Mode::Recb => f.write_str("rECB"),
+            Mode::Rpc => f.write_str("RPC"),
+        }
+    }
+}
+
+/// User-selected encryption parameters for a document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchemeParams {
+    /// Encryption mode.
+    pub mode: Mode,
+    /// Maximum characters per block, `1..=8` (§V-C chooses 8 for AES).
+    pub max_block: usize,
+    /// PBKDF2 iteration count for key derivation.
+    pub kdf_iterations: u32,
+}
+
+impl SchemeParams {
+    /// Confidentiality-only parameters with the given block size.
+    pub fn recb(max_block: usize) -> SchemeParams {
+        SchemeParams { mode: Mode::Recb, max_block, kdf_iterations: DEFAULT_KDF_ITERATIONS }
+    }
+
+    /// Confidentiality-and-integrity parameters with the given block size.
+    pub fn rpc(max_block: usize) -> SchemeParams {
+        SchemeParams { mode: Mode::Rpc, max_block, kdf_iterations: DEFAULT_KDF_ITERATIONS }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadParams`] when `max_block` is outside
+    /// `1..=8` or the iteration count is zero.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if !(1..=8).contains(&self.max_block) {
+            return Err(CoreError::BadParams {
+                detail: format!("max_block must be in 1..=8, got {}", self.max_block),
+            });
+        }
+        if self.kdf_iterations == 0 {
+            return Err(CoreError::BadParams { detail: "kdf_iterations must be positive".into() });
+        }
+        Ok(())
+    }
+}
+
+/// A per-document AES-128 key together with the public salt it was
+/// derived from.
+///
+/// # Example
+///
+/// ```
+/// use pe_core::DocumentKey;
+///
+/// let key = DocumentKey::derive("hunter2", &[1u8; 16], 1_000);
+/// let again = DocumentKey::derive("hunter2", key.salt(), 1_000);
+/// assert_eq!(key.salt(), again.salt());
+/// ```
+#[derive(Clone)]
+pub struct DocumentKey {
+    /// AES-128 subkey, HKDF-separated from the master secret.
+    key: [u8; 16],
+    /// MAC subkey for integrity sidecars ([`IncMac`](crate::baseline::IncMac)).
+    mac_key: [u8; 32],
+    salt: [u8; 16],
+}
+
+impl std::fmt::Debug for DocumentKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material.
+        f.debug_struct("DocumentKey").field("salt", &self.salt).finish_non_exhaustive()
+    }
+}
+
+impl DocumentKey {
+    /// Derives a key from `password` and an existing `salt` (used when
+    /// opening a document whose preamble carries the salt).
+    ///
+    /// PBKDF2 stretches the password into a master secret; HKDF with
+    /// distinct labels separates the AES document key from the MAC key,
+    /// so the integrity sidecar never reuses encryption key material.
+    pub fn derive(password: &str, salt: &[u8; 16], iterations: u32) -> DocumentKey {
+        let mut master = [0u8; 32];
+        pbkdf2_sha256(password.as_bytes(), salt, iterations, &mut master);
+        let mut key = [0u8; 16];
+        pe_crypto::hkdf::expand(&master, b"pe.v1.aes", &mut key);
+        let mut mac_key = [0u8; 32];
+        pe_crypto::hkdf::expand(&master, b"pe.v1.mac", &mut mac_key);
+        DocumentKey { key, mac_key, salt: *salt }
+    }
+
+    /// The MAC subkey for client-side integrity sidecars.
+    pub fn mac_key(&self) -> &[u8; 32] {
+        &self.mac_key
+    }
+
+    /// Generates a fresh salt from `rng` and derives a key (used when
+    /// creating a new encrypted document).
+    pub fn generate<R: NonceSource>(password: &str, iterations: u32, rng: &mut R) -> DocumentKey {
+        let mut salt = [0u8; 16];
+        rng.fill_bytes(&mut salt);
+        DocumentKey::derive(password, &salt, iterations)
+    }
+
+    /// The public salt.
+    pub fn salt(&self) -> &[u8; 16] {
+        &self.salt
+    }
+
+    /// Instantiates the AES cipher for this key.
+    pub(crate) fn cipher(&self) -> Aes128 {
+        Aes128::new(&self.key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pe_crypto::CtrDrbg;
+
+    #[test]
+    fn same_password_same_salt_same_key() {
+        let a = DocumentKey::derive("pw", &[3u8; 16], 100);
+        let b = DocumentKey::derive("pw", &[3u8; 16], 100);
+        assert_eq!(a.key, b.key);
+    }
+
+    #[test]
+    fn different_password_different_key() {
+        let a = DocumentKey::derive("pw1", &[3u8; 16], 100);
+        let b = DocumentKey::derive("pw2", &[3u8; 16], 100);
+        assert_ne!(a.key, b.key);
+    }
+
+    #[test]
+    fn generate_uses_fresh_salt() {
+        let mut rng = CtrDrbg::from_seed(9);
+        let a = DocumentKey::generate("pw", 100, &mut rng);
+        let b = DocumentKey::generate("pw", 100, &mut rng);
+        assert_ne!(a.salt(), b.salt());
+        assert_ne!(a.key, b.key);
+    }
+
+    #[test]
+    fn debug_hides_key_material() {
+        let key = DocumentKey::derive("secret-password", &[0u8; 16], 100);
+        let debug = format!("{key:?}");
+        assert!(!debug.contains("key:"), "debug output must not expose the key: {debug}");
+    }
+
+    #[test]
+    fn aes_and_mac_subkeys_are_independent() {
+        let key = DocumentKey::derive("pw", &[3u8; 16], 100);
+        assert_ne!(&key.key[..], &key.mac_key()[..16], "HKDF labels must separate subkeys");
+        // Deterministic per (password, salt).
+        let again = DocumentKey::derive("pw", &[3u8; 16], 100);
+        assert_eq!(key.mac_key(), again.mac_key());
+    }
+
+    #[test]
+    fn params_validate() {
+        assert!(SchemeParams::recb(8).validate().is_ok());
+        assert!(SchemeParams::rpc(1).validate().is_ok());
+        assert!(SchemeParams::recb(0).validate().is_err());
+        assert!(SchemeParams::recb(9).validate().is_err());
+        let mut p = SchemeParams::recb(4);
+        p.kdf_iterations = 0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn mode_tags_roundtrip() {
+        for mode in [Mode::Recb, Mode::Rpc] {
+            assert_eq!(Mode::from_tag(mode.tag()), Some(mode));
+        }
+        assert_eq!(Mode::from_tag('x'), None);
+    }
+}

@@ -1,0 +1,76 @@
+//! Shared block-packing helpers for the incremental schemes.
+
+use pe_indexlist::Weighted;
+
+/// A sealed (encrypted) variable-length block as stored in the block
+/// sequence: the public character count (§V-C: "we have to store the block
+/// character counters so that we remember block boundaries") plus one
+/// 16-byte AES block of ciphertext.
+///
+/// Public so that alternative [`BlockSeq`](pe_indexlist::BlockSeq)
+/// backings can be named in type parameters (e.g.
+/// `RecbDocument<IndexedAvlTree<SealedBlock>>`); its contents are managed
+/// exclusively by the schemes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SealedBlock {
+    /// Number of plaintext characters in this block, `1..=8`.
+    pub(crate) len: u8,
+    /// The encrypted block.
+    pub(crate) cipher: [u8; 16],
+}
+
+impl Weighted for SealedBlock {
+    fn weight(&self) -> usize {
+        self.len as usize
+    }
+}
+
+impl SealedBlock {
+    /// The record tag for this block: its character count as a digit.
+    pub fn tag(&self) -> char {
+        char::from_digit(u32::from(self.len), 10).expect("len is 1..=8")
+    }
+}
+
+/// Splits `text` into chunks of exactly `b` bytes, except the last chunk
+/// which holds the remainder (`1..=b` bytes). Empty input yields no
+/// chunks.
+pub(crate) fn chunks(text: &[u8], b: usize) -> Vec<Vec<u8>> {
+    debug_assert!((1..=8).contains(&b));
+    text.chunks(b).map(<[u8]>::to_vec).collect()
+}
+
+/// Pads a `1..=8` byte chunk to exactly 8 bytes with zeros.
+pub(crate) fn pad8(data: &[u8]) -> [u8; 8] {
+    debug_assert!((1..=8).contains(&data.len()));
+    let mut out = [0u8; 8];
+    out[..data.len()].copy_from_slice(data);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_exact_and_remainder() {
+        assert_eq!(chunks(b"", 8), Vec::<Vec<u8>>::new());
+        assert_eq!(chunks(b"abc", 8), vec![b"abc".to_vec()]);
+        assert_eq!(chunks(b"abcdefgh", 8), vec![b"abcdefgh".to_vec()]);
+        assert_eq!(chunks(b"abcdefghi", 8), vec![b"abcdefgh".to_vec(), b"i".to_vec()]);
+        assert_eq!(chunks(b"abcde", 2), vec![b"ab".to_vec(), b"cd".to_vec(), b"e".to_vec()]);
+    }
+
+    #[test]
+    fn pad8_zero_fills() {
+        assert_eq!(pad8(b"ab"), [b'a', b'b', 0, 0, 0, 0, 0, 0]);
+        assert_eq!(pad8(b"12345678"), *b"12345678");
+    }
+
+    #[test]
+    fn sealed_block_tag_and_weight() {
+        let block = SealedBlock { len: 5, cipher: [0; 16] };
+        assert_eq!(block.tag(), '5');
+        assert_eq!(block.weight(), 5);
+    }
+}

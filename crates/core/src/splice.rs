@@ -1,0 +1,275 @@
+//! Edit planning shared by the incremental schemes.
+//!
+//! Both rECB and RPC documents handle an edit the same way at the block
+//! level: locate the contiguous run of blocks the edit touches, decrypt
+//! the boundary blocks, and compute the replacement plaintext for that
+//! run. The schemes differ only in how the replacement blocks are sealed
+//! (independent nonces vs chained nonces), so the planning step is shared.
+
+use pe_indexlist::{BlockSeq, Weighted};
+
+use crate::error::CoreError;
+use crate::EditOp;
+
+/// The block-level effect of one edit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum SplicePlan {
+    /// The edit has no effect (empty insert / zero-length delete).
+    Noop,
+    /// Replace `removed` blocks starting at block ordinal `start_block`
+    /// with blocks packed from `content` (which may be empty).
+    Splice {
+        /// First affected block ordinal.
+        start_block: usize,
+        /// Number of existing blocks consumed by the edit.
+        removed: usize,
+        /// Replacement plaintext for the affected region.
+        content: Vec<u8>,
+    },
+}
+
+/// Plans the block splice for `op` against a block sequence, using `open`
+/// to decrypt the plaintext of a block by ordinal.
+///
+/// # Errors
+///
+/// Returns [`CoreError::OutOfBounds`] when the edit reaches outside the
+/// document.
+pub(crate) fn plan<T, S, F>(blocks: &S, op: &EditOp, open: F) -> Result<SplicePlan, CoreError>
+where
+    T: Weighted,
+    S: BlockSeq<T>,
+    F: Fn(usize) -> Vec<u8>,
+{
+    match op {
+        EditOp::Insert { at, text } => plan_insert(blocks, *at, text, open),
+        EditOp::Delete { at, len } => plan_delete(blocks, *at, *len, open),
+    }
+}
+
+fn plan_insert<T, S, F>(
+    blocks: &S,
+    at: usize,
+    text: &[u8],
+    open: F,
+) -> Result<SplicePlan, CoreError>
+where
+    T: Weighted,
+    S: BlockSeq<T>,
+    F: Fn(usize) -> Vec<u8>,
+{
+    let total = blocks.total_weight();
+    if at > total {
+        return Err(CoreError::OutOfBounds { at, len: total });
+    }
+    if text.is_empty() {
+        return Ok(SplicePlan::Noop);
+    }
+    if blocks.is_empty() {
+        return Ok(SplicePlan::Splice { start_block: 0, removed: 0, content: text.to_vec() });
+    }
+    if at == total {
+        // Append: absorb the last block so partially-filled tails refill.
+        let last = blocks.len_blocks() - 1;
+        let mut content = open(last);
+        content.extend_from_slice(text);
+        return Ok(SplicePlan::Splice { start_block: last, removed: 1, content });
+    }
+    let loc = blocks.locate(at).expect("at < total");
+    let mut content;
+    if loc.offset == 0 {
+        // Insertion on a block boundary: absorb the following block so the
+        // chain nonce entering the region is preserved by the reseal.
+        content = text.to_vec();
+        content.extend_from_slice(&open(loc.block));
+    } else {
+        let data = open(loc.block);
+        content = data[..loc.offset].to_vec();
+        content.extend_from_slice(text);
+        content.extend_from_slice(&data[loc.offset..]);
+    }
+    Ok(SplicePlan::Splice { start_block: loc.block, removed: 1, content })
+}
+
+fn plan_delete<T, S, F>(
+    blocks: &S,
+    at: usize,
+    len: usize,
+    open: F,
+) -> Result<SplicePlan, CoreError>
+where
+    T: Weighted,
+    S: BlockSeq<T>,
+    F: Fn(usize) -> Vec<u8>,
+{
+    let total = blocks.total_weight();
+    let end = at.checked_add(len).ok_or(CoreError::OutOfBounds { at, len: total })?;
+    if end > total {
+        return Err(CoreError::OutOfBounds { at: end, len: total });
+    }
+    if len == 0 {
+        return Ok(SplicePlan::Noop);
+    }
+    let start = blocks.locate(at).expect("at < total because len > 0");
+    // Last affected block (inclusive) and the surviving suffix of it.
+    let (last_block, suffix) = if end == total {
+        (blocks.len_blocks() - 1, Vec::new())
+    } else {
+        let loc_end = blocks.locate(end).expect("end < total");
+        if loc_end.offset == 0 {
+            (loc_end.block - 1, Vec::new())
+        } else {
+            let data = open(loc_end.block);
+            (loc_end.block, data[loc_end.offset..].to_vec())
+        }
+    };
+    let mut content = if start.offset > 0 {
+        let data = open(start.block);
+        data[..start.offset].to_vec()
+    } else {
+        Vec::new()
+    };
+    content.extend_from_slice(&suffix);
+    Ok(SplicePlan::Splice {
+        start_block: start.block,
+        removed: last_block - start.block + 1,
+        content,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pe_indexlist::IndexedSkipList;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Plain(Vec<u8>);
+
+    impl Weighted for Plain {
+        fn weight(&self) -> usize {
+            self.0.len()
+        }
+    }
+
+    /// Builds a sequence of plaintext "blocks" (no encryption) so the
+    /// planner can be tested in isolation.
+    fn seq(words: &[&str]) -> IndexedSkipList<Plain> {
+        let mut list = IndexedSkipList::with_seed(5);
+        for (i, w) in words.iter().enumerate() {
+            list.insert(i, Plain(w.as_bytes().to_vec()));
+        }
+        list
+    }
+
+    fn plan_on(
+        list: &IndexedSkipList<Plain>,
+        op: &EditOp,
+    ) -> Result<SplicePlan, CoreError> {
+        plan(list, op, |ord| list.get(ord).unwrap().0.clone())
+    }
+
+    #[test]
+    fn insert_into_empty() {
+        let list = seq(&[]);
+        let plan = plan_on(&list, &EditOp::insert(0, b"hi")).unwrap();
+        assert_eq!(plan, SplicePlan::Splice { start_block: 0, removed: 0, content: b"hi".to_vec() });
+    }
+
+    #[test]
+    fn empty_insert_is_noop() {
+        let list = seq(&["abc"]);
+        assert_eq!(plan_on(&list, &EditOp::insert(1, b"")).unwrap(), SplicePlan::Noop);
+    }
+
+    #[test]
+    fn append_absorbs_last_block() {
+        let list = seq(&["abc", "de"]);
+        let plan = plan_on(&list, &EditOp::insert(5, b"XY")).unwrap();
+        assert_eq!(
+            plan,
+            SplicePlan::Splice { start_block: 1, removed: 1, content: b"deXY".to_vec() }
+        );
+    }
+
+    #[test]
+    fn boundary_insert_absorbs_following_block() {
+        let list = seq(&["abc", "def"]);
+        let plan = plan_on(&list, &EditOp::insert(3, b"XY")).unwrap();
+        assert_eq!(
+            plan,
+            SplicePlan::Splice { start_block: 1, removed: 1, content: b"XYdef".to_vec() }
+        );
+    }
+
+    #[test]
+    fn interior_insert_splits_block() {
+        let list = seq(&["abc", "def"]);
+        let plan = plan_on(&list, &EditOp::insert(4, b"XY")).unwrap();
+        assert_eq!(
+            plan,
+            SplicePlan::Splice { start_block: 1, removed: 1, content: b"dXYef".to_vec() }
+        );
+    }
+
+    #[test]
+    fn insert_past_end_rejected() {
+        let list = seq(&["abc"]);
+        assert!(matches!(
+            plan_on(&list, &EditOp::insert(4, b"x")),
+            Err(CoreError::OutOfBounds { at: 4, len: 3 })
+        ));
+    }
+
+    #[test]
+    fn delete_within_one_block() {
+        let list = seq(&["abcdef"]);
+        let plan = plan_on(&list, &EditOp::delete(1, 3)).unwrap();
+        assert_eq!(
+            plan,
+            SplicePlan::Splice { start_block: 0, removed: 1, content: b"aef".to_vec() }
+        );
+    }
+
+    #[test]
+    fn delete_spanning_blocks_merges_remnants() {
+        let list = seq(&["abc", "def", "ghi"]);
+        // Delete "cdefg": prefix "ab" from block 0, suffix "hi" from block 2.
+        let plan = plan_on(&list, &EditOp::delete(2, 5)).unwrap();
+        assert_eq!(
+            plan,
+            SplicePlan::Splice { start_block: 0, removed: 3, content: b"abhi".to_vec() }
+        );
+    }
+
+    #[test]
+    fn delete_whole_blocks_leaves_empty_content() {
+        let list = seq(&["abc", "def", "ghi"]);
+        let plan = plan_on(&list, &EditOp::delete(3, 3)).unwrap();
+        assert_eq!(
+            plan,
+            SplicePlan::Splice { start_block: 1, removed: 1, content: Vec::new() }
+        );
+    }
+
+    #[test]
+    fn delete_to_end() {
+        let list = seq(&["abc", "def"]);
+        let plan = plan_on(&list, &EditOp::delete(1, 5)).unwrap();
+        assert_eq!(
+            plan,
+            SplicePlan::Splice { start_block: 0, removed: 2, content: b"a".to_vec() }
+        );
+    }
+
+    #[test]
+    fn delete_past_end_rejected() {
+        let list = seq(&["abc"]);
+        assert!(plan_on(&list, &EditOp::delete(1, 5)).is_err());
+    }
+
+    #[test]
+    fn zero_delete_is_noop() {
+        let list = seq(&["abc"]);
+        assert_eq!(plan_on(&list, &EditOp::delete(1, 0)).unwrap(), SplicePlan::Noop);
+    }
+}

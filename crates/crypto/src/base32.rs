@@ -1,0 +1,189 @@
+//! RFC 4648 Base32 encoding.
+//!
+//! The paper's extension Base32-encodes ciphertext before substituting it
+//! into the `docContents`/`delta` fields (Figure 2: `Base32.encode(...)`),
+//! because the on-line editor must be able to store and render the bytes as
+//! ordinary document text. Base32's alphabet (`A–Z2–7`) survives every
+//! text-processing layer of the simulated services.
+//!
+//! Encoding without padding is also provided: within a ciphertext document
+//! each encryption block is encoded independently, and padding characters
+//! would waste space (blocks have known size).
+//!
+//! # Example
+//!
+//! ```
+//! use pe_crypto::base32;
+//!
+//! assert_eq!(base32::encode(b"foobar"), "MZXW6YTBOI======");
+//! assert_eq!(base32::decode("MZXW6YTBOI======")?, b"foobar");
+//! # Ok::<(), pe_crypto::CryptoError>(())
+//! ```
+
+use crate::error::CryptoError;
+
+const ALPHABET: &[u8; 32] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZ234567";
+
+/// Encodes `data` as Base32 with `=` padding (RFC 4648 §6).
+pub fn encode(data: &[u8]) -> String {
+    let mut out = encode_unpadded(data);
+    while out.len() % 8 != 0 {
+        out.push('=');
+    }
+    out
+}
+
+/// Encodes `data` as Base32 without padding characters.
+pub fn encode_unpadded(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(5) * 8);
+    let mut buffer: u64 = 0;
+    let mut bits: u32 = 0;
+    for &byte in data {
+        buffer = (buffer << 8) | u64::from(byte);
+        bits += 8;
+        while bits >= 5 {
+            bits -= 5;
+            out.push(ALPHABET[((buffer >> bits) & 0x1f) as usize] as char);
+        }
+    }
+    if bits > 0 {
+        out.push(ALPHABET[((buffer << (5 - bits)) & 0x1f) as usize] as char);
+    }
+    out
+}
+
+/// Decodes a padded or unpadded Base32 string.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::InvalidCharacter`] for characters outside the
+/// RFC 4648 alphabet, and [`CryptoError::InvalidPadding`] if `=` appears
+/// anywhere but at the end or if the remainder length is impossible.
+pub fn decode(text: &str) -> Result<Vec<u8>, CryptoError> {
+    let bytes = text.as_bytes();
+    let data_end = bytes.iter().position(|&b| b == b'=').unwrap_or(bytes.len());
+    if bytes[data_end..].iter().any(|&b| b != b'=') {
+        return Err(CryptoError::InvalidPadding);
+    }
+    decode_unpadded_bytes(&bytes[..data_end])
+}
+
+/// Decodes a Base32 string that carries no padding characters.
+///
+/// # Errors
+///
+/// As for [`decode`]; additionally any `=` is treated as an invalid
+/// character.
+pub fn decode_unpadded(text: &str) -> Result<Vec<u8>, CryptoError> {
+    decode_unpadded_bytes(text.as_bytes())
+}
+
+fn decode_unpadded_bytes(bytes: &[u8]) -> Result<Vec<u8>, CryptoError> {
+    // Remainders of 1, 3, 6 characters cannot arise from whole bytes.
+    if matches!(bytes.len() % 8, 1 | 3 | 6) {
+        return Err(CryptoError::InvalidLength { length: bytes.len() });
+    }
+    let mut out = Vec::with_capacity(bytes.len() * 5 / 8);
+    let mut buffer: u64 = 0;
+    let mut bits: u32 = 0;
+    for (position, &c) in bytes.iter().enumerate() {
+        let value = match c {
+            b'A'..=b'Z' => c - b'A',
+            b'a'..=b'z' => c - b'a',
+            b'2'..=b'7' => c - b'2' + 26,
+            _ => return Err(CryptoError::InvalidCharacter { byte: c, position }),
+        };
+        buffer = (buffer << 5) | u64::from(value);
+        bits += 5;
+        if bits >= 8 {
+            bits -= 8;
+            out.push(((buffer >> bits) & 0xff) as u8);
+        }
+    }
+    // Leftover bits must be zero padding produced by the encoder.
+    if bits > 0 && (buffer & ((1 << bits) - 1)) != 0 {
+        return Err(CryptoError::InvalidPadding);
+    }
+    Ok(out)
+}
+
+/// Number of Base32 characters needed to encode `n` bytes without padding.
+pub const fn encoded_len(n: usize) -> usize {
+    (n * 8).div_ceil(5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 4648 §10 test vectors.
+    #[test]
+    fn rfc4648_vectors() {
+        let cases: &[(&[u8], &str)] = &[
+            (b"", ""),
+            (b"f", "MY======"),
+            (b"fo", "MZXQ===="),
+            (b"foo", "MZXW6==="),
+            (b"foob", "MZXW6YQ="),
+            (b"fooba", "MZXW6YTB"),
+            (b"foobar", "MZXW6YTBOI======"),
+        ];
+        for (input, expect) in cases {
+            assert_eq!(encode(input), *expect);
+            assert_eq!(decode(expect).unwrap(), *input);
+        }
+    }
+
+    #[test]
+    fn unpadded_roundtrip_all_lengths() {
+        for len in 0..64usize {
+            let data: Vec<u8> = (0..len as u8).map(|b| b.wrapping_mul(37)).collect();
+            let text = encode_unpadded(&data);
+            assert!(!text.contains('='));
+            assert_eq!(text.len(), encoded_len(len));
+            assert_eq!(decode_unpadded(&text).unwrap(), data);
+            // The padded decoder must accept unpadded text too.
+            assert_eq!(decode(&text).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn lowercase_accepted() {
+        assert_eq!(decode("mzxw6ytboi======").unwrap(), b"foobar");
+    }
+
+    #[test]
+    fn invalid_character_rejected() {
+        assert!(matches!(
+            decode("MZ1W6YTB"),
+            Err(CryptoError::InvalidCharacter { byte: b'1', position: 2 })
+        ));
+    }
+
+    #[test]
+    fn interior_padding_rejected() {
+        assert_eq!(decode("MZ==6YTB"), Err(CryptoError::InvalidPadding));
+    }
+
+    #[test]
+    fn impossible_remainder_rejected() {
+        // A single trailing character can never decode to whole bytes.
+        assert!(matches!(decode("MZXW6YTBA"), Err(CryptoError::InvalidLength { length: 9 })));
+    }
+
+    #[test]
+    fn nonzero_trailing_bits_rejected() {
+        // "MZXX" would leave non-zero bits in the buffer: craft one.
+        // 'B' = 1 → for 2 chars (10 bits, 1 byte + 2 leftover bits) the
+        // leftover bits must be zero; "MB" leaves 01 pending.
+        assert_eq!(decode_unpadded("MB"), Err(CryptoError::InvalidPadding));
+    }
+
+    #[test]
+    fn encoded_len_matches_encoder() {
+        for len in 0..100 {
+            let data = vec![0u8; len];
+            assert_eq!(encode_unpadded(&data).len(), encoded_len(len));
+        }
+    }
+}

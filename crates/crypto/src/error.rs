@@ -1,0 +1,80 @@
+//! Error type shared by the codecs in this crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the encoding/decoding routines in `pe-crypto`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CryptoError {
+    /// The input contained a byte that is not valid for the codec.
+    InvalidCharacter {
+        /// Offending byte value.
+        byte: u8,
+        /// Byte offset of the offending character in the input.
+        position: usize,
+    },
+    /// The input length is not acceptable for the codec (for example, a
+    /// Base32 string whose length is not a valid padded quantum, or a hex
+    /// string of odd length).
+    InvalidLength {
+        /// Length that was observed.
+        length: usize,
+    },
+    /// Padding characters appeared in an invalid position or quantity.
+    InvalidPadding,
+    /// A key of unsupported size was supplied to a cipher.
+    InvalidKeyLength {
+        /// Length that was observed, in bytes.
+        length: usize,
+    },
+    /// Decoded bytes were not valid UTF-8.
+    InvalidUtf8 {
+        /// Byte offset where the UTF-8 validation failed.
+        position: usize,
+    },
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::InvalidCharacter { byte, position } => {
+                write!(f, "invalid character {byte:#04x} at position {position}")
+            }
+            CryptoError::InvalidLength { length } => {
+                write!(f, "invalid input length {length}")
+            }
+            CryptoError::InvalidPadding => write!(f, "invalid padding"),
+            CryptoError::InvalidKeyLength { length } => {
+                write!(f, "invalid key length {length} bytes")
+            }
+            CryptoError::InvalidUtf8 { position } => {
+                write!(f, "invalid UTF-8 at byte {position}")
+            }
+        }
+    }
+}
+
+impl Error for CryptoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = CryptoError::InvalidCharacter { byte: 0x21, position: 3 };
+        assert_eq!(err.to_string(), "invalid character 0x21 at position 3");
+        let err = CryptoError::InvalidLength { length: 7 };
+        assert_eq!(err.to_string(), "invalid input length 7");
+        let err = CryptoError::InvalidKeyLength { length: 5 };
+        assert_eq!(err.to_string(), "invalid key length 5 bytes");
+        assert_eq!(CryptoError::InvalidPadding.to_string(), "invalid padding");
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<CryptoError>();
+    }
+}

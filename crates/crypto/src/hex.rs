@@ -1,0 +1,93 @@
+//! Hexadecimal encoding and decoding.
+//!
+//! # Example
+//!
+//! ```
+//! assert_eq!(pe_crypto::hex::encode(&[0xde, 0xad]), "dead");
+//! assert_eq!(pe_crypto::hex::decode("dead")?, vec![0xde, 0xad]);
+//! # Ok::<(), pe_crypto::CryptoError>(())
+//! ```
+
+use crate::error::CryptoError;
+
+const DIGITS: &[u8; 16] = b"0123456789abcdef";
+
+/// Encodes `data` as a lowercase hexadecimal string.
+pub fn encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len() * 2);
+    for &byte in data {
+        out.push(DIGITS[(byte >> 4) as usize] as char);
+        out.push(DIGITS[(byte & 0x0f) as usize] as char);
+    }
+    out
+}
+
+/// Decodes a hexadecimal string (either case) into bytes.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::InvalidLength`] for odd-length inputs and
+/// [`CryptoError::InvalidCharacter`] for non-hex characters.
+pub fn decode(text: &str) -> Result<Vec<u8>, CryptoError> {
+    let bytes = text.as_bytes();
+    if bytes.len() % 2 != 0 {
+        return Err(CryptoError::InvalidLength { length: bytes.len() });
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 2);
+    for (i, pair) in bytes.chunks_exact(2).enumerate() {
+        let hi = nibble(pair[0]).ok_or(CryptoError::InvalidCharacter {
+            byte: pair[0],
+            position: 2 * i,
+        })?;
+        let lo = nibble(pair[1]).ok_or(CryptoError::InvalidCharacter {
+            byte: pair[1],
+            position: 2 * i + 1,
+        })?;
+        out.push((hi << 4) | lo);
+    }
+    Ok(out)
+}
+
+fn nibble(c: u8) -> Option<u8> {
+    match c {
+        b'0'..=b'9' => Some(c - b'0'),
+        b'a'..=b'f' => Some(c - b'a' + 10),
+        b'A'..=b'F' => Some(c - b'A' + 10),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_bytes() {
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn empty() {
+        assert_eq!(encode(&[]), "");
+        assert_eq!(decode("").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn uppercase_accepted() {
+        assert_eq!(decode("DEADBEEF").unwrap(), vec![0xde, 0xad, 0xbe, 0xef]);
+    }
+
+    #[test]
+    fn odd_length_rejected() {
+        assert_eq!(decode("abc"), Err(CryptoError::InvalidLength { length: 3 }));
+    }
+
+    #[test]
+    fn invalid_character_position_reported() {
+        assert_eq!(
+            decode("ag"),
+            Err(CryptoError::InvalidCharacter { byte: b'g', position: 1 })
+        );
+    }
+}

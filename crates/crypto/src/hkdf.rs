@@ -1,0 +1,138 @@
+//! HKDF-SHA-256 (RFC 5869): extract-and-expand key derivation.
+//!
+//! The password-derived master secret must serve multiple purposes
+//! (the AES document key, the MAC key for the IncMac integrity sidecar).
+//! Deriving independent subkeys with HKDF keeps those uses
+//! cryptographically separated: compromise of one subkey says nothing
+//! about the others.
+//!
+//! # Example
+//!
+//! ```
+//! use pe_crypto::hkdf;
+//!
+//! let master = [7u8; 32];
+//! let mut aes_key = [0u8; 16];
+//! let mut mac_key = [0u8; 32];
+//! hkdf::expand(&master, b"pe.aes", &mut aes_key);
+//! hkdf::expand(&master, b"pe.mac", &mut mac_key);
+//! assert_ne!(&aes_key[..], &mac_key[..16], "labels separate the keys");
+//! ```
+
+use crate::hmac::{hmac_sha256, HmacSha256};
+
+/// HKDF-Extract: condenses input keying material into a pseudorandom key.
+pub fn extract(salt: &[u8], ikm: &[u8]) -> [u8; 32] {
+    hmac_sha256(salt, ikm)
+}
+
+/// HKDF-Expand: derives `okm.len()` bytes from a pseudorandom key and a
+/// context/label (`info`).
+///
+/// # Panics
+///
+/// Panics if more than `255 * 32` bytes are requested (RFC 5869 limit).
+pub fn expand(prk: &[u8], info: &[u8], okm: &mut [u8]) {
+    assert!(okm.len() <= 255 * 32, "HKDF output too long");
+    let mut previous: Vec<u8> = Vec::new();
+    let mut counter: u8 = 1;
+    let mut written = 0;
+    while written < okm.len() {
+        let mut mac = HmacSha256::new(prk);
+        mac.update(&previous);
+        mac.update(info);
+        mac.update(&[counter]);
+        let block = mac.finalize();
+        let take = (okm.len() - written).min(32);
+        okm[written..written + take].copy_from_slice(&block[..take]);
+        previous = block.to_vec();
+        written += take;
+        counter = counter.checked_add(1).expect("length check bounds the counter");
+    }
+}
+
+/// One-shot extract-then-expand.
+pub fn derive(salt: &[u8], ikm: &[u8], info: &[u8], okm: &mut [u8]) {
+    let prk = extract(salt, ikm);
+    expand(&prk, info, okm);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    /// RFC 5869 Appendix A.1 test case 1.
+    #[test]
+    fn rfc5869_case_1() {
+        let ikm = [0x0bu8; 22];
+        let salt = hex::decode("000102030405060708090a0b0c").unwrap();
+        let info = hex::decode("f0f1f2f3f4f5f6f7f8f9").unwrap();
+        let prk = extract(&salt, &ikm);
+        assert_eq!(
+            hex::encode(&prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        );
+        let mut okm = [0u8; 42];
+        expand(&prk, &info, &mut okm);
+        assert_eq!(
+            hex::encode(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+        );
+    }
+
+    /// RFC 5869 Appendix A.2 test case 2 (longer inputs/outputs).
+    #[test]
+    fn rfc5869_case_2() {
+        let ikm: Vec<u8> = (0x00..=0x4f).collect();
+        let salt: Vec<u8> = (0x60..=0xaf).collect();
+        let info: Vec<u8> = (0xb0..=0xff).collect();
+        let mut okm = [0u8; 82];
+        derive(&salt, &ikm, &info, &mut okm);
+        assert_eq!(
+            hex::encode(&okm),
+            "b11e398dc80327a1c8e7f78c596a49344f012eda2d4efad8a050cc4c19afa97c\
+             59045a99cac7827271cb41c65e590e09da3275600c2f09b8367793a9aca3db71\
+             cc30c58179ec3e87c14c01d5c1f3434f1d87"
+        );
+    }
+
+    /// RFC 5869 Appendix A.3 test case 3 (zero-length salt and info).
+    #[test]
+    fn rfc5869_case_3() {
+        let ikm = [0x0bu8; 22];
+        let mut okm = [0u8; 42];
+        derive(&[], &ikm, &[], &mut okm);
+        assert_eq!(
+            hex::encode(&okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d9d201395faa4b61a96c8"
+        );
+    }
+
+    #[test]
+    fn different_labels_give_independent_keys() {
+        let prk = [9u8; 32];
+        let mut a = [0u8; 32];
+        let mut b = [0u8; 32];
+        expand(&prk, b"label-a", &mut a);
+        expand(&prk, b"label-b", &mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn expansion_is_prefix_consistent() {
+        let prk = [1u8; 32];
+        let mut short = [0u8; 16];
+        let mut long = [0u8; 48];
+        expand(&prk, b"ctx", &mut short);
+        expand(&prk, b"ctx", &mut long);
+        assert_eq!(short, long[..16]);
+    }
+
+    #[test]
+    #[should_panic(expected = "HKDF output too long")]
+    fn oversized_output_panics() {
+        let mut okm = vec![0u8; 255 * 32 + 1];
+        expand(&[0u8; 32], b"", &mut okm);
+    }
+}

@@ -1,0 +1,78 @@
+//! From-scratch cryptographic primitives for the private-editing system.
+//!
+//! The paper ("Private Editing Using Untrusted Cloud Services", Huang &
+//! Evans, 2011) builds its incremental encryption schemes on top of a block
+//! cipher (AES, via the Stanford JavaScript library), a password-based key
+//! derivation step, and Base32 text encoding so that ciphertext can be
+//! stored in a plain-text document field. This crate provides those
+//! substrates, implemented from scratch and validated against the standard
+//! test vectors:
+//!
+//! * [`aes`] — AES-128 / AES-256 block cipher (FIPS-197),
+//! * [`sha256`] — SHA-256 hash (FIPS-180-4),
+//! * [`hmac`] — HMAC-SHA-256 (RFC 2104 / RFC 4231),
+//! * [`pbkdf2`] — PBKDF2-HMAC-SHA-256 password-based key derivation
+//!   (RFC 2898),
+//! * [`hkdf`] — HKDF-SHA-256 subkey derivation (RFC 5869),
+//! * [`drbg`] — a deterministic AES-CTR random generator and the
+//!   [`NonceSource`] abstraction used everywhere nonces are needed,
+//! * [`base32`] — RFC 4648 Base32 text encoding,
+//! * [`hex`] — hexadecimal encoding,
+//! * [`form`] — percent-encoding and `application/x-www-form-urlencoded`
+//!   codecs used by the simulated wire protocol.
+//!
+//! # Security note
+//!
+//! These implementations favour clarity and correctness over side-channel
+//! resistance (table-based AES is not constant-time). They are research
+//! reproductions, not production cryptography.
+//!
+//! # Example
+//!
+//! ```
+//! use pe_crypto::aes::Aes128;
+//! use pe_crypto::BlockCipher;
+//!
+//! let key = [0u8; 16];
+//! let cipher = Aes128::new(&key);
+//! let mut block = *b"sixteen byte msg";
+//! let original = block;
+//! cipher.encrypt_block(&mut block);
+//! assert_ne!(block, original);
+//! cipher.decrypt_block(&mut block);
+//! assert_eq!(block, original);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aes;
+pub mod base32;
+pub mod drbg;
+pub mod error;
+pub mod form;
+pub mod hex;
+pub mod hkdf;
+pub mod hmac;
+pub mod pbkdf2;
+pub mod sha256;
+
+pub use aes::{Aes128, Aes256};
+pub use drbg::{CtrDrbg, NonceSource, SystemRandom};
+pub use error::CryptoError;
+
+/// A 128-bit block cipher usable by the incremental encryption modes.
+///
+/// Implemented by [`Aes128`] and [`Aes256`]. The trait is deliberately
+/// narrow: the incremental schemes only ever need in-place single-block
+/// encryption and decryption of 16-byte blocks.
+pub trait BlockCipher: Send + Sync {
+    /// Block width in bytes. Always 16 for the provided AES ciphers.
+    const BLOCK_BYTES: usize = 16;
+
+    /// Encrypts one 16-byte block in place.
+    fn encrypt_block(&self, block: &mut [u8; 16]);
+
+    /// Decrypts one 16-byte block in place.
+    fn decrypt_block(&self, block: &mut [u8; 16]);
+}

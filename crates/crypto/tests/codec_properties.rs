@@ -1,0 +1,108 @@
+//! Property tests for every codec and primitive in `pe-crypto`.
+
+use pe_crypto::aes::{Aes128, Aes256};
+use pe_crypto::drbg::{CtrDrbg, NonceSource};
+use pe_crypto::{base32, form, hex, BlockCipher};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn hex_roundtrips(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        prop_assert_eq!(hex::decode(&hex::encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn base32_roundtrips(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        prop_assert_eq!(base32::decode(&base32::encode(&data)).unwrap(), data.clone());
+        let unpadded = base32::encode_unpadded(&data);
+        prop_assert_eq!(base32::decode_unpadded(&unpadded).unwrap(), data.clone());
+        prop_assert_eq!(unpadded.len(), base32::encoded_len(data.len()));
+    }
+
+    #[test]
+    fn base32_never_decodes_garbage_silently(text in "[A-Z2-7]{0,40}") {
+        // Either the decode fails or it re-encodes to the same text.
+        if let Ok(bytes) = base32::decode_unpadded(&text) {
+            prop_assert_eq!(base32::encode_unpadded(&bytes), text);
+        }
+    }
+
+    #[test]
+    fn percent_roundtrips(text in "\\PC{0,120}") {
+        prop_assert_eq!(form::percent_decode(&form::percent_encode(&text)).unwrap(), text);
+    }
+
+    #[test]
+    fn form_pairs_roundtrip(
+        pairs in proptest::collection::vec(("\\PC{0,20}", "\\PC{0,30}"), 0..8)
+    ) {
+        // Keys must be non-empty for unambiguous parsing.
+        let pairs: Vec<(String, String)> = pairs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (k, v))| (format!("k{i}{k}"), v))
+            .collect();
+        let body = form::encode_pairs(&pairs);
+        prop_assert_eq!(form::parse_pairs(&body).unwrap(), pairs);
+    }
+
+    #[test]
+    fn aes128_roundtrips(key in any::<[u8; 16]>(), block in any::<[u8; 16]>()) {
+        let cipher = Aes128::new(&key);
+        let mut data = block;
+        cipher.encrypt_block(&mut data);
+        cipher.decrypt_block(&mut data);
+        prop_assert_eq!(data, block);
+    }
+
+    #[test]
+    fn aes256_roundtrips(key in any::<[u8; 32]>(), block in any::<[u8; 16]>()) {
+        let cipher = Aes256::new(&key);
+        let mut data = block;
+        cipher.encrypt_block(&mut data);
+        cipher.decrypt_block(&mut data);
+        prop_assert_eq!(data, block);
+    }
+
+    #[test]
+    fn aes_is_a_permutation_on_distinct_blocks(
+        key in any::<[u8; 16]>(),
+        a in any::<[u8; 16]>(),
+        b in any::<[u8; 16]>(),
+    ) {
+        prop_assume!(a != b);
+        let cipher = Aes128::new(&key);
+        let (mut ca, mut cb) = (a, b);
+        cipher.encrypt_block(&mut ca);
+        cipher.encrypt_block(&mut cb);
+        prop_assert_ne!(ca, cb, "a permutation cannot collide");
+    }
+
+    #[test]
+    fn drbg_streams_are_prefix_consistent(seed in any::<u64>(), split in 1usize..64) {
+        let mut whole = CtrDrbg::from_seed(seed);
+        let mut parts = CtrDrbg::from_seed(seed);
+        let mut big = vec![0u8; 64];
+        whole.fill_bytes(&mut big);
+        let mut first = vec![0u8; split];
+        let mut second = vec![0u8; 64 - split];
+        parts.fill_bytes(&mut first);
+        parts.fill_bytes(&mut second);
+        first.extend_from_slice(&second);
+        prop_assert_eq!(first, big);
+    }
+
+    #[test]
+    fn sha256_is_deterministic_and_sensitive(
+        data in proptest::collection::vec(any::<u8>(), 1..200),
+        flip in any::<usize>(),
+    ) {
+        use pe_crypto::sha256::Sha256;
+        let digest = Sha256::digest(&data);
+        prop_assert_eq!(Sha256::digest(&data), digest);
+        let mut tweaked = data.clone();
+        let at = flip % tweaked.len();
+        tweaked[at] ^= 1;
+        prop_assert_ne!(Sha256::digest(&tweaked), digest);
+    }
+}

@@ -1,0 +1,123 @@
+//! Deriving a delta from two document versions.
+//!
+//! The micro-benchmark of §VII-B derives, for every random pair
+//! `(D, D′)`, "a delta string … such that it transforms D to D′". This
+//! module provides that derivation using the common-prefix/common-suffix
+//! method: the result is the canonical minimal three-operation delta
+//! `retain p, delete m, insert s` (with empty parts omitted).
+//!
+//! Canonicality is what makes [`Delta::canonicalize`](crate::Delta::canonicalize)
+//! an effective covert-channel countermeasure: every pair of equivalent
+//! edits maps to the same wire bytes.
+
+use crate::ops::Delta;
+
+/// Computes the canonical delta transforming `old` into `new`.
+///
+/// # Example
+///
+/// ```
+/// use pe_delta::diff;
+///
+/// let delta = diff("abcdefg", "abuvfgw");
+/// assert_eq!(delta.apply("abcdefg")?, "abuvfgw");
+/// # Ok::<(), pe_delta::DeltaError>(())
+/// ```
+pub fn diff(old: &str, new: &str) -> Delta {
+    let old_chars: Vec<char> = old.chars().collect();
+    let new_chars: Vec<char> = new.chars().collect();
+    diff_chars(&old_chars, &new_chars)
+}
+
+/// Character-buffer variant of [`diff`].
+pub fn diff_chars(old: &[char], new: &[char]) -> Delta {
+    // Longest common prefix.
+    let mut prefix = 0;
+    while prefix < old.len() && prefix < new.len() && old[prefix] == new[prefix] {
+        prefix += 1;
+    }
+    // Longest common suffix of the remainders (must not overlap prefix).
+    let mut suffix = 0;
+    while suffix < old.len() - prefix
+        && suffix < new.len() - prefix
+        && old[old.len() - 1 - suffix] == new[new.len() - 1 - suffix]
+    {
+        suffix += 1;
+    }
+    let deleted = old.len() - prefix - suffix;
+    let inserted: String = new[prefix..new.len() - suffix].iter().collect();
+    let mut builder = Delta::builder();
+    builder.retain(prefix).delete(deleted).insert(&inserted);
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(old: &str, new: &str) {
+        let delta = diff(old, new);
+        assert_eq!(delta.apply(old).unwrap(), new, "diff({old:?}, {new:?})");
+    }
+
+    #[test]
+    fn identical_documents_give_identity() {
+        let delta = diff("same", "same");
+        assert!(delta.is_identity());
+        assert_eq!(delta.serialize(), "");
+    }
+
+    #[test]
+    fn simple_cases() {
+        check("", "");
+        check("", "abc");
+        check("abc", "");
+        check("abc", "abcd");
+        check("abcd", "abc");
+        check("abc", "xbc");
+        check("abc", "axc");
+        check("abc", "abx");
+        check("abcdefg", "abuvfgw");
+    }
+
+    #[test]
+    fn repeated_characters_do_not_overlap_prefix_suffix() {
+        // "aaa" -> "aa": prefix would eat everything; suffix must not
+        // overlap, so the delta stays valid.
+        check("aaa", "aa");
+        check("aa", "aaa");
+        check("abab", "ababab");
+        check("ababab", "abab");
+    }
+
+    #[test]
+    fn middle_replacement_is_minimal() {
+        let delta = diff("hello cruel world", "hello kind world");
+        assert_eq!(delta.serialize(), "=6\t-5\t+kind");
+    }
+
+    #[test]
+    fn unicode_diffs() {
+        check("日本語です", "日本語でした");
+        check("héllo", "hello");
+        check("ωμέγα", "άλφα");
+    }
+
+    #[test]
+    fn randomized_roundtrips() {
+        // Deterministic pseudo-random pairs, mirroring §VII-B's workload
+        // at small scale.
+        let mut state = 42u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 33
+        };
+        for _ in 0..200 {
+            let len_a = (next() % 50) as usize;
+            let len_b = (next() % 50) as usize;
+            let a: String = (0..len_a).map(|_| (b'a' + (next() % 4) as u8) as char).collect();
+            let b: String = (0..len_b).map(|_| (b'a' + (next() % 4) as u8) as char).collect();
+            check(&a, &b);
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Delta inversion: computing the undo of an edit.
+//!
+//! Editors need undo; the protocol layer supports it by inverting a delta
+//! *with respect to the document it was applied to*: `d.invert(base)`
+//! produces the delta that transforms `d.apply(base)` back into `base`.
+//! Inversion needs the base document because a delete destroys
+//! information (the deleted text) that only the base can supply.
+
+use crate::error::DeltaError;
+use crate::ops::{Delta, DeltaOp};
+
+impl Delta {
+    /// Computes the inverse of this delta with respect to `base`: applying
+    /// the result to `self.apply(base)` yields `base` again.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeltaError::PastEnd`] when this delta does not fit
+    /// `base`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use pe_delta::Delta;
+    ///
+    /// let edit = Delta::parse("=2\t-3\t+uv")?;
+    /// let edited = edit.apply("abcdefg")?;          // "abuvfg" + implicit tail
+    /// let undo = edit.invert("abcdefg")?;
+    /// assert_eq!(undo.apply(&edited)?, "abcdefg");
+    /// # Ok::<(), pe_delta::DeltaError>(())
+    /// ```
+    pub fn invert(&self, base: &str) -> Result<Delta, DeltaError> {
+        let chars: Vec<char> = base.chars().collect();
+        let mut cursor = 0usize; // position in base
+        let mut inverse = Delta::builder();
+        for op in self.ops() {
+            match op {
+                DeltaOp::Retain(n) => {
+                    let end =
+                        cursor.checked_add(*n).filter(|&e| e <= chars.len()).ok_or(
+                            DeltaError::PastEnd {
+                                position: cursor,
+                                requested: *n,
+                                len: chars.len(),
+                            },
+                        )?;
+                    inverse.retain(*n);
+                    cursor = end;
+                }
+                DeltaOp::Insert(s) => {
+                    // Inserted text is deleted by the inverse.
+                    inverse.delete(s.chars().count());
+                }
+                DeltaOp::Delete(n) => {
+                    let end =
+                        cursor.checked_add(*n).filter(|&e| e <= chars.len()).ok_or(
+                            DeltaError::PastEnd {
+                                position: cursor,
+                                requested: *n,
+                                len: chars.len(),
+                            },
+                        )?;
+                    // Deleted text is re-inserted by the inverse.
+                    let restored: String = chars[cursor..end].iter().collect();
+                    inverse.insert(&restored);
+                    cursor = end;
+                }
+            }
+        }
+        Ok(inverse.build())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn check(base: &str, wire: &str) {
+        let delta = Delta::parse(wire).unwrap();
+        let edited = delta.apply(base).unwrap();
+        let inverse = delta.invert(base).unwrap();
+        assert_eq!(inverse.apply(&edited).unwrap(), base, "invert({wire:?}) on {base:?}");
+    }
+
+    #[test]
+    fn paper_examples_invert() {
+        check("abcdefg", "=2\t-5");
+        check("abcdefg", "=2\t-3\t+uv\t=2\t+w");
+    }
+
+    #[test]
+    fn pure_cases() {
+        check("hello", "");
+        check("hello", "+prefix ");
+        check("hello", "-5");
+        check("hello", "=5\t+ suffix");
+        check("", "+from nothing");
+    }
+
+    #[test]
+    fn unicode_restores() {
+        check("日本語です", "=1\t-2\t+ABC");
+    }
+
+    #[test]
+    fn invert_past_end_fails() {
+        let delta = Delta::parse("=9").unwrap();
+        assert!(delta.invert("abc").is_err());
+    }
+
+    #[test]
+    fn double_inversion_restores_effect() {
+        let base = "double inversion test";
+        let delta = Delta::parse("=7\t-9\t+X").unwrap();
+        let edited = delta.apply(base).unwrap();
+        let inverse = delta.invert(base).unwrap();
+        let double = inverse.invert(&edited).unwrap();
+        assert_eq!(double.apply(base).unwrap(), edited);
+    }
+
+    proptest! {
+        /// invert is a true left inverse for arbitrary valid deltas.
+        #[test]
+        fn inversion_law(
+            base in "[a-f ]{0,60}",
+            raw in proptest::collection::vec((any::<u8>(), 0usize..12, "[x-z]{0,6}"), 0..10),
+        ) {
+            let mut remaining = base.chars().count();
+            let mut builder = Delta::builder();
+            for (kind, n, text) in raw {
+                match kind % 3 {
+                    0 => { let t = n.min(remaining); remaining -= t; builder.retain(t); }
+                    1 => { let t = n.min(remaining); remaining -= t; builder.delete(t); }
+                    _ => { builder.insert(&text); }
+                }
+            }
+            let delta = builder.build();
+            let edited = delta.apply(&base).unwrap();
+            let inverse = delta.invert(&base).unwrap();
+            prop_assert_eq!(inverse.apply(&edited).unwrap(), base);
+        }
+    }
+}

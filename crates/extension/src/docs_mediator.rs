@@ -1,0 +1,587 @@
+//! The Google-Documents mediator: Figure 2's `onModifyRequest`, in Rust.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use pe_cloud::{CloudService, Method, Request, Response};
+use pe_core::wire::Preamble;
+use pe_core::{
+    DeltaTransformer, DocumentKey, IncrementalCipherDoc, Mode, RecbDocument, RpcDocument,
+};
+use pe_crypto::drbg::NonceSource;
+use pe_crypto::form;
+use pe_crypto::sha256::Sha256;
+use pe_crypto::{hex, CtrDrbg, SystemRandom};
+use pe_delta::Delta;
+
+use crate::countermeasures;
+use crate::error::ExtensionError;
+use crate::keyring::Keyring;
+use crate::MediatorConfig;
+
+/// What the mediator did with a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Forwarded unchanged (no document content involved).
+    PassedThrough,
+    /// Document content was encrypted before forwarding.
+    Encrypted,
+    /// Server content was decrypted in the response.
+    Decrypted,
+    /// The request was dropped; it never reached the server.
+    Blocked,
+}
+
+/// The mediator's result for one request.
+#[derive(Debug, Clone)]
+pub struct Mediated {
+    /// The (possibly rewritten) response the client sees.
+    pub response: Response,
+    /// What happened to the request.
+    pub outcome: Outcome,
+    /// Delay the random-delay countermeasure asks the caller to add
+    /// before the request is considered sent (zero when disabled).
+    pub suggested_delay: Duration,
+}
+
+/// Per-document cryptographic state held by the extension (the paper: the
+/// `enc_scheme` object "maintains a copy of the state of the ciphertext
+/// document which is needed to transform the delta").
+struct DocState {
+    transformer: DeltaTransformer<Box<dyn IncrementalCipherDoc + Send>>,
+    /// Plaintext mirror; used for delta canonicalization and response
+    /// rewriting.
+    plaintext: String,
+    /// Whether the server currently holds our ciphertext (the first save
+    /// of a session must be a full `docContents` save).
+    synced: bool,
+}
+
+/// The privacy mediator for the Google-Documents-style service.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+pub struct DocsMediator<S> {
+    server: S,
+    config: MediatorConfig,
+    keyring: Keyring,
+    docs: HashMap<String, DocState>,
+    rng: Box<dyn NonceSource + Send>,
+}
+
+impl<S> std::fmt::Debug for DocsMediator<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DocsMediator")
+            .field("documents", &self.docs.len())
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<S: CloudService> DocsMediator<S> {
+    /// Creates a mediator in front of `server` using system randomness.
+    pub fn new(server: S, config: MediatorConfig) -> DocsMediator<S> {
+        DocsMediator::with_rng(server, config, SystemRandom::new())
+    }
+
+    /// Creates a mediator with an explicit nonce source (deterministic
+    /// tests and benchmarks).
+    pub fn with_rng<R>(server: S, config: MediatorConfig, rng: R) -> DocsMediator<S>
+    where
+        R: NonceSource + Send + 'static,
+    {
+        DocsMediator {
+            server,
+            config,
+            keyring: Keyring::new(config.kdf_iterations),
+            docs: HashMap::new(),
+            rng: Box::new(rng),
+        }
+    }
+
+    /// Registers the user's password for a document (the paper's password
+    /// dialog).
+    pub fn register_password(&mut self, doc_id: &str, password: &str) {
+        self.keyring.register(doc_id, password);
+    }
+
+    /// The plaintext the extension currently believes the document holds.
+    pub fn plaintext(&self, doc_id: &str) -> Option<&str> {
+        self.docs.get(doc_id).map(|d| d.plaintext.as_str())
+    }
+
+    /// Access to the wrapped server (tests, benchmarks).
+    pub fn server(&self) -> &S {
+        &self.server
+    }
+
+    fn fork_rng(&mut self) -> CtrDrbg {
+        let mut seed = [0u8; 16];
+        self.rng.fill_bytes(&mut seed);
+        CtrDrbg::new(seed)
+    }
+
+    fn make_doc(
+        &mut self,
+        key: &DocumentKey,
+        plaintext: &[u8],
+    ) -> Result<Box<dyn IncrementalCipherDoc + Send>, ExtensionError> {
+        let rng = self.fork_rng();
+        let params = self.config.params;
+        Ok(match params.mode {
+            Mode::Recb => Box::new(RecbDocument::create(key, params, plaintext, rng)?),
+            Mode::Rpc => Box::new(RpcDocument::create(key, params, plaintext, rng)?),
+        })
+    }
+
+    fn open_doc(
+        &mut self,
+        key: &DocumentKey,
+        serialized: &str,
+        mode: Mode,
+    ) -> Result<Box<dyn IncrementalCipherDoc + Send>, ExtensionError> {
+        let rng = self.fork_rng();
+        Ok(match mode {
+            Mode::Recb => Box::new(RecbDocument::open(key, serialized, rng)?),
+            Mode::Rpc => Box::new(RpcDocument::open(key, serialized, rng)?),
+        })
+    }
+
+    /// Ensures crypto state exists for a registered document, building it
+    /// from `server_content` when that holds our ciphertext.
+    fn ensure_state(
+        &mut self,
+        doc_id: &str,
+        server_content: Option<&str>,
+    ) -> Result<(), ExtensionError> {
+        if self.docs.contains_key(doc_id) {
+            return Ok(());
+        }
+        if !self.keyring.has(doc_id) {
+            return Err(ExtensionError::NoPassword { doc_id: doc_id.to_string() });
+        }
+        let state = match server_content {
+            Some(content) if !content.is_empty() => {
+                let preamble = Preamble::parse(content)?;
+                let key = self
+                    .keyring
+                    .derive_existing(doc_id, &preamble.salt)
+                    .expect("has() checked above");
+                let doc = self.open_doc(&key, content, preamble.mode)?;
+                let plaintext = String::from_utf8(doc.decrypt()?).map_err(|_| {
+                    ExtensionError::BadResponse { detail: "document is not text".into() }
+                })?;
+                DocState {
+                    transformer: DeltaTransformer::new(doc),
+                    plaintext,
+                    synced: true,
+                }
+            }
+            _ => {
+                let mut rng = self.fork_rng();
+                let key = self
+                    .keyring
+                    .derive_new(doc_id, &mut rng)
+                    .expect("has() checked above");
+                let doc = self.make_doc(&key, b"")?;
+                DocState {
+                    transformer: DeltaTransformer::new(doc),
+                    plaintext: String::new(),
+                    synced: false,
+                }
+            }
+        };
+        self.docs.insert(doc_id.to_string(), state);
+        Ok(())
+    }
+
+    /// The Figure-2 interception entry point: every client request goes
+    /// through here; the result tells the caller what the client sees.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when cryptographic state is missing or fails
+    /// (no password, wrong password, tampered ciphertext). Unknown
+    /// requests are not errors — they come back [`Outcome::Blocked`].
+    pub fn intercept(&mut self, request: &Request) -> Result<Mediated, ExtensionError> {
+        match (request.method, request.path.as_str()) {
+            (Method::Post, "/Doc") => match request.query_param("cmd") {
+                Some("create") => Ok(self.passthrough(request)),
+                Some("open") => self.handle_open(request),
+                None => self.handle_save(request),
+                Some(_) => Ok(self.blocked()),
+            },
+            (Method::Get, "/Doc/load") => self.handle_load(request),
+            (Method::Get, "/Doc/revisions") => self.handle_revisions(request),
+            // Content-oblivious feature requests: forwarding reveals
+            // nothing beyond the stored ciphertext. The features simply
+            // stop working (§VII-A).
+            (Method::Post, "/spell") | (Method::Post, "/translate") | (Method::Get, "/export") => {
+                Ok(self.passthrough(request))
+            }
+            // Everything else — including /drawing, whose request body
+            // carries plaintext primitives — is dropped.
+            _ => Ok(self.blocked()),
+        }
+    }
+
+    fn passthrough(&mut self, request: &Request) -> Mediated {
+        Mediated {
+            response: self.server.handle(request),
+            outcome: Outcome::PassedThrough,
+            suggested_delay: Duration::ZERO,
+        }
+    }
+
+    fn blocked(&self) -> Mediated {
+        Mediated {
+            response: Response::error(403, "blocked by privacy extension"),
+            outcome: Outcome::Blocked,
+            suggested_delay: Duration::ZERO,
+        }
+    }
+
+    fn delay(&mut self) -> Duration {
+        if self.config.random_delay {
+            countermeasures::suggested_delay(&mut self.rng)
+        } else {
+            Duration::ZERO
+        }
+    }
+
+    /// Rewrites an open/load response so the client sees plaintext.
+    fn decrypt_content_response(
+        &mut self,
+        doc_id: &str,
+        response: Response,
+    ) -> Result<Mediated, ExtensionError> {
+        if !response.is_success() {
+            return Ok(Mediated {
+                response,
+                outcome: Outcome::PassedThrough,
+                suggested_delay: Duration::ZERO,
+            });
+        }
+        let body = response.body_text().ok_or_else(|| ExtensionError::BadResponse {
+            detail: "response body is not text".into(),
+        })?;
+        let pairs = form::parse_pairs(body).map_err(|e| ExtensionError::BadResponse {
+            detail: format!("unparseable response form: {e}"),
+        })?;
+        let content = form::first_value(&pairs, "content").unwrap_or("");
+        if !self.keyring.has(doc_id) {
+            // No password: the user sees raw ciphertext, as the paper
+            // describes for parties without the password.
+            return Ok(Mediated {
+                response,
+                outcome: Outcome::PassedThrough,
+                suggested_delay: Duration::ZERO,
+            });
+        }
+        // Rebuild state from the authoritative server copy (it may have
+        // been changed by a collaborator).
+        self.docs.remove(doc_id);
+        self.ensure_state(doc_id, Some(content))?;
+        let plaintext = self.docs[doc_id].plaintext.clone();
+        let hash = hex::encode(&Sha256::digest(plaintext.as_bytes())[..8]);
+        let mut rewritten: Vec<(String, String)> = Vec::new();
+        for (k, v) in pairs {
+            match k.as_str() {
+                "content" => rewritten.push((k, plaintext.clone())),
+                "contentHash" => rewritten.push((k, hash.clone())),
+                _ => rewritten.push((k, v)),
+            }
+        }
+        Ok(Mediated {
+            response: Response::ok(form::encode_pairs(&rewritten)),
+            outcome: Outcome::Decrypted,
+            suggested_delay: Duration::ZERO,
+        })
+    }
+
+    fn handle_open(&mut self, request: &Request) -> Result<Mediated, ExtensionError> {
+        let doc_id = request.query_param("docID").unwrap_or("").to_string();
+        let response = self.server.handle(request);
+        self.decrypt_content_response(&doc_id, response)
+    }
+
+    fn handle_load(&mut self, request: &Request) -> Result<Mediated, ExtensionError> {
+        let doc_id = request.query_param("docID").unwrap_or("").to_string();
+        let response = self.server.handle(request);
+        self.decrypt_content_response(&doc_id, response)
+    }
+
+    /// Revision history: the request is content-oblivious, so it is
+    /// forwarded; when the response carries a revision body the mediator
+    /// decrypts it (each revision's preamble carries its own salt, so
+    /// revisions from before a password rotation decrypt only if the user
+    /// still knows that password — see [`Self::change_password`]).
+    fn handle_revisions(&mut self, request: &Request) -> Result<Mediated, ExtensionError> {
+        let doc_id = request.query_param("docID").unwrap_or("").to_string();
+        let response = self.server.handle(request);
+        if !response.is_success() {
+            return Ok(Mediated {
+                response,
+                outcome: Outcome::PassedThrough,
+                suggested_delay: Duration::ZERO,
+            });
+        }
+        let Some(body) = response.body_text() else {
+            return Ok(Mediated {
+                response,
+                outcome: Outcome::PassedThrough,
+                suggested_delay: Duration::ZERO,
+            });
+        };
+        let pairs = form::parse_pairs(body).map_err(|e| ExtensionError::BadResponse {
+            detail: format!("revisions response: {e}"),
+        })?;
+        let Some(content) = form::first_value(&pairs, "content") else {
+            // Count-only responses pass through untouched.
+            return Ok(Mediated {
+                response,
+                outcome: Outcome::PassedThrough,
+                suggested_delay: Duration::ZERO,
+            });
+        };
+        // Attempt decryption; revisions that predate the current password
+        // (or are empty) pass through as stored.
+        let decrypted = Preamble::parse(content).ok().and_then(|preamble| {
+            let key = self.keyring.derive_existing(&doc_id, &preamble.salt)?;
+            let doc = self.open_doc(&key, content, preamble.mode).ok()?;
+            String::from_utf8(doc.decrypt().ok()?).ok()
+        });
+        match decrypted {
+            Some(plaintext) => Ok(Mediated {
+                response: Response::ok(form::encode_pairs(&[("content", plaintext.as_str())])),
+                outcome: Outcome::Decrypted,
+                suggested_delay: Duration::ZERO,
+            }),
+            None => Ok(Mediated {
+                response,
+                outcome: Outcome::PassedThrough,
+                suggested_delay: Duration::ZERO,
+            }),
+        }
+    }
+
+    fn handle_save(&mut self, request: &Request) -> Result<Mediated, ExtensionError> {
+        let doc_id = request.query_param("docID").unwrap_or("").to_string();
+        let Some(body) = request.body_text() else {
+            return Ok(self.blocked());
+        };
+        let Ok(pairs) = form::parse_pairs(body) else {
+            return Ok(self.blocked());
+        };
+        if let Some(contents) = form::first_value(&pairs, "docContents") {
+            let contents = contents.to_string();
+            self.full_save(&doc_id, request, &contents)
+        } else if let Some(delta_text) = form::first_value(&pairs, "delta") {
+            let delta = Delta::parse(delta_text)?;
+            self.delta_save(&doc_id, request, &delta)
+        } else {
+            // Unknown save shape: drop it (Fig. 2's `dropRequest`).
+            Ok(self.blocked())
+        }
+    }
+
+    fn full_save(
+        &mut self,
+        doc_id: &str,
+        request: &Request,
+        contents: &str,
+    ) -> Result<Mediated, ExtensionError> {
+        self.ensure_state(doc_id, None)?;
+        let state = self.docs.get_mut(doc_id).expect("ensured above");
+        state.transformer.replace_all(contents.as_bytes())?;
+        state.plaintext = contents.to_string();
+        state.synced = true;
+        let ciphertext = state.transformer.ciphertext().to_string();
+        let mut fields: Vec<(String, String)> =
+            vec![("docContents".into(), ciphertext)];
+        if self.config.pad_updates {
+            fields.push(countermeasures::padding_field(&mut self.rng));
+        }
+        let rewritten = Request::new(
+            Method::Post,
+            &request.path,
+            &request
+                .query
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.as_str()))
+                .collect::<Vec<_>>(),
+            form::encode_pairs(&fields),
+        );
+        let response = self.server.handle(&rewritten);
+        Ok(self.rewrite_ack(response))
+    }
+
+    fn delta_save(
+        &mut self,
+        doc_id: &str,
+        request: &Request,
+        delta: &Delta,
+    ) -> Result<Mediated, ExtensionError> {
+        if !self.docs.get(doc_id).map(|s| s.synced).unwrap_or(false) {
+            // Protocol: the first save of a session is always a full
+            // save. An incremental save without a synced ciphertext would
+            // desynchronize; perform the full save of the delta result.
+            let base = self.docs.get(doc_id).map(|s| s.plaintext.clone()).unwrap_or_default();
+            let updated = delta.apply_bytes(base.as_bytes())?;
+            let updated = String::from_utf8(updated).map_err(|_| {
+                ExtensionError::BadResponse { detail: "delta produced invalid text".into() }
+            })?;
+            return self.full_save(doc_id, request, &updated);
+        }
+        let state = self.docs.get_mut(doc_id).expect("synced implies state");
+        let effective = if self.config.canonicalize_deltas {
+            delta.canonicalize(&state.plaintext)?
+        } else {
+            delta.clone()
+        };
+        let cdelta = state.transformer.transform(&effective)?;
+        let updated = effective.apply_bytes(state.plaintext.as_bytes())?;
+        state.plaintext = String::from_utf8(updated).map_err(|_| {
+            ExtensionError::BadResponse { detail: "delta produced invalid text".into() }
+        })?;
+        let mut fields: Vec<(String, String)> =
+            vec![("delta".into(), cdelta.serialize())];
+        if self.config.pad_updates {
+            fields.push(countermeasures::padding_field(&mut self.rng));
+        }
+        let rewritten = Request::new(
+            Method::Post,
+            &request.path,
+            &request
+                .query
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.as_str()))
+                .collect::<Vec<_>>(),
+            form::encode_pairs(&fields),
+        );
+        let response = self.server.handle(&rewritten);
+        Ok(self.rewrite_ack(response))
+    }
+
+    /// §IV-A: "the client works flawlessly when the values are replaced
+    /// with an empty string for contentFromServer, and 0 for
+    /// contentFromServerHash".
+    fn rewrite_ack(&mut self, response: Response) -> Mediated {
+        let delay = self.delay();
+        if !response.is_success() {
+            return Mediated { response, outcome: Outcome::Encrypted, suggested_delay: delay };
+        }
+        let ack = form::encode_pairs(&[("contentFromServer", ""), ("contentFromServerHash", "0")]);
+        Mediated { response: Response::ok(ack), outcome: Outcome::Encrypted, suggested_delay: delay }
+    }
+
+    // Convenience wrappers used by clients, examples and benchmarks. They
+    // drive exactly the same interception path a raw client would.
+
+    /// Creates a new encrypted document: forwards the create command,
+    /// registers the password, and initializes crypto state.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the server rejects the create or responds unparseably.
+    pub fn create_document(&mut self, password: &str) -> Result<String, ExtensionError> {
+        let mediated = self.intercept(&Request::post("/Doc", &[("cmd", "create")], ""))?;
+        let body = mediated.response.body_text().unwrap_or("");
+        if !mediated.response.is_success() {
+            return Err(ExtensionError::ServerError {
+                status: mediated.response.status,
+                message: body.to_string(),
+            });
+        }
+        let pairs = form::parse_pairs(body).map_err(|e| ExtensionError::BadResponse {
+            detail: format!("create response: {e}"),
+        })?;
+        let doc_id = form::first_value(&pairs, "docID")
+            .ok_or_else(|| ExtensionError::BadResponse { detail: "missing docID".into() })?
+            .to_string();
+        self.register_password(&doc_id, password);
+        Ok(doc_id)
+    }
+
+    /// Opens a document, returning its decrypted plaintext.
+    ///
+    /// # Errors
+    ///
+    /// Fails for missing passwords, server errors, or integrity failures.
+    pub fn open_document(&mut self, doc_id: &str) -> Result<String, ExtensionError> {
+        let mediated =
+            self.intercept(&Request::post("/Doc", &[("docID", doc_id), ("cmd", "open")], ""))?;
+        if !mediated.response.is_success() {
+            return Err(ExtensionError::ServerError {
+                status: mediated.response.status,
+                message: mediated.response.body_text().unwrap_or("").to_string(),
+            });
+        }
+        let body = mediated.response.body_text().unwrap_or("");
+        let pairs = form::parse_pairs(body).map_err(|e| ExtensionError::BadResponse {
+            detail: format!("open response: {e}"),
+        })?;
+        Ok(form::first_value(&pairs, "content").unwrap_or("").to_string())
+    }
+
+    /// Performs a full (docContents) save.
+    ///
+    /// # Errors
+    ///
+    /// Fails when crypto state cannot be established or the server errors.
+    pub fn save_full(&mut self, doc_id: &str, contents: &str) -> Result<Mediated, ExtensionError> {
+        let body = form::encode_pairs(&[("docContents", contents)]);
+        self.intercept(&Request::post("/Doc", &[("docID", doc_id)], body))
+    }
+
+    /// Performs an incremental (delta) save.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the delta does not apply or the server errors.
+    pub fn save_delta(&mut self, doc_id: &str, delta: &Delta) -> Result<Mediated, ExtensionError> {
+        let body = form::encode_pairs(&[("delta", delta.serialize().as_str())]);
+        self.intercept(&Request::post("/Doc", &[("docID", doc_id)], body))
+    }
+
+    /// Rotates the document's password: derives a fresh key (new salt),
+    /// re-encrypts the current contents, and uploads them as a full save.
+    ///
+    /// **Scope of protection:** rotation protects the document's *future*
+    /// states. The server's stored revision history remains encrypted
+    /// under the old password's keys — a party who learned the old
+    /// password can still read old revisions, exactly as with any
+    /// re-encryption scheme that cannot reach into server-side history.
+    ///
+    /// # Errors
+    ///
+    /// Fails when no current state exists and the document cannot be
+    /// opened with the old password, or when the upload fails.
+    pub fn change_password(
+        &mut self,
+        doc_id: &str,
+        new_password: &str,
+    ) -> Result<(), ExtensionError> {
+        // Make sure we hold the current plaintext (may require opening
+        // with the old password first).
+        if !self.docs.contains_key(doc_id) {
+            self.open_document(doc_id)?;
+        }
+        let plaintext = self
+            .docs
+            .get(doc_id)
+            .map(|s| s.plaintext.clone())
+            .ok_or_else(|| ExtensionError::NoPassword { doc_id: doc_id.to_string() })?;
+        // Re-register and rebuild crypto state under the new password.
+        self.keyring.register(doc_id, new_password);
+        self.docs.remove(doc_id);
+        let mediated = self.save_full(doc_id, &plaintext)?;
+        if mediated.response.is_success() {
+            Ok(())
+        } else {
+            Err(ExtensionError::ServerError {
+                status: mediated.response.status,
+                message: mediated.response.body_text().unwrap_or("").to_string(),
+            })
+        }
+    }
+}

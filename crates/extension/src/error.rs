@@ -1,0 +1,90 @@
+//! Error type for the mediator layer.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the mediator.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ExtensionError {
+    /// No password registered for the document.
+    NoPassword {
+        /// The document id the operation referred to.
+        doc_id: String,
+    },
+    /// The server answered with a non-success status.
+    ServerError {
+        /// HTTP-style status code.
+        status: u16,
+        /// Server-provided message.
+        message: String,
+    },
+    /// A server response could not be parsed.
+    BadResponse {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// The cryptographic layer failed (wrong password, tampered
+    /// ciphertext, out-of-bounds edit …).
+    Crypto(pe_core::CoreError),
+    /// The delta protocol layer failed.
+    Delta(pe_delta::DeltaError),
+}
+
+impl fmt::Display for ExtensionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExtensionError::NoPassword { doc_id } => {
+                write!(f, "no password registered for document {doc_id}")
+            }
+            ExtensionError::ServerError { status, message } => {
+                write!(f, "server error {status}: {message}")
+            }
+            ExtensionError::BadResponse { detail } => {
+                write!(f, "unparseable server response: {detail}")
+            }
+            ExtensionError::Crypto(e) => write!(f, "crypto layer: {e}"),
+            ExtensionError::Delta(e) => write!(f, "delta layer: {e}"),
+        }
+    }
+}
+
+impl Error for ExtensionError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ExtensionError::Crypto(e) => Some(e),
+            ExtensionError::Delta(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<pe_core::CoreError> for ExtensionError {
+    fn from(e: pe_core::CoreError) -> ExtensionError {
+        ExtensionError::Crypto(e)
+    }
+}
+
+impl From<pe_delta::DeltaError> for ExtensionError {
+    fn from(e: pe_delta::DeltaError) -> ExtensionError {
+        ExtensionError::Delta(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ExtensionError::NoPassword { doc_id: "doc1".into() };
+        assert!(e.to_string().contains("doc1"));
+        let e: ExtensionError = pe_delta::DeltaError::EmptyToken.into();
+        assert!(e.source().is_some());
+        let e: ExtensionError =
+            pe_core::CoreError::BadParams { detail: "b".into() }.into();
+        assert!(e.source().is_some());
+        let e = ExtensionError::ServerError { status: 413, message: "too big".into() };
+        assert!(e.to_string().contains("413"));
+    }
+}

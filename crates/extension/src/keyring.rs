@@ -1,0 +1,95 @@
+//! Per-document passwords and key derivation (§IV-C).
+//!
+//! "Users control the security of their data using per-document
+//! passwords." The keyring stores passwords registered by the user and
+//! derives [`DocumentKey`]s: with a fresh random salt when creating a
+//! document, or with the salt found in an existing document's preamble
+//! when opening one.
+
+use std::collections::HashMap;
+
+use pe_core::DocumentKey;
+use pe_crypto::drbg::NonceSource;
+
+/// Registered per-document passwords.
+#[derive(Default)]
+pub struct Keyring {
+    passwords: HashMap<String, String>,
+    kdf_iterations: u32,
+}
+
+impl std::fmt::Debug for Keyring {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print passwords.
+        f.debug_struct("Keyring").field("documents", &self.passwords.len()).finish_non_exhaustive()
+    }
+}
+
+impl Keyring {
+    /// Creates an empty keyring using the given PBKDF2 iteration count.
+    pub fn new(kdf_iterations: u32) -> Keyring {
+        Keyring { passwords: HashMap::new(), kdf_iterations }
+    }
+
+    /// Registers (or replaces) the password for a document.
+    pub fn register(&mut self, doc_id: &str, password: &str) {
+        self.passwords.insert(doc_id.to_string(), password.to_string());
+    }
+
+    /// Removes a password (e.g. when the user closes the document).
+    pub fn forget(&mut self, doc_id: &str) {
+        self.passwords.remove(doc_id);
+    }
+
+    /// Whether a password is registered for the document.
+    pub fn has(&self, doc_id: &str) -> bool {
+        self.passwords.contains_key(doc_id)
+    }
+
+    /// Derives a fresh key (new random salt) for a newly created document.
+    pub fn derive_new<R: NonceSource>(&self, doc_id: &str, rng: &mut R) -> Option<DocumentKey> {
+        let password = self.passwords.get(doc_id)?;
+        Some(DocumentKey::generate(password, self.kdf_iterations, rng))
+    }
+
+    /// Derives the key for an existing document given the salt from its
+    /// preamble.
+    pub fn derive_existing(&self, doc_id: &str, salt: &[u8; 16]) -> Option<DocumentKey> {
+        let password = self.passwords.get(doc_id)?;
+        Some(DocumentKey::derive(password, salt, self.kdf_iterations))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pe_crypto::CtrDrbg;
+
+    #[test]
+    fn register_and_derive() {
+        let mut keyring = Keyring::new(100);
+        keyring.register("doc1", "pw");
+        assert!(keyring.has("doc1"));
+        let mut rng = CtrDrbg::from_seed(1);
+        let key = keyring.derive_new("doc1", &mut rng).unwrap();
+        let again = keyring.derive_existing("doc1", key.salt()).unwrap();
+        assert_eq!(key.salt(), again.salt());
+        assert!(keyring.derive_new("doc2", &mut rng).is_none());
+    }
+
+    #[test]
+    fn forget_removes() {
+        let mut keyring = Keyring::new(100);
+        keyring.register("doc1", "pw");
+        keyring.forget("doc1");
+        assert!(!keyring.has("doc1"));
+    }
+
+    #[test]
+    fn debug_hides_passwords() {
+        let mut keyring = Keyring::new(100);
+        keyring.register("doc1", "super-secret-password");
+        let debug = format!("{keyring:?}");
+        assert!(!debug.contains("super-secret-password"));
+    }
+}

@@ -1,0 +1,107 @@
+//! The private-editing mediator ("browser extension").
+//!
+//! Figure 1 of the paper: "The server maintains the ciphertext document,
+//! C. The browser extension intercepts all client-server traffic,
+//! encrypting as necessary." This crate is that extension, reimplemented
+//! as a transport interposer:
+//!
+//! * [`DocsMediator`] — wraps the Google-Documents-style service. Full
+//!   saves (`docContents`) are encrypted wholesale; incremental saves
+//!   (`delta`) are transformed into ciphertext deltas (Figure 2's
+//!   `transform_delta`); *all unrecognized requests are dropped*; Ack
+//!   responses are rewritten with an empty `contentFromServer` and a zero
+//!   hash, exactly as §IV-A describes (and with the same §VII-A
+//!   collaborative-editing consequences).
+//! * [`BespinMediator`] / [`BuzzwordMediator`] — the whole-file wrappers
+//!   for the other two services (§III).
+//! * [`Keyring`] — per-document passwords and key derivation (§IV-C).
+//! * [`countermeasures`] — the §VI-B covert-channel defences: delta
+//!   canonicalization, random request delays, and random body padding.
+//!
+//! # Example
+//!
+//! ```
+//! use pe_cloud::docs::DocsServer;
+//! use pe_extension::{DocsMediator, MediatorConfig};
+//! use std::sync::Arc;
+//!
+//! let server = Arc::new(DocsServer::new());
+//! let mut mediator = DocsMediator::new(Arc::clone(&server), MediatorConfig::default());
+//! let doc_id = mediator.create_document("hunter2").unwrap();
+//! mediator.save_full(&doc_id, "my secret notes").unwrap();
+//! // The provider stores only ciphertext:
+//! let stored = server.stored_content(&doc_id).unwrap();
+//! assert!(!stored.contains("secret"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod countermeasures;
+mod docs_mediator;
+mod error;
+mod keyring;
+mod simple;
+pub mod stego;
+
+pub use docs_mediator::{DocsMediator, Mediated, Outcome};
+pub use error::ExtensionError;
+pub use keyring::Keyring;
+pub use simple::{BespinMediator, BuzzwordMediator};
+
+use pe_core::SchemeParams;
+
+/// Configuration of the mediator: the encryption scheme and which §VI-B
+/// covert-channel countermeasures are active.
+#[derive(Debug, Clone, Copy)]
+pub struct MediatorConfig {
+    /// Encryption scheme parameters for newly created documents.
+    pub params: SchemeParams,
+    /// Rewrite outgoing deltas into canonical form (defeats edit-sequence
+    /// covert channels such as the `Ord(q)` encoding).
+    pub canonicalize_deltas: bool,
+    /// Append a random-length ignored field to update bodies (blunts
+    /// request-length covert channels).
+    pub pad_updates: bool,
+    /// Suggest a random delay before each outgoing update (blunts timing
+    /// covert channels). The delay is *returned*, not slept, so harnesses
+    /// stay deterministic.
+    pub random_delay: bool,
+    /// PBKDF2 iterations for password-derived keys.
+    pub kdf_iterations: u32,
+}
+
+impl Default for MediatorConfig {
+    fn default() -> MediatorConfig {
+        MediatorConfig {
+            params: SchemeParams::recb(8),
+            canonicalize_deltas: true,
+            pad_updates: false,
+            random_delay: false,
+            kdf_iterations: 1_000,
+        }
+    }
+}
+
+impl MediatorConfig {
+    /// Confidentiality-only configuration with the given block size.
+    pub fn recb(max_block: usize) -> MediatorConfig {
+        MediatorConfig { params: SchemeParams::recb(max_block), ..MediatorConfig::default() }
+    }
+
+    /// Confidentiality-and-integrity configuration with the given block
+    /// size (`1..=7`).
+    pub fn rpc(max_block: usize) -> MediatorConfig {
+        MediatorConfig { params: SchemeParams::rpc(max_block), ..MediatorConfig::default() }
+    }
+
+    /// Enables every covert-channel countermeasure.
+    pub fn hardened(self) -> MediatorConfig {
+        MediatorConfig {
+            canonicalize_deltas: true,
+            pad_updates: true,
+            random_delay: true,
+            ..self
+        }
+    }
+}

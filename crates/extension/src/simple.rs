@@ -1,0 +1,257 @@
+//! Whole-file mediators for the Bespin- and Buzzword-style services.
+//!
+//! Neither service has an incremental update protocol (§III): Bespin PUTs
+//! the whole file, Buzzword POSTs the whole document as XML. "By wrapping
+//! the PUT request with code that encrypts all user data, the server only
+//! sees encrypted contents" — these mediators are exactly that wrapper.
+
+use pe_cloud::buzzword::map_text_runs;
+use pe_cloud::{CloudService, Request};
+use pe_core::wire::Preamble;
+use pe_core::{IncrementalCipherDoc, RecbDocument};
+use pe_crypto::drbg::NonceSource;
+use pe_crypto::{CtrDrbg, SystemRandom};
+
+use crate::error::ExtensionError;
+use crate::keyring::Keyring;
+use crate::MediatorConfig;
+
+/// Shared helper: encrypt a whole text as one rECB document string.
+fn encrypt_whole(
+    keyring: &Keyring,
+    id: &str,
+    text: &str,
+    config: &MediatorConfig,
+    rng: &mut Box<dyn NonceSource + Send>,
+) -> Result<String, ExtensionError> {
+    let mut key_rng = fork(rng);
+    let key = keyring
+        .derive_new(id, &mut key_rng)
+        .ok_or_else(|| ExtensionError::NoPassword { doc_id: id.to_string() })?;
+    let doc = RecbDocument::create(&key, config.params, text.as_bytes(), fork(rng))?;
+    Ok(doc.serialize())
+}
+
+/// Decrypt a whole rECB document string.
+fn decrypt_whole(
+    keyring: &Keyring,
+    id: &str,
+    ciphertext: &str,
+    rng: &mut Box<dyn NonceSource + Send>,
+) -> Result<String, ExtensionError> {
+    let preamble = Preamble::parse(ciphertext)?;
+    let key = keyring
+        .derive_existing(id, &preamble.salt)
+        .ok_or_else(|| ExtensionError::NoPassword { doc_id: id.to_string() })?;
+    let doc = RecbDocument::open(&key, ciphertext, fork(rng))?;
+    let plaintext = doc.decrypt()?;
+    String::from_utf8(plaintext)
+        .map_err(|_| ExtensionError::BadResponse { detail: "file is not text".into() })
+}
+
+fn fork(rng: &mut Box<dyn NonceSource + Send>) -> CtrDrbg {
+    let mut seed = [0u8; 16];
+    rng.fill_bytes(&mut seed);
+    CtrDrbg::new(seed)
+}
+
+/// Privacy wrapper for the Bespin-style file store.
+///
+/// # Example
+///
+/// ```
+/// use pe_cloud::bespin::BespinServer;
+/// use pe_extension::{BespinMediator, MediatorConfig};
+/// use std::sync::Arc;
+///
+/// let server = Arc::new(BespinServer::new());
+/// let mut mediator = BespinMediator::new(Arc::clone(&server), MediatorConfig::default());
+/// mediator.register_password("src/main.rs", "pw");
+/// mediator.put_file("src/main.rs", "fn main() {}").unwrap();
+/// assert!(!String::from_utf8_lossy(&server.stored("src/main.rs").unwrap()).contains("main"));
+/// assert_eq!(mediator.get_file("src/main.rs").unwrap(), "fn main() {}");
+/// ```
+pub struct BespinMediator<S> {
+    server: S,
+    config: MediatorConfig,
+    keyring: Keyring,
+    rng: Box<dyn NonceSource + Send>,
+}
+
+impl<S: CloudService> BespinMediator<S> {
+    /// Creates a mediator in front of `server`.
+    pub fn new(server: S, config: MediatorConfig) -> BespinMediator<S> {
+        BespinMediator::with_rng(server, config, SystemRandom::new())
+    }
+
+    /// Deterministic construction for tests/benchmarks.
+    pub fn with_rng<R>(server: S, config: MediatorConfig, rng: R) -> BespinMediator<S>
+    where
+        R: NonceSource + Send + 'static,
+    {
+        BespinMediator {
+            server,
+            config,
+            keyring: Keyring::new(config.kdf_iterations),
+            rng: Box::new(rng),
+        }
+    }
+
+    /// Registers the password protecting a file path.
+    pub fn register_password(&mut self, path: &str, password: &str) {
+        self.keyring.register(path, password);
+    }
+
+    /// Saves a file: encrypts the content and PUTs the ciphertext.
+    ///
+    /// # Errors
+    ///
+    /// Fails without a registered password or on server error.
+    pub fn put_file(&mut self, path: &str, content: &str) -> Result<(), ExtensionError> {
+        let ciphertext =
+            encrypt_whole(&self.keyring, path, content, &self.config, &mut self.rng)?;
+        let request = Request::put(&format!("/file/at/{path}"), &[], ciphertext);
+        let response = self.server.handle(&request);
+        if response.is_success() {
+            Ok(())
+        } else {
+            Err(ExtensionError::ServerError {
+                status: response.status,
+                message: response.body_text().unwrap_or("").to_string(),
+            })
+        }
+    }
+
+    /// Loads a file: GETs the ciphertext and decrypts it.
+    ///
+    /// # Errors
+    ///
+    /// Fails without a password, on server error, or wrong password.
+    pub fn get_file(&mut self, path: &str) -> Result<String, ExtensionError> {
+        let response = self.server.handle(&Request::get(&format!("/file/at/{path}"), &[]));
+        if !response.is_success() {
+            return Err(ExtensionError::ServerError {
+                status: response.status,
+                message: response.body_text().unwrap_or("").to_string(),
+            });
+        }
+        let body = response.body_text().ok_or_else(|| ExtensionError::BadResponse {
+            detail: "file body is not text".into(),
+        })?;
+        decrypt_whole(&self.keyring, path, body, &mut self.rng)
+    }
+}
+
+/// Privacy wrapper for the Buzzword-style XML service: encrypts only the
+/// text inside `<textRun>` tags (§III "Buzzword").
+///
+/// # Example
+///
+/// ```
+/// use pe_cloud::buzzword::BuzzwordServer;
+/// use pe_extension::{BuzzwordMediator, MediatorConfig};
+/// use std::sync::Arc;
+///
+/// let server = Arc::new(BuzzwordServer::new());
+/// let mut mediator = BuzzwordMediator::new(Arc::clone(&server), MediatorConfig::default());
+/// mediator.register_password("d1", "pw");
+/// mediator.post_document("d1", "<doc><textRun>secret</textRun></doc>").unwrap();
+/// assert!(!server.stored("d1").unwrap().contains("secret"));
+/// ```
+pub struct BuzzwordMediator<S> {
+    server: S,
+    config: MediatorConfig,
+    keyring: Keyring,
+    rng: Box<dyn NonceSource + Send>,
+}
+
+impl<S: CloudService> BuzzwordMediator<S> {
+    /// Creates a mediator in front of `server`.
+    pub fn new(server: S, config: MediatorConfig) -> BuzzwordMediator<S> {
+        BuzzwordMediator::with_rng(server, config, SystemRandom::new())
+    }
+
+    /// Deterministic construction for tests/benchmarks.
+    pub fn with_rng<R>(server: S, config: MediatorConfig, rng: R) -> BuzzwordMediator<S>
+    where
+        R: NonceSource + Send + 'static,
+    {
+        BuzzwordMediator {
+            server,
+            config,
+            keyring: Keyring::new(config.kdf_iterations),
+            rng: Box::new(rng),
+        }
+    }
+
+    /// Registers the password protecting a document.
+    pub fn register_password(&mut self, doc_id: &str, password: &str) {
+        self.keyring.register(doc_id, password);
+    }
+
+    /// Saves a document: every `<textRun>` body is encrypted; markup is
+    /// left intact.
+    ///
+    /// # Errors
+    ///
+    /// Fails without a password or on server error.
+    pub fn post_document(&mut self, doc_id: &str, xml: &str) -> Result<(), ExtensionError> {
+        let mut failure = None;
+        let rewritten = map_text_runs(xml, |run| {
+            match encrypt_whole(&self.keyring, doc_id, run, &self.config, &mut self.rng)
+            {
+                Ok(ciphertext) => ciphertext,
+                Err(e) => {
+                    failure.get_or_insert(e);
+                    String::new()
+                }
+            }
+        });
+        if let Some(e) = failure {
+            return Err(e);
+        }
+        let request = Request::post(&format!("/buzzword/doc/{doc_id}"), &[], rewritten);
+        let response = self.server.handle(&request);
+        if response.is_success() {
+            Ok(())
+        } else {
+            Err(ExtensionError::ServerError {
+                status: response.status,
+                message: response.body_text().unwrap_or("").to_string(),
+            })
+        }
+    }
+
+    /// Loads a document, decrypting every `<textRun>` body.
+    ///
+    /// # Errors
+    ///
+    /// Fails without a password, on server error, or wrong password.
+    pub fn get_document(&mut self, doc_id: &str) -> Result<String, ExtensionError> {
+        let response = self.server.handle(&Request::get(&format!("/buzzword/doc/{doc_id}"), &[]));
+        if !response.is_success() {
+            return Err(ExtensionError::ServerError {
+                status: response.status,
+                message: response.body_text().unwrap_or("").to_string(),
+            });
+        }
+        let body = response
+            .body_text()
+            .ok_or_else(|| ExtensionError::BadResponse { detail: "body is not text".into() })?
+            .to_string();
+        let mut failure = None;
+        let rewritten = map_text_runs(&body, |run| {
+            match decrypt_whole(&self.keyring, doc_id, run, &mut self.rng) {
+                Ok(plaintext) => plaintext,
+                Err(e) => {
+                    failure.get_or_insert(e);
+                    String::new()
+                }
+            }
+        });
+        if let Some(e) = failure {
+            return Err(e);
+        }
+        Ok(rewritten)
+    }
+}

@@ -1,0 +1,244 @@
+//! Steganographic cloaking of ciphertext documents.
+//!
+//! §VI of the paper: "The server could recognize the use of encryption
+//! and refuse to store any content that appears to be encrypted. To cope
+//! with this situation, our tool could be extended using existing results
+//! in stenography to make it difficult for the server (to) identify
+//! encrypted documents." The paper left this as future work; this module
+//! implements the simplest such extension: a **word-substitution code**
+//! that turns a serialized ciphertext document into innocuous-looking
+//! English prose and back.
+//!
+//! # How it works
+//!
+//! The serialized ciphertext (ASCII) is re-encoded in Base32 and every
+//! Base32 symbol maps to one word from a fixed 32-word vocabulary chosen
+//! from the cloud editor's own spell-check dictionary, so the cloaked
+//! document *passes spell checking*. Light sentence dressing
+//! (capitalization and periods at deterministic intervals) makes the
+//! result look like prose rather than a word soup. Decoding strips the
+//! dressing and inverts the map; the round-trip is exact.
+//!
+//! # Cost
+//!
+//! One ciphertext character becomes ~1.6 Base32 symbols becomes ~1.6
+//! words of ~5.4 characters plus separators — roughly **10×** expansion
+//! over the (already expanded) ciphertext. Cloaking is therefore a
+//! whole-document trade: with it, incremental updates are no longer
+//! practical (word positions shift freely), so a cloaking deployment
+//! falls back to CoClo-style full saves. This is exactly the trade-off
+//! the paper anticipated ("it may be impractical for realistic
+//! applications") — implemented here so it can be measured rather than
+//! speculated about.
+//!
+//! # Example
+//!
+//! ```
+//! use pe_extension::stego;
+//!
+//! let ciphertext = "PE1;R;b8;SALTSALTSALTSALTSALTSALTSA;1ABCD";
+//! let prose = stego::cloak(ciphertext);
+//! assert!(!prose.contains("PE1"), "no ciphertext markers survive");
+//! assert_eq!(stego::uncloak(&prose)?, ciphertext);
+//! # Ok::<(), pe_extension::stego::StegoError>(())
+//! ```
+
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+use pe_crypto::base32;
+
+/// The 32-word vocabulary, one word per Base32 symbol. Every word is in
+/// the simulated server's spell-check dictionary and none is a prefix of
+/// another, so decoding is unambiguous.
+const VOCABULARY: [&str; 32] = [
+    "the", "and", "for", "are", "but", "not", "you", "all", "can", "her", "was", "one", "our",
+    "out", "day", "get", "has", "him", "how", "man", "new", "now", "old", "see", "two", "way",
+    "who", "its", "did", "yes", "they", "with",
+];
+
+/// Words per sentence before a period is inserted (deterministic
+/// dressing).
+const SENTENCE_WORDS: usize = 9;
+
+/// Errors from uncloaking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StegoError {
+    /// A token was not in the vocabulary.
+    UnknownWord {
+        /// The offending token.
+        word: String,
+    },
+    /// The recovered symbol stream was not a valid encoding.
+    CorruptEncoding,
+}
+
+impl std::fmt::Display for StegoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StegoError::UnknownWord { word } => write!(f, "unknown cloak word {word:?}"),
+            StegoError::CorruptEncoding => write!(f, "corrupt cloaked encoding"),
+        }
+    }
+}
+
+impl std::error::Error for StegoError {}
+
+/// Base32 symbol → word index lookup, built once.
+fn reverse_map() -> &'static HashMap<&'static str, u8> {
+    static MAP: OnceLock<HashMap<&'static str, u8>> = OnceLock::new();
+    MAP.get_or_init(|| {
+        VOCABULARY.iter().enumerate().map(|(i, &w)| (w, i as u8)).collect()
+    })
+}
+
+const BASE32_ALPHABET: &[u8; 32] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZ234567";
+
+/// Cloaks a serialized ciphertext document as innocuous prose.
+pub fn cloak(serialized: &str) -> String {
+    let symbols = base32::encode_unpadded(serialized.as_bytes());
+    let mut out = String::with_capacity(symbols.len() * 5);
+    for (i, symbol) in symbols.bytes().enumerate() {
+        let index = BASE32_ALPHABET.iter().position(|&c| c == symbol).expect("valid base32");
+        let word = VOCABULARY[index];
+        if i % SENTENCE_WORDS == 0 {
+            if i > 0 {
+                out.push_str(". ");
+            }
+            // Capitalize the sentence head.
+            let mut chars = word.chars();
+            if let Some(first) = chars.next() {
+                out.push(first.to_ascii_uppercase());
+                out.push_str(chars.as_str());
+            }
+        } else {
+            out.push(' ');
+            out.push_str(word);
+        }
+    }
+    if !out.is_empty() {
+        out.push('.');
+    }
+    out
+}
+
+/// Recovers the serialized ciphertext from cloaked prose.
+///
+/// # Errors
+///
+/// Returns [`StegoError::UnknownWord`] for tokens outside the vocabulary
+/// and [`StegoError::CorruptEncoding`] if the symbol stream does not
+/// decode to valid text.
+pub fn uncloak(prose: &str) -> Result<String, StegoError> {
+    let map = reverse_map();
+    let mut symbols = String::new();
+    for token in prose.split(|c: char| c.is_whitespace() || c == '.') {
+        if token.is_empty() {
+            continue;
+        }
+        let normalized = token.to_ascii_lowercase();
+        let index = map
+            .get(normalized.as_str())
+            .ok_or_else(|| StegoError::UnknownWord { word: token.to_string() })?;
+        symbols.push(BASE32_ALPHABET[*index as usize] as char);
+    }
+    let bytes = base32::decode_unpadded(&symbols).map_err(|_| StegoError::CorruptEncoding)?;
+    String::from_utf8(bytes).map_err(|_| StegoError::CorruptEncoding)
+}
+
+/// A crude detector a suspicious server might run: fraction of
+/// alphanumeric content that looks like high-entropy Base32 runs.
+/// Used in tests to show cloaked documents evade what raw ciphertext
+/// trips.
+pub fn looks_encrypted(content: &str) -> bool {
+    // Raw ciphertext documents are one giant unbroken run of Base32
+    // alphabet characters; prose has short words.
+    let longest_run = content
+        .split(|c: char| !(c.is_ascii_uppercase() || ('2'..='7').contains(&c)))
+        .map(str::len)
+        .max()
+        .unwrap_or(0);
+    longest_run >= 20
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        let original = "PE1;R;b8;AAAA;1SOMERECORDDATA";
+        assert_eq!(uncloak(&cloak(original)).unwrap(), original);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        assert_eq!(cloak(""), "");
+        assert_eq!(uncloak("").unwrap(), "");
+    }
+
+    #[test]
+    fn roundtrip_real_ciphertext() {
+        use pe_core::{DocumentKey, IncrementalCipherDoc, RecbDocument, SchemeParams};
+        use pe_crypto::CtrDrbg;
+        let key = DocumentKey::derive("pw", &[1; 16], 100);
+        let doc = RecbDocument::create(
+            &key,
+            SchemeParams::recb(8),
+            b"a genuinely secret document body",
+            CtrDrbg::from_seed(1),
+        )
+        .unwrap();
+        let wire = doc.serialize();
+        let prose = cloak(&wire);
+        assert_eq!(uncloak(&prose).unwrap(), wire);
+    }
+
+    #[test]
+    fn cloaked_text_is_prose_like() {
+        let prose = cloak("PE1;R;b8;SOMESALTVALUE;RECORDS");
+        // Sentences with capitalization and periods.
+        assert!(prose.contains(". "));
+        assert!(prose.chars().next().unwrap().is_ascii_uppercase());
+        // Every token is a dictionary word.
+        for token in prose.split(|c: char| c.is_whitespace() || c == '.') {
+            if !token.is_empty() {
+                assert!(
+                    VOCABULARY.contains(&token.to_ascii_lowercase().as_str()),
+                    "non-dictionary token {token:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn detector_flags_ciphertext_but_not_cloaked_prose() {
+        let ciphertext = format!("PE1;R;b8;{};1{}", "A".repeat(26), "B".repeat(26));
+        assert!(looks_encrypted(&ciphertext));
+        assert!(!looks_encrypted(&cloak(&ciphertext)));
+        assert!(!looks_encrypted("ordinary human sentences look like this one."));
+    }
+
+    #[test]
+    fn unknown_word_rejected() {
+        assert!(matches!(
+            uncloak("The zebra and the but"),
+            Err(StegoError::UnknownWord { .. })
+        ));
+    }
+
+    #[test]
+    fn vocabulary_is_unambiguous() {
+        let unique: std::collections::HashSet<&&str> = VOCABULARY.iter().collect();
+        assert_eq!(unique.len(), 32);
+    }
+
+    #[test]
+    fn expansion_factor_is_as_documented() {
+        let original = "X".repeat(1000);
+        let prose = cloak(&original);
+        let factor = prose.len() as f64 / original.len() as f64;
+        assert!(factor > 5.0 && factor < 12.0, "expansion {factor}");
+    }
+}

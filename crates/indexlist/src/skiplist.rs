@@ -1,0 +1,623 @@
+//! The paper's IndexedSkipList (§V-C, Figure 3, Algorithm 1), generalized
+//! to weighted (variable-length) blocks.
+//!
+//! A classic Pugh skip list stores a sorted list and searches by key. The
+//! IndexedSkipList instead associates a `skip_count` with every forward
+//! pointer — here a pair *(blocks skipped, characters skipped)* — so the
+//! structure is searched **by position**: either by block ordinal or by
+//! character index. Find, Insert, and Delete all run in expected
+//! `O(log n)` time in the number of blocks, matching the analysis the
+//! paper inherits from Pugh's original algorithms.
+
+use crate::{BlockSeq, Location, Weighted};
+
+/// Maximum tower height; 2^32 blocks is far beyond any document size.
+const MAX_LEVEL: usize = 32;
+
+/// Sentinel index representing the NIL pointer at the end of every level.
+const NIL: usize = usize::MAX;
+
+/// A forward pointer: the paper's `forward[i].point_at` plus the
+/// `skip_count` field, carried in both block and character units.
+#[derive(Debug, Clone, Copy)]
+struct Link {
+    target: usize,
+    /// Blocks skipped when following this link, counting the destination:
+    /// `rank(target) - rank(source)`.
+    span_blocks: usize,
+    /// Characters skipped when following this link, counting the full
+    /// destination block.
+    span_weight: usize,
+}
+
+#[derive(Debug)]
+struct Node<T> {
+    /// `None` only for the head sentinel and freed arena slots.
+    value: Option<T>,
+    forward: Vec<Link>,
+}
+
+/// SplitMix64: a tiny, high-quality PRNG for tower heights, embedded so the
+/// data structure is deterministic given a seed.
+#[derive(Debug, Clone)]
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// The IndexedSkipList of §V-C: an order-statistic skip list over
+/// variable-length blocks.
+///
+/// See the [crate docs](crate) and [`BlockSeq`] for the operation set.
+/// Nodes live in an internal arena; removed slots are recycled.
+///
+/// # Example
+///
+/// ```
+/// use pe_indexlist::{BlockSeq, IndexedSkipList, Weighted};
+///
+/// struct B(&'static str);
+/// impl Weighted for B {
+///     fn weight(&self) -> usize { self.0.len() }
+/// }
+///
+/// let mut list = IndexedSkipList::with_seed(7);
+/// for (i, text) in ["abc", "fgh", "ijk"].iter().enumerate() {
+///     list.insert(i, B(text));
+/// }
+/// assert_eq!(list.total_weight(), 9);
+/// assert_eq!(list.locate(5).map(|l| l.block), Some(1));
+/// ```
+#[derive(Debug)]
+pub struct IndexedSkipList<T> {
+    nodes: Vec<Node<T>>,
+    free: Vec<usize>,
+    len_blocks: usize,
+    total_weight: usize,
+    /// Number of levels currently in use (head tower height), at least 1.
+    level: usize,
+    rng: SplitMix64,
+}
+
+impl<T: Weighted> Default for IndexedSkipList<T> {
+    fn default() -> Self {
+        IndexedSkipList::new()
+    }
+}
+
+impl<T: Weighted> IndexedSkipList<T> {
+    /// Creates an empty list with a fixed default seed (deterministic).
+    pub fn new() -> IndexedSkipList<T> {
+        IndexedSkipList::with_seed(0x5eed_feed_cafe_f00d)
+    }
+
+    /// Creates an empty list whose tower heights are drawn from the given
+    /// seed, making the structure fully reproducible.
+    pub fn with_seed(seed: u64) -> IndexedSkipList<T> {
+        let head = Node {
+            value: None,
+            forward: vec![Link { target: NIL, span_blocks: 0, span_weight: 0 }],
+        };
+        IndexedSkipList {
+            nodes: vec![head],
+            free: Vec::new(),
+            len_blocks: 0,
+            total_weight: 0,
+            level: 1,
+            rng: SplitMix64(seed),
+        }
+    }
+
+    /// Draws a tower height with geometric distribution (p = 1/2).
+    fn random_level(&mut self) -> usize {
+        let bits = self.rng.next();
+        ((bits.trailing_ones() as usize) + 1).min(MAX_LEVEL)
+    }
+
+    /// Walks to the node of block-rank `rank` (head has rank 0), recording
+    /// for every level the node where the walk descended and that node's
+    /// cumulative (blocks, weight) rank.
+    ///
+    /// Returns `(update, ranks)` where `update[i]` is the node index and
+    /// `ranks[i]` the (blocks, weight) rank of `update[i]`.
+    fn walk_to_rank(&self, rank: usize) -> (Vec<usize>, Vec<(usize, usize)>) {
+        let mut update = vec![0usize; self.level];
+        let mut ranks = vec![(0usize, 0usize); self.level];
+        let mut x = 0usize;
+        let mut remaining = rank;
+        let mut acc_blocks = 0usize;
+        let mut acc_weight = 0usize;
+        for i in (0..self.level).rev() {
+            loop {
+                let link = self.nodes[x].forward[i];
+                if link.target == NIL || link.span_blocks > remaining {
+                    break;
+                }
+                remaining -= link.span_blocks;
+                acc_blocks += link.span_blocks;
+                acc_weight += link.span_weight;
+                x = link.target;
+            }
+            update[i] = x;
+            ranks[i] = (acc_blocks, acc_weight);
+        }
+        debug_assert_eq!(remaining, 0, "rank walk must land exactly");
+        (update, ranks)
+    }
+
+    /// Allocates a node in the arena, reusing freed slots.
+    fn alloc(&mut self, value: T, levels: usize) -> usize {
+        let node = Node { value: Some(value), forward: Vec::with_capacity(levels) };
+        if let Some(idx) = self.free.pop() {
+            self.nodes[idx] = node;
+            idx
+        } else {
+            self.nodes.push(node);
+            self.nodes.len() - 1
+        }
+    }
+
+    /// Verifies every structural invariant (span consistency at all
+    /// levels, length/weight accounting). Intended for tests; O(n · level).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any invariant is violated.
+    #[doc(hidden)]
+    pub fn assert_invariants(&self) {
+        // Collect level-0 order and per-node (rank, weight-rank).
+        let mut order = Vec::new();
+        let mut x = 0usize;
+        let mut rank_of = std::collections::HashMap::new();
+        rank_of.insert(0usize, (0usize, 0usize));
+        let mut blocks = 0usize;
+        let mut weight = 0usize;
+        loop {
+            let link = self.nodes[x].forward[0];
+            assert_eq!(link.span_blocks, if link.target == NIL { self.len_blocks - blocks } else { 1 });
+            if link.target == NIL {
+                assert_eq!(link.span_weight, self.total_weight - weight);
+                break;
+            }
+            x = link.target;
+            let w = self.nodes[x].value.as_ref().expect("live node has a value").weight();
+            assert_eq!(link.span_weight, w, "level-0 span must equal destination weight");
+            blocks += 1;
+            weight += w;
+            rank_of.insert(x, (blocks, weight));
+            order.push(x);
+        }
+        assert_eq!(blocks, self.len_blocks, "block count must match");
+        assert_eq!(weight, self.total_weight, "weight must match");
+        // Every level must chain through increasing ranks with exact spans.
+        for i in 0..self.level {
+            let mut x = 0usize;
+            loop {
+                let link = self.nodes[x].forward.get(i).copied().unwrap_or_else(|| {
+                    panic!("node on chain missing level {i}")
+                });
+                let (rb, rw) = rank_of[&x];
+                if link.target == NIL {
+                    assert_eq!(link.span_blocks, self.len_blocks - rb);
+                    assert_eq!(link.span_weight, self.total_weight - rw);
+                    break;
+                }
+                let (tb, tw) = rank_of[&link.target];
+                assert_eq!(link.span_blocks, tb - rb, "span_blocks at level {i}");
+                assert_eq!(link.span_weight, tw - rw, "span_weight at level {i}");
+                x = link.target;
+            }
+        }
+    }
+}
+
+impl<T: Weighted> BlockSeq<T> for IndexedSkipList<T> {
+    fn len_blocks(&self) -> usize {
+        self.len_blocks
+    }
+
+    fn total_weight(&self) -> usize {
+        self.total_weight
+    }
+
+    fn get(&self, ordinal: usize) -> Option<&T> {
+        if ordinal >= self.len_blocks {
+            return None;
+        }
+        let (update, _) = self.walk_to_rank(ordinal);
+        let target = self.nodes[update[0]].forward[0].target;
+        self.nodes[target].value.as_ref()
+    }
+
+    fn insert(&mut self, ordinal: usize, value: T) {
+        assert!(ordinal <= self.len_blocks, "insert ordinal {ordinal} out of range");
+        let w = value.weight();
+        assert!(w > 0, "blocks must have positive weight");
+        let lvl = self.random_level();
+        if lvl > self.level {
+            // Grow the head tower; new levels span the whole list.
+            for _ in self.level..lvl {
+                self.nodes[0].forward.push(Link {
+                    target: NIL,
+                    span_blocks: self.len_blocks,
+                    span_weight: self.total_weight,
+                });
+            }
+            self.level = lvl;
+        }
+        let (update, ranks) = self.walk_to_rank(ordinal);
+        let wk = ranks[0].1; // weight of blocks before the insertion point
+        let new_idx = self.alloc(value, lvl);
+        for i in 0..lvl {
+            let u = update[i];
+            let old = self.nodes[u].forward[i];
+            let nb = ordinal + 1 - ranks[i].0;
+            let nw = wk + w - ranks[i].1;
+            let out_link = Link {
+                target: old.target,
+                span_blocks: old.span_blocks - (nb - 1),
+                span_weight: old.span_weight - (nw - w),
+            };
+            self.nodes[new_idx].forward.push(out_link);
+            self.nodes[u].forward[i] =
+                Link { target: new_idx, span_blocks: nb, span_weight: nw };
+        }
+        for i in lvl..self.level {
+            let u = update[i];
+            self.nodes[u].forward[i].span_blocks += 1;
+            self.nodes[u].forward[i].span_weight += w;
+        }
+        self.len_blocks += 1;
+        self.total_weight += w;
+    }
+
+    fn remove(&mut self, ordinal: usize) -> T {
+        assert!(ordinal < self.len_blocks, "remove ordinal {ordinal} out of range");
+        let (update, _) = self.walk_to_rank(ordinal);
+        let target = self.nodes[update[0]].forward[0].target;
+        debug_assert_ne!(target, NIL);
+        let w = self.nodes[target].value.as_ref().expect("live node").weight();
+        let target_levels = self.nodes[target].forward.len();
+        for i in 0..self.level {
+            let u = update[i];
+            if i < target_levels && self.nodes[u].forward[i].target == target {
+                let t_link = self.nodes[target].forward[i];
+                let u_link = &mut self.nodes[u].forward[i];
+                u_link.target = t_link.target;
+                u_link.span_blocks += t_link.span_blocks;
+                u_link.span_weight += t_link.span_weight;
+                u_link.span_blocks -= 1;
+                u_link.span_weight -= w;
+            } else {
+                let u_link = &mut self.nodes[u].forward[i];
+                u_link.span_blocks -= 1;
+                u_link.span_weight -= w;
+            }
+        }
+        // Shrink unused levels (keep at least one).
+        while self.level > 1 && self.nodes[0].forward[self.level - 1].target == NIL {
+            self.nodes[0].forward.pop();
+            self.level -= 1;
+        }
+        self.len_blocks -= 1;
+        self.total_weight -= w;
+        let value = self.nodes[target].value.take().expect("live node");
+        self.nodes[target].forward.clear();
+        self.free.push(target);
+        value
+    }
+
+    fn replace(&mut self, ordinal: usize, value: T) -> T {
+        assert!(ordinal < self.len_blocks, "replace ordinal {ordinal} out of range");
+        let new_w = value.weight();
+        assert!(new_w > 0, "blocks must have positive weight");
+        let (update, _) = self.walk_to_rank(ordinal);
+        let target = self.nodes[update[0]].forward[0].target;
+        let old_w = self.nodes[target].value.as_ref().expect("live node").weight();
+        if new_w != old_w {
+            // Exactly one link per level covers the target block; it is the
+            // link leaving update[i].
+            for i in 0..self.level {
+                let u_link = &mut self.nodes[update[i]].forward[i];
+                u_link.span_weight = u_link.span_weight + new_w - old_w;
+            }
+            self.total_weight = self.total_weight + new_w - old_w;
+        }
+        self.nodes[target].value.replace(value).expect("live node")
+    }
+
+    fn locate(&self, char_index: usize) -> Option<Location> {
+        if char_index >= self.total_weight {
+            return None;
+        }
+        // Algorithm 1 of the paper, with weights as the skip counts.
+        let mut x = 0usize;
+        let mut remaining = char_index;
+        let mut acc_blocks = 0usize;
+        for i in (0..self.level).rev() {
+            loop {
+                let link = self.nodes[x].forward[i];
+                if link.target == NIL || link.span_weight > remaining {
+                    break;
+                }
+                remaining -= link.span_weight;
+                acc_blocks += link.span_blocks;
+                x = link.target;
+            }
+        }
+        Some(Location { block: acc_blocks, offset: remaining })
+    }
+
+    fn weight_before(&self, ordinal: usize) -> usize {
+        assert!(ordinal <= self.len_blocks, "ordinal {ordinal} out of range");
+        let (_, ranks) = self.walk_to_rank(ordinal);
+        ranks[0].1
+    }
+
+    fn iter_from(&self, ordinal: usize) -> Box<dyn Iterator<Item = &T> + '_> {
+        let start = if ordinal >= self.len_blocks {
+            NIL
+        } else {
+            let (update, _) = self.walk_to_rank(ordinal);
+            self.nodes[update[0]].forward[0].target
+        };
+        Box::new(Iter { list: self, cursor: start })
+    }
+}
+
+struct Iter<'a, T> {
+    list: &'a IndexedSkipList<T>,
+    cursor: usize,
+}
+
+impl<'a, T: Weighted> Iterator for Iter<'a, T> {
+    type Item = &'a T;
+
+    fn next(&mut self) -> Option<&'a T> {
+        if self.cursor == NIL {
+            return None;
+        }
+        let node = &self.list.nodes[self.cursor];
+        self.cursor = node.forward[0].target;
+        node.value.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::VecModel;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct B(String);
+
+    impl Weighted for B {
+        fn weight(&self) -> usize {
+            self.0.len()
+        }
+    }
+
+    fn b(s: &str) -> B {
+        B(s.to_string())
+    }
+
+    fn contents(list: &IndexedSkipList<B>) -> String {
+        list.iter().map(|blk| blk.0.as_str()).collect()
+    }
+
+    #[test]
+    fn empty_list() {
+        let list: IndexedSkipList<B> = IndexedSkipList::new();
+        assert_eq!(list.len_blocks(), 0);
+        assert_eq!(list.total_weight(), 0);
+        assert!(list.is_empty());
+        assert_eq!(list.locate(0), None);
+        assert_eq!(list.get(0), None);
+        list.assert_invariants();
+    }
+
+    #[test]
+    fn paper_figure3_insertion() {
+        // Figure 3: insert "xy" at index 3 of "abcfghijk" (blocks abc, fgh, ijk).
+        let mut list = IndexedSkipList::with_seed(11);
+        list.insert(0, b("abc"));
+        list.insert(1, b("fgh"));
+        list.insert(2, b("ijk"));
+        let loc = list.locate(3).unwrap();
+        assert_eq!(loc, Location { block: 1, offset: 0 });
+        list.insert(loc.block, b("xy"));
+        assert_eq!(contents(&list), "abcxyfghijk");
+        list.assert_invariants();
+    }
+
+    #[test]
+    fn sequential_appends() {
+        let mut list = IndexedSkipList::with_seed(1);
+        for i in 0..100 {
+            list.insert(i, b(&format!("{i:03}")));
+            list.assert_invariants();
+        }
+        assert_eq!(list.len_blocks(), 100);
+        assert_eq!(list.total_weight(), 300);
+        for i in 0..100 {
+            assert_eq!(list.get(i).unwrap().0, format!("{i:03}"));
+        }
+    }
+
+    #[test]
+    fn front_inserts_reverse_order() {
+        let mut list = IndexedSkipList::with_seed(2);
+        for i in 0..50 {
+            list.insert(0, b(&format!("{i}")));
+        }
+        let texts: Vec<_> = list.iter().map(|blk| blk.0.clone()).collect();
+        let expect: Vec<_> = (0..50).rev().map(|i| format!("{i}")).collect();
+        assert_eq!(texts, expect);
+        list.assert_invariants();
+    }
+
+    #[test]
+    fn locate_every_char() {
+        let mut list = IndexedSkipList::with_seed(3);
+        let words = ["a", "bc", "def", "ghij", "klmno"];
+        for (i, word) in words.iter().enumerate() {
+            list.insert(i, b(word));
+        }
+        let flat: String = words.concat();
+        for (c, expected_char) in flat.chars().enumerate() {
+            let loc = list.locate(c).unwrap();
+            let block = list.get(loc.block).unwrap();
+            assert_eq!(block.0.as_bytes()[loc.offset] as char, expected_char);
+        }
+        assert_eq!(list.locate(flat.len()), None);
+    }
+
+    #[test]
+    fn remove_middle_and_ends() {
+        let mut list = IndexedSkipList::with_seed(4);
+        for (i, word) in ["aa", "bb", "cc", "dd", "ee"].iter().enumerate() {
+            list.insert(i, b(word));
+        }
+        assert_eq!(list.remove(2).0, "cc");
+        list.assert_invariants();
+        assert_eq!(list.remove(0).0, "aa");
+        list.assert_invariants();
+        assert_eq!(list.remove(list.len_blocks() - 1).0, "ee");
+        list.assert_invariants();
+        assert_eq!(contents(&list), "bbdd");
+        assert_eq!(list.total_weight(), 4);
+    }
+
+    #[test]
+    fn replace_changes_weight() {
+        let mut list = IndexedSkipList::with_seed(5);
+        for (i, word) in ["aa", "bb", "cc"].iter().enumerate() {
+            list.insert(i, b(word));
+        }
+        let old = list.replace(1, b("XYZW"));
+        assert_eq!(old.0, "bb");
+        assert_eq!(list.total_weight(), 8);
+        assert_eq!(list.locate(5).unwrap(), Location { block: 1, offset: 3 });
+        assert_eq!(list.locate(6).unwrap(), Location { block: 2, offset: 0 });
+        list.assert_invariants();
+    }
+
+    #[test]
+    fn weight_before_matches_prefix_sums() {
+        let mut list = IndexedSkipList::with_seed(6);
+        let words = ["q", "we", "rty", "uiop"];
+        for (i, word) in words.iter().enumerate() {
+            list.insert(i, b(word));
+        }
+        let mut acc = 0;
+        for (i, word) in words.iter().enumerate() {
+            assert_eq!(list.weight_before(i), acc);
+            acc += word.len();
+        }
+        assert_eq!(list.weight_before(words.len()), acc);
+    }
+
+    #[test]
+    fn iter_from_offsets() {
+        let mut list = IndexedSkipList::with_seed(7);
+        for (i, word) in ["ab", "cd", "ef"].iter().enumerate() {
+            list.insert(i, b(word));
+        }
+        let tail: String = list.iter_from(1).map(|blk| blk.0.clone()).collect();
+        assert_eq!(tail, "cdef");
+        assert_eq!(list.iter_from(3).count(), 0);
+    }
+
+    #[test]
+    fn arena_slots_are_recycled() {
+        let mut list = IndexedSkipList::with_seed(8);
+        for round in 0..10 {
+            for i in 0..20 {
+                list.insert(i, b(&format!("r{round}i{i}")));
+            }
+            for _ in 0..20 {
+                list.remove(0);
+            }
+        }
+        assert!(list.is_empty());
+        // The arena should not have grown linearly with total insertions.
+        assert!(list.nodes.len() <= 22, "arena grew to {}", list.nodes.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn insert_past_end_panics() {
+        let mut list = IndexedSkipList::new();
+        list.insert(1, b("x"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive weight")]
+    fn zero_weight_block_panics() {
+        let mut list = IndexedSkipList::new();
+        list.insert(0, b(""));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn remove_from_empty_panics() {
+        let mut list: IndexedSkipList<B> = IndexedSkipList::new();
+        list.remove(0);
+    }
+
+    /// Randomized cross-check against the Vec reference model.
+    #[test]
+    fn randomized_against_model() {
+        let mut rng = SplitMix64(0xfeed);
+        for seed in 0..8u64 {
+            let mut list = IndexedSkipList::with_seed(seed);
+            let mut model: VecModel<B> = VecModel::new();
+            for step in 0..400 {
+                let r = rng.next();
+                let n = model.len_blocks();
+                match r % 4 {
+                    0 | 1 => {
+                        let pos = if n == 0 { 0 } else { (r >> 8) as usize % (n + 1) };
+                        let len = 1 + ((r >> 40) as usize % 8);
+                        let text: String =
+                            (0..len).map(|k| (b'a' + ((r >> k) % 26) as u8) as char).collect();
+                        list.insert(pos, b(&text));
+                        model.insert(pos, b(&text));
+                    }
+                    2 if n > 0 => {
+                        let pos = (r >> 8) as usize % n;
+                        assert_eq!(list.remove(pos), model.remove(pos));
+                    }
+                    3 if n > 0 => {
+                        let pos = (r >> 8) as usize % n;
+                        let len = 1 + ((r >> 40) as usize % 8);
+                        let text: String =
+                            (0..len).map(|k| (b'z' - ((r >> k) % 26) as u8) as char).collect();
+                        assert_eq!(list.replace(pos, b(&text)), model.replace(pos, b(&text)));
+                    }
+                    _ => {}
+                }
+                assert_eq!(list.len_blocks(), model.len_blocks());
+                assert_eq!(list.total_weight(), model.total_weight());
+                if step % 20 == 0 {
+                    list.assert_invariants();
+                    let w = model.total_weight();
+                    for probe in [0, w / 3, w / 2, w.saturating_sub(1)] {
+                        assert_eq!(list.locate(probe), model.locate(probe), "locate {probe}");
+                    }
+                    for ord in 0..model.len_blocks() {
+                        assert_eq!(list.get(ord), model.get(ord));
+                    }
+                }
+            }
+            list.assert_invariants();
+        }
+    }
+}

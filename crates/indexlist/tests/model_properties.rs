@@ -1,0 +1,141 @@
+//! Property tests: both indexed structures must behave exactly like a
+//! naive `Vec` under arbitrary operation sequences.
+
+use pe_indexlist::{BlockSeq, IndexedAvlTree, IndexedSkipList, Weighted};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, PartialEq)]
+struct Block(Vec<u8>);
+
+impl Weighted for Block {
+    fn weight(&self) -> usize {
+        self.0.len()
+    }
+}
+
+/// A raw operation drawn by proptest; positions are resolved modulo the
+/// current size so every drawn sequence is valid.
+#[derive(Debug, Clone)]
+enum RawOp {
+    Insert { pos: usize, len: usize, fill: u8 },
+    Remove { pos: usize },
+    Replace { pos: usize, len: usize, fill: u8 },
+    Locate { char_index: usize },
+    WeightBefore { pos: usize },
+}
+
+fn raw_op() -> impl Strategy<Value = RawOp> {
+    prop_oneof![
+        (any::<usize>(), 1usize..=8, any::<u8>())
+            .prop_map(|(pos, len, fill)| RawOp::Insert { pos, len, fill }),
+        any::<usize>().prop_map(|pos| RawOp::Remove { pos }),
+        (any::<usize>(), 1usize..=8, any::<u8>())
+            .prop_map(|(pos, len, fill)| RawOp::Replace { pos, len, fill }),
+        any::<usize>().prop_map(|char_index| RawOp::Locate { char_index }),
+        any::<usize>().prop_map(|pos| RawOp::WeightBefore { pos }),
+    ]
+}
+
+/// Reference model.
+#[derive(Debug, Default)]
+struct Model {
+    items: Vec<Block>,
+}
+
+impl Model {
+    fn total_weight(&self) -> usize {
+        self.items.iter().map(|b| b.0.len()).sum()
+    }
+
+    fn locate(&self, mut c: usize) -> Option<(usize, usize)> {
+        for (i, item) in self.items.iter().enumerate() {
+            if c < item.0.len() {
+                return Some((i, c));
+            }
+            c -= item.0.len();
+        }
+        None
+    }
+
+    fn weight_before(&self, pos: usize) -> usize {
+        self.items[..pos].iter().map(|b| b.0.len()).sum()
+    }
+}
+
+fn run_ops<S: BlockSeq<Block>>(seq: &mut S, ops: &[RawOp]) {
+    let mut model = Model::default();
+    for op in ops {
+        let n = model.items.len();
+        match op {
+            RawOp::Insert { pos, len, fill } => {
+                let pos = if n == 0 { 0 } else { pos % (n + 1) };
+                let block = Block(vec![*fill; *len]);
+                seq.insert(pos, block.clone());
+                model.items.insert(pos, block);
+            }
+            RawOp::Remove { pos } if n > 0 => {
+                let pos = pos % n;
+                assert_eq!(seq.remove(pos), model.items.remove(pos));
+            }
+            RawOp::Replace { pos, len, fill } if n > 0 => {
+                let pos = pos % n;
+                let block = Block(vec![fill.wrapping_add(1); *len]);
+                let old = std::mem::replace(&mut model.items[pos], block.clone());
+                assert_eq!(seq.replace(pos, block), old);
+            }
+            RawOp::Locate { char_index } => {
+                let total = model.total_weight();
+                let probe = if total == 0 { 0 } else { char_index % (total + 1) };
+                let expect = model.locate(probe);
+                let got = seq.locate(probe).map(|l| (l.block, l.offset));
+                assert_eq!(got, expect, "locate({probe})");
+            }
+            RawOp::WeightBefore { pos } => {
+                let pos = pos % (n + 1);
+                assert_eq!(seq.weight_before(pos), model.weight_before(pos));
+            }
+            _ => {}
+        }
+        assert_eq!(seq.len_blocks(), model.items.len());
+        assert_eq!(seq.total_weight(), model.total_weight());
+    }
+    // Final full scan.
+    let collected: Vec<Block> = seq.iter().cloned().collect();
+    assert_eq!(collected, model.items);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn skiplist_matches_model(
+        ops in proptest::collection::vec(raw_op(), 1..120),
+        seed in any::<u64>(),
+    ) {
+        let mut seq = IndexedSkipList::with_seed(seed);
+        run_ops(&mut seq, &ops);
+        seq.assert_invariants();
+    }
+
+    #[test]
+    fn avl_matches_model(ops in proptest::collection::vec(raw_op(), 1..120)) {
+        let mut seq = IndexedAvlTree::new();
+        run_ops(&mut seq, &ops);
+        seq.assert_invariants();
+    }
+
+    /// Both structures agree with each other on identical op sequences.
+    #[test]
+    fn structures_agree(
+        ops in proptest::collection::vec(raw_op(), 1..80),
+        seed in any::<u64>(),
+    ) {
+        let mut skiplist = IndexedSkipList::with_seed(seed);
+        let mut avl = IndexedAvlTree::new();
+        run_ops(&mut skiplist, &ops);
+        run_ops(&mut avl, &ops);
+        let a: Vec<Block> = skiplist.iter().cloned().collect();
+        let b: Vec<Block> = avl.iter().cloned().collect();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,49 @@
+//! The other two target applications (§III): Mozilla-Bespin-style code
+//! hosting (whole-file PUT) and Adobe-Buzzword-style XML documents
+//! (encrypt only the `<textRun>` bodies).
+//!
+//! Run with: `cargo run --example code_hosting`
+
+use std::sync::Arc;
+
+use private_editing::cloud::buzzword::text_runs;
+use private_editing::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ── Bespin: the server is pure storage; wrap PUT/GET. ──────────────
+    let bespin = Arc::new(BespinServer::new());
+    let mut editor = BespinMediator::new(Arc::clone(&bespin), MediatorConfig::recb(8));
+    editor.register_password("src/secret_sauce.rs", "repo-password");
+
+    let source = "pub fn proprietary_algorithm(x: u64) -> u64 { x.rotate_left(17) ^ 0xC0FFEE }";
+    editor.put_file("src/secret_sauce.rs", source)?;
+
+    let stored = String::from_utf8(bespin.stored("src/secret_sauce.rs").unwrap())?;
+    println!("Bespin server stores: {}…", &stored[..60]);
+    assert!(!stored.contains("proprietary"));
+    assert_eq!(editor.get_file("src/secret_sauce.rs")?, source);
+    println!("round-trip through encrypted code hosting ✓\n");
+
+    // ── Buzzword: structured XML; only the text runs are user content. ─
+    let buzzword = Arc::new(BuzzwordServer::new());
+    let mut writer = BuzzwordMediator::new(Arc::clone(&buzzword), MediatorConfig::recb(8));
+    writer.register_password("memo-1", "memo-password");
+
+    let xml = "<doc style=\"serif\"><p><textRun>Quarterly numbers are bad.</textRun></p>\
+               <p><textRun>Do not leak this.</textRun></p></doc>";
+    writer.post_document("memo-1", xml)?;
+
+    let stored = buzzword.stored("memo-1").unwrap();
+    println!("Buzzword server stores {} text runs, all ciphertext:", text_runs(&stored).len());
+    for run in text_runs(&stored) {
+        println!("  <textRun>{}…</textRun>", &run[..40]);
+        assert!(run.starts_with("PE1;"));
+    }
+    // Markup (styling) survives untouched — that is what keeps the
+    // application functional.
+    assert!(stored.contains("style=\"serif\""));
+
+    assert_eq!(writer.get_document("memo-1")?, xml);
+    println!("\nround-trip through encrypted XML documents ✓");
+    Ok(())
+}

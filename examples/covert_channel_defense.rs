@@ -1,0 +1,77 @@
+//! The malicious-client threat model (§VI-B): covert channels a hostile
+//! client-side application can use, and the mediator countermeasures that
+//! limit them.
+//!
+//! Run with: `cargo run --example covert_channel_defense`
+
+use std::sync::Arc;
+
+use private_editing::client::malicious::{self, LengthChannel, StorageObserver};
+use private_editing::prelude::*;
+
+/// Sends `bits` through the edit-pattern channel and returns how many the
+/// observing server recovers.
+fn run_edit_pattern_channel(canonicalize: bool, bits: &[bool]) -> usize {
+    let server = Arc::new(DocsServer::new());
+    let mut config = MediatorConfig::recb(8);
+    config.canonicalize_deltas = canonicalize;
+    let mut mediator = DocsMediator::new(Arc::clone(&server), config);
+    let doc_id = mediator.create_document("pw").unwrap();
+    mediator.save_full(&doc_id, "host document for the covert channel").unwrap();
+
+    let mut observer = StorageObserver::new();
+    observer.observe(&server.stored_content(&doc_id).unwrap());
+    let mut recovered = 0;
+    for &bit in bits {
+        let plaintext = mediator.plaintext(&doc_id).unwrap().to_string();
+        let delta = malicious::self_replace_bit(&plaintext, bit);
+        mediator.save_delta(&doc_id, &delta).unwrap();
+        let seen = observer.observe(&server.stored_content(&doc_id).unwrap()).unwrap();
+        if seen == bit {
+            recovered += 1;
+        }
+    }
+    recovered
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let secret_bits = [true, false, true, true, false, false, true, false];
+
+    println!("## Channel 1: edit-pattern (self-replace) channel\n");
+    let leaked = run_edit_pattern_channel(false, &secret_bits);
+    println!(
+        "without canonicalization: server recovers {leaked}/{} bits — channel open",
+        secret_bits.len()
+    );
+    assert_eq!(leaked, secret_bits.len());
+
+    let leaked = run_edit_pattern_channel(true, &secret_bits);
+    // With canonicalization, self-replaces collapse to identity deltas:
+    // the ciphertext never changes, so the observer reads all-zero bits
+    // and only matches the bits that happened to be 0.
+    let zeros = secret_bits.iter().filter(|&&b| !b).count();
+    println!(
+        "with canonicalization:   server recovers {leaked}/{} bits (chance level) — channel closed",
+        secret_bits.len()
+    );
+    assert_eq!(leaked, zeros);
+
+    println!("\n## Channel 2: document-length channel\n");
+    // A malicious client encodes letters as invisible padding growth. The
+    // mediator cannot remove real insertions, but multi-character blocks
+    // coarsen the signal (§VI-A).
+    let channel = LengthChannel::new();
+    for b in [1usize, 8] {
+        let classes: std::collections::HashSet<usize> =
+            (0..26).map(|s| channel.record_growth(s, b)).collect();
+        let bits_per_symbol = (classes.len() as f64).log2();
+        println!(
+            "block size {b}: {} distinguishable size classes → {bits_per_symbol:.2} bits/symbol",
+            classes.len()
+        );
+    }
+    println!("\n→ canonicalization kills redundant-edit channels; multi-character");
+    println!("  blocks shrink the length channel from 4.7 to 2 bits per symbol.");
+    println!("  Complete elimination needs a trusted client, as the paper concludes.");
+    Ok(())
+}

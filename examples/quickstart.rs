@@ -1,0 +1,48 @@
+//! Quickstart: edit a document on an untrusted cloud service without the
+//! provider ever seeing plaintext.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use std::sync::Arc;
+
+use private_editing::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The untrusted provider's word-processor backend.
+    let server = Arc::new(DocsServer::new());
+
+    // The user installs the privacy extension (the mediator) and picks a
+    // per-document password. rECB mode with 8-character blocks is the
+    // paper's recommended configuration for confidentiality.
+    let mut mediator = DocsMediator::new(Arc::clone(&server), MediatorConfig::recb(8));
+    let doc_id = mediator.create_document("correct horse battery staple")?;
+    println!("created encrypted document {doc_id}");
+
+    // First save: the whole document goes up, encrypted.
+    mediator.save_full(&doc_id, "Dear diary, my plans are secret.")?;
+
+    // Incremental edits travel as transformed deltas.
+    let mut edit = Delta::builder();
+    edit.retain(12).insert("(still) ");
+    mediator.save_delta(&doc_id, &edit.build())?;
+
+    println!("\nwhat the user sees:\n  {}", mediator.plaintext(&doc_id).unwrap());
+
+    let stored = server.stored_content(&doc_id).unwrap();
+    println!("\nwhat the provider stores ({} chars):\n  {}…", stored.len(), &stored[..70]);
+    assert!(!stored.contains("secret"));
+    assert!(!stored.contains("diary"));
+
+    // Anyone with the password (and only them) can decrypt.
+    let mut reader = DocsMediator::new(Arc::clone(&server), MediatorConfig::recb(8));
+    reader.register_password(&doc_id, "correct horse battery staple");
+    let recovered = reader.open_document(&doc_id)?;
+    println!("\nrecovered with the password:\n  {recovered}");
+    assert_eq!(recovered, "Dear diary, (still) my plans are secret.");
+
+    let mut wrong = DocsMediator::new(Arc::clone(&server), MediatorConfig::recb(8));
+    wrong.register_password(&doc_id, "kitten");
+    assert!(wrong.open_document(&doc_id).is_err());
+    println!("\nwrong password: rejected ✓");
+    Ok(())
+}

@@ -1,0 +1,110 @@
+//! Concurrency tests: the simulated cloud services are shared,
+//! thread-safe infrastructure; many users must be able to edit different
+//! documents in parallel without interference.
+
+use std::sync::Arc;
+
+use private_editing::prelude::*;
+
+#[test]
+fn many_users_edit_distinct_documents_in_parallel() {
+    let server = Arc::new(DocsServer::new());
+    let users = 8;
+    let edits_per_user = 20;
+    crossbeam::thread::scope(|scope| {
+        for user in 0..users {
+            let server = Arc::clone(&server);
+            scope.spawn(move |_| {
+                let mut mediator = DocsMediator::with_rng(
+                    Arc::clone(&server),
+                    MediatorConfig::recb(8),
+                    CtrDrbg::from_seed(user as u64),
+                );
+                let password = format!("pw-{user}");
+                let doc_id = mediator.create_document(&password).unwrap();
+                mediator.save_full(&doc_id, &format!("user {user} line 0. ")).unwrap();
+                for edit in 1..edits_per_user {
+                    let mut delta = Delta::builder();
+                    let current = mediator.plaintext(&doc_id).unwrap().len();
+                    delta.retain(current).insert(&format!("user {user} line {edit}. "));
+                    mediator.save_delta(&doc_id, &delta.build()).unwrap();
+                }
+                // Verify through a fresh mediator (forces a server round-trip).
+                let mut reader = DocsMediator::with_rng(
+                    Arc::clone(&server),
+                    MediatorConfig::recb(8),
+                    CtrDrbg::from_seed(1000 + user as u64),
+                );
+                reader.register_password(&doc_id, &password);
+                let text = reader.open_document(&doc_id).unwrap();
+                for edit in 0..edits_per_user {
+                    assert!(
+                        text.contains(&format!("user {user} line {edit}. ")),
+                        "user {user} missing line {edit}"
+                    );
+                }
+                assert!(!text.contains(&format!("user {}", (user + 1) % users)));
+            });
+        }
+    })
+    .unwrap();
+}
+
+#[test]
+fn concurrent_readers_share_one_document() {
+    let server = Arc::new(DocsServer::new());
+    let mut writer = DocsMediator::with_rng(
+        Arc::clone(&server),
+        MediatorConfig::rpc(7),
+        CtrDrbg::from_seed(99),
+    );
+    let doc_id = writer.create_document("shared").unwrap();
+    writer.save_full(&doc_id, "broadcast content for everyone").unwrap();
+    crossbeam::thread::scope(|scope| {
+        for reader_id in 0..6 {
+            let server = Arc::clone(&server);
+            let doc_id = doc_id.clone();
+            scope.spawn(move |_| {
+                let mut reader = DocsMediator::with_rng(
+                    Arc::clone(&server),
+                    MediatorConfig::rpc(7),
+                    CtrDrbg::from_seed(500 + reader_id),
+                );
+                reader.register_password(&doc_id, "shared");
+                for _ in 0..10 {
+                    assert_eq!(
+                        reader.open_document(&doc_id).unwrap(),
+                        "broadcast content for everyone"
+                    );
+                }
+            });
+        }
+    })
+    .unwrap();
+}
+
+#[test]
+fn bespin_store_survives_parallel_writers() {
+    let server = Arc::new(BespinServer::new());
+    crossbeam::thread::scope(|scope| {
+        for worker in 0..8u64 {
+            let server = Arc::clone(&server);
+            scope.spawn(move |_| {
+                let mut mediator = BespinMediator::with_rng(
+                    Arc::clone(&server),
+                    MediatorConfig::recb(8),
+                    CtrDrbg::from_seed(worker),
+                );
+                let path = format!("src/file{worker}.rs");
+                mediator.register_password(&path, "repo");
+                for revision in 0..15 {
+                    let content = format!("// worker {worker} revision {revision}");
+                    mediator.put_file(&path, &content).unwrap();
+                    assert_eq!(mediator.get_file(&path).unwrap(), content);
+                }
+            });
+        }
+    })
+    .unwrap();
+    assert_eq!(server.list().len(), 8);
+}

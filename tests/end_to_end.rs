@@ -1,0 +1,146 @@
+//! Full-stack integration tests spanning every crate: client → mediator →
+//! simulated service, for all three target applications.
+
+use std::sync::Arc;
+
+use private_editing::client::workload::{MacroOp, WorkloadGen};
+use private_editing::prelude::*;
+
+#[test]
+fn docs_session_over_every_scheme_configuration() {
+    for (config, label) in [
+        (MediatorConfig::recb(1), "recb b=1"),
+        (MediatorConfig::recb(4), "recb b=4"),
+        (MediatorConfig::recb(8), "recb b=8"),
+        (MediatorConfig::rpc(1), "rpc b=1"),
+        (MediatorConfig::rpc(7), "rpc b=7"),
+    ] {
+        let server = Arc::new(DocsServer::new());
+        let mut mediator =
+            DocsMediator::with_rng(Arc::clone(&server), config, CtrDrbg::from_seed(0xe2e));
+        let doc_id = mediator.create_document("e2e-pw").unwrap();
+        mediator.save_full(&doc_id, "the original document body").unwrap();
+        let mut delta = Delta::builder();
+        delta.retain(4).delete(8).insert("edited");
+        mediator.save_delta(&doc_id, &delta.build()).unwrap();
+        assert_eq!(mediator.plaintext(&doc_id), Some("the edited document body"), "{label}");
+        // Fresh mediator, same password: decrypts the server copy.
+        let mut reader =
+            DocsMediator::with_rng(Arc::clone(&server), config, CtrDrbg::from_seed(1));
+        reader.register_password(&doc_id, "e2e-pw");
+        assert_eq!(reader.open_document(&doc_id).unwrap(), "the edited document body", "{label}");
+    }
+}
+
+#[test]
+fn long_realistic_session_with_full_client_stack() {
+    let server = Arc::new(DocsServer::new());
+    let mut mediator = DocsMediator::with_rng(
+        Arc::clone(&server),
+        MediatorConfig::rpc(7),
+        CtrDrbg::from_seed(0xaaa),
+    );
+    let doc_id = mediator.create_document("long-session").unwrap();
+    let mut workload = WorkloadGen::new(7);
+    let draft = workload.document(2_000);
+    mediator.save_full(&doc_id, &draft).unwrap();
+
+    let mut client = DocsClient::open(PrivateChannel(mediator), &doc_id).unwrap();
+    assert_eq!(client.content(), draft);
+    for _ in 0..30 {
+        for op in MacroOp::mix("inserts & deletes") {
+            op.perform(client.editor(), &mut workload);
+        }
+        assert_eq!(client.save(), SaveOutcome::Saved);
+    }
+    let expected = client.content().to_string();
+    // Server never saw any plaintext word from the workload vocabulary.
+    let stored = server.stored_content(&doc_id).unwrap();
+    assert!(!stored.contains("the "), "plaintext leaked to the provider");
+    // A fresh reader recovers the exact final text with integrity.
+    let mut reader = DocsMediator::with_rng(
+        Arc::clone(&server),
+        MediatorConfig::rpc(7),
+        CtrDrbg::from_seed(0xbbb),
+    );
+    reader.register_password(&doc_id, "long-session");
+    assert_eq!(reader.open_document(&doc_id).unwrap(), expected);
+}
+
+#[test]
+fn bespin_and_buzzword_wrappers_end_to_end() {
+    let bespin = Arc::new(BespinServer::new());
+    let mut mediator = BespinMediator::with_rng(
+        Arc::clone(&bespin),
+        MediatorConfig::recb(8),
+        CtrDrbg::from_seed(0xccc),
+    );
+    mediator.register_password("lib.rs", "code-pw");
+    for revision in 0..5 {
+        let content = format!("pub const REV: u32 = {revision};");
+        mediator.put_file("lib.rs", &content).unwrap();
+        assert_eq!(mediator.get_file("lib.rs").unwrap(), content);
+        let raw = String::from_utf8(bespin.stored("lib.rs").unwrap()).unwrap();
+        assert!(!raw.contains("REV"), "plaintext leaked to Bespin");
+    }
+
+    let buzzword = Arc::new(BuzzwordServer::new());
+    let mut mediator = BuzzwordMediator::with_rng(
+        Arc::clone(&buzzword),
+        MediatorConfig::recb(8),
+        CtrDrbg::from_seed(0xddd),
+    );
+    mediator.register_password("doc", "xml-pw");
+    let xml = "<doc><h1><textRun>title secret</textRun></h1><textRun>body secret</textRun></doc>";
+    mediator.post_document("doc", xml).unwrap();
+    let stored = buzzword.stored("doc").unwrap();
+    assert!(!stored.contains("secret"));
+    assert!(stored.contains("<h1>"), "markup must survive");
+    assert_eq!(mediator.get_document("doc").unwrap(), xml);
+}
+
+#[test]
+fn paper_delta_examples_full_stack() {
+    // §IV-A: "=2 -5" turns abcdefg into ab; "=2 -3 +uv =2 +w" into abuvfgw.
+    let server = Arc::new(DocsServer::new());
+    let mut mediator = DocsMediator::with_rng(
+        Arc::clone(&server),
+        MediatorConfig::recb(8),
+        CtrDrbg::from_seed(0xeee),
+    );
+    let doc_id = mediator.create_document("paper-pw").unwrap();
+    mediator.save_full(&doc_id, "abcdefg").unwrap();
+    mediator.save_delta(&doc_id, &Delta::parse("=2\t-3\t+uv\t=2\t+w").unwrap()).unwrap();
+    assert_eq!(mediator.plaintext(&doc_id), Some("abuvfgw"));
+    mediator.save_delta(&doc_id, &Delta::parse("=2\t-5").unwrap()).unwrap();
+    assert_eq!(mediator.plaintext(&doc_id), Some("ab"));
+    let mut reader =
+        DocsMediator::with_rng(Arc::clone(&server), MediatorConfig::recb(8), CtrDrbg::from_seed(2));
+    reader.register_password(&doc_id, "paper-pw");
+    assert_eq!(reader.open_document(&doc_id).unwrap(), "ab");
+}
+
+#[test]
+fn document_size_limit_interacts_with_blowup() {
+    // Google's 500 kB cap (§V-C): with 1-char blocks a ~20 kB plaintext
+    // already exceeds the ciphertext limit; with 8-char blocks it fits.
+    let server = Arc::new(DocsServer::new());
+    let text = "x".repeat(20_000);
+    let mut tiny_blocks = DocsMediator::with_rng(
+        Arc::clone(&server),
+        MediatorConfig::recb(1),
+        CtrDrbg::from_seed(3),
+    );
+    let doc_id = tiny_blocks.create_document("pw").unwrap();
+    let mediated = tiny_blocks.save_full(&doc_id, &text).unwrap();
+    assert_eq!(mediated.response.status, 413, "1-char blocks blow past the 500kB cap");
+
+    let mut big_blocks = DocsMediator::with_rng(
+        Arc::clone(&server),
+        MediatorConfig::recb(8),
+        CtrDrbg::from_seed(4),
+    );
+    let doc_id = big_blocks.create_document("pw").unwrap();
+    let mediated = big_blocks.save_full(&doc_id, &text).unwrap();
+    assert!(mediated.response.is_success(), "8-char blocks fit the same document");
+}

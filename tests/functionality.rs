@@ -1,0 +1,68 @@
+//! Asserts the §VII-A functionality matrix and the shape claims of the
+//! paper's evaluation, using the benchmark harness as a library.
+
+use pe_bench::ablation::{attack_matrix, coclo_crossover, AttackOutcome};
+use pe_bench::blowup::fig7;
+use pe_bench::matrix::{functionality_matrix, Status};
+
+#[test]
+fn functionality_matrix_reproduces_section_vii_a() {
+    let rows = functionality_matrix(1);
+    let status = |feature: &str| {
+        rows.iter()
+            .find(|r| r.feature == feature)
+            .unwrap_or_else(|| panic!("missing row {feature}"))
+            .with_extension
+    };
+    // The paper: these become unavailable…
+    assert_eq!(status("translation"), Status::Broken);
+    assert_eq!(status("spell checking"), Status::Broken);
+    assert_eq!(status("drawing pictures"), Status::Blocked);
+    assert_eq!(status("export (download as)"), Status::Broken);
+    // …while core features keep working…
+    assert_eq!(status("save / incremental save / load"), Status::Works);
+    assert_eq!(status("formatting & word count (client-side)"), Status::Works);
+    // …and collaboration is partially functional.
+    assert_eq!(status("collaboration (passive readers)"), Status::Works);
+    assert_eq!(status("collaboration (simultaneous editing)"), Status::Partial);
+}
+
+#[test]
+fn figure7_shape_blowup_decreases_and_reduction_hits_80_percent() {
+    let rows = fig7(5_000, 120, 2);
+    assert_eq!(rows.len(), 8);
+    for pair in rows.windows(2) {
+        assert!(pair[1].blowup < pair[0].blowup);
+    }
+    // Paper: 0% → 82% reduction from b=1 to b=8.
+    assert!(rows[7].reduction > 0.75 && rows[7].reduction < 0.95, "{:?}", rows[7]);
+}
+
+#[test]
+fn incremental_beats_coclo_and_gap_grows_with_document_size() {
+    let rows = coclo_crossover(&[500, 5_000, 20_000], 3);
+    let advantage: Vec<f64> = rows
+        .iter()
+        .map(|r| r.coclo_bytes as f64 / r.incremental_bytes.max(1) as f64)
+        .collect();
+    assert!(advantage[0] > 1.0, "incremental must already win at 500 chars: {advantage:?}");
+    assert!(advantage[2] > advantage[0] * 5.0, "advantage must grow with size: {advantage:?}");
+}
+
+#[test]
+fn attack_matrix_shows_rpc_integrity_and_baseline_weakness() {
+    let rows = attack_matrix(4);
+    assert!(rows
+        .iter()
+        .filter(|r| r.scheme == "RPC")
+        .all(|r| r.outcome == AttackOutcome::Detected));
+    assert!(rows
+        .iter()
+        .any(|r| r.scheme == "XOR" && r.outcome == AttackOutcome::Accepted));
+    assert!(rows
+        .iter()
+        .any(|r| r.scheme == "rECB" && r.outcome == AttackOutcome::Accepted));
+    assert!(rows
+        .iter()
+        .any(|r| r.scheme == "rECB + Merkle" && r.outcome == AttackOutcome::Detected));
+}
