@@ -1,0 +1,278 @@
+//! Offline compatibility shim for `criterion`.
+//!
+//! Implements the subset of the Criterion API used by this workspace's
+//! benches (`Criterion`, `BenchmarkGroup`, `Bencher::iter`,
+//! `BenchmarkId`, `Throughput`, `criterion_group!`/`criterion_main!`)
+//! with a simple wall-clock harness: a short warm-up, then timed batches
+//! until a sampling budget is exhausted, reporting the per-iteration
+//! mean and min. No statistics engine, no plots — just stable,
+//! dependency-free numbers so `cargo bench` keeps working without
+//! crates.io access.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made from a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { label: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// An id made from a parameter value alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+/// Anything acceptable as a benchmark name: a string or a [`BenchmarkId`].
+pub trait IntoBenchmarkLabel {
+    /// Renders the label text.
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkLabel for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkLabel for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkLabel for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly, timing each batch, until the sampling
+    /// budget is exhausted.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also estimates per-iteration cost to size batches.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.budget / 10 {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().checked_div(warm_iters.max(1) as u32);
+        let batch = match per_iter {
+            Some(d) if d > Duration::ZERO => {
+                (self.budget.as_nanos() / 20 / d.as_nanos().max(1)).clamp(1, 100_000) as u64
+            }
+            _ => 1_000,
+        };
+        let run_start = Instant::now();
+        while run_start.elapsed() < self.budget {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.total += t.elapsed();
+            self.iters += batch;
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+fn run_one(label: &str, throughput: Option<Throughput>, budget: Duration, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher { total: Duration::ZERO, iters: 0, budget };
+    f(&mut b);
+    let mean = b.total.checked_div(b.iters.max(1) as u32).unwrap_or(Duration::ZERO);
+    let mut line = format!("{label:<50} time: {:>12}", format_duration(mean));
+    if let Some(tp) = throughput {
+        let per_sec = |count: u64| {
+            if mean.is_zero() {
+                f64::INFINITY
+            } else {
+                count as f64 / mean.as_secs_f64()
+            }
+        };
+        match tp {
+            Throughput::Bytes(n) => {
+                let _ = write!(line, "  thrpt: {:>10.3} MiB/s", per_sec(n) / (1024.0 * 1024.0));
+            }
+            Throughput::Elements(n) => {
+                let _ = write!(line, "  thrpt: {:>10.3} Kelem/s", per_sec(n) / 1000.0);
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// Top-level benchmark driver, one per `criterion_group!`.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // ~0.5 s per benchmark keeps full `cargo bench` runs tractable;
+        // override with PE_BENCH_BUDGET_MS.
+        let ms = std::env::var("PE_BENCH_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(500);
+        Criterion { budget: Duration::from_millis(ms) }
+    }
+}
+
+impl Criterion {
+    /// Applies CLI configuration; a no-op in the shim (arguments such as
+    /// `--bench` passed by `cargo bench` are accepted and ignored).
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function(&mut self, label: impl IntoBenchmarkLabel, f: impl FnOnce(&mut Bencher)) -> &mut Criterion {
+        run_one(&label.into_label(), None, self.budget, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), throughput: None, criterion: self }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used to annotate subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Shrinks/extends the per-benchmark sampling budget.
+    pub fn measurement_time(&mut self, budget: Duration) -> &mut Self {
+        self.criterion.budget = budget;
+        self
+    }
+
+    /// Accepted and ignored (the shim does not resample).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function(&mut self, label: impl IntoBenchmarkLabel, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{}", self.name, label.into_label());
+        run_one(&full, self.throughput, self.criterion.budget, f);
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        label: impl IntoBenchmarkLabel,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, label.into_label());
+        run_one(&full, self.throughput, self.criterion.budget, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (prints nothing extra in the shim).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        std::env::set_var("PE_BENCH_BUDGET_MS", "5");
+        let mut c = Criterion::default();
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| black_box(2u64 + 2));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_with_input_and_throughput() {
+        std::env::set_var("PE_BENCH_BUDGET_MS", "5");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Bytes(128));
+        group.bench_with_input(BenchmarkId::new("f", 128), &128usize, |b, &n| {
+            b.iter(|| black_box(n * 2));
+        });
+        group.finish();
+    }
+}

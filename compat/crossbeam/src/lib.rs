@@ -1,0 +1,69 @@
+//! Offline compatibility shim for `crossbeam`.
+//!
+//! The workspace uses only `crossbeam::thread::scope`, which std has
+//! provided natively since Rust 1.63 (`std::thread::scope`). This shim
+//! adapts the std API to crossbeam's: the spawn closure receives the
+//! scope handle as an argument, and `scope` returns a `Result` instead
+//! of propagating child panics directly.
+
+pub mod thread {
+    /// Result type mirroring `crossbeam::thread`'s re-export.
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// Handle for spawning scoped threads, passed to spawn closures.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. As in crossbeam, the closure receives
+        /// the scope handle so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Creates a scope in which spawned threads are joined before the
+    /// call returns. Mirrors `crossbeam::thread::scope`: returns
+    /// `Err(payload)` if any child panicked (std's native scope would
+    /// resume the panic; we catch it so callers' `.unwrap()` sees the
+    /// crossbeam-shaped API).
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_share_stack_data() {
+        let counter = AtomicUsize::new(0);
+        crate::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn child_panic_surfaces_as_err() {
+        let r = crate::thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

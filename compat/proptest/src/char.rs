@@ -1,0 +1,48 @@
+//! Character strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Inclusive character range strategy returned by [`range`].
+#[derive(Debug, Clone, Copy)]
+pub struct CharRange {
+    lo: u32,
+    hi: u32,
+}
+
+impl Strategy for CharRange {
+    type Value = char;
+    fn generate(&self, rng: &mut TestRng) -> char {
+        loop {
+            let v = rng.in_range_inclusive(self.lo as u64, self.hi as u64) as u32;
+            if let Some(c) = char::from_u32(v) {
+                return c;
+            }
+            // Only reachable when the range spans the surrogate gap.
+        }
+    }
+}
+
+/// Generates chars uniformly in `[lo, hi]` (inclusive), mirroring
+/// `proptest::char::range`.
+pub fn range(lo: char, hi: char) -> CharRange {
+    assert!(lo <= hi, "char range start must not exceed end");
+    CharRange { lo: lo as u32, hi: hi as u32 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_is_inclusive_and_bounded() {
+        let mut rng = TestRng::deterministic("char-range");
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            let c = range('w', 'y').generate(&mut rng);
+            assert!(('w'..='y').contains(&c));
+            seen.insert(c);
+        }
+        assert_eq!(seen.len(), 3, "all of w, x, y should appear");
+    }
+}

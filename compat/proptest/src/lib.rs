@@ -1,0 +1,174 @@
+//! Offline compatibility shim for `proptest`.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors a dependency-free subset of the proptest API its tests use:
+//! the [`proptest!`] macro, `prop_assert*` / [`prop_assume!`] /
+//! [`prop_oneof!`], [`arbitrary::any`], integer-range and tuple
+//! strategies, [`collection::vec`], [`char::range`], and string
+//! strategies from a small regex subset (`\PC{m,n}` and
+//! `[class]{m,n}` repetitions).
+//!
+//! Differences from real proptest, deliberately accepted:
+//! - **No shrinking.** A failing case reports its inputs (via the
+//!   panic message of the failing assertion) but is not minimised.
+//! - **Deterministic seeding.** Each test derives its RNG seed from its
+//!   fully-qualified name, so runs are reproducible; set
+//!   `PROPTEST_SEED` to explore a different universe and
+//!   `PROPTEST_CASES` to override the case count globally.
+
+pub mod arbitrary;
+pub mod char;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a test running `body` over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(@cfg ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(@cfg ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg ($cfg:expr)) => {};
+    (@cfg ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let cases = $crate::test_runner::resolved_cases(&config);
+            let mut rng = $crate::test_runner::TestRng::deterministic(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            let strategies = ($($strat,)+);
+            for case in 0..cases {
+                let ($($arg,)+) =
+                    $crate::strategy::Strategy::generate(&strategies, &mut rng);
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        { $body }
+                        ::std::result::Result::Ok(())
+                    })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => {}
+                    ::std::result::Result::Err(e) if e.is_rejection() => {}
+                    ::std::result::Result::Err(e) => {
+                        ::std::panic!("proptest case {}/{}: {}", case + 1, cases, e)
+                    }
+                }
+            }
+        }
+        $crate::__proptest_impl!(@cfg ($cfg) $($rest)*);
+    };
+}
+
+/// Fails the current test case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the current test case unless the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__pe_left, __pe_right) => {
+                $crate::prop_assert!(
+                    *__pe_left == *__pe_right,
+                    "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+                    __pe_left,
+                    __pe_right
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (__pe_left, __pe_right) => {
+                $crate::prop_assert!(
+                    *__pe_left == *__pe_right,
+                    "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+                    __pe_left,
+                    __pe_right,
+                    ::std::format!($($fmt)*)
+                );
+            }
+        }
+    };
+}
+
+/// Fails the current test case if the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__pe_left, __pe_right) => {
+                $crate::prop_assert!(
+                    *__pe_left != *__pe_right,
+                    "assertion failed: `(left != right)`\n  both: `{:?}`",
+                    __pe_left
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (__pe_left, __pe_right) => {
+                $crate::prop_assert!(
+                    *__pe_left != *__pe_right,
+                    "assertion failed: `(left != right)`\n  both: `{:?}`: {}",
+                    __pe_left,
+                    ::std::format!($($fmt)*)
+                );
+            }
+        }
+    };
+}
+
+/// Discards the current test case (counted as passed) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject());
+        }
+    };
+}
+
+/// Chooses uniformly (or by weight, with `w => strat` arms) among the
+/// given strategies, which must share a value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(::std::vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

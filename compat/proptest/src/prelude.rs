@@ -1,0 +1,9 @@
+//! Glob-import surface mirroring `proptest::prelude`.
+
+pub use crate::arbitrary::{any, Arbitrary};
+pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestRng};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+
+/// Module alias so `prop::collection::vec(...)` etc. resolve.
+pub use crate as prop;

@@ -1,0 +1,250 @@
+//! String strategies from a small regex subset.
+//!
+//! Real proptest accepts arbitrary regexes as string strategies. This
+//! shim supports exactly the forms the workspace's tests use — a
+//! concatenation of atoms, each optionally repeated:
+//!
+//! - `\PC` — any non-control character (drawn from a curated pool of
+//!   ASCII and multi-byte characters so UTF-8 handling is exercised);
+//! - `[class]` — a character class of literals and `a-b` ranges
+//!   (negation is not supported);
+//! - any literal character;
+//! - `{m,n}` / `{m}` repetition suffixes (inclusive bounds).
+//!
+//! Unsupported syntax panics with a pointer to this module so the next
+//! test author knows where to extend it.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Pool for `\PC` (any non-control char): ASCII-heavy with enough
+/// multi-byte characters to exercise UTF-8 paths (2-, 3- and 4-byte
+/// encodings). Every entry satisfies `!char::is_control`.
+const NON_CONTROL_POOL: &[char] = &[
+    ' ', '!', '"', '#', '$', '%', '&', '\'', '(', ')', '*', '+', ',', '-', '.', '/', '0', '1',
+    '2', '3', '4', '5', '6', '7', '8', '9', ':', ';', '<', '=', '>', '?', '@', 'A', 'B', 'C',
+    'D', 'E', 'F', 'G', 'H', 'I', 'J', 'K', 'L', 'M', 'N', 'O', 'P', 'Q', 'R', 'S', 'T', 'U',
+    'V', 'W', 'X', 'Y', 'Z', '[', '\\', ']', '^', '_', '`', 'a', 'b', 'c', 'd', 'e', 'f', 'g',
+    'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q', 'r', 's', 't', 'u', 'v', 'w', 'x', 'y',
+    'z', '{', '|', '}', '~', '£', 'é', 'ß', 'Ж', 'λ', 'Ω', '✓', '→', '中', '文', '日', '🙂',
+    '🚀',
+];
+
+/// Draws one non-control character (used by `\PC` and `any::<char>()`).
+pub(crate) fn non_control_char(rng: &mut TestRng) -> char {
+    NON_CONTROL_POOL[rng.below(NON_CONTROL_POOL.len() as u64) as usize]
+}
+
+#[derive(Debug, Clone)]
+enum Atom {
+    NonControl,
+    Class(Vec<(char, char)>),
+    Literal(char),
+}
+
+impl Atom {
+    fn generate(&self, rng: &mut TestRng) -> char {
+        match self {
+            Atom::NonControl => non_control_char(rng),
+            Atom::Class(ranges) => {
+                let total: u64 =
+                    ranges.iter().map(|(lo, hi)| (*hi as u64) - (*lo as u64) + 1).sum();
+                let mut pick = rng.below(total);
+                for (lo, hi) in ranges {
+                    let span = (*hi as u64) - (*lo as u64) + 1;
+                    if pick < span {
+                        return char::from_u32(*lo as u32 + pick as u32)
+                            .expect("class ranges must not span the surrogate gap");
+                    }
+                    pick -= span;
+                }
+                unreachable!("class pick out of range")
+            }
+            Atom::Literal(c) => *c,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// A compiled pattern: a sequence of repeated atoms.
+#[derive(Debug, Clone)]
+pub struct StringStrategy {
+    pieces: Vec<Piece>,
+}
+
+fn unsupported(pattern: &str, what: &str) -> ! {
+    panic!(
+        "string strategy {pattern:?}: {what} is not supported by the offline proptest shim \
+         (see compat/proptest/src/string.rs)"
+    )
+}
+
+fn parse(pattern: &str) -> StringStrategy {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut pieces = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '\\' => {
+                if chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C') {
+                    i += 3;
+                    Atom::NonControl
+                } else if let Some(&escaped) = chars.get(i + 1) {
+                    i += 2;
+                    Atom::Literal(escaped)
+                } else {
+                    unsupported(pattern, "trailing backslash")
+                }
+            }
+            '[' => {
+                i += 1;
+                if chars.get(i) == Some(&'^') {
+                    unsupported(pattern, "negated character class")
+                }
+                let mut ranges = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = chars[i];
+                    if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|&c| c != ']')
+                    {
+                        let hi = chars[i + 2];
+                        if hi < lo {
+                            unsupported(pattern, "descending class range")
+                        }
+                        ranges.push((lo, hi));
+                        i += 3;
+                    } else {
+                        ranges.push((lo, lo));
+                        i += 1;
+                    }
+                }
+                if i >= chars.len() {
+                    unsupported(pattern, "unterminated character class")
+                }
+                i += 1; // consume ']'
+                if ranges.is_empty() {
+                    unsupported(pattern, "empty character class")
+                }
+                Atom::Class(ranges)
+            }
+            '{' | '}' | '*' | '+' | '?' | '(' | ')' | '|' | '.' | '^' | '$' => {
+                unsupported(pattern, "this metacharacter")
+            }
+            literal => {
+                i += 1;
+                Atom::Literal(literal)
+            }
+        };
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| unsupported(pattern, "unterminated repetition"));
+            let body: String = chars[i + 1..i + close].iter().collect();
+            i += close + 1;
+            let mut parts = body.splitn(2, ',');
+            let lo: usize = parts
+                .next()
+                .and_then(|p| p.trim().parse().ok())
+                .unwrap_or_else(|| unsupported(pattern, "non-numeric repetition bound"));
+            match parts.next() {
+                None => (lo, lo),
+                Some(hi) => {
+                    let hi: usize = hi
+                        .trim()
+                        .parse()
+                        .unwrap_or_else(|_| unsupported(pattern, "open-ended repetition"));
+                    if hi < lo {
+                        unsupported(pattern, "descending repetition bounds")
+                    }
+                    (lo, hi)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    StringStrategy { pieces }
+}
+
+impl Strategy for StringStrategy {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in &self.pieces {
+            let count = rng.in_range_inclusive(piece.min as u64, piece.max as u64) as usize;
+            for _ in 0..count {
+                out.push(piece.atom.generate(rng));
+            }
+        }
+        out
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        parse(self).generate(rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        parse(self).generate(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(pattern: &str, rng: &mut TestRng) -> String {
+        parse(pattern).generate(rng)
+    }
+
+    #[test]
+    fn class_repetition_respects_membership_and_length() {
+        let mut rng = TestRng::deterministic("class");
+        for _ in 0..200 {
+            let s = gen("[A-Z2-7;b]{0,40}", &mut rng);
+            assert!(s.chars().count() <= 40);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_uppercase() || ('2'..='7').contains(&c) || c == ';' || c == 'b'));
+        }
+    }
+
+    #[test]
+    fn non_control_class_yields_no_control_chars() {
+        let mut rng = TestRng::deterministic("pc");
+        for _ in 0..100 {
+            let s = gen("\\PC{0,120}", &mut rng);
+            assert!(s.chars().all(|c| !c.is_control()));
+            assert!(s.chars().count() <= 120);
+        }
+    }
+
+    #[test]
+    fn literals_and_fixed_counts() {
+        let mut rng = TestRng::deterministic("lit");
+        assert_eq!(gen("abc", &mut rng), "abc");
+        assert_eq!(gen("x{3}", &mut rng), "xxx");
+    }
+
+    #[test]
+    fn multibyte_pool_appears_eventually() {
+        let mut rng = TestRng::deterministic("multibyte");
+        let mut saw_multibyte = false;
+        for _ in 0..200 {
+            saw_multibyte |= gen("\\PC{0,50}", &mut rng).bytes().any(|b| b >= 0x80);
+        }
+        assert!(saw_multibyte, "pool should produce multi-byte UTF-8");
+    }
+}

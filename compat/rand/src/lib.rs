@@ -1,0 +1,115 @@
+//! Offline compatibility shim for the `rand` crate.
+//!
+//! The build environment for this reproduction has no access to
+//! crates.io, so the workspace vendors a tiny, dependency-free subset of
+//! the `rand` 0.9 API surface it actually uses: [`rng()`] returning a
+//! thread-local generator and the [`Rng`] trait with `fill_bytes` /
+//! `next_u64`.
+//!
+//! The generator is a SplitMix64 stream seeded once per thread from
+//! `/dev/urandom` (falling back to the system clock and an address-space
+//! cookie when unavailable). It is *not* a cryptographic RNG; the
+//! workspace only uses it as an entropy source for nonces in simulated
+//! experiments, where the downstream construction (CTR-DRBG in
+//! `pe-crypto`) provides the actual cryptographic guarantees.
+
+use std::cell::Cell;
+
+/// Minimal subset of `rand::Rng`.
+pub trait Rng {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let w = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&w[..rem.len()]);
+        }
+    }
+
+    /// Returns a random value in `[0, bound)`.
+    fn random_range_u64(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Multiply-shift rejection-free mapping (Lemire); bias is
+        // negligible for the simulation workloads this shim serves.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+thread_local! {
+    static THREAD_STATE: Cell<u64> = Cell::new(seed_from_os());
+}
+
+fn seed_from_os() -> u64 {
+    use std::io::Read;
+    if let Ok(mut f) = std::fs::File::open("/dev/urandom") {
+        let mut b = [0u8; 8];
+        if f.read_exact(&mut b).is_ok() {
+            return u64::from_le_bytes(b);
+        }
+    }
+    fallback_seed()
+}
+
+fn fallback_seed() -> u64 {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0x9e37_79b9_7f4a_7c15);
+    let cookie = &nanos as *const u64 as u64;
+    splitmix(nanos ^ cookie.rotate_left(32) ^ std::process::id() as u64)
+}
+
+#[inline]
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Handle to the thread-local generator, mirroring `rand::rngs::ThreadRng`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ThreadRng;
+
+impl Rng for ThreadRng {
+    fn next_u64(&mut self) -> u64 {
+        THREAD_STATE.with(|state| {
+            let s = state.get().wrapping_add(0x9e37_79b9_7f4a_7c15);
+            state.set(s);
+            splitmix(s)
+        })
+    }
+}
+
+/// Returns the thread-local generator (the `rand` 0.9 `rand::rng()` entry point).
+pub fn rng() -> ThreadRng {
+    ThreadRng
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_bytes_covers_partial_words() {
+        let mut buf = [0u8; 13];
+        rng().fill_bytes(&mut buf);
+        // 13 zero bytes from a random stream is astronomically unlikely.
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn distinct_draws_differ() {
+        let mut r = rng();
+        assert_ne!(r.next_u64(), r.next_u64());
+    }
+}

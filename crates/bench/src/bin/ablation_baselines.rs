@@ -55,4 +55,5 @@ fn main() {
         })
         .collect();
     println!("{}", markdown_table(&["scheme", "attack", "outcome"], &table));
+    println!("{}", pe_bench::report::observability_section());
 }

@@ -34,4 +34,5 @@ fn main() {
             &table
         )
     );
+    println!("{}", pe_bench::report::observability_section());
 }

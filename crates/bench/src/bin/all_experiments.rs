@@ -178,4 +178,5 @@ fn main() {
     );
 
     println!("Done. Compare against the paper in EXPERIMENTS.md.");
+    println!("{}", pe_bench::report::observability_section());
 }

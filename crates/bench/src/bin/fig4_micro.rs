@@ -34,4 +34,5 @@ fn main() {
         ],
     ];
     println!("{}", markdown_table(&["operation", "average (per char)"], &rows));
+    println!("{}", pe_bench::report::observability_section());
 }

@@ -41,4 +41,5 @@ fn main() {
             println!("{}", markdown_table(&["operation", "mean degradation", "dev."], &table));
         }
     }
+    println!("{}", pe_bench::report::observability_section());
 }

@@ -30,4 +30,5 @@ fn main() {
             &table
         )
     );
+    println!("{}", pe_bench::report::observability_section());
 }

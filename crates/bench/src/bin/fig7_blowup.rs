@@ -27,4 +27,5 @@ fn main() {
         "{}",
         markdown_table(&["block size", "blowup", "reduction", "mean chars/block"], &table)
     );
+    println!("{}", pe_bench::report::observability_section());
 }

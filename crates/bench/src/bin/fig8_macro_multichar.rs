@@ -35,4 +35,5 @@ fn main() {
         })
         .collect();
     println!("{}", markdown_table(&["operation", "mean degradation", "dev."], &table));
+    println!("{}", pe_bench::report::observability_section());
 }

@@ -26,4 +26,5 @@ fn main() {
         "{}",
         markdown_table(&["feature", "without extension", "with extension"], &table)
     );
+    println!("{}", pe_bench::report::observability_section());
 }

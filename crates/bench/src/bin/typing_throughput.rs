@@ -101,4 +101,5 @@ fn main() {
             &rows
         )
     );
+    println!("{}", pe_bench::report::observability_section());
 }

@@ -33,6 +33,15 @@ pub fn millis(seconds: f64) -> String {
     format!("{:.3} ms", seconds * 1e3)
 }
 
+/// Renders the global observability snapshot as a Markdown section with a
+/// fenced JSON-lines block, for appending to each figure's report. The
+/// fenced body parses with [`pe_observe::Snapshot::parse_jsonl`], so the
+/// per-layer counters stay machine-readable alongside the figure numbers.
+pub fn observability_section() -> String {
+    let snapshot = pe_observe::global().snapshot();
+    format!("\n## Observability snapshot\n\n```jsonl\n{}```", snapshot.render_jsonl())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -52,5 +61,16 @@ mod tests {
     fn formats_numbers() {
         assert_eq!(percent(0.0839), "8.4%");
         assert_eq!(millis(0.00191), "1.910 ms");
+    }
+
+    #[test]
+    fn observability_section_parses_back() {
+        let section = observability_section();
+        let body = section
+            .split("```jsonl\n")
+            .nth(1)
+            .and_then(|rest| rest.split("```").next())
+            .expect("fenced block present");
+        assert!(pe_observe::Snapshot::parse_jsonl(body).is_ok(), "{body}");
     }
 }

@@ -1,5 +1,6 @@
 //! `pedit` binary: thin wrapper around [`pe_cli`].
 
+use std::io::Write;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -13,7 +14,14 @@ fn main() -> ExitCode {
     };
     match pe_cli::run(&options) {
         Ok(output) => {
-            println!("{output}");
+            // Write directly so `pedit stats | head` exits quietly on a
+            // closed pipe instead of panicking like println! would; add
+            // the final newline only when the output lacks one.
+            let mut stdout = std::io::stdout();
+            let _ = stdout.write_all(output.as_bytes());
+            if !output.ends_with('\n') {
+                let _ = stdout.write_all(b"\n");
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {

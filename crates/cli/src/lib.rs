@@ -110,6 +110,21 @@ pub enum Command {
         /// Document id.
         doc: String,
     },
+    /// Run a scripted edit session against an in-memory cloud and print
+    /// the observability snapshot for every layer.
+    Stats {
+        /// Output format for the snapshot.
+        format: StatsFormat,
+    },
+}
+
+/// Output format of the [`Command::Stats`] snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatsFormat {
+    /// Human-readable report with histogram bars.
+    Text,
+    /// Line-oriented JSON (one object per metric).
+    Json,
 }
 
 /// Errors surfaced to the user.
@@ -160,7 +175,8 @@ COMMANDS:
   delete  --doc ID --password PW --at N --len N
   history --doc ID --password PW
   rotate  --doc ID --old PW --new PW
-  raw     --doc ID";
+  raw     --doc ID
+  stats   [--format text|json]";
 
 /// Parses command-line arguments (excluding `argv[0]`).
 ///
@@ -185,9 +201,14 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, CliError> {
             _ => rest.push(arg.clone()),
         }
     }
-    let store = store.ok_or_else(|| usage("missing --store FILE"))?;
     let mut rest = rest.into_iter();
     let verb = rest.next().ok_or_else(|| usage("missing command"))?;
+    // `stats` runs against its own in-memory cloud, so no store is needed.
+    let store = match store {
+        Some(path) => path,
+        None if verb == "stats" => PathBuf::new(),
+        None => return Err(usage("missing --store FILE")),
+    };
     // Collect remaining flags into key/value pairs.
     let mut flags = std::collections::HashMap::new();
     let remaining: Vec<String> = rest.collect();
@@ -243,6 +264,15 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, CliError> {
             new: take(&flags, "new")?,
         },
         "raw" => Command::Raw { doc: take(&flags, "doc")? },
+        "stats" => Command::Stats {
+            format: match flags.get("format").map(String::as_str) {
+                None | Some("text") => StatsFormat::Text,
+                Some("json") => StatsFormat::Json,
+                Some(other) => {
+                    return Err(usage(&format!("unknown stats format {other:?}")))
+                }
+            },
+        },
         other => return Err(usage(&format!("unknown command {other:?}"))),
     };
     Ok(CliOptions { store, rpc, command })
@@ -274,6 +304,11 @@ fn mediator(
 ///
 /// Returns [`CliError`] for store, password, or integrity failures.
 pub fn run(options: &CliOptions) -> Result<String, CliError> {
+    if let Command::Stats { format } = &options.command {
+        // The stats session runs against its own in-memory cloud; the
+        // store file is neither read nor written.
+        return stats::run_scripted_session(*format);
+    }
     let server = std::sync::Arc::new(load_store(&options.store)?);
     let mut output = String::new();
     match &options.command {
@@ -357,9 +392,159 @@ pub fn run(options: &CliOptions) -> Result<String, CliError> {
             Some(content) => output.push_str(&content),
             None => output.push_str("(no such document)"),
         },
+        // Handled by the early return above; never reaches the store.
+        Command::Stats { .. } => unreachable!("stats handled before store load"),
     }
     persist_store(&options.store, &server)?;
     Ok(output)
+}
+
+mod stats {
+    //! The `pedit stats` scripted session: drives every layer of the
+    //! stack — client retry loop, privacy mediator, simulated cloud with
+    //! injected faults and the modeled network — against an in-memory
+    //! server, then prints the global observability snapshot.
+
+    use std::sync::{Arc, Mutex};
+
+    use pe_client::{DirectChannel, DocsClient, PrivateChannel, SaveOutcome};
+    use pe_cloud::docs::DocsServer;
+    use pe_cloud::fault::FlakyService;
+    use pe_cloud::meter::MeteredService;
+    use pe_cloud::net::NetworkModel;
+    use pe_cloud::CloudService;
+    use pe_crypto::CtrDrbg;
+    use pe_delta::Delta;
+    use pe_extension::{DocsMediator, MediatorConfig};
+
+    use crate::{CliError, StatsFormat};
+
+    /// Serializes sessions so concurrent callers (parallel tests) cannot
+    /// reset the global registry out from under each other.
+    fn session_lock() -> &'static Mutex<()> {
+        static LOCK: std::sync::OnceLock<Mutex<()>> = std::sync::OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(()))
+    }
+
+    pub(crate) fn run_scripted_session(format: StatsFormat) -> Result<String, CliError> {
+        let _guard = session_lock().lock().unwrap_or_else(|e| e.into_inner());
+        pe_observe::global().reset();
+
+        let bad = |detail: &str| CliError::BadStore(format!("stats session: {detail}"));
+        let server = Arc::new(DocsServer::new());
+
+        // --- rECB document: mediated edits over a metered transport. ---
+        let metered = MeteredService::new(Arc::clone(&server));
+        let mut mediator = DocsMediator::with_rng(
+            metered.clone(),
+            MediatorConfig::recb(8),
+            CtrDrbg::from_seed(0x57a7),
+        );
+        let doc_id = mediator.create_document("stats-pw")?;
+        mediator.save_full(&doc_id, "the quick brown fox jumps over the lazy dog")?;
+        let mut client = DocsClient::open(PrivateChannel(mediator), &doc_id)
+            .map_err(|_| bad("open failed"))?;
+        for i in 0..6 {
+            let len = client.content().len();
+            client.editor().insert(len, &format!(" edit {i}."));
+            if client.save() != SaveOutcome::Saved {
+                return Err(bad("mediated save failed"));
+            }
+        }
+        client.editor().delete(0, 4);
+        client.save();
+
+        // --- Two writers on the same document: conflict, then merge. ---
+        let reopen = |seed: u64| {
+            let mut m = DocsMediator::with_rng(
+                Arc::clone(&server),
+                MediatorConfig::recb(8),
+                CtrDrbg::from_seed(seed),
+            );
+            m.register_password(&doc_id, "stats-pw");
+            DocsClient::open(PrivateChannel(m), &doc_id)
+        };
+        let mut alice = reopen(1).map_err(|_| bad("alice open failed"))?;
+        let mut bob = reopen(2).map_err(|_| bad("bob open failed"))?;
+        alice.editor().insert(0, "[alice] ");
+        alice.save_merging(4);
+        let bob_len = bob.content().len();
+        bob.editor().insert(bob_len, " [bob]");
+        bob.save_merging(4);
+
+        // --- RPC document: integrity mode, then a tamper attempt. ---
+        let mut rpc_mediator = DocsMediator::with_rng(
+            Arc::clone(&server),
+            MediatorConfig::rpc(7),
+            CtrDrbg::from_seed(0x0bc),
+        );
+        let rpc_id = rpc_mediator.create_document("rpc-pw")?;
+        rpc_mediator.save_full(&rpc_id, "integrity protected contents")?;
+        let mut delta = Delta::builder();
+        delta.retain(9).insert(" fully");
+        rpc_mediator.save_delta(&rpc_id, &delta.build())?;
+        rpc_mediator.open_document(&rpc_id)?;
+        // Tamper with the stored ciphertext and watch verification fail.
+        let stored = server.stored_content(&rpc_id).ok_or_else(|| bad("no rpc doc"))?;
+        let flip = stored.len() - 2;
+        let tampered: String = stored
+            .char_indices()
+            .map(|(i, c)| if i == flip { if c == 'A' { 'B' } else { 'A' } } else { c })
+            .collect();
+        server.handle(&pe_cloud::Request::post(
+            "/Doc",
+            &[("docID", &rpc_id)],
+            pe_crypto::form::encode_pairs(&[("docContents", tampered.as_str())]),
+        ));
+        let mut victim = DocsMediator::with_rng(
+            Arc::clone(&server),
+            MediatorConfig::rpc(7),
+            CtrDrbg::from_seed(0xbad),
+        );
+        victim.register_password(&rpc_id, "rpc-pw");
+        if victim.open_document(&rpc_id).is_ok() {
+            return Err(bad("tampered document must not open"));
+        }
+
+        // --- Flaky transport: the client retry loop rides out 503s. ---
+        let flaky_doc = {
+            let resp = server.handle(&pe_cloud::Request::post("/Doc", &[("cmd", "create")], ""));
+            let body = resp.body_text().unwrap_or("");
+            let pairs = pe_crypto::form::parse_pairs(body).unwrap_or_default();
+            pe_crypto::form::first_value(&pairs, "docID")
+                .ok_or_else(|| bad("create failed"))?
+                .to_string()
+        };
+        // Deterministic seeds; at least one open succeeds.
+        let mut flaky_client = None;
+        for seed in 0..8 {
+            let flaky = FlakyService::new(Arc::clone(&server), 3, seed);
+            if let Ok(c) = DocsClient::open(DirectChannel(flaky), &flaky_doc) {
+                flaky_client = Some(c);
+                break;
+            }
+        }
+        let mut flaky_client = flaky_client.ok_or_else(|| bad("all flaky opens failed"))?;
+        for i in 0..10 {
+            let len = flaky_client.content().len();
+            flaky_client.editor().insert(len, &format!("chunk {i}. "));
+            if flaky_client.save_with_retry(10) != SaveOutcome::Saved {
+                return Err(bad("retried save failed"));
+            }
+        }
+
+        // --- Modeled network time for every metered exchange. ---
+        let model = NetworkModel::default();
+        for exchange in metered.drain() {
+            model.round_trip_bytes(exchange.request_bytes, exchange.response_bytes);
+        }
+
+        let snapshot = pe_observe::global().snapshot();
+        Ok(match format {
+            StatsFormat::Text => snapshot.render_text(),
+            StatsFormat::Json => snapshot.render_jsonl(),
+        })
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,84 @@
+//! `pedit stats` acceptance tests: the scripted session must light up
+//! nonzero counters and latency histograms in every layer (core,
+//! mediator, cloud, client), and the JSON rendering must round-trip
+//! through the snapshot parser.
+
+use pe_cli::{parse_args, run};
+use pe_observe::Snapshot;
+
+fn pedit_stats(extra: &[&str]) -> String {
+    let mut args = vec!["stats".to_string()];
+    args.extend(extra.iter().map(|s| s.to_string()));
+    run(&parse_args(&args).expect("stats args parse")).expect("stats session runs")
+}
+
+/// Counters that must be nonzero after the scripted session, covering
+/// all three layers of the stack plus the client retry loop.
+const REQUIRED_COUNTERS: &[&str] = &[
+    // core
+    "core.blocks_sealed.recb",
+    "core.blocks_opened.recb",
+    "core.blocks_sealed.rpc",
+    "core.blocks_opened.rpc",
+    "core.integrity_failures.rpc",
+    // mediator
+    "mediator.requests",
+    "mediator.outcome.encrypted",
+    "mediator.outcome.decrypted",
+    // cloud
+    "cloud.requests",
+    "cloud.faults_injected",
+    // client
+    "client.save_attempts",
+    "client.save_retries",
+    "client.merges",
+];
+
+/// Histograms that must have recorded at least one sample, including a
+/// latency (`_ns`) histogram for each layer.
+const REQUIRED_HISTOGRAMS: &[&str] = &[
+    "core.splice_content_bytes",
+    "mediator.encrypt_ns",
+    "mediator.decrypt_ns",
+    "cloud.net_modeled_ns",
+    "client.retries_to_success",
+];
+
+#[test]
+fn text_stats_cover_every_layer() {
+    let text = pedit_stats(&[]);
+    for name in REQUIRED_COUNTERS.iter().chain(REQUIRED_HISTOGRAMS) {
+        assert!(text.contains(name), "missing metric {name} in:\n{text}");
+    }
+    assert!(text.contains("observability snapshot"), "{text}");
+}
+
+#[test]
+fn json_stats_parse_and_have_nonzero_metrics() {
+    let jsonl = pedit_stats(&["--format", "json"]);
+    let snapshot = Snapshot::parse_jsonl(&jsonl).expect("stats JSON parses");
+    for name in REQUIRED_COUNTERS {
+        let value = snapshot
+            .counter(name)
+            .unwrap_or_else(|| panic!("missing counter {name} in:\n{jsonl}"));
+        assert!(value > 0, "counter {name} is zero");
+    }
+    for name in REQUIRED_HISTOGRAMS {
+        let histogram = snapshot
+            .histogram(name)
+            .unwrap_or_else(|| panic!("missing histogram {name} in:\n{jsonl}"));
+        assert!(histogram.count > 0, "histogram {name} is empty");
+        assert!(histogram.max >= histogram.min, "{name} bounds inverted");
+    }
+    // The JSON render of the parsed snapshot is identical to the
+    // original, i.e. the renderer and parser are true inverses here.
+    assert_eq!(snapshot.render_jsonl(), jsonl);
+}
+
+#[test]
+fn stats_session_is_deterministic_where_it_should_be() {
+    // Timings differ run to run, but counters are fully deterministic.
+    let a = Snapshot::parse_jsonl(&pedit_stats(&["--format", "json"])).unwrap();
+    let b = Snapshot::parse_jsonl(&pedit_stats(&["--format", "json"])).unwrap();
+    assert_eq!(a.counters, b.counters);
+}

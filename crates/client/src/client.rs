@@ -138,6 +138,7 @@ impl<C: Channel> DocsClient<C> {
         if self.sent_full_save && !self.editor.has_pending() {
             return (SaveOutcome::Clean, 200);
         }
+        pe_observe::static_counter!("client.save_attempts").inc();
         let response = if self.sent_full_save {
             let delta = self.editor.take_pending();
             let body = form::encode_pairs(&[("delta", delta.serialize().as_str())]);
@@ -150,6 +151,7 @@ impl<C: Channel> DocsClient<C> {
         };
         if !response.is_success() {
             self.conflicts += 1;
+            pe_observe::static_counter!("client.save_conflicts").inc();
             return (SaveOutcome::Conflict, response.status);
         }
         self.sent_full_save = true;
@@ -161,6 +163,7 @@ impl<C: Channel> DocsClient<C> {
             (SaveOutcome::Saved, response.status)
         } else {
             self.conflicts += 1;
+            pe_observe::static_counter!("client.save_conflicts").inc();
             (SaveOutcome::Conflict, response.status)
         }
     }
@@ -199,6 +202,7 @@ impl<C: Channel> DocsClient<C> {
             let local = diff(&self.synced, self.editor.content());
             if server_content != self.synced {
                 // Rebase local intent over the concurrent foreign changes.
+                pe_observe::static_counter!("client.merges").inc();
                 let foreign = diff(&self.synced, &server_content);
                 let base_len = self.synced.chars().count();
                 let Ok(rebased) = local.transform(&foreign, base_len, Side::Right) else {
@@ -237,14 +241,19 @@ impl<C: Channel> DocsClient<C> {
     /// resolve via [`DocsClient::refresh`] — blindly retrying those would
     /// clobber the other writer.
     pub fn save_with_retry(&mut self, attempts: usize) -> SaveOutcome {
-        for _ in 0..attempts.max(1) {
+        for attempt in 1..=attempts.max(1) {
             let snapshot = self.editor.clone();
             let (outcome, status) = self.save_inner();
             match outcome {
-                SaveOutcome::Saved | SaveOutcome::Clean => return outcome,
+                SaveOutcome::Saved | SaveOutcome::Clean => {
+                    pe_observe::static_histogram!("client.retries_to_success")
+                        .record(attempt as u64 - 1);
+                    return outcome;
+                }
                 SaveOutcome::Conflict if status >= 500 => {
                     // Transient: restore the unsent edits; the next
                     // attempt re-establishes server state via a full save.
+                    pe_observe::static_counter!("client.save_retries").inc();
                     self.editor = snapshot;
                     self.sent_full_save = false;
                 }

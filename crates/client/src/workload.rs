@@ -97,7 +97,7 @@ impl WorkloadGen {
             .map(|(i, _)| i + 1)
             .collect();
         if bounds.len() < 2 {
-            let len = content.len().min(40).max(1);
+            let len = content.len().clamp(1, 40);
             return (0, len);
         }
         let pick = self.rng.next_below((bounds.len() - 1) as u64) as usize;

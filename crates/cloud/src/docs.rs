@@ -377,7 +377,7 @@ fn pig_latin(word: &str) -> String {
 impl CloudService for DocsServer {
     fn handle(&self, request: &Request) -> Response {
         let doc_id = request.query_param("docID").unwrap_or("");
-        match (request.method, request.path.as_str()) {
+        let response = match (request.method, request.path.as_str()) {
             (crate::Method::Post, "/Doc") => match request.query_param("cmd") {
                 Some("create") => self.create(),
                 Some("open") => self.open(doc_id),
@@ -399,7 +399,15 @@ impl CloudService for DocsServer {
                 self.drawing(request.body_text().unwrap_or(""))
             }
             _ => Response::error(404, "unknown endpoint"),
-        }
+        };
+        pe_observe::static_counter!("cloud.requests").inc();
+        pe_observe::counter(&format!(
+            "cloud.req.{}.{}xx",
+            request.path,
+            response.status / 100
+        ))
+        .inc();
+        response
     }
 
     fn name(&self) -> &'static str {

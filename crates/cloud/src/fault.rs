@@ -67,7 +67,7 @@ impl<S: CloudService> FlakyService<S> {
         let mut z = n.wrapping_add(self.seed).wrapping_add(0x9e37_79b9_7f4a_7c15);
         z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        (z ^ (z >> 31)) % self.period == 0
+        (z ^ (z >> 31)).is_multiple_of(self.period)
     }
 }
 
@@ -75,6 +75,7 @@ impl<S: CloudService> CloudService for FlakyService<S> {
     fn handle(&self, request: &Request) -> Response {
         let n = self.counter.fetch_add(1, Ordering::Relaxed);
         if self.should_fail(n) {
+            pe_observe::static_counter!("cloud.faults_injected").inc();
             return Response::error(503, "service unavailable (injected fault)");
         }
         self.inner.handle(request)

@@ -73,7 +73,9 @@ impl NetworkModel {
             Duration::ZERO
         };
         let server_var = self.server_per_byte * (request_bytes as u32);
-        self.rtt + transfer + self.server_base + server_var
+        let latency = self.rtt + transfer + self.server_base + server_var;
+        pe_observe::static_histogram!("cloud.net_modeled_ns").record_duration(latency);
+        latency
     }
 }
 

@@ -169,7 +169,7 @@ impl MerkleTree {
         let mut hash = leaf_hash(data);
         let mut index = proof.index;
         for sibling in &proof.siblings {
-            hash = if index % 2 == 0 {
+            hash = if index.is_multiple_of(2) {
                 node_hash(&hash, sibling)
             } else {
                 node_hash(sibling, &hash)

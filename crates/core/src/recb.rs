@@ -197,6 +197,7 @@ impl<S: BlockSeq<SealedBlock> + Default> RecbDocument<S> {
         let mut header = header_cipher;
         cipher.decrypt_block(&mut header);
         if header[8..] != HEADER_MAGIC {
+            pe_observe::static_counter!("core.integrity_failures.recb").inc();
             return Err(CoreError::IntegrityFailure {
                 detail: "wrong password or corrupted header".into(),
             });
@@ -252,6 +253,7 @@ impl<S: BlockSeq<SealedBlock>> RecbDocument<S> {
             block[8 + k] = ri[k] ^ payload[k];
         }
         self.cipher.encrypt_block(&mut block);
+        pe_observe::static_counter!("core.blocks_sealed.recb").inc();
         SealedBlock { len: data.len() as u8, cipher: block }
     }
 
@@ -265,6 +267,7 @@ impl<S: BlockSeq<SealedBlock>> RecbDocument<S> {
             let ri = block[k] ^ self.r0[k];
             data.push(block[8 + k] ^ ri);
         }
+        pe_observe::static_counter!("core.blocks_opened.recb").inc();
         data
     }
 }

@@ -256,25 +256,41 @@ impl RpcDocument {
         self.cipher.encrypt_block(&mut block);
         self.xor_r ^= r_in;
         self.xor_mid ^= mid;
+        pe_observe::static_counter!("core.blocks_sealed.rpc").inc();
         SealedBlock { len: data.len() as u8, cipher: block }
     }
 
     /// Opens the data block at `ordinal` without verifying its position
     /// in the chain (chain checks happen in [`Self::verify`]).
+    ///
+    /// Infallible because every in-memory block was either sealed by this
+    /// document or already passed [`Self::verify`] during `open`.
     fn open_block(&self, ordinal: usize) -> OpenBlock {
         let sealed = self.blocks.get(ordinal).expect("ordinal in range");
         Self::open_cipher(&self.cipher, &sealed.cipher)
+            .expect("in-memory block passed verification")
     }
 
-    fn open_cipher(cipher: &Aes128, sealed: &[u8; 16]) -> OpenBlock {
+    fn open_cipher(cipher: &Aes128, sealed: &[u8; 16]) -> Result<OpenBlock, CoreError> {
         let mut block = *sealed;
         cipher.decrypt_block(&mut block);
         let r_in = u32::from_be_bytes(block[..4].try_into().expect("4 bytes"));
         let r_out = u32::from_be_bytes(block[12..].try_into().expect("4 bytes"));
         let mid = u64::from_be_bytes(block[4..12].try_into().expect("8 bytes"));
-        let len = (block[4] as usize).min(RPC_MAX_BLOCK);
+        // The in-block count byte is covered by the encryption; a value
+        // outside 1..=RPC_MAX_BLOCK can only mean tampering (or a wrong
+        // key) and must surface as an integrity failure, never be
+        // clamped into range.
+        let len = block[4] as usize;
+        if !(1..=RPC_MAX_BLOCK).contains(&len) {
+            pe_observe::static_counter!("core.integrity_failures.rpc").inc();
+            return Err(CoreError::IntegrityFailure {
+                detail: format!("sealed block count byte {len} outside 1..={RPC_MAX_BLOCK}"),
+            });
+        }
         let data = block[5..5 + len].to_vec();
-        OpenBlock { r_in, data, r_out, mid }
+        pe_observe::static_counter!("core.blocks_opened.rpc").inc();
+        Ok(OpenBlock { r_in, data, r_out, mid })
     }
 
     /// Removes a block's contribution from the running aggregates.
@@ -305,7 +321,10 @@ impl RpcDocument {
     /// length counters, and the checksum block (including the length
     /// amendment). Returns `(r0, xor_r, xor_mid, plaintext)`.
     fn verify(&self) -> Result<(u32, u32, u64, Vec<u8>), CoreError> {
-        let fail = |detail: String| Err(CoreError::IntegrityFailure { detail });
+        let fail = |detail: String| {
+            pe_observe::static_counter!("core.integrity_failures.rpc").inc();
+            Err(CoreError::IntegrityFailure { detail })
+        };
         let mut header = self.header_cipher;
         self.cipher.decrypt_block(&mut header);
         if header[4..12] != HEADER_MAGIC {
@@ -317,7 +336,11 @@ impl RpcDocument {
         let mut xor_mid = 0u64;
         let mut plaintext = Vec::with_capacity(self.blocks.total_weight());
         for (i, sealed) in self.blocks.iter().enumerate() {
-            let opened = Self::open_cipher(&self.cipher, &sealed.cipher);
+            let opened = Self::open_cipher(&self.cipher, &sealed.cipher).map_err(|_| {
+                CoreError::IntegrityFailure {
+                    detail: format!("block {i} sealed count byte out of range"),
+                }
+            })?;
             if opened.r_in != expected {
                 return fail(format!("nonce chain broken entering block {i}"));
             }
@@ -646,6 +669,31 @@ mod tests {
             RpcDocument::open(&key(), &tampered, CtrDrbg::from_seed(0)),
             Err(CoreError::IntegrityFailure { .. })
         ));
+    }
+
+    #[test]
+    fn tampered_count_byte_detected() {
+        // Regression: the sealed in-block count byte used to be clamped
+        // with `.min(RPC_MAX_BLOCK)`, silently truncating tampered
+        // blocks. Forge a block whose decrypted count byte is 200 (valid
+        // public tag, valid AES block under the right key) and check it
+        // surfaces as an integrity failure, not a 7-character block.
+        let d = doc(b"AAAAAAABBBBBBB", 7, 13);
+        let wire = d.serialize();
+        let pre = Layout::standard().preamble_chars;
+        let mut records: Vec<String> =
+            split_records(&wire).unwrap().iter().map(|r| r.to_string()).collect();
+        let mut forged = [0u8; 16];
+        forged[4] = 200; // count byte far outside 1..=RPC_MAX_BLOCK
+        key().cipher().encrypt_block(&mut forged);
+        records[1] = encode_record('7', &forged);
+        let tampered = format!("{}{}", &wire[..pre], records.concat());
+        match RpcDocument::open(&key(), &tampered, CtrDrbg::from_seed(0)) {
+            Err(CoreError::IntegrityFailure { detail }) => {
+                assert!(detail.contains("count byte"), "unexpected detail: {detail}");
+            }
+            other => panic!("expected IntegrityFailure, got {other:?}"),
+        }
     }
 
     #[test]

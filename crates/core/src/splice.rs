@@ -41,10 +41,15 @@ where
     S: BlockSeq<T>,
     F: Fn(usize) -> Vec<u8>,
 {
-    match op {
+    let planned = match op {
         EditOp::Insert { at, text } => plan_insert(blocks, *at, text, open),
         EditOp::Delete { at, len } => plan_delete(blocks, *at, *len, open),
+    };
+    if let Ok(SplicePlan::Splice { removed, content, .. }) = &planned {
+        pe_observe::static_histogram!("core.splice_removed_blocks").record(*removed as u64);
+        pe_observe::static_histogram!("core.splice_content_bytes").record(content.len() as u64);
     }
+    planned
 }
 
 fn plan_insert<T, S, F>(

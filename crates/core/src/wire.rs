@@ -151,7 +151,7 @@ impl Preamble {
 
 /// Encodes one record: tag character + Base32 of the 16-byte block.
 pub fn encode_record(tag: char, block: &[u8; 16]) -> String {
-    debug_assert!(matches!(tag, '0'..='9'));
+    debug_assert!(tag.is_ascii_digit());
     let mut out = String::with_capacity(RECORD_CHARS);
     out.push(tag);
     out.push_str(&base32::encode_unpadded(block));
@@ -193,7 +193,7 @@ pub fn split_records(text: &str) -> Result<Vec<&str>, CoreError> {
         return Err(CoreError::Malformed { detail: "document shorter than preamble".into() });
     }
     let body = &text[PREAMBLE_CHARS..];
-    if body.len() % RECORD_CHARS != 0 {
+    if !body.len().is_multiple_of(RECORD_CHARS) {
         return Err(CoreError::Malformed {
             detail: format!("record region length {} is not a multiple of {RECORD_CHARS}", body.len()),
         });

@@ -27,7 +27,7 @@ const ALPHABET: &[u8; 32] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZ234567";
 /// Encodes `data` as Base32 with `=` padding (RFC 4648 §6).
 pub fn encode(data: &[u8]) -> String {
     let mut out = encode_unpadded(data);
-    while out.len() % 8 != 0 {
+    while !out.len().is_multiple_of(8) {
         out.push('=');
     }
     out

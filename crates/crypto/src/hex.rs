@@ -30,7 +30,7 @@ pub fn encode(data: &[u8]) -> String {
 /// [`CryptoError::InvalidCharacter`] for non-hex characters.
 pub fn decode(text: &str) -> Result<Vec<u8>, CryptoError> {
     let bytes = text.as_bytes();
-    if bytes.len() % 2 != 0 {
+    if !bytes.len().is_multiple_of(2) {
         return Err(CryptoError::InvalidLength { length: bytes.len() });
     }
     let mut out = Vec::with_capacity(bytes.len() / 2);

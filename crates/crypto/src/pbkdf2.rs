@@ -25,8 +25,7 @@ use crate::hmac::HmacSha256;
 /// Panics if `iterations` is zero (RFC 2898 requires a positive count).
 pub fn pbkdf2_sha256(password: &[u8], salt: &[u8], iterations: u32, out: &mut [u8]) {
     assert!(iterations > 0, "PBKDF2 iteration count must be positive");
-    let mut block_index: u32 = 1;
-    for chunk in out.chunks_mut(32) {
+    for (block_index, chunk) in (1u32..).zip(out.chunks_mut(32)) {
         let mut mac = HmacSha256::new(password);
         mac.update(salt);
         mac.update(&block_index.to_be_bytes());
@@ -41,7 +40,6 @@ pub fn pbkdf2_sha256(password: &[u8], salt: &[u8], iterations: u32, out: &mut [u
             }
         }
         chunk.copy_from_slice(&t[..chunk.len()]);
-        block_index += 1;
     }
 }
 

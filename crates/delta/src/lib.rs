@@ -1,3 +1,7 @@
+// Tab IS the delta wire format's separator; the doc examples keep it
+// literal so they read exactly as the protocol does.
+#![allow(clippy::tabs_in_doc_comments)]
+
 //! The Google-Documents-style incremental update ("delta") protocol.
 //!
 //! Section IV-A of the paper describes the wire format the 2011 Google

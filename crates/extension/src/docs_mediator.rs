@@ -203,6 +203,22 @@ impl<S: CloudService> DocsMediator<S> {
     /// (no password, wrong password, tampered ciphertext). Unknown
     /// requests are not errors — they come back [`Outcome::Blocked`].
     pub fn intercept(&mut self, request: &Request) -> Result<Mediated, ExtensionError> {
+        pe_observe::static_counter!("mediator.requests").inc();
+        let result = self.intercept_inner(request);
+        match &result {
+            Ok(mediated) => pe_observe::counter(match mediated.outcome {
+                Outcome::PassedThrough => "mediator.outcome.passed_through",
+                Outcome::Encrypted => "mediator.outcome.encrypted",
+                Outcome::Decrypted => "mediator.outcome.decrypted",
+                Outcome::Blocked => "mediator.outcome.blocked",
+            })
+            .inc(),
+            Err(_) => pe_observe::static_counter!("mediator.errors").inc(),
+        }
+        result
+    }
+
+    fn intercept_inner(&mut self, request: &Request) -> Result<Mediated, ExtensionError> {
         match (request.method, request.path.as_str()) {
             (Method::Post, "/Doc") => match request.query_param("cmd") {
                 Some("create") => Ok(self.passthrough(request)),
@@ -280,7 +296,10 @@ impl<S: CloudService> DocsMediator<S> {
         // Rebuild state from the authoritative server copy (it may have
         // been changed by a collaborator).
         self.docs.remove(doc_id);
-        self.ensure_state(doc_id, Some(content))?;
+        {
+            let _timed = pe_observe::static_histogram!("mediator.decrypt_ns").span();
+            self.ensure_state(doc_id, Some(content))?;
+        }
         let plaintext = self.docs[doc_id].plaintext.clone();
         let hash = hex::encode(&Sha256::digest(plaintext.as_bytes())[..8]);
         let mut rewritten: Vec<(String, String)> = Vec::new();
@@ -345,11 +364,14 @@ impl<S: CloudService> DocsMediator<S> {
         };
         // Attempt decryption; revisions that predate the current password
         // (or are empty) pass through as stored.
-        let decrypted = Preamble::parse(content).ok().and_then(|preamble| {
-            let key = self.keyring.derive_existing(&doc_id, &preamble.salt)?;
-            let doc = self.open_doc(&key, content, preamble.mode).ok()?;
-            String::from_utf8(doc.decrypt().ok()?).ok()
-        });
+        let decrypted = {
+            let _timed = pe_observe::static_histogram!("mediator.decrypt_ns").span();
+            Preamble::parse(content).ok().and_then(|preamble| {
+                let key = self.keyring.derive_existing(&doc_id, &preamble.salt)?;
+                let doc = self.open_doc(&key, content, preamble.mode).ok()?;
+                String::from_utf8(doc.decrypt().ok()?).ok()
+            })
+        };
         match decrypted {
             Some(plaintext) => Ok(Mediated {
                 response: Response::ok(form::encode_pairs(&[("content", plaintext.as_str())])),
@@ -392,10 +414,17 @@ impl<S: CloudService> DocsMediator<S> {
     ) -> Result<Mediated, ExtensionError> {
         self.ensure_state(doc_id, None)?;
         let state = self.docs.get_mut(doc_id).expect("ensured above");
-        state.transformer.replace_all(contents.as_bytes())?;
+        {
+            let _timed = pe_observe::static_histogram!("mediator.encrypt_ns").span();
+            state.transformer.replace_all(contents.as_bytes())?;
+        }
         state.plaintext = contents.to_string();
         state.synced = true;
         let ciphertext = state.transformer.ciphertext().to_string();
+        if !contents.is_empty() {
+            pe_observe::static_histogram!("mediator.blowup_pct")
+                .record((ciphertext.len() * 100 / contents.len()) as u64);
+        }
         let mut fields: Vec<(String, String)> =
             vec![("docContents".into(), ciphertext)];
         if self.config.pad_updates {
@@ -438,11 +467,19 @@ impl<S: CloudService> DocsMediator<S> {
         } else {
             delta.clone()
         };
-        let cdelta = state.transformer.transform(&effective)?;
+        let cdelta = {
+            let _timed = pe_observe::static_histogram!("mediator.encrypt_ns").span();
+            state.transformer.transform(&effective)?
+        };
         let updated = effective.apply_bytes(state.plaintext.as_bytes())?;
         state.plaintext = String::from_utf8(updated).map_err(|_| {
             ExtensionError::BadResponse { detail: "delta produced invalid text".into() }
         })?;
+        if !state.plaintext.is_empty() {
+            pe_observe::static_histogram!("mediator.blowup_pct").record(
+                (state.transformer.ciphertext().len() * 100 / state.plaintext.len()) as u64,
+            );
+        }
         let mut fields: Vec<(String, String)> =
             vec![("delta".into(), cdelta.serialize())];
         if self.config.pad_updates {

@@ -164,6 +164,31 @@ impl<T: Weighted> IndexedSkipList<T> {
         }
     }
 
+    /// Sums `(span_blocks, span_weight)` along the forward chain of each
+    /// level, from the head to NIL. For a consistent list every level's
+    /// totals equal `(len_blocks, total_weight)` — the links at level `i`
+    /// partition the sequence, whatever subset of nodes reaches level `i`.
+    /// Intended for tests; O(n · level).
+    #[doc(hidden)]
+    pub fn level_span_totals(&self) -> Vec<(usize, usize)> {
+        (0..self.level)
+            .map(|i| {
+                let mut x = 0usize;
+                let (mut blocks, mut weight) = (0usize, 0usize);
+                loop {
+                    let link = self.nodes[x].forward[i];
+                    blocks += link.span_blocks;
+                    weight += link.span_weight;
+                    if link.target == NIL {
+                        break;
+                    }
+                    x = link.target;
+                }
+                (blocks, weight)
+            })
+            .collect()
+    }
+
     /// Verifies every structural invariant (span consistency at all
     /// levels, length/weight accounting). Intended for tests; O(n · level).
     ///
@@ -269,8 +294,7 @@ impl<T: Weighted> BlockSeq<T> for IndexedSkipList<T> {
             self.nodes[u].forward[i] =
                 Link { target: new_idx, span_blocks: nb, span_weight: nw };
         }
-        for i in lvl..self.level {
-            let u = update[i];
+        for (i, &u) in update.iter().enumerate().skip(lvl) {
             self.nodes[u].forward[i].span_blocks += 1;
             self.nodes[u].forward[i].span_weight += w;
         }
@@ -285,8 +309,7 @@ impl<T: Weighted> BlockSeq<T> for IndexedSkipList<T> {
         debug_assert_ne!(target, NIL);
         let w = self.nodes[target].value.as_ref().expect("live node").weight();
         let target_levels = self.nodes[target].forward.len();
-        for i in 0..self.level {
-            let u = update[i];
+        for (i, &u) in update.iter().enumerate() {
             if i < target_levels && self.nodes[u].forward[i].target == target {
                 let t_link = self.nodes[target].forward[i];
                 let u_link = &mut self.nodes[u].forward[i];
@@ -324,8 +347,8 @@ impl<T: Weighted> BlockSeq<T> for IndexedSkipList<T> {
         if new_w != old_w {
             // Exactly one link per level covers the target block; it is the
             // link leaving update[i].
-            for i in 0..self.level {
-                let u_link = &mut self.nodes[update[i]].forward[i];
+            for (i, &u) in update.iter().enumerate() {
+                let u_link = &mut self.nodes[u].forward[i];
                 u_link.span_weight = u_link.span_weight + new_w - old_w;
             }
             self.total_weight = self.total_weight + new_w - old_w;

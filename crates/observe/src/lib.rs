@@ -1,0 +1,125 @@
+//! Zero-dependency observability for the private-editing workspace.
+//!
+//! Every layer of the system — the incremental ciphers in `pe-core`, the
+//! privacy mediator in `pe-extension`, the simulated cloud in `pe-cloud`,
+//! and the editing client in `pe-client` — records what it does through
+//! this crate: how many blocks were sealed, how long a decrypt took, how
+//! often the flaky transport injected a fault. Metrics aggregate in a
+//! [`Registry`] (usually the process-wide [`global()`] one) and are read
+//! out as an immutable [`Snapshot`] that renders as human-readable text
+//! or as line-oriented JSON.
+//!
+//! The crate uses only `std`: counters and histogram buckets are
+//! [`AtomicU64`](std::sync::atomic::AtomicU64)s, so recording on the hot
+//! path is a single relaxed atomic increment and never blocks.
+//!
+//! # Metric kinds
+//!
+//! * [`Counter`] — a monotonically increasing `u64`.
+//! * [`Histogram`] — a fixed-bucket log₂ histogram with count/sum/min/max,
+//!   suitable for latencies (nanoseconds), sizes, and ratios alike.
+//! * [`Span`] — a guard started with [`Histogram::span`] that records the
+//!   elapsed wall-clock nanoseconds into its histogram when dropped.
+//!
+//! # Example
+//!
+//! ```
+//! use pe_observe::Registry;
+//!
+//! let registry = Registry::new();
+//! registry.counter("demo.requests").inc();
+//! registry.histogram("demo.latency_ns").record(1_500);
+//! {
+//!     let _timed = registry.histogram("demo.work_ns").span();
+//!     // ... timed work ...
+//! }
+//! let snapshot = registry.snapshot();
+//! assert_eq!(snapshot.counter("demo.requests"), Some(1));
+//! // The JSON renderer round-trips losslessly.
+//! let reparsed = pe_observe::Snapshot::parse_jsonl(&snapshot.render_jsonl()).unwrap();
+//! assert_eq!(reparsed, snapshot);
+//! ```
+//!
+//! # Naming convention
+//!
+//! Metric names are dotted paths, lowercase, with the owning layer first
+//! (`core.`, `mediator.`, `cloud.`, `client.`) and a unit suffix where
+//! one applies (`_ns` for nanoseconds, `_pct` for percentages).
+//! EXPERIMENTS.md documents every name the workspace emits.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod metrics;
+mod registry;
+mod snapshot;
+
+pub use metrics::{Counter, Histogram, Span, BUCKETS};
+pub use registry::Registry;
+pub use snapshot::{CounterSnapshot, HistogramSnapshot, Snapshot};
+
+use std::sync::OnceLock;
+
+/// The process-wide registry all instrumented crates record into.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Fetches (creating on first use) a counter in the [`global()`] registry.
+pub fn counter(name: &str) -> Counter {
+    global().counter(name)
+}
+
+/// Fetches (creating on first use) a histogram in the [`global()`] registry.
+pub fn histogram(name: &str) -> Histogram {
+    global().histogram(name)
+}
+
+/// A counter in the global registry, resolved once per call site.
+///
+/// Expands to an expression of type `&'static Counter`; the registry
+/// lookup happens only on the first execution, so hot paths pay just one
+/// relaxed atomic increment. [`Registry::reset`] zeroes values in place,
+/// so cached handles stay valid across resets.
+#[macro_export]
+macro_rules! static_counter {
+    ($name:expr) => {{
+        static SITE: ::std::sync::OnceLock<$crate::Counter> = ::std::sync::OnceLock::new();
+        SITE.get_or_init(|| $crate::counter($name))
+    }};
+}
+
+/// A histogram in the global registry, resolved once per call site.
+///
+/// See [`static_counter!`] for the caching semantics.
+#[macro_export]
+macro_rules! static_histogram {
+    ($name:expr) => {{
+        static SITE: ::std::sync::OnceLock<$crate::Histogram> = ::std::sync::OnceLock::new();
+        SITE.get_or_init(|| $crate::histogram($name))
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_handles_share_state() {
+        counter("lib.test.shared").add(3);
+        counter("lib.test.shared").inc();
+        assert_eq!(counter("lib.test.shared").get(), 4);
+    }
+
+    #[test]
+    fn static_macros_share_underlying_state() {
+        // Distinct call sites cache distinct handles, but all handles on
+        // one name alias the same atomic.
+        static_counter!("lib.test.static").inc();
+        static_counter!("lib.test.static").inc();
+        assert!(counter("lib.test.static").get() >= 2);
+        static_histogram!("lib.test.static_hist").record(7);
+        assert!(global().snapshot().histogram("lib.test.static_hist").is_some());
+    }
+}

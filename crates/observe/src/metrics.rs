@@ -1,0 +1,215 @@
+//! The metric primitives: counters, log₂ histograms, and span timers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::snapshot::{CounterSnapshot, HistogramSnapshot};
+
+/// Number of histogram buckets: bucket 0 holds the value `0` and bucket
+/// `i ≥ 1` holds values in `[2^(i-1), 2^i)`, so every `u64` lands in an
+/// index in `0..=64`.
+pub const BUCKETS: usize = 65;
+
+/// A monotonically increasing counter.
+///
+/// Cheap to clone; clones share the same atomic cell.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    pub(crate) fn new() -> Counter {
+        Counter(Arc::new(AtomicU64::new(0)))
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self, name: &str) -> CounterSnapshot {
+        CounterSnapshot { name: name.to_string(), value: self.get() }
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCells {
+    count: AtomicU64,
+    sum: AtomicU64,
+    /// `u64::MAX` until the first record.
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+/// A fixed-bucket log₂ histogram with running count, sum, min, and max.
+///
+/// Values are plain `u64`s; by convention latencies are recorded in
+/// nanoseconds (metric names ending `_ns`). Cheap to clone; clones share
+/// the same cells.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramCells>);
+
+/// Bucket index for a value: 0 for 0, else `floor(log2(v)) + 1`.
+fn bucket_index(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+impl Histogram {
+    pub(crate) fn new() -> Histogram {
+        Histogram(Arc::new(HistogramCells {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }))
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        let cells = &self.0;
+        cells.count.fetch_add(1, Ordering::Relaxed);
+        cells.sum.fetch_add(value, Ordering::Relaxed);
+        cells.min.fetch_min(value, Ordering::Relaxed);
+        cells.max.fetch_max(value, Ordering::Relaxed);
+        cells.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a duration in nanoseconds (saturating at `u64::MAX`).
+    pub fn record_duration(&self, duration: Duration) {
+        self.record(u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Starts a timer that records elapsed nanoseconds here when dropped.
+    pub fn span(&self) -> Span {
+        Span { histogram: self.clone(), start: Instant::now() }
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn reset(&self) {
+        let cells = &self.0;
+        cells.count.store(0, Ordering::Relaxed);
+        cells.sum.store(0, Ordering::Relaxed);
+        cells.min.store(u64::MAX, Ordering::Relaxed);
+        cells.max.store(0, Ordering::Relaxed);
+        for bucket in &cells.buckets {
+            bucket.store(0, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn snapshot(&self, name: &str) -> HistogramSnapshot {
+        let cells = &self.0;
+        let count = cells.count.load(Ordering::Relaxed);
+        let min = cells.min.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            name: name.to_string(),
+            count,
+            sum: cells.sum.load(Ordering::Relaxed),
+            min: if count == 0 { 0 } else { min },
+            max: cells.max.load(Ordering::Relaxed),
+            buckets: cells
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, bucket)| {
+                    let n = bucket.load(Ordering::Relaxed);
+                    (n > 0).then_some((i as u8, n))
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A timing guard: records elapsed wall-clock nanoseconds into its
+/// histogram when dropped (including on early return and unwind).
+#[derive(Debug)]
+pub struct Span {
+    histogram: Histogram,
+    start: Instant,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.histogram.record_duration(self.start.elapsed());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let counter = Counter::new();
+        counter.inc();
+        counter.add(41);
+        assert_eq!(counter.get(), 42);
+        counter.reset();
+        assert_eq!(counter.get(), 0);
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn histogram_tracks_stats_and_buckets() {
+        let hist = Histogram::new();
+        for value in [0, 1, 3, 1000, 1000] {
+            hist.record(value);
+        }
+        let snap = hist.snapshot("h");
+        assert_eq!(snap.count, 5);
+        assert_eq!(snap.sum, 2004);
+        assert_eq!(snap.min, 0);
+        assert_eq!(snap.max, 1000);
+        // value 0 → bucket 0; 1 → bucket 1; 3 → bucket 2; 1000 ×2 → bucket 10.
+        assert_eq!(snap.buckets, vec![(0, 1), (1, 1), (2, 1), (10, 2)]);
+    }
+
+    #[test]
+    fn empty_histogram_has_zero_min() {
+        let snap = Histogram::new().snapshot("empty");
+        assert_eq!((snap.count, snap.min, snap.max), (0, 0, 0));
+        assert!(snap.buckets.is_empty());
+    }
+
+    #[test]
+    fn span_records_on_drop() {
+        let hist = Histogram::new();
+        {
+            let _span = hist.span();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let snap = hist.snapshot("timed");
+        assert_eq!(snap.count, 1);
+        assert!(snap.min >= 1_000_000, "slept ≥1ms, recorded {}ns", snap.min);
+    }
+}

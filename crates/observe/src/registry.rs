@@ -1,0 +1,110 @@
+//! The metric registry: named handles and snapshotting.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use crate::metrics::{Counter, Histogram};
+use crate::snapshot::Snapshot;
+
+/// A collection of named metrics.
+///
+/// Handles returned by [`counter`](Registry::counter) and
+/// [`histogram`](Registry::histogram) are cheap clones sharing the
+/// registered atomics, so call sites may cache them (see
+/// [`static_counter!`](crate::static_counter)); the registry lock is only
+/// taken on lookup and snapshot, never on record.
+///
+/// Names are namespaced by kind: a counter and a histogram may share a
+/// name without colliding (they never do in practice — see the naming
+/// convention in the [crate docs](crate)).
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Returns the counter named `name`, creating it on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut counters = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+        counters.entry(name.to_string()).or_insert_with(Counter::new).clone()
+    }
+
+    /// Returns the histogram named `name`, creating it on first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut histograms = self.histograms.lock().unwrap_or_else(|e| e.into_inner());
+        histograms.entry(name.to_string()).or_insert_with(Histogram::new).clone()
+    }
+
+    /// Captures the current value of every metric, sorted by name.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+        let histograms = self.histograms.lock().unwrap_or_else(|e| e.into_inner());
+        Snapshot {
+            counters: counters.iter().map(|(name, c)| c.snapshot(name)).collect(),
+            histograms: histograms.iter().map(|(name, h)| h.snapshot(name)).collect(),
+        }
+    }
+
+    /// Zeroes every metric **in place**: existing handles (including ones
+    /// cached in `static_counter!` sites) keep recording into the same
+    /// cells afterwards.
+    pub fn reset(&self) {
+        for counter in self.counters.lock().unwrap_or_else(|e| e.into_inner()).values() {
+            counter.reset();
+        }
+        for histogram in self.histograms.lock().unwrap_or_else(|e| e.into_inner()).values() {
+            histogram.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_alias_the_same_metric() {
+        let registry = Registry::new();
+        let a = registry.counter("x");
+        let b = registry.counter("x");
+        a.inc();
+        b.add(2);
+        assert_eq!(registry.counter("x").get(), 3);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let registry = Registry::new();
+        registry.counter("zeta").inc();
+        registry.counter("alpha").add(5);
+        registry.histogram("mid").record(9);
+        let snap = registry.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["alpha", "zeta"]);
+        assert_eq!(snap.counter("alpha"), Some(5));
+        assert_eq!(snap.histogram("mid").unwrap().count, 1);
+    }
+
+    #[test]
+    fn reset_preserves_existing_handles() {
+        let registry = Registry::new();
+        let counter = registry.counter("c");
+        let histogram = registry.histogram("h");
+        counter.add(7);
+        histogram.record(3);
+        registry.reset();
+        assert_eq!(registry.snapshot().counter("c"), Some(0));
+        // The pre-reset handles still feed the registered metric.
+        counter.inc();
+        histogram.record(1);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("c"), Some(1));
+        assert_eq!(snap.histogram("h").unwrap().count, 1);
+    }
+}

@@ -1,0 +1,563 @@
+//! Immutable snapshots and their two renderings (text, JSON lines).
+
+use std::fmt::Write as _;
+
+/// A counter's captured value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Value at capture time.
+    pub value: u64,
+}
+
+/// A histogram's captured state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Smallest observed value (0 when empty).
+    pub min: u64,
+    /// Largest observed value (0 when empty).
+    pub max: u64,
+    /// Non-empty buckets as `(index, count)`, ascending by index. Bucket 0
+    /// holds the value 0; bucket `i ≥ 1` holds values in `[2^(i-1), 2^i)`.
+    pub buckets: Vec<(u8, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// The captured state of a whole [`Registry`](crate::Registry): plain
+/// data, comparable with `==`, and renderable as text or JSON lines.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    /// All counters, sorted by name.
+    pub counters: Vec<CounterSnapshot>,
+    /// All histograms, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// Looks up a counter's value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|c| c.name == name).map(|c| c.value)
+    }
+
+    /// Looks up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Sum of all counters whose name starts with `prefix` (for
+    /// aggregating per-endpoint or per-status families).
+    pub fn counter_family(&self, prefix: &str) -> u64 {
+        self.counters.iter().filter(|c| c.name.starts_with(prefix)).map(|c| c.value).sum()
+    }
+
+    /// Renders a human-readable report with histogram bars.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== observability snapshot ==\n");
+        if self.counters.is_empty() && self.histograms.is_empty() {
+            out.push_str("(no metrics recorded)\n");
+            return out;
+        }
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            let width = self.counters.iter().map(|c| c.name.len()).max().unwrap_or(0);
+            for c in &self.counters {
+                let _ = writeln!(out, "  {:width$}  {}", c.name, c.value);
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms:\n");
+            for h in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {}  count={} sum={} min={} mean={:.1} max={}",
+                    h.name,
+                    h.count,
+                    h.sum,
+                    h.min,
+                    h.mean(),
+                    h.max
+                );
+                let peak = h.buckets.iter().map(|&(_, n)| n).max().unwrap_or(0);
+                for &(index, n) in &h.buckets {
+                    let bar_len = if peak == 0 { 0 } else { (n * 32).div_ceil(peak) as usize };
+                    let _ = writeln!(
+                        out,
+                        "    {:>24} {:7} {}",
+                        bucket_label(index),
+                        n,
+                        "#".repeat(bar_len)
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the snapshot as line-oriented JSON: one object per metric,
+    /// one final `snapshot_end` object with totals, each on its own line.
+    ///
+    /// The format round-trips through [`Snapshot::parse_jsonl`]:
+    ///
+    /// ```
+    /// use pe_observe::Registry;
+    /// let registry = Registry::new();
+    /// registry.counter("a").add(2);
+    /// registry.histogram("b_ns").record(300);
+    /// let snapshot = registry.snapshot();
+    /// let reparsed = pe_observe::Snapshot::parse_jsonl(&snapshot.render_jsonl()).unwrap();
+    /// assert_eq!(reparsed, snapshot);
+    /// ```
+    pub fn render_jsonl(&self) -> String {
+        let mut out = String::new();
+        for c in &self.counters {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"counter\",\"name\":{},\"value\":{}}}",
+                json_string(&c.name),
+                c.value
+            );
+        }
+        for h in &self.histograms {
+            let buckets: Vec<String> =
+                h.buckets.iter().map(|&(i, n)| format!("[{i},{n}]")).collect();
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"histogram\",\"name\":{},\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[{}]}}",
+                json_string(&h.name),
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                buckets.join(",")
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"snapshot_end\",\"counters\":{},\"histograms\":{}}}",
+            self.counters.len(),
+            self.histograms.len()
+        );
+        out
+    }
+
+    /// Parses the output of [`Snapshot::render_jsonl`] back into a
+    /// snapshot. Unknown object types are ignored so the format can grow.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn parse_jsonl(input: &str) -> Result<Snapshot, String> {
+        let mut snapshot = Snapshot::default();
+        for (lineno, line) in input.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let value = json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            let object = value.as_object().ok_or_else(|| {
+                format!("line {}: expected a JSON object", lineno + 1)
+            })?;
+            let kind = object.get("type").and_then(Json::as_str).unwrap_or("");
+            let field = |key: &str| -> Result<u64, String> {
+                object.get(key).and_then(Json::as_u64).ok_or_else(|| {
+                    format!("line {}: missing numeric field {key:?}", lineno + 1)
+                })
+            };
+            let name = || -> Result<String, String> {
+                object.get("name").and_then(Json::as_str).map(str::to_string).ok_or_else(
+                    || format!("line {}: missing string field \"name\"", lineno + 1),
+                )
+            };
+            match kind {
+                "counter" => snapshot
+                    .counters
+                    .push(CounterSnapshot { name: name()?, value: field("value")? }),
+                "histogram" => {
+                    let buckets = object
+                        .get("buckets")
+                        .and_then(Json::as_array)
+                        .ok_or_else(|| format!("line {}: missing \"buckets\"", lineno + 1))?
+                        .iter()
+                        .map(|pair| {
+                            let pair = pair.as_array().filter(|p| p.len() == 2);
+                            let index = pair.and_then(|p| p[0].as_u64());
+                            let count = pair.and_then(|p| p[1].as_u64());
+                            match (index, count) {
+                                (Some(i), Some(n)) if i < crate::BUCKETS as u64 => {
+                                    Ok((i as u8, n))
+                                }
+                                _ => Err(format!("line {}: malformed bucket", lineno + 1)),
+                            }
+                        })
+                        .collect::<Result<Vec<_>, String>>()?;
+                    snapshot.histograms.push(HistogramSnapshot {
+                        name: name()?,
+                        count: field("count")?,
+                        sum: field("sum")?,
+                        min: field("min")?,
+                        max: field("max")?,
+                        buckets,
+                    });
+                }
+                _ => {} // snapshot_end and future types
+            }
+        }
+        Ok(snapshot)
+    }
+}
+
+/// Human label for a bucket: the value range it covers.
+fn bucket_label(index: u8) -> String {
+    match index {
+        0 => "0".to_string(),
+        1 => "1".to_string(),
+        i => {
+            let lo = 1u64 << (i - 1);
+            let hi = if i == 64 { u64::MAX } else { (1u64 << i) - 1 };
+            format!("{lo}..{hi}")
+        }
+    }
+}
+
+/// Serializes a metric name as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+use json::Json;
+
+/// A minimal JSON reader — just enough for the metric-line schema (and
+/// the usual recursive value grammar, so the format can evolve).
+mod json {
+    use std::collections::BTreeMap;
+
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Json {
+        Null,
+        Bool(bool),
+        /// Numbers are kept as f64; the schema only uses u64-safe values.
+        Number(f64),
+        String(String),
+        Array(Vec<Json>),
+        Object(BTreeMap<String, Json>),
+    }
+
+    impl Json {
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Json::String(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Json::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                    Some(*n as u64)
+                }
+                _ => None,
+            }
+        }
+
+        pub fn as_array(&self) -> Option<&[Json]> {
+            match self {
+                Json::Array(items) => Some(items),
+                _ => None,
+            }
+        }
+
+        pub fn as_object(&self) -> Option<&BTreeMap<String, Json>> {
+            match self {
+                Json::Object(map) => Some(map),
+                _ => None,
+            }
+        }
+    }
+
+    pub fn parse(input: &str) -> Result<Json, String> {
+        let mut parser = Parser { bytes: input.as_bytes(), pos: 0 };
+        parser.skip_ws();
+        let value = parser.value()?;
+        parser.skip_ws();
+        if parser.pos != parser.bytes.len() {
+            return Err(format!("trailing bytes at offset {}", parser.pos));
+        }
+        Ok(value)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn skip_ws(&mut self) {
+            while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.pos += 1;
+            }
+        }
+
+        fn expect(&mut self, byte: u8) -> Result<(), String> {
+            if self.peek() == Some(byte) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(format!("expected {:?} at offset {}", byte as char, self.pos))
+            }
+        }
+
+        fn value(&mut self) -> Result<Json, String> {
+            match self.peek() {
+                Some(b'{') => self.object(),
+                Some(b'[') => self.array(),
+                Some(b'"') => Ok(Json::String(self.string()?)),
+                Some(b't') => self.literal("true", Json::Bool(true)),
+                Some(b'f') => self.literal("false", Json::Bool(false)),
+                Some(b'n') => self.literal("null", Json::Null),
+                Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+                _ => Err(format!("unexpected input at offset {}", self.pos)),
+            }
+        }
+
+        fn literal(&mut self, text: &str, value: Json) -> Result<Json, String> {
+            if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+                self.pos += text.len();
+                Ok(value)
+            } else {
+                Err(format!("bad literal at offset {}", self.pos))
+            }
+        }
+
+        fn number(&mut self) -> Result<Json, String> {
+            let start = self.pos;
+            if self.peek() == Some(b'-') {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+            {
+                self.pos += 1;
+            }
+            let text = std::str::from_utf8(&self.bytes[start..self.pos])
+                .expect("sliced at byte boundaries of ASCII content");
+            text.parse::<f64>()
+                .map(Json::Number)
+                .map_err(|_| format!("bad number at offset {start}"))
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.peek() {
+                    None => return Err("unterminated string".to_string()),
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        match self.peek() {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'/') => out.push('/'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b'r') => out.push('\r'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'b') => out.push('\u{8}'),
+                            Some(b'f') => out.push('\u{c}'),
+                            Some(b'u') => {
+                                let hex = self
+                                    .bytes
+                                    .get(self.pos + 1..self.pos + 5)
+                                    .and_then(|h| std::str::from_utf8(h).ok())
+                                    .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                    .ok_or_else(|| {
+                                        format!("bad \\u escape at offset {}", self.pos)
+                                    })?;
+                                // Surrogate pairs are not needed for metric
+                                // names; reject rather than mis-decode.
+                                let c = char::from_u32(hex).ok_or_else(|| {
+                                    format!("unsupported \\u escape at offset {}", self.pos)
+                                })?;
+                                out.push(c);
+                                self.pos += 4;
+                            }
+                            _ => return Err(format!("bad escape at offset {}", self.pos)),
+                        }
+                        self.pos += 1;
+                    }
+                    Some(_) => {
+                        // Copy one UTF-8 code point verbatim.
+                        let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                            .map_err(|_| "invalid UTF-8 in string".to_string())?;
+                        let c = rest.chars().next().expect("non-empty by peek");
+                        out.push(c);
+                        self.pos += c.len_utf8();
+                    }
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Json, String> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Json::Array(items));
+            }
+            loop {
+                self.skip_ws();
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Json::Array(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at offset {}", self.pos)),
+                }
+            }
+        }
+
+        fn object(&mut self) -> Result<Json, String> {
+            self.expect(b'{')?;
+            let mut map = BTreeMap::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Json::Object(map));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                self.skip_ws();
+                let value = self.value()?;
+                map.insert(key, value);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Json::Object(map));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at offset {}", self.pos)),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    fn sample() -> Snapshot {
+        let registry = Registry::new();
+        registry.counter("cloud.requests").add(17);
+        registry.counter("core.blocks_sealed.rpc").add(1234);
+        let h = registry.histogram("mediator.encrypt_ns");
+        for v in [0, 5, 900, 1_000_000, u64::MAX] {
+            h.record(v);
+        }
+        registry.snapshot()
+    }
+
+    #[test]
+    fn text_rendering_mentions_every_metric() {
+        let text = sample().render_text();
+        assert!(text.contains("cloud.requests"));
+        assert!(text.contains("1234"));
+        assert!(text.contains("mediator.encrypt_ns"));
+        assert!(text.contains("count=5"));
+        assert!(text.contains('#'), "histogram bars are rendered");
+    }
+
+    #[test]
+    fn empty_snapshot_renders() {
+        let empty = Snapshot::default();
+        assert!(empty.render_text().contains("no metrics"));
+        assert_eq!(Snapshot::parse_jsonl(&empty.render_jsonl()).unwrap(), empty);
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let snapshot = sample();
+        let jsonl = snapshot.render_jsonl();
+        assert!(jsonl.lines().count() >= 4, "one line per metric plus trailer");
+        let reparsed = Snapshot::parse_jsonl(&jsonl).unwrap();
+        assert_eq!(reparsed, snapshot);
+    }
+
+    #[test]
+    fn names_with_escapes_round_trip() {
+        let registry = Registry::new();
+        registry.counter("odd \"name\"\\with\nescapes\t∆").inc();
+        let snapshot = registry.snapshot();
+        let reparsed = Snapshot::parse_jsonl(&snapshot.render_jsonl()).unwrap();
+        assert_eq!(reparsed, snapshot);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(Snapshot::parse_jsonl("{\"type\":\"counter\"").is_err());
+        assert!(Snapshot::parse_jsonl("not json at all").is_err());
+        assert!(Snapshot::parse_jsonl("{\"type\":\"counter\",\"name\":\"x\"}").is_err());
+        // Unknown types are tolerated (forward compatibility).
+        assert_eq!(
+            Snapshot::parse_jsonl("{\"type\":\"comment\",\"text\":\"hi\"}").unwrap(),
+            Snapshot::default()
+        );
+    }
+
+    #[test]
+    fn counter_family_sums_prefix() {
+        let registry = Registry::new();
+        registry.counter("cloud.req./Doc.2xx").add(3);
+        registry.counter("cloud.req./Doc.5xx").add(2);
+        registry.counter("client.other").add(9);
+        assert_eq!(registry.snapshot().counter_family("cloud.req."), 5);
+    }
+}

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 gate: release build, full test suite, and lints, all offline
+# (dependencies are vendored path crates under compat/). Run from the
+# repository root: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release --offline
+
+echo "== cargo test =="
+cargo test -q --offline
+
+echo "== cargo clippy =="
+cargo clippy --workspace --offline -- -D warnings
+
+echo "CI OK"
