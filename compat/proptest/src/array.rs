@@ -1,0 +1,54 @@
+//! Fixed-size array strategies: `uniformN(element)`.
+//!
+//! The real crate provides `uniform1` … `uniform32`; this shim implements
+//! the generic [`UniformArrayStrategy`] plus the sizes the workspace
+//! uses.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy generating `[S::Value; N]` arrays, each element drawn
+/// independently from the element strategy.
+pub struct UniformArrayStrategy<S, const N: usize> {
+    element: S,
+}
+
+impl<S: Strategy, const N: usize> Strategy for UniformArrayStrategy<S, N> {
+    type Value = [S::Value; N];
+    fn generate(&self, rng: &mut TestRng) -> [S::Value; N] {
+        std::array::from_fn(|_| self.element.generate(rng))
+    }
+}
+
+macro_rules! uniform_fns {
+    ($($name:ident => $n:literal),* $(,)?) => {
+        $(
+            /// Generates arrays of this size with elements from `element`.
+            pub fn $name<S: Strategy>(element: S) -> UniformArrayStrategy<S, $n> {
+                UniformArrayStrategy { element }
+            }
+        )*
+    };
+}
+
+uniform_fns! {
+    uniform4 => 4,
+    uniform8 => 8,
+    uniform16 => 16,
+    uniform32 => 32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+
+    #[test]
+    fn arrays_have_fixed_size_and_vary() {
+        let strategy = uniform16(any::<u8>());
+        let mut rng = TestRng::deterministic("array");
+        let a: [u8; 16] = strategy.generate(&mut rng);
+        let b: [u8; 16] = strategy.generate(&mut rng);
+        assert_ne!(a, b, "consecutive arrays should differ");
+    }
+}

@@ -17,6 +17,7 @@
 //!   `PROPTEST_CASES` to override the case count globally.
 
 pub mod arbitrary;
+pub mod array;
 pub mod char;
 pub mod collection;
 pub mod prelude;

@@ -1,0 +1,73 @@
+//! Crypto fast-path throughput: scalar baseline vs the T-table batch
+//! engine on full-document encrypt+decrypt, same run, same machine.
+//!
+//! Usage: `cargo run -p pe-bench --bin crypto_throughput --release -- \
+//!     [--smoke] [--out FILE]`
+//!
+//! Writes the JSON report to `BENCH_crypto.json` (or `--out FILE`) and
+//! prints a Markdown table. `--smoke` runs tiny sizes with one rep for
+//! CI.
+
+use pe_bench::crypto_bench::{crypto_throughput, render_json};
+use pe_bench::report::markdown_table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or("BENCH_crypto.json", String::as_str);
+
+    let (sizes, reps): (&[usize], usize) = if smoke {
+        (&[1024, 4096], 1)
+    } else {
+        (&[4096, 16 * 1024, 64 * 1024, 256 * 1024], 9)
+    };
+
+    println!("# Crypto fast-path throughput — full-document encrypt+decrypt (rECB, b=8)\n");
+    println!("Scalar = pre-fast-path byte-oriented AES, per-block loop, per-block allocation.");
+    println!("Fast = T-table AES through the batch seal/open engine (best of {reps} reps).\n");
+
+    let rows = crypto_throughput(sizes, reps, 0xc0ffee);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|row| {
+            vec![
+                format!("{} KiB", row.size_bytes / 1024),
+                format!("{:.3} ms", (row.scalar_encrypt_s + row.scalar_decrypt_s) * 1e3),
+                format!("{:.3} ms", (row.fast_encrypt_s + row.fast_decrypt_s) * 1e3),
+                format!("{:.1}x", row.encrypt_speedup()),
+                format!("{:.1}x", row.decrypt_speedup()),
+                format!("{:.1}x", row.roundtrip_speedup()),
+                format!("{:.1}", row.fast_throughput_mib_s()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "size",
+                "scalar enc+dec",
+                "fast enc+dec",
+                "enc speedup",
+                "dec speedup",
+                "roundtrip speedup",
+                "fast MiB/s"
+            ],
+            &table
+        )
+    );
+
+    let json = render_json(&rows, reps);
+    match std::fs::write(out_path, &json) {
+        Ok(()) => println!("wrote {out_path}"),
+        Err(e) => {
+            eprintln!("error: could not write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    println!("{}", pe_bench::report::observability_section());
+}

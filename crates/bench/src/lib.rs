@@ -17,6 +17,7 @@
 //! | §V-A/VI ablations | [`ablation`] | `ablation_baselines` |
 //! | §V-A integrity design space | [`integrity`] | `ablation_integrity` |
 //! | "typical use" keystroke throughput | — | `typing_throughput` |
+//! | Crypto fast-path throughput | [`crypto_bench::crypto_throughput`] | `crypto_throughput` |
 //!
 //! Timing note: run the binaries with `--release`; the from-scratch AES
 //! is 30–50× slower unoptimized.
@@ -26,6 +27,9 @@
 
 pub mod ablation;
 pub mod blowup;
+pub mod crypto_bench;
+pub mod prepr_drbg;
+pub mod prepr_list;
 pub mod integrity;
 pub mod macrobench;
 pub mod matrix;

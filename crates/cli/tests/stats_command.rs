@@ -32,16 +32,20 @@ const REQUIRED_COUNTERS: &[&str] = &[
     "client.save_attempts",
     "client.save_retries",
     "client.merges",
+    // cli (timed full-document save)
+    "cli.full_save_bytes",
 ];
 
 /// Histograms that must have recorded at least one sample, including a
 /// latency (`_ns`) histogram for each layer.
 const REQUIRED_HISTOGRAMS: &[&str] = &[
     "core.splice_content_bytes",
+    "core.batch.blocks_per_call",
     "mediator.encrypt_ns",
     "mediator.decrypt_ns",
     "cloud.net_modeled_ns",
     "client.retries_to_success",
+    "cli.full_save_ns",
 ];
 
 #[test]
@@ -51,6 +55,8 @@ fn text_stats_cover_every_layer() {
         assert!(text.contains(name), "missing metric {name} in:\n{text}");
     }
     assert!(text.contains("observability snapshot"), "{text}");
+    // The text report ends with the human-readable full-save wall time.
+    assert!(text.contains("full save:"), "{text}");
 }
 
 #[test]

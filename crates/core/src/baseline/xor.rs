@@ -73,8 +73,8 @@ impl XorDocument {
             blocks: IndexedSkipList::new(),
             rng: Box::new(rng),
         };
-        for (i, chunk) in chunks(plaintext, params.max_block).into_iter().enumerate() {
-            let sealed = doc.seal(&chunk);
+        for (i, chunk) in chunks(plaintext, params.max_block).enumerate() {
+            let sealed = doc.seal(chunk);
             doc.blocks.insert(i, sealed);
         }
         Ok(doc)
@@ -160,8 +160,8 @@ impl IncrementalCipherDoc for XorDocument {
             self.blocks.remove(start_block);
         }
         let mut inserted = Vec::new();
-        for (i, piece) in chunks(&content, self.params.max_block).into_iter().enumerate() {
-            let sealed = self.seal(&piece);
+        for (i, piece) in chunks(&content, self.params.max_block).enumerate() {
+            let sealed = self.seal(piece);
             inserted.push(encode_record(sealed.tag(), &sealed.cipher));
             self.blocks.insert(start_block + i, sealed);
         }

@@ -60,6 +60,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+mod batch;
 mod error;
 pub mod guard;
 mod keys;
@@ -149,6 +150,31 @@ pub trait IncrementalCipherDoc {
     /// Fails when the edit is out of bounds.
     fn apply(&mut self, op: &EditOp) -> Result<Vec<CipherPatch>, CoreError>;
 
+    /// Replaces the entire document contents (the protocol's full
+    /// `docContents` save, which re-encrypts everything).
+    ///
+    /// Unlike [`apply`](Self::apply) this returns no patches: a full save
+    /// ships the whole serialized ciphertext, so callers reserialize via
+    /// [`serialize`](Self::serialize). The provided implementation edits
+    /// the document in two splices; [`RecbDocument`] and [`RpcDocument`]
+    /// override it with a batch seal path that packs and encrypts all
+    /// blocks in one (possibly parallel) pass.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the underlying edits fail (not expected for a full
+    /// replacement).
+    fn replace_all(&mut self, plaintext: &[u8]) -> Result<(), CoreError> {
+        let len = self.len();
+        if len > 0 {
+            self.apply(&EditOp::delete(0, len))?;
+        }
+        if !plaintext.is_empty() {
+            self.apply(&EditOp::insert(0, plaintext))?;
+        }
+        Ok(())
+    }
+
     /// Serializes the full ciphertext document (the string the server
     /// stores).
     fn serialize(&self) -> String;
@@ -169,6 +195,10 @@ impl<T: IncrementalCipherDoc + ?Sized> IncrementalCipherDoc for Box<T> {
 
     fn apply(&mut self, op: &EditOp) -> Result<Vec<CipherPatch>, CoreError> {
         (**self).apply(op)
+    }
+
+    fn replace_all(&mut self, plaintext: &[u8]) -> Result<(), CoreError> {
+        (**self).replace_all(plaintext)
     }
 
     fn serialize(&self) -> String {

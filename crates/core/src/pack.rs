@@ -34,10 +34,16 @@ impl SealedBlock {
 
 /// Splits `text` into chunks of exactly `b` bytes, except the last chunk
 /// which holds the remainder (`1..=b` bytes). Empty input yields no
-/// chunks.
-pub(crate) fn chunks(text: &[u8], b: usize) -> Vec<Vec<u8>> {
+/// chunks. Borrowing slices of `text` (rather than collecting owned
+/// `Vec`s) keeps the full-document seal path allocation-free.
+pub(crate) fn chunks(text: &[u8], b: usize) -> impl ExactSizeIterator<Item = &[u8]> {
     debug_assert!((1..=8).contains(&b));
-    text.chunks(b).map(<[u8]>::to_vec).collect()
+    text.chunks(b)
+}
+
+/// Number of chunks [`chunks`] yields for `len` bytes at block size `b`.
+pub(crate) fn chunk_count(len: usize, b: usize) -> usize {
+    len.div_ceil(b)
 }
 
 /// Pads a `1..=8` byte chunk to exactly 8 bytes with zeros.
@@ -54,11 +60,22 @@ mod tests {
 
     #[test]
     fn chunks_exact_and_remainder() {
-        assert_eq!(chunks(b"", 8), Vec::<Vec<u8>>::new());
-        assert_eq!(chunks(b"abc", 8), vec![b"abc".to_vec()]);
-        assert_eq!(chunks(b"abcdefgh", 8), vec![b"abcdefgh".to_vec()]);
-        assert_eq!(chunks(b"abcdefghi", 8), vec![b"abcdefgh".to_vec(), b"i".to_vec()]);
-        assert_eq!(chunks(b"abcde", 2), vec![b"ab".to_vec(), b"cd".to_vec(), b"e".to_vec()]);
+        let collect = |text: &'static [u8], b: usize| -> Vec<Vec<u8>> {
+            chunks(text, b).map(<[u8]>::to_vec).collect()
+        };
+        assert_eq!(collect(b"", 8), Vec::<Vec<u8>>::new());
+        assert_eq!(collect(b"abc", 8), vec![b"abc".to_vec()]);
+        assert_eq!(collect(b"abcdefgh", 8), vec![b"abcdefgh".to_vec()]);
+        assert_eq!(collect(b"abcdefghi", 8), vec![b"abcdefgh".to_vec(), b"i".to_vec()]);
+        assert_eq!(collect(b"abcde", 2), vec![b"ab".to_vec(), b"cd".to_vec(), b"e".to_vec()]);
+    }
+
+    #[test]
+    fn chunk_count_matches_iterator() {
+        for (len, b) in [(0usize, 8usize), (1, 8), (8, 8), (9, 8), (5, 2), (1000, 3)] {
+            let text = vec![b'x'; len];
+            assert_eq!(chunk_count(len, b), chunks(&text, b).len(), "len={len} b={b}");
+        }
     }
 
     #[test]

@@ -25,9 +25,10 @@ use pe_crypto::drbg::NonceSource;
 use pe_crypto::BlockCipher;
 use pe_indexlist::{BlockSeq, IndexedSkipList};
 
+use crate::batch::{self, Direction};
 use crate::error::CoreError;
 use crate::keys::{DocumentKey, Mode, SchemeParams};
-use crate::pack::{chunks, pad8, SealedBlock};
+use crate::pack::{chunk_count, chunks, pad8, SealedBlock};
 use crate::splice::{plan, SplicePlan};
 use crate::wire::{
     decode_record, encode_record, split_records, CipherPatch, Layout, Preamble,
@@ -151,10 +152,9 @@ impl<S: BlockSeq<SealedBlock> + Default> RecbDocument<S> {
             blocks: S::default(),
             rng,
         };
-        for (i, chunk) in chunks(plaintext, params.max_block).into_iter().enumerate() {
-            let sealed = doc.seal(&chunk);
-            doc.blocks.insert(i, sealed);
-        }
+        let workers = batch::auto_workers(chunk_count(plaintext.len(), params.max_block));
+        let sealed = doc.seal_all(plaintext, workers);
+        doc.blocks.extend_back(sealed);
         Ok(doc)
     }
 
@@ -204,8 +204,8 @@ impl<S: BlockSeq<SealedBlock> + Default> RecbDocument<S> {
         }
         let mut r0 = [0u8; 8];
         r0.copy_from_slice(&header[..8]);
-        let mut blocks = S::default();
-        for (i, record) in records[1..].iter().enumerate() {
+        let mut parsed = Vec::with_capacity(records.len() - 1);
+        for record in &records[1..] {
             let (tag, block_cipher) = decode_record(record)?;
             let len = tag.to_digit(10).filter(|d| (1..=8).contains(d)).ok_or_else(|| {
                 CoreError::Malformed { detail: format!("invalid data record tag {tag:?}") }
@@ -215,8 +215,10 @@ impl<S: BlockSeq<SealedBlock> + Default> RecbDocument<S> {
                     detail: format!("block of {len} chars exceeds b={}", preamble.max_block),
                 });
             }
-            blocks.insert(i, SealedBlock { len, cipher: block_cipher });
+            parsed.push(SealedBlock { len, cipher: block_cipher });
         }
+        let mut blocks = S::default();
+        blocks.extend_back(parsed);
         let params = SchemeParams::recb(preamble.max_block);
         Ok(RecbDocument {
             cipher,
@@ -241,23 +243,67 @@ impl<S: BlockSeq<SealedBlock>> RecbDocument<S> {
         1 + self.blocks.len_blocks()
     }
 
-    /// Seals one chunk of `1..=max_block` plaintext bytes.
-    fn seal(&mut self, data: &[u8]) -> SealedBlock {
-        debug_assert!((1..=self.params.max_block).contains(&data.len()));
-        let mut ri = [0u8; 8];
-        self.rng.fill_bytes(&mut ri);
-        let payload = pad8(data);
-        let mut block = [0u8; 16];
-        for k in 0..8 {
-            block[k] = self.r0[k] ^ ri[k];
-            block[8 + k] = ri[k] ^ payload[k];
+    /// Seals every chunk of `text` into fresh blocks (the batch `Enc`
+    /// path).
+    ///
+    /// Nonces are drawn from the document DRBG **sequentially** while the
+    /// blocks are packed; only the AES applications fan out when
+    /// `workers > 1`, so the ciphertext is byte-identical for every
+    /// worker count.
+    fn seal_all(&mut self, text: &[u8], workers: usize) -> Vec<SealedBlock> {
+        let n = chunk_count(text.len(), self.params.max_block);
+        let mut bufs: Vec<[u8; 16]> = Vec::with_capacity(n);
+        let mut lens: Vec<u8> = Vec::with_capacity(n);
+        // One bulk draw for every block nonce: a NonceSource is a byte
+        // stream, so this yields the same bytes as n sequential 8-byte
+        // draws (and lets CtrDrbg batch its keystream blocks).
+        let mut nonces = vec![0u8; n * 8];
+        self.rng.fill_bytes(&mut nonces);
+        // The two block halves are pure byte-wise XORs, so they can be
+        // packed as whole 64-bit words; the output bytes are identical.
+        let r0w = u64::from_ne_bytes(self.r0);
+        for (chunk, ri) in chunks(text, self.params.max_block).zip(nonces.chunks_exact(8)) {
+            let riw = u64::from_ne_bytes(ri.try_into().expect("8-byte nonce"));
+            let payload = u64::from_ne_bytes(pad8(chunk));
+            let mut block = [0u8; 16];
+            block[..8].copy_from_slice(&(r0w ^ riw).to_ne_bytes());
+            block[8..].copy_from_slice(&(riw ^ payload).to_ne_bytes());
+            bufs.push(block);
+            lens.push(chunk.len() as u8);
         }
-        self.cipher.encrypt_block(&mut block);
-        pe_observe::static_counter!("core.blocks_sealed.recb").inc();
-        SealedBlock { len: data.len() as u8, cipher: block }
+        batch::apply_cipher(&self.cipher, &mut bufs, Direction::Encrypt, workers);
+        pe_observe::static_counter!("core.blocks_sealed.recb").add(n as u64);
+        bufs.into_iter()
+            .zip(lens)
+            .map(|(cipher, len)| SealedBlock { len, cipher })
+            .collect()
     }
 
-    /// Opens (decrypts) the block at `ordinal`.
+    /// Opens (decrypts) every block, appending the plaintext to `out`
+    /// (the batch `Dec` path): one contiguous scratch buffer for the AES
+    /// work instead of a `Vec` per block, fanned out for large documents.
+    fn open_all(&self, out: &mut Vec<u8>) {
+        let n = self.blocks.len_blocks();
+        let mut bufs: Vec<[u8; 16]> = Vec::with_capacity(n);
+        let mut lens: Vec<u8> = Vec::with_capacity(n);
+        for sealed in self.blocks.iter() {
+            bufs.push(sealed.cipher);
+            lens.push(sealed.len);
+        }
+        batch::apply_cipher(&self.cipher, &mut bufs, Direction::Decrypt, batch::auto_workers(n));
+        out.reserve(self.blocks.total_weight());
+        // dᵢ = right ⊕ rᵢ = right ⊕ (left ⊕ r0), a whole-word XOR.
+        let r0w = u64::from_ne_bytes(self.r0);
+        for (block, len) in bufs.iter().zip(lens) {
+            let left = u64::from_ne_bytes(block[..8].try_into().expect("half block"));
+            let right = u64::from_ne_bytes(block[8..].try_into().expect("half block"));
+            let data = (left ^ r0w ^ right).to_ne_bytes();
+            out.extend_from_slice(&data[..len as usize]);
+        }
+        pe_observe::static_counter!("core.blocks_opened.recb").add(n as u64);
+    }
+
+    /// Opens (decrypts) the block at `ordinal` (single-block edit path).
     fn open_block(&self, ordinal: usize) -> Vec<u8> {
         let sealed = self.blocks.get(ordinal).expect("ordinal in range");
         let mut block = sealed.cipher;
@@ -272,16 +318,14 @@ impl<S: BlockSeq<SealedBlock>> RecbDocument<S> {
     }
 }
 
-impl<S: BlockSeq<SealedBlock>> IncrementalCipherDoc for RecbDocument<S> {
+impl<S: BlockSeq<SealedBlock> + Default> IncrementalCipherDoc for RecbDocument<S> {
     fn len(&self) -> usize {
         self.blocks.total_weight()
     }
 
     fn decrypt(&self) -> Result<Vec<u8>, CoreError> {
-        let mut out = Vec::with_capacity(self.len());
-        for ordinal in 0..self.blocks.len_blocks() {
-            out.extend_from_slice(&self.open_block(ordinal));
-        }
+        let mut out = Vec::new();
+        self.open_all(&mut out);
         Ok(out)
     }
 
@@ -293,14 +337,25 @@ impl<S: BlockSeq<SealedBlock>> IncrementalCipherDoc for RecbDocument<S> {
         for _ in 0..removed {
             self.blocks.remove(start_block);
         }
-        let pieces = chunks(&content, self.params.max_block);
-        let mut inserted = Vec::with_capacity(pieces.len());
-        for (i, piece) in pieces.into_iter().enumerate() {
-            let sealed = self.seal(&piece);
+        let workers = batch::auto_workers(chunk_count(content.len(), self.params.max_block));
+        let sealed_blocks = self.seal_all(&content, workers);
+        let mut inserted = Vec::with_capacity(sealed_blocks.len());
+        for (i, sealed) in sealed_blocks.into_iter().enumerate() {
             inserted.push(encode_record(sealed.tag(), &sealed.cipher));
             self.blocks.insert(start_block + i, sealed);
         }
         Ok(vec![CipherPatch::splice(1 + start_block, removed, inserted)])
+    }
+
+    /// Full-document replacement via the batch seal path: one nonce pass,
+    /// one (possibly parallel) AES pass, no per-edit splice planning.
+    fn replace_all(&mut self, plaintext: &[u8]) -> Result<(), CoreError> {
+        let workers = batch::auto_workers(chunk_count(plaintext.len(), self.params.max_block));
+        let sealed = self.seal_all(plaintext, workers);
+        let mut blocks = S::default();
+        blocks.extend_back(sealed);
+        self.blocks = blocks;
+        Ok(())
     }
 
     fn serialize(&self) -> String {
@@ -529,6 +584,37 @@ mod tests {
         // what the AVL document wrote.
         let reopened = RecbDocument::open(&key(), &server, CtrDrbg::from_seed(41)).unwrap();
         assert_eq!(reopened.decrypt().unwrap(), avl_doc.decrypt().unwrap());
+    }
+
+    #[test]
+    fn forced_parallel_seal_is_byte_identical_to_serial() {
+        // Two empty documents created from the same seed share r0 and the
+        // DRBG state. Sealing the same text with different worker counts
+        // must produce byte-identical blocks, because nonce draws stay
+        // sequential and only the AES applications fan out.
+        let text: Vec<u8> = (0..20_000u32).map(|i| (i % 251) as u8).collect();
+        let mut serial = doc(b"", 8, 42);
+        let mut parallel = doc(b"", 8, 42);
+        let a = serial.seal_all(&text, 1);
+        let b = parallel.seal_all(&text, 4);
+        assert_eq!(a, b, "worker count must not change the ciphertext");
+        for (i, sealed) in a.into_iter().enumerate() {
+            serial.blocks.insert(i, sealed);
+        }
+        assert_eq!(serial.decrypt().unwrap(), text);
+    }
+
+    #[test]
+    fn replace_all_matches_fresh_create_byte_for_byte() {
+        // From an empty document, replace_all consumes the DRBG exactly
+        // like create does, so the serialized ciphertext must match a
+        // fresh document built from the same seed.
+        let text: Vec<u8> = (0..9_000u32).map(|i| (i.wrapping_mul(31) % 256) as u8).collect();
+        let mut grown = doc(b"", 8, 57);
+        grown.replace_all(&text).unwrap();
+        let fresh = doc(&text, 8, 57);
+        assert_eq!(grown.serialize(), fresh.serialize());
+        assert_eq!(grown.decrypt().unwrap(), text);
     }
 
     #[test]

@@ -36,9 +36,10 @@ use pe_crypto::drbg::NonceSource;
 use pe_crypto::BlockCipher;
 use pe_indexlist::{BlockSeq, IndexedSkipList};
 
+use crate::batch::{self, Direction};
 use crate::error::CoreError;
 use crate::keys::{DocumentKey, Mode, SchemeParams};
-use crate::pack::{chunks, SealedBlock};
+use crate::pack::{chunk_count, chunks, SealedBlock};
 use crate::splice::{plan, SplicePlan};
 use crate::wire::{
     decode_record, encode_record, split_records, CipherPatch, Layout, Preamble,
@@ -146,17 +147,13 @@ impl RpcDocument {
             xor_mid: 0,
             rng,
         };
-        let pieces = chunks(plaintext, params.max_block);
+        let n = chunk_count(plaintext.len(), params.max_block);
         // Draw chain nonces: r1 … rn, closing back to r0.
-        let mut r_in = if pieces.is_empty() { r0 } else { doc.rng.next_u32() };
+        let r_in = if n == 0 { r0 } else { doc.rng.next_u32() };
         doc.reseal_header(r_in);
-        let n = pieces.len();
-        for (i, piece) in pieces.into_iter().enumerate() {
-            let r_out = if i + 1 == n { r0 } else { doc.rng.next_u32() };
-            let sealed = doc.seal(r_in, &piece, r_out);
-            doc.blocks.insert(i, sealed);
-            r_in = r_out;
-        }
+        let workers = batch::auto_workers(n);
+        let sealed = doc.seal_all(plaintext, r_in, r0, workers);
+        doc.blocks.extend_back(sealed);
         doc.reseal_checksum();
         Ok(doc)
     }
@@ -203,8 +200,8 @@ impl RpcDocument {
         if ctag != '9' {
             return Err(CoreError::Malformed { detail: "last record is not a checksum".into() });
         }
-        let mut blocks = IndexedSkipList::new();
-        for (i, record) in records[1..records.len() - 1].iter().enumerate() {
+        let mut parsed = Vec::with_capacity(records.len() - 2);
+        for record in &records[1..records.len() - 1] {
             let (tag, block_cipher) = decode_record(record)?;
             let len = tag
                 .to_digit(10)
@@ -212,8 +209,10 @@ impl RpcDocument {
                 .ok_or_else(|| CoreError::Malformed {
                     detail: format!("invalid data record tag {tag:?}"),
                 })? as u8;
-            blocks.insert(i, SealedBlock { len, cipher: block_cipher });
+            parsed.push(SealedBlock { len, cipher: block_cipher });
         }
+        let mut blocks = IndexedSkipList::new();
+        blocks.extend_back(parsed);
         let mut doc = RpcDocument {
             cipher,
             salt: preamble.salt,
@@ -258,6 +257,53 @@ impl RpcDocument {
         self.xor_mid ^= mid;
         pe_observe::static_counter!("core.blocks_sealed.rpc").inc();
         SealedBlock { len: data.len() as u8, cipher: block }
+    }
+
+    /// Seals a whole run of text as one batch: packs every chunk with its
+    /// chain nonces (draws stay strictly sequential, so the ciphertext is
+    /// byte-identical to sealing block by block with [`Self::seal`]), then
+    /// encrypts all blocks in one [`batch::apply_cipher`] call.
+    ///
+    /// The first block's chain-in is `r_in_first`; the last block's
+    /// chain-out is `r_out_last`; intermediate nonces come from the
+    /// document DRBG in chunk order.
+    fn seal_all(
+        &mut self,
+        text: &[u8],
+        r_in_first: u32,
+        r_out_last: u32,
+        workers: usize,
+    ) -> Vec<SealedBlock> {
+        let n = chunk_count(text.len(), self.params.max_block);
+        let mut bufs: Vec<[u8; 16]> = Vec::with_capacity(n);
+        let mut lens: Vec<u8> = Vec::with_capacity(n);
+        // One bulk draw for the n-1 intermediate chain nonces: a
+        // NonceSource is a byte stream, so the little-endian words below
+        // are exactly what n-1 sequential `next_u32` calls would return.
+        let mut chain = vec![0u8; n.saturating_sub(1) * 4];
+        self.rng.fill_bytes(&mut chain);
+        let mut r_in = r_in_first;
+        for (i, piece) in chunks(text, self.params.max_block).enumerate() {
+            let r_out = if i + 1 == n {
+                r_out_last
+            } else {
+                u32::from_le_bytes(chain[4 * i..4 * i + 4].try_into().expect("4 bytes"))
+            };
+            let mut block = [0u8; 16];
+            block[..4].copy_from_slice(&r_in.to_be_bytes());
+            block[4] = piece.len() as u8;
+            block[5..5 + piece.len()].copy_from_slice(piece);
+            let mid = u64::from_be_bytes(block[4..12].try_into().expect("8 bytes"));
+            block[12..].copy_from_slice(&r_out.to_be_bytes());
+            self.xor_r ^= r_in;
+            self.xor_mid ^= mid;
+            bufs.push(block);
+            lens.push(piece.len() as u8);
+            r_in = r_out;
+        }
+        batch::apply_cipher(&self.cipher, &mut bufs, Direction::Encrypt, workers);
+        pe_observe::static_counter!("core.blocks_sealed.rpc").add(n as u64);
+        bufs.into_iter().zip(lens).map(|(cipher, len)| SealedBlock { len, cipher }).collect()
     }
 
     /// Opens the data block at `ordinal` without verifying its position
@@ -332,30 +378,47 @@ impl RpcDocument {
         }
         let r0 = u32::from_be_bytes(header[..4].try_into().expect("4 bytes"));
         let mut expected = u32::from_be_bytes(header[12..].try_into().expect("4 bytes"));
+        // Batch-decrypt every data block in one pass, then walk the
+        // decrypted buffers in order checking the chain. The chain checks
+        // are pure reads, so decryption order does not matter and the
+        // batch (possibly parallel) pass is safe.
+        let n = self.blocks.len_blocks();
+        let mut bufs: Vec<[u8; 16]> = Vec::with_capacity(n);
+        let mut tags: Vec<u8> = Vec::with_capacity(n);
+        for sealed in self.blocks.iter() {
+            bufs.push(sealed.cipher);
+            tags.push(sealed.len);
+        }
+        batch::apply_cipher(&self.cipher, &mut bufs, Direction::Decrypt, batch::auto_workers(n));
         let mut xor_r = 0u32;
         let mut xor_mid = 0u64;
         let mut plaintext = Vec::with_capacity(self.blocks.total_weight());
-        for (i, sealed) in self.blocks.iter().enumerate() {
-            let opened = Self::open_cipher(&self.cipher, &sealed.cipher).map_err(|_| {
-                CoreError::IntegrityFailure {
-                    detail: format!("block {i} sealed count byte out of range"),
-                }
-            })?;
-            if opened.r_in != expected {
+        for (i, block) in bufs.iter().enumerate() {
+            let r_in = u32::from_be_bytes(block[..4].try_into().expect("4 bytes"));
+            let r_out = u32::from_be_bytes(block[12..].try_into().expect("4 bytes"));
+            let mid = u64::from_be_bytes(block[4..12].try_into().expect("8 bytes"));
+            // The in-block count byte is covered by the encryption; a
+            // value outside 1..=RPC_MAX_BLOCK can only mean tampering (or
+            // a wrong key) and must surface as an integrity failure.
+            let len = block[4] as usize;
+            if !(1..=RPC_MAX_BLOCK).contains(&len) {
+                return fail(format!("block {i} sealed count byte out of range"));
+            }
+            if r_in != expected {
                 return fail(format!("nonce chain broken entering block {i}"));
             }
-            if opened.data.len() != sealed.len as usize {
+            if len != tags[i] as usize {
                 return fail(format!(
-                    "block {i} length counter mismatch: tag {} vs sealed {}",
-                    sealed.len,
-                    opened.data.len()
+                    "block {i} length counter mismatch: tag {} vs sealed {len}",
+                    tags[i],
                 ));
             }
-            xor_r ^= opened.r_in;
-            xor_mid ^= opened.mid;
-            plaintext.extend_from_slice(&opened.data);
-            expected = opened.r_out;
+            xor_r ^= r_in;
+            xor_mid ^= mid;
+            plaintext.extend_from_slice(&block[5..5 + len]);
+            expected = r_out;
         }
+        pe_observe::static_counter!("core.blocks_opened.rpc").add(n as u64);
         if expected != r0 {
             return fail("nonce chain does not close back to the header".into());
         }
@@ -415,9 +478,9 @@ impl IncrementalCipherDoc for RpcDocument {
             self.retire(&opened);
             self.blocks.remove(start_block);
         }
-        let pieces = chunks(&content, self.params.max_block);
+        let n = chunk_count(content.len(), self.params.max_block);
         let mut data_patch;
-        if pieces.is_empty() {
+        if n == 0 {
             // Pure deletion: the predecessor's chain-out must skip to
             // `chain_out`.
             if start_block == 0 {
@@ -437,15 +500,12 @@ impl IncrementalCipherDoc for RpcDocument {
                 data_patch = CipherPatch::splice(1 + pred, 1 + removed, vec![record]);
             }
         } else {
-            let mut inserted = Vec::with_capacity(pieces.len());
-            let n = pieces.len();
-            let mut r_in = chain_in;
-            for (i, piece) in pieces.into_iter().enumerate() {
-                let r_out = if i + 1 == n { chain_out } else { self.rng.next_u32() };
-                let sealed = self.seal(r_in, &piece, r_out);
+            let workers = batch::auto_workers(n);
+            let sealed_run = self.seal_all(&content, chain_in, chain_out, workers);
+            let mut inserted = Vec::with_capacity(n);
+            for (i, sealed) in sealed_run.into_iter().enumerate() {
                 inserted.push(encode_record(sealed.tag(), &sealed.cipher));
                 self.blocks.insert(start_block + i, sealed);
-                r_in = r_out;
             }
             data_patch = CipherPatch::splice(1 + start_block, removed, inserted);
             if removed == 0 {
@@ -465,6 +525,21 @@ impl IncrementalCipherDoc for RpcDocument {
             vec![encode_record('9', &self.checksum_cipher)],
         );
         Ok(vec![data_patch, checksum_patch])
+    }
+
+    fn replace_all(&mut self, plaintext: &[u8]) -> Result<(), CoreError> {
+        let n = chunk_count(plaintext.len(), self.params.max_block);
+        self.blocks = IndexedSkipList::new();
+        self.xor_r = 0;
+        self.xor_mid = 0;
+        // Fresh chain under the unchanged document nonce r0.
+        let r_in = if n == 0 { self.r0 } else { self.rng.next_u32() };
+        self.reseal_header(r_in);
+        let workers = batch::auto_workers(n);
+        let sealed = self.seal_all(plaintext, r_in, self.r0, workers);
+        self.blocks.extend_back(sealed);
+        self.reseal_checksum();
+        Ok(())
     }
 
     fn serialize(&self) -> String {
@@ -694,6 +769,50 @@ mod tests {
             }
             other => panic!("expected IntegrityFailure, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn forced_parallel_seal_is_byte_identical_to_serial() {
+        // Same-seed empty documents share r0 and DRBG state; sealing the
+        // same text with different worker counts must give identical
+        // blocks and identical checksum aggregates.
+        let text: Vec<u8> = (0..20_000u32).map(|i| (i % 241) as u8).collect();
+        let mut serial = doc(b"", 7, 42);
+        let mut parallel = doc(b"", 7, 42);
+        let r_in_s = serial.rng.next_u32();
+        let r_in_p = parallel.rng.next_u32();
+        assert_eq!(r_in_s, r_in_p);
+        let a = serial.seal_all(&text, r_in_s, serial.r0, 1);
+        let b = parallel.seal_all(&text, r_in_p, parallel.r0, 4);
+        assert_eq!(a, b, "worker count must not change the ciphertext");
+        assert_eq!(serial.xor_r, parallel.xor_r);
+        assert_eq!(serial.xor_mid, parallel.xor_mid);
+    }
+
+    #[test]
+    fn replace_all_matches_fresh_create_byte_for_byte() {
+        // From an empty document, replace_all consumes the DRBG exactly
+        // like create does (fresh chain head, then one chain-out per
+        // block), so the wire output must match a fresh same-seed
+        // document — and still verify on reopen.
+        let text: Vec<u8> = (0..9_000u32).map(|i| (i.wrapping_mul(37) % 256) as u8).collect();
+        let mut grown = doc(b"", 7, 57);
+        grown.replace_all(&text).unwrap();
+        let fresh = doc(&text, 7, 57);
+        assert_eq!(grown.serialize(), fresh.serialize());
+        let reopened =
+            RpcDocument::open(&key(), &grown.serialize(), CtrDrbg::from_seed(0)).unwrap();
+        assert_eq!(reopened.decrypt().unwrap(), text);
+    }
+
+    #[test]
+    fn replace_all_of_nonempty_document_reverifies() {
+        let mut d = doc(b"old contents that will be wholly replaced", 7, 31);
+        d.replace_all(b"brand new").unwrap();
+        assert_eq!(d.decrypt().unwrap(), b"brand new");
+        let reopened =
+            RpcDocument::open(&key(), &d.serialize(), CtrDrbg::from_seed(0)).unwrap();
+        assert_eq!(reopened.decrypt().unwrap(), b"brand new");
     }
 
     #[test]

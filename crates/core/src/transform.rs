@@ -136,19 +136,17 @@ impl<D: IncrementalCipherDoc> DeltaTransformer<D> {
     /// `docContents` path of the protocol: the first save of a session
     /// carries the whole document).
     ///
+    /// Delegates to [`IncrementalCipherDoc::replace_all`], so schemes with
+    /// a batch seal path (rECB, RPC) re-encrypt the whole document in one
+    /// — possibly parallel — pass instead of two block-by-block splices.
+    ///
     /// Returns the new serialized ciphertext.
     ///
     /// # Errors
     ///
     /// Propagates edit errors (none are expected for a full replacement).
     pub fn replace_all(&mut self, plaintext: &[u8]) -> Result<&str, CoreError> {
-        let len = self.doc.len();
-        if len > 0 {
-            self.doc.apply(&EditOp::delete(0, len))?;
-        }
-        if !plaintext.is_empty() {
-            self.doc.apply(&EditOp::insert(0, plaintext))?;
-        }
+        self.doc.replace_all(plaintext)?;
         self.ciphertext = self.doc.serialize();
         Ok(&self.ciphertext)
     }

@@ -1,13 +1,26 @@
-//! AES-128 and AES-256 block ciphers (FIPS-197).
+//! AES-128 and AES-256 block ciphers (FIPS-197), T-table fast path.
 //!
-//! A straightforward byte-oriented implementation of the Rijndael cipher
-//! with 128-bit blocks. The forward S-box is hard-coded from the standard;
-//! the inverse S-box is derived from it at first use, so the two tables can
-//! never disagree. Correctness is pinned by the FIPS-197 Appendix C known
-//! answer tests in this module's test suite.
+//! The hot implementation works on four 32-bit column words and drives
+//! each round through precomputed T-tables (`SubBytes` ∘ `ShiftRows` ∘
+//! `MixColumns` folded into four 256-entry `u32` tables, the classic
+//! software AES layout). Decryption uses the *equivalent inverse cipher*
+//! (FIPS-197 §5.3.5): inverse T-tables plus decryption round keys that are
+//! precomputed once in [`Aes128::new`]/[`Aes256::new`], so the decrypt
+//! path never derives anything lazily.
 //!
-//! The paper's prototype used the Stanford JavaScript crypto library's AES;
-//! this module plays that role for the Rust reproduction.
+//! All tables — including the inverse S-box — are generated at compile
+//! time from the forward S-box, so the tables can never disagree with the
+//! standard. Correctness is pinned three ways:
+//!
+//! * the FIPS-197 Appendix C and SP 800-38A known answer tests,
+//! * the byte-oriented scalar implementation retained in [`reference`],
+//!   which the test suite uses as an independent oracle (a proptest pins
+//!   the two implementations to agree on random keys and blocks),
+//! * round-trip tests over random blocks.
+//!
+//! The paper's prototype used the Stanford JavaScript crypto library's
+//! AES; this module plays that role for the Rust reproduction, but at the
+//! throughput the incremental schemes need for full-document saves.
 //!
 //! # Example
 //!
@@ -21,8 +34,6 @@
 //! cipher.decrypt_block(&mut block);
 //! assert_eq!(block, [0u8; 16]);
 //! ```
-
-use std::sync::OnceLock;
 
 use crate::BlockCipher;
 
@@ -48,203 +59,382 @@ const SBOX: [u8; 256] = [
     0x16,
 ];
 
-/// Inverse S-box, derived from [`SBOX`] on first use so the two tables are
-/// consistent by construction.
-fn inv_sbox() -> &'static [u8; 256] {
-    static INV: OnceLock<[u8; 256]> = OnceLock::new();
-    INV.get_or_init(|| {
-        let mut inv = [0u8; 256];
-        for (i, &s) in SBOX.iter().enumerate() {
-            inv[s as usize] = i as u8;
-        }
-        inv
-    })
-}
+/// Inverse S-box, derived from [`SBOX`] at compile time so the two tables
+/// are consistent by construction (this replaces the old lazy `OnceLock`
+/// derivation that sat on the decrypt hot path).
+const INV_SBOX: [u8; 256] = {
+    let mut inv = [0u8; 256];
+    let mut i = 0;
+    while i < 256 {
+        inv[SBOX[i] as usize] = i as u8;
+        i += 1;
+    }
+    inv
+};
 
 /// Multiplication by `x` (i.e. `{02}`) in GF(2^8) modulo `x^8+x^4+x^3+x+1`.
 #[inline]
-fn xtime(b: u8) -> u8 {
+const fn xtime(b: u8) -> u8 {
     (b << 1) ^ (if b & 0x80 != 0 { 0x1b } else { 0 })
 }
 
-/// General GF(2^8) multiplication (used only on the decrypt path, where the
-/// MixColumns coefficients are 9, 11, 13, 14).
-#[inline]
-fn gmul(mut a: u8, mut b: u8) -> u8 {
+/// General GF(2^8) multiplication (table generation and key-schedule
+/// InvMixColumns only — never on the per-block path).
+const fn gmul(mut a: u8, mut b: u8) -> u8 {
     let mut p = 0u8;
-    for _ in 0..8 {
+    let mut i = 0;
+    while i < 8 {
         if b & 1 != 0 {
             p ^= a;
         }
         a = xtime(a);
         b >>= 1;
+        i += 1;
     }
     p
 }
 
-/// Round-key schedule shared by both key sizes.
+/// Forward T-tables. `TE[0][x]` packs the MixColumns column
+/// `(2·S[x], S[x], S[x], 3·S[x])` big-endian; `TE[k]` is `TE[0]` rotated
+/// right by `8k` bits, so one round is 16 loads and 16 XORs.
+const TE: [[u32; 256]; 4] = {
+    let mut te = [[0u32; 256]; 4];
+    let mut x = 0;
+    while x < 256 {
+        let s = SBOX[x];
+        let s2 = xtime(s);
+        let s3 = s2 ^ s;
+        let w = ((s2 as u32) << 24) | ((s as u32) << 16) | ((s as u32) << 8) | (s3 as u32);
+        te[0][x] = w;
+        te[1][x] = w.rotate_right(8);
+        te[2][x] = w.rotate_right(16);
+        te[3][x] = w.rotate_right(24);
+        x += 1;
+    }
+    te
+};
+
+/// Inverse T-tables. `TD[0][x]` packs the InvMixColumns column
+/// `(14·Si[x], 9·Si[x], 13·Si[x], 11·Si[x])` big-endian.
+const TD: [[u32; 256]; 4] = {
+    let mut td = [[0u32; 256]; 4];
+    let mut x = 0;
+    while x < 256 {
+        let s = INV_SBOX[x];
+        let w = ((gmul(s, 14) as u32) << 24)
+            | ((gmul(s, 9) as u32) << 16)
+            | ((gmul(s, 13) as u32) << 8)
+            | (gmul(s, 11) as u32);
+        td[0][x] = w;
+        td[1][x] = w.rotate_right(8);
+        td[2][x] = w.rotate_right(16);
+        td[3][x] = w.rotate_right(24);
+        x += 1;
+    }
+    td
+};
+
+/// SubWord: the S-box applied to each byte of a word.
+#[inline]
+fn sub_word(w: u32) -> u32 {
+    (u32::from(SBOX[(w >> 24) as usize]) << 24)
+        | (u32::from(SBOX[(w >> 16) as usize & 0xff]) << 16)
+        | (u32::from(SBOX[(w >> 8) as usize & 0xff]) << 8)
+        | u32::from(SBOX[w as usize & 0xff])
+}
+
+/// InvMixColumns applied to one column word (key-schedule use only).
+#[inline]
+fn inv_mix_word(w: u32) -> u32 {
+    let [a, b, c, d] = w.to_be_bytes();
+    u32::from_be_bytes([
+        gmul(a, 14) ^ gmul(b, 11) ^ gmul(c, 13) ^ gmul(d, 9),
+        gmul(a, 9) ^ gmul(b, 14) ^ gmul(c, 11) ^ gmul(d, 13),
+        gmul(a, 13) ^ gmul(b, 9) ^ gmul(c, 14) ^ gmul(d, 11),
+        gmul(a, 11) ^ gmul(b, 13) ^ gmul(c, 9) ^ gmul(d, 14),
+    ])
+}
+
+/// Word capacity of the largest schedule (AES-256: 4 × 15 round keys).
+const MAX_SCHEDULE_WORDS: usize = 60;
+
+/// Expanded key material for both directions.
 ///
-/// `round_keys[r]` is the 16-byte round key for round `r`; there are
-/// `rounds + 1` of them.
+/// `enc` holds the FIPS-197 §5.2 schedule as big-endian column words.
+/// `dec` holds the *decryption* round keys for the equivalent inverse
+/// cipher (§5.3.5): the encryption keys in reverse round order with
+/// InvMixColumns applied to the inner rounds. Both are computed eagerly at
+/// construction so neither direction pays a first-use cost.
 #[derive(Clone)]
 struct KeySchedule {
-    round_keys: Vec<[u8; 16]>,
+    rounds: usize,
+    enc: [u32; MAX_SCHEDULE_WORDS],
+    dec: [u32; MAX_SCHEDULE_WORDS],
 }
 
 impl KeySchedule {
-    /// Expands `key` (16 or 32 bytes) into `rounds + 1` round keys
-    /// following FIPS-197 §5.2.
+    /// Expands `key` (16 or 32 bytes) into round keys for both directions.
     fn expand(key: &[u8], rounds: usize) -> KeySchedule {
         let nk = key.len() / 4;
         debug_assert!(nk == 4 || nk == 8);
         let total_words = 4 * (rounds + 1);
-        let mut w: Vec<[u8; 4]> = Vec::with_capacity(total_words);
-        for chunk in key.chunks_exact(4) {
-            w.push([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        let mut enc = [0u32; MAX_SCHEDULE_WORDS];
+        for (i, chunk) in key.chunks_exact(4).enumerate() {
+            enc[i] = u32::from_be_bytes(chunk.try_into().expect("4 bytes"));
         }
         let mut rcon: u8 = 0x01;
         for i in nk..total_words {
-            let mut temp = w[i - 1];
+            let mut temp = enc[i - 1];
             if i % nk == 0 {
                 // RotWord + SubWord + Rcon.
-                temp = [
-                    SBOX[temp[1] as usize] ^ rcon,
-                    SBOX[temp[2] as usize],
-                    SBOX[temp[3] as usize],
-                    SBOX[temp[0] as usize],
-                ];
+                temp = sub_word(temp.rotate_left(8)) ^ (u32::from(rcon) << 24);
                 rcon = xtime(rcon);
             } else if nk > 6 && i % nk == 4 {
                 // AES-256 extra SubWord.
-                temp = [
-                    SBOX[temp[0] as usize],
-                    SBOX[temp[1] as usize],
-                    SBOX[temp[2] as usize],
-                    SBOX[temp[3] as usize],
-                ];
+                temp = sub_word(temp);
             }
-            let prev = w[i - nk];
-            w.push([
-                prev[0] ^ temp[0],
-                prev[1] ^ temp[1],
-                prev[2] ^ temp[2],
-                prev[3] ^ temp[3],
-            ]);
+            enc[i] = enc[i - nk] ^ temp;
         }
-        let round_keys = w
-            .chunks_exact(4)
-            .map(|c| {
-                let mut rk = [0u8; 16];
-                for (j, word) in c.iter().enumerate() {
-                    rk[4 * j..4 * j + 4].copy_from_slice(word);
-                }
-                rk
-            })
-            .collect();
-        KeySchedule { round_keys }
-    }
-}
-
-#[inline]
-fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
-    for (s, k) in state.iter_mut().zip(rk.iter()) {
-        *s ^= k;
-    }
-}
-
-#[inline]
-fn sub_bytes(state: &mut [u8; 16]) {
-    for b in state.iter_mut() {
-        *b = SBOX[*b as usize];
-    }
-}
-
-#[inline]
-fn inv_sub_bytes(state: &mut [u8; 16]) {
-    let inv = inv_sbox();
-    for b in state.iter_mut() {
-        *b = inv[*b as usize];
-    }
-}
-
-/// ShiftRows on the column-major state: byte `r + 4c` holds row `r`,
-/// column `c` (FIPS-197 §3.4).
-#[inline]
-fn shift_rows(state: &mut [u8; 16]) {
-    let s = *state;
-    for r in 1..4 {
-        for c in 0..4 {
-            state[r + 4 * c] = s[r + 4 * ((c + r) % 4)];
+        // Decryption round keys: reverse round order, InvMixColumns on the
+        // inner rounds (the equivalent inverse cipher's AddRoundKey values).
+        let mut dec = [0u32; MAX_SCHEDULE_WORDS];
+        for j in 0..4 {
+            dec[j] = enc[4 * rounds + j];
+            dec[4 * rounds + j] = enc[j];
         }
-    }
-}
-
-#[inline]
-fn inv_shift_rows(state: &mut [u8; 16]) {
-    let s = *state;
-    for r in 1..4 {
-        for c in 0..4 {
-            state[r + 4 * ((c + r) % 4)] = s[r + 4 * c];
+        for r in 1..rounds {
+            for j in 0..4 {
+                dec[4 * r + j] = inv_mix_word(enc[4 * (rounds - r) + j]);
+            }
         }
+        KeySchedule { rounds, enc, dec }
     }
 }
 
-#[inline]
-fn mix_columns(state: &mut [u8; 16]) {
+/// One full T-table encryption (FIPS-197 §5.1).
+fn encrypt(ks: &KeySchedule, block: &mut [u8; 16]) {
+    let mut s = [0u32; 4];
     for c in 0..4 {
-        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
-        let t = col[0] ^ col[1] ^ col[2] ^ col[3];
-        state[4 * c] = col[0] ^ t ^ xtime(col[0] ^ col[1]);
-        state[4 * c + 1] = col[1] ^ t ^ xtime(col[1] ^ col[2]);
-        state[4 * c + 2] = col[2] ^ t ^ xtime(col[2] ^ col[3]);
-        state[4 * c + 3] = col[3] ^ t ^ xtime(col[3] ^ col[0]);
+        s[c] = u32::from_be_bytes(block[4 * c..4 * c + 4].try_into().expect("4 bytes"))
+            ^ ks.enc[c];
     }
-}
-
-#[inline]
-fn inv_mix_columns(state: &mut [u8; 16]) {
+    // One 4-word array view per round instead of four indexed loads, so
+    // the round loop carries a single bounds check.
+    let mut rounds = ks.enc[4..4 * ks.rounds + 4].chunks_exact(4);
+    for _ in 1..ks.rounds {
+        let k: &[u32; 4] = rounds.next().expect("round key").try_into().expect("4 words");
+        s = [
+            TE[0][(s[0] >> 24) as usize]
+                ^ TE[1][(s[1] >> 16) as usize & 0xff]
+                ^ TE[2][(s[2] >> 8) as usize & 0xff]
+                ^ TE[3][s[3] as usize & 0xff]
+                ^ k[0],
+            TE[0][(s[1] >> 24) as usize]
+                ^ TE[1][(s[2] >> 16) as usize & 0xff]
+                ^ TE[2][(s[3] >> 8) as usize & 0xff]
+                ^ TE[3][s[0] as usize & 0xff]
+                ^ k[1],
+            TE[0][(s[2] >> 24) as usize]
+                ^ TE[1][(s[3] >> 16) as usize & 0xff]
+                ^ TE[2][(s[0] >> 8) as usize & 0xff]
+                ^ TE[3][s[1] as usize & 0xff]
+                ^ k[2],
+            TE[0][(s[3] >> 24) as usize]
+                ^ TE[1][(s[0] >> 16) as usize & 0xff]
+                ^ TE[2][(s[1] >> 8) as usize & 0xff]
+                ^ TE[3][s[2] as usize & 0xff]
+                ^ k[3],
+        ];
+    }
+    // Final round: SubBytes + ShiftRows only (no MixColumns).
+    let k: &[u32; 4] = rounds.next().expect("final key").try_into().expect("4 words");
     for c in 0..4 {
-        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
-        state[4 * c] = gmul(col[0], 14) ^ gmul(col[1], 11) ^ gmul(col[2], 13) ^ gmul(col[3], 9);
-        state[4 * c + 1] =
-            gmul(col[0], 9) ^ gmul(col[1], 14) ^ gmul(col[2], 11) ^ gmul(col[3], 13);
-        state[4 * c + 2] =
-            gmul(col[0], 13) ^ gmul(col[1], 9) ^ gmul(col[2], 14) ^ gmul(col[3], 11);
-        state[4 * c + 3] =
-            gmul(col[0], 11) ^ gmul(col[1], 13) ^ gmul(col[2], 9) ^ gmul(col[3], 14);
+        let w = u32::from_be_bytes([
+            SBOX[(s[c] >> 24) as usize],
+            SBOX[(s[(c + 1) % 4] >> 16) as usize & 0xff],
+            SBOX[(s[(c + 2) % 4] >> 8) as usize & 0xff],
+            SBOX[s[(c + 3) % 4] as usize & 0xff],
+        ]) ^ k[c];
+        block[4 * c..4 * c + 4].copy_from_slice(&w.to_be_bytes());
     }
 }
 
-// The FIPS-197 state is column-major: s[r][c] = in[r + 4c]. Storing the
-// state as the linear 16-byte block therefore needs no reshaping; the
-// helpers above index it as state[r + 4c].
-
-fn encrypt(schedule: &KeySchedule, block: &mut [u8; 16]) {
-    let rounds = schedule.round_keys.len() - 1;
-    add_round_key(block, &schedule.round_keys[0]);
-    for round in 1..rounds {
-        sub_bytes(block);
-        shift_rows(block);
-        mix_columns(block);
-        add_round_key(block, &schedule.round_keys[round]);
+/// One full equivalent-inverse-cipher decryption (FIPS-197 §5.3.5).
+fn decrypt(ks: &KeySchedule, block: &mut [u8; 16]) {
+    let mut s = [0u32; 4];
+    for c in 0..4 {
+        s[c] = u32::from_be_bytes(block[4 * c..4 * c + 4].try_into().expect("4 bytes"))
+            ^ ks.dec[c];
     }
-    sub_bytes(block);
-    shift_rows(block);
-    add_round_key(block, &schedule.round_keys[rounds]);
+    let mut rounds = ks.dec[4..4 * ks.rounds + 4].chunks_exact(4);
+    for _ in 1..ks.rounds {
+        let k: &[u32; 4] = rounds.next().expect("round key").try_into().expect("4 words");
+        s = [
+            TD[0][(s[0] >> 24) as usize]
+                ^ TD[1][(s[3] >> 16) as usize & 0xff]
+                ^ TD[2][(s[2] >> 8) as usize & 0xff]
+                ^ TD[3][s[1] as usize & 0xff]
+                ^ k[0],
+            TD[0][(s[1] >> 24) as usize]
+                ^ TD[1][(s[0] >> 16) as usize & 0xff]
+                ^ TD[2][(s[3] >> 8) as usize & 0xff]
+                ^ TD[3][s[2] as usize & 0xff]
+                ^ k[1],
+            TD[0][(s[2] >> 24) as usize]
+                ^ TD[1][(s[1] >> 16) as usize & 0xff]
+                ^ TD[2][(s[0] >> 8) as usize & 0xff]
+                ^ TD[3][s[3] as usize & 0xff]
+                ^ k[2],
+            TD[0][(s[3] >> 24) as usize]
+                ^ TD[1][(s[2] >> 16) as usize & 0xff]
+                ^ TD[2][(s[1] >> 8) as usize & 0xff]
+                ^ TD[3][s[0] as usize & 0xff]
+                ^ k[3],
+        ];
+    }
+    // Final round: InvSubBytes + InvShiftRows only.
+    let k: &[u32; 4] = rounds.next().expect("final key").try_into().expect("4 words");
+    for c in 0..4 {
+        let w = u32::from_be_bytes([
+            INV_SBOX[(s[c] >> 24) as usize],
+            INV_SBOX[(s[(c + 3) % 4] >> 16) as usize & 0xff],
+            INV_SBOX[(s[(c + 2) % 4] >> 8) as usize & 0xff],
+            INV_SBOX[s[(c + 1) % 4] as usize & 0xff],
+        ]) ^ k[c];
+        block[4 * c..4 * c + 4].copy_from_slice(&w.to_be_bytes());
+    }
 }
 
-fn decrypt(schedule: &KeySchedule, block: &mut [u8; 16]) {
-    let rounds = schedule.round_keys.len() - 1;
-    add_round_key(block, &schedule.round_keys[rounds]);
-    for round in (1..rounds).rev() {
-        inv_shift_rows(block);
-        inv_sub_bytes(block);
-        add_round_key(block, &schedule.round_keys[round]);
-        inv_mix_columns(block);
+/// Number of blocks processed together by the bulk entry points. Each
+/// round's table lookups are independent across blocks, so interleaving
+/// lets the loads of all lanes be in flight at once instead of
+/// serializing on the previous lookup's result.
+const LANES: usize = 4;
+
+/// Encrypts `N` blocks with interleaved rounds (see [`LANES`]).
+fn encrypt_batch<const N: usize>(ks: &KeySchedule, blocks: &mut [[u8; 16]; N]) {
+    let mut s = [[0u32; 4]; N];
+    for (j, block) in blocks.iter().enumerate() {
+        for c in 0..4 {
+            s[j][c] = u32::from_be_bytes(block[4 * c..4 * c + 4].try_into().expect("4 bytes"))
+                ^ ks.enc[c];
+        }
     }
-    inv_shift_rows(block);
-    inv_sub_bytes(block);
-    add_round_key(block, &schedule.round_keys[0]);
+    let mut rk = 4;
+    for _ in 1..ks.rounds {
+        for sj in s.iter_mut() {
+            *sj = [
+                TE[0][(sj[0] >> 24) as usize]
+                    ^ TE[1][(sj[1] >> 16) as usize & 0xff]
+                    ^ TE[2][(sj[2] >> 8) as usize & 0xff]
+                    ^ TE[3][sj[3] as usize & 0xff]
+                    ^ ks.enc[rk],
+                TE[0][(sj[1] >> 24) as usize]
+                    ^ TE[1][(sj[2] >> 16) as usize & 0xff]
+                    ^ TE[2][(sj[3] >> 8) as usize & 0xff]
+                    ^ TE[3][sj[0] as usize & 0xff]
+                    ^ ks.enc[rk + 1],
+                TE[0][(sj[2] >> 24) as usize]
+                    ^ TE[1][(sj[3] >> 16) as usize & 0xff]
+                    ^ TE[2][(sj[0] >> 8) as usize & 0xff]
+                    ^ TE[3][sj[1] as usize & 0xff]
+                    ^ ks.enc[rk + 2],
+                TE[0][(sj[3] >> 24) as usize]
+                    ^ TE[1][(sj[0] >> 16) as usize & 0xff]
+                    ^ TE[2][(sj[1] >> 8) as usize & 0xff]
+                    ^ TE[3][sj[2] as usize & 0xff]
+                    ^ ks.enc[rk + 3],
+            ];
+        }
+        rk += 4;
+    }
+    for (j, block) in blocks.iter_mut().enumerate() {
+        for c in 0..4 {
+            let w = u32::from_be_bytes([
+                SBOX[(s[j][c] >> 24) as usize],
+                SBOX[(s[j][(c + 1) % 4] >> 16) as usize & 0xff],
+                SBOX[(s[j][(c + 2) % 4] >> 8) as usize & 0xff],
+                SBOX[s[j][(c + 3) % 4] as usize & 0xff],
+            ]) ^ ks.enc[rk + c];
+            block[4 * c..4 * c + 4].copy_from_slice(&w.to_be_bytes());
+        }
+    }
+}
+
+/// Decrypts `N` blocks with interleaved rounds (see [`LANES`]).
+fn decrypt_batch<const N: usize>(ks: &KeySchedule, blocks: &mut [[u8; 16]; N]) {
+    let mut s = [[0u32; 4]; N];
+    for (j, block) in blocks.iter().enumerate() {
+        for c in 0..4 {
+            s[j][c] = u32::from_be_bytes(block[4 * c..4 * c + 4].try_into().expect("4 bytes"))
+                ^ ks.dec[c];
+        }
+    }
+    let mut rk = 4;
+    for _ in 1..ks.rounds {
+        for sj in s.iter_mut() {
+            *sj = [
+                TD[0][(sj[0] >> 24) as usize]
+                    ^ TD[1][(sj[3] >> 16) as usize & 0xff]
+                    ^ TD[2][(sj[2] >> 8) as usize & 0xff]
+                    ^ TD[3][sj[1] as usize & 0xff]
+                    ^ ks.dec[rk],
+                TD[0][(sj[1] >> 24) as usize]
+                    ^ TD[1][(sj[0] >> 16) as usize & 0xff]
+                    ^ TD[2][(sj[3] >> 8) as usize & 0xff]
+                    ^ TD[3][sj[2] as usize & 0xff]
+                    ^ ks.dec[rk + 1],
+                TD[0][(sj[2] >> 24) as usize]
+                    ^ TD[1][(sj[1] >> 16) as usize & 0xff]
+                    ^ TD[2][(sj[0] >> 8) as usize & 0xff]
+                    ^ TD[3][sj[3] as usize & 0xff]
+                    ^ ks.dec[rk + 2],
+                TD[0][(sj[3] >> 24) as usize]
+                    ^ TD[1][(sj[2] >> 16) as usize & 0xff]
+                    ^ TD[2][(sj[1] >> 8) as usize & 0xff]
+                    ^ TD[3][sj[0] as usize & 0xff]
+                    ^ ks.dec[rk + 3],
+            ];
+        }
+        rk += 4;
+    }
+    for (j, block) in blocks.iter_mut().enumerate() {
+        for c in 0..4 {
+            let w = u32::from_be_bytes([
+                INV_SBOX[(s[j][c] >> 24) as usize],
+                INV_SBOX[(s[j][(c + 3) % 4] >> 16) as usize & 0xff],
+                INV_SBOX[(s[j][(c + 2) % 4] >> 8) as usize & 0xff],
+                INV_SBOX[s[j][(c + 1) % 4] as usize & 0xff],
+            ]) ^ ks.dec[rk + c];
+            block[4 * c..4 * c + 4].copy_from_slice(&w.to_be_bytes());
+        }
+    }
+}
+
+/// Bulk encrypt: full [`LANES`]-wide groups interleaved, remainder one
+/// at a time.
+fn encrypt_all(ks: &KeySchedule, blocks: &mut [[u8; 16]]) {
+    let mut groups = blocks.chunks_exact_mut(LANES);
+    for group in &mut groups {
+        let group: &mut [[u8; 16]; LANES] = group.try_into().expect("exact chunk");
+        encrypt_batch(ks, group);
+    }
+    for block in groups.into_remainder() {
+        encrypt(ks, block);
+    }
+}
+
+/// Bulk decrypt: full [`LANES`]-wide groups interleaved, remainder one
+/// at a time.
+fn decrypt_all(ks: &KeySchedule, blocks: &mut [[u8; 16]]) {
+    let mut groups = blocks.chunks_exact_mut(LANES);
+    for group in &mut groups {
+        let group: &mut [[u8; 16]; LANES] = group.try_into().expect("exact chunk");
+        decrypt_batch(ks, group);
+    }
+    for block in groups.into_remainder() {
+        decrypt(ks, block);
+    }
 }
 
 /// AES with a 128-bit key (10 rounds).
@@ -254,7 +444,8 @@ pub struct Aes128 {
 }
 
 impl Aes128 {
-    /// Constructs a cipher from a 16-byte key.
+    /// Constructs a cipher from a 16-byte key, expanding both the
+    /// encryption and decryption round keys up front.
     ///
     /// # Example
     ///
@@ -282,6 +473,14 @@ impl BlockCipher for Aes128 {
     fn decrypt_block(&self, block: &mut [u8; 16]) {
         decrypt(&self.schedule, block);
     }
+
+    fn encrypt_blocks(&self, blocks: &mut [[u8; 16]]) {
+        encrypt_all(&self.schedule, blocks);
+    }
+
+    fn decrypt_blocks(&self, blocks: &mut [[u8; 16]]) {
+        decrypt_all(&self.schedule, blocks);
+    }
 }
 
 /// AES with a 256-bit key (14 rounds).
@@ -291,7 +490,8 @@ pub struct Aes256 {
 }
 
 impl Aes256 {
-    /// Constructs a cipher from a 32-byte key.
+    /// Constructs a cipher from a 32-byte key, expanding both the
+    /// encryption and decryption round keys up front.
     ///
     /// # Example
     ///
@@ -319,12 +519,283 @@ impl BlockCipher for Aes256 {
     fn decrypt_block(&self, block: &mut [u8; 16]) {
         decrypt(&self.schedule, block);
     }
+
+    fn encrypt_blocks(&self, blocks: &mut [[u8; 16]]) {
+        encrypt_all(&self.schedule, blocks);
+    }
+
+    fn decrypt_blocks(&self, blocks: &mut [[u8; 16]]) {
+        decrypt_all(&self.schedule, blocks);
+    }
+}
+
+pub mod reference {
+    //! The original byte-oriented scalar Rijndael, retained verbatim as a
+    //! correctness oracle for the T-table fast path and as the "pre-fast-
+    //! path" baseline the `crypto_throughput` benchmark measures against.
+    //!
+    //! Nothing in the system uses these ciphers on a hot path; the test
+    //! suite pins [`Aes128`](super::Aes128)/[`Aes256`](super::Aes256)
+    //! against them on random keys and blocks.
+
+    use std::sync::OnceLock;
+
+    use super::SBOX;
+    use crate::BlockCipher;
+
+    /// Inverse S-box, derived from [`SBOX`] on first use — the original
+    /// code paid this `OnceLock` lookup on every `inv_sub_bytes` call, so
+    /// the baseline keeps it rather than borrowing the fast path's
+    /// precomputed `INV_SBOX` const.
+    fn inv_sbox() -> &'static [u8; 256] {
+        static INV: OnceLock<[u8; 256]> = OnceLock::new();
+        INV.get_or_init(|| {
+            let mut inv = [0u8; 256];
+            for (i, &s) in SBOX.iter().enumerate() {
+                inv[s as usize] = i as u8;
+            }
+            inv
+        })
+    }
+
+    #[inline]
+    fn xtime(b: u8) -> u8 {
+        super::xtime(b)
+    }
+
+    /// General GF(2^8) multiplication (decrypt-path MixColumns
+    /// coefficients are 9, 11, 13, 14).
+    #[inline]
+    fn gmul(a: u8, b: u8) -> u8 {
+        super::gmul(a, b)
+    }
+
+    /// Round-key schedule shared by both key sizes: `round_keys[r]` is the
+    /// 16-byte round key for round `r`.
+    #[derive(Clone)]
+    struct ByteSchedule {
+        round_keys: Vec<[u8; 16]>,
+    }
+
+    impl ByteSchedule {
+        /// Expands `key` (16 or 32 bytes) following FIPS-197 §5.2.
+        fn expand(key: &[u8], rounds: usize) -> ByteSchedule {
+            let nk = key.len() / 4;
+            debug_assert!(nk == 4 || nk == 8);
+            let total_words = 4 * (rounds + 1);
+            let mut w: Vec<[u8; 4]> = Vec::with_capacity(total_words);
+            for chunk in key.chunks_exact(4) {
+                w.push([chunk[0], chunk[1], chunk[2], chunk[3]]);
+            }
+            let mut rcon: u8 = 0x01;
+            for i in nk..total_words {
+                let mut temp = w[i - 1];
+                if i % nk == 0 {
+                    // RotWord + SubWord + Rcon.
+                    temp = [
+                        SBOX[temp[1] as usize] ^ rcon,
+                        SBOX[temp[2] as usize],
+                        SBOX[temp[3] as usize],
+                        SBOX[temp[0] as usize],
+                    ];
+                    rcon = xtime(rcon);
+                } else if nk > 6 && i % nk == 4 {
+                    // AES-256 extra SubWord.
+                    temp = [
+                        SBOX[temp[0] as usize],
+                        SBOX[temp[1] as usize],
+                        SBOX[temp[2] as usize],
+                        SBOX[temp[3] as usize],
+                    ];
+                }
+                let prev = w[i - nk];
+                w.push([
+                    prev[0] ^ temp[0],
+                    prev[1] ^ temp[1],
+                    prev[2] ^ temp[2],
+                    prev[3] ^ temp[3],
+                ]);
+            }
+            let round_keys = w
+                .chunks_exact(4)
+                .map(|c| {
+                    let mut rk = [0u8; 16];
+                    for (j, word) in c.iter().enumerate() {
+                        rk[4 * j..4 * j + 4].copy_from_slice(word);
+                    }
+                    rk
+                })
+                .collect();
+            ByteSchedule { round_keys }
+        }
+    }
+
+    #[inline]
+    fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+        for (s, k) in state.iter_mut().zip(rk.iter()) {
+            *s ^= k;
+        }
+    }
+
+    #[inline]
+    fn sub_bytes(state: &mut [u8; 16]) {
+        for b in state.iter_mut() {
+            *b = SBOX[*b as usize];
+        }
+    }
+
+    #[inline]
+    fn inv_sub_bytes(state: &mut [u8; 16]) {
+        let inv = inv_sbox();
+        for b in state.iter_mut() {
+            *b = inv[*b as usize];
+        }
+    }
+
+    /// ShiftRows on the column-major state: byte `r + 4c` holds row `r`,
+    /// column `c` (FIPS-197 §3.4).
+    #[inline]
+    fn shift_rows(state: &mut [u8; 16]) {
+        let s = *state;
+        for r in 1..4 {
+            for c in 0..4 {
+                state[r + 4 * c] = s[r + 4 * ((c + r) % 4)];
+            }
+        }
+    }
+
+    #[inline]
+    fn inv_shift_rows(state: &mut [u8; 16]) {
+        let s = *state;
+        for r in 1..4 {
+            for c in 0..4 {
+                state[r + 4 * ((c + r) % 4)] = s[r + 4 * c];
+            }
+        }
+    }
+
+    #[inline]
+    fn mix_columns(state: &mut [u8; 16]) {
+        for c in 0..4 {
+            let col =
+                [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+            let t = col[0] ^ col[1] ^ col[2] ^ col[3];
+            state[4 * c] = col[0] ^ t ^ xtime(col[0] ^ col[1]);
+            state[4 * c + 1] = col[1] ^ t ^ xtime(col[1] ^ col[2]);
+            state[4 * c + 2] = col[2] ^ t ^ xtime(col[2] ^ col[3]);
+            state[4 * c + 3] = col[3] ^ t ^ xtime(col[3] ^ col[0]);
+        }
+    }
+
+    #[inline]
+    fn inv_mix_columns(state: &mut [u8; 16]) {
+        for c in 0..4 {
+            let col =
+                [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+            state[4 * c] =
+                gmul(col[0], 14) ^ gmul(col[1], 11) ^ gmul(col[2], 13) ^ gmul(col[3], 9);
+            state[4 * c + 1] =
+                gmul(col[0], 9) ^ gmul(col[1], 14) ^ gmul(col[2], 11) ^ gmul(col[3], 13);
+            state[4 * c + 2] =
+                gmul(col[0], 13) ^ gmul(col[1], 9) ^ gmul(col[2], 14) ^ gmul(col[3], 11);
+            state[4 * c + 3] =
+                gmul(col[0], 11) ^ gmul(col[1], 13) ^ gmul(col[2], 9) ^ gmul(col[3], 14);
+        }
+    }
+
+    fn encrypt(schedule: &ByteSchedule, block: &mut [u8; 16]) {
+        let rounds = schedule.round_keys.len() - 1;
+        add_round_key(block, &schedule.round_keys[0]);
+        for round in 1..rounds {
+            sub_bytes(block);
+            shift_rows(block);
+            mix_columns(block);
+            add_round_key(block, &schedule.round_keys[round]);
+        }
+        sub_bytes(block);
+        shift_rows(block);
+        add_round_key(block, &schedule.round_keys[rounds]);
+    }
+
+    fn decrypt(schedule: &ByteSchedule, block: &mut [u8; 16]) {
+        let rounds = schedule.round_keys.len() - 1;
+        add_round_key(block, &schedule.round_keys[rounds]);
+        for round in (1..rounds).rev() {
+            inv_shift_rows(block);
+            inv_sub_bytes(block);
+            add_round_key(block, &schedule.round_keys[round]);
+            inv_mix_columns(block);
+        }
+        inv_shift_rows(block);
+        inv_sub_bytes(block);
+        add_round_key(block, &schedule.round_keys[0]);
+    }
+
+    /// Byte-oriented AES-128 (the pre-fast-path implementation).
+    #[derive(Clone)]
+    pub struct ScalarAes128 {
+        schedule: ByteSchedule,
+    }
+
+    impl ScalarAes128 {
+        /// Constructs a scalar cipher from a 16-byte key.
+        pub fn new(key: &[u8; 16]) -> ScalarAes128 {
+            ScalarAes128 { schedule: ByteSchedule::expand(key, 10) }
+        }
+    }
+
+    impl std::fmt::Debug for ScalarAes128 {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("ScalarAes128").finish_non_exhaustive()
+        }
+    }
+
+    impl BlockCipher for ScalarAes128 {
+        fn encrypt_block(&self, block: &mut [u8; 16]) {
+            encrypt(&self.schedule, block);
+        }
+
+        fn decrypt_block(&self, block: &mut [u8; 16]) {
+            decrypt(&self.schedule, block);
+        }
+    }
+
+    /// Byte-oriented AES-256 (the pre-fast-path implementation).
+    #[derive(Clone)]
+    pub struct ScalarAes256 {
+        schedule: ByteSchedule,
+    }
+
+    impl ScalarAes256 {
+        /// Constructs a scalar cipher from a 32-byte key.
+        pub fn new(key: &[u8; 32]) -> ScalarAes256 {
+            ScalarAes256 { schedule: ByteSchedule::expand(key, 14) }
+        }
+    }
+
+    impl std::fmt::Debug for ScalarAes256 {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("ScalarAes256").finish_non_exhaustive()
+        }
+    }
+
+    impl BlockCipher for ScalarAes256 {
+        fn encrypt_block(&self, block: &mut [u8; 16]) {
+            encrypt(&self.schedule, block);
+        }
+
+        fn decrypt_block(&self, block: &mut [u8; 16]) {
+            decrypt(&self.schedule, block);
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::reference::{ScalarAes128, ScalarAes256};
     use super::*;
     use crate::hex;
+    use proptest::prelude::*;
 
     fn hex16(s: &str) -> [u8; 16] {
         hex::decode(s).unwrap().try_into().unwrap()
@@ -359,6 +830,29 @@ mod tests {
         assert_eq!(hex::encode(&block), "00112233445566778899aabbccddeeff");
     }
 
+    /// The reference oracle satisfies the same KATs independently.
+    #[test]
+    fn fips197_kats_hold_for_reference_oracle() {
+        let key = hex16("000102030405060708090a0b0c0d0e0f");
+        let cipher = ScalarAes128::new(&key);
+        let mut block = hex16("00112233445566778899aabbccddeeff");
+        cipher.encrypt_block(&mut block);
+        assert_eq!(hex::encode(&block), "69c4e0d86a7b0430d8cdb78070b4c55a");
+        cipher.decrypt_block(&mut block);
+        assert_eq!(hex::encode(&block), "00112233445566778899aabbccddeeff");
+
+        let key: [u8; 32] = hex::decode(
+            "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+        )
+        .unwrap()
+        .try_into()
+        .unwrap();
+        let cipher = ScalarAes256::new(&key);
+        let mut block = hex16("00112233445566778899aabbccddeeff");
+        cipher.encrypt_block(&mut block);
+        assert_eq!(hex::encode(&block), "8ea2b7ca516745bfeafc49904b496089");
+    }
+
     /// NIST SP 800-38A F.1.1 ECB-AES128 first block.
     #[test]
     fn sp800_38a_ecb_aes128_block1() {
@@ -386,7 +880,7 @@ mod tests {
 
     #[test]
     fn roundtrip_many_random_blocks() {
-        // A deterministic LCG avoids a dev-dependency here.
+        // A deterministic LCG avoids proptest overhead here.
         let mut state = 0x1234_5678_9abc_def0u64;
         let mut next = move || {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
@@ -419,9 +913,8 @@ mod tests {
 
     #[test]
     fn inv_sbox_inverts_sbox() {
-        let inv = inv_sbox();
         for i in 0..=255u8 {
-            assert_eq!(inv[SBOX[i as usize] as usize], i);
+            assert_eq!(INV_SBOX[SBOX[i as usize] as usize], i);
         }
     }
 
@@ -431,5 +924,68 @@ mod tests {
         assert_eq!(gmul(0x57, 0x83), 0xc1);
         // {57} . {13} = {fe} from the same section.
         assert_eq!(gmul(0x57, 0x13), 0xfe);
+    }
+
+    #[test]
+    fn batch_helpers_match_single_block_calls() {
+        let cipher = Aes128::new(&[0x5au8; 16]);
+        let mut blocks = [[0u8; 16]; 9];
+        for (i, b) in blocks.iter_mut().enumerate() {
+            b.fill(i as u8);
+        }
+        let mut expected = blocks;
+        for b in expected.iter_mut() {
+            cipher.encrypt_block(b);
+        }
+        cipher.encrypt_blocks(&mut blocks);
+        assert_eq!(blocks, expected);
+        cipher.decrypt_blocks(&mut blocks);
+        for (i, b) in blocks.iter().enumerate() {
+            assert!(b.iter().all(|&x| x == i as u8));
+        }
+    }
+
+    proptest! {
+        /// The T-table fast path agrees with the byte-oriented reference
+        /// oracle on random keys and blocks, both directions, both key
+        /// sizes.
+        #[test]
+        fn ttable_matches_reference_aes128(key in proptest::array::uniform16(any::<u8>()),
+                                           block in proptest::array::uniform16(any::<u8>())) {
+            let fast = Aes128::new(&key);
+            let oracle = ScalarAes128::new(&key);
+            let mut a = block;
+            let mut b = block;
+            fast.encrypt_block(&mut a);
+            oracle.encrypt_block(&mut b);
+            prop_assert_eq!(a, b, "encrypt mismatch");
+            fast.decrypt_block(&mut a);
+            oracle.decrypt_block(&mut b);
+            prop_assert_eq!(a, block);
+            prop_assert_eq!(b, block);
+            // Decrypt also agrees on arbitrary (non-ciphertext) input.
+            let mut c = block;
+            let mut d = block;
+            fast.decrypt_block(&mut c);
+            oracle.decrypt_block(&mut d);
+            prop_assert_eq!(c, d, "decrypt mismatch");
+        }
+
+        #[test]
+        fn ttable_matches_reference_aes256(key in proptest::array::uniform32(any::<u8>()),
+                                           block in proptest::array::uniform16(any::<u8>())) {
+            let fast = Aes256::new(&key);
+            let oracle = ScalarAes256::new(&key);
+            let mut a = block;
+            let mut b = block;
+            fast.encrypt_block(&mut a);
+            oracle.encrypt_block(&mut b);
+            prop_assert_eq!(a, b, "encrypt mismatch");
+            let mut c = block;
+            let mut d = block;
+            fast.decrypt_block(&mut c);
+            oracle.decrypt_block(&mut d);
+            prop_assert_eq!(c, d, "decrypt mismatch");
+        }
     }
 }

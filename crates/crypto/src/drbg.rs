@@ -144,6 +144,24 @@ impl NonceSource for CtrDrbg {
     fn fill_bytes(&mut self, buf: &mut [u8]) {
         let mut filled = 0;
         while filled < buf.len() {
+            // Whole keystream blocks go straight into the output,
+            // encrypted in batches — byte-for-byte the same stream the
+            // block-at-a-time path below produces.
+            if self.pending_len == 0 && buf.len() - filled >= 16 {
+                const BULK: usize = 32;
+                let mut counters = [[0u8; 16]; BULK];
+                let whole = ((buf.len() - filled) / 16).min(BULK);
+                for counter in counters.iter_mut().take(whole) {
+                    *counter = self.counter.to_le_bytes();
+                    self.counter = self.counter.wrapping_add(1);
+                }
+                self.cipher.encrypt_blocks(&mut counters[..whole]);
+                for counter in counters.iter().take(whole) {
+                    buf[filled..filled + 16].copy_from_slice(counter);
+                    filled += 16;
+                }
+                continue;
+            }
             if self.pending_len == 0 {
                 self.refill();
             }

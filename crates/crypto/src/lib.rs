@@ -75,4 +75,24 @@ pub trait BlockCipher: Send + Sync {
 
     /// Decrypts one 16-byte block in place.
     fn decrypt_block(&self, block: &mut [u8; 16]);
+
+    /// Encrypts every block of a slice in place.
+    ///
+    /// The provided implementation is a plain loop; it exists so batch
+    /// callers (full-document seal/open) have a single entry point that a
+    /// cipher with hardware or vectorized multi-block support could
+    /// override.
+    fn encrypt_blocks(&self, blocks: &mut [[u8; 16]]) {
+        for block in blocks {
+            self.encrypt_block(block);
+        }
+    }
+
+    /// Decrypts every block of a slice in place. See
+    /// [`encrypt_blocks`](Self::encrypt_blocks).
+    fn decrypt_blocks(&self, blocks: &mut [[u8; 16]]) {
+        for block in blocks {
+            self.decrypt_block(block);
+        }
+    }
 }

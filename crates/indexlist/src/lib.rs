@@ -82,6 +82,24 @@ pub trait BlockSeq<T: Weighted> {
     /// Panics if `ordinal > len_blocks()` or if `value.weight() == 0`.
     fn insert(&mut self, ordinal: usize, value: T);
 
+    /// Appends `items` in order after the last block (bulk load — the
+    /// full-document encryption path creates every block at once).
+    ///
+    /// The provided implementation inserts one by one; implementations
+    /// override it with an append that skips the per-insert position
+    /// search ([`IndexedSkipList`] appends in amortized O(1) per item
+    /// below the current tower height).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any item has `weight() == 0`.
+    fn extend_back(&mut self, items: Vec<T>) {
+        for value in items {
+            let end = self.len_blocks();
+            self.insert(end, value);
+        }
+    }
+
     /// Removes and returns the block at `ordinal`.
     ///
     /// # Panics

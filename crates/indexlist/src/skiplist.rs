@@ -19,22 +19,117 @@ const NIL: usize = usize::MAX;
 
 /// A forward pointer: the paper's `forward[i].point_at` plus the
 /// `skip_count` field, carried in both block and character units.
+///
+/// Spans are `u32` (a single link never covers more than 2^32 blocks or
+/// characters — far beyond any document this system stores), which keeps
+/// a link at 16 bytes and roughly halves the tower memory traffic on the
+/// bulk-build and walk paths.
 #[derive(Debug, Clone, Copy)]
 struct Link {
     target: usize,
     /// Blocks skipped when following this link, counting the destination:
     /// `rank(target) - rank(source)`.
-    span_blocks: usize,
+    span_blocks: u32,
     /// Characters skipped when following this link, counting the full
     /// destination block.
-    span_weight: usize,
+    span_weight: u32,
+}
+
+/// Narrows a span to the stored width, checked in debug builds.
+#[inline]
+fn span(n: usize) -> u32 {
+    debug_assert!(n <= u32::MAX as usize, "span exceeds u32 range");
+    n as u32
+}
+
+/// Tower heights ≤ this many links live inline in the arena node.
+/// Heights are geometric with p = 1/2, so ~75% of nodes never touch the
+/// heap — which keeps bulk loads ([`BlockSeq::extend_back`]) nearly
+/// allocation-free.
+const INLINE_LINKS: usize = 2;
+
+const NIL_LINK: Link = Link { target: NIL, span_blocks: 0, span_weight: 0 };
+
+/// The forward links of one node: the first [`INLINE_LINKS`] levels
+/// inline, taller towers spilling the excess to a heap vector.
+#[derive(Debug)]
+struct Tower {
+    height: u8,
+    inline: [Link; INLINE_LINKS],
+    /// Links at level `INLINE_LINKS..height`.
+    spill: Vec<Link>,
+}
+
+impl Tower {
+    fn new() -> Tower {
+        Tower { height: 0, inline: [NIL_LINK; INLINE_LINKS], spill: Vec::new() }
+    }
+
+    fn len(&self) -> usize {
+        self.height as usize
+    }
+
+    fn push(&mut self, link: Link) {
+        let h = self.height as usize;
+        if h < INLINE_LINKS {
+            self.inline[h] = link;
+        } else {
+            self.spill.push(link);
+        }
+        self.height += 1;
+    }
+
+    fn pop(&mut self) {
+        debug_assert!(self.height > 0);
+        if self.height as usize > INLINE_LINKS {
+            self.spill.pop();
+        }
+        self.height -= 1;
+    }
+
+    fn clear(&mut self) {
+        self.height = 0;
+        self.spill.clear();
+    }
+
+    fn get(&self, i: usize) -> Option<Link> {
+        if i < self.height as usize {
+            Some(self[i])
+        } else {
+            None
+        }
+    }
+}
+
+impl std::ops::Index<usize> for Tower {
+    type Output = Link;
+
+    fn index(&self, i: usize) -> &Link {
+        assert!(i < self.height as usize, "level {i} out of range");
+        if i < INLINE_LINKS {
+            &self.inline[i]
+        } else {
+            &self.spill[i - INLINE_LINKS]
+        }
+    }
+}
+
+impl std::ops::IndexMut<usize> for Tower {
+    fn index_mut(&mut self, i: usize) -> &mut Link {
+        assert!(i < self.height as usize, "level {i} out of range");
+        if i < INLINE_LINKS {
+            &mut self.inline[i]
+        } else {
+            &mut self.spill[i - INLINE_LINKS]
+        }
+    }
 }
 
 #[derive(Debug)]
 struct Node<T> {
     /// `None` only for the head sentinel and freed arena slots.
     value: Option<T>,
-    forward: Vec<Link>,
+    forward: Tower,
 }
 
 /// SplitMix64: a tiny, high-quality PRNG for tower heights, embedded so the
@@ -101,10 +196,9 @@ impl<T: Weighted> IndexedSkipList<T> {
     /// Creates an empty list whose tower heights are drawn from the given
     /// seed, making the structure fully reproducible.
     pub fn with_seed(seed: u64) -> IndexedSkipList<T> {
-        let head = Node {
-            value: None,
-            forward: vec![Link { target: NIL, span_blocks: 0, span_weight: 0 }],
-        };
+        let mut forward = Tower::new();
+        forward.push(NIL_LINK);
+        let head = Node { value: None, forward };
         IndexedSkipList {
             nodes: vec![head],
             free: Vec::new(),
@@ -137,12 +231,12 @@ impl<T: Weighted> IndexedSkipList<T> {
         for i in (0..self.level).rev() {
             loop {
                 let link = self.nodes[x].forward[i];
-                if link.target == NIL || link.span_blocks > remaining {
+                if link.target == NIL || link.span_blocks as usize > remaining {
                     break;
                 }
-                remaining -= link.span_blocks;
-                acc_blocks += link.span_blocks;
-                acc_weight += link.span_weight;
+                remaining -= link.span_blocks as usize;
+                acc_blocks += link.span_blocks as usize;
+                acc_weight += link.span_weight as usize;
                 x = link.target;
             }
             update[i] = x;
@@ -153,8 +247,8 @@ impl<T: Weighted> IndexedSkipList<T> {
     }
 
     /// Allocates a node in the arena, reusing freed slots.
-    fn alloc(&mut self, value: T, levels: usize) -> usize {
-        let node = Node { value: Some(value), forward: Vec::with_capacity(levels) };
+    fn alloc(&mut self, value: T, _levels: usize) -> usize {
+        let node = Node { value: Some(value), forward: Tower::new() };
         if let Some(idx) = self.free.pop() {
             self.nodes[idx] = node;
             idx
@@ -177,8 +271,8 @@ impl<T: Weighted> IndexedSkipList<T> {
                 let (mut blocks, mut weight) = (0usize, 0usize);
                 loop {
                     let link = self.nodes[x].forward[i];
-                    blocks += link.span_blocks;
-                    weight += link.span_weight;
+                    blocks += link.span_blocks as usize;
+                    weight += link.span_weight as usize;
                     if link.target == NIL {
                         break;
                     }
@@ -206,14 +300,21 @@ impl<T: Weighted> IndexedSkipList<T> {
         let mut weight = 0usize;
         loop {
             let link = self.nodes[x].forward[0];
-            assert_eq!(link.span_blocks, if link.target == NIL { self.len_blocks - blocks } else { 1 });
+            assert_eq!(
+                link.span_blocks as usize,
+                if link.target == NIL { self.len_blocks - blocks } else { 1 }
+            );
             if link.target == NIL {
-                assert_eq!(link.span_weight, self.total_weight - weight);
+                assert_eq!(link.span_weight as usize, self.total_weight - weight);
                 break;
             }
             x = link.target;
             let w = self.nodes[x].value.as_ref().expect("live node has a value").weight();
-            assert_eq!(link.span_weight, w, "level-0 span must equal destination weight");
+            assert_eq!(
+                link.span_weight as usize,
+                w,
+                "level-0 span must equal destination weight"
+            );
             blocks += 1;
             weight += w;
             rank_of.insert(x, (blocks, weight));
@@ -225,18 +326,19 @@ impl<T: Weighted> IndexedSkipList<T> {
         for i in 0..self.level {
             let mut x = 0usize;
             loop {
-                let link = self.nodes[x].forward.get(i).copied().unwrap_or_else(|| {
-                    panic!("node on chain missing level {i}")
-                });
+                let link = self.nodes[x]
+                    .forward
+                    .get(i)
+                    .unwrap_or_else(|| panic!("node on chain missing level {i}"));
                 let (rb, rw) = rank_of[&x];
                 if link.target == NIL {
-                    assert_eq!(link.span_blocks, self.len_blocks - rb);
-                    assert_eq!(link.span_weight, self.total_weight - rw);
+                    assert_eq!(link.span_blocks as usize, self.len_blocks - rb);
+                    assert_eq!(link.span_weight as usize, self.total_weight - rw);
                     break;
                 }
                 let (tb, tw) = rank_of[&link.target];
-                assert_eq!(link.span_blocks, tb - rb, "span_blocks at level {i}");
-                assert_eq!(link.span_weight, tw - rw, "span_weight at level {i}");
+                assert_eq!(link.span_blocks as usize, tb - rb, "span_blocks at level {i}");
+                assert_eq!(link.span_weight as usize, tw - rw, "span_weight at level {i}");
                 x = link.target;
             }
         }
@@ -271,8 +373,8 @@ impl<T: Weighted> BlockSeq<T> for IndexedSkipList<T> {
             for _ in self.level..lvl {
                 self.nodes[0].forward.push(Link {
                     target: NIL,
-                    span_blocks: self.len_blocks,
-                    span_weight: self.total_weight,
+                    span_blocks: span(self.len_blocks),
+                    span_weight: span(self.total_weight),
                 });
             }
             self.level = lvl;
@@ -283,12 +385,12 @@ impl<T: Weighted> BlockSeq<T> for IndexedSkipList<T> {
         for i in 0..lvl {
             let u = update[i];
             let old = self.nodes[u].forward[i];
-            let nb = ordinal + 1 - ranks[i].0;
-            let nw = wk + w - ranks[i].1;
+            let nb = span(ordinal + 1 - ranks[i].0);
+            let nw = span(wk + w - ranks[i].1);
             let out_link = Link {
                 target: old.target,
                 span_blocks: old.span_blocks - (nb - 1),
-                span_weight: old.span_weight - (nw - w),
+                span_weight: old.span_weight - (nw - span(w)),
             };
             self.nodes[new_idx].forward.push(out_link);
             self.nodes[u].forward[i] =
@@ -296,10 +398,78 @@ impl<T: Weighted> BlockSeq<T> for IndexedSkipList<T> {
         }
         for (i, &u) in update.iter().enumerate().skip(lvl) {
             self.nodes[u].forward[i].span_blocks += 1;
-            self.nodes[u].forward[i].span_weight += w;
+            self.nodes[u].forward[i].span_weight += span(w);
         }
         self.len_blocks += 1;
         self.total_weight += w;
+    }
+
+    /// Bulk append: one walk to the end seeds per-level tail pointers,
+    /// then every item links in without a position search (and without
+    /// the two per-insert rank vectors [`insert`](BlockSeq::insert)
+    /// allocates). Tail links — the per-level links that run past the
+    /// end of the list — carry placeholder spans during the loop and are
+    /// patched in one pass at the end, so each item costs `O(its own
+    /// tower height)` instead of `O(list height)`. Draws tower heights
+    /// in the same order as sequential end-inserts, so the resulting
+    /// structure is identical.
+    fn extend_back(&mut self, items: Vec<T>) {
+        if items.is_empty() {
+            return;
+        }
+        self.nodes.reserve(items.len().saturating_sub(self.free.len()));
+        let (mut update, mut ranks) = self.walk_to_rank(self.len_blocks);
+        for value in items {
+            let w = value.weight();
+            assert!(w > 0, "blocks must have positive weight");
+            let lvl = self.random_level();
+            if lvl > self.level {
+                for _ in self.level..lvl {
+                    // Placeholder span; the final fixup below rewrites it.
+                    self.nodes[0].forward.push(Link {
+                        target: NIL,
+                        span_blocks: 0,
+                        span_weight: 0,
+                    });
+                }
+                self.level = lvl;
+                update.resize(self.level, 0);
+                ranks.resize(self.level, (0, 0));
+            }
+            let ordinal = self.len_blocks;
+            let wk = self.total_weight;
+            let new_idx = self.alloc(value, lvl);
+            for i in 0..lvl {
+                let u = update[i];
+                debug_assert_eq!(
+                    self.nodes[u].forward[i].target,
+                    NIL,
+                    "tail links point past the end"
+                );
+                self.nodes[new_idx].forward.push(Link {
+                    target: NIL,
+                    span_blocks: 0,
+                    span_weight: 0,
+                });
+                self.nodes[u].forward[i] = Link {
+                    target: new_idx,
+                    span_blocks: span(ordinal + 1 - ranks[i].0),
+                    span_weight: span(wk + w - ranks[i].1),
+                };
+                update[i] = new_idx;
+                ranks[i] = (ordinal + 1, wk + w);
+            }
+            self.len_blocks += 1;
+            self.total_weight += w;
+        }
+        // Patch every tail link: it spans from its node to the (new) end.
+        for i in 0..self.level {
+            self.nodes[update[i]].forward[i] = Link {
+                target: NIL,
+                span_blocks: span(self.len_blocks - ranks[i].0),
+                span_weight: span(self.total_weight - ranks[i].1),
+            };
+        }
     }
 
     fn remove(&mut self, ordinal: usize) -> T {
@@ -317,11 +487,11 @@ impl<T: Weighted> BlockSeq<T> for IndexedSkipList<T> {
                 u_link.span_blocks += t_link.span_blocks;
                 u_link.span_weight += t_link.span_weight;
                 u_link.span_blocks -= 1;
-                u_link.span_weight -= w;
+                u_link.span_weight -= span(w);
             } else {
                 let u_link = &mut self.nodes[u].forward[i];
                 u_link.span_blocks -= 1;
-                u_link.span_weight -= w;
+                u_link.span_weight -= span(w);
             }
         }
         // Shrink unused levels (keep at least one).
@@ -349,7 +519,7 @@ impl<T: Weighted> BlockSeq<T> for IndexedSkipList<T> {
             // link leaving update[i].
             for (i, &u) in update.iter().enumerate() {
                 let u_link = &mut self.nodes[u].forward[i];
-                u_link.span_weight = u_link.span_weight + new_w - old_w;
+                u_link.span_weight = u_link.span_weight + span(new_w) - span(old_w);
             }
             self.total_weight = self.total_weight + new_w - old_w;
         }
@@ -367,11 +537,11 @@ impl<T: Weighted> BlockSeq<T> for IndexedSkipList<T> {
         for i in (0..self.level).rev() {
             loop {
                 let link = self.nodes[x].forward[i];
-                if link.target == NIL || link.span_weight > remaining {
+                if link.target == NIL || link.span_weight as usize > remaining {
                     break;
                 }
-                remaining -= link.span_weight;
-                acc_blocks += link.span_blocks;
+                remaining -= link.span_weight as usize;
+                acc_blocks += link.span_blocks as usize;
                 x = link.target;
             }
         }
@@ -593,6 +763,40 @@ mod tests {
     fn remove_from_empty_panics() {
         let mut list: IndexedSkipList<B> = IndexedSkipList::new();
         list.remove(0);
+    }
+
+    #[test]
+    fn extend_back_matches_sequential_inserts() {
+        // Same seed → same tower heights → structurally identical lists.
+        let words: Vec<B> = (0..500).map(|i| b(&format!("{:03}", i % 300))).collect();
+        let mut bulk = IndexedSkipList::with_seed(77);
+        bulk.extend_back(words.clone());
+        let mut serial = IndexedSkipList::with_seed(77);
+        for (i, word) in words.iter().cloned().enumerate() {
+            serial.insert(i, word);
+        }
+        bulk.assert_invariants();
+        assert_eq!(contents(&bulk), contents(&serial));
+        assert_eq!(bulk.level_span_totals(), serial.level_span_totals());
+        assert_eq!(bulk.len_blocks(), 500);
+        // Appending to a non-empty list continues the same structure.
+        let mut grown = IndexedSkipList::with_seed(77);
+        grown.extend_back(words[..100].to_vec());
+        grown.extend_back(words[100..].to_vec());
+        grown.assert_invariants();
+        assert_eq!(contents(&grown), contents(&serial));
+        assert_eq!(grown.level_span_totals(), serial.level_span_totals());
+    }
+
+    #[test]
+    fn extend_back_empty_is_noop() {
+        let mut list: IndexedSkipList<B> = IndexedSkipList::with_seed(1);
+        list.extend_back(Vec::new());
+        assert!(list.is_empty());
+        list.insert(0, b("x"));
+        list.extend_back(Vec::new());
+        assert_eq!(list.len_blocks(), 1);
+        list.assert_invariants();
     }
 
     /// Randomized cross-check against the Vec reference model.

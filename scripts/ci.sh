@@ -14,4 +14,21 @@ cargo test -q --offline
 echo "== cargo clippy =="
 cargo clippy --workspace --offline -- -D warnings
 
+echo "== crypto_throughput smoke =="
+# The crypto benchmark must complete and emit valid JSON (tiny sizes,
+# one rep — this checks the harness, not the numbers).
+smoke_out="$(mktemp)"
+trap 'rm -f "$smoke_out"' EXIT
+./target/release/crypto_throughput --smoke --out "$smoke_out"
+python3 - "$smoke_out" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+rows = report["rows"]
+assert report["bench"] == "crypto_throughput" and rows, "malformed smoke report"
+for row in rows:
+    assert row["fast_encrypt_s"] > 0 and row["fast_decrypt_s"] > 0, row
+print(f"smoke report OK ({len(rows)} rows)")
+PY
+
 echo "CI OK"
