@@ -1,0 +1,71 @@
+//! Multi-client network load over real loopback sockets: N concurrent
+//! mediated editors against one `pe-net` HTTP server.
+//!
+//! Usage: `cargo run -p pe-bench --bin net_load --release -- \
+//!     [--smoke] [--out FILE]`
+//!
+//! Writes the JSON report to `BENCH_net.json` (or `--out FILE`) and
+//! prints a Markdown table. `--smoke` runs tiny concurrency levels with
+//! few edits for CI.
+
+use pe_bench::netload::{net_load, render_json};
+use pe_bench::report::markdown_table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or("BENCH_net.json", String::as_str);
+
+    let (counts, edits): (&[usize], usize) =
+        if smoke { (&[1, 2], 2) } else { (&[1, 4, 16, 64], 25) };
+
+    println!("# Network load — concurrent mediated editors over loopback TCP (rECB, b=8)\n");
+    println!(
+        "Each client: its own pooling HttpClient + DocsMediator + document; \
+         {edits} open+save rounds after create."
+    );
+    println!("Latency quantiles come from the live net.client.request_ns histogram.\n");
+
+    let rows = net_load(counts, edits, 0x10ad);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|row| {
+            vec![
+                format!("{}", row.clients),
+                format!("{}", row.requests),
+                format!("{:.2} s", row.wall_s),
+                format!("{:.0}", row.rps),
+                format!("{:.2} ms", row.p50_ns as f64 / 1e6),
+                format!("{:.2} ms", row.p99_ns as f64 / 1e6),
+                format!("{}", row.retries),
+                format!("{}", row.errors),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        markdown_table(
+            &["clients", "requests", "wall", "req/s", "p50", "p99", "retries", "errors"],
+            &table
+        )
+    );
+
+    if rows.iter().any(|r| r.errors > 0 || r.failed_sessions > 0) {
+        eprintln!("error: unrecovered failures on a fault-free wire");
+        std::process::exit(1);
+    }
+
+    let json = render_json(&rows, edits);
+    match std::fs::write(out_path, &json) {
+        Ok(()) => println!("wrote {out_path}"),
+        Err(e) => {
+            eprintln!("error: could not write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    println!("{}", pe_bench::report::observability_section());
+}

@@ -18,6 +18,7 @@
 //! | §V-A integrity design space | [`integrity`] | `ablation_integrity` |
 //! | "typical use" keystroke throughput | — | `typing_throughput` |
 //! | Crypto fast-path throughput | [`crypto_bench::crypto_throughput`] | `crypto_throughput` |
+//! | Network load scaling | [`netload::net_load`] | `net_load` |
 //!
 //! Timing note: run the binaries with `--release`; the from-scratch AES
 //! is 30–50× slower unoptimized.
@@ -34,5 +35,6 @@ pub mod integrity;
 pub mod macrobench;
 pub mod matrix;
 pub mod micro;
+pub mod netload;
 pub mod report;
 pub mod timing;

@@ -1,0 +1,187 @@
+//! Multi-client network load: N concurrent mediated editors hammering
+//! one [`HttpServer`](pe_net::HttpServer) over real loopback sockets.
+//!
+//! Each client is a full [`DocsMediator`] stack — password-derived key,
+//! rECB encryption, delta protocol — over its own pooling
+//! [`HttpClient`](pe_net::HttpClient), editing its own document. The
+//! harness measures aggregate request throughput and per-request latency
+//! quantiles straight from the `net.client.*` metrics the transport
+//! already records, so the bench numbers and production telemetry can
+//! never disagree.
+//!
+//! Every client is seeded, so a run is reproducible edit-for-edit; only
+//! the timing is machine-dependent.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use pe_cloud::docs::DocsServer;
+use pe_crypto::CtrDrbg;
+use pe_extension::{DocsMediator, MediatorConfig};
+use pe_net::{HttpClient, HttpServer, ServerConfig, Service};
+
+/// One measured concurrency level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetLoadRow {
+    /// Number of concurrent mediated editors.
+    pub clients: usize,
+    /// Successful HTTP requests completed across all clients.
+    pub requests: u64,
+    /// Wall-clock seconds for the whole fan-out (spawn to last join).
+    pub wall_s: f64,
+    /// Aggregate requests per second.
+    pub rps: f64,
+    /// Median request latency, nanoseconds (`net.client.request_ns` p50).
+    pub p50_ns: u64,
+    /// Tail request latency, nanoseconds (`net.client.request_ns` p99).
+    pub p99_ns: u64,
+    /// Transient failures that were retried (`net.client.retries`).
+    pub retries: u64,
+    /// Requests that exhausted retries or hit a fatal error
+    /// (`net.client.errors`) — must be zero on a fault-free wire.
+    pub errors: u64,
+    /// Editing sessions that failed outright — must always be zero.
+    pub failed_sessions: u64,
+}
+
+/// One client's scripted session: create a document, then
+/// `edits` rounds of open → append → save.
+fn editor_session(
+    addr: std::net::SocketAddr,
+    client_index: usize,
+    edits: usize,
+    seed: u64,
+) -> Result<(), String> {
+    let client = HttpClient::new(addr);
+    let mut mediator = DocsMediator::with_rng(
+        client,
+        MediatorConfig::recb(8),
+        CtrDrbg::from_seed(seed ^ (client_index as u64) << 8),
+    );
+    let doc_id = mediator
+        .create_document(&format!("load-pw-{client_index}"))
+        .map_err(|e| format!("client {client_index} create: {e}"))?;
+    mediator
+        .save_full(&doc_id, &format!("client {client_index} baseline"))
+        .map_err(|e| format!("client {client_index} seed save: {e}"))?;
+    for edit in 0..edits {
+        let current = mediator
+            .open_document(&doc_id)
+            .map_err(|e| format!("client {client_index} open #{edit}: {e}"))?;
+        mediator
+            .save_full(&doc_id, &format!("{current} +{edit}"))
+            .map_err(|e| format!("client {client_index} save #{edit}: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Runs the load at each concurrency level in `client_counts`.
+///
+/// Each level gets a fresh [`DocsServer`], a fresh [`HttpServer`], and a
+/// reset metrics registry, so rows are independent measurements. The
+/// worker pool is sized to the machine (not to N) — scaling beyond the
+/// worker count measures queueing, which is the interesting regime.
+pub fn net_load(client_counts: &[usize], edits: usize, seed: u64) -> Vec<NetLoadRow> {
+    client_counts
+        .iter()
+        .map(|&clients| {
+            pe_observe::global().reset();
+            let backend = Arc::new(DocsServer::new());
+            let server = HttpServer::bind(
+                "127.0.0.1:0",
+                Arc::clone(&backend) as Arc<dyn Service>,
+                ServerConfig { workers: 8, ..ServerConfig::default() },
+            )
+            .expect("bind loopback ephemeral port");
+            let addr = server.local_addr();
+
+            let started = Instant::now();
+            let handles: Vec<_> = (0..clients)
+                .map(|i| std::thread::spawn(move || editor_session(addr, i, edits, seed)))
+                .collect();
+            let failed_sessions = handles
+                .into_iter()
+                .map(std::thread::JoinHandle::join)
+                .filter(|outcome| !matches!(outcome, Ok(Ok(()))))
+                .count() as u64;
+            let wall_s = started.elapsed().as_secs_f64();
+            server.shutdown();
+
+            let snapshot = pe_observe::global().snapshot();
+            let requests = snapshot.counter("net.client.requests").unwrap_or(0);
+            let (p50_ns, p99_ns) = snapshot
+                .histogram("net.client.request_ns")
+                .map_or((0, 0), |h| (h.quantile(0.50), h.quantile(0.99)));
+            NetLoadRow {
+                clients,
+                requests,
+                wall_s,
+                rps: if wall_s > 0.0 { requests as f64 / wall_s } else { 0.0 },
+                p50_ns,
+                p99_ns,
+                retries: snapshot.counter("net.client.retries").unwrap_or(0),
+                errors: snapshot.counter("net.client.errors").unwrap_or(0),
+                failed_sessions,
+            }
+        })
+        .collect()
+}
+
+/// Renders the rows as the JSON document committed as `BENCH_net.json`.
+pub fn render_json(rows: &[NetLoadRow], edits: usize) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"net_load\",\n");
+    out.push_str("  \"transport\": \"pe-net loopback TCP\",\n");
+    out.push_str("  \"mode\": \"recb\",\n");
+    out.push_str("  \"block_size\": 8,\n");
+    out.push_str(&format!("  \"edits_per_client\": {edits},\n"));
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"clients\": {}, \"requests\": {}, \"wall_s\": {:.4}, \"rps\": {:.1}, \
+             \"p50_ns\": {}, \"p99_ns\": {}, \"retries\": {}, \"errors\": {}, \
+             \"failed_sessions\": {}}}{}\n",
+            row.clients,
+            row.requests,
+            row.wall_s,
+            row.rps,
+            row.p50_ns,
+            row.p99_ns,
+            row.retries,
+            row.errors,
+            row.failed_sessions,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_load_completes_with_zero_unrecovered_errors() {
+        let rows = net_load(&[1, 2], 2, 0xbead);
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert_eq!(row.errors, 0, "unrecovered errors on a fault-free wire");
+            assert_eq!(row.failed_sessions, 0);
+            // create + seed save + 2×(open + save) = 6 requests per client.
+            assert_eq!(row.requests, 6 * row.clients as u64);
+            assert!(row.rps > 0.0);
+            assert!(row.p50_ns > 0 && row.p99_ns >= row.p50_ns);
+        }
+    }
+
+    #[test]
+    fn json_report_is_well_formed() {
+        let rows = net_load(&[1], 1, 0xfeed);
+        let json = render_json(&rows, 1);
+        assert!(json.contains("\"bench\": \"net_load\""));
+        assert!(json.contains("\"clients\": 1"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

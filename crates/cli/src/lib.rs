@@ -25,7 +25,7 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 
 use pe_cloud::docs::DocsServer;
-use pe_cloud::Request;
+use pe_cloud::{CloudService, Request};
 use pe_crypto::form;
 use pe_delta::Delta;
 use pe_extension::{DocsMediator, ExtensionError, MediatorConfig};
@@ -37,6 +37,9 @@ pub struct CliOptions {
     pub store: PathBuf,
     /// Use RPC (integrity) mode for newly created documents.
     pub rpc: bool,
+    /// Address of a running `pedit serve` instance to talk to over TCP
+    /// instead of opening a local store file.
+    pub connect: Option<String>,
     /// The subcommand.
     pub command: Command,
 }
@@ -116,6 +119,19 @@ pub enum Command {
         /// Output format for the snapshot.
         format: StatsFormat,
     },
+    /// Serve the store over HTTP (a real `pe-net` socket server) until a
+    /// `stop` command arrives.
+    Serve {
+        /// Address to bind (`127.0.0.1:0` picks an ephemeral port).
+        addr: String,
+        /// Worker threads (defaults to the server's default).
+        workers: Option<usize>,
+        /// File to write the bound address into (how scripts learn the
+        /// ephemeral port).
+        addr_file: Option<PathBuf>,
+    },
+    /// Ask a running `pedit serve` (via `--connect`) to shut down.
+    Stop,
 }
 
 /// Output format of the [`Command::Stats`] snapshot.
@@ -139,6 +155,8 @@ pub enum CliError {
     BadStore(String),
     /// The mediator/crypto layer failed (wrong password, tampering, …).
     Extension(ExtensionError),
+    /// Networking failure while serving or connecting.
+    Net(String),
 }
 
 impl fmt::Display for CliError {
@@ -148,6 +166,7 @@ impl fmt::Display for CliError {
             CliError::Store(e) => write!(f, "store i/o error: {e}"),
             CliError::BadStore(msg) => write!(f, "invalid store file: {msg}"),
             CliError::Extension(e) => write!(f, "{e}"),
+            CliError::Net(msg) => write!(f, "network error: {msg}"),
         }
     }
 }
@@ -165,6 +184,10 @@ pub const USAGE: &str = "\
 pedit — private editing on an untrusted (file-simulated) cloud
 
 USAGE: pedit --store FILE [--rpc] COMMAND
+       pedit --connect HOST:PORT [--rpc] COMMAND
+
+With --store, commands run against a local store file. With --connect,
+they run over a real TCP socket against a running `pedit serve`.
 
 COMMANDS:
   create  --password PW
@@ -176,7 +199,10 @@ COMMANDS:
   history --doc ID --password PW
   rotate  --doc ID --old PW --new PW
   raw     --doc ID
-  stats   [--format text|json]";
+  stats   [--format text|json]
+  serve   [--addr HOST:PORT] [--workers N] [--addr-file PATH]
+          (requires --store; --addr defaults to 127.0.0.1:0)
+  stop    (requires --connect)";
 
 /// Parses command-line arguments (excluding `argv[0]`).
 ///
@@ -187,6 +213,7 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, CliError> {
     let usage = |msg: &str| CliError::Usage(format!("{msg}\n\n{USAGE}"));
     let mut store: Option<PathBuf> = None;
     let mut rpc = false;
+    let mut connect: Option<String> = None;
     let mut rest: Vec<String> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -196,6 +223,10 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, CliError> {
                     iter.next().ok_or_else(|| usage("--store needs a value"))?,
                 ));
             }
+            "--connect" => {
+                connect =
+                    Some(iter.next().ok_or_else(|| usage("--connect needs a value"))?.clone());
+            }
             "--rpc" => rpc = true,
             "--help" | "-h" => return Err(CliError::Usage(USAGE.to_string())),
             _ => rest.push(arg.clone()),
@@ -203,10 +234,14 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, CliError> {
     }
     let mut rest = rest.into_iter();
     let verb = rest.next().ok_or_else(|| usage("missing command"))?;
-    // `stats` runs against its own in-memory cloud, so no store is needed.
+    if verb == "serve" && connect.is_some() {
+        return Err(usage("serve runs a server locally; it cannot be combined with --connect"));
+    }
+    // `stats` runs against its own in-memory cloud and `--connect` talks
+    // to a remote server, so neither needs a store.
     let store = match store {
         Some(path) => path,
-        None if verb == "stats" => PathBuf::new(),
+        None if verb == "stats" || connect.is_some() => PathBuf::new(),
         None => return Err(usage("missing --store FILE")),
     };
     // Collect remaining flags into key/value pairs.
@@ -273,9 +308,22 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, CliError> {
                 }
             },
         },
+        "serve" => Command::Serve {
+            addr: flags.get("addr").cloned().unwrap_or_else(|| "127.0.0.1:0".to_string()),
+            workers: match flags.get("workers") {
+                Some(value) => Some(
+                    value
+                        .parse::<usize>()
+                        .map_err(|_| usage("--workers must be a number"))?,
+                ),
+                None => None,
+            },
+            addr_file: flags.get("addr-file").map(PathBuf::from),
+        },
+        "stop" => Command::Stop,
         other => return Err(usage(&format!("unknown command {other:?}"))),
     };
-    Ok(CliOptions { store, rpc, command })
+    Ok(CliOptions { store, rpc, connect, command })
 }
 
 fn load_store(path: &Path) -> Result<DocsServer, CliError> {
@@ -290,57 +338,46 @@ fn persist_store(path: &Path, server: &DocsServer) -> Result<(), CliError> {
     std::fs::write(path, server.snapshot()).map_err(CliError::Store)
 }
 
-fn mediator(
-    server: std::sync::Arc<DocsServer>,
-    rpc: bool,
-) -> DocsMediator<std::sync::Arc<DocsServer>> {
+fn mediator<S: CloudService>(service: S, rpc: bool) -> DocsMediator<S> {
     let config = if rpc { MediatorConfig::rpc(7) } else { MediatorConfig::recb(8) };
-    DocsMediator::new(server, config)
+    DocsMediator::new(service, config)
 }
 
-/// Executes a parsed invocation, returning the text to print.
+/// Runs one mediated document command against any [`CloudService`] — the
+/// local in-process store or an [`pe_net::HttpClient`] talking to a
+/// remote `pedit serve`. The privacy mediator sits on the client side of
+/// whichever transport, exactly as in the paper's deployment.
 ///
-/// # Errors
-///
-/// Returns [`CliError`] for store, password, or integrity failures.
-pub fn run(options: &CliOptions) -> Result<String, CliError> {
-    if let Command::Stats { format } = &options.command {
-        // The stats session runs against its own in-memory cloud; the
-        // store file is neither read nor written.
-        return stats::run_scripted_session(*format);
-    }
-    let server = std::sync::Arc::new(load_store(&options.store)?);
+/// Handles every command that speaks the Docs protocol; `List`/`Raw`
+/// (provider-side views) and the control commands are the caller's job.
+fn doc_session<S: CloudService>(
+    service: S,
+    rpc: bool,
+    command: &Command,
+) -> Result<String, CliError> {
     let mut output = String::new();
-    match &options.command {
+    match command {
         Command::Create { password } => {
-            let mut mediator = mediator(std::sync::Arc::clone(&server), options.rpc);
+            let mut mediator = mediator(service, rpc);
             let doc_id = mediator.create_document(password)?;
             // An empty full save materializes the encrypted document.
             mediator.save_full(&doc_id, "")?;
             output.push_str(&format!("created {doc_id}"));
         }
-        Command::List => {
-            let ids = server.list_documents();
-            if ids.is_empty() {
-                output.push_str("(no documents)");
-            } else {
-                output.push_str(&ids.join("\n"));
-            }
-        }
         Command::Show { doc, password } => {
-            let mut mediator = mediator(std::sync::Arc::clone(&server), options.rpc);
+            let mut mediator = mediator(service, rpc);
             mediator.register_password(doc, password);
             output.push_str(&mediator.open_document(doc)?);
         }
         Command::Save { doc, password, text } => {
-            let mut mediator = mediator(std::sync::Arc::clone(&server), options.rpc);
+            let mut mediator = mediator(service, rpc);
             mediator.register_password(doc, password);
             mediator.open_document(doc)?;
             mediator.save_full(doc, text)?;
             output.push_str("saved");
         }
         Command::Insert { doc, password, at, text } => {
-            let mut mediator = mediator(std::sync::Arc::clone(&server), options.rpc);
+            let mut mediator = mediator(service, rpc);
             mediator.register_password(doc, password);
             mediator.open_document(doc)?;
             let mut delta = Delta::builder();
@@ -349,7 +386,7 @@ pub fn run(options: &CliOptions) -> Result<String, CliError> {
             output.push_str("saved (incremental)");
         }
         Command::Delete { doc, password, at, len } => {
-            let mut mediator = mediator(std::sync::Arc::clone(&server), options.rpc);
+            let mut mediator = mediator(service, rpc);
             mediator.register_password(doc, password);
             mediator.open_document(doc)?;
             let mut delta = Delta::builder();
@@ -358,7 +395,7 @@ pub fn run(options: &CliOptions) -> Result<String, CliError> {
             output.push_str("saved (incremental)");
         }
         Command::History { doc, password } => {
-            let mut mediator = mediator(std::sync::Arc::clone(&server), options.rpc);
+            let mut mediator = mediator(service, rpc);
             mediator.register_password(doc, password);
             mediator.open_document(doc)?;
             let count_resp =
@@ -383,20 +420,229 @@ pub fn run(options: &CliOptions) -> Result<String, CliError> {
             }
         }
         Command::Rotate { doc, old, new } => {
-            let mut mediator = mediator(std::sync::Arc::clone(&server), options.rpc);
+            let mut mediator = mediator(service, rpc);
             mediator.register_password(doc, old);
             mediator.change_password(doc, new)?;
             output.push_str("password rotated (note: server-side history keeps old-key ciphertext)");
         }
-        Command::Raw { doc } => match server.stored_content(doc) {
-            Some(content) => output.push_str(&content),
-            None => output.push_str("(no such document)"),
-        },
-        // Handled by the early return above; never reaches the store.
-        Command::Stats { .. } => unreachable!("stats handled before store load"),
+        Command::List
+        | Command::Raw { .. }
+        | Command::Stats { .. }
+        | Command::Serve { .. }
+        | Command::Stop => {
+            unreachable!("non-document command routed to doc_session")
+        }
     }
+    Ok(output)
+}
+
+/// Executes a parsed invocation, returning the text to print.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for store, password, integrity, or network
+/// failures.
+pub fn run(options: &CliOptions) -> Result<String, CliError> {
+    if let Command::Stats { format } = &options.command {
+        // The stats session runs against its own in-memory cloud; the
+        // store file is neither read nor written.
+        return stats::run_scripted_session(*format);
+    }
+    if let Command::Serve { addr, workers, addr_file } = &options.command {
+        return serve::run_server(options, addr, *workers, addr_file.as_deref());
+    }
+    if let Some(target) = &options.connect {
+        return remote::run_remote(target, options);
+    }
+    let server = std::sync::Arc::new(load_store(&options.store)?);
+    let output = match &options.command {
+        Command::List => {
+            let ids = server.list_documents();
+            if ids.is_empty() {
+                "(no documents)".to_string()
+            } else {
+                ids.join("\n")
+            }
+        }
+        Command::Raw { doc } => match server.stored_content(doc) {
+            Some(content) => content,
+            None => "(no such document)".to_string(),
+        },
+        Command::Stop => {
+            return Err(CliError::Usage(format!(
+                "stop needs --connect HOST:PORT\n\n{USAGE}"
+            )))
+        }
+        command => doc_session(std::sync::Arc::clone(&server), options.rpc, command)?,
+    };
     persist_store(&options.store, &server)?;
     Ok(output)
+}
+
+mod serve {
+    //! The `pedit serve` mode: the store, served over a real socket.
+    //!
+    //! The document protocol mounts at `/` (the raw [`DocsServer`] — the
+    //! provider still sees only what clients send, which under mediated
+    //! clients is ciphertext). Control endpoints mount under `/admin`:
+    //! `POST /admin/shutdown`, `GET /admin/ping`, `GET /admin/list`,
+    //! `GET /admin/raw?docID=…`.
+
+    use std::path::Path;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    use pe_cloud::docs::DocsServer;
+    use pe_cloud::{CloudService, Method, Request, Response};
+    use pe_net::{HttpServer, Router, ServerConfig};
+
+    use crate::{load_store, persist_store, CliError, CliOptions};
+
+    /// Control endpoints; implements [`CloudService`] so the `pe-net`
+    /// blanket impl mounts it like any other service.
+    struct AdminService {
+        server: Arc<DocsServer>,
+        stop: Arc<AtomicBool>,
+    }
+
+    impl CloudService for AdminService {
+        fn handle(&self, request: &Request) -> Response {
+            match (request.method, request.path.as_str()) {
+                (Method::Post, "/shutdown") => {
+                    self.stop.store(true, Ordering::SeqCst);
+                    Response::ok("stopping")
+                }
+                (Method::Get, "/ping") => Response::ok("pong"),
+                (Method::Get, "/list") => {
+                    Response::ok(self.server.list_documents().join("\n"))
+                }
+                (Method::Get, "/raw") => match request
+                    .query_param("docID")
+                    .and_then(|id| self.server.stored_content(id))
+                {
+                    Some(content) => Response::ok(content),
+                    None => Response::error(404, "no such document"),
+                },
+                _ => Response::error(404, "unknown admin endpoint"),
+            }
+        }
+
+        fn name(&self) -> &'static str {
+            "pedit-admin"
+        }
+    }
+
+    pub(crate) fn run_server(
+        options: &CliOptions,
+        addr: &str,
+        workers: Option<usize>,
+        addr_file: Option<&Path>,
+    ) -> Result<String, CliError> {
+        if options.store.as_os_str().is_empty() {
+            return Err(CliError::Usage(format!(
+                "serve needs --store FILE\n\n{}",
+                crate::USAGE
+            )));
+        }
+        let server = Arc::new(load_store(&options.store)?);
+        let stop = Arc::new(AtomicBool::new(false));
+        let admin =
+            AdminService { server: Arc::clone(&server), stop: Arc::clone(&stop) };
+        let router = Router::new()
+            .mount("/admin", Arc::new(admin))
+            .mount("", Arc::clone(&server) as Arc<dyn pe_net::Service>);
+        let mut config = ServerConfig::default();
+        if let Some(workers) = workers {
+            config.workers = workers;
+        }
+        let http = HttpServer::bind(addr, Arc::new(router), config)
+            .map_err(|e| CliError::Net(format!("bind {addr}: {e}")))?;
+        let bound = http.local_addr();
+        if let Some(path) = addr_file {
+            std::fs::write(path, bound.to_string()).map_err(CliError::Store)?;
+        }
+        // Announce readiness immediately; run() only prints on exit.
+        println!("pedit serving {} on {bound}", options.store.display());
+
+        // Poll: persist the store when it changes, exit on `stop`.
+        let mut persisted = server.snapshot();
+        while !stop.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(100));
+            let current = server.snapshot();
+            if current != persisted {
+                persist_store(&options.store, &server)?;
+                persisted = current;
+            }
+        }
+        http.shutdown();
+        persist_store(&options.store, &server)?;
+        Ok(format!("served on {bound}; store persisted"))
+    }
+}
+
+mod remote {
+    //! The `--connect` mode: the same commands, over a live socket.
+
+    use std::net::ToSocketAddrs;
+
+    use pe_cloud::Request;
+    use pe_net::HttpClient;
+
+    use crate::{doc_session, CliError, CliOptions, Command};
+
+    fn admin_get(client: &HttpClient, path: &str, query: &[(&str, &str)]) -> Result<String, CliError> {
+        let response = client
+            .send(&Request::get(path, query))
+            .map_err(|e| CliError::Net(e.to_string()))?;
+        let body = response.body_text().unwrap_or("").to_string();
+        if response.is_success() {
+            Ok(body)
+        } else {
+            Err(CliError::Net(format!("{} -> {}: {body}", path, response.status)))
+        }
+    }
+
+    pub(crate) fn run_remote(target: &str, options: &CliOptions) -> Result<String, CliError> {
+        let addr = target
+            .to_socket_addrs()
+            .ok()
+            .and_then(|mut addrs| addrs.next())
+            .ok_or_else(|| CliError::Net(format!("cannot resolve {target:?}")))?;
+        let client = HttpClient::new(addr);
+        match &options.command {
+            Command::Stop => {
+                let response = client
+                    .send(&Request::post("/admin/shutdown", &[], ""))
+                    .map_err(|e| CliError::Net(e.to_string()))?;
+                if response.is_success() {
+                    Ok("server stopping".to_string())
+                } else {
+                    Err(CliError::Net(format!("shutdown refused: {}", response.status)))
+                }
+            }
+            Command::List => {
+                let body = admin_get(&client, "/admin/list", &[])?;
+                Ok(if body.is_empty() { "(no documents)".to_string() } else { body })
+            }
+            Command::Raw { doc } => {
+                let response = client
+                    .send(&Request::get("/admin/raw", &[("docID", doc)]))
+                    .map_err(|e| CliError::Net(e.to_string()))?;
+                match response.status {
+                    _ if response.is_success() => {
+                        Ok(response.body_text().unwrap_or("").to_string())
+                    }
+                    404 => Ok("(no such document)".to_string()),
+                    status => Err(CliError::Net(format!("raw -> {status}"))),
+                }
+            }
+            Command::Stats { .. } | Command::Serve { .. } => {
+                unreachable!("handled before remote dispatch")
+            }
+            command => doc_session(client, options.rpc, command),
+        }
+    }
 }
 
 mod stats {
@@ -630,5 +876,50 @@ mod tests {
     fn help_shows_usage() {
         let err = parse_args(&args(&["--help"])).unwrap_err();
         assert!(err.to_string().contains("COMMANDS"));
+    }
+
+    #[test]
+    fn parses_serve_with_defaults_and_flags() {
+        let options = parse_args(&args(&["--store", "s.db", "serve"])).unwrap();
+        assert_eq!(
+            options.command,
+            Command::Serve { addr: "127.0.0.1:0".into(), workers: None, addr_file: None }
+        );
+        let options = parse_args(&args(&[
+            "--store", "s.db", "serve", "--addr", "127.0.0.1:8080", "--workers", "2",
+            "--addr-file", "/tmp/a",
+        ]))
+        .unwrap();
+        assert_eq!(
+            options.command,
+            Command::Serve {
+                addr: "127.0.0.1:8080".into(),
+                workers: Some(2),
+                addr_file: Some(PathBuf::from("/tmp/a")),
+            }
+        );
+    }
+
+    #[test]
+    fn parses_connect_mode_without_store() {
+        let options = parse_args(&args(&[
+            "--connect", "127.0.0.1:9", "show", "--doc", "d", "--password", "pw",
+        ]))
+        .unwrap();
+        assert_eq!(options.connect.as_deref(), Some("127.0.0.1:9"));
+        assert!(options.store.as_os_str().is_empty());
+        let options = parse_args(&args(&["--connect", "127.0.0.1:9", "stop"])).unwrap();
+        assert_eq!(options.command, Command::Stop);
+    }
+
+    #[test]
+    fn serve_cannot_combine_with_connect_and_stop_needs_connect() {
+        assert!(matches!(
+            parse_args(&args(&["--store", "s", "--connect", "h:1", "serve"])),
+            Err(CliError::Usage(_))
+        ));
+        // `stop` parses without --connect but run() rejects it.
+        let options = parse_args(&args(&["--store", "s", "stop"])).unwrap();
+        assert!(matches!(run(&options), Err(CliError::Usage(_))));
     }
 }

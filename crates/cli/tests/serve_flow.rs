@@ -1,0 +1,95 @@
+//! End-to-end `pedit serve` / `--connect` test: one invocation serves a
+//! temp-file store over a real loopback socket while another drives a
+//! full mediated editing session against it, then stops it cleanly.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use pe_cli::{parse_args, run, CliError};
+
+struct TempPath(PathBuf);
+
+impl TempPath {
+    fn new(tag: &str) -> TempPath {
+        let mut path = std::env::temp_dir();
+        path.push(format!("pedit-serve-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        TempPath(path)
+    }
+
+    fn str(&self) -> &str {
+        self.0.to_str().unwrap()
+    }
+}
+
+impl Drop for TempPath {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+fn pedit(args: &[&str]) -> Result<String, CliError> {
+    let full: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    run(&parse_args(&full)?)
+}
+
+#[test]
+fn serve_and_connect_round_trip() {
+    let store = TempPath::new("store");
+    let addr_file = TempPath::new("addr");
+
+    // Serve in a background thread (the CLI blocks until `stop`).
+    let serve_args: Vec<String> =
+        ["--store", store.str(), "serve", "--addr", "127.0.0.1:0", "--workers", "2",
+         "--addr-file", addr_file.str()]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    let server_thread = std::thread::spawn(move || run(&parse_args(&serve_args).unwrap()));
+
+    // Wait for the ephemeral port to land in the addr file.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let addr = loop {
+        if let Ok(addr) = std::fs::read_to_string(&addr_file.0) {
+            if !addr.is_empty() {
+                break addr;
+            }
+        }
+        assert!(Instant::now() < deadline, "server never wrote its address");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+
+    // A complete mediated session over the socket.
+    let created = pedit(&["--connect", &addr, "create", "--password", "pw"]).unwrap();
+    let doc = created.strip_prefix("created ").unwrap().to_string();
+    pedit(&["--connect", &addr, "save", "--doc", &doc, "--password", "pw", "--text",
+            "wired secret"])
+        .unwrap();
+    pedit(&["--connect", &addr, "insert", "--doc", &doc, "--password", "pw", "--at", "5",
+            "--text", " loopback"])
+        .unwrap();
+    let shown =
+        pedit(&["--connect", &addr, "show", "--doc", &doc, "--password", "pw"]).unwrap();
+    assert_eq!(shown, "wired loopback secret");
+
+    // The provider's view (over the admin endpoint) is ciphertext.
+    let raw = pedit(&["--connect", &addr, "raw", "--doc", &doc]).unwrap();
+    assert!(!raw.contains("secret"), "plaintext leaked to the server: {raw}");
+    assert!(!raw.contains("loopback"), "plaintext leaked to the server: {raw}");
+    let listed = pedit(&["--connect", &addr, "list"]).unwrap();
+    assert!(listed.contains(&doc));
+    assert_eq!(pedit(&["--connect", &addr, "raw", "--doc", "nope"]).unwrap(),
+               "(no such document)");
+
+    // Stop the server and reap the serving invocation.
+    assert_eq!(pedit(&["--connect", &addr, "stop"]).unwrap(), "server stopping");
+    let served = server_thread.join().unwrap().unwrap();
+    assert!(served.contains("store persisted"), "unexpected serve output: {served}");
+
+    // The persisted store decrypts locally — same document, same content.
+    let local =
+        pedit(&["--store", store.str(), "show", "--doc", &doc, "--password", "pw"]).unwrap();
+    assert_eq!(local, "wired loopback secret");
+    let local_raw = pedit(&["--store", store.str(), "raw", "--doc", &doc]).unwrap();
+    assert!(!local_raw.contains("secret"));
+}

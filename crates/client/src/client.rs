@@ -1,6 +1,7 @@
 //! The full simulated client: session management, autosave, and the
 //! Ack-hash conflict check.
 
+use pe_cloud::retry::BackoffPolicy;
 use pe_cloud::{CloudService, Request, Response};
 use pe_crypto::form;
 use pe_crypto::hex;
@@ -75,6 +76,11 @@ pub struct DocsClient<C> {
     synced: String,
     sent_full_save: bool,
     conflicts: usize,
+    /// Delay schedule between failed save attempts in
+    /// [`DocsClient::save_with_retry`] and [`DocsClient::save_merging`].
+    /// Hammering a struggling server with zero-delay retries only feeds
+    /// the overload; seeded jitter keeps runs reproducible.
+    backoff: BackoffPolicy,
 }
 
 impl<C: Channel> DocsClient<C> {
@@ -99,7 +105,28 @@ impl<C: Channel> DocsClient<C> {
             synced: content,
             sent_full_save: false,
             conflicts: 0,
+            backoff: BackoffPolicy::client_default(0),
         })
+    }
+
+    /// Replaces the retry backoff schedule (builder style).
+    #[must_use]
+    pub fn with_backoff(mut self, backoff: BackoffPolicy) -> DocsClient<C> {
+        self.backoff = backoff;
+        self
+    }
+
+    /// Replaces the retry backoff schedule in place.
+    pub fn set_backoff(&mut self, backoff: BackoffPolicy) {
+        self.backoff = backoff;
+    }
+
+    /// Sleeps per the backoff schedule before retry number `attempt`
+    /// (0-based), recording the actual delay.
+    fn backoff_pause(&self, attempt: u32) {
+        let slept = self.backoff.sleep(attempt);
+        pe_observe::static_histogram!("client.retry_backoff_ns")
+            .record(slept.as_nanos() as u64);
     }
 
     /// The local editor.
@@ -191,7 +218,10 @@ impl<C: Channel> DocsClient<C> {
     /// the mediator's ciphertext mirror, which is exactly what makes
     /// concurrent encrypted editing converge.
     pub fn save_merging(&mut self, max_attempts: usize) -> SaveOutcome {
-        for _ in 0..max_attempts.max(1) {
+        for attempt in 0..max_attempts.max(1) {
+            if attempt > 0 {
+                self.backoff_pause(attempt as u32 - 1);
+            }
             let Some(server_content) = self.fetch() else {
                 continue; // transient load failure
             };
@@ -256,6 +286,9 @@ impl<C: Channel> DocsClient<C> {
                     pe_observe::static_counter!("client.save_retries").inc();
                     self.editor = snapshot;
                     self.sent_full_save = false;
+                    if attempt < attempts.max(1) {
+                        self.backoff_pause(attempt as u32 - 1);
+                    }
                 }
                 SaveOutcome::Conflict => return SaveOutcome::Conflict,
             }
@@ -484,6 +517,44 @@ mod retry_tests {
         assert_eq!(bob.save_with_retry(5), SaveOutcome::Conflict);
         assert_eq!(bob.conflicts(), 1, "exactly one attempt, no retries");
         assert_ne!(server.stored_content(&doc_id).unwrap(), bob.content());
+    }
+
+    /// Fails every request that carries a body (i.e. every save), leaving
+    /// open/create untouched.
+    struct FailSaves(Arc<DocsServer>);
+
+    impl Channel for FailSaves {
+        fn exchange(&mut self, request: &Request) -> Response {
+            if !request.body.is_empty() {
+                return Response::error(500, "backend down");
+            }
+            self.0.handle(request)
+        }
+    }
+
+    #[test]
+    fn transient_retries_pause_per_the_backoff_schedule() {
+        use pe_cloud::retry::BackoffPolicy;
+        use std::time::{Duration, Instant};
+        let server = Arc::new(DocsServer::new());
+        let doc_id = new_doc(&server);
+        let mut client = DocsClient::open(FailSaves(Arc::clone(&server)), &doc_id)
+            .unwrap()
+            .with_backoff(BackoffPolicy::new(
+                Duration::from_millis(10),
+                Duration::from_millis(10),
+                0.0,
+                0,
+            ));
+        client.editor().insert(0, "never lands");
+        let started = Instant::now();
+        assert_eq!(client.save_with_retry(3), SaveOutcome::Conflict);
+        // Three attempts, a 10 ms pause after each of the first two.
+        assert!(
+            started.elapsed() >= Duration::from_millis(20),
+            "retries must be paced, not immediate: {:?}",
+            started.elapsed()
+        );
     }
 }
 

@@ -9,6 +9,7 @@
 //! hiccups.)
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 use crate::{CloudService, Request, Response};
 
@@ -83,6 +84,130 @@ impl<S: CloudService> CloudService for FlakyService<S> {
 
     fn name(&self) -> &'static str {
         self.inner.name()
+    }
+}
+
+/// A transport-level fault a real socket server can enact.
+///
+/// [`FlakyService`] models *application* failures (clean 503 responses);
+/// these model the wire itself misbehaving. `pe-cloud` only defines the
+/// vocabulary and the deterministic schedule — the `pe-net` server is the
+/// layer with sockets, so it is the one that enacts them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnectionFault {
+    /// Close the connection as soon as it is accepted, before reading the
+    /// request (the client observes a reset / an empty response).
+    Refuse,
+    /// Sleep this long before writing the response body, to push past the
+    /// client's read timeout (a mid-body stall).
+    Stall(Duration),
+    /// Write only the first `n` bytes of the serialized response, then
+    /// close the connection (a truncated response).
+    Truncate(usize),
+}
+
+/// A deterministic, seeded schedule of [`ConnectionFault`]s.
+///
+/// Mirrors [`FlakyService`]'s decision rule — a SplitMix hash of a
+/// request counter — so one fault fires per `period` events on average,
+/// reproducibly for a given seed. `period = 0` disables the schedule;
+/// `period = 1` fires on every event.
+#[derive(Debug)]
+pub struct ConnectionFaultSchedule {
+    fault: ConnectionFault,
+    period: u64,
+    seed: u64,
+    counter: AtomicU64,
+    injected: AtomicU64,
+}
+
+impl ConnectionFaultSchedule {
+    /// Fires `fault` roughly once per `period` events.
+    pub fn new(fault: ConnectionFault, period: u64, seed: u64) -> ConnectionFaultSchedule {
+        ConnectionFaultSchedule {
+            fault,
+            period,
+            seed,
+            counter: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// Fires `fault` on every event.
+    pub fn always(fault: ConnectionFault) -> ConnectionFaultSchedule {
+        ConnectionFaultSchedule::new(fault, 1, 0)
+    }
+
+    /// The fault kind this schedule injects.
+    pub fn fault(&self) -> ConnectionFault {
+        self.fault
+    }
+
+    /// How many faults have been injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Advances the schedule by one event and returns the fault to enact,
+    /// if this event draws one.
+    pub fn next(&self) -> Option<ConnectionFault> {
+        if self.period == 0 {
+            return None;
+        }
+        let n = self.counter.fetch_add(1, Ordering::Relaxed);
+        let mut z = n.wrapping_add(self.seed).wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        if (z ^ (z >> 31)).is_multiple_of(self.period) {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            pe_observe::static_counter!("cloud.connection_faults_injected").inc();
+            Some(self.fault)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod connection_fault_tests {
+    use super::*;
+
+    #[test]
+    fn always_fires_every_time() {
+        let schedule = ConnectionFaultSchedule::always(ConnectionFault::Refuse);
+        for _ in 0..10 {
+            assert_eq!(schedule.next(), Some(ConnectionFault::Refuse));
+        }
+        assert_eq!(schedule.injected(), 10);
+    }
+
+    #[test]
+    fn zero_period_never_fires() {
+        let schedule = ConnectionFaultSchedule::new(ConnectionFault::Truncate(3), 0, 9);
+        assert!((0..50).all(|_| schedule.next().is_none()));
+        assert_eq!(schedule.injected(), 0);
+    }
+
+    #[test]
+    fn schedule_is_deterministic_per_seed() {
+        let pattern = |seed| -> Vec<bool> {
+            let schedule = ConnectionFaultSchedule::new(
+                ConnectionFault::Stall(Duration::from_millis(1)),
+                3,
+                seed,
+            );
+            (0..64).map(|_| schedule.next().is_some()).collect()
+        };
+        assert_eq!(pattern(5), pattern(5));
+        assert_ne!(pattern(5), pattern(6));
+    }
+
+    #[test]
+    fn period_sets_the_approximate_rate() {
+        let schedule = ConnectionFaultSchedule::new(ConnectionFault::Refuse, 4, 17);
+        let fired = (0..400).filter(|_| schedule.next().is_some()).count();
+        assert!((60..=140).contains(&fired), "got {fired} faults out of 400");
+        assert_eq!(schedule.injected() as usize, fired);
     }
 }
 

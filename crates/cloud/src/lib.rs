@@ -43,6 +43,7 @@ pub mod fault;
 mod http;
 pub mod meter;
 pub mod net;
+pub mod retry;
 
 pub use http::{Method, Request, Response};
 

@@ -1,0 +1,153 @@
+//! Deterministic retry backoff policies.
+//!
+//! Every retry loop in the workspace — the editing client's save loop,
+//! `pe-net`'s HTTP client, the load harness — needs the same thing:
+//! bounded exponential backoff with jitter, and *deterministic* delays so
+//! tests and benchmarks are reproducible. [`BackoffPolicy`] computes the
+//! delay for attempt `n` as
+//!
+//! ```text
+//! delay(n) = min(base · 2ⁿ, cap) · (1 − jitter·u(seed, n))
+//! ```
+//!
+//! where `u` is a uniform value in `[0, 1)` derived from a SplitMix hash
+//! of `(seed, n)`. With `jitter = 0` the schedule is the classic capped
+//! doubling; with `jitter = 1` it is AWS-style "full jitter". Two policy
+//! values with the same fields produce identical schedules.
+//!
+//! # Example
+//!
+//! ```
+//! use std::time::Duration;
+//! use pe_cloud::retry::BackoffPolicy;
+//!
+//! let policy = BackoffPolicy::new(Duration::from_millis(2), Duration::from_millis(50), 0.5, 7);
+//! assert_eq!(policy.delay(0), policy.delay(0), "deterministic");
+//! assert!(policy.delay(9) <= Duration::from_millis(50), "capped");
+//! assert!(BackoffPolicy::none().delay(3).is_zero());
+//! ```
+
+use std::time::Duration;
+
+/// A capped exponential backoff schedule with deterministic jitter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackoffPolicy {
+    /// Delay before the first retry (attempt 0).
+    pub base: Duration,
+    /// Upper bound on any single delay.
+    pub cap: Duration,
+    /// Fraction of each delay that is randomized away, in `[0, 1]`.
+    /// `0.0` disables jitter; `1.0` draws uniformly from `(0, delay]`.
+    pub jitter: f64,
+    /// Seed for the jitter stream; retries with different seeds
+    /// desynchronize (no thundering herd), same seed reproduces exactly.
+    pub seed: u64,
+}
+
+impl BackoffPolicy {
+    /// A policy with the given parameters. `jitter` is clamped to `[0, 1]`.
+    pub fn new(base: Duration, cap: Duration, jitter: f64, seed: u64) -> BackoffPolicy {
+        BackoffPolicy { base, cap, jitter: jitter.clamp(0.0, 1.0), seed }
+    }
+
+    /// The zero policy: every delay is `Duration::ZERO` (retry
+    /// immediately — the pre-backoff behaviour, still wanted in tests).
+    pub const fn none() -> BackoffPolicy {
+        BackoffPolicy { base: Duration::ZERO, cap: Duration::ZERO, jitter: 0.0, seed: 0 }
+    }
+
+    /// The default client policy: 2 ms base, 100 ms cap, half jitter.
+    pub fn client_default(seed: u64) -> BackoffPolicy {
+        BackoffPolicy::new(Duration::from_millis(2), Duration::from_millis(100), 0.5, seed)
+    }
+
+    /// The delay to sleep before retry number `attempt` (0-based).
+    pub fn delay(&self, attempt: u32) -> Duration {
+        if self.base.is_zero() {
+            return Duration::ZERO;
+        }
+        let exp = self
+            .base
+            .saturating_mul(1u32 << attempt.min(20))
+            .min(self.cap.max(self.base));
+        if self.jitter <= 0.0 {
+            return exp;
+        }
+        // Uniform u in [0, 1) from a SplitMix mix of (seed, attempt).
+        let mut z = self
+            .seed
+            .wrapping_add(u64::from(attempt).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        let u = (z >> 11) as f64 / (1u64 << 53) as f64;
+        exp.mul_f64(1.0 - self.jitter * u)
+    }
+
+    /// Sleeps for [`BackoffPolicy::delay`]`(attempt)` and returns the
+    /// duration actually slept (zero delays skip the syscall).
+    pub fn sleep(&self, attempt: u32) -> Duration {
+        let delay = self.delay(attempt);
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
+        delay
+    }
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> BackoffPolicy {
+        BackoffPolicy::client_default(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doubles_until_the_cap() {
+        let policy =
+            BackoffPolicy::new(Duration::from_millis(1), Duration::from_millis(8), 0.0, 0);
+        assert_eq!(policy.delay(0), Duration::from_millis(1));
+        assert_eq!(policy.delay(1), Duration::from_millis(2));
+        assert_eq!(policy.delay(2), Duration::from_millis(4));
+        assert_eq!(policy.delay(3), Duration::from_millis(8));
+        assert_eq!(policy.delay(10), Duration::from_millis(8), "capped");
+        assert_eq!(policy.delay(63), Duration::from_millis(8), "no overflow");
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let policy =
+            BackoffPolicy::new(Duration::from_millis(4), Duration::from_millis(64), 1.0, 42);
+        for attempt in 0..12 {
+            let a = policy.delay(attempt);
+            let b = policy.delay(attempt);
+            assert_eq!(a, b, "same (seed, attempt) must give the same delay");
+            assert!(a <= Duration::from_millis(64));
+        }
+        // Different seeds must decorrelate at least one attempt.
+        let other =
+            BackoffPolicy::new(Duration::from_millis(4), Duration::from_millis(64), 1.0, 43);
+        assert!((0..12).any(|n| policy.delay(n) != other.delay(n)));
+    }
+
+    #[test]
+    fn none_never_sleeps() {
+        let policy = BackoffPolicy::none();
+        for attempt in 0..8 {
+            assert!(policy.delay(attempt).is_zero());
+        }
+        assert!(policy.sleep(3).is_zero());
+    }
+
+    #[test]
+    fn jitter_clamps_out_of_range_inputs() {
+        let policy = BackoffPolicy::new(Duration::from_millis(1), Duration::from_millis(2), 7.5, 0);
+        assert!((policy.jitter - 1.0).abs() < f64::EPSILON);
+        let policy =
+            BackoffPolicy::new(Duration::from_millis(1), Duration::from_millis(2), -3.0, 0);
+        assert_eq!(policy.jitter, 0.0);
+    }
+}

@@ -1,0 +1,318 @@
+//! The resilient HTTP client transport.
+//!
+//! [`HttpClient`] speaks the `pe-net` codec over real sockets with:
+//!
+//! * a **connection pool** — keep-alive sockets are reused across
+//!   requests, with a stale-connection grace retry (a pooled socket the
+//!   server already closed costs one reconnect, not a failed request);
+//! * **bounded exponential backoff with jitter** on connect and I/O
+//!   errors (policy from [`pe_cloud::retry::BackoffPolicy`], so delays
+//!   are deterministic per seed);
+//! * a **deadline** bounding the total time spent on one exchange,
+//!   including backoff sleeps.
+//!
+//! `HttpClient` implements [`CloudService`], so a
+//! `pe_extension::DocsMediator` or `pe_client::DocsClient` runs over a
+//! live socket *unchanged* — the same code path as the in-process
+//! simulation, which is what makes the loopback-vs-in-process parity
+//! test possible.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use pe_cloud::retry::BackoffPolicy;
+use pe_cloud::{CloudService, Request, Response};
+
+use crate::codec;
+use crate::error::NetError;
+
+/// Tuning knobs for [`HttpClient`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Timeout for establishing a TCP connection.
+    pub connect_timeout: Duration,
+    /// Socket read timeout (bounds a stalled response).
+    pub read_timeout: Duration,
+    /// Socket write timeout.
+    pub write_timeout: Duration,
+    /// Retries after the first attempt (total attempts = `retries + 1`).
+    pub retries: u32,
+    /// Backoff schedule between attempts.
+    pub backoff: BackoffPolicy,
+    /// Total wall-clock budget for one [`HttpClient::send`], including
+    /// backoff sleeps. `None` means only the per-socket timeouts bound it.
+    pub deadline: Option<Duration>,
+    /// Maximum idle keep-alive sockets kept for reuse.
+    pub pool_size: usize,
+}
+
+impl Default for ClientConfig {
+    fn default() -> ClientConfig {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(1),
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            retries: 3,
+            backoff: BackoffPolicy::client_default(0),
+            deadline: Some(Duration::from_secs(30)),
+            pool_size: 2,
+        }
+    }
+}
+
+/// A pooling, retrying HTTP/1.1 client bound to one server address.
+pub struct HttpClient {
+    addr: SocketAddr,
+    config: ClientConfig,
+    pool: Mutex<Vec<TcpStream>>,
+}
+
+impl std::fmt::Debug for HttpClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HttpClient")
+            .field("addr", &self.addr)
+            .field("pooled", &self.pool.lock().map(|p| p.len()).unwrap_or(0))
+            .finish_non_exhaustive()
+    }
+}
+
+impl HttpClient {
+    /// A client for `addr` with default configuration.
+    pub fn new(addr: SocketAddr) -> HttpClient {
+        HttpClient::with_config(addr, ClientConfig::default())
+    }
+
+    /// A client for `addr` with explicit configuration.
+    pub fn with_config(addr: SocketAddr, config: ClientConfig) -> HttpClient {
+        HttpClient { addr, config, pool: Mutex::new(Vec::new()) }
+    }
+
+    /// The server address this client talks to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Sends one request, retrying transient transport failures with
+    /// backoff until success, retry exhaustion, or the deadline.
+    ///
+    /// Retried sends are **at-least-once**: an I/O error after the bytes
+    /// left this host cannot distinguish "never processed" from
+    /// "processed, response lost". The mediated editing protocol
+    /// tolerates this (saves are full-state or rebased deltas and the
+    /// client checks the Ack), matching the paper's reliable-storage
+    /// assumption.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::RetriesExhausted`] after the final transient failure,
+    /// [`NetError::DeadlineExceeded`] when the budget runs out, or the
+    /// first non-retryable error.
+    pub fn send(&self, request: &Request) -> Result<Response, NetError> {
+        let started = Instant::now();
+        let _timed = pe_observe::static_histogram!("net.client.request_ns").span();
+        let bytes = codec::request_bytes(request, true)?;
+        let mut last: Option<NetError> = None;
+        for attempt in 0..=self.config.retries {
+            if attempt > 0 {
+                pe_observe::static_counter!("net.client.retries").inc();
+                let delay = self.config.backoff.delay(attempt - 1);
+                let delay = match self.remaining(started) {
+                    Some(remaining) if remaining.is_zero() => break,
+                    Some(remaining) => delay.min(remaining),
+                    None => delay,
+                };
+                if !delay.is_zero() {
+                    pe_observe::static_histogram!("net.client.backoff_ns")
+                        .record(delay.as_nanos() as u64);
+                    std::thread::sleep(delay);
+                }
+            }
+            if self.remaining(started).is_some_and(|r| r.is_zero()) {
+                break;
+            }
+            match self.try_once(&bytes) {
+                Ok(response) => {
+                    pe_observe::static_counter!("net.client.requests").inc();
+                    return Ok(response);
+                }
+                Err(e) if e.is_retryable() => last = Some(e),
+                Err(e) => {
+                    pe_observe::static_counter!("net.client.errors").inc();
+                    return Err(e);
+                }
+            }
+        }
+        pe_observe::static_counter!("net.client.errors").inc();
+        if self.remaining(started).is_some_and(|r| r.is_zero()) {
+            return Err(NetError::DeadlineExceeded);
+        }
+        match last {
+            Some(e) => Err(NetError::RetriesExhausted {
+                attempts: self.config.retries + 1,
+                last: e.to_string(),
+            }),
+            None => Err(NetError::DeadlineExceeded),
+        }
+    }
+
+    fn remaining(&self, started: Instant) -> Option<Duration> {
+        self.config.deadline.map(|d| d.saturating_sub(started.elapsed()))
+    }
+
+    /// One attempt: a pooled socket first (with a fresh-connect grace
+    /// retry if it turns out stale), else a new connection.
+    fn try_once(&self, bytes: &[u8]) -> Result<Response, NetError> {
+        // Bind the pop separately: in an `if let` scrutinee the MutexGuard
+        // temporary would live through the body, deadlocking against the
+        // re-lock in `exchange_on`.
+        let pooled = self.pool.lock().unwrap_or_else(|e| e.into_inner()).pop();
+        if let Some(stream) = pooled {
+            pe_observe::static_counter!("net.client.pool_reuses").inc();
+            match self.exchange_on(stream, bytes) {
+                Ok(response) => return Ok(response),
+                // The server may have closed the idle socket; one fresh
+                // connection covers that without consuming a retry.
+                Err(_) => pe_observe::static_counter!("net.client.stale_pool_drops").inc(),
+            }
+        }
+        let stream = self.connect()?;
+        self.exchange_on(stream, bytes)
+    }
+
+    fn connect(&self) -> Result<TcpStream, NetError> {
+        pe_observe::static_counter!("net.client.connects").inc();
+        let stream = TcpStream::connect_timeout(&self.addr, self.config.connect_timeout)?;
+        stream.set_read_timeout(Some(self.config.read_timeout))?;
+        stream.set_write_timeout(Some(self.config.write_timeout))?;
+        let _ = stream.set_nodelay(true);
+        Ok(stream)
+    }
+
+    fn exchange_on(&self, stream: TcpStream, bytes: &[u8]) -> Result<Response, NetError> {
+        let mut writer = stream.try_clone().map_err(NetError::Io)?;
+        codec::write_all(&mut writer, bytes)?;
+        let mut reader = BufReader::new(stream);
+        let parsed = codec::read_response(&mut reader)?;
+        if parsed.keep_alive {
+            let stream = reader.into_inner();
+            let mut pool = self.pool.lock().unwrap_or_else(|e| e.into_inner());
+            if pool.len() < self.config.pool_size {
+                pool.push(stream);
+            }
+        }
+        Ok(parsed.response)
+    }
+}
+
+/// Running the mediator/client stack over a socket unchanged: transport
+/// failures surface as 503 responses, which the editing client's retry
+/// loop already treats as transient.
+impl CloudService for HttpClient {
+    fn handle(&self, request: &Request) -> Response {
+        match self.send(request) {
+            Ok(response) => response,
+            Err(e) => Response::error(503, &format!("transport failure: {e}")),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "http-client"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{HttpServer, ServerConfig};
+    use pe_cloud::docs::DocsServer;
+    use std::sync::Arc;
+
+    fn test_config() -> ClientConfig {
+        ClientConfig {
+            connect_timeout: Duration::from_millis(500),
+            read_timeout: Duration::from_millis(500),
+            write_timeout: Duration::from_millis(500),
+            retries: 2,
+            backoff: BackoffPolicy::new(
+                Duration::from_millis(1),
+                Duration::from_millis(4),
+                0.5,
+                7,
+            ),
+            deadline: Some(Duration::from_secs(5)),
+            pool_size: 2,
+        }
+    }
+
+    #[test]
+    fn exchanges_and_reuses_the_connection() {
+        let server =
+            HttpServer::bind("127.0.0.1:0", Arc::new(DocsServer::new()), ServerConfig::default())
+                .unwrap();
+        let client = HttpClient::with_config(server.local_addr(), test_config());
+        for _ in 0..3 {
+            let resp = client.send(&Request::post("/Doc", &[("cmd", "create")], "")).unwrap();
+            assert!(resp.is_success());
+        }
+        assert!(!client.pool.lock().unwrap().is_empty(), "keep-alive socket pooled");
+        server.shutdown();
+    }
+
+    #[test]
+    fn connection_refused_fails_cleanly_after_retries() {
+        // Bind then drop a listener to find a port with nothing on it.
+        let addr = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap()
+        };
+        let client = HttpClient::with_config(addr, test_config());
+        let err = client.send(&Request::get("/x", &[])).unwrap_err();
+        assert!(
+            matches!(err, NetError::RetriesExhausted { attempts: 3, .. }),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn cloud_service_impl_degrades_errors_to_503() {
+        let addr = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap()
+        };
+        let client = HttpClient::with_config(
+            addr,
+            ClientConfig { retries: 0, ..test_config() },
+        );
+        let resp = client.handle(&Request::get("/x", &[]));
+        assert_eq!(resp.status, 503);
+        assert!(resp.body_text().unwrap().contains("transport failure"));
+    }
+
+    #[test]
+    fn deadline_bounds_total_time() {
+        let addr = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap()
+        };
+        let client = HttpClient::with_config(
+            addr,
+            ClientConfig {
+                retries: 1000,
+                deadline: Some(Duration::from_millis(200)),
+                backoff: BackoffPolicy::new(
+                    Duration::from_millis(10),
+                    Duration::from_millis(10),
+                    0.0,
+                    0,
+                ),
+                ..test_config()
+            },
+        );
+        let started = Instant::now();
+        let err = client.send(&Request::get("/x", &[])).unwrap_err();
+        assert!(matches!(err, NetError::DeadlineExceeded), "unexpected error: {err}");
+        assert!(started.elapsed() < Duration::from_secs(3), "deadline ignored");
+    }
+}

@@ -1,0 +1,515 @@
+//! The hand-rolled HTTP/1.1 codec.
+//!
+//! Serializes the in-process message model ([`pe_cloud::Request`] /
+//! [`pe_cloud::Response`]) to raw bytes and parses it back, speaking the
+//! subset of HTTP/1.1 the mediated editing protocol needs:
+//!
+//! * request line with method, percent-encoded path, and a form-encoded
+//!   query string;
+//! * `Content-Length`-delimited bodies (arbitrary binary bytes);
+//! * `Connection: keep-alive` / `close` negotiation (HTTP/1.1 defaults
+//!   to keep-alive; `close` opts out);
+//! * hard limits on line length, header count, and body size so a
+//!   malformed or malicious peer produces an error, never a panic or an
+//!   unbounded allocation.
+//!
+//! The codec is lossless: `parse(serialize(m)) == m` for every request
+//! whose path starts with `/` and every response — the property the
+//! proptest suite pins down.
+
+use std::io::{BufRead, Write};
+
+use bytes::Bytes;
+use pe_cloud::{Method, Request, Response};
+use pe_crypto::form;
+
+use crate::error::NetError;
+
+/// Maximum accepted length of one header or request line, in bytes.
+pub const MAX_LINE_BYTES: usize = 16 * 1024;
+/// Maximum accepted number of headers per message.
+pub const MAX_HEADERS: usize = 64;
+/// Maximum accepted `Content-Length`. Plaintext documents cap at 500 KiB
+/// ([`pe_cloud::docs::MAX_DOC_BYTES`]); ciphertext blowup plus form
+/// encoding stays well under this.
+pub const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
+
+/// True for path bytes written without escaping (unreserved + `/`).
+fn is_path_safe(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.' | b'*' | b'/')
+}
+
+/// Percent-encodes a request path (no `+`-for-space rule — that is a
+/// form-body convention; in a path, space becomes `%20`).
+fn encode_path(path: &str) -> String {
+    let mut out = String::with_capacity(path.len());
+    for &b in path.as_bytes() {
+        if is_path_safe(b) {
+            out.push(b as char);
+        } else {
+            out.push('%');
+            out.push(char::from_digit(u32::from(b >> 4), 16).unwrap().to_ascii_uppercase());
+            out.push(char::from_digit(u32::from(b & 0xf), 16).unwrap().to_ascii_uppercase());
+        }
+    }
+    out
+}
+
+/// Decodes a percent-encoded path (inverse of [`encode_path`]).
+fn decode_path(encoded: &str) -> Result<String, NetError> {
+    let bytes = encoded.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = bytes
+                .get(i + 1..i + 3)
+                .ok_or_else(|| NetError::malformed("truncated % escape in path"))?;
+            let hi = (hex[0] as char)
+                .to_digit(16)
+                .ok_or_else(|| NetError::malformed("bad hex in path escape"))?;
+            let lo = (hex[1] as char)
+                .to_digit(16)
+                .ok_or_else(|| NetError::malformed("bad hex in path escape"))?;
+            out.push((hi * 16 + lo) as u8);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).map_err(|_| NetError::malformed("path is not UTF-8"))
+}
+
+/// Serializes `request` into `out`, ready to write to a socket.
+///
+/// # Errors
+///
+/// Returns [`NetError::Malformed`] when the path does not start with `/`
+/// (the only shape the request line can carry losslessly) and
+/// [`NetError::TooLarge`] when the body exceeds [`MAX_BODY_BYTES`].
+pub fn write_request(
+    request: &Request,
+    keep_alive: bool,
+    out: &mut Vec<u8>,
+) -> Result<(), NetError> {
+    if !request.path.starts_with('/') {
+        return Err(NetError::malformed(format!(
+            "request path must start with '/': {:?}",
+            request.path
+        )));
+    }
+    if request.body.len() > MAX_BODY_BYTES {
+        return Err(NetError::TooLarge { what: "request body", limit: MAX_BODY_BYTES });
+    }
+    out.extend_from_slice(request.method.to_string().as_bytes());
+    out.push(b' ');
+    out.extend_from_slice(encode_path(&request.path).as_bytes());
+    if !request.query.is_empty() {
+        out.push(b'?');
+        out.extend_from_slice(form::encode_pairs(&request.query).as_bytes());
+    }
+    out.extend_from_slice(b" HTTP/1.1\r\nhost: pe-net\r\n");
+    out.extend_from_slice(format!("content-length: {}\r\n", request.body.len()).as_bytes());
+    if !keep_alive {
+        out.extend_from_slice(b"connection: close\r\n");
+    }
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(&request.body);
+    Ok(())
+}
+
+/// Serializes `response` into `out`.
+///
+/// # Errors
+///
+/// Returns [`NetError::TooLarge`] when the body exceeds [`MAX_BODY_BYTES`].
+pub fn write_response(
+    response: &Response,
+    keep_alive: bool,
+    out: &mut Vec<u8>,
+) -> Result<(), NetError> {
+    if response.body.len() > MAX_BODY_BYTES {
+        return Err(NetError::TooLarge { what: "response body", limit: MAX_BODY_BYTES });
+    }
+    out.extend_from_slice(
+        format!("HTTP/1.1 {} {}\r\n", response.status, reason(response.status)).as_bytes(),
+    );
+    out.extend_from_slice(format!("content-length: {}\r\n", response.body.len()).as_bytes());
+    if !keep_alive {
+        out.extend_from_slice(b"connection: close\r\n");
+    }
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(&response.body);
+    Ok(())
+}
+
+/// Canonical reason phrase for the statuses the stack produces.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        403 => "Forbidden",
+        404 => "Not Found",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        502 => "Bad Gateway",
+        503 => "Service Unavailable",
+        _ => "Status",
+    }
+}
+
+/// A parsed inbound request plus its connection disposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedRequest {
+    /// The decoded request.
+    pub request: Request,
+    /// Whether the peer wants the connection kept open afterwards.
+    pub keep_alive: bool,
+}
+
+/// A parsed inbound response plus its connection disposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedResponse {
+    /// The decoded response.
+    pub response: Response,
+    /// Whether the peer will keep the connection open afterwards.
+    pub keep_alive: bool,
+}
+
+/// Reads one `\r\n`-terminated line, enforcing [`MAX_LINE_BYTES`].
+///
+/// Returns `Ok(None)` on clean EOF before any byte.
+fn read_line<R: BufRead>(reader: &mut R) -> Result<Option<String>, NetError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Ok(None);
+                }
+                return Err(NetError::UnexpectedEof);
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    return String::from_utf8(line)
+                        .map(Some)
+                        .map_err(|_| NetError::malformed("header line is not UTF-8"));
+                }
+                line.push(byte[0]);
+                if line.len() > MAX_LINE_BYTES {
+                    return Err(NetError::TooLarge { what: "header line", limit: MAX_LINE_BYTES });
+                }
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+}
+
+/// Headers we act on: `content-length` and `connection`.
+struct Headers {
+    content_length: usize,
+    keep_alive: bool,
+}
+
+/// Reads and folds the header block following a start line.
+fn read_headers<R: BufRead>(reader: &mut R) -> Result<Headers, NetError> {
+    let mut content_length: Option<usize> = None;
+    let mut keep_alive = true; // HTTP/1.1 default
+    for parsed in 0.. {
+        if parsed > MAX_HEADERS {
+            return Err(NetError::TooLarge { what: "header count", limit: MAX_HEADERS });
+        }
+        let line = read_line(reader)?.ok_or(NetError::UnexpectedEof)?;
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| NetError::malformed(format!("header without colon: {line:?}")))?;
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => {
+                let n: usize = value
+                    .parse()
+                    .map_err(|_| NetError::malformed(format!("bad content-length {value:?}")))?;
+                if n > MAX_BODY_BYTES {
+                    return Err(NetError::TooLarge { what: "body", limit: MAX_BODY_BYTES });
+                }
+                if content_length.replace(n).is_some_and(|old| old != n) {
+                    return Err(NetError::malformed("conflicting content-length headers"));
+                }
+            }
+            "connection" => keep_alive = !value.eq_ignore_ascii_case("close"),
+            _ => {} // tolerated and ignored (host, content-type, …)
+        }
+    }
+    Ok(Headers { content_length: content_length.unwrap_or(0), keep_alive })
+}
+
+/// Reads exactly `Headers::content_length` body bytes.
+fn read_body<R: BufRead>(reader: &mut R, len: usize) -> Result<Bytes, NetError> {
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body)?;
+    Ok(Bytes::from(body))
+}
+
+/// Parses one request from `reader`.
+///
+/// Returns `Ok(None)` when the peer closed the connection cleanly before
+/// sending anything (the normal end of a keep-alive session).
+///
+/// # Errors
+///
+/// [`NetError::Malformed`] for unparseable bytes, [`NetError::TooLarge`]
+/// for limit violations, [`NetError::UnexpectedEof`] for a connection
+/// closed mid-message.
+pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<ParsedRequest>, NetError> {
+    let Some(line) = read_line(reader)? else {
+        return Ok(None);
+    };
+    let mut parts = line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next())
+    {
+        (Some(m), Some(t), Some(v), None) => (m, t, v),
+        _ => return Err(NetError::malformed(format!("bad request line: {line:?}"))),
+    };
+    if version != "HTTP/1.1" {
+        return Err(NetError::malformed(format!("unsupported version {version:?}")));
+    }
+    let method = match method {
+        "GET" => Method::Get,
+        "POST" => Method::Post,
+        "PUT" => Method::Put,
+        other => return Err(NetError::malformed(format!("unsupported method {other:?}"))),
+    };
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let path = decode_path(raw_path)?;
+    if !path.starts_with('/') {
+        return Err(NetError::malformed(format!("request target must be absolute: {target:?}")));
+    }
+    let query = if raw_query.is_empty() {
+        Vec::new()
+    } else {
+        form::parse_pairs(raw_query)
+            .map_err(|e| NetError::malformed(format!("bad query string: {e}")))?
+    };
+    let headers = read_headers(reader)?;
+    let body = read_body(reader, headers.content_length)?;
+    Ok(Some(ParsedRequest {
+        request: Request { method, path, query, body },
+        keep_alive: headers.keep_alive,
+    }))
+}
+
+/// Parses one response from `reader`.
+///
+/// # Errors
+///
+/// Same classes as [`read_request`]; EOF before the status line is
+/// [`NetError::UnexpectedEof`] because a response was expected.
+pub fn read_response<R: BufRead>(reader: &mut R) -> Result<ParsedResponse, NetError> {
+    let line = read_line(reader)?.ok_or(NetError::UnexpectedEof)?;
+    let mut parts = line.splitn(3, ' ');
+    let (version, status) = match (parts.next(), parts.next()) {
+        (Some(v), Some(s)) => (v, s),
+        _ => return Err(NetError::malformed(format!("bad status line: {line:?}"))),
+    };
+    if version != "HTTP/1.1" {
+        return Err(NetError::malformed(format!("unsupported version {version:?}")));
+    }
+    let status: u16 = status
+        .parse()
+        .map_err(|_| NetError::malformed(format!("bad status code {status:?}")))?;
+    let headers = read_headers(reader)?;
+    let body = read_body(reader, headers.content_length)?;
+    Ok(ParsedResponse { response: Response { status, body }, keep_alive: headers.keep_alive })
+}
+
+/// Serializes a request to a fresh buffer (convenience for tests).
+pub fn request_bytes(request: &Request, keep_alive: bool) -> Result<Vec<u8>, NetError> {
+    let mut out = Vec::new();
+    write_request(request, keep_alive, &mut out)?;
+    Ok(out)
+}
+
+/// Serializes a response to a fresh buffer (convenience for tests).
+pub fn response_bytes(response: &Response, keep_alive: bool) -> Result<Vec<u8>, NetError> {
+    let mut out = Vec::new();
+    write_response(response, keep_alive, &mut out)?;
+    Ok(out)
+}
+
+/// Writes pre-serialized bytes to a socket in one call.
+pub(crate) fn write_all(stream: &mut impl Write, bytes: &[u8]) -> Result<(), NetError> {
+    stream.write_all(bytes)?;
+    stream.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn roundtrip_request(request: &Request) -> ParsedRequest {
+        let bytes = request_bytes(request, true).unwrap();
+        read_request(&mut BufReader::new(&bytes[..])).unwrap().unwrap()
+    }
+
+    #[test]
+    fn simple_request_roundtrips() {
+        let request = Request::post(
+            "/Doc",
+            &[("docID", "doc1"), ("cmd", "open")],
+            "docContents=hello+world",
+        );
+        let parsed = roundtrip_request(&request);
+        assert_eq!(parsed.request, request);
+        assert!(parsed.keep_alive);
+    }
+
+    #[test]
+    fn path_and_query_escape_and_decode() {
+        let request = Request::get(
+            "/Doc load/é…?#",
+            &[("k ey", "v&l=ue"), ("", ""), ("中", "🙂")],
+        );
+        let bytes = request_bytes(&request, true).unwrap();
+        let line_end = bytes.iter().position(|&b| b == b'\r').unwrap();
+        let line = std::str::from_utf8(&bytes[..line_end]).unwrap();
+        // Raw spaces inside the target would split the request line.
+        let tokens: Vec<&str> = line.split(' ').collect();
+        assert_eq!(tokens.len(), 3, "method, target, version: {line}");
+        assert_eq!(tokens[1].matches('?').count(), 1, "exactly the separator: {line}");
+        let parsed = read_request(&mut BufReader::new(&bytes[..])).unwrap().unwrap();
+        assert_eq!(parsed.request, request);
+    }
+
+    #[test]
+    fn binary_and_empty_bodies_roundtrip() {
+        let binary = Request::new(Method::Put, "/blob", &[], Bytes::from(vec![0u8, 255, 10, 13]));
+        assert_eq!(roundtrip_request(&binary).request, binary);
+        let empty = Request::get("/", &[]);
+        assert_eq!(roundtrip_request(&empty).request, empty);
+    }
+
+    #[test]
+    fn connection_close_flows_through() {
+        let request = Request::get("/x", &[]);
+        let bytes = request_bytes(&request, false).unwrap();
+        let parsed = read_request(&mut BufReader::new(&bytes[..])).unwrap().unwrap();
+        assert!(!parsed.keep_alive);
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        for (status, body) in
+            [(200u16, &b"content=hi"[..]), (503, b"unavailable"), (404, b""), (7, b"\x00\xff")]
+        {
+            let response = Response { status, body: Bytes::copy_from_slice(body) };
+            let bytes = response_bytes(&response, true).unwrap();
+            let parsed = read_response(&mut BufReader::new(&bytes[..])).unwrap();
+            assert_eq!(parsed.response, response);
+        }
+    }
+
+    #[test]
+    fn clean_eof_is_none_for_requests() {
+        assert!(read_request(&mut BufReader::new(&b""[..])).unwrap().is_none());
+    }
+
+    #[test]
+    fn eof_is_an_error_for_responses() {
+        assert!(matches!(
+            read_response(&mut BufReader::new(&b""[..])),
+            Err(NetError::UnexpectedEof)
+        ));
+    }
+
+    #[test]
+    fn premature_body_eof_is_an_error() {
+        let mut bytes = request_bytes(&Request::post("/x", &[], "0123456789"), true).unwrap();
+        bytes.truncate(bytes.len() - 4);
+        assert!(matches!(
+            read_request(&mut BufReader::new(&bytes[..])),
+            Err(NetError::UnexpectedEof)
+        ));
+    }
+
+    #[test]
+    fn bad_content_length_is_rejected() {
+        let raw = b"GET / HTTP/1.1\r\ncontent-length: banana\r\n\r\n";
+        assert!(matches!(
+            read_request(&mut BufReader::new(&raw[..])),
+            Err(NetError::Malformed { .. })
+        ));
+        let raw = b"GET / HTTP/1.1\r\ncontent-length: 3\r\ncontent-length: 5\r\n\r\nabcde";
+        assert!(matches!(
+            read_request(&mut BufReader::new(&raw[..])),
+            Err(NetError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn oversize_declared_body_is_rejected_without_allocating() {
+        let raw = format!("GET / HTTP/1.1\r\ncontent-length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
+        assert!(matches!(
+            read_request(&mut BufReader::new(raw.as_bytes())),
+            Err(NetError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn oversize_header_line_is_rejected() {
+        let mut raw = b"GET / HTTP/1.1\r\nx: ".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', MAX_LINE_BYTES + 2));
+        raw.extend_from_slice(b"\r\n\r\n");
+        assert!(matches!(
+            read_request(&mut BufReader::new(&raw[..])),
+            Err(NetError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn garbage_request_lines_are_rejected() {
+        for raw in [
+            &b"FROB / HTTP/1.1\r\n\r\n"[..],
+            b"GET / HTTP/1.0\r\n\r\n",
+            b"GET /\r\n\r\n",
+            b"GET / HTTP/1.1 extra\r\n\r\n",
+            b"relative HTTP/1.1\r\n\r\n",
+            b"\xff\xfe\r\n\r\n",
+        ] {
+            assert!(
+                read_request(&mut BufReader::new(raw)).is_err(),
+                "accepted {:?}",
+                String::from_utf8_lossy(raw)
+            );
+        }
+    }
+
+    #[test]
+    fn header_without_colon_is_rejected() {
+        let raw = b"GET / HTTP/1.1\r\nnocolonhere\r\n\r\n";
+        assert!(matches!(
+            read_request(&mut BufReader::new(&raw[..])),
+            Err(NetError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn relative_paths_cannot_be_written() {
+        let request = Request::get("no-slash", &[]);
+        assert!(matches!(request_bytes(&request, true), Err(NetError::Malformed { .. })));
+    }
+}

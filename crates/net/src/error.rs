@@ -1,0 +1,120 @@
+//! Error type shared by the codec, server, and client.
+
+use std::fmt;
+
+/// Anything that can go wrong on the wire.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum NetError {
+    /// A socket operation failed (connect, read, write, timeout).
+    Io(std::io::Error),
+    /// Bytes arrived but did not parse as the HTTP subset we speak.
+    Malformed {
+        /// What was wrong, for logs and assertions.
+        detail: String,
+    },
+    /// A message exceeded a codec limit (header bytes, body bytes).
+    TooLarge {
+        /// Which limit was hit.
+        what: &'static str,
+        /// The limit in bytes.
+        limit: usize,
+    },
+    /// The peer closed the connection mid-message.
+    UnexpectedEof,
+    /// Every attempt failed; carries the last error's description and how
+    /// many attempts were made.
+    RetriesExhausted {
+        /// Total attempts made (initial try + retries).
+        attempts: u32,
+        /// Description of the final failure.
+        last: String,
+    },
+    /// The configured deadline elapsed before a response arrived.
+    DeadlineExceeded,
+}
+
+impl NetError {
+    /// Helper for malformed-input errors.
+    pub fn malformed(detail: impl Into<String>) -> NetError {
+        NetError::Malformed { detail: detail.into() }
+    }
+
+    /// True when retrying the request might help (transport-level
+    /// failures), false for permanent conditions.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            NetError::Io(_) | NetError::UnexpectedEof => true,
+            // A malformed *response* usually means truncation or a broken
+            // intermediary; a fresh exchange can succeed.
+            NetError::Malformed { .. } => true,
+            NetError::TooLarge { .. }
+            | NetError::RetriesExhausted { .. }
+            | NetError::DeadlineExceeded => false,
+        }
+    }
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "i/o error: {e}"),
+            NetError::Malformed { detail } => write!(f, "malformed message: {detail}"),
+            NetError::TooLarge { what, limit } => {
+                write!(f, "{what} exceeds the {limit}-byte limit")
+            }
+            NetError::UnexpectedEof => f.write_str("connection closed mid-message"),
+            NetError::RetriesExhausted { attempts, last } => {
+                write!(f, "all {attempts} attempts failed; last error: {last}")
+            }
+            NetError::DeadlineExceeded => f.write_str("deadline exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> NetError {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            NetError::UnexpectedEof
+        } else {
+            NetError::Io(e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(NetError::malformed("no request line").to_string().contains("no request line"));
+        assert!(NetError::TooLarge { what: "body", limit: 42 }.to_string().contains("42"));
+        assert!(NetError::RetriesExhausted { attempts: 3, last: "refused".into() }
+            .to_string()
+            .contains("3 attempts"));
+    }
+
+    #[test]
+    fn retryability_classification() {
+        assert!(NetError::UnexpectedEof.is_retryable());
+        assert!(NetError::malformed("x").is_retryable());
+        assert!(!NetError::DeadlineExceeded.is_retryable());
+        assert!(!NetError::TooLarge { what: "body", limit: 1 }.is_retryable());
+    }
+
+    #[test]
+    fn eof_io_errors_map_to_unexpected_eof() {
+        let io = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof");
+        assert!(matches!(NetError::from(io), NetError::UnexpectedEof));
+    }
+}

@@ -1,0 +1,231 @@
+//! `pe-net`: a real TCP/HTTP transport for the private-editing stack.
+//!
+//! Until this crate, the reproduction passed [`pe_cloud::Request`] /
+//! [`pe_cloud::Response`] structs through in-process function calls —
+//! there was no wire, so nothing about serving *many concurrent mediated
+//! editors* could be measured honestly. `pe-net` adds the wire using
+//! only `std::net`:
+//!
+//! * [`codec`] — a hand-rolled, limit-enforcing HTTP/1.1 codec that
+//!   serializes the existing message model to bytes and back, losslessly;
+//! * [`HttpServer`] — a thread-pool server with a bounded accept queue,
+//!   per-connection timeouts, keep-alive reuse, graceful shutdown, and
+//!   optional connection-fault injection
+//!   ([`pe_cloud::fault::ConnectionFaultSchedule`]);
+//! * [`HttpClient`] — a connection-pooling client with deadline and
+//!   seeded exponential backoff ([`pe_cloud::retry::BackoffPolicy`]);
+//! * [`Service`] / [`Router`] — what the server mounts: any
+//!   [`CloudService`] (DocsServer, BespinServer, BuzzwordServer, or a
+//!   whole mediator stack) plugs in directly, and a [`Router`] composes
+//!   several under path prefixes;
+//! * [`Transport`] — the client-side abstraction: the same mediator and
+//!   editing client run over [`InProcess`] (the old function-call path)
+//!   or [`HttpClient`] (a live socket) without changing a line, because
+//!   `HttpClient` also implements [`CloudService`].
+//!
+//! Everything is instrumented through `pe-observe` under `net.server.*`
+//! and `net.client.*`; EXPERIMENTS.md documents the metric names and the
+//! `net_load` harness that drives 1→64 concurrent editors through this
+//! stack.
+//!
+//! # Example: a mediated editor over a loopback socket
+//!
+//! ```
+//! use std::sync::Arc;
+//! use pe_cloud::docs::DocsServer;
+//! use pe_extension::{DocsMediator, MediatorConfig};
+//! use pe_net::{HttpClient, HttpServer, ServerConfig};
+//!
+//! let backend = Arc::new(DocsServer::new());
+//! let server = HttpServer::bind("127.0.0.1:0", backend.clone(), ServerConfig::default())?;
+//!
+//! // The mediator talks to the server over a real socket…
+//! let transport = HttpClient::new(server.local_addr());
+//! let mut mediator = DocsMediator::new(transport, MediatorConfig::recb(8));
+//! let doc_id = mediator.create_document("password")?;
+//! mediator.save_full(&doc_id, "typed over the wire")?;
+//!
+//! // …and the provider still stores only ciphertext.
+//! assert!(!backend.stored_content(&doc_id).unwrap().contains("wire"));
+//! server.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+mod client;
+mod error;
+mod server;
+
+pub use client::{ClientConfig, HttpClient};
+pub use error::NetError;
+pub use server::{HttpServer, ServerConfig};
+
+use std::sync::Arc;
+
+use pe_cloud::{CloudService, Request, Response};
+
+/// What an [`HttpServer`] mounts: a handler for decoded requests.
+///
+/// Every [`CloudService`] is a `Service` via the blanket impl, so the
+/// simulated Docs/Bespin/Buzzword servers — and `HttpClient` itself,
+/// enabling relays — mount without adapters.
+pub trait Service: Send + Sync {
+    /// Handles one request.
+    fn call(&self, request: &Request) -> Response;
+
+    /// Name for logs and metrics.
+    fn service_name(&self) -> &str {
+        "service"
+    }
+}
+
+impl<S: CloudService> Service for S {
+    fn call(&self, request: &Request) -> Response {
+        self.handle(request)
+    }
+
+    fn service_name(&self) -> &str {
+        self.name()
+    }
+}
+
+/// Mounts services under path prefixes; first match wins.
+///
+/// A request for `/admin/shutdown` against `mount("/admin", svc)` reaches
+/// `svc` with path `/shutdown`. The empty prefix is a catch-all that
+/// forwards the path unchanged. Unmatched requests get 404.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use pe_cloud::docs::DocsServer;
+/// use pe_cloud::{Request, Response};
+/// use pe_net::{Router, Service};
+///
+/// let router = Router::new()
+///     .mount("/docs", Arc::new(DocsServer::new()))
+///     .mount("", Arc::new(DocsServer::new()));
+/// let resp = router.call(&Request::post("/docs/Doc", &[("cmd", "create")], ""));
+/// assert!(resp.is_success());
+/// assert_eq!(router.call(&Request::get("/docs/nothing/here", &[])).status, 404);
+/// ```
+#[derive(Default)]
+pub struct Router {
+    routes: Vec<(String, Arc<dyn Service>)>,
+}
+
+impl Router {
+    /// An empty router (every request 404s).
+    pub fn new() -> Router {
+        Router::default()
+    }
+
+    /// Adds a service under `prefix` (use `""` for a catch-all).
+    #[must_use]
+    pub fn mount(mut self, prefix: &str, service: Arc<dyn Service>) -> Router {
+        self.routes.push((prefix.trim_end_matches('/').to_string(), service));
+        self
+    }
+}
+
+impl Service for Router {
+    fn call(&self, request: &Request) -> Response {
+        for (prefix, service) in &self.routes {
+            if prefix.is_empty() {
+                return service.call(request);
+            }
+            let stripped = match request.path.strip_prefix(prefix.as_str()) {
+                Some("") => "/",
+                Some(rest) if rest.starts_with('/') => rest,
+                _ => continue,
+            };
+            let rewritten = Request {
+                method: request.method,
+                path: stripped.to_string(),
+                query: request.query.clone(),
+                body: request.body.clone(),
+            };
+            return service.call(&rewritten);
+        }
+        Response::error(404, "no route")
+    }
+
+    fn service_name(&self) -> &str {
+        "router"
+    }
+}
+
+/// The client-side transport abstraction: one request/response exchange,
+/// fallible. [`InProcess`] gives the old function-call path; `HttpClient`
+/// gives a live socket.
+pub trait Transport: Send + Sync {
+    /// Performs one exchange.
+    ///
+    /// # Errors
+    ///
+    /// Transport-level failures only; application errors travel inside
+    /// the [`Response`].
+    fn exchange(&self, request: &Request) -> Result<Response, NetError>;
+
+    /// Where requests go, for logs.
+    fn target(&self) -> String;
+}
+
+/// The in-process transport: calls the service directly, never fails.
+#[derive(Debug, Clone)]
+pub struct InProcess<S>(pub S);
+
+impl<S: CloudService> Transport for InProcess<S> {
+    fn exchange(&self, request: &Request) -> Result<Response, NetError> {
+        Ok(self.0.handle(request))
+    }
+
+    fn target(&self) -> String {
+        format!("in-process:{}", self.0.name())
+    }
+}
+
+impl Transport for HttpClient {
+    fn exchange(&self, request: &Request) -> Result<Response, NetError> {
+        self.send(request)
+    }
+
+    fn target(&self) -> String {
+        format!("http://{}", self.addr())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pe_cloud::docs::DocsServer;
+
+    #[test]
+    fn blanket_service_impl_covers_cloud_services() {
+        let docs = DocsServer::new();
+        let resp = Service::call(&docs, &Request::post("/Doc", &[("cmd", "create")], ""));
+        assert!(resp.is_success());
+        assert_eq!(docs.service_name(), "google-documents");
+    }
+
+    #[test]
+    fn router_strips_prefixes_and_404s_unmatched() {
+        let router = Router::new().mount("/docs", Arc::new(DocsServer::new()));
+        assert!(router.call(&Request::post("/docs/Doc", &[("cmd", "create")], "")).is_success());
+        assert_eq!(router.call(&Request::post("/Doc", &[("cmd", "create")], "")).status, 404);
+        // Prefix match must be on a path boundary.
+        assert_eq!(router.call(&Request::get("/docsX", &[])).status, 404);
+    }
+
+    #[test]
+    fn in_process_transport_is_infallible() {
+        let transport = InProcess(DocsServer::new());
+        let resp = transport.exchange(&Request::post("/Doc", &[("cmd", "create")], "")).unwrap();
+        assert!(resp.is_success());
+        assert!(transport.target().contains("in-process"));
+    }
+}

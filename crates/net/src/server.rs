@@ -1,0 +1,411 @@
+//! The thread-pool HTTP server.
+//!
+//! One acceptor thread pushes connections into a bounded queue; a fixed
+//! pool of workers drains it, each running the per-connection keep-alive
+//! loop: read request → dispatch to the mounted [`Service`](crate::Service)
+//! → write response, until the peer closes, a timeout fires, or the
+//! server shuts down. Shutdown is graceful: in-flight requests finish,
+//! the listener is woken with a loopback connect, and every thread is
+//! joined.
+//!
+//! The server can enact [`ConnectionFault`]s from a seeded
+//! [`ConnectionFaultSchedule`] — refuse-on-accept, stalls, truncated
+//! responses — which is how `pe-net`'s resilience tests drive the client
+//! through real wire failures.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use pe_cloud::fault::{ConnectionFault, ConnectionFaultSchedule};
+use pe_cloud::Response;
+
+use crate::codec;
+use crate::error::NetError;
+use crate::Service;
+
+/// Tuning knobs for [`HttpServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Bound of the accepted-connection queue; connections arriving while
+    /// it is full are closed immediately (load shedding).
+    pub accept_backlog: usize,
+    /// Per-connection read timeout (also bounds keep-alive idle time).
+    pub read_timeout: Duration,
+    /// Per-connection write timeout.
+    pub write_timeout: Duration,
+    /// Whether to honor keep-alive (false forces one request per
+    /// connection).
+    pub keep_alive: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: 4,
+            accept_backlog: 128,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            keep_alive: true,
+        }
+    }
+}
+
+/// A running HTTP server bound to a local address.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use pe_cloud::docs::DocsServer;
+/// use pe_net::{HttpServer, ServerConfig};
+///
+/// let server = HttpServer::bind(
+///     "127.0.0.1:0",
+///     Arc::new(DocsServer::new()),
+///     ServerConfig::default(),
+/// )
+/// .unwrap();
+/// let addr = server.local_addr();
+/// // … point an HttpClient at `addr` …
+/// server.shutdown();
+/// # let _ = addr;
+/// ```
+pub struct HttpServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+struct WorkerShared {
+    service: Arc<dyn Service>,
+    config: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+    faults: Option<Arc<ConnectionFaultSchedule>>,
+}
+
+impl HttpServer {
+    /// Binds to `addr` and starts serving `service`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from binding the listener.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        service: Arc<dyn Service>,
+        config: ServerConfig,
+    ) -> std::io::Result<HttpServer> {
+        HttpServer::bind_with_faults(addr, service, config, None)
+    }
+
+    /// Like [`HttpServer::bind`] but enacting connection faults from
+    /// `faults` (tests and resilience drills).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from binding the listener.
+    pub fn bind_with_faults(
+        addr: impl ToSocketAddrs,
+        service: Arc<dyn Service>,
+        config: ServerConfig,
+        faults: Option<Arc<ConnectionFaultSchedule>>,
+    ) -> std::io::Result<HttpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let workers = config.workers.max(1);
+        let (sender, receiver) = std::sync::mpsc::sync_channel::<TcpStream>(
+            config.accept_backlog.max(1),
+        );
+        let receiver = Arc::new(Mutex::new(receiver));
+        let shared = Arc::new(WorkerShared {
+            service,
+            config,
+            shutdown: Arc::clone(&shutdown),
+            faults,
+        });
+
+        let worker_handles = (0..workers)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("pe-net-worker-{i}"))
+                    .spawn(move || worker_loop(&receiver, &shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+
+        let acceptor = {
+            let shutdown = Arc::clone(&shutdown);
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("pe-net-acceptor".into())
+                .spawn(move || accept_loop(&listener, &sender, &shutdown, &shared))
+                .expect("spawn acceptor thread")
+        };
+
+        Ok(HttpServer { addr, shutdown, acceptor: Some(acceptor), workers: worker_handles })
+    }
+
+    /// The address the server actually bound (resolves `:0` requests).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals shutdown and blocks until every thread has exited.
+    /// In-flight requests complete; queued-but-unserved connections are
+    /// dropped.
+    pub fn shutdown(mut self) {
+        self.begin_shutdown();
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+
+    fn begin_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the acceptor out of its blocking accept().
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250));
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        // `shutdown()` takes self and joins; a plain drop still stops the
+        // threads, just without blocking on them.
+        self.begin_shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    sender: &SyncSender<TcpStream>,
+    shutdown: &AtomicBool,
+    shared: &WorkerShared,
+) {
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        pe_observe::static_counter!("net.server.connections").inc();
+        // Refuse-on-accept faults close the socket before any read.
+        if let Some(schedule) = &shared.faults {
+            if schedule.fault() == ConnectionFault::Refuse
+                && schedule.next() == Some(ConnectionFault::Refuse)
+            {
+                pe_observe::static_counter!("net.server.faults.refused").inc();
+                drop(stream);
+                continue;
+            }
+        }
+        match sender.try_send(stream) {
+            Ok(()) => {}
+            Err(TrySendError::Full(stream)) => {
+                // Bounded queue: shed load by closing the connection.
+                pe_observe::static_counter!("net.server.accept_shed").inc();
+                drop(stream);
+            }
+            Err(TrySendError::Disconnected(_)) => break,
+        }
+    }
+}
+
+fn worker_loop(receiver: &Mutex<Receiver<TcpStream>>, shared: &WorkerShared) {
+    loop {
+        let next = {
+            let receiver = receiver.lock().unwrap_or_else(|e| e.into_inner());
+            receiver.recv_timeout(Duration::from_millis(50))
+        };
+        match next {
+            Ok(stream) => handle_connection(stream, shared),
+            Err(RecvTimeoutError::Timeout) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// The per-connection keep-alive loop.
+fn handle_connection(stream: TcpStream, shared: &WorkerShared) {
+    let config = &shared.config;
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let _ = stream.set_write_timeout(Some(config.write_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut served = 0u64;
+    loop {
+        let parsed = match codec::read_request(&mut reader) {
+            Ok(Some(parsed)) => parsed,
+            Ok(None) => break, // clean close
+            Err(NetError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Keep-alive idle timeout.
+                pe_observe::static_counter!("net.server.idle_closes").inc();
+                break;
+            }
+            Err(e) => {
+                pe_observe::static_counter!("net.server.read_errors").inc();
+                // Tell the peer what happened when the socket still works.
+                let response = Response::error(400, &format!("bad request: {e}"));
+                let mut bytes = Vec::new();
+                if codec::write_response(&response, false, &mut bytes).is_ok() {
+                    let _ = codec::write_all(&mut writer, &bytes);
+                }
+                break;
+            }
+        };
+        served += 1;
+        if served > 1 {
+            pe_observe::static_counter!("net.server.keepalive_reuses").inc();
+        }
+        pe_observe::static_counter!("net.server.requests").inc();
+        let response = {
+            let _timed = pe_observe::static_histogram!("net.server.handle_ns").span();
+            shared.service.call(&parsed.request)
+        };
+        let keep_alive = parsed.keep_alive
+            && config.keep_alive
+            && !shared.shutdown.load(Ordering::SeqCst);
+        let mut bytes = Vec::new();
+        if write_faulted(shared, &response, keep_alive, &mut writer, &mut bytes).is_err() {
+            pe_observe::static_counter!("net.server.write_errors").inc();
+            break;
+        }
+        if !keep_alive || bytes.is_empty() {
+            break;
+        }
+    }
+}
+
+/// Serializes and writes `response`, enacting stall/truncate faults.
+/// Leaves `bytes` empty when the connection must close afterwards.
+fn write_faulted(
+    shared: &WorkerShared,
+    response: &Response,
+    keep_alive: bool,
+    writer: &mut TcpStream,
+    bytes: &mut Vec<u8>,
+) -> Result<(), NetError> {
+    let fault = shared
+        .faults
+        .as_ref()
+        .filter(|s| s.fault() != ConnectionFault::Refuse)
+        .and_then(|s| s.next());
+    codec::write_response(response, keep_alive, bytes)?;
+    match fault {
+        Some(ConnectionFault::Stall(delay)) => {
+            pe_observe::static_counter!("net.server.faults.stalled").inc();
+            std::thread::sleep(delay);
+            codec::write_all(writer, bytes)
+        }
+        Some(ConnectionFault::Truncate(n)) => {
+            pe_observe::static_counter!("net.server.faults.truncated").inc();
+            let cut = n.min(bytes.len());
+            codec::write_all(writer, &bytes[..cut])?;
+            // Force the connection closed so the client sees the
+            // truncation immediately.
+            bytes.clear();
+            Ok(())
+        }
+        Some(ConnectionFault::Refuse) | None => codec::write_all(writer, bytes),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pe_cloud::docs::DocsServer;
+    use pe_cloud::{Request, Response};
+    use std::io::Write;
+
+    fn start(service: Arc<dyn Service>) -> HttpServer {
+        HttpServer::bind(
+            "127.0.0.1:0",
+            service,
+            ServerConfig { read_timeout: Duration::from_millis(500), ..ServerConfig::default() },
+        )
+        .expect("bind loopback")
+    }
+
+    fn raw_exchange(addr: SocketAddr, request: &Request, keep_alive: bool) -> Response {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let bytes = codec::request_bytes(request, keep_alive).unwrap();
+        stream.write_all(&bytes).unwrap();
+        let mut reader = BufReader::new(stream);
+        codec::read_response(&mut reader).unwrap().response
+    }
+
+    #[test]
+    fn serves_a_docs_request_over_a_socket() {
+        let server = start(Arc::new(DocsServer::new()));
+        let resp =
+            raw_exchange(server.local_addr(), &Request::post("/Doc", &[("cmd", "create")], ""), false);
+        assert!(resp.is_success());
+        assert!(resp.body_text().unwrap().contains("docID"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn keep_alive_serves_multiple_requests_on_one_connection() {
+        let server = start(Arc::new(DocsServer::new()));
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        for _ in 0..3 {
+            let bytes =
+                codec::request_bytes(&Request::post("/Doc", &[("cmd", "create")], ""), true)
+                    .unwrap();
+            writer.write_all(&bytes).unwrap();
+            let parsed = codec::read_response(&mut reader).unwrap();
+            assert!(parsed.response.is_success());
+            assert!(parsed.keep_alive);
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_input_gets_a_400_not_a_hang() {
+        let server = start(Arc::new(DocsServer::new()));
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream.write_all(b"NONSENSE\r\n\r\n").unwrap();
+        let mut reader = BufReader::new(stream);
+        let parsed = codec::read_response(&mut reader).unwrap();
+        assert_eq!(parsed.response.status, 400);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_cleanly_and_frees_the_port() {
+        let server = start(Arc::new(DocsServer::new()));
+        let addr = server.local_addr();
+        server.shutdown();
+        // The port is released: a new bind to the same address succeeds.
+        let rebind = TcpListener::bind(addr);
+        assert!(rebind.is_ok(), "port still held after shutdown: {rebind:?}");
+    }
+}

@@ -1,0 +1,174 @@
+//! Property coverage for the hand-rolled HTTP/1.1 codec: arbitrary
+//! requests and responses round-trip byte-identically, and malformed
+//! input of every flavour produces a typed error — never a panic and
+//! never an unbounded allocation.
+
+use bytes::Bytes;
+use pe_cloud::{Method, Request, Response};
+use pe_net::codec::{
+    read_request, read_response, request_bytes, response_bytes, MAX_BODY_BYTES, MAX_HEADERS,
+    MAX_LINE_BYTES,
+};
+use pe_net::NetError;
+use proptest::prelude::*;
+
+fn arbitrary_method() -> impl Strategy<Value = Method> {
+    prop_oneof![Just(Method::Get), Just(Method::Post), Just(Method::Put)]
+}
+
+proptest! {
+    /// serialize → parse is the identity on requests, for any method,
+    /// any UTF-8 path (percent-escaping covers spaces, '?', '%', and
+    /// multi-byte characters), any query pairs, and any binary body.
+    #[test]
+    fn request_round_trips_byte_identically(
+        method in arbitrary_method(),
+        path in "/\\PC{0,30}",
+        query in prop::collection::vec(("\\PC{0,12}", "\\PC{0,12}"), 0..4),
+        body in prop::collection::vec(any::<u8>(), 0..200),
+        keep_alive in any::<bool>(),
+    ) {
+        let request = Request {
+            method,
+            path,
+            query,
+            body: Bytes::from(body),
+        };
+        let wire = request_bytes(&request, keep_alive).unwrap();
+        let parsed = read_request(&mut &wire[..]).unwrap().expect("a full request was written");
+        prop_assert_eq!(parsed.request, request);
+        prop_assert_eq!(parsed.keep_alive, keep_alive);
+    }
+
+    /// serialize → parse is the identity on responses, for any status
+    /// code and any binary body.
+    #[test]
+    fn response_round_trips_byte_identically(
+        status in 100u16..1000,
+        body in prop::collection::vec(any::<u8>(), 0..200),
+        keep_alive in any::<bool>(),
+    ) {
+        let response = Response { status, body: Bytes::from(body) };
+        let wire = response_bytes(&response, keep_alive).unwrap();
+        let parsed = read_response(&mut &wire[..]).unwrap();
+        prop_assert_eq!(parsed.response, response);
+        prop_assert_eq!(parsed.keep_alive, keep_alive);
+    }
+
+    /// Chopping a valid message anywhere before its last byte yields a
+    /// typed error (or, for a cut before byte one, a clean `None`) —
+    /// never a panic and never a short read passed off as success.
+    #[test]
+    fn truncated_requests_error_instead_of_panicking(
+        body in prop::collection::vec(any::<u8>(), 1..64),
+        cut_seed in any::<u64>(),
+    ) {
+        let request = Request::post("/Doc", &[("cmd", "save")], body);
+        let wire = request_bytes(&request, true).unwrap();
+        let cut = (cut_seed % wire.len() as u64) as usize; // 0..wire.len()-1: always short
+        match read_request(&mut &wire[..cut]) {
+            Ok(None) => prop_assert_eq!(cut, 0, "clean EOF is only legal before any byte"),
+            Ok(Some(_)) => prop_assert!(false, "parsed a message from a truncated prefix"),
+            Err(_) => {} // typed error: the expected outcome
+        }
+    }
+
+    /// Arbitrary garbage bytes never panic the request parser.
+    #[test]
+    fn garbage_input_never_panics(noise in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = read_request(&mut &noise[..]);
+        let _ = read_response(&mut &noise[..]);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Malformed-input regressions: one pinned case per error class.
+// ---------------------------------------------------------------------
+
+fn expect_request_error(wire: &[u8]) -> NetError {
+    read_request(&mut &wire[..]).expect_err("parser accepted malformed input")
+}
+
+#[test]
+fn oversize_request_line_is_rejected_not_buffered() {
+    let mut wire = b"GET /".to_vec();
+    wire.extend(std::iter::repeat(b'a').take(MAX_LINE_BYTES + 10));
+    wire.extend_from_slice(b" HTTP/1.1\r\n\r\n");
+    assert!(matches!(expect_request_error(&wire), NetError::TooLarge { .. }));
+}
+
+#[test]
+fn unparseable_content_length_is_malformed() {
+    let wire = b"GET / HTTP/1.1\r\ncontent-length: banana\r\n\r\n";
+    assert!(matches!(expect_request_error(wire), NetError::Malformed { .. }));
+}
+
+#[test]
+fn conflicting_content_lengths_are_malformed() {
+    let wire = b"GET / HTTP/1.1\r\ncontent-length: 3\r\ncontent-length: 5\r\n\r\nabc";
+    assert!(matches!(expect_request_error(wire), NetError::Malformed { .. }));
+}
+
+#[test]
+fn declared_body_over_the_cap_is_rejected_before_allocation() {
+    let wire = format!("GET / HTTP/1.1\r\ncontent-length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
+    assert!(matches!(expect_request_error(wire.as_bytes()), NetError::TooLarge { .. }));
+}
+
+#[test]
+fn header_flood_is_cut_off_at_the_cap() {
+    let mut wire = b"GET / HTTP/1.1\r\n".to_vec();
+    for i in 0..=MAX_HEADERS + 1 {
+        wire.extend_from_slice(format!("x-flood-{i}: y\r\n").as_bytes());
+    }
+    wire.extend_from_slice(b"\r\n");
+    assert!(matches!(expect_request_error(&wire), NetError::TooLarge { .. }));
+}
+
+#[test]
+fn missing_body_bytes_are_an_unexpected_eof() {
+    let wire = b"POST / HTTP/1.1\r\ncontent-length: 10\r\n\r\nshort";
+    assert!(matches!(expect_request_error(wire), NetError::UnexpectedEof));
+}
+
+#[test]
+fn unsupported_method_and_version_are_malformed() {
+    assert!(matches!(
+        expect_request_error(b"BREW /pot HTTP/1.1\r\n\r\n"),
+        NetError::Malformed { .. }
+    ));
+    assert!(matches!(
+        expect_request_error(b"GET /pot HTTP/0.9\r\n\r\n"),
+        NetError::Malformed { .. }
+    ));
+}
+
+#[test]
+fn relative_targets_and_broken_escapes_are_malformed() {
+    assert!(matches!(
+        expect_request_error(b"GET pot HTTP/1.1\r\n\r\n"),
+        NetError::Malformed { .. }
+    ));
+    assert!(matches!(
+        expect_request_error(b"GET /pot%2 HTTP/1.1\r\n\r\n"),
+        NetError::Malformed { .. }
+    ));
+    assert!(matches!(
+        expect_request_error(b"GET /pot%zz HTTP/1.1\r\n\r\n"),
+        NetError::Malformed { .. }
+    ));
+}
+
+#[test]
+fn header_without_a_colon_is_malformed() {
+    assert!(matches!(
+        expect_request_error(b"GET / HTTP/1.1\r\nnot a header\r\n\r\n"),
+        NetError::Malformed { .. }
+    ));
+}
+
+#[test]
+fn serializing_a_relative_path_is_an_error_not_a_panic() {
+    let bad = Request { method: Method::Get, path: "oops".into(), query: vec![], body: Bytes::new() };
+    assert!(matches!(request_bytes(&bad, true), Err(NetError::Malformed { .. })));
+}

@@ -1,0 +1,132 @@
+//! Connection-fault drills: the server enacts seeded wire faults —
+//! refused connections, mid-response stalls, truncated responses — and
+//! the client's retry/backoff loop must ride them all out without the
+//! application ever noticing.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use pe_cloud::docs::DocsServer;
+use pe_cloud::fault::{ConnectionFault, ConnectionFaultSchedule};
+use pe_cloud::retry::BackoffPolicy;
+use pe_cloud::Request;
+use pe_crypto::CtrDrbg;
+use pe_extension::{DocsMediator, MediatorConfig};
+use pe_net::{ClientConfig, HttpClient, HttpServer, ServerConfig};
+
+fn faulty_server(
+    schedule: Arc<ConnectionFaultSchedule>,
+) -> (HttpServer, Arc<DocsServer>, Arc<ConnectionFaultSchedule>) {
+    let backend = Arc::new(DocsServer::new());
+    let server = HttpServer::bind_with_faults(
+        "127.0.0.1:0",
+        Arc::clone(&backend) as Arc<dyn pe_net::Service>,
+        ServerConfig {
+            read_timeout: Duration::from_millis(500),
+            write_timeout: Duration::from_millis(500),
+            ..ServerConfig::default()
+        },
+        Some(Arc::clone(&schedule)),
+    )
+    .unwrap();
+    (server, backend, schedule)
+}
+
+fn patient_config(read_timeout: Duration) -> ClientConfig {
+    ClientConfig {
+        connect_timeout: Duration::from_millis(500),
+        read_timeout,
+        write_timeout: Duration::from_millis(500),
+        retries: 6,
+        backoff: BackoffPolicy::new(Duration::from_millis(1), Duration::from_millis(8), 0.5, 42),
+        deadline: Some(Duration::from_secs(20)),
+        pool_size: 2,
+    }
+}
+
+fn patient_client(server: &HttpServer, read_timeout: Duration) -> HttpClient {
+    HttpClient::with_config(server.local_addr(), patient_config(read_timeout))
+}
+
+#[test]
+fn client_rides_out_refused_connections() {
+    // Refuse every third connection.
+    let (server, _backend, schedule) = faulty_server(Arc::new(
+        ConnectionFaultSchedule::new(ConnectionFault::Refuse, 3, 7),
+    ));
+    // Refusal happens at accept, so force a fresh connection per request
+    // (an empty pool) to actually exercise the schedule.
+    let client = HttpClient::with_config(
+        server.local_addr(),
+        ClientConfig { pool_size: 0, ..patient_config(Duration::from_millis(500)) },
+    );
+    for _ in 0..12 {
+        let resp = client.send(&Request::post("/Doc", &[("cmd", "create")], "")).unwrap();
+        assert!(resp.is_success());
+    }
+    assert!(schedule.injected() > 0, "the schedule never fired");
+    server.shutdown();
+}
+
+#[test]
+fn client_rides_out_truncated_responses() {
+    // Truncate every third response after 10 bytes: the client sees a
+    // premature EOF (retryable) and tries again on a fresh connection.
+    let (server, _backend, schedule) = faulty_server(Arc::new(
+        ConnectionFaultSchedule::new(ConnectionFault::Truncate(10), 3, 11),
+    ));
+    let client = patient_client(&server, Duration::from_millis(500));
+    for _ in 0..12 {
+        let resp = client.send(&Request::post("/Doc", &[("cmd", "create")], "")).unwrap();
+        assert!(resp.is_success());
+    }
+    assert!(schedule.injected() > 0, "the schedule never fired");
+    server.shutdown();
+}
+
+#[test]
+fn client_rides_out_stalled_responses() {
+    // Stall every third response for longer than the client's read
+    // timeout: the read times out (retryable) and the retry succeeds.
+    let (server, _backend, schedule) = faulty_server(Arc::new(
+        ConnectionFaultSchedule::new(
+            ConnectionFault::Stall(Duration::from_millis(400)),
+            3,
+            13,
+        ),
+    ));
+    let client = patient_client(&server, Duration::from_millis(100));
+    for _ in 0..8 {
+        let resp = client.send(&Request::post("/Doc", &[("cmd", "create")], "")).unwrap();
+        assert!(resp.is_success());
+    }
+    assert!(schedule.injected() > 0, "the schedule never fired");
+    server.shutdown();
+}
+
+#[test]
+fn mediated_session_survives_a_faulty_wire_end_to_end() {
+    // The full stack — mediator over HttpClient over a truncating wire —
+    // finishes a multi-edit session with zero unrecovered errors, and the
+    // provider ends up with decryptable ciphertext.
+    let (server, backend, schedule) = faulty_server(Arc::new(
+        ConnectionFaultSchedule::new(ConnectionFault::Truncate(25), 4, 3),
+    ));
+    let client = patient_client(&server, Duration::from_millis(500));
+    let mut mediator =
+        DocsMediator::with_rng(client, MediatorConfig::recb(8), CtrDrbg::from_seed(0xfa))
+;
+    let doc_id = mediator.create_document("fault-pw").unwrap();
+    mediator.save_full(&doc_id, "base text").unwrap();
+    for i in 0..6 {
+        let current = mediator.open_document(&doc_id).unwrap();
+        mediator.save_full(&doc_id, &format!("{current} +{i}")).unwrap();
+    }
+    let final_text = mediator.open_document(&doc_id).unwrap();
+    assert_eq!(final_text, "base text +0 +1 +2 +3 +4 +5");
+    assert!(schedule.injected() > 0, "the schedule never fired");
+    // The provider never saw plaintext.
+    let stored = backend.stored_content(&doc_id).unwrap();
+    assert!(!stored.contains("base text"));
+    server.shutdown();
+}

@@ -38,6 +38,42 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Estimates the `q`-quantile (`0.0 ≤ q ≤ 1.0`) from the log₂
+    /// buckets: the bucket holding the target rank contributes its
+    /// midpoint, clamped to the observed `[min, max]`. Exact for `q = 0`
+    /// and `q = 1`; within a factor of 2 elsewhere — good enough for the
+    /// p50/p99 latency reporting the benchmark harnesses do.
+    ///
+    /// Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // The extremes are tracked exactly; don't approximate them.
+        if q == 0.0 {
+            return self.min;
+        }
+        if q == 1.0 {
+            return self.max;
+        }
+        let rank = (q * (self.count - 1) as f64).round() as u64;
+        let mut seen = 0u64;
+        for &(index, count) in &self.buckets {
+            seen += count;
+            if rank < seen {
+                let mid = match index {
+                    0 => 0, // bucket 0 holds only the value 0
+                    1 => 1, // bucket 1 holds only the value 1
+                    // Bucket i holds [2^(i-1), 2^i); midpoint 3·2^(i-2).
+                    i => 3u64 << (i - 2),
+                };
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
 }
 
 /// The captured state of a whole [`Registry`](crate::Registry): plain
@@ -559,5 +595,47 @@ mod tests {
         registry.counter("cloud.req./Doc.5xx").add(2);
         registry.counter("client.other").add(9);
         assert_eq!(registry.snapshot().counter_family("cloud.req."), 5);
+    }
+
+    #[test]
+    fn quantiles_track_the_distribution() {
+        let registry = Registry::new();
+        let hist = registry.histogram("q.test");
+        // 95 small values and a few huge outliers.
+        for _ in 0..95 {
+            hist.record(100);
+        }
+        for _ in 0..5 {
+            hist.record(1_000_000);
+        }
+        let snapshot = registry.snapshot();
+        let hist = snapshot.histogram("q.test").unwrap();
+        assert_eq!(hist.quantile(0.0), hist.min);
+        assert_eq!(hist.quantile(1.0), hist.max);
+        let p50 = hist.quantile(0.5);
+        assert!((64..=256).contains(&p50), "p50 in the 100s bucket, got {p50}");
+        let p99 = hist.quantile(0.99);
+        assert!(p99 >= 500_000, "p99 must see the outlier, got {p99}");
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_zero() {
+        let registry = Registry::new();
+        registry.histogram("q.empty");
+        assert_eq!(registry.snapshot().histogram("q.empty").unwrap().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn exact_quantiles_for_single_valued_histograms() {
+        let registry = Registry::new();
+        let hist = registry.histogram("q.single");
+        for _ in 0..10 {
+            hist.record(1);
+        }
+        let snapshot = registry.snapshot();
+        let hist = snapshot.histogram("q.single").unwrap();
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(hist.quantile(q), 1);
+        }
     }
 }

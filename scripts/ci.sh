@@ -31,4 +31,55 @@ for row in rows:
 print(f"smoke report OK ({len(rows)} rows)")
 PY
 
+echo "== net_load smoke =="
+# The network load bench must complete over real loopback sockets with
+# zero unrecovered errors and emit valid JSON.
+net_out="$(mktemp)"
+trap 'rm -f "$smoke_out" "$net_out"' EXIT
+./target/release/net_load --smoke --out "$net_out"
+python3 - "$net_out" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+rows = report["rows"]
+assert report["bench"] == "net_load" and rows, "malformed net_load report"
+for row in rows:
+    for field in ("clients", "requests", "wall_s", "rps", "p50_ns",
+                  "p99_ns", "retries", "errors", "failed_sessions"):
+        assert field in row, f"missing {field}: {row}"
+    assert row["errors"] == 0 and row["failed_sessions"] == 0, row
+    assert row["requests"] > 0 and row["p99_ns"] >= row["p50_ns"] > 0, row
+print(f"net_load report OK ({len(rows)} rows)")
+PY
+
+echo "== pedit serve smoke =="
+# Serve a store on an ephemeral port, run a mediated edit over the real
+# socket, check the decrypted result and that the wire store holds only
+# ciphertext, then stop the server cleanly.
+serve_store="$(mktemp -u)"
+serve_addr="$(mktemp -u)"
+pedit() { ./target/release/pedit "$@"; }
+pedit --store "$serve_store" serve --addr 127.0.0.1:0 --addr-file "$serve_addr" &
+serve_pid=$!
+cleanup_serve() {
+  kill "$serve_pid" 2>/dev/null || true
+  rm -f "$smoke_out" "$net_out" "$serve_store" "$serve_addr"
+}
+trap cleanup_serve EXIT
+for _ in $(seq 1 100); do
+  [ -s "$serve_addr" ] && break
+  sleep 0.1
+done
+[ -s "$serve_addr" ] || { echo "serve never wrote its address" >&2; exit 1; }
+addr="$(cat "$serve_addr")"
+doc="$(pedit --connect "$addr" create --password ci-pw | sed 's/^created //')"
+pedit --connect "$addr" save --doc "$doc" --password ci-pw --text "ci wire secret"
+shown="$(pedit --connect "$addr" show --doc "$doc" --password ci-pw)"
+[ "$shown" = "ci wire secret" ] || { echo "bad decrypt over the wire: $shown" >&2; exit 1; }
+raw="$(pedit --connect "$addr" raw --doc "$doc")"
+case "$raw" in *secret*) echo "plaintext leaked to the provider" >&2; exit 1;; esac
+pedit --connect "$addr" stop
+wait "$serve_pid"
+echo "serve smoke OK ($doc round-tripped, store ciphertext-only)"
+
 echo "CI OK"

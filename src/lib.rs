@@ -21,6 +21,7 @@
 //! | [`indexlist`] | `pe-indexlist` | IndexedSkipList and IndexedAvlTree |
 //! | [`delta`] | `pe-delta` | the Google-Docs-style delta protocol |
 //! | [`cloud`] | `pe-cloud` | simulated cloud services and the network model |
+//! | [`net`] | `pe-net` | real TCP/HTTP transport: codec, server, pooling client |
 //! | [`extension`] | `pe-extension` | the privacy mediator ("browser extension") |
 //! | [`client`] | `pe-client` | simulated editors, workloads, malicious clients |
 //!
@@ -58,6 +59,7 @@ pub use pe_crypto as crypto;
 pub use pe_delta as delta;
 pub use pe_extension as extension;
 pub use pe_indexlist as indexlist;
+pub use pe_net as net;
 
 /// The most common imports, for examples and applications.
 pub mod prelude {
@@ -74,4 +76,5 @@ pub mod prelude {
     pub use pe_extension::{
         BespinMediator, BuzzwordMediator, DocsMediator, MediatorConfig, Outcome,
     };
+    pub use pe_net::{HttpClient, HttpServer, NetError, Router, Service, Transport};
 }
