@@ -1,0 +1,86 @@
+//! Durable-store benchmark: append throughput per fsync policy, and
+//! crash-recovery (WAL replay) time versus log size.
+//!
+//! Usage: `cargo run -p pe-bench --bin store_recovery --release -- \
+//!     [--smoke] [--out FILE]`
+//!
+//! Writes the JSON report to `BENCH_store.json` (or `--out FILE`) and
+//! prints Markdown tables. `--smoke` runs tiny sizes for CI.
+
+use pe_bench::report::markdown_table;
+use pe_bench::storebench::{append_sweep, render_json, replay_sweep, PAYLOAD_BYTES};
+use pe_store::FsyncPolicy;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or("BENCH_store.json", String::as_str);
+
+    let policies =
+        [FsyncPolicy::Always, FsyncPolicy::EveryN(64), FsyncPolicy::Never];
+    let (append_records, replay_sizes): (u64, &[u64]) =
+        if smoke { (200, &[200, 1_000]) } else { (5_000, &[1_000, 10_000, 100_000]) };
+
+    println!("# Durable store — append throughput and crash-recovery replay\n");
+    println!(
+        "{append_records} appends of {PAYLOAD_BYTES}-byte payloads per policy; \
+         replay = cold LogStore::open over the whole WAL.\n"
+    );
+
+    let appends = append_sweep(&policies, append_records);
+    let table: Vec<Vec<String>> = appends
+        .iter()
+        .map(|row| {
+            vec![
+                row.policy.clone(),
+                format!("{}", row.records),
+                format!("{:.3} s", row.wall_s),
+                format!("{:.0}", row.appends_per_s),
+                format!("{:.2}", row.mb_per_s),
+                format!("{}", row.fsyncs),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        markdown_table(
+            &["fsync", "records", "wall", "appends/s", "MB/s", "fsyncs"],
+            &table
+        )
+    );
+
+    let replays = replay_sweep(replay_sizes);
+    let table: Vec<Vec<String>> = replays
+        .iter()
+        .map(|row| {
+            vec![
+                format!("{}", row.records),
+                format!("{:.1} KiB", row.log_bytes as f64 / 1024.0),
+                format!("{:.4} s", row.open_wall_s),
+                format!("{:.0}", row.replay_per_s),
+                format!("{}", row.docs),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        markdown_table(
+            &["records", "log size", "open", "replayed/s", "docs"],
+            &table
+        )
+    );
+
+    let json = render_json(&appends, &replays);
+    match std::fs::write(out_path, &json) {
+        Ok(()) => println!("wrote {out_path}"),
+        Err(e) => {
+            eprintln!("error: could not write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    println!("{}", pe_bench::report::observability_section());
+}

@@ -19,6 +19,7 @@
 //! | "typical use" keystroke throughput | — | `typing_throughput` |
 //! | Crypto fast-path throughput | [`crypto_bench::crypto_throughput`] | `crypto_throughput` |
 //! | Network load scaling | [`netload::net_load`] | `net_load` |
+//! | Durable store append + replay | [`storebench`] | `store_recovery` |
 //!
 //! Timing note: run the binaries with `--release`; the from-scratch AES
 //! is 30–50× slower unoptimized.
@@ -37,4 +38,5 @@ pub mod matrix;
 pub mod micro;
 pub mod netload;
 pub mod report;
+pub mod storebench;
 pub mod timing;

@@ -23,12 +23,14 @@
 
 use std::fmt;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use pe_cloud::docs::DocsServer;
 use pe_cloud::{CloudService, Request};
 use pe_crypto::form;
 use pe_delta::Delta;
 use pe_extension::{DocsMediator, ExtensionError, MediatorConfig};
+use pe_store::{DocStore, FsyncPolicy, LogStore, StoreConfig, StoreError};
 
 /// A parsed command-line invocation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -120,7 +122,9 @@ pub enum Command {
         format: StatsFormat,
     },
     /// Serve the store over HTTP (a real `pe-net` socket server) until a
-    /// `stop` command arrives.
+    /// `stop` command arrives. The store is a durable [`pe_store::LogStore`]
+    /// directory: every acknowledged save is on disk before the client
+    /// hears back, so a `kill -9` loses nothing.
     Serve {
         /// Address to bind (`127.0.0.1:0` picks an ephemeral port).
         addr: String,
@@ -129,9 +133,22 @@ pub enum Command {
         /// File to write the bound address into (how scripts learn the
         /// ephemeral port).
         addr_file: Option<PathBuf>,
+        /// WAL fsync policy (`always`, `never`, `every=N`).
+        fsync: FsyncPolicy,
     },
     /// Ask a running `pedit serve` (via `--connect`) to shut down.
     Stop,
+    /// Verify a store directory read-only: snapshot CRCs, WAL frames,
+    /// segment continuity. Exits non-zero when the store is corrupt.
+    Fsck {
+        /// The store directory to check.
+        dir: PathBuf,
+    },
+    /// Snapshot and garbage-collect a store directory offline.
+    Compact {
+        /// The store directory to compact.
+        dir: PathBuf,
+    },
 }
 
 /// Output format of the [`Command::Stats`] snapshot.
@@ -201,8 +218,12 @@ COMMANDS:
   raw     --doc ID
   stats   [--format text|json]
   serve   [--addr HOST:PORT] [--workers N] [--addr-file PATH]
-          (requires --store; --addr defaults to 127.0.0.1:0)
-  stop    (requires --connect)";
+          [--fsync always|never|every=N]
+          (requires --store DIR; --addr defaults to 127.0.0.1:0; a legacy
+           text-snapshot store file is migrated to a durable directory)
+  stop    (requires --connect)
+  fsck    DIR     (verify a store directory; non-zero exit on corruption)
+  compact DIR     (snapshot + garbage-collect a store directory)";
 
 /// Parses command-line arguments (excluding `argv[0]`).
 ///
@@ -236,6 +257,19 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, CliError> {
     let verb = rest.next().ok_or_else(|| usage("missing command"))?;
     if verb == "serve" && connect.is_some() {
         return Err(usage("serve runs a server locally; it cannot be combined with --connect"));
+    }
+    // `fsck` and `compact` take the store directory as a positional
+    // argument and run purely offline.
+    if verb == "fsck" || verb == "compact" {
+        let dir = PathBuf::from(
+            rest.next().ok_or_else(|| usage(&format!("{verb} needs a store directory")))?,
+        );
+        if let Some(extra) = rest.next() {
+            return Err(usage(&format!("unexpected argument {extra:?}")));
+        }
+        let command =
+            if verb == "fsck" { Command::Fsck { dir } } else { Command::Compact { dir } };
+        return Ok(CliOptions { store: store.unwrap_or_default(), rpc, connect, command });
     }
     // `stats` runs against its own in-memory cloud and `--connect` talks
     // to a remote server, so neither needs a store.
@@ -319,6 +353,11 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, CliError> {
                 None => None,
             },
             addr_file: flags.get("addr-file").map(PathBuf::from),
+            fsync: match flags.get("fsync") {
+                Some(value) => FsyncPolicy::parse(value)
+                    .ok_or_else(|| usage("--fsync must be always, never, or every=N"))?,
+                None => FsyncPolicy::Always,
+            },
         },
         "stop" => Command::Stop,
         other => return Err(usage(&format!("unknown command {other:?}"))),
@@ -326,16 +365,58 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, CliError> {
     Ok(CliOptions { store, rpc, connect, command })
 }
 
-fn load_store(path: &Path) -> Result<DocsServer, CliError> {
-    match std::fs::read_to_string(path) {
-        Ok(snapshot) => DocsServer::restore(&snapshot).map_err(CliError::BadStore),
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(DocsServer::new()),
+/// How the local store is persisted: the legacy whole-file text snapshot
+/// (rewritten in full on exit) or a durable [`LogStore`] directory
+/// (every mutation is already on disk; exit only flushes).
+enum StoreBacking {
+    /// Legacy single-file text snapshot.
+    TextFile,
+    /// Durable write-ahead-logged directory.
+    LogDir(Arc<LogStore>),
+}
+
+fn store_error(e: StoreError) -> CliError {
+    match e {
+        StoreError::Io(io) => CliError::Store(io),
+        other => CliError::BadStore(other.to_string()),
+    }
+}
+
+fn open_log_dir(dir: &Path, fsync: FsyncPolicy) -> Result<Arc<LogStore>, CliError> {
+    let config = StoreConfig { fsync, ..StoreConfig::default() };
+    LogStore::open(dir, config).map(Arc::new).map_err(store_error)
+}
+
+fn load_store(path: &Path) -> Result<(Arc<DocsServer>, StoreBacking), CliError> {
+    match std::fs::metadata(path) {
+        Ok(meta) if meta.is_dir() => {
+            let store = open_log_dir(path, FsyncPolicy::Always)?;
+            let docs = Arc::clone(&store) as Arc<dyn DocStore>;
+            Ok((Arc::new(DocsServer::with_store(docs)), StoreBacking::LogDir(store)))
+        }
+        Ok(_) => {
+            let snapshot = std::fs::read_to_string(path).map_err(CliError::Store)?;
+            let server = DocsServer::restore(&snapshot).map_err(CliError::BadStore)?;
+            Ok((Arc::new(server), StoreBacking::TextFile))
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            Ok((Arc::new(DocsServer::new()), StoreBacking::TextFile))
+        }
         Err(e) => Err(CliError::Store(e)),
     }
 }
 
-fn persist_store(path: &Path, server: &DocsServer) -> Result<(), CliError> {
-    std::fs::write(path, server.snapshot()).map_err(CliError::Store)
+fn persist_store(
+    path: &Path,
+    server: &DocsServer,
+    backing: &StoreBacking,
+) -> Result<(), CliError> {
+    match backing {
+        StoreBacking::TextFile => {
+            std::fs::write(path, server.snapshot()).map_err(CliError::Store)
+        }
+        StoreBacking::LogDir(store) => store.flush().map_err(store_error),
+    }
 }
 
 fn mediator<S: CloudService>(service: S, rpc: bool) -> DocsMediator<S> {
@@ -429,7 +510,9 @@ fn doc_session<S: CloudService>(
         | Command::Raw { .. }
         | Command::Stats { .. }
         | Command::Serve { .. }
-        | Command::Stop => {
+        | Command::Stop
+        | Command::Fsck { .. }
+        | Command::Compact { .. } => {
             unreachable!("non-document command routed to doc_session")
         }
     }
@@ -443,18 +526,40 @@ fn doc_session<S: CloudService>(
 /// Returns [`CliError`] for store, password, integrity, or network
 /// failures.
 pub fn run(options: &CliOptions) -> Result<String, CliError> {
-    if let Command::Stats { format } = &options.command {
-        // The stats session runs against its own in-memory cloud; the
-        // store file is neither read nor written.
-        return stats::run_scripted_session(*format);
-    }
-    if let Command::Serve { addr, workers, addr_file } = &options.command {
-        return serve::run_server(options, addr, *workers, addr_file.as_deref());
+    match &options.command {
+        Command::Stats { format } => {
+            // The stats session runs against its own in-memory cloud; the
+            // store file is neither read nor written.
+            return stats::run_scripted_session(*format);
+        }
+        Command::Serve { addr, workers, addr_file, fsync } => {
+            return serve::run_server(options, addr, *workers, addr_file.as_deref(), *fsync);
+        }
+        Command::Fsck { dir } => {
+            let report = pe_store::fsck(dir).map_err(store_error)?;
+            let text = report.render();
+            return if report.is_healthy() { Ok(text) } else { Err(CliError::BadStore(text)) };
+        }
+        Command::Compact { dir } => {
+            let store = open_log_dir(dir, FsyncPolicy::Always)?;
+            let stats = store.compact().map_err(store_error)?;
+            return Ok(format!(
+                "compacted {}: snapshot covers wal {} ({} doc(s), {} bytes); \
+                 removed {} segment(s), {} old snapshot(s)",
+                dir.display(),
+                stats.covered_seq,
+                stats.docs,
+                stats.snapshot_bytes,
+                stats.segments_removed,
+                stats.snapshots_removed,
+            ));
+        }
+        _ => {}
     }
     if let Some(target) = &options.connect {
         return remote::run_remote(target, options);
     }
-    let server = std::sync::Arc::new(load_store(&options.store)?);
+    let (server, backing) = load_store(&options.store)?;
     let output = match &options.command {
         Command::List => {
             let ids = server.list_documents();
@@ -473,20 +578,27 @@ pub fn run(options: &CliOptions) -> Result<String, CliError> {
                 "stop needs --connect HOST:PORT\n\n{USAGE}"
             )))
         }
-        command => doc_session(std::sync::Arc::clone(&server), options.rpc, command)?,
+        command => doc_session(Arc::clone(&server), options.rpc, command)?,
     };
-    persist_store(&options.store, &server)?;
+    persist_store(&options.store, &server, &backing)?;
     Ok(output)
 }
 
 mod serve {
-    //! The `pedit serve` mode: the store, served over a real socket.
+    //! The `pedit serve` mode: a durable store, served over a real socket.
     //!
     //! The document protocol mounts at `/` (the raw [`DocsServer`] — the
     //! provider still sees only what clients send, which under mediated
     //! clients is ciphertext). Control endpoints mount under `/admin`:
     //! `POST /admin/shutdown`, `GET /admin/ping`, `GET /admin/list`,
     //! `GET /admin/raw?docID=…`.
+    //!
+    //! The store is a write-ahead-logged [`LogStore`] directory: every
+    //! acknowledged save is appended (and, under the default
+    //! `--fsync always`, fsynced) before the HTTP response leaves, so a
+    //! `kill -9` at any moment loses nothing a client was told succeeded.
+    //! This replaced a poll loop that rewrote a whole text snapshot every
+    //! 100 ms — a window in which acknowledged saves lived only in RAM.
 
     use std::path::Path;
     use std::sync::atomic::{AtomicBool, Ordering};
@@ -496,13 +608,15 @@ mod serve {
     use pe_cloud::docs::DocsServer;
     use pe_cloud::{CloudService, Method, Request, Response};
     use pe_net::{HttpServer, Router, ServerConfig};
+    use pe_store::{DocStore, FsyncPolicy, LogStore};
 
-    use crate::{load_store, persist_store, CliError, CliOptions};
+    use crate::{open_log_dir, store_error, CliError, CliOptions};
 
     /// Control endpoints; implements [`CloudService`] so the `pe-net`
     /// blanket impl mounts it like any other service.
     struct AdminService {
         server: Arc<DocsServer>,
+        store: Arc<LogStore>,
         stop: Arc<AtomicBool>,
     }
 
@@ -510,6 +624,12 @@ mod serve {
         fn handle(&self, request: &Request) -> Response {
             match (request.method, request.path.as_str()) {
                 (Method::Post, "/shutdown") => {
+                    // Flush before acknowledging: under `--fsync never` or
+                    // `every=N` the stop ack must still mean "everything
+                    // you saved is on disk".
+                    if let Err(e) = self.store.flush() {
+                        return Response::error(500, &format!("flush failed: {e}"));
+                    }
                     self.stop.store(true, Ordering::SeqCst);
                     Response::ok("stopping")
                 }
@@ -533,22 +653,56 @@ mod serve {
         }
     }
 
+    /// Opens (or creates) the durable store directory for `serve`. A
+    /// legacy whole-file text snapshot at the same path is migrated: the
+    /// file is moved aside, replayed into a fresh [`LogStore`] at the
+    /// original path, and removed only once the replayed log is durable.
+    fn open_serve_store(path: &Path, fsync: FsyncPolicy) -> Result<Arc<LogStore>, CliError> {
+        match std::fs::metadata(path) {
+            Ok(meta) if meta.is_dir() => open_log_dir(path, fsync),
+            Ok(_) => {
+                let snapshot = std::fs::read_to_string(path).map_err(CliError::Store)?;
+                // Validate before touching anything so a corrupt legacy
+                // file is left exactly where it was.
+                DocsServer::restore(&snapshot).map_err(CliError::BadStore)?;
+                let mut legacy = path.as_os_str().to_os_string();
+                legacy.push(".legacy");
+                let legacy = std::path::PathBuf::from(legacy);
+                std::fs::rename(path, &legacy).map_err(CliError::Store)?;
+                let store = open_log_dir(path, fsync)?;
+                let docs = Arc::clone(&store) as Arc<dyn DocStore>;
+                DocsServer::restore_into(&snapshot, &docs).map_err(CliError::BadStore)?;
+                store.flush().map_err(store_error)?;
+                std::fs::remove_file(&legacy).map_err(CliError::Store)?;
+                Ok(store)
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => open_log_dir(path, fsync),
+            Err(e) => Err(CliError::Store(e)),
+        }
+    }
+
     pub(crate) fn run_server(
         options: &CliOptions,
         addr: &str,
         workers: Option<usize>,
         addr_file: Option<&Path>,
+        fsync: FsyncPolicy,
     ) -> Result<String, CliError> {
         if options.store.as_os_str().is_empty() {
             return Err(CliError::Usage(format!(
-                "serve needs --store FILE\n\n{}",
+                "serve needs --store DIR\n\n{}",
                 crate::USAGE
             )));
         }
-        let server = Arc::new(load_store(&options.store)?);
+        let store = open_serve_store(&options.store, fsync)?;
+        let server =
+            Arc::new(DocsServer::with_store(Arc::clone(&store) as Arc<dyn DocStore>));
         let stop = Arc::new(AtomicBool::new(false));
-        let admin =
-            AdminService { server: Arc::clone(&server), stop: Arc::clone(&stop) };
+        let admin = AdminService {
+            server: Arc::clone(&server),
+            store: Arc::clone(&store),
+            stop: Arc::clone(&stop),
+        };
         let router = Router::new()
             .mount("/admin", Arc::new(admin))
             .mount("", Arc::clone(&server) as Arc<dyn pe_net::Service>);
@@ -565,18 +719,13 @@ mod serve {
         // Announce readiness immediately; run() only prints on exit.
         println!("pedit serving {} on {bound}", options.store.display());
 
-        // Poll: persist the store when it changes, exit on `stop`.
-        let mut persisted = server.snapshot();
+        // Every acknowledged save is already in the WAL; just wait for
+        // the admin `stop` (which flushed before acknowledging).
         while !stop.load(Ordering::SeqCst) {
-            std::thread::sleep(Duration::from_millis(100));
-            let current = server.snapshot();
-            if current != persisted {
-                persist_store(&options.store, &server)?;
-                persisted = current;
-            }
+            std::thread::sleep(Duration::from_millis(50));
         }
         http.shutdown();
-        persist_store(&options.store, &server)?;
+        store.flush().map_err(store_error)?;
         Ok(format!("served on {bound}; store persisted"))
     }
 }
@@ -637,7 +786,10 @@ mod remote {
                     status => Err(CliError::Net(format!("raw -> {status}"))),
                 }
             }
-            Command::Stats { .. } | Command::Serve { .. } => {
+            Command::Stats { .. }
+            | Command::Serve { .. }
+            | Command::Fsck { .. }
+            | Command::Compact { .. } => {
                 unreachable!("handled before remote dispatch")
             }
             command => doc_session(client, options.rpc, command),
@@ -883,11 +1035,16 @@ mod tests {
         let options = parse_args(&args(&["--store", "s.db", "serve"])).unwrap();
         assert_eq!(
             options.command,
-            Command::Serve { addr: "127.0.0.1:0".into(), workers: None, addr_file: None }
+            Command::Serve {
+                addr: "127.0.0.1:0".into(),
+                workers: None,
+                addr_file: None,
+                fsync: FsyncPolicy::Always,
+            }
         );
         let options = parse_args(&args(&[
             "--store", "s.db", "serve", "--addr", "127.0.0.1:8080", "--workers", "2",
-            "--addr-file", "/tmp/a",
+            "--addr-file", "/tmp/a", "--fsync", "every=8",
         ]))
         .unwrap();
         assert_eq!(
@@ -896,8 +1053,33 @@ mod tests {
                 addr: "127.0.0.1:8080".into(),
                 workers: Some(2),
                 addr_file: Some(PathBuf::from("/tmp/a")),
+                fsync: FsyncPolicy::EveryN(8),
             }
         );
+        assert!(matches!(
+            parse_args(&args(&["--store", "s", "serve", "--fsync", "sometimes"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn parses_fsck_and_compact_as_positional_verbs() {
+        // Neither needs --store: the directory is the positional argument.
+        let options = parse_args(&args(&["fsck", "some/dir"])).unwrap();
+        assert_eq!(options.command, Command::Fsck { dir: PathBuf::from("some/dir") });
+        let options = parse_args(&args(&["compact", "some/dir"])).unwrap();
+        assert_eq!(options.command, Command::Compact { dir: PathBuf::from("some/dir") });
+        assert!(matches!(parse_args(&args(&["fsck"])), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse_args(&args(&["compact", "a", "b"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn fsck_reports_missing_directory_as_corrupt() {
+        let options = parse_args(&args(&["fsck", "/nonexistent/pedit-store"])).unwrap();
+        assert!(matches!(run(&options), Err(CliError::BadStore(_))));
     }
 
     #[test]

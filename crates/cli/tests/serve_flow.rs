@@ -14,6 +14,7 @@ impl TempPath {
         let mut path = std::env::temp_dir();
         path.push(format!("pedit-serve-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir_all(&path);
         TempPath(path)
     }
 
@@ -24,7 +25,9 @@ impl TempPath {
 
 impl Drop for TempPath {
     fn drop(&mut self) {
+        // The store may be a legacy file or a durable log directory.
         let _ = std::fs::remove_file(&self.0);
+        let _ = std::fs::remove_dir_all(&self.0);
     }
 }
 

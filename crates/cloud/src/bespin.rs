@@ -5,13 +5,16 @@
 //! The privacy wrapper therefore only needs to encrypt PUT bodies and
 //! decrypt GET responses.
 
-use std::collections::HashMap;
+use std::sync::Arc;
 
-use parking_lot::Mutex;
+use pe_store::{DocStore, MemStore};
 
 use crate::{CloudService, Method, Request, Response};
 
 /// A whole-file PUT/GET code-hosting server.
+///
+/// Storage is pluggable via [`DocStore`] — in-memory by default, or a
+/// durable [`pe_store::LogStore`] so pushed files survive a crash.
 ///
 /// # Example
 ///
@@ -24,27 +27,41 @@ use crate::{CloudService, Method, Request, Response};
 /// let resp = server.handle(&Request::get("/file/at/main.rs", &[]));
 /// assert_eq!(resp.body_text(), Some("fn main() {}"));
 /// ```
-#[derive(Debug, Default)]
 pub struct BespinServer {
-    files: Mutex<HashMap<String, Vec<u8>>>,
+    files: Arc<dyn DocStore>,
+}
+
+impl std::fmt::Debug for BespinServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BespinServer").field("store", &self.files.name()).finish()
+    }
+}
+
+impl Default for BespinServer {
+    fn default() -> BespinServer {
+        BespinServer::new()
+    }
 }
 
 impl BespinServer {
-    /// Creates an empty file store.
+    /// Creates an empty in-memory file store.
     pub fn new() -> BespinServer {
-        BespinServer::default()
+        BespinServer::with_store(Arc::new(MemStore::new()))
+    }
+
+    /// Creates a file store over an existing (possibly durable) store.
+    pub fn with_store(files: Arc<dyn DocStore>) -> BespinServer {
+        BespinServer { files }
     }
 
     /// Lists stored file paths (sorted), for tests and examples.
     pub fn list(&self) -> Vec<String> {
-        let mut paths: Vec<String> = self.files.lock().keys().cloned().collect();
-        paths.sort();
-        paths
+        self.files.list()
     }
 
     /// Raw stored bytes for a path (what the provider can read).
     pub fn stored(&self, path: &str) -> Option<Vec<u8>> {
-        self.files.lock().get(path).cloned()
+        self.files.content(path)
     }
 }
 
@@ -54,12 +71,12 @@ impl CloudService for BespinServer {
             return Response::error(404, "unknown endpoint");
         };
         match request.method {
-            Method::Put => {
-                self.files.lock().insert(path.to_string(), request.body.to_vec());
-                Response::ok("")
-            }
-            Method::Get => match self.files.lock().get(path) {
-                Some(content) => Response::ok(content.clone()),
+            Method::Put => match self.files.put_full(path, &request.body) {
+                Ok(_) => Response::ok(""),
+                Err(e) => Response::error(500, &format!("storage failure: {e}")),
+            },
+            Method::Get => match self.files.content(path) {
+                Some(content) => Response::ok(content),
                 None => Response::error(404, "no such file"),
             },
             Method::Post => Response::error(405, "bespin uses PUT"),

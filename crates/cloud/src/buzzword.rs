@@ -6,9 +6,9 @@
 //! secure." This module provides the server plus the `<textRun>`
 //! extraction/rewriting helpers the mediator uses.
 
-use std::collections::HashMap;
+use std::sync::Arc;
 
-use parking_lot::Mutex;
+use pe_store::{DocStore, MemStore};
 
 use crate::{CloudService, Method, Request, Response};
 
@@ -48,6 +48,9 @@ where
 
 /// A whole-document XML store.
 ///
+/// Storage is pluggable via [`DocStore`] — in-memory by default, or a
+/// durable [`pe_store::LogStore`] so posted documents survive a crash.
+///
 /// # Example
 ///
 /// ```
@@ -60,20 +63,36 @@ where
 /// let stored = server.stored("d1").unwrap();
 /// assert_eq!(text_runs(&stored), vec!["hi"]);
 /// ```
-#[derive(Debug, Default)]
 pub struct BuzzwordServer {
-    docs: Mutex<HashMap<String, String>>,
+    docs: Arc<dyn DocStore>,
+}
+
+impl std::fmt::Debug for BuzzwordServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BuzzwordServer").field("store", &self.docs.name()).finish()
+    }
+}
+
+impl Default for BuzzwordServer {
+    fn default() -> BuzzwordServer {
+        BuzzwordServer::new()
+    }
 }
 
 impl BuzzwordServer {
-    /// Creates an empty store.
+    /// Creates an empty in-memory store.
     pub fn new() -> BuzzwordServer {
-        BuzzwordServer::default()
+        BuzzwordServer::with_store(Arc::new(MemStore::new()))
+    }
+
+    /// Creates a store over an existing (possibly durable) store.
+    pub fn with_store(docs: Arc<dyn DocStore>) -> BuzzwordServer {
+        BuzzwordServer { docs }
     }
 
     /// The stored XML for a document id.
     pub fn stored(&self, id: &str) -> Option<String> {
-        self.docs.lock().get(id).cloned()
+        self.docs.content(id).map(|b| String::from_utf8_lossy(&b).into_owned())
     }
 }
 
@@ -87,11 +106,13 @@ impl CloudService for BuzzwordServer {
                 let Some(xml) = request.body_text() else {
                     return Response::error(400, "body must be XML text");
                 };
-                self.docs.lock().insert(id.to_string(), xml.to_string());
-                Response::ok("")
+                match self.docs.put_full(id, xml.as_bytes()) {
+                    Ok(_) => Response::ok(""),
+                    Err(e) => Response::error(500, &format!("storage failure: {e}")),
+                }
             }
-            Method::Get => match self.docs.lock().get(id) {
-                Some(xml) => Response::ok(xml.clone()),
+            Method::Get => match self.docs.content(id) {
+                Some(xml) => Response::ok(xml),
                 None => Response::error(404, "no such document"),
             },
             Method::Put => Response::error(405, "buzzword uses POST"),

@@ -19,19 +19,29 @@
 //!
 //! The server enforces Google's 500-kilobyte document limit the paper
 //! cites when motivating multi-character blocks (§V-C).
+//!
+//! Storage is pluggable: the server is a protocol veneer over any
+//! [`DocStore`] — [`MemStore`](pe_store::MemStore) by default (tests,
+//! examples), or a durable [`pe_store::LogStore`] in the `pedit serve`
+//! stack, where an acknowledged save survives `kill -9`.
 
-use std::collections::HashMap;
+use std::sync::Arc;
 
-use parking_lot::Mutex;
 use pe_crypto::form;
 use pe_crypto::hex;
 use pe_crypto::sha256::Sha256;
 use pe_delta::Delta;
+use pe_store::{DeltaLimits, DocStore, MemStore, StoreError};
 
 use crate::{CloudService, Request, Response};
 
 /// Maximum stored document size in bytes (Google's 2011 limit).
 pub const MAX_DOC_BYTES: usize = 500 * 1024;
+
+/// Metadata key for the document id counter.
+const META_NEXT_DOC: &str = "next_doc";
+/// Metadata key for the session id counter.
+const META_NEXT_SESSION: &str = "next_session";
 
 /// A small English dictionary for the spell-check feature. Real enough to
 /// make plaintext prose pass and Base32 ciphertext fail spectacularly.
@@ -48,26 +58,6 @@ const DICTIONARY: &[&str] = &[
     "brown", "fox", "jumps", "over", "lazy", "dog", "hello", "attack", "at", "dawn", "editing",
     "private", "cloud", "service", "paper", "plan", "was", "old", "yes", "did", "has",
 ];
-
-#[derive(Debug, Default)]
-struct DocRecord {
-    content: String,
-    version: u64,
-    open_sessions: Vec<String>,
-    /// Previous contents, oldest first. The real 2011 service kept (and
-    /// leaked) revision history — the §I motivation "leaks information
-    /// about previous versions of documents" — so the simulation keeps it
-    /// too, letting tests show that under the extension even history is
-    /// ciphertext.
-    revisions: Vec<String>,
-}
-
-#[derive(Debug, Default)]
-struct ServerState {
-    docs: HashMap<String, DocRecord>,
-    next_doc: u64,
-    next_session: u64,
-}
 
 /// The simulated Google-Documents word-processor backend.
 ///
@@ -88,15 +78,49 @@ struct ServerState {
 /// assert!(doc_id.starts_with("doc"));
 /// # Ok::<(), pe_crypto::CryptoError>(())
 /// ```
-#[derive(Debug, Default)]
 pub struct DocsServer {
-    state: Mutex<ServerState>,
+    store: Arc<dyn DocStore>,
+}
+
+impl std::fmt::Debug for DocsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DocsServer").field("store", &self.store.name()).finish()
+    }
+}
+
+impl Default for DocsServer {
+    fn default() -> DocsServer {
+        DocsServer::new()
+    }
+}
+
+/// Maps a storage failure onto the 2011 wire protocol's status codes.
+fn store_error(e: &StoreError) -> Response {
+    match e {
+        StoreError::NoSuchDocument => Response::error(404, "no such document"),
+        StoreError::Conflict(msg) => Response::error(409, &format!("delta conflict: {msg}")),
+        StoreError::TooLarge { .. } => Response::error(413, "document exceeds 500kB limit"),
+        StoreError::InvalidUtf8 => Response::error(400, "delta produced invalid text"),
+        other => Response::error(500, &format!("storage failure: {other}")),
+    }
 }
 
 impl DocsServer {
-    /// Creates a server with no documents.
+    /// Creates a server with no documents, backed by an in-memory store.
     pub fn new() -> DocsServer {
-        DocsServer::default()
+        DocsServer::with_store(Arc::new(MemStore::new()))
+    }
+
+    /// Creates a server over an existing store — a durable
+    /// [`pe_store::LogStore`] makes every acknowledged save survive a
+    /// crash; documents already in the store are served as-is.
+    pub fn with_store(store: Arc<dyn DocStore>) -> DocsServer {
+        DocsServer { store }
+    }
+
+    /// The backing store (tooling: flush/compact/inspect).
+    pub fn store(&self) -> &Arc<dyn DocStore> {
+        &self.store
     }
 
     /// Hash the server reports in Ack messages (`contentFromServerHash`).
@@ -109,45 +133,45 @@ impl DocsServer {
 
     /// Direct (test/bench) access to a document's stored content.
     pub fn stored_content(&self, doc_id: &str) -> Option<String> {
-        self.state.lock().docs.get(doc_id).map(|d| d.content.clone())
+        self.store.content(doc_id).map(|b| String::from_utf8_lossy(&b).into_owned())
     }
 
     /// Direct (test/bench) access to a document's version counter.
     pub fn stored_version(&self, doc_id: &str) -> Option<u64> {
-        self.state.lock().docs.get(doc_id).map(|d| d.version)
+        self.store.get(doc_id).map(|d| d.version)
     }
 
     /// Direct (test/bench) access to the stored revision history.
     pub fn stored_revisions(&self, doc_id: &str) -> Option<Vec<String>> {
-        self.state.lock().docs.get(doc_id).map(|d| d.revisions.clone())
+        self.store.get(doc_id).map(|d| {
+            d.revisions.iter().map(|r| String::from_utf8_lossy(r).into_owned()).collect()
+        })
     }
 
     /// Lists all document ids, sorted (tooling/tests).
     pub fn list_documents(&self) -> Vec<String> {
-        let mut ids: Vec<String> = self.state.lock().docs.keys().cloned().collect();
-        ids.sort();
-        ids
+        self.store.list()
     }
 
     /// Serializes the full server state into a line-oriented snapshot
     /// (one form-encoded line per document) so tools like the `pedit` CLI
     /// can persist the "cloud" across invocations.
     pub fn snapshot(&self) -> String {
-        let state = self.state.lock();
-        let mut doc_ids: Vec<&String> = state.docs.keys().collect();
-        doc_ids.sort();
         let mut out = String::new();
-        out.push_str(&format!("next_doc={}\n", state.next_doc));
-        out.push_str(&format!("next_session={}\n", state.next_session));
-        for id in doc_ids {
-            let doc = &state.docs[id];
+        out.push_str(&format!("next_doc={}\n", self.store.meta(META_NEXT_DOC).unwrap_or(0)));
+        out.push_str(&format!(
+            "next_session={}\n",
+            self.store.meta(META_NEXT_SESSION).unwrap_or(0)
+        ));
+        for id in self.store.list() {
+            let Some(doc) = self.store.get(&id) else { continue };
             let mut fields: Vec<(String, String)> = vec![
                 ("docID".into(), id.clone()),
-                ("content".into(), doc.content.clone()),
+                ("content".into(), String::from_utf8_lossy(&doc.content).into_owned()),
                 ("version".into(), doc.version.to_string()),
             ];
             for revision in &doc.revisions {
-                fields.push(("revision".into(), revision.clone()));
+                fields.push(("revision".into(), String::from_utf8_lossy(revision).into_owned()));
             }
             out.push_str(&form::encode_pairs(&fields));
             out.push('\n');
@@ -155,55 +179,82 @@ impl DocsServer {
         out
     }
 
-    /// Restores a server from a [`DocsServer::snapshot`] string.
+    /// Restores a server from a [`DocsServer::snapshot`] string into a
+    /// fresh in-memory store. To restore into a durable store, pass it to
+    /// [`DocsServer::restore_into`].
     ///
     /// # Errors
     ///
     /// Returns a description of the malformed line on failure.
     pub fn restore(snapshot: &str) -> Result<DocsServer, String> {
-        let server = DocsServer::new();
-        {
-            let mut state = server.state.lock();
-            for (line_no, line) in snapshot.lines().enumerate() {
-                if line.is_empty() {
-                    continue;
-                }
-                if let Some(n) = line.strip_prefix("next_doc=") {
-                    state.next_doc =
-                        n.parse().map_err(|_| format!("line {line_no}: bad next_doc"))?;
-                    continue;
-                }
-                if let Some(n) = line.strip_prefix("next_session=") {
-                    state.next_session =
-                        n.parse().map_err(|_| format!("line {line_no}: bad next_session"))?;
-                    continue;
-                }
-                let pairs = form::parse_pairs(line)
+        let store: Arc<dyn DocStore> = Arc::new(MemStore::new());
+        Self::restore_into(snapshot, &store)?;
+        Ok(DocsServer::with_store(store))
+    }
+
+    /// Replays a [`DocsServer::snapshot`] string into an existing store:
+    /// each document's save history is re-executed (create, then one full
+    /// save per revision, then the current content), so version counters
+    /// and revision lists reconstruct exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformed line, or of the storage
+    /// failure, on error.
+    pub fn restore_into(snapshot: &str, store: &Arc<dyn DocStore>) -> Result<(), String> {
+        for (line_no, line) in snapshot.lines().enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(n) = line.strip_prefix("next_doc=") {
+                let n: u64 = n.parse().map_err(|_| format!("line {line_no}: bad next_doc"))?;
+                store
+                    .set_meta(META_NEXT_DOC, n)
                     .map_err(|e| format!("line {line_no}: {e}"))?;
-                let doc_id = form::first_value(&pairs, "docID")
-                    .ok_or_else(|| format!("line {line_no}: missing docID"))?
-                    .to_string();
-                let mut doc = DocRecord {
-                    content: form::first_value(&pairs, "content").unwrap_or("").to_string(),
-                    version: form::first_value(&pairs, "version")
-                        .and_then(|v| v.parse().ok())
-                        .unwrap_or(0),
-                    ..DocRecord::default()
-                };
-                doc.revisions = pairs
-                    .iter()
-                    .filter(|(k, _)| k == "revision")
-                    .map(|(_, v)| v.clone())
-                    .collect();
-                state.docs.insert(doc_id, doc);
+                continue;
+            }
+            if let Some(n) = line.strip_prefix("next_session=") {
+                let n: u64 =
+                    n.parse().map_err(|_| format!("line {line_no}: bad next_session"))?;
+                store
+                    .set_meta(META_NEXT_SESSION, n)
+                    .map_err(|e| format!("line {line_no}: {e}"))?;
+                continue;
+            }
+            let pairs = form::parse_pairs(line).map_err(|e| format!("line {line_no}: {e}"))?;
+            let doc_id = form::first_value(&pairs, "docID")
+                .ok_or_else(|| format!("line {line_no}: missing docID"))?
+                .to_string();
+            let content = form::first_value(&pairs, "content").unwrap_or("");
+            let revisions: Vec<&str> =
+                pairs.iter().filter(|(k, _)| k == "revision").map(|(_, v)| v.as_str()).collect();
+            let io = |e: StoreError| format!("line {line_no}: {e}");
+            store.create(&doc_id).map_err(io)?;
+            // Replay the save history. A document's first revision is the
+            // empty content `create` installed, so it is skipped — the
+            // remaining revisions and the final content are one full save
+            // each, reconstructing version == revisions.len().
+            let mut history = revisions.iter();
+            match history.next() {
+                Some(&"") | None => {}
+                Some(&first) => {
+                    // Foreign snapshot whose history does not start empty:
+                    // replay it verbatim (versions shift by one).
+                    store.put_full(&doc_id, first.as_bytes()).map_err(io)?;
+                }
+            }
+            for revision in history {
+                store.put_full(&doc_id, revision.as_bytes()).map_err(io)?;
+            }
+            if !revisions.is_empty() || !content.is_empty() {
+                store.put_full(&doc_id, content.as_bytes()).map_err(io)?;
             }
         }
-        Ok(server)
+        Ok(())
     }
 
     fn revisions(&self, doc_id: &str, index: Option<&str>) -> Response {
-        let state = self.state.lock();
-        let Some(doc) = state.docs.get(doc_id) else {
+        let Some(doc) = self.store.get(doc_id) else {
             return Response::error(404, "no such document");
         };
         match index {
@@ -218,7 +269,7 @@ impl DocsServer {
                 match doc.revisions.get(i) {
                     Some(content) => Response::ok(form::encode_pairs(&[(
                         "content",
-                        content.as_str(),
+                        String::from_utf8_lossy(content).as_ref(),
                     )])),
                     None => Response::error(404, "no such revision"),
                 }
@@ -227,25 +278,29 @@ impl DocsServer {
     }
 
     fn create(&self) -> Response {
-        let mut state = self.state.lock();
-        state.next_doc += 1;
-        let id = format!("doc{}", state.next_doc);
-        state.docs.insert(id.clone(), DocRecord::default());
+        let n = match self.store.bump_meta(META_NEXT_DOC) {
+            Ok(n) => n,
+            Err(e) => return store_error(&e),
+        };
+        let id = format!("doc{n}");
+        if let Err(e) = self.store.create(&id) {
+            return store_error(&e);
+        }
         Response::ok(form::encode_pairs(&[("docID", id.as_str())]))
     }
 
     fn open(&self, doc_id: &str) -> Response {
-        let mut state = self.state.lock();
-        state.next_session += 1;
-        let session = format!("s{}", state.next_session);
-        let Some(doc) = state.docs.get_mut(doc_id) else {
+        let session = match self.store.bump_meta(META_NEXT_SESSION) {
+            Ok(n) => format!("s{n}"),
+            Err(e) => return store_error(&e),
+        };
+        let Some(content) = self.stored_content(doc_id) else {
             return Response::error(404, "no such document");
         };
-        doc.open_sessions.push(session.clone());
-        let hash = Self::content_hash(&doc.content);
+        let hash = Self::content_hash(&content);
         Response::ok(form::encode_pairs(&[
             ("sessionID", session.as_str()),
-            ("content", doc.content.as_str()),
+            ("content", content.as_str()),
             ("contentHash", hash.as_str()),
         ]))
     }
@@ -254,43 +309,34 @@ impl DocsServer {
         let Ok(pairs) = form::parse_pairs(body) else {
             return Response::error(400, "malformed form body");
         };
-        let mut state = self.state.lock();
-        let Some(doc) = state.docs.get_mut(doc_id) else {
+        if !self.store.contains(doc_id) {
             return Response::error(404, "no such document");
-        };
-        if let Some(contents) = form::first_value(&pairs, "docContents") {
+        }
+        let new_content = if let Some(contents) = form::first_value(&pairs, "docContents") {
             if contents.len() > MAX_DOC_BYTES {
                 return Response::error(413, "document exceeds 500kB limit");
             }
-            let previous = std::mem::replace(&mut doc.content, contents.to_string());
-            doc.revisions.push(previous);
+            if let Err(e) = self.store.put_full(doc_id, contents.as_bytes()) {
+                return store_error(&e);
+            }
+            contents.to_string()
         } else if let Some(delta_text) = form::first_value(&pairs, "delta") {
             let Ok(delta) = Delta::parse(delta_text) else {
                 return Response::error(400, "malformed delta");
             };
-            let updated = match delta.apply_bytes(doc.content.as_bytes()) {
-                Ok(updated) => updated,
-                Err(e) => return Response::error(409, &format!("delta conflict: {e}")),
-            };
-            if updated.len() > MAX_DOC_BYTES {
-                return Response::error(413, "document exceeds 500kB limit");
-            }
-            match String::from_utf8(updated) {
-                Ok(content) => {
-                    let previous = std::mem::replace(&mut doc.content, content);
-                    doc.revisions.push(previous);
-                }
-                Err(_) => return Response::error(400, "delta produced invalid text"),
+            let limits = DeltaLimits { max_len: MAX_DOC_BYTES, require_utf8: true };
+            match self.store.apply_delta(doc_id, &delta, limits) {
+                Ok(state) => String::from_utf8_lossy(&state.content).into_owned(),
+                Err(e) => return store_error(&e),
             }
         } else {
             return Response::error(400, "save needs docContents or delta");
-        }
-        doc.version += 1;
+        };
         // The Ack conveys "the current content to the best of the
         // server's knowledge" (§IV-A). Like the real service, the content
         // field stays empty on ordinary saves (the client already holds
         // the content); the hash is what collaboration coordination uses.
-        let hash = Self::content_hash(&doc.content);
+        let hash = Self::content_hash(&new_content);
         Response::ok(form::encode_pairs(&[
             ("contentFromServer", ""),
             ("contentFromServerHash", hash.as_str()),
@@ -298,24 +344,21 @@ impl DocsServer {
     }
 
     fn load(&self, doc_id: &str) -> Response {
-        let state = self.state.lock();
-        let Some(doc) = state.docs.get(doc_id) else {
+        let Some(content) = self.stored_content(doc_id) else {
             return Response::error(404, "no such document");
         };
-        let hash = Self::content_hash(&doc.content);
+        let hash = Self::content_hash(&content);
         Response::ok(form::encode_pairs(&[
-            ("content", doc.content.as_str()),
+            ("content", content.as_str()),
             ("contentHash", hash.as_str()),
         ]))
     }
 
     fn spell_check(&self, doc_id: &str) -> Response {
-        let state = self.state.lock();
-        let Some(doc) = state.docs.get(doc_id) else {
+        let Some(content) = self.stored_content(doc_id) else {
             return Response::error(404, "no such document");
         };
-        let misspelled: Vec<String> = doc
-            .content
+        let misspelled: Vec<String> = content
             .split(|c: char| !c.is_alphabetic())
             .filter(|w| !w.is_empty())
             .map(str::to_lowercase)
@@ -328,29 +371,23 @@ impl DocsServer {
     }
 
     fn translate(&self, doc_id: &str) -> Response {
-        let state = self.state.lock();
-        let Some(doc) = state.docs.get(doc_id) else {
+        let Some(content) = self.stored_content(doc_id) else {
             return Response::error(404, "no such document");
         };
         // A toy "translation": pig latin, word by word. Stands in for the
         // real service's plaintext-dependent translation feature.
-        let translated: String = doc
-            .content
-            .split(' ')
-            .map(pig_latin)
-            .collect::<Vec<_>>()
-            .join(" ");
+        let translated: String =
+            content.split(' ').map(pig_latin).collect::<Vec<_>>().join(" ");
         Response::ok(form::encode_pairs(&[("translated", translated.as_str())]))
     }
 
     fn export(&self, doc_id: &str, format: &str) -> Response {
-        let state = self.state.lock();
-        let Some(doc) = state.docs.get(doc_id) else {
+        let Some(content) = self.stored_content(doc_id) else {
             return Response::error(404, "no such document");
         };
         match format {
-            "txt" => Response::ok(doc.content.clone()),
-            "upper" => Response::ok(doc.content.to_uppercase()),
+            "txt" => Response::ok(content),
+            "upper" => Response::ok(content.to_uppercase()),
             _ => Response::error(400, "unknown export format"),
         }
     }
@@ -601,5 +638,39 @@ mod tests {
         save_delta(&server, &doc, "+x");
         save_delta(&server, &doc, "+y");
         assert_eq!(server.stored_version(&doc), Some(3));
+    }
+
+    #[test]
+    fn durable_store_survives_a_server_restart() {
+        let dir = std::env::temp_dir().join(format!(
+            "pe-docs-durable-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let doc;
+        {
+            let store: Arc<dyn DocStore> = Arc::new(
+                pe_store::LogStore::open(&dir, pe_store::StoreConfig::default()).unwrap(),
+            );
+            let server = DocsServer::with_store(store);
+            doc = create_doc(&server);
+            save_contents(&server, &doc, "survives");
+            save_delta(&server, &doc, "=8\t+ the crash");
+        }
+        let store: Arc<dyn DocStore> = Arc::new(
+            pe_store::LogStore::open(&dir, pe_store::StoreConfig::default()).unwrap(),
+        );
+        let server = DocsServer::with_store(store);
+        assert_eq!(server.stored_content(&doc).unwrap(), "survives the crash");
+        assert_eq!(server.stored_version(&doc), Some(2));
+        assert_eq!(
+            server.stored_revisions(&doc).unwrap(),
+            vec!["".to_string(), "survives".to_string()]
+        );
+        // Fresh ids continue past the restart.
+        let second = create_doc(&server);
+        assert_ne!(second, doc);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

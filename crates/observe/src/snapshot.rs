@@ -121,6 +121,13 @@ impl Snapshot {
         if !self.histograms.is_empty() {
             out.push_str("histograms:\n");
             for h in &self.histograms {
+                // A zero-count histogram has no min/mean/max to speak of;
+                // printing the field defaults (all zero) would read as a
+                // real sample at value 0.
+                if h.count == 0 {
+                    let _ = writeln!(out, "  {}  count=0 (no samples)", h.name);
+                    continue;
+                }
                 let _ = writeln!(
                     out,
                     "  {}  count={} sum={} min={} mean={:.1} max={}",
@@ -556,6 +563,15 @@ mod tests {
         let empty = Snapshot::default();
         assert!(empty.render_text().contains("no metrics"));
         assert_eq!(Snapshot::parse_jsonl(&empty.render_jsonl()).unwrap(), empty);
+    }
+
+    #[test]
+    fn zero_count_histogram_renders_without_fake_stats() {
+        let registry = Registry::new();
+        registry.histogram("store.append_ns"); // registered, never recorded
+        let text = registry.snapshot().render_text();
+        assert!(text.contains("store.append_ns  count=0 (no samples)"), "{text}");
+        assert!(!text.contains("mean"), "no made-up statistics line: {text}");
     }
 
     #[test]

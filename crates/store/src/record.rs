@@ -1,0 +1,292 @@
+//! The WAL record vocabulary and its binary encoding.
+//!
+//! Payload layout (all integers little-endian):
+//!
+//! ```text
+//! [kind: u8] [kind-specific fields]
+//!   Create         id
+//!   FullSave       id, version: u64, content: u32-len + bytes
+//!   Delta          id, version: u64, delta text: u32-len + bytes
+//!   Delete         id
+//!   Meta           key, value: u64
+//!   SnapshotMarker covered_seq: u64
+//! ```
+//!
+//! where `id`/`key` are `u16`-length-prefixed UTF-8 strings. Framing
+//! (length prefix + CRC) is the WAL's job — see [`crate::wal`].
+
+use crate::StoreError;
+
+/// Record kind tags (the first payload byte).
+const KIND_CREATE: u8 = 1;
+const KIND_FULL: u8 = 2;
+const KIND_DELTA: u8 = 3;
+const KIND_DELETE: u8 = 4;
+const KIND_META: u8 = 5;
+const KIND_SNAPSHOT_MARKER: u8 = 6;
+
+/// One write-ahead log record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Record {
+    /// An empty document came into existence (version 0, no revisions).
+    Create {
+        /// Document id.
+        id: String,
+    },
+    /// A full save: `content` replaces the document, the previous
+    /// content moves to the revision history, and the version becomes
+    /// `version`.
+    FullSave {
+        /// Document id.
+        id: String,
+        /// Version after this save.
+        version: u64,
+        /// The new content bytes.
+        content: Vec<u8>,
+    },
+    /// An incremental save: the serialized delta applied to the previous
+    /// content yields the new content. Small edits cost small appends.
+    Delta {
+        /// Document id.
+        id: String,
+        /// Version after this save.
+        version: u64,
+        /// `pe_delta::Delta::serialize` text.
+        delta: String,
+    },
+    /// The document was removed.
+    Delete {
+        /// Document id.
+        id: String,
+    },
+    /// A metadata counter was set.
+    Meta {
+        /// Counter name.
+        key: String,
+        /// New value.
+        value: u64,
+    },
+    /// A snapshot covering every segment up to and including
+    /// `covered_seq` was durably written; replay before that point is
+    /// unnecessary.
+    SnapshotMarker {
+        /// Highest WAL segment sequence number the snapshot covers.
+        covered_seq: u64,
+    },
+}
+
+impl Record {
+    /// Serializes the record payload (no framing).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        match self {
+            Record::Create { id } => {
+                out.push(KIND_CREATE);
+                put_str16(&mut out, id);
+            }
+            Record::FullSave { id, version, content } => {
+                out.push(KIND_FULL);
+                put_str16(&mut out, id);
+                out.extend_from_slice(&version.to_le_bytes());
+                put_bytes32(&mut out, content);
+            }
+            Record::Delta { id, version, delta } => {
+                out.push(KIND_DELTA);
+                put_str16(&mut out, id);
+                out.extend_from_slice(&version.to_le_bytes());
+                put_bytes32(&mut out, delta.as_bytes());
+            }
+            Record::Delete { id } => {
+                out.push(KIND_DELETE);
+                put_str16(&mut out, id);
+            }
+            Record::Meta { key, value } => {
+                out.push(KIND_META);
+                put_str16(&mut out, key);
+                out.extend_from_slice(&value.to_le_bytes());
+            }
+            Record::SnapshotMarker { covered_seq } => {
+                out.push(KIND_SNAPSHOT_MARKER);
+                out.extend_from_slice(&covered_seq.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Parses a record payload (the exact bytes [`Record::encode`]
+    /// produced — framing and CRC already stripped and verified).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] on any structural violation. Because the
+    /// caller has already checked the CRC, a decode failure means
+    /// corruption that collided the checksum or a foreign file — not a
+    /// torn tail.
+    pub fn decode(payload: &[u8]) -> Result<Record, StoreError> {
+        let mut r = Reader { bytes: payload, pos: 0 };
+        let kind = r.u8()?;
+        let record = match kind {
+            KIND_CREATE => Record::Create { id: r.str16()? },
+            KIND_FULL => Record::FullSave {
+                id: r.str16()?,
+                version: r.u64()?,
+                content: r.bytes32()?,
+            },
+            KIND_DELTA => {
+                let id = r.str16()?;
+                let version = r.u64()?;
+                let delta = String::from_utf8(r.bytes32()?)
+                    .map_err(|_| StoreError::Corrupt("delta text is not UTF-8".into()))?;
+                Record::Delta { id, version, delta }
+            }
+            KIND_DELETE => Record::Delete { id: r.str16()? },
+            KIND_META => Record::Meta { key: r.str16()?, value: r.u64()? },
+            KIND_SNAPSHOT_MARKER => Record::SnapshotMarker { covered_seq: r.u64()? },
+            other => {
+                return Err(StoreError::Corrupt(format!("unknown record kind {other}")));
+            }
+        };
+        if r.pos != payload.len() {
+            return Err(StoreError::Corrupt(format!(
+                "{} trailing bytes after record",
+                payload.len() - r.pos
+            )));
+        }
+        Ok(record)
+    }
+
+    /// The document id this record touches, if any.
+    pub fn doc_id(&self) -> Option<&str> {
+        match self {
+            Record::Create { id }
+            | Record::FullSave { id, .. }
+            | Record::Delta { id, .. }
+            | Record::Delete { id } => Some(id),
+            Record::Meta { .. } | Record::SnapshotMarker { .. } => None,
+        }
+    }
+
+    /// Short kind name for reports.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Record::Create { .. } => "create",
+            Record::FullSave { .. } => "full-save",
+            Record::Delta { .. } => "delta",
+            Record::Delete { .. } => "delete",
+            Record::Meta { .. } => "meta",
+            Record::SnapshotMarker { .. } => "snapshot-marker",
+        }
+    }
+}
+
+fn put_str16(out: &mut Vec<u8>, s: &str) {
+    let len = u16::try_from(s.len()).expect("ids and keys are short");
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_bytes32(out: &mut Vec<u8>, bytes: &[u8]) {
+    let len = u32::try_from(bytes.len()).expect("contents fit in u32");
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(bytes);
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], StoreError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.bytes.len())
+            .ok_or_else(|| StoreError::Corrupt("record payload truncated".into()))?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, StoreError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, StoreError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+
+    fn u32(&mut self) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn str16(&mut self) -> Result<String, StoreError> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| StoreError::Corrupt("id is not UTF-8".into()))
+    }
+
+    fn bytes32(&mut self) -> Result<Vec<u8>, StoreError> {
+        let len = self.u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Record> {
+        vec![
+            Record::Create { id: "doc1".into() },
+            Record::FullSave { id: "doc1".into(), version: 1, content: b"PE1;R;b8;...".to_vec() },
+            Record::Delta { id: "doc1".into(), version: 2, delta: "=2\t-3\t+uv\t=2\t+w".into() },
+            Record::Delete { id: "doc1".into() },
+            Record::Meta { key: "next_doc".into(), value: 42 },
+            Record::SnapshotMarker { covered_seq: 7 },
+            Record::FullSave { id: String::new(), version: 0, content: Vec::new() },
+        ]
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        for record in samples() {
+            let encoded = record.encode();
+            let decoded = Record::decode(&encoded).unwrap();
+            assert_eq!(decoded, record);
+        }
+    }
+
+    #[test]
+    fn truncated_payloads_are_corrupt() {
+        for record in samples() {
+            let encoded = record.encode();
+            for cut in 0..encoded.len() {
+                assert!(
+                    Record::decode(&encoded[..cut]).is_err(),
+                    "truncation to {cut} of {} accepted for {}",
+                    encoded.len(),
+                    record.kind_name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_corrupt() {
+        let mut encoded = Record::Create { id: "x".into() }.encode();
+        encoded.push(0);
+        assert!(Record::decode(&encoded).is_err());
+    }
+
+    #[test]
+    fn unknown_kind_is_corrupt() {
+        assert!(Record::decode(&[99]).is_err());
+        assert!(Record::decode(&[]).is_err());
+    }
+}

@@ -1,0 +1,493 @@
+//! Append-only write-ahead log segments.
+//!
+//! A store directory holds numbered segment files `wal-<seq>.log`. Each
+//! record is framed as
+//!
+//! ```text
+//! [payload len: u32 LE][crc32(payload): u32 LE][payload]
+//! ```
+//!
+//! Replay walks frames until the file ends cleanly or a frame fails
+//! validation. A bad frame in the **final** segment is a torn tail — the
+//! expected disk state after a crash mid-append — and is truncated away;
+//! a bad frame in any earlier (sealed) segment is real corruption and is
+//! reported as such.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::crc32::crc32;
+use crate::record::Record;
+use crate::{CrashPoint, StoreError, StoreFaults};
+
+/// Framing header size: payload length + CRC.
+pub const FRAME_HEADER_BYTES: usize = 8;
+
+/// Upper bound on one record payload. Documents are capped well below
+/// this by the services; anything larger in a length field is garbage
+/// (torn tail or foreign file).
+pub const MAX_PAYLOAD_BYTES: u32 = 16 * 1024 * 1024;
+
+/// When (and how often) appends reach the platter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fsync` after every append: an acknowledged write is a durable
+    /// write. The default, and the only policy under which the
+    /// crash-recovery oracle promises zero acknowledged loss.
+    Always,
+    /// `fsync` every `n` appends (and on [`flush`](crate::DocStore::flush)
+    /// / rotation). Bounds loss to the last `n-1` acknowledged writes.
+    EveryN(u64),
+    /// Never `fsync` on append (only on flush/rotation). Fastest;
+    /// durability rides entirely on the OS page cache.
+    Never,
+}
+
+impl FsyncPolicy {
+    /// Parses `always`, `never`, or `every=N` (N ≥ 1).
+    pub fn parse(text: &str) -> Option<FsyncPolicy> {
+        match text {
+            "always" => Some(FsyncPolicy::Always),
+            "never" => Some(FsyncPolicy::Never),
+            other => {
+                let n: u64 = other.strip_prefix("every=")?.parse().ok()?;
+                (n >= 1).then_some(FsyncPolicy::EveryN(n))
+            }
+        }
+    }
+
+    /// Stable name (`always`, `never`, `every=N`) for reports.
+    pub fn label(&self) -> String {
+        match self {
+            FsyncPolicy::Always => "always".into(),
+            FsyncPolicy::Never => "never".into(),
+            FsyncPolicy::EveryN(n) => format!("every={n}"),
+        }
+    }
+}
+
+/// Path of segment `seq` inside `dir`.
+pub fn segment_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("wal-{seq:010}.log"))
+}
+
+/// Parses a segment file name back into its sequence number.
+pub fn parse_segment_name(name: &str) -> Option<u64> {
+    name.strip_prefix("wal-")?.strip_suffix(".log")?.parse().ok()
+}
+
+/// Serializes one record with framing (length + CRC + payload).
+pub fn encode_frame(record: &Record) -> Vec<u8> {
+    let payload = record.encode();
+    debug_assert!(payload.len() as u32 <= MAX_PAYLOAD_BYTES);
+    let mut frame = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+/// What one segment replay saw.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReplayStats {
+    /// Valid records decoded.
+    pub records: u64,
+    /// Bytes of valid frames (including headers).
+    pub valid_bytes: u64,
+    /// Trailing bytes that failed validation (0 for a clean segment).
+    pub torn_bytes: u64,
+}
+
+/// Reads every valid frame of `path` into `sink`, stopping at the first
+/// invalid frame.
+///
+/// Returns the replay stats; `torn_bytes > 0` means the file has an
+/// invalid tail starting at offset `valid_bytes`. The caller decides
+/// whether that tail is tolerable (final segment after a crash) or
+/// corruption (sealed segment).
+///
+/// # Errors
+///
+/// [`StoreError::Io`] on read failure, [`StoreError::Corrupt`] if a
+/// CRC-valid payload fails to decode (checksum collision or foreign
+/// data — never produced by a torn write).
+pub fn replay_segment(
+    path: &Path,
+    mut sink: impl FnMut(Record),
+) -> Result<ReplayStats, StoreError> {
+    let bytes = std::fs::read(path)?;
+    let mut stats = ReplayStats::default();
+    let mut pos = 0usize;
+    loop {
+        let rest = &bytes[pos..];
+        if rest.is_empty() {
+            break; // clean end
+        }
+        if rest.len() < FRAME_HEADER_BYTES {
+            stats.torn_bytes = rest.len() as u64;
+            break;
+        }
+        let len = u32::from_le_bytes(rest[0..4].try_into().expect("4 bytes"));
+        let crc = u32::from_le_bytes(rest[4..8].try_into().expect("4 bytes"));
+        if len > MAX_PAYLOAD_BYTES || rest.len() - FRAME_HEADER_BYTES < len as usize {
+            stats.torn_bytes = rest.len() as u64;
+            break;
+        }
+        let payload = &rest[FRAME_HEADER_BYTES..FRAME_HEADER_BYTES + len as usize];
+        if crc32(payload) != crc {
+            stats.torn_bytes = rest.len() as u64;
+            break;
+        }
+        let record = Record::decode(payload)?;
+        sink(record);
+        stats.records += 1;
+        let frame_len = FRAME_HEADER_BYTES + len as usize;
+        stats.valid_bytes += frame_len as u64;
+        pos += frame_len;
+    }
+    Ok(stats)
+}
+
+/// The single-writer append end of the WAL.
+///
+/// Owned by the store behind its write lock; not internally
+/// synchronized.
+#[derive(Debug)]
+pub struct SegmentWriter {
+    dir: PathBuf,
+    seq: u64,
+    file: File,
+    /// Current byte length of the open segment.
+    len: u64,
+    /// Byte length at the last fsync.
+    durable_len: u64,
+    policy: FsyncPolicy,
+    appends_since_sync: u64,
+    /// Lifetime append ordinal (1-based), across rotations — the fault
+    /// injector counts these.
+    total_appends: u64,
+    faults: Option<StoreFaults>,
+}
+
+impl SegmentWriter {
+    /// Opens segment `seq` for appending, creating it if missing.
+    /// `start_len` must be the validated length (replay's `valid_bytes`);
+    /// anything beyond it is truncated away (torn-tail repair).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on open/truncate failure.
+    pub fn open(
+        dir: &Path,
+        seq: u64,
+        start_len: u64,
+        policy: FsyncPolicy,
+        faults: Option<StoreFaults>,
+    ) -> Result<SegmentWriter, StoreError> {
+        let path = segment_path(dir, seq);
+        // truncate(false): an existing segment is resumed, not clobbered
+        // — the torn-tail cut below is the only truncation allowed.
+        let mut file = OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .read(true)
+            .write(true)
+            .open(&path)?;
+        let actual = file.metadata()?.len();
+        if actual > start_len {
+            file.set_len(start_len)?;
+            file.sync_all()?;
+            pe_observe::static_counter!("store.torn_tail_truncations").inc();
+            pe_observe::counter("store.torn_bytes_discarded").add(actual - start_len);
+        }
+        file.seek(SeekFrom::Start(start_len))?;
+        Ok(SegmentWriter {
+            dir: dir.to_path_buf(),
+            seq,
+            file,
+            len: start_len,
+            durable_len: start_len,
+            policy,
+            appends_since_sync: 0,
+            total_appends: 0,
+            faults,
+        })
+    }
+
+    /// Current segment sequence number.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Bytes in the currently open segment.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the open segment holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends one record, honouring the fsync policy and the fault
+    /// plan. On `Ok`, the record is acknowledged (and durable under
+    /// [`FsyncPolicy::Always`]).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::InjectedCrash`] when the fault plan fires (the
+    /// write is **not** acknowledged and the disk is left in the
+    /// crash-consistent state the fault models), or [`StoreError::Io`].
+    pub fn append(&mut self, record: &Record) -> Result<(), StoreError> {
+        let frame = encode_frame(record);
+        self.total_appends += 1;
+        if let Some(faults) = self.faults {
+            if faults.triggers_append(self.total_appends) {
+                return Err(self.crash(&faults, &frame));
+            }
+        }
+        let started = std::time::Instant::now();
+        self.file.write_all(&frame)?;
+        self.len += frame.len() as u64;
+        self.appends_since_sync += 1;
+        let sync = match self.policy {
+            FsyncPolicy::Always => true,
+            FsyncPolicy::EveryN(n) => self.appends_since_sync >= n,
+            FsyncPolicy::Never => false,
+        };
+        if sync {
+            self.sync()?;
+        }
+        pe_observe::static_counter!("store.appends").inc();
+        pe_observe::static_histogram!("store.append_bytes").record(frame.len() as u64);
+        pe_observe::static_histogram!("store.append_ns").record_duration(started.elapsed());
+        Ok(())
+    }
+
+    /// Enacts the configured crash, leaving the file exactly as the
+    /// modelled failure would.
+    fn crash(&mut self, faults: &StoreFaults, frame: &[u8]) -> StoreError {
+        let point = faults.point();
+        let outcome: Result<(), std::io::Error> = (|| match point {
+            CrashPoint::BeforeFsync => {
+                // The write reached the OS, the fsync never happened, and
+                // the machine died: everything since the last sync is
+                // gone.
+                self.file.write_all(frame)?;
+                self.file.set_len(self.durable_len)?;
+                self.file.sync_all()
+            }
+            CrashPoint::MidWrite => {
+                // Only a prefix of the frame made it out.
+                let kept = faults.torn_len(frame.len());
+                self.file.write_all(&frame[..kept])?;
+                self.file.sync_all()
+            }
+            CrashPoint::TruncateTail => {
+                // The whole frame landed, then the tail was torn off.
+                self.file.write_all(frame)?;
+                let kept = faults.torn_len(frame.len());
+                self.file.set_len(self.len + kept as u64)?;
+                self.file.sync_all()
+            }
+            CrashPoint::SnapshotBeforeRename | CrashPoint::SnapshotAfterRename => {
+                unreachable!("compaction crash points never trigger appends")
+            }
+        })();
+        if let Err(e) = outcome {
+            return StoreError::Io(e);
+        }
+        StoreError::InjectedCrash(point.name())
+    }
+
+    fn sync(&mut self) -> Result<(), StoreError> {
+        self.file.sync_data()?;
+        self.durable_len = self.len;
+        self.appends_since_sync = 0;
+        pe_observe::static_counter!("store.fsyncs").inc();
+        Ok(())
+    }
+
+    /// Flushes and fsyncs; after this every appended record is durable.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on fsync failure.
+    pub fn flush(&mut self) -> Result<(), StoreError> {
+        if self.durable_len < self.len || self.appends_since_sync > 0 {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Seals the current segment (flush + fsync) and starts a fresh one.
+    /// Returns the sealed segment's sequence number.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on fsync/create failure.
+    pub fn rotate(&mut self) -> Result<u64, StoreError> {
+        self.flush()?;
+        let sealed = self.seq;
+        let next = self.seq + 1;
+        let path = segment_path(&self.dir, next);
+        let file = OpenOptions::new().create_new(true).read(true).write(true).open(&path)?;
+        file.sync_all()?;
+        sync_dir(&self.dir)?;
+        self.file = file;
+        self.seq = next;
+        self.len = 0;
+        self.durable_len = 0;
+        self.appends_since_sync = 0;
+        Ok(sealed)
+    }
+}
+
+/// Fsyncs a directory so renames/creates within it are durable.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O failure.
+pub fn sync_dir(dir: &Path) -> std::io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> TempDir {
+            let path = std::env::temp_dir()
+                .join(format!("pe-wal-{tag}-{}-{:?}", std::process::id(), std::thread::current().id()));
+            let _ = std::fs::remove_dir_all(&path);
+            std::fs::create_dir_all(&path).unwrap();
+            TempDir(path)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn records(n: u64) -> Vec<Record> {
+        (0..n)
+            .map(|i| Record::FullSave {
+                id: format!("doc{}", i % 3),
+                version: i + 1,
+                content: vec![b'x'; (i as usize % 40) + 1],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn append_then_replay_round_trips() {
+        let dir = TempDir::new("roundtrip");
+        let mut w = SegmentWriter::open(&dir.0, 1, 0, FsyncPolicy::Always, None).unwrap();
+        let written = records(10);
+        for r in &written {
+            w.append(r).unwrap();
+        }
+        drop(w);
+        let mut seen = Vec::new();
+        let stats = replay_segment(&segment_path(&dir.0, 1), |r| seen.push(r)).unwrap();
+        assert_eq!(seen, written);
+        assert_eq!(stats.records, 10);
+        assert_eq!(stats.torn_bytes, 0);
+    }
+
+    #[test]
+    fn torn_tail_is_detected_not_corrupt() {
+        let dir = TempDir::new("torn");
+        let mut w = SegmentWriter::open(&dir.0, 1, 0, FsyncPolicy::Always, None).unwrap();
+        for r in records(5) {
+            w.append(&r).unwrap();
+        }
+        let full_len = w.len();
+        drop(w);
+        let path = segment_path(&dir.0, 1);
+        // Chop 3 bytes off the last frame.
+        let file = OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(full_len - 3).unwrap();
+        drop(file);
+        let mut seen = 0;
+        let stats = replay_segment(&path, |_| seen += 1).unwrap();
+        assert_eq!(seen, 4, "last record lost, earlier ones intact");
+        assert!(stats.torn_bytes > 0);
+        // Reopening at the validated length truncates the tail away.
+        let w = SegmentWriter::open(&dir.0, 1, stats.valid_bytes, FsyncPolicy::Always, None)
+            .unwrap();
+        assert_eq!(w.len(), stats.valid_bytes);
+        drop(w);
+        let clean = replay_segment(&path, |_| {}).unwrap();
+        assert_eq!(clean.torn_bytes, 0);
+    }
+
+    #[test]
+    fn corrupted_payload_with_valid_framing_is_a_crc_miss() {
+        let dir = TempDir::new("flip");
+        let mut w = SegmentWriter::open(&dir.0, 1, 0, FsyncPolicy::Always, None).unwrap();
+        for r in records(3) {
+            w.append(&r).unwrap();
+        }
+        drop(w);
+        let path = segment_path(&dir.0, 1);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let mut seen = 0;
+        let stats = replay_segment(&path, |_| seen += 1).unwrap();
+        assert!(seen < 3, "flip must cut replay short");
+        assert!(stats.torn_bytes > 0);
+    }
+
+    #[test]
+    fn rotation_seals_and_continues() {
+        let dir = TempDir::new("rotate");
+        let mut w = SegmentWriter::open(&dir.0, 1, 0, FsyncPolicy::EveryN(4), None).unwrap();
+        for r in records(3) {
+            w.append(&r).unwrap();
+        }
+        assert_eq!(w.rotate().unwrap(), 1);
+        assert_eq!(w.seq(), 2);
+        assert!(w.is_empty());
+        for r in records(2) {
+            w.append(&r).unwrap();
+        }
+        w.flush().unwrap();
+        drop(w);
+        let mut first = 0;
+        replay_segment(&segment_path(&dir.0, 1), |_| first += 1).unwrap();
+        let mut second = 0;
+        replay_segment(&segment_path(&dir.0, 2), |_| second += 1).unwrap();
+        assert_eq!((first, second), (3, 2));
+    }
+
+    #[test]
+    fn policy_parsing_round_trips() {
+        for (text, policy) in [
+            ("always", FsyncPolicy::Always),
+            ("never", FsyncPolicy::Never),
+            ("every=8", FsyncPolicy::EveryN(8)),
+        ] {
+            assert_eq!(FsyncPolicy::parse(text), Some(policy));
+            assert_eq!(policy.label(), text);
+        }
+        assert_eq!(FsyncPolicy::parse("every=0"), None);
+        assert_eq!(FsyncPolicy::parse("sometimes"), None);
+    }
+
+    #[test]
+    fn segment_names_round_trip() {
+        assert_eq!(parse_segment_name("wal-0000000042.log"), Some(42));
+        assert_eq!(parse_segment_name("snap-1.snap"), None);
+        let path = segment_path(Path::new("/x"), 7);
+        assert_eq!(parse_segment_name(path.file_name().unwrap().to_str().unwrap()), Some(7));
+    }
+}

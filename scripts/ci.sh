@@ -52,6 +52,28 @@ for row in rows:
 print(f"net_load report OK ({len(rows)} rows)")
 PY
 
+echo "== store_recovery smoke =="
+# The durable-store bench must complete and emit valid JSON covering
+# both sweeps (append throughput per fsync policy, replay vs log size).
+store_out="$(mktemp)"
+trap 'rm -f "$smoke_out" "$net_out" "$store_out"' EXIT
+./target/release/store_recovery --smoke --out "$store_out"
+python3 - "$store_out" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+assert report["bench"] == "store_recovery", "malformed store report"
+appends, replays = report["append_rows"], report["replay_rows"]
+assert appends and replays, "empty store report"
+policies = {row["policy"] for row in appends}
+assert {"always", "never"} <= policies, policies
+for row in appends:
+    assert row["appends_per_s"] > 0 and row["records"] > 0, row
+for row in replays:
+    assert row["replay_per_s"] > 0 and row["log_bytes"] > 0, row
+print(f"store report OK ({len(appends)} append rows, {len(replays)} replay rows)")
+PY
+
 echo "== pedit serve smoke =="
 # Serve a store on an ephemeral port, run a mediated edit over the real
 # socket, check the decrypted result and that the wire store holds only
@@ -59,11 +81,15 @@ echo "== pedit serve smoke =="
 serve_store="$(mktemp -u)"
 serve_addr="$(mktemp -u)"
 pedit() { ./target/release/pedit "$@"; }
-pedit --store "$serve_store" serve --addr 127.0.0.1:0 --addr-file "$serve_addr" &
+# Spawn the binary directly (not via the function) so $! is the server
+# itself — the crash drill's kill -9 must hit the real process, not a
+# wrapper subshell.
+./target/release/pedit --store "$serve_store" serve --addr 127.0.0.1:0 --addr-file "$serve_addr" &
 serve_pid=$!
 cleanup_serve() {
   kill "$serve_pid" 2>/dev/null || true
-  rm -f "$smoke_out" "$net_out" "$serve_store" "$serve_addr"
+  rm -f "$smoke_out" "$net_out" "$store_out" "$serve_addr"
+  rm -rf "$serve_store"
 }
 trap cleanup_serve EXIT
 for _ in $(seq 1 100); do
@@ -78,8 +104,32 @@ shown="$(pedit --connect "$addr" show --doc "$doc" --password ci-pw)"
 [ "$shown" = "ci wire secret" ] || { echo "bad decrypt over the wire: $shown" >&2; exit 1; }
 raw="$(pedit --connect "$addr" raw --doc "$doc")"
 case "$raw" in *secret*) echo "plaintext leaked to the provider" >&2; exit 1;; esac
+
+echo "== crash-recovery drill =="
+# SIGKILL the running server mid-flight: every save it acknowledged
+# must be on disk, fsck must call the store healthy, and a restarted
+# server must pick up exactly where the dead one left off.
+pedit --connect "$addr" save --doc "$doc" --password ci-pw --text "acked then killed"
+kill -9 "$serve_pid"
+wait "$serve_pid" 2>/dev/null || true
+recovered="$(pedit --store "$serve_store" show --doc "$doc" --password ci-pw)"
+[ "$recovered" = "acked then killed" ] || { echo "acknowledged save lost: $recovered" >&2; exit 1; }
+pedit fsck "$serve_store" | grep -q "store healthy" || { echo "fsck failed after kill" >&2; exit 1; }
+pedit compact "$serve_store" >/dev/null
+pedit fsck "$serve_store" | grep -q "store healthy" || { echo "fsck failed after compact" >&2; exit 1; }
+rm -f "$serve_addr"
+./target/release/pedit --store "$serve_store" serve --addr 127.0.0.1:0 --addr-file "$serve_addr" &
+serve_pid=$!
+for _ in $(seq 1 100); do
+  [ -s "$serve_addr" ] && break
+  sleep 0.1
+done
+[ -s "$serve_addr" ] || { echo "restarted serve never wrote its address" >&2; exit 1; }
+addr="$(cat "$serve_addr")"
+survived="$(pedit --connect "$addr" show --doc "$doc" --password ci-pw)"
+[ "$survived" = "acked then killed" ] || { echo "restart lost the save: $survived" >&2; exit 1; }
 pedit --connect "$addr" stop
 wait "$serve_pid"
-echo "serve smoke OK ($doc round-tripped, store ciphertext-only)"
+echo "serve + crash drill OK ($doc survived kill -9 and restart)"
 
 echo "CI OK"
