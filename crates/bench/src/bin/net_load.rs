@@ -2,26 +2,46 @@
 //! mediated editors against one `pe-net` HTTP server.
 //!
 //! Usage: `cargo run -p pe-bench --bin net_load --release -- \
-//!     [--smoke] [--out FILE]`
+//!     [--smoke] [--clients N,N,...] [--edits N] [--connect ADDR] [--out FILE]`
 //!
-//! Writes the JSON report to `BENCH_net.json` (or `--out FILE`) and
-//! prints a Markdown table. `--smoke` runs tiny concurrency levels with
-//! few edits for CI.
+//! By default each concurrency row spawns its own in-process event-loop
+//! server and the JSON report goes to `BENCH_net.json` (or `--out FILE`).
+//! `--connect ADDR` drives an already-running server (e.g. a live
+//! `pedit serve`) instead — used by CI's high-concurrency smoke — and
+//! then no JSON is written unless `--out` is given explicitly.
+//! `--smoke` runs tiny concurrency levels with few edits.
 
-use pe_bench::netload::{net_load, render_json};
+use pe_bench::netload::{net_load, net_load_connect, render_json};
 use pe_bench::report::markdown_table;
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .map_or("BENCH_net.json", String::as_str);
 
-    let (counts, edits): (&[usize], usize) =
-        if smoke { (&[1, 2], 2) } else { (&[1, 4, 16, 64], 25) };
+    let default_counts: &[usize] =
+        if smoke { &[1, 2] } else { &[1, 4, 16, 64, 256, 512, 1024] };
+    let counts: Vec<usize> = match flag_value(&args, "--clients") {
+        Some(list) => list
+            .split(',')
+            .map(|n| n.trim().parse().unwrap_or_else(|_| bad_usage(n)))
+            .collect(),
+        None => default_counts.to_vec(),
+    };
+    let edits: usize = match flag_value(&args, "--edits") {
+        Some(n) => n.parse().unwrap_or_else(|_| bad_usage(n)),
+        None if smoke => 2,
+        None => 25,
+    };
+    let connect: Option<std::net::SocketAddr> = flag_value(&args, "--connect").map(|a| {
+        a.parse().unwrap_or_else(|_| {
+            eprintln!("error: --connect needs HOST:PORT, got {a:?}");
+            std::process::exit(2);
+        })
+    });
 
     println!("# Network load — concurrent mediated editors over loopback TCP (rECB, b=8)\n");
     println!(
@@ -30,7 +50,13 @@ fn main() {
     );
     println!("Latency quantiles come from the live net.client.request_ns histogram.\n");
 
-    let rows = net_load(counts, edits, 0x10ad);
+    let rows = match connect {
+        Some(addr) => {
+            println!("Driving external server at {addr}.\n");
+            net_load_connect(addr, &counts, edits, 0x10ad)
+        }
+        None => net_load(&counts, edits, 0x10ad),
+    };
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|row| {
@@ -43,13 +69,17 @@ fn main() {
                 format!("{:.2} ms", row.p99_ns as f64 / 1e6),
                 format!("{}", row.retries),
                 format!("{}", row.errors),
+                format!("{}", row.peak_conns),
             ]
         })
         .collect();
     println!(
         "{}",
         markdown_table(
-            &["clients", "requests", "wall", "req/s", "p50", "p99", "retries", "errors"],
+            &[
+                "clients", "requests", "wall", "req/s", "p50", "p99", "retries", "errors",
+                "peak conns"
+            ],
             &table
         )
     );
@@ -59,13 +89,30 @@ fn main() {
         std::process::exit(1);
     }
 
-    let json = render_json(&rows, edits);
-    match std::fs::write(out_path, &json) {
-        Ok(()) => println!("wrote {out_path}"),
-        Err(e) => {
-            eprintln!("error: could not write {out_path}: {e}");
-            std::process::exit(1);
+    let out_path = flag_value(&args, "--out");
+    let out_path = match (out_path, connect) {
+        (Some(path), _) => Some(path),
+        (None, None) => Some("BENCH_net.json"),
+        // --connect without --out: measurement only, nothing to commit.
+        (None, Some(_)) => None,
+    };
+    if let Some(out_path) = out_path {
+        let json = render_json(&rows, edits);
+        match std::fs::write(out_path, &json) {
+            Ok(()) => println!("wrote {out_path}"),
+            Err(e) => {
+                eprintln!("error: could not write {out_path}: {e}");
+                std::process::exit(1);
+            }
         }
     }
     println!("{}", pe_bench::report::observability_section());
+}
+
+fn bad_usage(got: &str) -> ! {
+    eprintln!("error: expected a number, got {got:?}");
+    eprintln!(
+        "usage: net_load [--smoke] [--clients N,N,...] [--edits N] [--connect ADDR] [--out FILE]"
+    );
+    std::process::exit(2)
 }

@@ -42,6 +42,13 @@ pub struct NetLoadRow {
     pub errors: u64,
     /// Editing sessions that failed outright — must always be zero.
     pub failed_sessions: u64,
+    /// Server-side peak of concurrently open connections
+    /// (`net.server.conns_open` gauge peak). Zero in `--connect` mode,
+    /// where the server runs in another process.
+    pub peak_conns: u64,
+    /// Event-loop wakeups the server needed for the whole row
+    /// (`net.server.epoll_wakeups`). Zero in `--connect` mode.
+    pub loop_wakeups: u64,
 }
 
 /// One client's scripted session: create a document, then
@@ -85,7 +92,6 @@ pub fn net_load(client_counts: &[usize], edits: usize, seed: u64) -> Vec<NetLoad
     client_counts
         .iter()
         .map(|&clients| {
-            pe_observe::global().reset();
             let backend = Arc::new(DocsServer::new());
             let server = HttpServer::bind(
                 "127.0.0.1:0",
@@ -93,38 +99,59 @@ pub fn net_load(client_counts: &[usize], edits: usize, seed: u64) -> Vec<NetLoad
                 ServerConfig { workers: 8, ..ServerConfig::default() },
             )
             .expect("bind loopback ephemeral port");
-            let addr = server.local_addr();
-
-            let started = Instant::now();
-            let handles: Vec<_> = (0..clients)
-                .map(|i| std::thread::spawn(move || editor_session(addr, i, edits, seed)))
-                .collect();
-            let failed_sessions = handles
-                .into_iter()
-                .map(std::thread::JoinHandle::join)
-                .filter(|outcome| !matches!(outcome, Ok(Ok(()))))
-                .count() as u64;
-            let wall_s = started.elapsed().as_secs_f64();
+            let row = run_row(server.local_addr(), clients, edits, seed);
             server.shutdown();
-
-            let snapshot = pe_observe::global().snapshot();
-            let requests = snapshot.counter("net.client.requests").unwrap_or(0);
-            let (p50_ns, p99_ns) = snapshot
-                .histogram("net.client.request_ns")
-                .map_or((0, 0), |h| (h.quantile(0.50), h.quantile(0.99)));
-            NetLoadRow {
-                clients,
-                requests,
-                wall_s,
-                rps: if wall_s > 0.0 { requests as f64 / wall_s } else { 0.0 },
-                p50_ns,
-                p99_ns,
-                retries: snapshot.counter("net.client.retries").unwrap_or(0),
-                errors: snapshot.counter("net.client.errors").unwrap_or(0),
-                failed_sessions,
-            }
+            row
         })
         .collect()
+}
+
+/// Like [`net_load`] but driving an already-running server at `addr`
+/// (e.g. a live `pedit serve`) instead of spawning one per row. The
+/// server-side columns (`peak_conns`, `loop_wakeups`) read zero because
+/// the server's registry lives in the other process.
+pub fn net_load_connect(
+    addr: std::net::SocketAddr,
+    client_counts: &[usize],
+    edits: usize,
+    seed: u64,
+) -> Vec<NetLoadRow> {
+    client_counts.iter().map(|&clients| run_row(addr, clients, edits, seed)).collect()
+}
+
+/// One concurrency level against `addr`, measured from a fresh metrics
+/// registry.
+fn run_row(addr: std::net::SocketAddr, clients: usize, edits: usize, seed: u64) -> NetLoadRow {
+    pe_observe::global().reset();
+    let started = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|i| std::thread::spawn(move || editor_session(addr, i, edits, seed)))
+        .collect();
+    let failed_sessions = handles
+        .into_iter()
+        .map(std::thread::JoinHandle::join)
+        .filter(|outcome| !matches!(outcome, Ok(Ok(()))))
+        .count() as u64;
+    let wall_s = started.elapsed().as_secs_f64();
+
+    let snapshot = pe_observe::global().snapshot();
+    let requests = snapshot.counter("net.client.requests").unwrap_or(0);
+    let (p50_ns, p99_ns) = snapshot
+        .histogram("net.client.request_ns")
+        .map_or((0, 0), |h| (h.quantile(0.50), h.quantile(0.99)));
+    NetLoadRow {
+        clients,
+        requests,
+        wall_s,
+        rps: if wall_s > 0.0 { requests as f64 / wall_s } else { 0.0 },
+        p50_ns,
+        p99_ns,
+        retries: snapshot.counter("net.client.retries").unwrap_or(0),
+        errors: snapshot.counter("net.client.errors").unwrap_or(0),
+        failed_sessions,
+        peak_conns: snapshot.gauge("net.server.conns_open").map_or(0, |g| g.peak),
+        loop_wakeups: snapshot.counter("net.server.epoll_wakeups").unwrap_or(0),
+    }
 }
 
 /// Renders the rows as the JSON document committed as `BENCH_net.json`.
@@ -132,6 +159,7 @@ pub fn render_json(rows: &[NetLoadRow], edits: usize) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"net_load\",\n");
     out.push_str("  \"transport\": \"pe-net loopback TCP\",\n");
+    out.push_str("  \"server\": \"event-loop (epoll)\",\n");
     out.push_str("  \"mode\": \"recb\",\n");
     out.push_str("  \"block_size\": 8,\n");
     out.push_str(&format!("  \"edits_per_client\": {edits},\n"));
@@ -140,7 +168,7 @@ pub fn render_json(rows: &[NetLoadRow], edits: usize) -> String {
         out.push_str(&format!(
             "    {{\"clients\": {}, \"requests\": {}, \"wall_s\": {:.4}, \"rps\": {:.1}, \
              \"p50_ns\": {}, \"p99_ns\": {}, \"retries\": {}, \"errors\": {}, \
-             \"failed_sessions\": {}}}{}\n",
+             \"failed_sessions\": {}, \"peak_conns\": {}, \"loop_wakeups\": {}}}{}\n",
             row.clients,
             row.requests,
             row.wall_s,
@@ -150,6 +178,8 @@ pub fn render_json(rows: &[NetLoadRow], edits: usize) -> String {
             row.retries,
             row.errors,
             row.failed_sessions,
+            row.peak_conns,
+            row.loop_wakeups,
             if i + 1 == rows.len() { "" } else { "," },
         ));
     }
@@ -172,7 +202,26 @@ mod tests {
             assert_eq!(row.requests, 6 * row.clients as u64);
             assert!(row.rps > 0.0);
             assert!(row.p50_ns > 0 && row.p99_ns >= row.p50_ns);
+            assert!(row.peak_conns >= 1, "server-side connection peak not observed");
+            assert!(row.loop_wakeups > 0, "event loop never woke?");
         }
+    }
+
+    #[test]
+    fn connect_mode_drives_an_external_server() {
+        let backend = Arc::new(DocsServer::new());
+        let server = HttpServer::bind(
+            "127.0.0.1:0",
+            backend as Arc<dyn Service>,
+            ServerConfig::default(),
+        )
+        .unwrap();
+        let rows = net_load_connect(server.local_addr(), &[2], 1, 0xc0);
+        server.shutdown();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].errors, 0);
+        assert_eq!(rows[0].failed_sessions, 0);
+        assert_eq!(rows[0].requests, 4 * 2);
     }
 
     #[test]

@@ -130,6 +130,8 @@ pub enum Command {
         addr: String,
         /// Worker threads (defaults to the server's default).
         workers: Option<usize>,
+        /// Concurrent-connection cap (defaults to the server's default).
+        max_conns: Option<usize>,
         /// File to write the bound address into (how scripts learn the
         /// ephemeral port).
         addr_file: Option<PathBuf>,
@@ -217,7 +219,7 @@ COMMANDS:
   rotate  --doc ID --old PW --new PW
   raw     --doc ID
   stats   [--format text|json]
-  serve   [--addr HOST:PORT] [--workers N] [--addr-file PATH]
+  serve   [--addr HOST:PORT] [--workers N] [--max-conns N] [--addr-file PATH]
           [--fsync always|never|every=N]
           (requires --store DIR; --addr defaults to 127.0.0.1:0; a legacy
            text-snapshot store file is migrated to a durable directory)
@@ -349,6 +351,14 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, CliError> {
                     value
                         .parse::<usize>()
                         .map_err(|_| usage("--workers must be a number"))?,
+                ),
+                None => None,
+            },
+            max_conns: match flags.get("max-conns") {
+                Some(value) => Some(
+                    value
+                        .parse::<usize>()
+                        .map_err(|_| usage("--max-conns must be a number"))?,
                 ),
                 None => None,
             },
@@ -527,13 +537,22 @@ fn doc_session<S: CloudService>(
 /// failures.
 pub fn run(options: &CliOptions) -> Result<String, CliError> {
     match &options.command {
-        Command::Stats { format } => {
+        Command::Stats { format } if options.connect.is_none() => {
             // The stats session runs against its own in-memory cloud; the
-            // store file is neither read nor written.
+            // store file is neither read nor written. With `--connect` the
+            // command instead falls through to remote dispatch and fetches
+            // the live server's snapshot from `/admin/stats`.
             return stats::run_scripted_session(*format);
         }
-        Command::Serve { addr, workers, addr_file, fsync } => {
-            return serve::run_server(options, addr, *workers, addr_file.as_deref(), *fsync);
+        Command::Serve { addr, workers, max_conns, addr_file, fsync } => {
+            return serve::run_server(
+                options,
+                addr,
+                *workers,
+                *max_conns,
+                addr_file.as_deref(),
+                *fsync,
+            );
         }
         Command::Fsck { dir } => {
             let report = pe_store::fsck(dir).map_err(store_error)?;
@@ -590,7 +609,8 @@ mod serve {
     //! The document protocol mounts at `/` (the raw [`DocsServer`] — the
     //! provider still sees only what clients send, which under mediated
     //! clients is ciphertext). Control endpoints mount under `/admin`:
-    //! `POST /admin/shutdown`, `GET /admin/ping`, `GET /admin/list`,
+    //! `POST /admin/shutdown`, `GET /admin/ping`, `GET /admin/stats`
+    //! (live metrics, `?format=text|json`), `GET /admin/list`,
     //! `GET /admin/raw?docID=…`.
     //!
     //! The store is a write-ahead-logged [`LogStore`] directory: every
@@ -634,6 +654,18 @@ mod serve {
                     Response::ok("stopping")
                 }
                 (Method::Get, "/ping") => Response::ok("pong"),
+                (Method::Get, "/stats") => {
+                    // The serving process's live metrics — including the
+                    // event loop's net.server.* gauges and counters.
+                    let snapshot = pe_observe::global().snapshot();
+                    match request.query_param("format") {
+                        None | Some("text") => Response::ok(snapshot.render_text()),
+                        Some("json") => Response::ok(snapshot.render_jsonl()),
+                        Some(other) => {
+                            Response::error(400, &format!("unknown format {other:?}"))
+                        }
+                    }
+                }
                 (Method::Get, "/list") => {
                     Response::ok(self.server.list_documents().join("\n"))
                 }
@@ -685,6 +717,7 @@ mod serve {
         options: &CliOptions,
         addr: &str,
         workers: Option<usize>,
+        max_conns: Option<usize>,
         addr_file: Option<&Path>,
         fsync: FsyncPolicy,
     ) -> Result<String, CliError> {
@@ -709,6 +742,9 @@ mod serve {
         let mut config = ServerConfig::default();
         if let Some(workers) = workers {
             config.workers = workers;
+        }
+        if let Some(max_conns) = max_conns {
+            config.max_conns = max_conns;
         }
         let http = HttpServer::bind(addr, Arc::new(router), config)
             .map_err(|e| CliError::Net(format!("bind {addr}: {e}")))?;
@@ -786,10 +822,14 @@ mod remote {
                     status => Err(CliError::Net(format!("raw -> {status}"))),
                 }
             }
-            Command::Stats { .. }
-            | Command::Serve { .. }
-            | Command::Fsck { .. }
-            | Command::Compact { .. } => {
+            Command::Stats { format } => {
+                let format = match format {
+                    crate::StatsFormat::Text => "text",
+                    crate::StatsFormat::Json => "json",
+                };
+                admin_get(&client, "/admin/stats", &[("format", format)])
+            }
+            Command::Serve { .. } | Command::Fsck { .. } | Command::Compact { .. } => {
                 unreachable!("handled before remote dispatch")
             }
             command => doc_session(client, options.rpc, command),
@@ -1038,13 +1078,14 @@ mod tests {
             Command::Serve {
                 addr: "127.0.0.1:0".into(),
                 workers: None,
+                max_conns: None,
                 addr_file: None,
                 fsync: FsyncPolicy::Always,
             }
         );
         let options = parse_args(&args(&[
             "--store", "s.db", "serve", "--addr", "127.0.0.1:8080", "--workers", "2",
-            "--addr-file", "/tmp/a", "--fsync", "every=8",
+            "--max-conns", "512", "--addr-file", "/tmp/a", "--fsync", "every=8",
         ]))
         .unwrap();
         assert_eq!(
@@ -1052,6 +1093,7 @@ mod tests {
             Command::Serve {
                 addr: "127.0.0.1:8080".into(),
                 workers: Some(2),
+                max_conns: Some(512),
                 addr_file: Some(PathBuf::from("/tmp/a")),
                 fsync: FsyncPolicy::EveryN(8),
             }

@@ -153,7 +153,7 @@ mod tests {
 
     #[test]
     fn every_update_replaces_everything() {
-        let mut d = doc(&vec![b'x'; 100], 2);
+        let mut d = doc(&[b'x'; 100], 2);
         let before = d.serialize();
         let patches = d.apply(&EditOp::insert(50, b"y")).unwrap();
         assert_eq!(patches.len(), 1);

@@ -30,7 +30,7 @@ fn raw_edit() -> impl Strategy<Value = RawEdit> {
 /// Resolves a raw edit into a valid `EditOp` for a document of length
 /// `len`, mirroring how a real editor only produces in-bounds edits.
 fn resolve(raw: &RawEdit, len: usize) -> EditOp {
-    if raw.kind % 2 == 0 || len == 0 {
+    if raw.kind.is_multiple_of(2) || len == 0 {
         let at = if len == 0 { 0 } else { raw.at % (len + 1) };
         let text: Vec<u8> = (0..raw.amount.max(1))
             .map(|i| raw.byte.wrapping_add(i as u8) % 94 + 32)

@@ -27,7 +27,7 @@ fn raw_edit() -> impl Strategy<Value = RawEdit> {
 fn resolve(raw: &RawEdit, content: &str) -> Delta {
     let len = content.len();
     let mut builder = Delta::builder();
-    if raw.kind % 2 == 0 || len == 0 {
+    if raw.kind.is_multiple_of(2) || len == 0 {
         let at = if len == 0 { 0 } else { raw.at % (len + 1) };
         let text: String = (0..raw.amount)
             .map(|i| (b'a' + (raw.seed.wrapping_add(i as u8)) % 26) as char)

@@ -17,7 +17,7 @@
 //! simulation, which is what makes the loopback-vs-in-process parity
 //! test possible.
 
-use std::io::BufReader;
+use std::io::{BufReader, Read};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -163,6 +163,14 @@ impl HttpClient {
 
     /// One attempt: a pooled socket first (with a fresh-connect grace
     /// retry if it turns out stale), else a new connection.
+    ///
+    /// The grace retry applies only to the *stale class* of failures —
+    /// EOF or a reset **before any response byte arrived** — which is
+    /// exactly what a keep-alive socket the server closed while it sat
+    /// in the pool looks like. A failure after response bytes started
+    /// flowing is a real exchange failure and consumes a retry attempt
+    /// like any other; without that distinction a fault mid-response
+    /// would silently double-send.
     fn try_once(&self, bytes: &[u8]) -> Result<Response, NetError> {
         // Bind the pop separately: in an `if let` scrutinee the MutexGuard
         // temporary would live through the body, deadlocking against the
@@ -172,13 +180,14 @@ impl HttpClient {
             pe_observe::static_counter!("net.client.pool_reuses").inc();
             match self.exchange_on(stream, bytes) {
                 Ok(response) => return Ok(response),
-                // The server may have closed the idle socket; one fresh
-                // connection covers that without consuming a retry.
-                Err(_) => pe_observe::static_counter!("net.client.stale_pool_drops").inc(),
+                Err(failure) if failure.is_stale_class() => {
+                    pe_observe::static_counter!("net.client.stale_pool_drops").inc();
+                }
+                Err(failure) => return Err(failure.error),
             }
         }
         let stream = self.connect()?;
-        self.exchange_on(stream, bytes)
+        self.exchange_on(stream, bytes).map_err(|failure| failure.error)
     }
 
     fn connect(&self) -> Result<TcpStream, NetError> {
@@ -190,19 +199,73 @@ impl HttpClient {
         Ok(stream)
     }
 
-    fn exchange_on(&self, stream: TcpStream, bytes: &[u8]) -> Result<Response, NetError> {
-        let mut writer = stream.try_clone().map_err(NetError::Io)?;
-        codec::write_all(&mut writer, bytes)?;
-        let mut reader = BufReader::new(stream);
-        let parsed = codec::read_response(&mut reader)?;
-        if parsed.keep_alive {
-            let stream = reader.into_inner();
-            let mut pool = self.pool.lock().unwrap_or_else(|e| e.into_inner());
-            if pool.len() < self.config.pool_size {
-                pool.push(stream);
+    fn exchange_on(&self, stream: TcpStream, bytes: &[u8]) -> Result<Response, ExchangeFailure> {
+        let fail = |error: NetError, response_started: bool| ExchangeFailure {
+            error,
+            response_started,
+        };
+        let mut writer = stream.try_clone().map_err(|e| fail(NetError::Io(e), false))?;
+        codec::write_all(&mut writer, bytes).map_err(|e| fail(e, false))?;
+        let mut reader = BufReader::new(ResponseTracking { inner: stream, seen: false });
+        match codec::read_response(&mut reader) {
+            Ok(parsed) => {
+                if parsed.keep_alive {
+                    let stream = reader.into_inner().inner;
+                    let mut pool = self.pool.lock().unwrap_or_else(|e| e.into_inner());
+                    if pool.len() < self.config.pool_size {
+                        pool.push(stream);
+                    }
+                }
+                Ok(parsed.response)
             }
+            Err(error) => Err(fail(error, reader.get_ref().seen)),
         }
-        Ok(parsed.response)
+    }
+}
+
+/// A failed exchange, annotated with whether any response byte arrived
+/// before the failure — the bit that separates a stale pooled socket
+/// from a live exchange going wrong.
+struct ExchangeFailure {
+    error: NetError,
+    response_started: bool,
+}
+
+impl ExchangeFailure {
+    /// True when this looks like reusing a keep-alive socket the server
+    /// had already closed: the connection died before a single response
+    /// byte, with an EOF/reset-shaped error.
+    fn is_stale_class(&self) -> bool {
+        if self.response_started {
+            return false;
+        }
+        match &self.error {
+            NetError::UnexpectedEof => true,
+            NetError::Io(e) => matches!(
+                e.kind(),
+                std::io::ErrorKind::ConnectionReset
+                    | std::io::ErrorKind::ConnectionAborted
+                    | std::io::ErrorKind::BrokenPipe
+            ),
+            _ => false,
+        }
+    }
+}
+
+/// Flags when the first response byte arrives, so exchange failures can
+/// be classified as before-response (stale pooled socket) or after.
+struct ResponseTracking {
+    inner: TcpStream,
+    seen: bool,
+}
+
+impl Read for ResponseTracking {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        if n > 0 {
+            self.seen = true;
+        }
+        Ok(n)
     }
 }
 
@@ -288,6 +351,77 @@ mod tests {
         let resp = client.handle(&Request::get("/x", &[]));
         assert_eq!(resp.status, 503);
         assert!(resp.body_text().unwrap().contains("transport failure"));
+    }
+
+    /// A server that advertises keep-alive but closes every connection
+    /// after serving `per_conn` requests — the shape that used to poison
+    /// the client pool.
+    fn idle_closing_server(per_conn: usize) -> (SocketAddr, std::thread::JoinHandle<()>) {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            // Serve a bounded number of connections, then exit.
+            for _ in 0..16 {
+                let Ok((stream, _)) = listener.accept() else { return };
+                let mut writer = stream.try_clone().unwrap();
+                let mut reader = BufReader::new(stream);
+                for _ in 0..per_conn {
+                    let Ok(Some(_)) = codec::read_request(&mut reader) else { return };
+                    let mut bytes = Vec::new();
+                    codec::write_response(&Response::ok("pong"), true, &mut bytes).unwrap();
+                    std::io::Write::write_all(&mut writer, &bytes).unwrap();
+                }
+                // Connection dropped here despite the keep-alive promise.
+            }
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn stale_pooled_connection_is_replaced_without_consuming_a_retry() {
+        let (addr, server) = idle_closing_server(1);
+        // retries: 0 — any failure that consumed an attempt would surface.
+        let client =
+            HttpClient::with_config(addr, ClientConfig { retries: 0, ..test_config() });
+        for round in 0..4 {
+            let resp = client.send(&Request::get("/ping", &[])).unwrap_or_else(|e| {
+                panic!("round {round} failed instead of grace-retrying: {e}")
+            });
+            assert!(resp.is_success());
+        }
+        drop(client);
+        drop(server);
+    }
+
+    #[test]
+    fn failure_after_response_bytes_is_not_grace_retried() {
+        // A server that serves one good exchange (poisoning the pool with
+        // a keep-alive socket), then answers the next request with half a
+        // response before closing.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut writer = stream.try_clone().unwrap();
+            let mut reader = BufReader::new(stream);
+            let _ = codec::read_request(&mut reader).unwrap();
+            let mut bytes = Vec::new();
+            codec::write_response(&Response::ok("pong"), true, &mut bytes).unwrap();
+            std::io::Write::write_all(&mut writer, &bytes).unwrap();
+            // Second request: cut the response off mid-flight.
+            let _ = codec::read_request(&mut reader).unwrap();
+            std::io::Write::write_all(&mut writer, &bytes[..bytes.len() / 2]).unwrap();
+            // Socket closes here.
+        });
+        let client =
+            HttpClient::with_config(addr, ClientConfig { retries: 0, ..test_config() });
+        assert!(client.send(&Request::get("/ping", &[])).unwrap().is_success());
+        let err = client.send(&Request::get("/ping", &[])).unwrap_err();
+        assert!(
+            matches!(err, NetError::RetriesExhausted { attempts: 1, .. }),
+            "mid-response truncation must consume the attempt, got: {err}"
+        );
+        server.join().unwrap();
     }
 
     #[test]

@@ -8,10 +8,14 @@
 //!
 //! * [`codec`] — a hand-rolled, limit-enforcing HTTP/1.1 codec that
 //!   serializes the existing message model to bytes and back, losslessly;
-//! * [`HttpServer`] — a thread-pool server with a bounded accept queue,
-//!   per-connection timeouts, keep-alive reuse, graceful shutdown, and
-//!   optional connection-fault injection
-//!   ([`pe_cloud::fault::ConnectionFaultSchedule`]);
+//! * [`HttpServer`] — an event-driven server: one loop thread multiplexes
+//!   every socket through a readiness poller (`epoll` on Linux, portable
+//!   `poll(2)` fallback), requests assemble incrementally through a
+//!   [`RequestAccumulator`], handlers run on a small worker pool with
+//!   bounded dispatch, and a timer wheel enforces idle/request/write
+//!   deadlines (slow-loris defense). Keep-alive reuse, graceful
+//!   draining shutdown, and optional connection-fault injection
+//!   ([`pe_cloud::fault::ConnectionFaultSchedule`]) carry over;
 //! * [`HttpClient`] — a connection-pooling client with deadline and
 //!   seeded exponential backoff ([`pe_cloud::retry::BackoffPolicy`]);
 //! * [`Service`] / [`Router`] — what the server mounts: any
@@ -51,16 +55,22 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// Unsafe is denied everywhere except the `sys` readiness shim, whose
+// raw `epoll`/`poll` syscalls are each documented with a SAFETY comment.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod codec;
 mod client;
 mod error;
+mod event;
 mod server;
+#[allow(unsafe_code)]
+mod sys;
 
 pub use client::{ClientConfig, HttpClient};
 pub use error::NetError;
+pub use event::RequestAccumulator;
 pub use server::{HttpServer, ServerConfig};
 
 use std::sync::Arc;

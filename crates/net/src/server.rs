@@ -1,48 +1,71 @@
-//! The thread-pool HTTP server.
+//! The event-driven HTTP server.
 //!
-//! One acceptor thread pushes connections into a bounded queue; a fixed
-//! pool of workers drains it, each running the per-connection keep-alive
-//! loop: read request → dispatch to the mounted [`Service`](crate::Service)
-//! → write response, until the peer closes, a timeout fires, or the
-//! server shuts down. Shutdown is graceful: in-flight requests finish,
-//! the listener is woken with a loopback connect, and every thread is
-//! joined.
+//! One loop thread owns every socket through a readiness poller
+//! (`epoll` on Linux, portable `poll(2)` elsewhere — see
+//! [`sys`](crate::sys)); nonblocking reads feed a per-connection
+//! incremental parser, decoded requests dispatch onto a small worker
+//! pool, and responses drain back through nonblocking writes. The full
+//! state machine, timer wheel, and backpressure rules live in
+//! [`event`](crate::event); this module keeps the stable surface:
+//! [`ServerConfig`], [`HttpServer::bind`], and graceful
+//! [`shutdown`](HttpServer::shutdown).
 //!
-//! The server can enact [`ConnectionFault`]s from a seeded
+//! Compared to the original thread-per-connection pool, concurrency is
+//! no longer bounded by worker count: ten thousand idle keep-alive
+//! connections cost ten thousand registered file descriptors and some
+//! buffers, not ten thousand blocked threads. A connection consumes a
+//! worker only while its request handler runs.
+//!
+//! The server still enacts [`ConnectionFault`]s from a seeded
 //! [`ConnectionFaultSchedule`] — refuse-on-accept, stalls, truncated
 //! responses — which is how `pe-net`'s resilience tests drive the client
 //! through real wire failures.
+//!
+//! [`ConnectionFault`]: pe_cloud::fault::ConnectionFault
+//! [`ConnectionFaultSchedule`]: pe_cloud::fault::ConnectionFaultSchedule
 
-use std::io::BufReader;
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 use std::time::Duration;
 
-use pe_cloud::fault::{ConnectionFault, ConnectionFaultSchedule};
-use pe_cloud::Response;
+use pe_cloud::fault::ConnectionFaultSchedule;
 
-use crate::codec;
-use crate::error::NetError;
+use crate::event::{self, EventServer, LoopConfig, LoopShared};
 use crate::Service;
 
 /// Tuning knobs for [`HttpServer`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Worker threads handling connections.
+    /// Worker threads running request handlers. `0` runs handlers inline
+    /// on the event loop: lowest latency, but a slow handler then stalls
+    /// every connection — only for services known to be fast.
     pub workers: usize,
-    /// Bound of the accepted-connection queue; connections arriving while
-    /// it is full are closed immediately (load shedding).
+    /// Bound of the decoded-request dispatch queue. When full, further
+    /// complete requests park their connections (reads masked) until a
+    /// worker frees up — backpressure instead of unbounded queueing.
     pub accept_backlog: usize,
-    /// Per-connection read timeout (also bounds keep-alive idle time).
+    /// Read budget: how long a keep-alive connection may sit idle, and
+    /// how long a request may take from its *first byte* to a complete
+    /// parse. The request deadline is not extended by trickling bytes,
+    /// so slow-loris clients are closed on schedule.
     pub read_timeout: Duration,
-    /// Per-connection write timeout.
+    /// How long a response flush may remain unfinished.
     pub write_timeout: Duration,
     /// Whether to honor keep-alive (false forces one request per
     /// connection).
     pub keep_alive: bool,
+    /// Maximum concurrently open connections. At the cap the listener is
+    /// unarmed (pending connections wait in the kernel backlog) and
+    /// re-armed as connections close.
+    pub max_conns: usize,
+    /// Use the portable `poll(2)` backend even where `epoll` is
+    /// available (tests / comparison runs). Defaults to the
+    /// `PE_NET_FORCE_POLL` environment variable.
+    pub force_poll: bool,
+    /// How long shutdown waits for in-flight requests to finish before
+    /// force-closing their connections.
+    pub drain: Duration,
 }
 
 impl Default for ServerConfig {
@@ -53,6 +76,9 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
             keep_alive: true,
+            max_conns: 8192,
+            force_poll: std::env::var_os("PE_NET_FORCE_POLL").is_some(),
+            drain: Duration::from_secs(5),
         }
     }
 }
@@ -79,16 +105,7 @@ impl Default for ServerConfig {
 /// ```
 pub struct HttpServer {
     addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
-    acceptor: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
-}
-
-struct WorkerShared {
-    service: Arc<dyn Service>,
-    config: ServerConfig,
-    shutdown: Arc<AtomicBool>,
-    faults: Option<Arc<ConnectionFaultSchedule>>,
+    inner: EventServer,
 }
 
 impl HttpServer {
@@ -96,7 +113,8 @@ impl HttpServer {
     ///
     /// # Errors
     ///
-    /// Propagates socket errors from binding the listener.
+    /// Propagates socket errors from binding the listener or creating
+    /// the readiness poller.
     pub fn bind(
         addr: impl ToSocketAddrs,
         service: Arc<dyn Service>,
@@ -110,7 +128,8 @@ impl HttpServer {
     ///
     /// # Errors
     ///
-    /// Propagates socket errors from binding the listener.
+    /// Propagates socket errors from binding the listener or creating
+    /// the readiness poller.
     pub fn bind_with_faults(
         addr: impl ToSocketAddrs,
         service: Arc<dyn Service>,
@@ -119,40 +138,23 @@ impl HttpServer {
     ) -> std::io::Result<HttpServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let workers = config.workers.max(1);
-        let (sender, receiver) = std::sync::mpsc::sync_channel::<TcpStream>(
-            config.accept_backlog.max(1),
-        );
-        let receiver = Arc::new(Mutex::new(receiver));
-        let shared = Arc::new(WorkerShared {
+        let shared = LoopShared {
             service,
-            config,
-            shutdown: Arc::clone(&shutdown),
             faults,
-        });
-
-        let worker_handles = (0..workers)
-            .map(|i| {
-                let receiver = Arc::clone(&receiver);
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("pe-net-worker-{i}"))
-                    .spawn(move || worker_loop(&receiver, &shared))
-                    .expect("spawn worker thread")
-            })
-            .collect();
-
-        let acceptor = {
-            let shutdown = Arc::clone(&shutdown);
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name("pe-net-acceptor".into())
-                .spawn(move || accept_loop(&listener, &sender, &shutdown, &shared))
-                .expect("spawn acceptor thread")
+            shutdown: Arc::new(AtomicBool::new(false)),
+            keep_alive: config.keep_alive,
         };
-
-        Ok(HttpServer { addr, shutdown, acceptor: Some(acceptor), workers: worker_handles })
+        let loop_config = LoopConfig {
+            read_timeout: config.read_timeout,
+            write_timeout: config.write_timeout,
+            max_conns: config.max_conns.max(1),
+            queue: config.accept_backlog.max(1),
+            workers: config.workers,
+            force_poll: config.force_poll,
+            drain: config.drain,
+        };
+        let inner = event::spawn(listener, shared, loop_config)?;
+        Ok(HttpServer { addr, inner })
     }
 
     /// The address the server actually bound (resolves `:0` requests).
@@ -161,24 +163,16 @@ impl HttpServer {
     }
 
     /// Signals shutdown and blocks until every thread has exited.
-    /// In-flight requests complete; queued-but-unserved connections are
-    /// dropped.
+    /// Accepting stops immediately; in-flight requests finish and flush
+    /// (bounded by [`ServerConfig::drain`]); idle connections close.
     pub fn shutdown(mut self) {
-        self.begin_shutdown();
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
+        self.inner.begin_shutdown();
+        if let Some(event_loop) = self.inner.loop_thread.take() {
+            let _ = event_loop.join();
         }
-        for worker in self.workers.drain(..) {
+        for worker in self.inner.workers.drain(..) {
             let _ = worker.join();
         }
-    }
-
-    fn begin_shutdown(&self) {
-        if self.shutdown.swap(true, Ordering::SeqCst) {
-            return;
-        }
-        // Wake the acceptor out of its blocking accept().
-        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250));
     }
 }
 
@@ -186,162 +180,18 @@ impl Drop for HttpServer {
     fn drop(&mut self) {
         // `shutdown()` takes self and joins; a plain drop still stops the
         // threads, just without blocking on them.
-        self.begin_shutdown();
-    }
-}
-
-fn accept_loop(
-    listener: &TcpListener,
-    sender: &SyncSender<TcpStream>,
-    shutdown: &AtomicBool,
-    shared: &WorkerShared,
-) {
-    for stream in listener.incoming() {
-        if shutdown.load(Ordering::SeqCst) {
-            break;
-        }
-        let Ok(stream) = stream else { continue };
-        pe_observe::static_counter!("net.server.connections").inc();
-        // Refuse-on-accept faults close the socket before any read.
-        if let Some(schedule) = &shared.faults {
-            if schedule.fault() == ConnectionFault::Refuse
-                && schedule.next() == Some(ConnectionFault::Refuse)
-            {
-                pe_observe::static_counter!("net.server.faults.refused").inc();
-                drop(stream);
-                continue;
-            }
-        }
-        match sender.try_send(stream) {
-            Ok(()) => {}
-            Err(TrySendError::Full(stream)) => {
-                // Bounded queue: shed load by closing the connection.
-                pe_observe::static_counter!("net.server.accept_shed").inc();
-                drop(stream);
-            }
-            Err(TrySendError::Disconnected(_)) => break,
-        }
-    }
-}
-
-fn worker_loop(receiver: &Mutex<Receiver<TcpStream>>, shared: &WorkerShared) {
-    loop {
-        let next = {
-            let receiver = receiver.lock().unwrap_or_else(|e| e.into_inner());
-            receiver.recv_timeout(Duration::from_millis(50))
-        };
-        match next {
-            Ok(stream) => handle_connection(stream, shared),
-            Err(RecvTimeoutError::Timeout) => {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    return;
-                }
-            }
-            Err(RecvTimeoutError::Disconnected) => return,
-        }
-    }
-}
-
-/// The per-connection keep-alive loop.
-fn handle_connection(stream: TcpStream, shared: &WorkerShared) {
-    let config = &shared.config;
-    let _ = stream.set_read_timeout(Some(config.read_timeout));
-    let _ = stream.set_write_timeout(Some(config.write_timeout));
-    let _ = stream.set_nodelay(true);
-    let mut writer = match stream.try_clone() {
-        Ok(clone) => clone,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(stream);
-    let mut served = 0u64;
-    loop {
-        let parsed = match codec::read_request(&mut reader) {
-            Ok(Some(parsed)) => parsed,
-            Ok(None) => break, // clean close
-            Err(NetError::Io(e))
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
-                // Keep-alive idle timeout.
-                pe_observe::static_counter!("net.server.idle_closes").inc();
-                break;
-            }
-            Err(e) => {
-                pe_observe::static_counter!("net.server.read_errors").inc();
-                // Tell the peer what happened when the socket still works.
-                let response = Response::error(400, &format!("bad request: {e}"));
-                let mut bytes = Vec::new();
-                if codec::write_response(&response, false, &mut bytes).is_ok() {
-                    let _ = codec::write_all(&mut writer, &bytes);
-                }
-                break;
-            }
-        };
-        served += 1;
-        if served > 1 {
-            pe_observe::static_counter!("net.server.keepalive_reuses").inc();
-        }
-        pe_observe::static_counter!("net.server.requests").inc();
-        let response = {
-            let _timed = pe_observe::static_histogram!("net.server.handle_ns").span();
-            shared.service.call(&parsed.request)
-        };
-        let keep_alive = parsed.keep_alive
-            && config.keep_alive
-            && !shared.shutdown.load(Ordering::SeqCst);
-        let mut bytes = Vec::new();
-        if write_faulted(shared, &response, keep_alive, &mut writer, &mut bytes).is_err() {
-            pe_observe::static_counter!("net.server.write_errors").inc();
-            break;
-        }
-        if !keep_alive || bytes.is_empty() {
-            break;
-        }
-    }
-}
-
-/// Serializes and writes `response`, enacting stall/truncate faults.
-/// Leaves `bytes` empty when the connection must close afterwards.
-fn write_faulted(
-    shared: &WorkerShared,
-    response: &Response,
-    keep_alive: bool,
-    writer: &mut TcpStream,
-    bytes: &mut Vec<u8>,
-) -> Result<(), NetError> {
-    let fault = shared
-        .faults
-        .as_ref()
-        .filter(|s| s.fault() != ConnectionFault::Refuse)
-        .and_then(|s| s.next());
-    codec::write_response(response, keep_alive, bytes)?;
-    match fault {
-        Some(ConnectionFault::Stall(delay)) => {
-            pe_observe::static_counter!("net.server.faults.stalled").inc();
-            std::thread::sleep(delay);
-            codec::write_all(writer, bytes)
-        }
-        Some(ConnectionFault::Truncate(n)) => {
-            pe_observe::static_counter!("net.server.faults.truncated").inc();
-            let cut = n.min(bytes.len());
-            codec::write_all(writer, &bytes[..cut])?;
-            // Force the connection closed so the client sees the
-            // truncation immediately.
-            bytes.clear();
-            Ok(())
-        }
-        Some(ConnectionFault::Refuse) | None => codec::write_all(writer, bytes),
+        self.inner.begin_shutdown();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::codec;
     use pe_cloud::docs::DocsServer;
     use pe_cloud::{Request, Response};
-    use std::io::Write;
+    use std::io::{BufReader, Write};
+    use std::net::TcpStream;
 
     fn start(service: Arc<dyn Service>) -> HttpServer {
         HttpServer::bind(
@@ -407,5 +257,53 @@ mod tests {
         // The port is released: a new bind to the same address succeeds.
         let rebind = TcpListener::bind(addr);
         assert!(rebind.is_ok(), "port still held after shutdown: {rebind:?}");
+    }
+
+    #[test]
+    fn inline_workers_zero_serves_requests() {
+        let server = HttpServer::bind(
+            "127.0.0.1:0",
+            Arc::new(DocsServer::new()),
+            ServerConfig { workers: 0, ..ServerConfig::default() },
+        )
+        .unwrap();
+        let resp =
+            raw_exchange(server.local_addr(), &Request::post("/Doc", &[("cmd", "create")], ""), false);
+        assert!(resp.is_success());
+        server.shutdown();
+    }
+
+    #[test]
+    fn poll_backend_serves_requests_too() {
+        let server = HttpServer::bind(
+            "127.0.0.1:0",
+            Arc::new(DocsServer::new()),
+            ServerConfig { force_poll: true, ..ServerConfig::default() },
+        )
+        .unwrap();
+        let resp =
+            raw_exchange(server.local_addr(), &Request::post("/Doc", &[("cmd", "create")], ""), false);
+        assert!(resp.is_success());
+        server.shutdown();
+    }
+
+    #[test]
+    fn pipelined_requests_all_get_responses() {
+        let server = start(Arc::new(DocsServer::new()));
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut burst = Vec::new();
+        for _ in 0..3 {
+            burst.extend_from_slice(
+                &codec::request_bytes(&Request::post("/Doc", &[("cmd", "create")], ""), true)
+                    .unwrap(),
+            );
+        }
+        stream.write_all(&burst).unwrap();
+        let mut reader = BufReader::new(stream);
+        for _ in 0..3 {
+            let parsed = codec::read_response(&mut reader).unwrap();
+            assert!(parsed.response.is_success());
+        }
+        server.shutdown();
     }
 }

@@ -1,0 +1,478 @@
+//! The readiness shim: a zero-dependency syscall layer over `epoll`
+//! (Linux) with a portable `poll(2)` fallback, behind one [`Poller`]
+//! type.
+//!
+//! `std::net` gives us nonblocking sockets but no way to *wait* on many
+//! of them at once, and this workspace vendors no external crates — so
+//! the handful of syscalls the event loop needs are declared here
+//! directly against the C ABI that every `std`-using process is already
+//! linked with. This is the only module in the workspace that contains
+//! `unsafe`; every block carries the invariant that makes it sound.
+//!
+//! Both backends are **level-triggered**: a readiness flag stays set as
+//! long as the condition holds. The event loop relies on that — it reads
+//! or writes until `WouldBlock` but never has to drain within a single
+//! wakeup, and interest is updated (`modify`) as connections move
+//! through their state machines so idle sockets don't spin the loop.
+//!
+//! The `poll` backend exists for two reasons: portability to non-Linux
+//! Unixes, and testability — the parity tests run the same server
+//! through both backends ([`Backend::Poll`] is forced via
+//! [`ServerConfig::force_poll`](crate::ServerConfig::force_poll)).
+
+use std::collections::HashMap;
+use std::io;
+use std::os::fd::RawFd;
+use std::time::Duration;
+
+/// What a registration wants to be woken for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Interest {
+    /// Wake when the fd is readable (or the peer hung up).
+    pub read: bool,
+    /// Wake when the fd is writable.
+    pub write: bool,
+}
+
+impl Interest {
+    /// Read-only interest (the common steady state of a connection).
+    pub const READ: Interest = Interest { read: true, write: false };
+    /// Write-only interest (response flush in progress, reads paused).
+    pub const WRITE: Interest = Interest { read: false, write: true };
+    /// No wakeups except errors/hangups (request dispatched, output not
+    /// yet ready).
+    pub const NONE: Interest = Interest { read: false, write: false };
+}
+
+/// One readiness notification out of [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Event {
+    /// The token the fd was registered with.
+    pub token: u64,
+    /// Readable (includes pending EOF).
+    pub readable: bool,
+    /// Writable.
+    pub writable: bool,
+    /// Error or hangup — the connection is dead or dying; level-triggered
+    /// backends report this regardless of requested interest.
+    pub hangup: bool,
+}
+
+/// Which readiness backend a [`Poller`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Backend {
+    /// `epoll(7)` — O(ready) wakeups, Linux only.
+    #[cfg(target_os = "linux")]
+    Epoll,
+    /// `poll(2)` — O(registered) scans, everywhere.
+    Poll,
+}
+
+/// A readiness multiplexer over raw fds.
+///
+/// The caller guarantees every registered fd stays open until
+/// `deregister` — both backends hold only the integer, so a close-then-
+/// reuse race would deliver events for the wrong socket. The event loop
+/// upholds this by deregistering in its connection-close path before the
+/// `TcpStream` drops.
+#[derive(Debug)]
+pub(crate) enum Poller {
+    #[cfg(target_os = "linux")]
+    Epoll(EpollPoller),
+    Poll(PollPoller),
+}
+
+impl Poller {
+    /// Opens a poller, preferring `epoll` on Linux unless `force_poll`.
+    pub fn new(force_poll: bool) -> io::Result<Poller> {
+        #[cfg(target_os = "linux")]
+        {
+            if !force_poll {
+                return Ok(Poller::Epoll(EpollPoller::new()?));
+            }
+        }
+        let _ = force_poll;
+        Ok(Poller::Poll(PollPoller::new()))
+    }
+
+    /// Which backend this poller runs on.
+    pub fn backend(&self) -> Backend {
+        match self {
+            #[cfg(target_os = "linux")]
+            Poller::Epoll(_) => Backend::Epoll,
+            Poller::Poll(_) => Backend::Poll,
+        }
+    }
+
+    /// Starts watching `fd` under `token`.
+    pub fn register(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        match self {
+            #[cfg(target_os = "linux")]
+            Poller::Epoll(p) => p.ctl(linux::EPOLL_CTL_ADD, fd, token, interest),
+            Poller::Poll(p) => {
+                p.entries.insert(fd, (token, interest));
+                Ok(())
+            }
+        }
+    }
+
+    /// Changes the interest set of an already-registered fd.
+    pub fn modify(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        match self {
+            #[cfg(target_os = "linux")]
+            Poller::Epoll(p) => p.ctl(linux::EPOLL_CTL_MOD, fd, token, interest),
+            Poller::Poll(p) => {
+                p.entries.insert(fd, (token, interest));
+                Ok(())
+            }
+        }
+    }
+
+    /// Stops watching `fd`. Must happen before the fd is closed.
+    pub fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+        match self {
+            #[cfg(target_os = "linux")]
+            Poller::Epoll(p) => p.ctl(linux::EPOLL_CTL_DEL, fd, 0, Interest::NONE),
+            Poller::Poll(p) => {
+                p.entries.remove(&fd);
+                Ok(())
+            }
+        }
+    }
+
+    /// Blocks until at least one event or `timeout`, appending readiness
+    /// notifications to `out`. A timeout yields zero events, not an
+    /// error; `EINTR` is swallowed the same way.
+    pub fn wait(&mut self, timeout: Duration, out: &mut Vec<Event>) -> io::Result<()> {
+        match self {
+            #[cfg(target_os = "linux")]
+            Poller::Epoll(p) => p.wait(timeout, out),
+            Poller::Poll(p) => p.wait(timeout, out),
+        }
+    }
+}
+
+/// Clamps a duration to a positive C `int` millisecond count for
+/// `epoll_wait`/`poll` (both take `-1` for infinite; we never do).
+fn timeout_ms(timeout: Duration) -> i32 {
+    i32::try_from(timeout.as_millis()).unwrap_or(i32::MAX)
+}
+
+// ---------------------------------------------------------------------
+// epoll backend (Linux)
+// ---------------------------------------------------------------------
+
+#[cfg(target_os = "linux")]
+mod linux {
+    //! Raw `epoll` ABI. Constants and layout match `<sys/epoll.h>` for
+    //! every Linux architecture this workspace targets.
+
+    pub const EPOLL_CLOEXEC: i32 = 0o2000000;
+    pub const EPOLL_CTL_ADD: i32 = 1;
+    pub const EPOLL_CTL_DEL: i32 = 2;
+    pub const EPOLL_CTL_MOD: i32 = 3;
+
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+
+    /// `struct epoll_event`. On x86-64 the kernel ABI declares it
+    /// `__attribute__((packed))` (4-byte aligned `u64`); other
+    /// architectures use natural alignment. Getting this wrong corrupts
+    /// the token, so both layouts are spelled out.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        /// The user token (we never use the union's ptr/fd arms).
+        pub data: u64,
+    }
+
+    extern "C" {
+        pub fn epoll_create1(flags: i32) -> i32;
+        pub fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        pub fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32)
+            -> i32;
+        pub fn close(fd: i32) -> i32;
+    }
+}
+
+/// The `epoll` poller: one epoll instance plus a reusable event buffer.
+#[cfg(target_os = "linux")]
+#[derive(Debug)]
+pub(crate) struct EpollPoller {
+    epfd: RawFd,
+}
+
+#[cfg(target_os = "linux")]
+impl EpollPoller {
+    fn new() -> io::Result<EpollPoller> {
+        // SAFETY: epoll_create1 takes no pointers; a negative return is
+        // the only failure mode and is checked before use.
+        let epfd = unsafe { linux::epoll_create1(linux::EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(EpollPoller { epfd })
+    }
+
+    fn ctl(&mut self, op: i32, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        let mut events = linux::EPOLLRDHUP;
+        if interest.read {
+            events |= linux::EPOLLIN;
+        }
+        if interest.write {
+            events |= linux::EPOLLOUT;
+        }
+        let mut event = linux::EpollEvent { events, data: token };
+        // SAFETY: `event` is a live, properly laid-out EpollEvent for the
+        // duration of the call (the kernel copies it out before
+        // returning); `self.epfd` is a valid epoll fd owned by this
+        // poller; `fd` is open per the Poller contract.
+        let rc = unsafe { linux::epoll_ctl(self.epfd, op, fd, &mut event) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    fn wait(&mut self, timeout: Duration, out: &mut Vec<Event>) -> io::Result<()> {
+        const MAX_EVENTS: usize = 1024;
+        let mut buf = [linux::EpollEvent { events: 0, data: 0 }; MAX_EVENTS];
+        // SAFETY: `buf` is a valid writable array of MAX_EVENTS
+        // EpollEvents that outlives the call; the kernel writes at most
+        // `maxevents` entries and returns how many are initialized.
+        let n = unsafe {
+            linux::epoll_wait(
+                self.epfd,
+                buf.as_mut_ptr(),
+                MAX_EVENTS as i32,
+                timeout_ms(timeout),
+            )
+        };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(());
+            }
+            return Err(err);
+        }
+        for event in &buf[..n as usize] {
+            // Copy out of the (possibly packed) struct before use.
+            let bits = { event.events };
+            let token = { event.data };
+            out.push(Event {
+                token,
+                readable: bits & (linux::EPOLLIN | linux::EPOLLRDHUP) != 0,
+                writable: bits & linux::EPOLLOUT != 0,
+                hangup: bits & (linux::EPOLLERR | linux::EPOLLHUP) != 0,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl Drop for EpollPoller {
+    fn drop(&mut self) {
+        // SAFETY: `epfd` was returned by epoll_create1 and is closed
+        // exactly once, here.
+        unsafe {
+            linux::close(self.epfd);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// poll backend (portable fallback)
+// ---------------------------------------------------------------------
+
+mod posix {
+    //! Raw `poll(2)` ABI, identical across the Unixes we care about.
+
+    pub const POLLIN: i16 = 0x001;
+    pub const POLLOUT: i16 = 0x004;
+    pub const POLLERR: i16 = 0x008;
+    pub const POLLHUP: i16 = 0x010;
+
+    #[repr(C)]
+    #[derive(Clone, Copy, Debug)]
+    pub struct PollFd {
+        pub fd: i32,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    extern "C" {
+        /// `nfds_t` is `unsigned long` on the platforms this builds for.
+        pub fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+    }
+}
+
+/// The portable poller: rebuilds a `pollfd` array from the registration
+/// map on every wait. O(n) per wakeup — fine for the fallback role and
+/// for tests, not the 10k-connection path.
+#[derive(Debug)]
+pub(crate) struct PollPoller {
+    /// fd → (token, interest).
+    entries: HashMap<RawFd, (u64, Interest)>,
+    /// Scratch reused across waits.
+    fds: Vec<posix::PollFd>,
+}
+
+impl PollPoller {
+    fn new() -> PollPoller {
+        PollPoller { entries: HashMap::new(), fds: Vec::new() }
+    }
+
+    fn wait(&mut self, timeout: Duration, out: &mut Vec<Event>) -> io::Result<()> {
+        self.fds.clear();
+        let mut tokens = Vec::with_capacity(self.entries.len());
+        for (&fd, &(token, interest)) in &self.entries {
+            let mut events = 0i16;
+            if interest.read {
+                events |= posix::POLLIN;
+            }
+            if interest.write {
+                events |= posix::POLLOUT;
+            }
+            self.fds.push(posix::PollFd { fd, events, revents: 0 });
+            tokens.push(token);
+        }
+        if self.fds.is_empty() {
+            std::thread::sleep(timeout.min(Duration::from_millis(50)));
+            return Ok(());
+        }
+        // SAFETY: `self.fds` is a live, writable slice of PollFds for the
+        // duration of the call and `nfds` is exactly its length; every
+        // registered fd is open per the Poller contract.
+        let n = unsafe {
+            posix::poll(self.fds.as_mut_ptr(), self.fds.len() as u64, timeout_ms(timeout))
+        };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(());
+            }
+            return Err(err);
+        }
+        for (pollfd, &token) in self.fds.iter().zip(&tokens) {
+            let bits = pollfd.revents;
+            if bits == 0 {
+                continue;
+            }
+            out.push(Event {
+                token,
+                readable: bits & (posix::POLLIN | posix::POLLHUP) != 0,
+                writable: bits & posix::POLLOUT != 0,
+                hangup: bits & (posix::POLLERR | posix::POLLHUP) != 0,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    /// A connected loopback pair plus the listener that made it.
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let a = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        (a, b)
+    }
+
+    fn backends() -> Vec<Poller> {
+        let mut pollers = vec![Poller::new(true).unwrap()];
+        if cfg!(target_os = "linux") {
+            pollers.push(Poller::new(false).unwrap());
+        }
+        pollers
+    }
+
+    #[test]
+    fn readable_after_peer_writes() {
+        for mut poller in backends() {
+            let (mut a, b) = pair();
+            b.set_nonblocking(true).unwrap();
+            poller.register(b.as_raw_fd(), 7, Interest::READ).unwrap();
+
+            let mut events = Vec::new();
+            poller.wait(Duration::from_millis(10), &mut events).unwrap();
+            assert!(events.is_empty(), "no data yet: {events:?}");
+
+            a.write_all(b"x").unwrap();
+            let mut events = Vec::new();
+            for _ in 0..100 {
+                poller.wait(Duration::from_millis(10), &mut events).unwrap();
+                if !events.is_empty() {
+                    break;
+                }
+            }
+            assert_eq!(events.len(), 1, "{:?}", poller.backend());
+            assert_eq!(events[0].token, 7);
+            assert!(events[0].readable);
+            poller.deregister(b.as_raw_fd()).unwrap();
+        }
+    }
+
+    #[test]
+    fn writable_reported_and_maskable() {
+        for mut poller in backends() {
+            let (a, _b) = pair();
+            a.set_nonblocking(true).unwrap();
+            poller.register(a.as_raw_fd(), 1, Interest::WRITE).unwrap();
+            let mut events = Vec::new();
+            poller.wait(Duration::from_millis(100), &mut events).unwrap();
+            assert!(
+                events.iter().any(|e| e.token == 1 && e.writable),
+                "fresh socket is writable ({:?})",
+                poller.backend()
+            );
+            // Masking write interest silences the (level-triggered) event.
+            poller.modify(a.as_raw_fd(), 1, Interest::NONE).unwrap();
+            let mut events = Vec::new();
+            poller.wait(Duration::from_millis(10), &mut events).unwrap();
+            assert!(
+                events.iter().all(|e| !e.writable),
+                "masked: {events:?} ({:?})",
+                poller.backend()
+            );
+        }
+    }
+
+    #[test]
+    fn hangup_is_delivered() {
+        for mut poller in backends() {
+            let (a, mut b) = pair();
+            b.set_nonblocking(true).unwrap();
+            poller.register(b.as_raw_fd(), 9, Interest::READ).unwrap();
+            drop(a);
+            let mut events = Vec::new();
+            for _ in 0..100 {
+                poller.wait(Duration::from_millis(10), &mut events).unwrap();
+                if !events.is_empty() {
+                    break;
+                }
+            }
+            // A closed peer shows up as readable (EOF) and/or hangup —
+            // either lets the loop discover the close on read.
+            assert!(
+                events.iter().any(|e| e.token == 9 && (e.readable || e.hangup)),
+                "close not noticed: {events:?} ({:?})",
+                poller.backend()
+            );
+            // The EOF is really there.
+            let mut buf = [0u8; 8];
+            assert_eq!(b.read(&mut buf).unwrap(), 0);
+        }
+    }
+}

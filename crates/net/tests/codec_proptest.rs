@@ -92,7 +92,7 @@ fn expect_request_error(wire: &[u8]) -> NetError {
 #[test]
 fn oversize_request_line_is_rejected_not_buffered() {
     let mut wire = b"GET /".to_vec();
-    wire.extend(std::iter::repeat(b'a').take(MAX_LINE_BYTES + 10));
+    wire.extend(std::iter::repeat_n(b'a', MAX_LINE_BYTES + 10));
     wire.extend_from_slice(b" HTTP/1.1\r\n\r\n");
     assert!(matches!(expect_request_error(&wire), NetError::TooLarge { .. }));
 }

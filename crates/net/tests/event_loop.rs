@@ -1,0 +1,334 @@
+//! Event-loop behaviour the thread-pool server could not provide:
+//! slow-loris and mid-body stallers are timed out by the loop without
+//! ever consuming a worker, and request framing resumes across
+//! arbitrary read-boundary splits (property-tested against the
+//! accumulator that feeds the loop). Every wire test runs on both
+//! poller backends — `epoll` and the portable `poll(2)` fallback.
+
+use std::io::{BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pe_cloud::docs::DocsServer;
+use pe_cloud::{Request, Response};
+use pe_net::codec;
+use pe_net::{HttpServer, RequestAccumulator, ServerConfig, Service};
+use proptest::prelude::*;
+
+/// A server with one worker and a short read budget: if anything
+/// occupied that worker, every other request would visibly stall.
+fn tight_server(force_poll: bool) -> HttpServer {
+    HttpServer::bind(
+        "127.0.0.1:0",
+        Arc::new(DocsServer::new()),
+        ServerConfig {
+            workers: 1,
+            read_timeout: Duration::from_millis(300),
+            write_timeout: Duration::from_millis(500),
+            force_poll,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback")
+}
+
+fn quick_request(addr: SocketAddr) -> Response {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(2)))
+        .unwrap();
+    let bytes =
+        codec::request_bytes(&Request::post("/Doc", &[("cmd", "create")], ""), false).unwrap();
+    stream.write_all(&bytes).unwrap();
+    let mut reader = BufReader::new(stream);
+    codec::read_response(&mut reader).unwrap().response
+}
+
+/// Blocks until the server closes `stream`, returning how long it took.
+fn wait_for_close(mut stream: TcpStream) -> Duration {
+    let started = Instant::now();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut sink = [0u8; 256];
+    loop {
+        match stream.read(&mut sink) {
+            Ok(0) => return started.elapsed(),
+            Ok(_) => {}
+            // Reset counts as closed; a read timeout means it never was.
+            Err(e) if e.kind() == std::io::ErrorKind::ConnectionReset => {
+                return started.elapsed()
+            }
+            Err(e) => panic!("server never closed the connection: {e}"),
+        }
+    }
+}
+
+fn backends() -> Vec<bool> {
+    if cfg!(target_os = "linux") {
+        vec![false, true]
+    } else {
+        vec![true]
+    }
+}
+
+#[test]
+fn slow_loris_is_closed_on_deadline_without_consuming_the_worker() {
+    for force_poll in backends() {
+        let server = tight_server(force_poll);
+        let addr = server.local_addr();
+
+        // The loris: trickle a request one byte at a time, far slower
+        // than the read budget allows.
+        let bytes =
+            codec::request_bytes(&Request::post("/Doc", &[("cmd", "create")], ""), true).unwrap();
+        let loris = TcpStream::connect(addr).unwrap();
+        let dribbler = std::thread::spawn({
+            let loris = loris.try_clone().unwrap();
+            move || {
+                let mut loris = loris;
+                for chunk in bytes.chunks(1).take(40) {
+                    if loris.write_all(chunk).is_err() {
+                        return; // server already hung up — expected
+                    }
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+        });
+
+        // While the loris dribbles, the single worker stays available:
+        // normal requests complete promptly.
+        for _ in 0..3 {
+            let started = Instant::now();
+            assert!(quick_request(addr).is_success());
+            assert!(
+                started.elapsed() < Duration::from_secs(1),
+                "worker was blocked by the loris ({force_poll})"
+            );
+        }
+
+        // The loris itself is cut off near the 300 ms read deadline —
+        // measured from its first byte, not from its last.
+        let elapsed = wait_for_close(loris.try_clone().unwrap());
+        assert!(
+            elapsed < Duration::from_secs(3),
+            "loris survived {elapsed:?} (force_poll={force_poll})"
+        );
+        let _ = loris.shutdown(std::net::Shutdown::Both);
+        dribbler.join().unwrap();
+        server.shutdown();
+    }
+}
+
+#[test]
+fn mid_body_staller_is_timed_out() {
+    for force_poll in backends() {
+        let server = tight_server(force_poll);
+        let addr = server.local_addr();
+
+        // Complete head, half the promised body, then silence.
+        let full = codec::request_bytes(
+            &Request::post("/Doc", &[("cmd", "save")], "docContents=0123456789abcdef"),
+            true,
+        )
+        .unwrap();
+        let head_end = full.windows(4).position(|w| w == b"\r\n\r\n").unwrap() + 4;
+        let partial = &full[..head_end + (full.len() - head_end) / 2];
+
+        let mut staller = TcpStream::connect(addr).unwrap();
+        staller.write_all(partial).unwrap();
+
+        // The stalled request must not block a healthy client.
+        assert!(quick_request(addr).is_success());
+
+        let elapsed = wait_for_close(staller);
+        assert!(
+            elapsed < Duration::from_secs(3),
+            "mid-body staller survived {elapsed:?} (force_poll={force_poll})"
+        );
+        server.shutdown();
+    }
+}
+
+#[test]
+fn idle_keep_alive_connections_are_reaped() {
+    for force_poll in backends() {
+        let server = tight_server(force_poll);
+        let addr = server.local_addr();
+
+        // Serve one request with keep-alive, then go quiet.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let bytes =
+            codec::request_bytes(&Request::post("/Doc", &[("cmd", "create")], ""), true).unwrap();
+        stream.write_all(&bytes).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let parsed = codec::read_response(&mut reader).unwrap();
+        assert!(parsed.response.is_success());
+        assert!(parsed.keep_alive);
+
+        let elapsed = wait_for_close(stream);
+        assert!(
+            elapsed < Duration::from_secs(3),
+            "idle connection survived {elapsed:?} (force_poll={force_poll})"
+        );
+        server.shutdown();
+    }
+}
+
+#[test]
+fn hundreds_of_open_connections_all_get_served() {
+    for force_poll in backends() {
+        let server = HttpServer::bind(
+            "127.0.0.1:0",
+            Arc::new(DocsServer::new()),
+            ServerConfig {
+                workers: 2,
+                read_timeout: Duration::from_secs(5),
+                force_poll,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr();
+
+        // Open all connections first — far more than there are workers —
+        // then exchange on each. Every socket stays open the whole time,
+        // so the server genuinely holds 300 concurrent connections.
+        let mut streams: Vec<TcpStream> = (0..300)
+            .map(|_| {
+                let s = TcpStream::connect(addr).unwrap();
+                s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+                s
+            })
+            .collect();
+        let bytes =
+            codec::request_bytes(&Request::post("/Doc", &[("cmd", "create")], ""), true).unwrap();
+        for stream in &mut streams {
+            stream.write_all(&bytes).unwrap();
+        }
+        for stream in streams {
+            let mut reader = BufReader::new(stream);
+            let parsed = codec::read_response(&mut reader).unwrap();
+            assert!(parsed.response.is_success(), "force_poll={force_poll}");
+        }
+        server.shutdown();
+    }
+}
+
+#[test]
+fn responses_resume_across_partial_writes() {
+    // A service with a response large enough that a single nonblocking
+    // write cannot finish it against an unread socket, forcing the
+    // loop's write-interest re-arm path.
+    struct Big;
+    impl Service for Big {
+        fn call(&self, _request: &Request) -> Response {
+            Response::ok(vec![0x5a; 4 * 1024 * 1024])
+        }
+    }
+    for force_poll in backends() {
+        let server = HttpServer::bind(
+            "127.0.0.1:0",
+            Arc::new(Big),
+            ServerConfig {
+                write_timeout: Duration::from_secs(10),
+                force_poll,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let bytes = codec::request_bytes(&Request::get("/big", &[]), false).unwrap();
+        stream.write_all(&bytes).unwrap();
+        // Delay the first read so the server's socket buffer fills and
+        // its optimistic write goes partial.
+        std::thread::sleep(Duration::from_millis(200));
+        let mut reader = BufReader::new(stream);
+        let parsed = codec::read_response(&mut reader).unwrap();
+        assert_eq!(parsed.response.status, 200);
+        assert_eq!(parsed.response.body.len(), 4 * 1024 * 1024);
+        server.shutdown();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Feeding a serialized request to the accumulator in arbitrary
+    /// chunks yields exactly the request the blocking codec would parse,
+    /// for any split pattern.
+    #[test]
+    fn accumulator_resumes_across_arbitrary_split_points(
+        path in "/\\PC{0,24}",
+        body in prop::collection::vec(any::<u8>(), 0..600),
+        keep_alive in any::<bool>(),
+        splits in prop::collection::vec(1usize..64, 0..12),
+    ) {
+        let request = Request {
+            method: pe_cloud::Method::Post,
+            path,
+            query: vec![("cmd".into(), "save".into())],
+            body: bytes::Bytes::from(body),
+        };
+        let wire = codec::request_bytes(&request, keep_alive).unwrap();
+
+        // Cut the wire bytes at the accumulated split offsets.
+        let mut acc = RequestAccumulator::new();
+        let mut fed = 0usize;
+        let mut parsed = None;
+        for split in splits {
+            let next = (fed + split).min(wire.len());
+            acc.push(&wire[fed..next]);
+            fed = next;
+            if let Some(got) = acc.try_next().unwrap() {
+                parsed = Some(got);
+                break;
+            }
+            // Incomplete input must never produce a request.
+            prop_assert!(fed < wire.len(), "complete wire bytes yielded nothing");
+        }
+        if parsed.is_none() {
+            acc.push(&wire[fed..]);
+            parsed = acc.try_next().unwrap();
+        }
+        let parsed = parsed.expect("complete bytes parse");
+        prop_assert_eq!(parsed.request, request);
+        prop_assert_eq!(parsed.keep_alive, keep_alive);
+        prop_assert!(acc.is_empty(), "no residue after one message");
+    }
+
+    /// Two pipelined requests split at an arbitrary byte boundary come
+    /// out in order with no bytes lost between them.
+    #[test]
+    fn pipelined_pair_survives_any_split(
+        body_a in prop::collection::vec(any::<u8>(), 0..120),
+        body_b in prop::collection::vec(any::<u8>(), 0..120),
+        cut_seed in any::<usize>(),
+    ) {
+        let make = |body: &[u8]| Request {
+            method: pe_cloud::Method::Post,
+            path: "/Doc".into(),
+            query: vec![("cmd".into(), "save".into())],
+            body: bytes::Bytes::copy_from_slice(body),
+        };
+        let (a, b) = (make(&body_a), make(&body_b));
+        let mut wire = codec::request_bytes(&a, true).unwrap();
+        wire.extend_from_slice(&codec::request_bytes(&b, true).unwrap());
+
+        let cut = cut_seed % (wire.len() + 1);
+        let mut acc = RequestAccumulator::new();
+        acc.push(&wire[..cut]);
+        let mut got = Vec::new();
+        while let Some(parsed) = acc.try_next().unwrap() {
+            got.push(parsed.request);
+        }
+        acc.push(&wire[cut..]);
+        while let Some(parsed) = acc.try_next().unwrap() {
+            got.push(parsed.request);
+        }
+        prop_assert_eq!(got, vec![a, b]);
+        prop_assert!(acc.is_empty());
+    }
+}

@@ -54,9 +54,9 @@ mod metrics;
 mod registry;
 mod snapshot;
 
-pub use metrics::{Counter, Histogram, Span, BUCKETS};
+pub use metrics::{Counter, Gauge, Histogram, Span, BUCKETS};
 pub use registry::Registry;
-pub use snapshot::{CounterSnapshot, HistogramSnapshot, Snapshot};
+pub use snapshot::{CounterSnapshot, GaugeSnapshot, HistogramSnapshot, Snapshot};
 
 use std::sync::OnceLock;
 
@@ -69,6 +69,11 @@ pub fn global() -> &'static Registry {
 /// Fetches (creating on first use) a counter in the [`global()`] registry.
 pub fn counter(name: &str) -> Counter {
     global().counter(name)
+}
+
+/// Fetches (creating on first use) a gauge in the [`global()`] registry.
+pub fn gauge(name: &str) -> Gauge {
+    global().gauge(name)
 }
 
 /// Fetches (creating on first use) a histogram in the [`global()`] registry.
@@ -87,6 +92,17 @@ macro_rules! static_counter {
     ($name:expr) => {{
         static SITE: ::std::sync::OnceLock<$crate::Counter> = ::std::sync::OnceLock::new();
         SITE.get_or_init(|| $crate::counter($name))
+    }};
+}
+
+/// A gauge in the global registry, resolved once per call site.
+///
+/// See [`static_counter!`] for the caching semantics.
+#[macro_export]
+macro_rules! static_gauge {
+    ($name:expr) => {{
+        static SITE: ::std::sync::OnceLock<$crate::Gauge> = ::std::sync::OnceLock::new();
+        SITE.get_or_init(|| $crate::gauge($name))
     }};
 }
 
@@ -121,5 +137,8 @@ mod tests {
         assert!(counter("lib.test.static").get() >= 2);
         static_histogram!("lib.test.static_hist").record(7);
         assert!(global().snapshot().histogram("lib.test.static_hist").is_some());
+        static_gauge!("lib.test.static_gauge").inc();
+        static_gauge!("lib.test.static_gauge").inc();
+        assert!(gauge("lib.test.static_gauge").peak() >= 2);
     }
 }

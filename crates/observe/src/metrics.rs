@@ -4,7 +4,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crate::snapshot::{CounterSnapshot, HistogramSnapshot};
+use crate::snapshot::{CounterSnapshot, GaugeSnapshot, HistogramSnapshot};
 
 /// Number of histogram buckets: bucket 0 holds the value `0` and bucket
 /// `i ≥ 1` holds values in `[2^(i-1), 2^i)`, so every `u64` lands in an
@@ -43,6 +43,65 @@ impl Counter {
 
     pub(crate) fn snapshot(&self, name: &str) -> CounterSnapshot {
         CounterSnapshot { name: name.to_string(), value: self.get() }
+    }
+}
+
+#[derive(Debug)]
+struct GaugeCells {
+    value: AtomicU64,
+    peak: AtomicU64,
+}
+
+/// A point-in-time level (current connections, queue depth): goes up
+/// *and* down, and remembers the highest value it ever held.
+///
+/// Cheap to clone; clones share the same atomic cells. `dec` saturates
+/// at zero rather than wrapping, so a stray extra decrement cannot turn
+/// a small level into a huge one.
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<GaugeCells>);
+
+impl Gauge {
+    pub(crate) fn new() -> Gauge {
+        Gauge(Arc::new(GaugeCells { value: AtomicU64::new(0), peak: AtomicU64::new(0) }))
+    }
+
+    /// Raises the level by one and updates the peak.
+    pub fn inc(&self) {
+        let now = self.0.value.fetch_add(1, Ordering::Relaxed) + 1;
+        self.0.peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Lowers the level by one (saturating at zero).
+    pub fn dec(&self) {
+        let _ = self.0.value.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+            Some(v.saturating_sub(1))
+        });
+    }
+
+    /// Sets the level outright and updates the peak.
+    pub fn set(&self, value: u64) {
+        self.0.value.store(value, Ordering::Relaxed);
+        self.0.peak.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> u64 {
+        self.0.value.load(Ordering::Relaxed)
+    }
+
+    /// Highest level seen since creation (or the last reset).
+    pub fn peak(&self) -> u64 {
+        self.0.peak.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn reset(&self) {
+        self.0.value.store(0, Ordering::Relaxed);
+        self.0.peak.store(0, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self, name: &str) -> GaugeSnapshot {
+        GaugeSnapshot { name: name.to_string(), value: self.get(), peak: self.peak() }
     }
 }
 
@@ -165,6 +224,28 @@ mod tests {
         assert_eq!(counter.get(), 42);
         counter.reset();
         assert_eq!(counter.get(), 0);
+    }
+
+    #[test]
+    fn gauge_tracks_level_and_peak() {
+        let gauge = Gauge::new();
+        gauge.inc();
+        gauge.inc();
+        gauge.inc();
+        gauge.dec();
+        assert_eq!(gauge.get(), 2);
+        assert_eq!(gauge.peak(), 3);
+        gauge.set(10);
+        assert_eq!((gauge.get(), gauge.peak()), (10, 10));
+        gauge.reset();
+        assert_eq!((gauge.get(), gauge.peak()), (0, 0));
+    }
+
+    #[test]
+    fn gauge_dec_saturates_at_zero() {
+        let gauge = Gauge::new();
+        gauge.dec();
+        assert_eq!(gauge.get(), 0);
     }
 
     #[test]

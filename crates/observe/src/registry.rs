@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 
-use crate::metrics::{Counter, Histogram};
+use crate::metrics::{Counter, Gauge, Histogram};
 use crate::snapshot::Snapshot;
 
 /// A collection of named metrics.
@@ -20,6 +20,7 @@ use crate::snapshot::Snapshot;
 #[derive(Debug, Default)]
 pub struct Registry {
     counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
     histograms: Mutex<BTreeMap<String, Histogram>>,
 }
 
@@ -35,6 +36,12 @@ impl Registry {
         counters.entry(name.to_string()).or_insert_with(Counter::new).clone()
     }
 
+    /// Returns the gauge named `name`, creating it on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut gauges = self.gauges.lock().unwrap_or_else(|e| e.into_inner());
+        gauges.entry(name.to_string()).or_insert_with(Gauge::new).clone()
+    }
+
     /// Returns the histogram named `name`, creating it on first use.
     pub fn histogram(&self, name: &str) -> Histogram {
         let mut histograms = self.histograms.lock().unwrap_or_else(|e| e.into_inner());
@@ -44,9 +51,11 @@ impl Registry {
     /// Captures the current value of every metric, sorted by name.
     pub fn snapshot(&self) -> Snapshot {
         let counters = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+        let gauges = self.gauges.lock().unwrap_or_else(|e| e.into_inner());
         let histograms = self.histograms.lock().unwrap_or_else(|e| e.into_inner());
         Snapshot {
             counters: counters.iter().map(|(name, c)| c.snapshot(name)).collect(),
+            gauges: gauges.iter().map(|(name, g)| g.snapshot(name)).collect(),
             histograms: histograms.iter().map(|(name, h)| h.snapshot(name)).collect(),
         }
     }
@@ -57,6 +66,9 @@ impl Registry {
     pub fn reset(&self) {
         for counter in self.counters.lock().unwrap_or_else(|e| e.into_inner()).values() {
             counter.reset();
+        }
+        for gauge in self.gauges.lock().unwrap_or_else(|e| e.into_inner()).values() {
+            gauge.reset();
         }
         for histogram in self.histograms.lock().unwrap_or_else(|e| e.into_inner()).values() {
             histogram.reset();
@@ -89,6 +101,20 @@ mod tests {
         assert_eq!(names, ["alpha", "zeta"]);
         assert_eq!(snap.counter("alpha"), Some(5));
         assert_eq!(snap.histogram("mid").unwrap().count, 1);
+    }
+
+    #[test]
+    fn gauge_handles_alias_and_reset() {
+        let registry = Registry::new();
+        let a = registry.gauge("depth");
+        a.inc();
+        registry.gauge("depth").inc();
+        let snap = registry.snapshot();
+        assert_eq!(snap.gauge("depth").map(|g| (g.value, g.peak)), Some((2, 2)));
+        registry.reset();
+        a.inc();
+        let snap = registry.snapshot();
+        assert_eq!(snap.gauge("depth").map(|g| (g.value, g.peak)), Some((1, 1)));
     }
 
     #[test]

@@ -11,6 +11,17 @@ pub struct CounterSnapshot {
     pub value: u64,
 }
 
+/// A gauge's captured state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GaugeSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Level at capture time.
+    pub value: u64,
+    /// Highest level seen since creation (or the last reset).
+    pub peak: u64,
+}
+
 /// A histogram's captured state.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HistogramSnapshot {
@@ -82,6 +93,8 @@ impl HistogramSnapshot {
 pub struct Snapshot {
     /// All counters, sorted by name.
     pub counters: Vec<CounterSnapshot>,
+    /// All gauges, sorted by name.
+    pub gauges: Vec<GaugeSnapshot>,
     /// All histograms, sorted by name.
     pub histograms: Vec<HistogramSnapshot>,
 }
@@ -90,6 +103,11 @@ impl Snapshot {
     /// Looks up a counter's value by name.
     pub fn counter(&self, name: &str) -> Option<u64> {
         self.counters.iter().find(|c| c.name == name).map(|c| c.value)
+    }
+
+    /// Looks up a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<&GaugeSnapshot> {
+        self.gauges.iter().find(|g| g.name == name)
     }
 
     /// Looks up a histogram by name.
@@ -107,7 +125,7 @@ impl Snapshot {
     pub fn render_text(&self) -> String {
         let mut out = String::new();
         out.push_str("== observability snapshot ==\n");
-        if self.counters.is_empty() && self.histograms.is_empty() {
+        if self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty() {
             out.push_str("(no metrics recorded)\n");
             return out;
         }
@@ -116,6 +134,13 @@ impl Snapshot {
             let width = self.counters.iter().map(|c| c.name.len()).max().unwrap_or(0);
             for c in &self.counters {
                 let _ = writeln!(out, "  {:width$}  {}", c.name, c.value);
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            let width = self.gauges.iter().map(|g| g.name.len()).max().unwrap_or(0);
+            for g in &self.gauges {
+                let _ = writeln!(out, "  {:width$}  {} (peak {})", g.name, g.value, g.peak);
             }
         }
         if !self.histograms.is_empty() {
@@ -178,6 +203,15 @@ impl Snapshot {
                 c.value
             );
         }
+        for g in &self.gauges {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"gauge\",\"name\":{},\"value\":{},\"peak\":{}}}",
+                json_string(&g.name),
+                g.value,
+                g.peak
+            );
+        }
         for h in &self.histograms {
             let buckets: Vec<String> =
                 h.buckets.iter().map(|&(i, n)| format!("[{i},{n}]")).collect();
@@ -194,8 +228,9 @@ impl Snapshot {
         }
         let _ = writeln!(
             out,
-            "{{\"type\":\"snapshot_end\",\"counters\":{},\"histograms\":{}}}",
+            "{{\"type\":\"snapshot_end\",\"counters\":{},\"gauges\":{},\"histograms\":{}}}",
             self.counters.len(),
+            self.gauges.len(),
             self.histograms.len()
         );
         out
@@ -233,6 +268,11 @@ impl Snapshot {
                 "counter" => snapshot
                     .counters
                     .push(CounterSnapshot { name: name()?, value: field("value")? }),
+                "gauge" => snapshot.gauges.push(GaugeSnapshot {
+                    name: name()?,
+                    value: field("value")?,
+                    peak: field("peak")?,
+                }),
                 "histogram" => {
                     let buckets = object
                         .get("buckets")
@@ -541,6 +581,9 @@ mod tests {
         let registry = Registry::new();
         registry.counter("cloud.requests").add(17);
         registry.counter("core.blocks_sealed.rpc").add(1234);
+        let gauge = registry.gauge("net.server.conns_open");
+        gauge.set(9);
+        gauge.set(3);
         let h = registry.histogram("mediator.encrypt_ns");
         for v in [0, 5, 900, 1_000_000, u64::MAX] {
             h.record(v);
@@ -553,6 +596,8 @@ mod tests {
         let text = sample().render_text();
         assert!(text.contains("cloud.requests"));
         assert!(text.contains("1234"));
+        assert!(text.contains("net.server.conns_open"));
+        assert!(text.contains("3 (peak 9)"), "gauge line shows level and peak: {text}");
         assert!(text.contains("mediator.encrypt_ns"));
         assert!(text.contains("count=5"));
         assert!(text.contains('#'), "histogram bars are rendered");

@@ -222,7 +222,9 @@ mod tests {
         }
     }
 
-    fn sample() -> (Vec<(String, DocState)>, Vec<(String, u64)>) {
+    type SampleState = (Vec<(String, DocState)>, Vec<(String, u64)>);
+
+    fn sample() -> SampleState {
         let docs = vec![
             (
                 "doc1".to_string(),

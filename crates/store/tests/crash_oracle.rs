@@ -88,8 +88,11 @@ fn apply(store: &dyn DocStore, op: &Op) -> Result<(), StoreError> {
     }
 }
 
+/// Documents and metadata counters, for exact comparison.
+type ObservedState = (Vec<(String, pe_store::DocState)>, Vec<(String, u64)>);
+
 /// Full observable state of a store, for exact comparison.
-fn observe(store: &dyn DocStore) -> (Vec<(String, pe_store::DocState)>, Vec<(String, u64)>) {
+fn observe(store: &dyn DocStore) -> ObservedState {
     let docs = store
         .list()
         .into_iter()

@@ -105,6 +105,18 @@ shown="$(pedit --connect "$addr" show --doc "$doc" --password ci-pw)"
 raw="$(pedit --connect "$addr" raw --doc "$doc")"
 case "$raw" in *secret*) echo "plaintext leaked to the provider" >&2; exit 1;; esac
 
+echo "== high-concurrency smoke (256 clients vs live serve) =="
+# 256 concurrent mediated editors against the same live pedit serve.
+# net_load exits nonzero on any unrecovered error or failed session,
+# so success here means every one of the 256 keep-alive connections was
+# held open and served by the event loop simultaneously.
+./target/release/net_load --connect "$addr" --clients 256 --edits 1
+stats="$(pedit --connect "$addr" stats --format json)"
+case "$stats" in
+  *net.server.conns_open*) ;;
+  *) echo "live stats missing server gauge: $stats" >&2; exit 1;;
+esac
+
 echo "== crash-recovery drill =="
 # SIGKILL the running server mid-flight: every save it acknowledged
 # must be on disk, fsck must call the store healthy, and a restarted
