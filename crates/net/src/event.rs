@@ -73,6 +73,13 @@ const READ_CHUNK: usize = 16 * 1024;
 const LISTENER_TOKEN: u64 = u64::MAX;
 const WAKER_TOKEN: u64 = u64::MAX - 1;
 
+/// How long accepting stays paused after a persistent `accept` failure
+/// (EMFILE/ENFILE and friends). Retrying immediately would livelock the
+/// loop: the pending connection stays in the kernel queue and accept
+/// keeps failing the same way, so the only cure is letting existing
+/// connections progress (their closes free the fds that un-wedge us).
+const ACCEPT_ERROR_BACKOFF: Duration = Duration::from_millis(100);
+
 // ---------------------------------------------------------------------
 // Incremental request framing
 // ---------------------------------------------------------------------
@@ -215,13 +222,15 @@ fn scan_content_length(head: &[u8]) -> usize {
 // ---------------------------------------------------------------------
 
 /// A hashed timer wheel: O(1) schedule, O(slots-stepped) tick. Entries
-/// are `(slot, generation)` connection handles; staleness is resolved by
-/// the caller against the connection's actual deadline, so entries are
-/// never removed early — a connection that progressed simply ignores the
-/// stale firing. Deadlines past the wheel horizon park in the farthest
-/// slot and re-circulate.
+/// are `(slot, generation, seq)` connection handles; entries are never
+/// removed early — when one fires, the caller compares its `seq` against
+/// the connection's live arm-sequence and drops superseded entries, so a
+/// busy keep-alive connection (which re-arms deadlines on every request)
+/// sheds its dead entries within one wheel revolution instead of
+/// recirculating them forever. Deadlines past the wheel horizon park in
+/// the farthest slot and re-circulate until due.
 struct TimerWheel {
-    slots: Vec<Vec<(u32, u32)>>,
+    slots: Vec<Vec<(u32, u32, u32)>>,
     granularity: Duration,
     cursor: usize,
     last_tick: Instant,
@@ -237,7 +246,7 @@ impl TimerWheel {
         }
     }
 
-    fn schedule(&mut self, deadline: Instant, now: Instant, slot: u32, generation: u32) {
+    fn schedule(&mut self, deadline: Instant, now: Instant, slot: u32, generation: u32, seq: u32) {
         let ticks = deadline
             .saturating_duration_since(now)
             .as_nanos()
@@ -246,12 +255,12 @@ impl TimerWheel {
         // full revolution minus one.
         let ticks = (ticks as usize).clamp(1, self.slots.len() - 1);
         let index = (self.cursor + ticks) % self.slots.len();
-        self.slots[index].push((slot, generation));
+        self.slots[index].push((slot, generation, seq));
     }
 
     /// Advances the wheel to `now`, collecting every entry in elapsed
     /// slots into `fired`.
-    fn tick(&mut self, now: Instant, fired: &mut Vec<(u32, u32)>) {
+    fn tick(&mut self, now: Instant, fired: &mut Vec<(u32, u32, u32)>) {
         let elapsed = now.saturating_duration_since(self.last_tick);
         let steps = (elapsed.as_nanos() / self.granularity.as_nanos().max(1)) as usize;
         if steps == 0 {
@@ -303,6 +312,9 @@ struct Conn {
     /// protocol error response).
     close_after_write: bool,
     deadline: Option<(Instant, DeadlineKind)>,
+    /// Bumped on every arm/disarm; wheel entries carrying an older value
+    /// are superseded and dropped when they fire.
+    deadline_seq: u32,
     /// Requests served on this connection.
     served: u64,
     /// Parked request waiting for a dispatch slot.
@@ -576,12 +588,16 @@ struct EventLoop {
     wheel: TimerWheel,
     /// Slots parked in `DispatchQueued`, oldest first.
     dispatch_queue: VecDeque<u32>,
-    /// Listener interest currently disabled (connection cap reached).
+    /// Listener interest currently disabled (connection cap reached or
+    /// persistent accept failure).
     accept_paused: bool,
+    /// Earliest time a failure-paused listener may re-arm; connection
+    /// closes resume it sooner (they free the fds accept was missing).
+    accept_resume_at: Option<Instant>,
     /// Shutdown observed; draining in-flight work.
     draining: Option<Instant>,
     events: Vec<Event>,
-    fired: Vec<(u32, u32)>,
+    fired: Vec<(u32, u32, u32)>,
 }
 
 impl EventLoop {
@@ -617,6 +633,7 @@ impl EventLoop {
             wheel: TimerWheel::new(512, Duration::from_millis(16), now),
             dispatch_queue: VecDeque::new(),
             accept_paused: false,
+            accept_resume_at: None,
             draining: None,
             events: Vec::with_capacity(1024),
             fired: Vec::new(),
@@ -651,6 +668,10 @@ impl EventLoop {
             self.drain_completions();
             self.retry_queued_dispatches();
             self.expire_deadlines();
+            if self.accept_resume_at.is_some_and(|at| Instant::now() >= at) {
+                self.accept_resume_at = None;
+                self.resume_accept();
+            }
 
             if self.shared.shutdown.load(Ordering::SeqCst) && self.draining.is_none() {
                 self.begin_drain();
@@ -675,13 +696,33 @@ impl EventLoop {
         }
         loop {
             if self.slab.len() >= self.config.max_conns {
+                pe_observe::static_counter!("net.server.accept_pressure").inc();
                 self.pause_accept();
                 return;
             }
             let stream = match self.listener.accept() {
                 Ok((stream, _)) => stream,
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
-                Err(_) => continue,
+                // The connection died between the kernel queue and our
+                // accept — gone for good, take the next one.
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::ConnectionAborted
+                            | std::io::ErrorKind::ConnectionReset
+                            | std::io::ErrorKind::Interrupted
+                    ) =>
+                {
+                    continue
+                }
+                // Anything else (fd exhaustion, ENOMEM) persists across
+                // retries: back off instead of livelocking the loop.
+                Err(_) => {
+                    pe_observe::static_counter!("net.server.accept_errors").inc();
+                    self.pause_accept();
+                    self.accept_resume_at = Some(Instant::now() + ACCEPT_ERROR_BACKOFF);
+                    return;
+                }
             };
             pe_observe::static_counter!("net.server.connections").inc();
             // Refuse-on-accept faults close the socket before any read.
@@ -707,6 +748,7 @@ impl EventLoop {
                 outpos: 0,
                 close_after_write: false,
                 deadline: None,
+                deadline_seq: 0,
                 served: 0,
                 queued: None,
                 peer_eof: false,
@@ -727,7 +769,6 @@ impl EventLoop {
     fn pause_accept(&mut self) {
         if !self.accept_paused {
             self.accept_paused = true;
-            pe_observe::static_counter!("net.server.accept_pressure").inc();
             let _ =
                 self.poller.modify(self.listener.as_raw_fd(), LISTENER_TOKEN, Interest::NONE);
         }
@@ -736,6 +777,7 @@ impl EventLoop {
     fn resume_accept(&mut self) {
         if self.accept_paused && self.slab.len() < self.config.max_conns {
             self.accept_paused = false;
+            self.accept_resume_at = None;
             let _ =
                 self.poller.modify(self.listener.as_raw_fd(), LISTENER_TOKEN, Interest::READ);
             // Level-triggered: pending backlog re-fires on the next wait.
@@ -817,8 +859,9 @@ impl EventLoop {
         }
         match conn.acc.try_next() {
             Ok(Some(parsed)) => {
-                let keep_alive = parsed.keep_alive && !conn.peer_eof;
+                let keep_alive = parsed.keep_alive;
                 conn.deadline = None;
+                conn.deadline_seq = conn.deadline_seq.wrapping_add(1);
                 self.dispatch(slot, generation, Job {
                     slot,
                     generation,
@@ -992,11 +1035,19 @@ impl EventLoop {
         conn.served += 1;
         conn.outbuf = Vec::new();
         conn.outpos = 0;
-        if conn.close_after_write || conn.peer_eof || draining {
+        if conn.close_after_write || draining {
             self.close(slot, None);
             return;
         }
         conn.state = ConnState::Reading;
+        if conn.peer_eof {
+            // The peer half-closed, but it may have pipelined further
+            // requests before its FIN: serve everything still buffered
+            // (advance_parse closes once the accumulator runs dry). No
+            // poller re-arm — no more bytes are coming.
+            self.advance_parse(slot, generation);
+            return;
+        }
         let fd = conn.stream.as_raw_fd();
         let _ = self.poller.modify(fd, token_of(slot, generation), Interest::READ);
         let kind =
@@ -1016,8 +1067,10 @@ impl EventLoop {
         let now = Instant::now();
         let deadline = now + budget;
         if let Some(conn) = self.slab.get_mut(slot, generation) {
+            conn.deadline_seq = conn.deadline_seq.wrapping_add(1);
             conn.deadline = Some((deadline, kind));
-            self.wheel.schedule(deadline, now, slot, generation);
+            let seq = conn.deadline_seq;
+            self.wheel.schedule(deadline, now, slot, generation, seq);
         }
     }
 
@@ -1026,12 +1079,15 @@ impl EventLoop {
         let mut fired = std::mem::take(&mut self.fired);
         fired.clear();
         self.wheel.tick(now, &mut fired);
-        for (slot, generation) in fired.drain(..) {
+        for (slot, generation, seq) in fired.drain(..) {
             let Some(conn) = self.slab.get_mut(slot, generation) else { continue };
+            if seq != conn.deadline_seq {
+                continue; // superseded by a later arm/disarm — drop it
+            }
             let Some((deadline, kind)) = conn.deadline else { continue };
             if deadline > now {
-                // Progressed or re-armed; keep the real deadline live.
-                self.wheel.schedule(deadline, now, slot, generation);
+                // Beyond-horizon entry recirculating; keep it live.
+                self.wheel.schedule(deadline, now, slot, generation, seq);
                 continue;
             }
             match kind {
@@ -1156,17 +1212,18 @@ mod tests {
     fn timer_wheel_fires_in_order_and_recirculates() {
         let start = Instant::now();
         let mut wheel = TimerWheel::new(8, Duration::from_millis(10), start);
-        wheel.schedule(start + Duration::from_millis(25), start, 1, 0);
+        wheel.schedule(start + Duration::from_millis(25), start, 1, 0, 7);
         // Far beyond the 80 ms horizon: parks at the farthest slot.
-        wheel.schedule(start + Duration::from_millis(500), start, 2, 0);
+        wheel.schedule(start + Duration::from_millis(500), start, 2, 0, 3);
         let mut fired = Vec::new();
         wheel.tick(start + Duration::from_millis(40), &mut fired);
-        assert_eq!(fired, vec![(1, 0)]);
+        assert_eq!(fired, vec![(1, 0, 7)]);
         fired.clear();
         // The far entry surfaces within one revolution; the caller would
-        // re-schedule it because its deadline is still in the future.
+        // re-schedule it (same seq) because its deadline is still ahead,
+        // or drop it if the connection re-armed with a newer seq.
         wheel.tick(start + Duration::from_millis(120), &mut fired);
-        assert_eq!(fired, vec![(2, 0)]);
+        assert_eq!(fired, vec![(2, 0, 3)]);
     }
 
     #[test]
@@ -1181,6 +1238,7 @@ mod tests {
             outpos: 0,
             close_after_write: false,
             deadline: None,
+            deadline_seq: 0,
             served: 0,
             queued: None,
             peer_eof: false,

@@ -220,9 +220,13 @@ impl EpollPoller {
     }
 
     fn ctl(&mut self, op: i32, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
-        let mut events = linux::EPOLLRDHUP;
+        // RDHUP rides along with read interest only: it is level-
+        // triggered, so arming it on a masked (`Interest::NONE`)
+        // registration would spin the loop for the whole time a
+        // half-closed peer's request is dispatched or parked.
+        let mut events = 0;
         if interest.read {
-            events |= linux::EPOLLIN;
+            events |= linux::EPOLLIN | linux::EPOLLRDHUP;
         }
         if interest.write {
             events |= linux::EPOLLOUT;
@@ -307,8 +311,9 @@ mod posix {
     }
 
     extern "C" {
-        /// `nfds_t` is `unsigned long` on the platforms this builds for.
-        pub fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+        /// `nfds_t` is `unsigned long` — which is 32-bit on 32-bit
+        /// targets, so it must not be declared as a fixed `u64`.
+        pub fn poll(fds: *mut PollFd, nfds: core::ffi::c_ulong, timeout: i32) -> i32;
     }
 }
 
@@ -350,7 +355,11 @@ impl PollPoller {
         // duration of the call and `nfds` is exactly its length; every
         // registered fd is open per the Poller contract.
         let n = unsafe {
-            posix::poll(self.fds.as_mut_ptr(), self.fds.len() as u64, timeout_ms(timeout))
+            posix::poll(
+                self.fds.as_mut_ptr(),
+                self.fds.len() as core::ffi::c_ulong,
+                timeout_ms(timeout),
+            )
         };
         if n < 0 {
             let err = io::Error::last_os_error();

@@ -122,6 +122,50 @@ fn slow_loris_is_closed_on_deadline_without_consuming_the_worker() {
 }
 
 #[test]
+fn pipelined_requests_before_half_close_are_all_served() {
+    for force_poll in backends() {
+        let server = tight_server(force_poll);
+        let addr = server.local_addr();
+
+        // Pipeline three requests, then half-close: the FIN must not
+        // discard the two requests still buffered behind the first.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut burst = Vec::new();
+        for _ in 0..3 {
+            burst.extend_from_slice(
+                &codec::request_bytes(&Request::post("/Doc", &[("cmd", "create")], ""), true)
+                    .unwrap(),
+            );
+        }
+        stream.write_all(&burst).unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+
+        let mut reader = BufReader::new(stream);
+        for i in 0..3 {
+            let parsed = codec::read_response(&mut reader).unwrap_or_else(|e| {
+                panic!("response {i} lost after half-close: {e} (force_poll={force_poll})")
+            });
+            assert!(
+                parsed.response.is_success(),
+                "response {i} failed (force_poll={force_poll})"
+            );
+        }
+        // Nothing buffered remains, so the server closes the connection.
+        let mut sink = [0u8; 64];
+        match reader.read(&mut sink) {
+            Ok(0) => {}
+            Ok(n) => panic!("unexpected {n} bytes after the final response"),
+            Err(e) if e.kind() == std::io::ErrorKind::ConnectionReset => {}
+            Err(e) => panic!("server never closed after serving the burst: {e}"),
+        }
+        server.shutdown();
+    }
+}
+
+#[test]
 fn mid_body_staller_is_timed_out() {
     for force_poll in backends() {
         let server = tight_server(force_poll);
