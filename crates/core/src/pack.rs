@@ -32,6 +32,38 @@ impl SealedBlock {
     }
 }
 
+/// Reused scratch buffers for the batch seal path (`seal_all` in the
+/// rECB and RPC documents): packed block buffers, per-block lengths, and
+/// the bulk nonce draw.
+///
+/// Lives on the document so repeated saves stop allocating once each
+/// vector reaches its high-water-mark capacity — the seal half of the
+/// zero-copy seal→WAL pipeline (the append half is the WAL writer's
+/// reused frame buffer).
+#[derive(Debug, Default)]
+pub(crate) struct SealScratch {
+    /// Packed-then-encrypted 16-byte blocks.
+    pub(crate) bufs: Vec<[u8; 16]>,
+    /// Plaintext character count per block.
+    pub(crate) lens: Vec<u8>,
+    /// Bulk nonce draw (rECB: 8 bytes per block; RPC: 4 bytes per
+    /// intermediate chain link).
+    pub(crate) nonces: Vec<u8>,
+}
+
+impl SealScratch {
+    /// Clears the buffers (keeping capacity) and reserves for `n` blocks
+    /// needing `nonce_bytes` of bulk randomness.
+    pub(crate) fn reset(&mut self, n: usize, nonce_bytes: usize) {
+        self.bufs.clear();
+        self.bufs.reserve(n);
+        self.lens.clear();
+        self.lens.reserve(n);
+        self.nonces.clear();
+        self.nonces.resize(nonce_bytes, 0);
+    }
+}
+
 /// Splits `text` into chunks of exactly `b` bytes, except the last chunk
 /// which holds the remainder (`1..=b` bytes). Empty input yields no
 /// chunks. Borrowing slices of `text` (rather than collecting owned

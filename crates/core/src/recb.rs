@@ -28,7 +28,7 @@ use pe_indexlist::{BlockSeq, IndexedSkipList};
 use crate::batch::{self, Direction};
 use crate::error::CoreError;
 use crate::keys::{DocumentKey, Mode, SchemeParams};
-use crate::pack::{chunk_count, chunks, pad8, SealedBlock};
+use crate::pack::{chunk_count, chunks, pad8, SealScratch, SealedBlock};
 use crate::splice::{plan, SplicePlan};
 use crate::wire::{
     decode_record, encode_record, split_records, CipherPatch, Layout, Preamble,
@@ -67,6 +67,8 @@ pub struct RecbDocument<S = IndexedSkipList<SealedBlock>> {
     header_cipher: [u8; 16],
     blocks: S,
     rng: Box<dyn NonceSource + Send>,
+    /// Reused batch-seal buffers; see [`SealScratch`].
+    scratch: SealScratch,
 }
 
 impl<S: BlockSeq<SealedBlock>> std::fmt::Debug for RecbDocument<S> {
@@ -151,9 +153,11 @@ impl<S: BlockSeq<SealedBlock> + Default> RecbDocument<S> {
             header_cipher: header,
             blocks: S::default(),
             rng,
+            scratch: SealScratch::default(),
         };
         let workers = batch::auto_workers(chunk_count(plaintext.len(), params.max_block));
-        let sealed = doc.seal_all(plaintext, workers);
+        let mut sealed = Vec::new();
+        doc.seal_all(plaintext, workers, &mut sealed);
         doc.blocks.extend_back(sealed);
         Ok(doc)
     }
@@ -228,6 +232,7 @@ impl<S: BlockSeq<SealedBlock> + Default> RecbDocument<S> {
             header_cipher,
             blocks,
             rng: Box::new(rng),
+            scratch: SealScratch::default(),
         })
     }
 }
@@ -243,40 +248,45 @@ impl<S: BlockSeq<SealedBlock>> RecbDocument<S> {
         1 + self.blocks.len_blocks()
     }
 
-    /// Seals every chunk of `text` into fresh blocks (the batch `Enc`
-    /// path).
+    /// Seals every chunk of `text` into fresh blocks appended to `out`
+    /// (the batch `Enc` path).
     ///
     /// Nonces are drawn from the document DRBG **sequentially** while the
     /// blocks are packed; only the AES applications fan out when
     /// `workers > 1`, so the ciphertext is byte-identical for every
-    /// worker count.
-    fn seal_all(&mut self, text: &[u8], workers: usize) -> Vec<SealedBlock> {
+    /// worker count. The packing and nonce buffers are the document's
+    /// reused [`SealScratch`], so repeated saves do not allocate.
+    fn seal_all(&mut self, text: &[u8], workers: usize, out: &mut Vec<SealedBlock>) {
         let n = chunk_count(text.len(), self.params.max_block);
-        let mut bufs: Vec<[u8; 16]> = Vec::with_capacity(n);
-        let mut lens: Vec<u8> = Vec::with_capacity(n);
         // One bulk draw for every block nonce: a NonceSource is a byte
         // stream, so this yields the same bytes as n sequential 8-byte
         // draws (and lets CtrDrbg batch its keystream blocks).
-        let mut nonces = vec![0u8; n * 8];
-        self.rng.fill_bytes(&mut nonces);
+        self.scratch.reset(n, n * 8);
+        self.rng.fill_bytes(&mut self.scratch.nonces);
         // The two block halves are pure byte-wise XORs, so they can be
         // packed as whole 64-bit words; the output bytes are identical.
         let r0w = u64::from_ne_bytes(self.r0);
-        for (chunk, ri) in chunks(text, self.params.max_block).zip(nonces.chunks_exact(8)) {
+        for (chunk, ri) in
+            chunks(text, self.params.max_block).zip(self.scratch.nonces.chunks_exact(8))
+        {
             let riw = u64::from_ne_bytes(ri.try_into().expect("8-byte nonce"));
             let payload = u64::from_ne_bytes(pad8(chunk));
             let mut block = [0u8; 16];
             block[..8].copy_from_slice(&(r0w ^ riw).to_ne_bytes());
             block[8..].copy_from_slice(&(riw ^ payload).to_ne_bytes());
-            bufs.push(block);
-            lens.push(chunk.len() as u8);
+            self.scratch.bufs.push(block);
+            self.scratch.lens.push(chunk.len() as u8);
         }
-        batch::apply_cipher(&self.cipher, &mut bufs, Direction::Encrypt, workers);
+        batch::apply_cipher(&self.cipher, &mut self.scratch.bufs, Direction::Encrypt, workers);
         pe_observe::static_counter!("core.blocks_sealed.recb").add(n as u64);
-        bufs.into_iter()
-            .zip(lens)
-            .map(|(cipher, len)| SealedBlock { len, cipher })
-            .collect()
+        out.reserve(n);
+        out.extend(
+            self.scratch
+                .bufs
+                .iter()
+                .zip(&self.scratch.lens)
+                .map(|(cipher, &len)| SealedBlock { len, cipher: *cipher }),
+        );
     }
 
     /// Opens (decrypts) every block, appending the plaintext to `out`
@@ -338,7 +348,8 @@ impl<S: BlockSeq<SealedBlock> + Default> IncrementalCipherDoc for RecbDocument<S
             self.blocks.remove(start_block);
         }
         let workers = batch::auto_workers(chunk_count(content.len(), self.params.max_block));
-        let sealed_blocks = self.seal_all(&content, workers);
+        let mut sealed_blocks = Vec::new();
+        self.seal_all(&content, workers, &mut sealed_blocks);
         let mut inserted = Vec::with_capacity(sealed_blocks.len());
         for (i, sealed) in sealed_blocks.into_iter().enumerate() {
             inserted.push(encode_record(sealed.tag(), &sealed.cipher));
@@ -351,7 +362,8 @@ impl<S: BlockSeq<SealedBlock> + Default> IncrementalCipherDoc for RecbDocument<S
     /// one (possibly parallel) AES pass, no per-edit splice planning.
     fn replace_all(&mut self, plaintext: &[u8]) -> Result<(), CoreError> {
         let workers = batch::auto_workers(chunk_count(plaintext.len(), self.params.max_block));
-        let sealed = self.seal_all(plaintext, workers);
+        let mut sealed = Vec::new();
+        self.seal_all(plaintext, workers, &mut sealed);
         let mut blocks = S::default();
         blocks.extend_back(sealed);
         self.blocks = blocks;
@@ -595,8 +607,10 @@ mod tests {
         let text: Vec<u8> = (0..20_000u32).map(|i| (i % 251) as u8).collect();
         let mut serial = doc(b"", 8, 42);
         let mut parallel = doc(b"", 8, 42);
-        let a = serial.seal_all(&text, 1);
-        let b = parallel.seal_all(&text, 4);
+        let mut a = Vec::new();
+        serial.seal_all(&text, 1, &mut a);
+        let mut b = Vec::new();
+        parallel.seal_all(&text, 4, &mut b);
         assert_eq!(a, b, "worker count must not change the ciphertext");
         for (i, sealed) in a.into_iter().enumerate() {
             serial.blocks.insert(i, sealed);

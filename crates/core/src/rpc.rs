@@ -39,7 +39,7 @@ use pe_indexlist::{BlockSeq, IndexedSkipList};
 use crate::batch::{self, Direction};
 use crate::error::CoreError;
 use crate::keys::{DocumentKey, Mode, SchemeParams};
-use crate::pack::{chunk_count, chunks, SealedBlock};
+use crate::pack::{chunk_count, chunks, SealScratch, SealedBlock};
 use crate::splice::{plan, SplicePlan};
 use crate::wire::{
     decode_record, encode_record, split_records, CipherPatch, Layout, Preamble,
@@ -95,6 +95,8 @@ pub struct RpcDocument {
     /// XOR of the middle 8 bytes of all data blocks.
     xor_mid: u64,
     rng: Box<dyn NonceSource + Send>,
+    /// Reused batch-seal buffers; see [`SealScratch`].
+    scratch: SealScratch,
 }
 
 impl std::fmt::Debug for RpcDocument {
@@ -146,13 +148,15 @@ impl RpcDocument {
             xor_r: 0,
             xor_mid: 0,
             rng,
+            scratch: SealScratch::default(),
         };
         let n = chunk_count(plaintext.len(), params.max_block);
         // Draw chain nonces: r1 … rn, closing back to r0.
         let r_in = if n == 0 { r0 } else { doc.rng.next_u32() };
         doc.reseal_header(r_in);
         let workers = batch::auto_workers(n);
-        let sealed = doc.seal_all(plaintext, r_in, r0, workers);
+        let mut sealed = Vec::new();
+        doc.seal_all(plaintext, r_in, r0, workers, &mut sealed);
         doc.blocks.extend_back(sealed);
         doc.reseal_checksum();
         Ok(doc)
@@ -224,6 +228,7 @@ impl RpcDocument {
             xor_r: 0,
             xor_mid: 0,
             rng: Box::new(rng),
+            scratch: SealScratch::default(),
         };
         // Full verification also recovers r0 and the aggregates.
         let (r0, xor_r, xor_mid, _plaintext) = doc.verify()?;
@@ -273,21 +278,24 @@ impl RpcDocument {
         r_in_first: u32,
         r_out_last: u32,
         workers: usize,
-    ) -> Vec<SealedBlock> {
+        out: &mut Vec<SealedBlock>,
+    ) {
         let n = chunk_count(text.len(), self.params.max_block);
-        let mut bufs: Vec<[u8; 16]> = Vec::with_capacity(n);
-        let mut lens: Vec<u8> = Vec::with_capacity(n);
         // One bulk draw for the n-1 intermediate chain nonces: a
         // NonceSource is a byte stream, so the little-endian words below
         // are exactly what n-1 sequential `next_u32` calls would return.
-        let mut chain = vec![0u8; n.saturating_sub(1) * 4];
-        self.rng.fill_bytes(&mut chain);
+        // Packing and nonce buffers are the document's reused
+        // [`SealScratch`], so repeated saves do not allocate.
+        self.scratch.reset(n, n.saturating_sub(1) * 4);
+        self.rng.fill_bytes(&mut self.scratch.nonces);
         let mut r_in = r_in_first;
         for (i, piece) in chunks(text, self.params.max_block).enumerate() {
             let r_out = if i + 1 == n {
                 r_out_last
             } else {
-                u32::from_le_bytes(chain[4 * i..4 * i + 4].try_into().expect("4 bytes"))
+                u32::from_le_bytes(
+                    self.scratch.nonces[4 * i..4 * i + 4].try_into().expect("4 bytes"),
+                )
             };
             let mut block = [0u8; 16];
             block[..4].copy_from_slice(&r_in.to_be_bytes());
@@ -297,13 +305,20 @@ impl RpcDocument {
             block[12..].copy_from_slice(&r_out.to_be_bytes());
             self.xor_r ^= r_in;
             self.xor_mid ^= mid;
-            bufs.push(block);
-            lens.push(piece.len() as u8);
+            self.scratch.bufs.push(block);
+            self.scratch.lens.push(piece.len() as u8);
             r_in = r_out;
         }
-        batch::apply_cipher(&self.cipher, &mut bufs, Direction::Encrypt, workers);
+        batch::apply_cipher(&self.cipher, &mut self.scratch.bufs, Direction::Encrypt, workers);
         pe_observe::static_counter!("core.blocks_sealed.rpc").add(n as u64);
-        bufs.into_iter().zip(lens).map(|(cipher, len)| SealedBlock { len, cipher }).collect()
+        out.reserve(n);
+        out.extend(
+            self.scratch
+                .bufs
+                .iter()
+                .zip(&self.scratch.lens)
+                .map(|(cipher, &len)| SealedBlock { len, cipher: *cipher }),
+        );
     }
 
     /// Opens the data block at `ordinal` without verifying its position
@@ -501,7 +516,8 @@ impl IncrementalCipherDoc for RpcDocument {
             }
         } else {
             let workers = batch::auto_workers(n);
-            let sealed_run = self.seal_all(&content, chain_in, chain_out, workers);
+            let mut sealed_run = Vec::new();
+            self.seal_all(&content, chain_in, chain_out, workers, &mut sealed_run);
             let mut inserted = Vec::with_capacity(n);
             for (i, sealed) in sealed_run.into_iter().enumerate() {
                 inserted.push(encode_record(sealed.tag(), &sealed.cipher));
@@ -536,7 +552,8 @@ impl IncrementalCipherDoc for RpcDocument {
         let r_in = if n == 0 { self.r0 } else { self.rng.next_u32() };
         self.reseal_header(r_in);
         let workers = batch::auto_workers(n);
-        let sealed = self.seal_all(plaintext, r_in, self.r0, workers);
+        let mut sealed = Vec::new();
+        self.seal_all(plaintext, r_in, self.r0, workers, &mut sealed);
         self.blocks.extend_back(sealed);
         self.reseal_checksum();
         Ok(())
@@ -782,8 +799,12 @@ mod tests {
         let r_in_s = serial.rng.next_u32();
         let r_in_p = parallel.rng.next_u32();
         assert_eq!(r_in_s, r_in_p);
-        let a = serial.seal_all(&text, r_in_s, serial.r0, 1);
-        let b = parallel.seal_all(&text, r_in_p, parallel.r0, 4);
+        let mut a = Vec::new();
+        let r0_s = serial.r0;
+        serial.seal_all(&text, r_in_s, r0_s, 1, &mut a);
+        let mut b = Vec::new();
+        let r0_p = parallel.r0;
+        parallel.seal_all(&text, r_in_p, r0_p, 4, &mut b);
         assert_eq!(a, b, "worker count must not change the ciphertext");
         assert_eq!(serial.xor_r, parallel.xor_r);
         assert_eq!(serial.xor_mid, parallel.xor_mid);

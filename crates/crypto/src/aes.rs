@@ -37,6 +37,105 @@
 
 use crate::BlockCipher;
 
+/// Environment variable that pins the cipher backend (`scalar`, `table`,
+/// or `aesni`), overriding CPUID-based auto-selection.
+pub const FORCE_BACKEND_ENV: &str = "PE_CRYPTO_FORCE_BACKEND";
+
+/// Which cipher engine a key schedule was built on.
+///
+/// Selection happens **once per cipher construction** (`Aes128::new` /
+/// `Aes256::new`): [`AesBackend::select`] consults
+/// [`FORCE_BACKEND_ENV`], then CPUID. All backends are byte-identical —
+/// pinned by the FIPS-197 KATs and cross-backend proptests — so the
+/// choice only affects speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AesBackend {
+    /// Byte-oriented scalar Rijndael (the [`reference`] oracle).
+    Scalar,
+    /// Software T-table fast path (4×1 KiB lookup tables).
+    Table,
+    /// Hardware AES-NI (`aesenc`/`aesdec` x86-64 instructions).
+    AesNi,
+}
+
+impl AesBackend {
+    /// Stable lowercase name (`scalar` / `table` / `aesni`).
+    pub fn name(self) -> &'static str {
+        match self {
+            AesBackend::Scalar => "scalar",
+            AesBackend::Table => "table",
+            AesBackend::AesNi => "aesni",
+        }
+    }
+
+    /// Parses a backend name as accepted by [`FORCE_BACKEND_ENV`].
+    ///
+    /// Case-insensitive; surrounding whitespace and `-`/`_` separators
+    /// are ignored, so `AES-NI` and `aesni` both resolve.
+    pub fn parse(text: &str) -> Option<AesBackend> {
+        let normalized: String = text
+            .trim()
+            .chars()
+            .filter(|c| *c != '-' && *c != '_')
+            .map(|c| c.to_ascii_lowercase())
+            .collect();
+        match normalized.as_str() {
+            "scalar" => Some(AesBackend::Scalar),
+            "table" => Some(AesBackend::Table),
+            "aesni" => Some(AesBackend::AesNi),
+            _ => None,
+        }
+    }
+
+    /// Whether this CPU can run the AES-NI backend (x86-64 with the
+    /// `aes` CPUID feature flag).
+    pub fn aesni_supported() -> bool {
+        #[cfg(target_arch = "x86_64")]
+        {
+            crate::aesni::supported()
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            false
+        }
+    }
+
+    /// The backend a fresh cipher will use: the [`FORCE_BACKEND_ENV`]
+    /// override when set and valid, otherwise AES-NI when CPUID reports
+    /// it, otherwise the T-table path. Forcing `aesni` on hardware
+    /// without it falls back to `table` (so test matrices run everywhere);
+    /// unrecognized values are ignored.
+    pub fn select() -> AesBackend {
+        let forced = std::env::var(FORCE_BACKEND_ENV).ok().as_deref().and_then(AesBackend::parse);
+        match forced {
+            Some(AesBackend::AesNi) | None => {
+                if AesBackend::aesni_supported() {
+                    AesBackend::AesNi
+                } else {
+                    AesBackend::Table
+                }
+            }
+            Some(backend) => backend,
+        }
+    }
+}
+
+impl std::fmt::Display for AesBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Counts a cipher construction under `crypto.backend.<name>`, so
+/// `pedit stats` shows which engine the process actually ran.
+fn record_backend_metric(backend: AesBackend) {
+    match backend {
+        AesBackend::Scalar => pe_observe::static_counter!("crypto.backend.scalar").inc(),
+        AesBackend::Table => pe_observe::static_counter!("crypto.backend.table").inc(),
+        AesBackend::AesNi => pe_observe::static_counter!("crypto.backend.aesni").inc(),
+    }
+}
+
 /// The AES forward substitution box (FIPS-197 Figure 7).
 const SBOX: [u8; 256] = [
     0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab,
@@ -437,15 +536,101 @@ fn decrypt_all(ks: &KeySchedule, blocks: &mut [[u8; 16]]) {
     }
 }
 
+/// The backend-resolved cipher engine: exactly one schedule is expanded
+/// per cipher, on the backend chosen at construction.
+#[derive(Clone)]
+enum Engine {
+    Scalar(reference::ByteSchedule),
+    Table(KeySchedule),
+    #[cfg(target_arch = "x86_64")]
+    AesNi(crate::aesni::Schedule),
+}
+
+impl Engine {
+    /// Expands `key` on `backend`, falling back from AES-NI to T-tables
+    /// when the hardware lacks it (see [`AesBackend::select`]).
+    fn build(key: &[u8], rounds: usize, backend: AesBackend) -> Engine {
+        let backend = match backend {
+            AesBackend::AesNi if !AesBackend::aesni_supported() => AesBackend::Table,
+            other => other,
+        };
+        record_backend_metric(backend);
+        match backend {
+            AesBackend::Scalar => Engine::Scalar(reference::ByteSchedule::expand(key, rounds)),
+            #[cfg(target_arch = "x86_64")]
+            AesBackend::AesNi => Engine::AesNi(crate::aesni::Schedule::expand(key)),
+            #[cfg(not(target_arch = "x86_64"))]
+            AesBackend::AesNi => unreachable!("aesni unsupported off x86-64"),
+            AesBackend::Table => Engine::Table(KeySchedule::expand(key, rounds)),
+        }
+    }
+
+    fn backend(&self) -> AesBackend {
+        match self {
+            Engine::Scalar(_) => AesBackend::Scalar,
+            Engine::Table(_) => AesBackend::Table,
+            #[cfg(target_arch = "x86_64")]
+            Engine::AesNi(_) => AesBackend::AesNi,
+        }
+    }
+
+    #[inline]
+    fn encrypt_block(&self, block: &mut [u8; 16]) {
+        match self {
+            Engine::Scalar(ks) => reference::encrypt(ks, block),
+            Engine::Table(ks) => encrypt(ks, block),
+            #[cfg(target_arch = "x86_64")]
+            Engine::AesNi(ks) => ks.encrypt_block(block),
+        }
+    }
+
+    #[inline]
+    fn decrypt_block(&self, block: &mut [u8; 16]) {
+        match self {
+            Engine::Scalar(ks) => reference::decrypt(ks, block),
+            Engine::Table(ks) => decrypt(ks, block),
+            #[cfg(target_arch = "x86_64")]
+            Engine::AesNi(ks) => ks.decrypt_block(block),
+        }
+    }
+
+    fn encrypt_blocks(&self, blocks: &mut [[u8; 16]]) {
+        match self {
+            Engine::Scalar(ks) => {
+                for block in blocks {
+                    reference::encrypt(ks, block);
+                }
+            }
+            Engine::Table(ks) => encrypt_all(ks, blocks),
+            #[cfg(target_arch = "x86_64")]
+            Engine::AesNi(ks) => ks.encrypt_blocks(blocks),
+        }
+    }
+
+    fn decrypt_blocks(&self, blocks: &mut [[u8; 16]]) {
+        match self {
+            Engine::Scalar(ks) => {
+                for block in blocks {
+                    reference::decrypt(ks, block);
+                }
+            }
+            Engine::Table(ks) => decrypt_all(ks, blocks),
+            #[cfg(target_arch = "x86_64")]
+            Engine::AesNi(ks) => ks.decrypt_blocks(blocks),
+        }
+    }
+}
+
 /// AES with a 128-bit key (10 rounds).
 #[derive(Clone)]
 pub struct Aes128 {
-    schedule: KeySchedule,
+    engine: Engine,
 }
 
 impl Aes128 {
-    /// Constructs a cipher from a 16-byte key, expanding both the
-    /// encryption and decryption round keys up front.
+    /// Constructs a cipher from a 16-byte key on the auto-selected
+    /// backend ([`AesBackend::select`]), expanding both the encryption
+    /// and decryption round keys up front.
     ///
     /// # Example
     ///
@@ -455,43 +640,56 @@ impl Aes128 {
     /// # let _ = cipher;
     /// ```
     pub fn new(key: &[u8; 16]) -> Aes128 {
-        Aes128 { schedule: KeySchedule::expand(key, 10) }
+        Aes128::with_backend(key, AesBackend::select())
+    }
+
+    /// Constructs a cipher on an explicit backend (tests, benchmarks,
+    /// and the forced-backend matrix). AES-NI falls back to the T-table
+    /// path when the CPU lacks it.
+    pub fn with_backend(key: &[u8; 16], backend: AesBackend) -> Aes128 {
+        Aes128 { engine: Engine::build(key, 10, backend) }
+    }
+
+    /// The backend this cipher actually runs on (after any fallback).
+    pub fn backend(&self) -> AesBackend {
+        self.engine.backend()
     }
 }
 
 impl std::fmt::Debug for Aes128 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Aes128").finish_non_exhaustive()
+        f.debug_struct("Aes128").field("backend", &self.backend()).finish_non_exhaustive()
     }
 }
 
 impl BlockCipher for Aes128 {
     fn encrypt_block(&self, block: &mut [u8; 16]) {
-        encrypt(&self.schedule, block);
+        self.engine.encrypt_block(block);
     }
 
     fn decrypt_block(&self, block: &mut [u8; 16]) {
-        decrypt(&self.schedule, block);
+        self.engine.decrypt_block(block);
     }
 
     fn encrypt_blocks(&self, blocks: &mut [[u8; 16]]) {
-        encrypt_all(&self.schedule, blocks);
+        self.engine.encrypt_blocks(blocks);
     }
 
     fn decrypt_blocks(&self, blocks: &mut [[u8; 16]]) {
-        decrypt_all(&self.schedule, blocks);
+        self.engine.decrypt_blocks(blocks);
     }
 }
 
 /// AES with a 256-bit key (14 rounds).
 #[derive(Clone)]
 pub struct Aes256 {
-    schedule: KeySchedule,
+    engine: Engine,
 }
 
 impl Aes256 {
-    /// Constructs a cipher from a 32-byte key, expanding both the
-    /// encryption and decryption round keys up front.
+    /// Constructs a cipher from a 32-byte key on the auto-selected
+    /// backend ([`AesBackend::select`]), expanding both the encryption
+    /// and decryption round keys up front.
     ///
     /// # Example
     ///
@@ -501,31 +699,42 @@ impl Aes256 {
     /// # let _ = cipher;
     /// ```
     pub fn new(key: &[u8; 32]) -> Aes256 {
-        Aes256 { schedule: KeySchedule::expand(key, 14) }
+        Aes256::with_backend(key, AesBackend::select())
+    }
+
+    /// Constructs a cipher on an explicit backend. See
+    /// [`Aes128::with_backend`].
+    pub fn with_backend(key: &[u8; 32], backend: AesBackend) -> Aes256 {
+        Aes256 { engine: Engine::build(key, 14, backend) }
+    }
+
+    /// The backend this cipher actually runs on (after any fallback).
+    pub fn backend(&self) -> AesBackend {
+        self.engine.backend()
     }
 }
 
 impl std::fmt::Debug for Aes256 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Aes256").finish_non_exhaustive()
+        f.debug_struct("Aes256").field("backend", &self.backend()).finish_non_exhaustive()
     }
 }
 
 impl BlockCipher for Aes256 {
     fn encrypt_block(&self, block: &mut [u8; 16]) {
-        encrypt(&self.schedule, block);
+        self.engine.encrypt_block(block);
     }
 
     fn decrypt_block(&self, block: &mut [u8; 16]) {
-        decrypt(&self.schedule, block);
+        self.engine.decrypt_block(block);
     }
 
     fn encrypt_blocks(&self, blocks: &mut [[u8; 16]]) {
-        encrypt_all(&self.schedule, blocks);
+        self.engine.encrypt_blocks(blocks);
     }
 
     fn decrypt_blocks(&self, blocks: &mut [[u8; 16]]) {
-        decrypt_all(&self.schedule, blocks);
+        self.engine.decrypt_blocks(blocks);
     }
 }
 
@@ -571,15 +780,16 @@ pub mod reference {
     }
 
     /// Round-key schedule shared by both key sizes: `round_keys[r]` is the
-    /// 16-byte round key for round `r`.
+    /// 16-byte round key for round `r`. Crate-visible so the `scalar`
+    /// backend of the dispatching ciphers can reuse it directly.
     #[derive(Clone)]
-    struct ByteSchedule {
+    pub(crate) struct ByteSchedule {
         round_keys: Vec<[u8; 16]>,
     }
 
     impl ByteSchedule {
         /// Expands `key` (16 or 32 bytes) following FIPS-197 §5.2.
-        fn expand(key: &[u8], rounds: usize) -> ByteSchedule {
+        pub(crate) fn expand(key: &[u8], rounds: usize) -> ByteSchedule {
             let nk = key.len() / 4;
             debug_assert!(nk == 4 || nk == 8);
             let total_words = 4 * (rounds + 1);
@@ -703,7 +913,7 @@ pub mod reference {
         }
     }
 
-    fn encrypt(schedule: &ByteSchedule, block: &mut [u8; 16]) {
+    pub(crate) fn encrypt(schedule: &ByteSchedule, block: &mut [u8; 16]) {
         let rounds = schedule.round_keys.len() - 1;
         add_round_key(block, &schedule.round_keys[0]);
         for round in 1..rounds {
@@ -717,7 +927,7 @@ pub mod reference {
         add_round_key(block, &schedule.round_keys[rounds]);
     }
 
-    fn decrypt(schedule: &ByteSchedule, block: &mut [u8; 16]) {
+    pub(crate) fn decrypt(schedule: &ByteSchedule, block: &mut [u8; 16]) {
         let rounds = schedule.round_keys.len() - 1;
         add_round_key(block, &schedule.round_keys[rounds]);
         for round in (1..rounds).rev() {

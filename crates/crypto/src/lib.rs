@@ -21,11 +21,19 @@
 //! * [`form`] — percent-encoding and `application/x-www-form-urlencoded`
 //!   codecs used by the simulated wire protocol.
 //!
+//! # Backends
+//!
+//! AES dispatches over three byte-identical backends, selected once per
+//! cipher construction ([`aes::AesBackend::select`]): hardware AES-NI
+//! when CPUID reports it, the software T-table path otherwise, and the
+//! byte-oriented scalar reference. `PE_CRYPTO_FORCE_BACKEND={scalar,
+//! table,aesni}` pins the choice for tests and benchmarks.
+//!
 //! # Security note
 //!
 //! These implementations favour clarity and correctness over side-channel
-//! resistance (table-based AES is not constant-time). They are research
-//! reproductions, not production cryptography.
+//! resistance (table-based AES is not constant-time; AES-NI is). They are
+//! research reproductions, not production cryptography.
 //!
 //! # Example
 //!
@@ -43,10 +51,15 @@
 //! assert_eq!(block, original);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the AES-NI module carries the one scoped
+// allow in the crate, with per-call SAFETY comments (see `aesni`).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod aes;
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+pub(crate) mod aesni;
 pub mod base32;
 pub mod drbg;
 pub mod error;
@@ -57,7 +70,7 @@ pub mod hmac;
 pub mod pbkdf2;
 pub mod sha256;
 
-pub use aes::{Aes128, Aes256};
+pub use aes::{Aes128, Aes256, AesBackend};
 pub use drbg::{CtrDrbg, NonceSource, SystemRandom};
 pub use error::CryptoError;
 

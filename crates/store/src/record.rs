@@ -76,41 +76,75 @@ pub enum Record {
 }
 
 impl Record {
+    /// Exact encoded payload size in bytes.
+    ///
+    /// Lets [`Record::encode`] / [`Record::encode_into`] reserve the full
+    /// payload up front: a 1 MiB `FullSave` costs one allocation (or, with
+    /// a warm reused buffer, zero), not a doubling cascade.
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            Record::Create { id } | Record::Delete { id } => 1 + 2 + id.len(),
+            Record::FullSave { id, content, .. } => 1 + 2 + id.len() + 8 + 4 + content.len(),
+            Record::Delta { id, delta, .. } => 1 + 2 + id.len() + 8 + 4 + delta.len(),
+            Record::Meta { key, .. } => 1 + 2 + key.len() + 8,
+            Record::SnapshotMarker { .. } => 1 + 8,
+        }
+    }
+
     /// Serializes the record payload (no framing).
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(16);
+        let mut out = Vec::with_capacity(self.encoded_len());
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Appends the encoded payload to `out`, reserving the exact size
+    /// first. The WAL writer calls this with a reused per-segment buffer
+    /// so steady-state appends do not allocate at all.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.reserve(self.encoded_len());
+        self.encode_parts(&mut |part| out.extend_from_slice(part));
+    }
+
+    /// Streams the encoded payload to `put` as a sequence of byte slices
+    /// (concatenated, they are exactly [`Record::encode`]'s output).
+    ///
+    /// This is the zero-copy spine of the WAL append path: the writer's
+    /// sink both copies each part into the reused frame buffer **and**
+    /// folds it into the running CRC, so the payload — including a large
+    /// `FullSave` body — is walked exactly once.
+    pub fn encode_parts(&self, put: &mut impl FnMut(&[u8])) {
         match self {
             Record::Create { id } => {
-                out.push(KIND_CREATE);
-                put_str16(&mut out, id);
+                put(&[KIND_CREATE]);
+                put_str16(put, id);
             }
             Record::FullSave { id, version, content } => {
-                out.push(KIND_FULL);
-                put_str16(&mut out, id);
-                out.extend_from_slice(&version.to_le_bytes());
-                put_bytes32(&mut out, content);
+                put(&[KIND_FULL]);
+                put_str16(put, id);
+                put(&version.to_le_bytes());
+                put_bytes32(put, content);
             }
             Record::Delta { id, version, delta } => {
-                out.push(KIND_DELTA);
-                put_str16(&mut out, id);
-                out.extend_from_slice(&version.to_le_bytes());
-                put_bytes32(&mut out, delta.as_bytes());
+                put(&[KIND_DELTA]);
+                put_str16(put, id);
+                put(&version.to_le_bytes());
+                put_bytes32(put, delta.as_bytes());
             }
             Record::Delete { id } => {
-                out.push(KIND_DELETE);
-                put_str16(&mut out, id);
+                put(&[KIND_DELETE]);
+                put_str16(put, id);
             }
             Record::Meta { key, value } => {
-                out.push(KIND_META);
-                put_str16(&mut out, key);
-                out.extend_from_slice(&value.to_le_bytes());
+                put(&[KIND_META]);
+                put_str16(put, key);
+                put(&value.to_le_bytes());
             }
             Record::SnapshotMarker { covered_seq } => {
-                out.push(KIND_SNAPSHOT_MARKER);
-                out.extend_from_slice(&covered_seq.to_le_bytes());
+                put(&[KIND_SNAPSHOT_MARKER]);
+                put(&covered_seq.to_le_bytes());
             }
         }
-        out
     }
 
     /// Parses a record payload (the exact bytes [`Record::encode`]
@@ -179,16 +213,16 @@ impl Record {
     }
 }
 
-fn put_str16(out: &mut Vec<u8>, s: &str) {
+fn put_str16(put: &mut impl FnMut(&[u8]), s: &str) {
     let len = u16::try_from(s.len()).expect("ids and keys are short");
-    out.extend_from_slice(&len.to_le_bytes());
-    out.extend_from_slice(s.as_bytes());
+    put(&len.to_le_bytes());
+    put(s.as_bytes());
 }
 
-fn put_bytes32(out: &mut Vec<u8>, bytes: &[u8]) {
+fn put_bytes32(put: &mut impl FnMut(&[u8]), bytes: &[u8]) {
     let len = u32::try_from(bytes.len()).expect("contents fit in u32");
-    out.extend_from_slice(&len.to_le_bytes());
-    out.extend_from_slice(bytes);
+    put(&len.to_le_bytes());
+    put(bytes);
 }
 
 struct Reader<'a> {
@@ -288,5 +322,40 @@ mod tests {
     fn unknown_kind_is_corrupt() {
         assert!(Record::decode(&[99]).is_err());
         assert!(Record::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn encoded_len_is_exact() {
+        for record in samples() {
+            assert_eq!(record.encoded_len(), record.encode().len(), "{}", record.kind_name());
+        }
+    }
+
+    #[test]
+    fn one_mib_full_save_encodes_without_realloc() {
+        // The regression this pins: encode() used to start from
+        // Vec::with_capacity(16) and double its way up, copying the
+        // payload ~log2(n) times. With the exact-size reserve the vector
+        // never outgrows (or exceeds) its first allocation.
+        let record = Record::FullSave {
+            id: "doc-with-a-realistic-id".into(),
+            version: 9,
+            content: vec![0xA5; 1 << 20],
+        };
+        let encoded = record.encode();
+        assert_eq!(encoded.len(), record.encoded_len());
+        assert_eq!(
+            encoded.capacity(),
+            record.encoded_len(),
+            "encode() must allocate exactly once at the exact size"
+        );
+
+        // And a warm reused buffer does not allocate at all.
+        let mut reused = Vec::with_capacity(record.encoded_len());
+        reused.clear();
+        let cap_before = reused.capacity();
+        record.encode_into(&mut reused);
+        assert_eq!(reused.capacity(), cap_before, "warm encode_into must not grow the buffer");
+        assert_eq!(reused, encoded);
     }
 }

@@ -14,10 +14,10 @@
 //! reported as such.
 
 use std::fs::{File, OpenOptions};
-use std::io::{Seek, SeekFrom, Write};
+use std::io::{IoSlice, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
-use crate::crc32::crc32;
+use crate::crc32::{crc32, Crc32};
 use crate::record::Record;
 use crate::{CrashPoint, StoreError, StoreFaults};
 
@@ -77,13 +77,40 @@ pub fn parse_segment_name(name: &str) -> Option<u64> {
     name.strip_prefix("wal-")?.strip_suffix(".log")?.parse().ok()
 }
 
+/// Encodes `record` into `payload_buf` (cleared first) while folding the
+/// bytes into a streaming CRC in the same pass, and returns the 8-byte
+/// frame header `[payload len][crc]`.
+///
+/// This is the zero-copy core of [`SegmentWriter::append`]: the record —
+/// including a megabyte `FullSave` body — is walked exactly once (copied
+/// into the reused buffer and checksummed while hot in cache), and no
+/// intermediate frame `Vec` is ever assembled; the header and payload go
+/// to the file as two `IoSlice`s.
+fn encode_payload(record: &Record, payload_buf: &mut Vec<u8>) -> [u8; FRAME_HEADER_BYTES] {
+    payload_buf.clear();
+    payload_buf.reserve(record.encoded_len());
+    let mut hasher = Crc32::new();
+    record.encode_parts(&mut |part| {
+        hasher.update(part);
+        payload_buf.extend_from_slice(part);
+    });
+    debug_assert!(payload_buf.len() as u32 <= MAX_PAYLOAD_BYTES);
+    let mut header = [0u8; FRAME_HEADER_BYTES];
+    header[..4].copy_from_slice(&(payload_buf.len() as u32).to_le_bytes());
+    header[4..].copy_from_slice(&hasher.finish().to_le_bytes());
+    header
+}
+
 /// Serializes one record with framing (length + CRC + payload).
+///
+/// The append hot path streams the header and payload separately (see
+/// [`SegmentWriter::append`]); this contiguous form serves tests and
+/// tooling that want frame bytes in hand.
 pub fn encode_frame(record: &Record) -> Vec<u8> {
-    let payload = record.encode();
-    debug_assert!(payload.len() as u32 <= MAX_PAYLOAD_BYTES);
+    let mut payload = Vec::new();
+    let header = encode_payload(record, &mut payload);
     let mut frame = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
-    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+    frame.extend_from_slice(&header);
     frame.extend_from_slice(&payload);
     frame
 }
@@ -168,6 +195,9 @@ pub struct SegmentWriter {
     /// injector counts these.
     total_appends: u64,
     faults: Option<StoreFaults>,
+    /// Reused payload encode buffer: steady-state appends allocate
+    /// nothing (the buffer keeps the high-water-mark capacity).
+    payload_buf: Vec<u8>,
 }
 
 impl SegmentWriter {
@@ -212,6 +242,7 @@ impl SegmentWriter {
             appends_since_sync: 0,
             total_appends: 0,
             faults,
+            payload_buf: Vec::new(),
         })
     }
 
@@ -240,16 +271,24 @@ impl SegmentWriter {
     /// write is **not** acknowledged and the disk is left in the
     /// crash-consistent state the fault models), or [`StoreError::Io`].
     pub fn append(&mut self, record: &Record) -> Result<(), StoreError> {
-        let frame = encode_frame(record);
+        // Take the reused buffer out of `self` so the fault-injection
+        // path below can borrow `self` mutably; restored before return.
+        let mut payload_buf = std::mem::take(&mut self.payload_buf);
+        let header = encode_payload(record, &mut payload_buf);
+        let frame_len = FRAME_HEADER_BYTES + payload_buf.len();
         self.total_appends += 1;
         if let Some(faults) = self.faults {
             if faults.triggers_append(self.total_appends) {
-                return Err(self.crash(&faults, &frame));
+                let err = self.crash(&faults, &header, &payload_buf);
+                self.payload_buf = payload_buf;
+                return Err(err);
             }
         }
         let started = std::time::Instant::now();
-        self.file.write_all(&frame)?;
-        self.len += frame.len() as u64;
+        let wrote = write_all_vectored(&mut self.file, &header, &payload_buf);
+        self.payload_buf = payload_buf;
+        wrote?;
+        self.len += frame_len as u64;
         self.appends_since_sync += 1;
         let sync = match self.policy {
             FsyncPolicy::Always => true,
@@ -260,34 +299,40 @@ impl SegmentWriter {
             self.sync()?;
         }
         pe_observe::static_counter!("store.appends").inc();
-        pe_observe::static_histogram!("store.append_bytes").record(frame.len() as u64);
+        pe_observe::static_histogram!("store.append_bytes").record(frame_len as u64);
         pe_observe::static_histogram!("store.append_ns").record_duration(started.elapsed());
         Ok(())
     }
 
     /// Enacts the configured crash, leaving the file exactly as the
-    /// modelled failure would.
-    fn crash(&mut self, faults: &StoreFaults, frame: &[u8]) -> StoreError {
+    /// modelled failure would. The frame arrives as its two wire parts
+    /// (header, payload) — prefix semantics treat them as concatenated.
+    fn crash(&mut self, faults: &StoreFaults, header: &[u8], payload: &[u8]) -> StoreError {
+        let frame_len = header.len() + payload.len();
         let point = faults.point();
         let outcome: Result<(), std::io::Error> = (|| match point {
             CrashPoint::BeforeFsync => {
                 // The write reached the OS, the fsync never happened, and
                 // the machine died: everything since the last sync is
                 // gone.
-                self.file.write_all(frame)?;
+                self.file.write_all(header)?;
+                self.file.write_all(payload)?;
                 self.file.set_len(self.durable_len)?;
                 self.file.sync_all()
             }
             CrashPoint::MidWrite => {
                 // Only a prefix of the frame made it out.
-                let kept = faults.torn_len(frame.len());
-                self.file.write_all(&frame[..kept])?;
+                let kept = faults.torn_len(frame_len);
+                let head_kept = kept.min(header.len());
+                self.file.write_all(&header[..head_kept])?;
+                self.file.write_all(&payload[..kept - head_kept])?;
                 self.file.sync_all()
             }
             CrashPoint::TruncateTail => {
                 // The whole frame landed, then the tail was torn off.
-                self.file.write_all(frame)?;
-                let kept = faults.torn_len(frame.len());
+                self.file.write_all(header)?;
+                self.file.write_all(payload)?;
+                let kept = faults.torn_len(frame_len);
                 self.file.set_len(self.len + kept as u64)?;
                 self.file.sync_all()
             }
@@ -342,6 +387,31 @@ impl SegmentWriter {
         self.appends_since_sync = 0;
         Ok(sealed)
     }
+}
+
+/// Writes `header` then `payload` as one logical frame using vectored
+/// I/O, handling partial writes. The common case is a single
+/// `pwritev`-style syscall covering both slices — the frame is never
+/// assembled into a contiguous buffer.
+fn write_all_vectored(file: &mut File, header: &[u8], payload: &[u8]) -> std::io::Result<()> {
+    let total = header.len() + payload.len();
+    let mut written = 0usize;
+    while written < total {
+        let n = if written < header.len() {
+            let bufs = [IoSlice::new(&header[written..]), IoSlice::new(payload)];
+            file.write_vectored(&bufs)?
+        } else {
+            file.write(&payload[written - header.len()..])?
+        };
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::WriteZero,
+                "failed to write whole WAL frame",
+            ));
+        }
+        written += n;
+    }
+    Ok(())
 }
 
 /// Fsyncs a directory so renames/creates within it are durable.

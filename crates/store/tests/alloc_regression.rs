@@ -1,0 +1,100 @@
+//! Allocation regression test for the zero-copy seal→WAL append path.
+//!
+//! Pins the ISSUE 7 acceptance criterion: a steady-state WAL append
+//! performs **no intermediate full-payload `Vec` copy** — in fact no heap
+//! allocation at all. The writer's reused payload buffer reaches its
+//! high-water-mark capacity on the first (warm-up) append; every later
+//! append of same-or-smaller records encodes into that buffer and streams
+//! header+payload to the file with vectored I/O.
+//!
+//! A counting `#[global_allocator]` makes the claim falsifiable. The file
+//! holds exactly one `#[test]` so no sibling test can allocate on another
+//! thread mid-measurement.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use pe_store::record::Record;
+use pe_store::wal::{replay_segment, segment_path, FsyncPolicy, SegmentWriter};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY-free: pure delegation to `System` plus a relaxed counter bump.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn steady_state_append_does_not_allocate() {
+    let dir = std::env::temp_dir().join(format!("pe-alloc-regress-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // FsyncPolicy::Never: durability syscalls are irrelevant to the
+    // allocation claim and dominate runtime otherwise.
+    let mut writer = SegmentWriter::open(&dir, 1, 0, FsyncPolicy::Never, None).unwrap();
+
+    // Records are built *before* measurement — constructing them
+    // allocates, appending them must not.
+    let records: Vec<Record> = (0..8)
+        .map(|i| Record::FullSave {
+            id: "alloc-regression-doc".into(),
+            version: i + 2,
+            content: vec![(i as u8).wrapping_mul(31); 1 << 20],
+        })
+        .collect();
+
+    // Warm-up: the first append may allocate the writer's reused payload
+    // buffer (and any lazily-initialized metric cells) once.
+    writer
+        .append(&Record::FullSave {
+            id: "alloc-regression-doc".into(),
+            version: 1,
+            content: vec![0xEE; 1 << 20],
+        })
+        .unwrap();
+
+    let before = allocs();
+    for record in &records {
+        writer.append(record).unwrap();
+    }
+    let after = allocs();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state appends of 1 MiB FullSave records must not touch \
+         the allocator (got {} allocations over {} appends)",
+        after - before,
+        records.len()
+    );
+
+    // The frames written through the zero-copy path are still valid WAL.
+    writer.flush().unwrap();
+    drop(writer);
+    let mut seen = 0u64;
+    let stats = replay_segment(&segment_path(&dir, 1), |_| seen += 1).unwrap();
+    assert_eq!(seen, 9);
+    assert_eq!(stats.torn_bytes, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
