@@ -2,17 +2,24 @@
 //! mediated editors against one `pe-net` HTTP server.
 //!
 //! Usage: `cargo run -p pe-bench --bin net_load --release -- \
-//!     [--smoke] [--clients N,N,...] [--edits N] [--connect ADDR] [--out FILE]`
+//!     [--smoke] [--clients N,N,...] [--edits N] [--connect ADDR] \
+//!     [--store DIR] [--fsync POLICY] [--shards N] [--out FILE]`
 //!
 //! By default each concurrency row spawns its own in-process event-loop
-//! server and the JSON report goes to `BENCH_net.json` (or `--out FILE`).
-//! `--connect ADDR` drives an already-running server (e.g. a live
-//! `pedit serve`) instead — used by CI's high-concurrency smoke — and
-//! then no JSON is written unless `--out` is given explicitly.
-//! `--smoke` runs tiny concurrency levels with few edits.
+//! server over an in-memory store and the JSON report goes to
+//! `BENCH_net.json` (or `--out FILE`). `--store DIR` adds a second sweep
+//! whose servers persist to a durable sharded WAL store under `DIR`
+//! (fsync policy `--fsync`, default `always`; `--shards` WAL shards,
+//! default 4) — those rows carry the real cost of making every
+//! acknowledged save durable. `--connect ADDR` drives an
+//! already-running server (e.g. a live `pedit serve`) instead — used by
+//! CI's high-concurrency smoke — and then no JSON is written unless
+//! `--out` is given explicitly. `--smoke` runs tiny concurrency levels
+//! with few edits.
 
-use pe_bench::netload::{net_load, net_load_connect, render_json};
+use pe_bench::netload::{net_load, net_load_connect, net_load_with_store, render_json, StoreBacking};
 use pe_bench::report::markdown_table;
+use pe_store::FsyncPolicy;
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
@@ -42,6 +49,24 @@ fn main() {
             std::process::exit(2);
         })
     });
+    let durable: Option<StoreBacking> = flag_value(&args, "--store").map(|dir| {
+        let fsync = match flag_value(&args, "--fsync") {
+            Some(text) => FsyncPolicy::parse(text).unwrap_or_else(|| {
+                eprintln!("error: --fsync needs always|never|every=N, got {text:?}");
+                std::process::exit(2);
+            }),
+            None => FsyncPolicy::Always,
+        };
+        let shards: usize = match flag_value(&args, "--shards") {
+            Some(n) => n.parse().unwrap_or_else(|_| bad_usage(n)),
+            None => 4,
+        };
+        StoreBacking::Sharded { dir: dir.into(), fsync, shards }
+    });
+    if durable.is_some() && connect.is_some() {
+        eprintln!("error: --store spawns its own servers; it cannot be combined with --connect");
+        std::process::exit(2);
+    }
 
     println!("# Network load — concurrent mediated editors over loopback TCP (rECB, b=8)\n");
     println!(
@@ -55,12 +80,20 @@ fn main() {
             println!("Driving external server at {addr}.\n");
             net_load_connect(addr, &counts, edits, 0x10ad)
         }
-        None => net_load(&counts, edits, 0x10ad),
+        None => {
+            let mut rows = net_load(&counts, edits, 0x10ad);
+            if let Some(backing) = &durable {
+                println!("Durable sweep: {}.\n", backing.label());
+                rows.extend(net_load_with_store(backing, &counts, edits, 0x10ad));
+            }
+            rows
+        }
     };
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|row| {
             vec![
+                row.store.clone(),
                 format!("{}", row.clients),
                 format!("{}", row.requests),
                 format!("{:.2} s", row.wall_s),
@@ -77,8 +110,8 @@ fn main() {
         "{}",
         markdown_table(
             &[
-                "clients", "requests", "wall", "req/s", "p50", "p99", "retries", "errors",
-                "peak conns"
+                "store", "clients", "requests", "wall", "req/s", "p50", "p99", "retries",
+                "errors", "peak conns"
             ],
             &table
         )
@@ -112,7 +145,8 @@ fn main() {
 fn bad_usage(got: &str) -> ! {
     eprintln!("error: expected a number, got {got:?}");
     eprintln!(
-        "usage: net_load [--smoke] [--clients N,N,...] [--edits N] [--connect ADDR] [--out FILE]"
+        "usage: net_load [--smoke] [--clients N,N,...] [--edits N] [--connect ADDR] \
+         [--store DIR] [--fsync POLICY] [--shards N] [--out FILE]"
     );
     std::process::exit(2)
 }

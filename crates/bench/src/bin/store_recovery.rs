@@ -8,7 +8,10 @@
 //! prints Markdown tables. `--smoke` runs tiny sizes for CI.
 
 use pe_bench::report::markdown_table;
-use pe_bench::storebench::{append_sweep, render_json, replay_sweep, PAYLOAD_BYTES};
+use pe_bench::storebench::{
+    append_sweep, group_commit_sweep, render_json, replay_sweep, sharded_replay_sweep,
+    PAYLOAD_BYTES,
+};
 use pe_store::FsyncPolicy;
 
 fn main() {
@@ -24,6 +27,11 @@ fn main() {
         [FsyncPolicy::Always, FsyncPolicy::EveryN(64), FsyncPolicy::Never];
     let (append_records, replay_sizes): (u64, &[u64]) =
         if smoke { (200, &[200, 1_000]) } else { (5_000, &[1_000, 10_000, 100_000]) };
+    let group_shards = 4;
+    let (group_writers, group_per_writer): (&[usize], u64) =
+        if smoke { (&[1, 4], 64) } else { (&[1, 2, 4, 8, 16, 32, 64], 1_000) };
+    let sharded_cases: &[(u64, usize)] =
+        if smoke { &[(500, 1), (500, 4)] } else { &[(100_000, 1), (100_000, 8)] };
 
     println!("# Durable store — append throughput and crash-recovery replay\n");
     println!(
@@ -53,6 +61,34 @@ fn main() {
         )
     );
 
+    println!(
+        "\nGroup commit: {group_per_writer} appends per writer over a \
+         {group_shards}-shard store, fsync=always.\n"
+    );
+    let groups =
+        group_commit_sweep(group_writers, group_shards, group_per_writer, FsyncPolicy::Always);
+    let table: Vec<Vec<String>> = groups
+        .iter()
+        .map(|row| {
+            vec![
+                format!("{}", row.writers),
+                format!("{}", row.records),
+                format!("{:.3} s", row.wall_s),
+                format!("{:.0}", row.appends_per_s),
+                format!("{}", row.fsyncs),
+                format!("{}", row.fsyncs_saved),
+                format!("{}", row.max_batch),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        markdown_table(
+            &["writers", "records", "wall", "appends/s", "fsyncs", "saved", "max batch"],
+            &table
+        )
+    );
+
     let replays = replay_sweep(replay_sizes);
     let table: Vec<Vec<String>> = replays
         .iter()
@@ -74,7 +110,30 @@ fn main() {
         )
     );
 
-    let json = render_json(&appends, &replays);
+    println!("\nSharded recovery: one document per record, cold ShardedLogStore::open.\n");
+    let sharded = sharded_replay_sweep(sharded_cases);
+    let table: Vec<Vec<String>> = sharded
+        .iter()
+        .map(|row| {
+            vec![
+                format!("{}", row.records),
+                format!("{}", row.shards),
+                format!("{:.1} KiB", row.log_bytes as f64 / 1024.0),
+                format!("{:.4} s", row.open_wall_s),
+                format!("{:.0}", row.replay_per_s),
+                format!("{}", row.docs),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        markdown_table(
+            &["records", "shards", "log size", "open", "replayed/s", "docs"],
+            &table
+        )
+    );
+
+    let json = render_json(&appends, &groups, &replays, &sharded);
     match std::fs::write(out_path, &json) {
         Ok(()) => println!("wrote {out_path}"),
         Err(e) => {

@@ -12,6 +12,7 @@
 //! Every client is seeded, so a run is reproducible edit-for-edit; only
 //! the timing is machine-dependent.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -19,10 +20,63 @@ use pe_cloud::docs::DocsServer;
 use pe_crypto::CtrDrbg;
 use pe_extension::{DocsMediator, MediatorConfig};
 use pe_net::{HttpClient, HttpServer, ServerConfig, Service};
+use pe_store::{DocStore, FsyncPolicy, ShardedLogStore, StoreConfig};
+
+/// What the per-row `DocsServer` persists documents in.
+#[derive(Debug, Clone)]
+pub enum StoreBacking {
+    /// In-memory store: measures the pipeline with storage free.
+    Mem,
+    /// Durable sharded WAL store rooted at `dir` — every acknowledged
+    /// save pays real WAL + fsync cost. Each concurrency row opens a
+    /// fresh store in its own subdirectory, so rows stay independent.
+    Sharded {
+        /// Root directory; each row uses a `cNNNN` subdirectory.
+        dir: PathBuf,
+        /// Fsync policy for every shard.
+        fsync: FsyncPolicy,
+        /// WAL shards per row store.
+        shards: usize,
+    },
+}
+
+impl StoreBacking {
+    /// Stable per-row label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            StoreBacking::Mem => "mem".into(),
+            StoreBacking::Sharded { fsync, shards, .. } => {
+                format!("sharded-log shards={shards} fsync={}", fsync.label())
+            }
+        }
+    }
+
+    /// A fresh backend server for one concurrency row.
+    fn make_server(&self, clients: usize) -> DocsServer {
+        match self {
+            StoreBacking::Mem => DocsServer::new(),
+            StoreBacking::Sharded { dir, fsync, shards } => {
+                let row_dir = dir.join(format!("c{clients:04}"));
+                let _ = std::fs::remove_dir_all(&row_dir);
+                std::fs::create_dir_all(&row_dir).expect("create row store dir");
+                let store = ShardedLogStore::open(
+                    &row_dir,
+                    *shards,
+                    StoreConfig { fsync: *fsync, ..StoreConfig::default() },
+                )
+                .expect("open durable bench store");
+                DocsServer::with_store(Arc::new(store) as Arc<dyn DocStore>)
+            }
+        }
+    }
+}
 
 /// One measured concurrency level.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NetLoadRow {
+    /// Store backing the server for this row (`mem`, `sharded-log …`,
+    /// or `external` when driving a foreign server).
+    pub store: String,
     /// Number of concurrent mediated editors.
     pub clients: usize,
     /// Successful HTTP requests completed across all clients.
@@ -89,17 +143,29 @@ fn editor_session(
 /// worker pool is sized to the machine (not to N) — scaling beyond the
 /// worker count measures queueing, which is the interesting regime.
 pub fn net_load(client_counts: &[usize], edits: usize, seed: u64) -> Vec<NetLoadRow> {
+    net_load_with_store(&StoreBacking::Mem, client_counts, edits, seed)
+}
+
+/// Like [`net_load`] but with a chosen [`StoreBacking`] — the durable
+/// variant is the row set that shows what acknowledged saves cost when
+/// every one of them must reach a sharded WAL before the HTTP response.
+pub fn net_load_with_store(
+    backing: &StoreBacking,
+    client_counts: &[usize],
+    edits: usize,
+    seed: u64,
+) -> Vec<NetLoadRow> {
     client_counts
         .iter()
         .map(|&clients| {
-            let backend = Arc::new(DocsServer::new());
+            let backend = Arc::new(backing.make_server(clients));
             let server = HttpServer::bind(
                 "127.0.0.1:0",
                 Arc::clone(&backend) as Arc<dyn Service>,
                 ServerConfig { workers: 8, ..ServerConfig::default() },
             )
             .expect("bind loopback ephemeral port");
-            let row = run_row(server.local_addr(), clients, edits, seed);
+            let row = run_row(server.local_addr(), &backing.label(), clients, edits, seed);
             server.shutdown();
             row
         })
@@ -116,12 +182,18 @@ pub fn net_load_connect(
     edits: usize,
     seed: u64,
 ) -> Vec<NetLoadRow> {
-    client_counts.iter().map(|&clients| run_row(addr, clients, edits, seed)).collect()
+    client_counts.iter().map(|&clients| run_row(addr, "external", clients, edits, seed)).collect()
 }
 
 /// One concurrency level against `addr`, measured from a fresh metrics
 /// registry.
-fn run_row(addr: std::net::SocketAddr, clients: usize, edits: usize, seed: u64) -> NetLoadRow {
+fn run_row(
+    addr: std::net::SocketAddr,
+    store: &str,
+    clients: usize,
+    edits: usize,
+    seed: u64,
+) -> NetLoadRow {
     pe_observe::global().reset();
     let started = Instant::now();
     let handles: Vec<_> = (0..clients)
@@ -140,6 +212,7 @@ fn run_row(addr: std::net::SocketAddr, clients: usize, edits: usize, seed: u64) 
         .histogram("net.client.request_ns")
         .map_or((0, 0), |h| (h.quantile(0.50), h.quantile(0.99)));
     NetLoadRow {
+        store: store.to_string(),
         clients,
         requests,
         wall_s,
@@ -166,9 +239,10 @@ pub fn render_json(rows: &[NetLoadRow], edits: usize) -> String {
     out.push_str("  \"rows\": [\n");
     for (i, row) in rows.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"clients\": {}, \"requests\": {}, \"wall_s\": {:.4}, \"rps\": {:.1}, \
-             \"p50_ns\": {}, \"p99_ns\": {}, \"retries\": {}, \"errors\": {}, \
+            "    {{\"store\": \"{}\", \"clients\": {}, \"requests\": {}, \"wall_s\": {:.4}, \
+             \"rps\": {:.1}, \"p50_ns\": {}, \"p99_ns\": {}, \"retries\": {}, \"errors\": {}, \
              \"failed_sessions\": {}, \"peak_conns\": {}, \"loop_wakeups\": {}}}{}\n",
+            row.store,
             row.clients,
             row.requests,
             row.wall_s,
@@ -205,6 +279,32 @@ mod tests {
             assert!(row.peak_conns >= 1, "server-side connection peak not observed");
             assert!(row.loop_wakeups > 0, "event loop never woke?");
         }
+    }
+
+    #[test]
+    fn durable_backing_persists_every_acknowledged_save() {
+        let dir = std::env::temp_dir()
+            .join(format!("pe-netload-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let backing = StoreBacking::Sharded {
+            dir: dir.clone(),
+            fsync: FsyncPolicy::Always,
+            shards: 2,
+        };
+        let rows = net_load_with_store(&backing, &[2], 1, 0xd0);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].errors, 0);
+        assert_eq!(rows[0].failed_sessions, 0);
+        assert!(rows[0].store.starts_with("sharded-log"), "store: {}", rows[0].store);
+        // The row's store is a real sharded layout that reopens with
+        // every client's document intact.
+        let row_dir = dir.join("c0002");
+        assert!(row_dir.join(pe_store::MANIFEST_NAME).is_file());
+        let reopened = ShardedLogStore::open(&row_dir, 2, StoreConfig::default()).unwrap();
+        assert_eq!(reopened.shard_count(), 2);
+        assert_eq!(reopened.list().len(), 2, "one document per client");
+        drop(reopened);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

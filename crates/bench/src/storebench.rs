@@ -11,7 +11,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use pe_store::{DocStore, FsyncPolicy, LogStore, StoreConfig};
+use pe_store::{DocStore, FsyncPolicy, LogStore, ShardedLogStore, StoreConfig};
 
 /// A scratch directory deleted on drop.
 struct TempDir(PathBuf);
@@ -59,6 +59,46 @@ pub struct AppendRow {
     pub mb_per_s: f64,
     /// Actual `fsync` calls issued (`store.fsyncs`).
     pub fsyncs: u64,
+}
+
+/// One measured concurrent group-commit configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupRow {
+    /// Policy label (`always`, `every=64`, `never`).
+    pub policy: String,
+    /// Concurrent appender threads.
+    pub writers: usize,
+    /// WAL shards the store routes over.
+    pub shards: usize,
+    /// Records appended across all writers.
+    pub records: u64,
+    /// Wall-clock seconds from the start barrier to the last join.
+    pub wall_s: f64,
+    /// Aggregate appends per second.
+    pub appends_per_s: f64,
+    /// `fsync` calls actually issued (summed over shards).
+    pub fsyncs: u64,
+    /// Appends whose durability rode another batch's fsync.
+    pub fsyncs_saved: u64,
+    /// Largest single group-commit batch observed (records).
+    pub max_batch: u64,
+}
+
+/// One measured sharded-recovery configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardReplayRow {
+    /// Records (= distinct documents) in the store before reopening.
+    pub records: u64,
+    /// Shards the log is split over (1 = the legacy layout).
+    pub shards: usize,
+    /// Total bytes on disk across every shard's segments.
+    pub log_bytes: u64,
+    /// Wall-clock seconds for `ShardedLogStore::open` (full recovery).
+    pub open_wall_s: f64,
+    /// Records replayed per second.
+    pub replay_per_s: f64,
+    /// Documents recovered into the combined index.
+    pub docs: u64,
 }
 
 /// One measured log size for replay.
@@ -119,6 +159,70 @@ pub fn append_sweep(policies: &[FsyncPolicy], records: u64) -> Vec<AppendRow> {
         .collect()
 }
 
+/// Measures group-commit append throughput as writer count grows.
+///
+/// Every row opens a fresh [`ShardedLogStore`] with `shards` shards and
+/// fans `per_writer` appends out over `writers` threads (each editing
+/// its own document set, so routing spreads the load). The fsync
+/// accounting comes from the store's own [`pe_store::GroupStats`]
+/// counters, not the global registry, so concurrent registry users
+/// cannot skew a row.
+pub fn group_commit_sweep(
+    writer_counts: &[usize],
+    shards: usize,
+    per_writer: u64,
+    fsync: FsyncPolicy,
+) -> Vec<GroupRow> {
+    writer_counts
+        .iter()
+        .map(|&writers| {
+            let dir = TempDir::new("group");
+            let store = ShardedLogStore::open(
+                &dir.0,
+                shards,
+                StoreConfig { fsync, ..StoreConfig::default() },
+            )
+            .expect("open sharded bench store");
+            let start = std::sync::Barrier::new(writers + 1);
+            let wall_s = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..writers)
+                    .map(|w| {
+                        let (store, start) = (&store, &start);
+                        scope.spawn(move || {
+                            start.wait();
+                            for i in 0..per_writer as usize {
+                                store
+                                    .put_full(&format!("w{w}-doc{}", i % DOCS), &payload(i))
+                                    .expect("benchmark append failed");
+                            }
+                        })
+                    })
+                    .collect();
+                start.wait();
+                let started = Instant::now();
+                for handle in handles {
+                    handle.join().expect("writer thread panicked");
+                }
+                started.elapsed().as_secs_f64()
+            });
+            store.flush().expect("final flush");
+            let stats = store.group_stats();
+            let records = writers as u64 * per_writer;
+            GroupRow {
+                policy: fsync.label(),
+                writers,
+                shards,
+                records,
+                wall_s,
+                appends_per_s: if wall_s > 0.0 { records as f64 / wall_s } else { 0.0 },
+                fsyncs: stats.fsyncs,
+                fsyncs_saved: stats.fsyncs_saved,
+                max_batch: stats.max_batch_records,
+            }
+        })
+        .collect()
+}
+
 /// Measures full recovery (`LogStore::open` replay) at each log size.
 ///
 /// The log is written with [`FsyncPolicy::Never`] — write speed is not
@@ -167,12 +271,82 @@ pub fn replay_sweep(sizes: &[u64]) -> Vec<ReplayRow> {
         .collect()
 }
 
+fn dir_bytes(dir: &std::path::Path) -> u64 {
+    let Ok(entries) = std::fs::read_dir(dir) else { return 0 };
+    entries
+        .filter_map(Result::ok)
+        .map(|entry| match entry.metadata() {
+            Ok(meta) if meta.is_dir() => dir_bytes(&entry.path()),
+            Ok(meta) => meta.len(),
+            Err(_) => 0,
+        })
+        .sum()
+}
+
+/// Measures full sharded recovery (`ShardedLogStore::open`) for each
+/// `(records, shards)` case. Every record creates a distinct document,
+/// so a 100 000-record case is a 100 000-document store — the regime
+/// ISSUE 8 cares about. Shards replay on parallel threads; on a
+/// multi-core runner open time tracks the largest shard rather than the
+/// total log (a single-core runner replays the same records either way,
+/// so expect parity there, not a win).
+pub fn sharded_replay_sweep(cases: &[(u64, usize)]) -> Vec<ShardReplayRow> {
+    cases
+        .iter()
+        .map(|&(records, shards)| {
+            let dir = TempDir::new("shard-replay");
+            let store = ShardedLogStore::open(
+                &dir.0,
+                shards,
+                StoreConfig { fsync: FsyncPolicy::Never, ..StoreConfig::default() },
+            )
+            .expect("open bench store");
+            for i in 0..records as usize {
+                store.put_full(&format!("doc{i}"), &payload(i)).expect("benchmark append failed");
+            }
+            store.flush().expect("flush before close");
+            drop(store);
+
+            let log_bytes = dir_bytes(&dir.0);
+            pe_observe::global().reset();
+            let started = Instant::now();
+            let reopened =
+                ShardedLogStore::open(&dir.0, shards, StoreConfig::default()).expect("reopen");
+            let open_wall_s = started.elapsed().as_secs_f64();
+            let replayed =
+                pe_observe::global().snapshot().counter("store.replay_records").unwrap_or(0);
+            assert_eq!(replayed, records, "replay must visit every record");
+            assert_eq!(reopened.shard_count(), shards, "manifest must pin the shard count");
+            let docs = reopened.list().len() as u64;
+            ShardReplayRow {
+                records,
+                shards,
+                log_bytes,
+                open_wall_s,
+                replay_per_s: if open_wall_s > 0.0 {
+                    records as f64 / open_wall_s
+                } else {
+                    0.0
+                },
+                docs,
+            }
+        })
+        .collect()
+}
+
 /// Renders both sweeps as the JSON document committed as
 /// `BENCH_store.json`.
-pub fn render_json(appends: &[AppendRow], replays: &[ReplayRow]) -> String {
+pub fn render_json(
+    appends: &[AppendRow],
+    groups: &[GroupRow],
+    replays: &[ReplayRow],
+    sharded_replays: &[ShardReplayRow],
+) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"store_recovery\",\n");
-    out.push_str("  \"store\": \"pe-store LogStore (CRC32 WAL + snapshots)\",\n");
+    out.push_str(
+        "  \"store\": \"pe-store ShardedLogStore (CRC32 WAL + snapshots, group commit)\",\n",
+    );
     out.push_str(&format!("  \"payload_bytes\": {PAYLOAD_BYTES},\n"));
     out.push_str(&format!("  \"docs\": {DOCS},\n"));
     out.push_str("  \"append_rows\": [\n");
@@ -190,6 +364,25 @@ pub fn render_json(appends: &[AppendRow], replays: &[ReplayRow]) -> String {
         ));
     }
     out.push_str("  ],\n");
+    out.push_str("  \"group_commit_rows\": [\n");
+    for (i, row) in groups.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"policy\": \"{}\", \"writers\": {}, \"shards\": {}, \"records\": {}, \
+             \"wall_s\": {:.4}, \"appends_per_s\": {:.1}, \"fsyncs\": {}, \
+             \"fsyncs_saved\": {}, \"max_batch\": {}}}{}\n",
+            row.policy,
+            row.writers,
+            row.shards,
+            row.records,
+            row.wall_s,
+            row.appends_per_s,
+            row.fsyncs,
+            row.fsyncs_saved,
+            row.max_batch,
+            if i + 1 == groups.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ],\n");
     out.push_str("  \"replay_rows\": [\n");
     for (i, row) in replays.iter().enumerate() {
         out.push_str(&format!(
@@ -201,6 +394,21 @@ pub fn render_json(appends: &[AppendRow], replays: &[ReplayRow]) -> String {
             row.replay_per_s,
             row.docs,
             if i + 1 == replays.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"sharded_replay_rows\": [\n");
+    for (i, row) in sharded_replays.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"records\": {}, \"shards\": {}, \"log_bytes\": {}, \
+             \"open_wall_s\": {:.4}, \"replay_per_s\": {:.1}, \"docs\": {}}}{}\n",
+            row.records,
+            row.shards,
+            row.log_bytes,
+            row.open_wall_s,
+            row.replay_per_s,
+            row.docs,
+            if i + 1 == sharded_replays.len() { "" } else { "," },
         ));
     }
     out.push_str("  ]\n}\n");
@@ -246,12 +454,48 @@ mod tests {
     }
 
     #[test]
+    fn group_commit_sweep_accounts_every_append() {
+        let rows = group_commit_sweep(&[1, 4], 2, 32, FsyncPolicy::Always);
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert_eq!(row.shards, 2);
+            assert_eq!(row.records, 32 * row.writers as u64);
+            assert!(row.appends_per_s > 0.0);
+            // Under fsync=always every append either issued its own
+            // fsync or rode a neighbour's batch — nothing is unaccounted.
+            assert_eq!(row.fsyncs + row.fsyncs_saved, row.records, "policy {}", row.policy);
+            assert!(row.max_batch >= 1);
+        }
+        // A single writer can never share a batch.
+        assert_eq!(rows[0].fsyncs_saved, 0);
+        assert_eq!(rows[0].fsyncs, rows[0].records);
+    }
+
+    #[test]
+    fn sharded_replay_sweep_recovers_every_document() {
+        let rows = sharded_replay_sweep(&[(200, 1), (200, 4)]);
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert_eq!(row.docs, 200, "one document per record");
+            assert!(row.log_bytes > row.records * PAYLOAD_BYTES as u64);
+            assert!(row.replay_per_s > 0.0);
+        }
+        assert_eq!(rows[0].shards, 1);
+        assert_eq!(rows[1].shards, 4);
+    }
+
+    #[test]
     fn json_report_is_well_formed() {
         let appends = append_sweep(&[FsyncPolicy::Never], 16);
+        let groups = group_commit_sweep(&[2], 2, 8, FsyncPolicy::Always);
         let replays = replay_sweep(&[32]);
-        let json = render_json(&appends, &replays);
+        let sharded = sharded_replay_sweep(&[(64, 2)]);
+        let json = render_json(&appends, &groups, &replays, &sharded);
         assert!(json.contains("\"bench\": \"store_recovery\""));
         assert!(json.contains("\"policy\": \"never\""));
+        assert!(json.contains("\"group_commit_rows\""));
+        assert!(json.contains("\"sharded_replay_rows\""));
+        assert!(json.contains("\"writers\": 2"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
     }

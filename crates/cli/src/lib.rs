@@ -30,7 +30,7 @@ use pe_cloud::{CloudService, Request};
 use pe_crypto::form;
 use pe_delta::Delta;
 use pe_extension::{DocsMediator, ExtensionError, MediatorConfig};
-use pe_store::{DocStore, FsyncPolicy, LogStore, StoreConfig, StoreError};
+use pe_store::{DocStore, FsyncPolicy, ShardedLogStore, StoreConfig, StoreError};
 
 /// A parsed command-line invocation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -137,6 +137,9 @@ pub enum Command {
         addr_file: Option<PathBuf>,
         /// WAL fsync policy (`always`, `never`, `every=N`).
         fsync: FsyncPolicy,
+        /// Shard count for a freshly created store (defaults to the CPU
+        /// count; an existing store keeps its recorded layout).
+        shards: Option<usize>,
     },
     /// Ask a running `pedit serve` (via `--connect`) to shut down.
     Stop,
@@ -146,10 +149,14 @@ pub enum Command {
         /// The store directory to check.
         dir: PathBuf,
     },
-    /// Snapshot and garbage-collect a store directory offline.
+    /// Snapshot and garbage-collect a store directory offline. With
+    /// `--shards N`, first migrates a legacy single-directory store to
+    /// an N-way sharded layout in place.
     Compact {
         /// The store directory to compact.
         dir: PathBuf,
+        /// Migrate a legacy store to this many shards before compacting.
+        shards: Option<usize>,
     },
 }
 
@@ -220,12 +227,16 @@ COMMANDS:
   raw     --doc ID
   stats   [--format text|json]
   serve   [--addr HOST:PORT] [--workers N] [--max-conns N] [--addr-file PATH]
-          [--fsync always|never|every=N]
+          [--fsync always|never|every=N] [--shards N]
           (requires --store DIR; --addr defaults to 127.0.0.1:0; a legacy
-           text-snapshot store file is migrated to a durable directory)
+           text-snapshot store file is migrated to a durable directory;
+           --shards sets the WAL shard count for a fresh store)
   stop    (requires --connect)
-  fsck    DIR     (verify a store directory; non-zero exit on corruption)
-  compact DIR     (snapshot + garbage-collect a store directory)";
+  fsck    DIR     (verify a store directory — legacy or sharded, every
+                   shard checked; non-zero exit on corruption)
+  compact DIR [--shards N]
+          (snapshot + garbage-collect a store directory; --shards N
+           migrates a legacy store to an N-way sharded layout in place)";
 
 /// Parses command-line arguments (excluding `argv[0]`).
 ///
@@ -266,11 +277,25 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, CliError> {
         let dir = PathBuf::from(
             rest.next().ok_or_else(|| usage(&format!("{verb} needs a store directory")))?,
         );
+        let mut shards = None;
+        if let Some(extra) = rest.next() {
+            if verb == "compact" && extra == "--shards" {
+                let value = rest.next().ok_or_else(|| usage("--shards needs a value"))?;
+                shards = Some(
+                    value.parse::<usize>().map_err(|_| usage("--shards must be a number"))?,
+                );
+            } else {
+                return Err(usage(&format!("unexpected argument {extra:?}")));
+            }
+        }
         if let Some(extra) = rest.next() {
             return Err(usage(&format!("unexpected argument {extra:?}")));
         }
-        let command =
-            if verb == "fsck" { Command::Fsck { dir } } else { Command::Compact { dir } };
+        let command = if verb == "fsck" {
+            Command::Fsck { dir }
+        } else {
+            Command::Compact { dir, shards }
+        };
         return Ok(CliOptions { store: store.unwrap_or_default(), rpc, connect, command });
     }
     // `stats` runs against its own in-memory cloud and `--connect` talks
@@ -368,6 +393,12 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, CliError> {
                     .ok_or_else(|| usage("--fsync must be always, never, or every=N"))?,
                 None => FsyncPolicy::Always,
             },
+            shards: match flags.get("shards") {
+                Some(value) => Some(
+                    value.parse::<usize>().map_err(|_| usage("--shards must be a number"))?,
+                ),
+                None => None,
+            },
         },
         "stop" => Command::Stop,
         other => return Err(usage(&format!("unknown command {other:?}"))),
@@ -376,13 +407,14 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, CliError> {
 }
 
 /// How the local store is persisted: the legacy whole-file text snapshot
-/// (rewritten in full on exit) or a durable [`LogStore`] directory
-/// (every mutation is already on disk; exit only flushes).
+/// (rewritten in full on exit) or a durable [`ShardedLogStore`] directory
+/// (every mutation is already on disk; exit only flushes). The sharded
+/// engine opens legacy single-directory WAL stores transparently.
 enum StoreBacking {
     /// Legacy single-file text snapshot.
     TextFile,
-    /// Durable write-ahead-logged directory.
-    LogDir(Arc<LogStore>),
+    /// Durable write-ahead-logged directory (sharded or legacy layout).
+    LogDir(Arc<ShardedLogStore>),
 }
 
 fn store_error(e: StoreError) -> CliError {
@@ -392,15 +424,27 @@ fn store_error(e: StoreError) -> CliError {
     }
 }
 
-fn open_log_dir(dir: &Path, fsync: FsyncPolicy) -> Result<Arc<LogStore>, CliError> {
+/// Shard count for a freshly created store when `--shards` is absent:
+/// one WAL per CPU, so concurrent group commits spread across cores.
+fn default_shards() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+fn open_log_dir(
+    dir: &Path,
+    fsync: FsyncPolicy,
+    shards: Option<usize>,
+) -> Result<Arc<ShardedLogStore>, CliError> {
     let config = StoreConfig { fsync, ..StoreConfig::default() };
-    LogStore::open(dir, config).map(Arc::new).map_err(store_error)
+    ShardedLogStore::open(dir, shards.unwrap_or_else(default_shards), config)
+        .map(Arc::new)
+        .map_err(store_error)
 }
 
 fn load_store(path: &Path) -> Result<(Arc<DocsServer>, StoreBacking), CliError> {
     match std::fs::metadata(path) {
         Ok(meta) if meta.is_dir() => {
-            let store = open_log_dir(path, FsyncPolicy::Always)?;
+            let store = open_log_dir(path, FsyncPolicy::Always, None)?;
             let docs = Arc::clone(&store) as Arc<dyn DocStore>;
             Ok((Arc::new(DocsServer::with_store(docs)), StoreBacking::LogDir(store)))
         }
@@ -544,7 +588,7 @@ pub fn run(options: &CliOptions) -> Result<String, CliError> {
             // the live server's snapshot from `/admin/stats`.
             return stats::run_scripted_session(*format);
         }
-        Command::Serve { addr, workers, max_conns, addr_file, fsync } => {
+        Command::Serve { addr, workers, max_conns, addr_file, fsync, shards } => {
             return serve::run_server(
                 options,
                 addr,
@@ -552,6 +596,7 @@ pub fn run(options: &CliOptions) -> Result<String, CliError> {
                 *max_conns,
                 addr_file.as_deref(),
                 *fsync,
+                *shards,
             );
         }
         Command::Fsck { dir } => {
@@ -559,11 +604,23 @@ pub fn run(options: &CliOptions) -> Result<String, CliError> {
             let text = report.render();
             return if report.is_healthy() { Ok(text) } else { Err(CliError::BadStore(text)) };
         }
-        Command::Compact { dir } => {
-            let store = open_log_dir(dir, FsyncPolicy::Always)?;
+        Command::Compact { dir, shards } => {
+            let config = StoreConfig { fsync: FsyncPolicy::Always, ..StoreConfig::default() };
+            let store = match shards {
+                // Explicit --shards N: migrate a legacy layout in place
+                // (a no-op plain open when already sharded or fresh).
+                Some(n) => ShardedLogStore::migrate(dir, *n, config).map_err(store_error)?,
+                None => ShardedLogStore::open(dir, default_shards(), config)
+                    .map_err(store_error)?,
+            };
+            let layout = if store.is_legacy() {
+                "legacy layout".to_string()
+            } else {
+                format!("{} shard(s)", store.shard_count())
+            };
             let stats = store.compact().map_err(store_error)?;
             return Ok(format!(
-                "compacted {}: snapshot covers wal {} ({} doc(s), {} bytes); \
+                "compacted {} ({layout}): snapshot covers wal {} ({} doc(s), {} bytes); \
                  removed {} segment(s), {} old snapshot(s)",
                 dir.display(),
                 stats.covered_seq,
@@ -628,7 +685,7 @@ mod serve {
     use pe_cloud::docs::DocsServer;
     use pe_cloud::{CloudService, Method, Request, Response};
     use pe_net::{HttpServer, Router, ServerConfig};
-    use pe_store::{DocStore, FsyncPolicy, LogStore};
+    use pe_store::{DocStore, FsyncPolicy, ShardedLogStore};
 
     use crate::{open_log_dir, store_error, CliError, CliOptions};
 
@@ -636,7 +693,7 @@ mod serve {
     /// blanket impl mounts it like any other service.
     struct AdminService {
         server: Arc<DocsServer>,
-        store: Arc<LogStore>,
+        store: Arc<ShardedLogStore>,
         stop: Arc<AtomicBool>,
     }
 
@@ -687,11 +744,15 @@ mod serve {
 
     /// Opens (or creates) the durable store directory for `serve`. A
     /// legacy whole-file text snapshot at the same path is migrated: the
-    /// file is moved aside, replayed into a fresh [`LogStore`] at the
+    /// file is moved aside, replayed into a fresh sharded store at the
     /// original path, and removed only once the replayed log is durable.
-    fn open_serve_store(path: &Path, fsync: FsyncPolicy) -> Result<Arc<LogStore>, CliError> {
+    fn open_serve_store(
+        path: &Path,
+        fsync: FsyncPolicy,
+        shards: Option<usize>,
+    ) -> Result<Arc<ShardedLogStore>, CliError> {
         match std::fs::metadata(path) {
-            Ok(meta) if meta.is_dir() => open_log_dir(path, fsync),
+            Ok(meta) if meta.is_dir() => open_log_dir(path, fsync, shards),
             Ok(_) => {
                 let snapshot = std::fs::read_to_string(path).map_err(CliError::Store)?;
                 // Validate before touching anything so a corrupt legacy
@@ -701,18 +762,21 @@ mod serve {
                 legacy.push(".legacy");
                 let legacy = std::path::PathBuf::from(legacy);
                 std::fs::rename(path, &legacy).map_err(CliError::Store)?;
-                let store = open_log_dir(path, fsync)?;
+                let store = open_log_dir(path, fsync, shards)?;
                 let docs = Arc::clone(&store) as Arc<dyn DocStore>;
                 DocsServer::restore_into(&snapshot, &docs).map_err(CliError::BadStore)?;
                 store.flush().map_err(store_error)?;
                 std::fs::remove_file(&legacy).map_err(CliError::Store)?;
                 Ok(store)
             }
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => open_log_dir(path, fsync),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                open_log_dir(path, fsync, shards)
+            }
             Err(e) => Err(CliError::Store(e)),
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn run_server(
         options: &CliOptions,
         addr: &str,
@@ -720,6 +784,7 @@ mod serve {
         max_conns: Option<usize>,
         addr_file: Option<&Path>,
         fsync: FsyncPolicy,
+        shards: Option<usize>,
     ) -> Result<String, CliError> {
         if options.store.as_os_str().is_empty() {
             return Err(CliError::Usage(format!(
@@ -727,7 +792,7 @@ mod serve {
                 crate::USAGE
             )));
         }
-        let store = open_serve_store(&options.store, fsync)?;
+        let store = open_serve_store(&options.store, fsync, shards)?;
         let server =
             Arc::new(DocsServer::with_store(Arc::clone(&store) as Arc<dyn DocStore>));
         let stop = Arc::new(AtomicBool::new(false));
@@ -1081,11 +1146,13 @@ mod tests {
                 max_conns: None,
                 addr_file: None,
                 fsync: FsyncPolicy::Always,
+                shards: None,
             }
         );
         let options = parse_args(&args(&[
             "--store", "s.db", "serve", "--addr", "127.0.0.1:8080", "--workers", "2",
             "--max-conns", "512", "--addr-file", "/tmp/a", "--fsync", "every=8",
+            "--shards", "4",
         ]))
         .unwrap();
         assert_eq!(
@@ -1096,6 +1163,7 @@ mod tests {
                 max_conns: Some(512),
                 addr_file: Some(PathBuf::from("/tmp/a")),
                 fsync: FsyncPolicy::EveryN(8),
+                shards: Some(4),
             }
         );
         assert!(matches!(
@@ -1110,11 +1178,27 @@ mod tests {
         let options = parse_args(&args(&["fsck", "some/dir"])).unwrap();
         assert_eq!(options.command, Command::Fsck { dir: PathBuf::from("some/dir") });
         let options = parse_args(&args(&["compact", "some/dir"])).unwrap();
-        assert_eq!(options.command, Command::Compact { dir: PathBuf::from("some/dir") });
+        assert_eq!(
+            options.command,
+            Command::Compact { dir: PathBuf::from("some/dir"), shards: None }
+        );
+        let options = parse_args(&args(&["compact", "some/dir", "--shards", "8"])).unwrap();
+        assert_eq!(
+            options.command,
+            Command::Compact { dir: PathBuf::from("some/dir"), shards: Some(8) }
+        );
         assert!(matches!(parse_args(&args(&["fsck"])), Err(CliError::Usage(_))));
         assert!(matches!(
             parse_args(&args(&["compact", "a", "b"])),
             Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(&args(&["fsck", "a", "--shards", "2"])),
+            Err(CliError::Usage(_)),
+        ));
+        assert!(matches!(
+            parse_args(&args(&["compact", "a", "--shards", "two"])),
+            Err(CliError::Usage(_)),
         ));
     }
 

@@ -151,3 +151,84 @@ fn legacy_text_store_file_is_migrated_by_serve() {
         pedit(&["--store", store.str(), "show", "--doc", &doc, "--password", "pw"]).unwrap();
     assert_eq!(local, "born in a text file");
 }
+
+/// The sharded drill: a multi-shard store serves over the socket, dies
+/// by SIGKILL mid-life, recovers every acknowledged save across all
+/// shards on restart, and survives fsck + a legacy→sharded migration
+/// round trip.
+#[test]
+fn sharded_store_survives_sigkill_and_legacy_stores_migrate() {
+    let store = TempPath::new("sharded");
+    let addr_file = TempPath::new("sharded-addr");
+
+    // --- First life: an explicitly 4-way sharded store. ---
+    let mut child = Command::new(env!("CARGO_BIN_EXE_pedit"))
+        .args([
+            "--store", store.str(), "serve", "--addr", "127.0.0.1:0",
+            "--addr-file", addr_file.str(), "--shards", "4",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn pedit serve --shards 4");
+    let addr = wait_for_addr(&addr_file.0);
+
+    // Several documents so the saves spread across shards.
+    let mut docs = Vec::new();
+    for i in 0..6 {
+        let created = pedit(&["--connect", &addr, "create", "--password", "pw"]).unwrap();
+        let doc = created.strip_prefix("created ").unwrap().to_string();
+        pedit(&["--connect", &addr, "save", "--doc", &doc, "--password", "pw", "--text",
+                &format!("doc {i} acknowledged before the crash")])
+            .unwrap();
+        docs.push(doc);
+    }
+
+    child.kill().expect("kill serve");
+    child.wait().expect("reap serve");
+
+    // The layout on disk is sharded, fsck checks every shard, and every
+    // acknowledged save is present.
+    assert!(store.0.join("pe-shards").is_file(), "manifest must exist");
+    assert!(store.0.join("shard-003").is_dir(), "4 shard directories expected");
+    let report = pedit(&["fsck", store.str()]).unwrap();
+    assert!(report.contains("store healthy"), "fsck after kill: {report}");
+    assert!(report.contains("[shard-000]"), "fsck must report per shard: {report}");
+    for (i, doc) in docs.iter().enumerate() {
+        let local =
+            pedit(&["--store", store.str(), "show", "--doc", doc, "--password", "pw"]).unwrap();
+        assert_eq!(local, format!("doc {i} acknowledged before the crash"));
+    }
+
+    // --- Second life: same directory, shard count read from manifest. ---
+    let _ = std::fs::remove_file(&addr_file.0);
+    let mut child = spawn_serve(store.str(), addr_file.str());
+    let addr = wait_for_addr(&addr_file.0);
+    pedit(&["--connect", &addr, "save", "--doc", &docs[0], "--password", "pw", "--text",
+            "edited after restart"])
+        .unwrap();
+    assert_eq!(pedit(&["--connect", &addr, "stop"]).unwrap(), "server stopping");
+    assert!(child.wait().expect("reap serve").success());
+    let local =
+        pedit(&["--store", store.str(), "show", "--doc", &docs[0], "--password", "pw"]).unwrap();
+    assert_eq!(local, "edited after restart");
+
+    // --- Migration: a legacy WAL directory converts in place. ---
+    let legacy = TempPath::new("sharded-legacy");
+    {
+        use pe_store::{DocStore, LogStore, StoreConfig};
+        let old = LogStore::open(&legacy.0, StoreConfig::default()).unwrap();
+        old.put_full("relic", b"from the single-log era").unwrap();
+    }
+    let compacted = pedit(&["compact", legacy.str(), "--shards", "3"]).unwrap();
+    assert!(compacted.contains("3 shard(s)"), "migration output: {compacted}");
+    assert!(legacy.0.join("pe-shards").is_file());
+    let report = pedit(&["fsck", legacy.str()]).unwrap();
+    assert!(report.contains("store healthy"), "fsck after migration: {report}");
+    {
+        use pe_store::{DocStore, ShardedLogStore, StoreConfig};
+        let migrated = ShardedLogStore::open(&legacy.0, 1, StoreConfig::default()).unwrap();
+        assert_eq!(migrated.shard_count(), 3);
+        assert_eq!(migrated.content("relic").unwrap(), b"from the single-log era");
+    }
+}

@@ -4,12 +4,24 @@
 //! network time; the model needs the *actual* bytes that crossed the
 //! wire — including ciphertext blowup introduced by the mediator. A
 //! [`MeteredService`] wraps any server and records each exchange's sizes.
+//!
+//! The log is a **bounded ring**: a long-lived server (`pedit serve`
+//! keeps its metered wrapper for the process lifetime) must not grow an
+//! unbounded `Vec` of exchanges. When the ring is full the oldest
+//! exchange is dropped and counted; harnesses that drain per operation
+//! (every current benchmark) never hit the cap.
 
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use crate::{CloudService, Request, Response};
+
+/// Default ring capacity. Far above any per-op drain interval used by
+/// the benchmarks (a handful of exchanges), small enough that the worst
+/// case is ~64 KiB retained per metered server.
+pub const DEFAULT_METER_CAPACITY: usize = 4096;
 
 /// One recorded exchange.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -18,6 +30,24 @@ pub struct Exchange {
     pub request_bytes: usize,
     /// Bytes returned by the server.
     pub response_bytes: usize,
+}
+
+#[derive(Debug)]
+struct MeterLog {
+    ring: VecDeque<Exchange>,
+    capacity: usize,
+    /// Oldest-exchange evictions since the last [`MeteredService::drain`].
+    dropped: u64,
+}
+
+impl MeterLog {
+    fn push(&mut self, exchange: Exchange) {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(exchange);
+    }
 }
 
 /// A transparent byte-counting wrapper around any [`CloudService`].
@@ -40,7 +70,7 @@ pub struct Exchange {
 #[derive(Debug)]
 pub struct MeteredService<S> {
     inner: Arc<S>,
-    log: Arc<Mutex<Vec<Exchange>>>,
+    log: Arc<Mutex<MeterLog>>,
 }
 
 impl<S> Clone for MeteredService<S> {
@@ -50,9 +80,22 @@ impl<S> Clone for MeteredService<S> {
 }
 
 impl<S: CloudService> MeteredService<S> {
-    /// Wraps a service.
+    /// Wraps a service with the default ring capacity.
     pub fn new(inner: S) -> MeteredService<S> {
-        MeteredService { inner: Arc::new(inner), log: Arc::new(Mutex::new(Vec::new())) }
+        MeteredService::with_capacity(inner, DEFAULT_METER_CAPACITY)
+    }
+
+    /// Wraps a service, retaining at most `capacity` exchanges (≥ 1).
+    pub fn with_capacity(inner: S, capacity: usize) -> MeteredService<S> {
+        let capacity = capacity.max(1);
+        MeteredService {
+            inner: Arc::new(inner),
+            log: Arc::new(Mutex::new(MeterLog {
+                ring: VecDeque::with_capacity(capacity.min(DEFAULT_METER_CAPACITY)),
+                capacity,
+                dropped: 0,
+            })),
+        }
     }
 
     /// The wrapped service.
@@ -60,14 +103,26 @@ impl<S: CloudService> MeteredService<S> {
         &self.inner
     }
 
-    /// Takes all recorded exchanges, clearing the log.
+    /// Takes all retained exchanges (oldest first), clearing the log and
+    /// the dropped counter.
     pub fn drain(&self) -> Vec<Exchange> {
-        std::mem::take(&mut *self.log.lock())
+        let mut log = self.log.lock();
+        log.dropped = 0;
+        log.ring.drain(..).collect()
     }
 
-    /// Total bytes over all recorded exchanges (without draining).
+    /// Total bytes over the retained exchanges (without draining).
+    /// Exchanges evicted by the ring bound are not included — check
+    /// [`MeteredService::dropped`] when exactness matters.
     pub fn total_bytes(&self) -> usize {
-        self.log.lock().iter().map(|e| e.request_bytes + e.response_bytes).sum()
+        self.log.lock().ring.iter().map(|e| e.request_bytes + e.response_bytes).sum()
+    }
+
+    /// Exchanges evicted by the ring bound since the last drain. Nonzero
+    /// means the caller drained too rarely for its capacity and byte
+    /// sums over [`MeteredService::drain`] undercount.
+    pub fn dropped(&self) -> u64 {
+        self.log.lock().dropped
     }
 }
 
@@ -110,5 +165,31 @@ mod tests {
         assert_eq!(metered.total_bytes(), 0);
         metered.handle(&Request::post("/Doc", &[("cmd", "create")], ""));
         assert!(metered.total_bytes() > 0);
+    }
+
+    #[test]
+    fn ring_bound_evicts_oldest_and_counts_drops() {
+        let metered = MeteredService::with_capacity(DocsServer::new(), 3);
+        for _ in 0..8 {
+            metered.handle(&Request::post("/Doc", &[("cmd", "create")], ""));
+        }
+        assert_eq!(metered.dropped(), 5, "8 exchanges into a 3-slot ring drop 5");
+        let log = metered.drain();
+        assert_eq!(log.len(), 3, "only the newest exchanges are retained");
+        assert_eq!(metered.dropped(), 0, "drain resets the dropped counter");
+        // The ring never grows: memory stays bounded however long the
+        // server lives.
+        for _ in 0..100 {
+            metered.handle(&Request::post("/Doc", &[("cmd", "create")], ""));
+        }
+        assert_eq!(metered.drain().len(), 3);
+    }
+
+    #[test]
+    fn capacity_is_clamped_to_at_least_one() {
+        let metered = MeteredService::with_capacity(DocsServer::new(), 0);
+        metered.handle(&Request::post("/Doc", &[("cmd", "create")], ""));
+        metered.handle(&Request::post("/Doc", &[("cmd", "create")], ""));
+        assert_eq!(metered.drain().len(), 1);
     }
 }

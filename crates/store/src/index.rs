@@ -22,7 +22,9 @@ pub struct Index {
 }
 
 /// FNV-1a — short ids, no adversarial keys (ids are server-issued).
-fn hash_id(id: &str) -> u64 {
+/// Shared with [`crate::shard`] so document→shard routing and the
+/// in-memory index agree on one hash.
+pub(crate) fn hash_id(id: &str) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &b in id.as_bytes() {
         h ^= b as u64;

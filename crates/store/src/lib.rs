@@ -51,6 +51,7 @@ mod index;
 mod log;
 mod mem;
 pub mod record;
+mod shard;
 mod snapfile;
 pub mod wal;
 
@@ -59,7 +60,8 @@ pub use log::{
     fsck, CompactionStats, FsckReport, LogStore, SegmentReport, SnapshotReport, StoreConfig,
 };
 pub use mem::MemStore;
-pub use wal::FsyncPolicy;
+pub use shard::{shard_dir, ShardedLogStore, MANIFEST_NAME, MAX_SHARDS};
+pub use wal::{FsyncPolicy, GroupStats};
 
 /// The stored state of one document, as the provider sees it.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]

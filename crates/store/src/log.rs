@@ -3,11 +3,15 @@
 //!
 //! ## Write path
 //!
-//! Every mutation (1) serializes behind the WAL lock, (2) appends one
-//! CRC-framed record (fsynced per policy), then (3) applies the same
-//! record to the in-memory index. An `Ok` return *is* the
-//! acknowledgement: under [`FsyncPolicy::Always`] the record is on disk
-//! before the caller hears back.
+//! Every mutation (1) serializes behind a short write lock just long
+//! enough to read-modify-write the index and enqueue one CRC-framed
+//! record into the group-commit buffer, then (2) releases the lock and
+//! waits for durability via [`wal::GroupWal::sync_to`] — one *leader*
+//! fsync covers every record that arrived while the previous sync was in
+//! flight, so the per-record fsync cost amortizes across concurrent
+//! writers. An `Ok` return *is* the acknowledgement: under
+//! [`FsyncPolicy::Always`] the record is on disk before the caller hears
+//! back.
 //!
 //! ## Open path
 //!
@@ -37,8 +41,11 @@ use crate::index::{Index, DEFAULT_SHARDS};
 use crate::mem::apply_delta_checked;
 use crate::record::Record;
 use crate::snapfile;
-use crate::wal::{self, FsyncPolicy, SegmentWriter};
+use crate::wal::{self, AppendAck, FsyncPolicy, GroupWal, SegmentWriter};
 use crate::{CrashPoint, DeltaLimits, DocState, DocStore, StoreError, StoreFaults};
+
+/// Documents plus meta entries, as one consistent cut.
+pub(crate) type SnapshotState = (Vec<(String, DocState)>, Vec<(String, u64)>);
 
 /// Configuration for [`LogStore::open`].
 #[derive(Debug, Clone, Copy)]
@@ -83,7 +90,10 @@ pub struct CompactionStats {
 struct LogInner {
     dir: PathBuf,
     index: Index,
-    wal: Mutex<SegmentWriter>,
+    /// Serializes mutations: index read-modify-write + record enqueue
+    /// happen under this lock; the fsync wait happens *outside* it.
+    write_lock: Mutex<()>,
+    wal: GroupWal,
     compact_lock: Mutex<()>,
     poisoned: AtomicBool,
     stop: AtomicBool,
@@ -141,6 +151,12 @@ impl LogStore {
     pub fn open(dir: impl AsRef<Path>, config: StoreConfig) -> Result<LogStore, StoreError> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
+        if dir.join(crate::shard::MANIFEST_NAME).exists() {
+            return Err(StoreError::Corrupt(format!(
+                "{} is a sharded store root; open it with ShardedLogStore",
+                dir.display()
+            )));
+        }
 
         // A crash mid-compaction can leave a half-written `.tmp`; it was
         // never published, so it is dead weight.
@@ -236,12 +252,15 @@ impl LogStore {
         // Resume appending: continue the final segment (repairing any
         // torn tail) or start the first segment after the snapshot.
         let (seq, start_len) = tail.unwrap_or((covered_seq + 1, 0));
-        let writer = SegmentWriter::open(&dir, seq, start_len, config.fsync, config.faults)?;
+        // The fault plan lives in the group layer (which owns append
+        // ordinals); the raw writer stays uninstrumented.
+        let writer = SegmentWriter::open(&dir, seq, start_len, config.fsync, None)?;
 
         let inner = Arc::new(LogInner {
             dir,
             index,
-            wal: Mutex::new(writer),
+            write_lock: Mutex::new(()),
+            wal: GroupWal::new(writer, config.fsync, config.faults),
             compact_lock: Mutex::new(()),
             poisoned: AtomicBool::new(false),
             stop: AtomicBool::new(false),
@@ -279,20 +298,16 @@ impl LogStore {
         }
     }
 
-    /// Appends a record under an already-held WAL lock and, on success,
-    /// applies it to the index — the single funnel every mutation goes
-    /// through. The caller holds the lock so its read-modify-write
-    /// (version read, existence check) is atomic with the append.
-    fn commit_locked(
-        &self,
-        wal: &mut SegmentWriter,
-        record: &Record,
-    ) -> Result<(), StoreError> {
-        let before = wal.len();
-        match wal.append(record) {
-            Ok(()) => {
-                self.inner.log_bytes.fetch_add(wal.len() - before, Ordering::Relaxed);
-                Ok(())
+    /// Enqueues a record under the already-held write lock — the single
+    /// funnel every mutation goes through. The caller holds the lock so
+    /// its read-modify-write (version read, existence check) and index
+    /// apply are atomic with record ordering; durability is settled
+    /// afterwards by [`LogStore::finish_commit`], outside the lock.
+    fn commit_locked(&self, record: &Record) -> Result<AppendAck, StoreError> {
+        match self.inner.wal.append(record) {
+            Ok(ack) => {
+                self.inner.log_bytes.fetch_add(ack.frame_len, Ordering::Relaxed);
+                Ok(ack)
             }
             Err(e) => {
                 if matches!(e, StoreError::InjectedCrash(_)) {
@@ -301,6 +316,36 @@ impl LogStore {
                 Err(e)
             }
         }
+    }
+
+    /// Completes a commit after the write lock is released: joins the
+    /// group fsync when the policy demands durability before the ack.
+    /// An fsync failure voids durability promises made since the last
+    /// successful sync, so it poisons the whole store.
+    fn finish_commit(
+        &self,
+        ack: AppendAck,
+        started: std::time::Instant,
+    ) -> Result<(), StoreError> {
+        if ack.needs_sync {
+            if let Err(e) = self.inner.wal.sync_to(ack.end) {
+                self.inner.poisoned.store(true, Ordering::SeqCst);
+                return Err(e);
+            }
+        }
+        pe_observe::static_histogram!("store.append_ns").record_duration(started.elapsed());
+        Ok(())
+    }
+
+    /// Lifetime group-commit counters (appends, fsyncs, batch sizes).
+    pub fn group_stats(&self) -> wal::GroupStats {
+        self.inner.wal.stats()
+    }
+
+    /// A point-in-time copy of every document and meta entry — the
+    /// migration source for converting a legacy store into shards.
+    pub(crate) fn snapshot_state(&self) -> SnapshotState {
+        (self.inner.index.snapshot_docs(), self.inner.index.meta_entries())
     }
 }
 
@@ -362,10 +407,10 @@ fn compact_inner(inner: &LogInner) -> Result<CompactionStats, StoreError> {
     let _serialize = inner.compact_lock.lock();
 
     // Seal the live segment and cut a consistent copy of the index. The
-    // WAL lock blocks writers for exactly the rotation + copy.
+    // write lock blocks writers for exactly the rotation + copy.
     let (sealed, docs, meta) = {
-        let mut wal = inner.wal.lock();
-        let sealed = wal.rotate()?;
+        let _writers = inner.write_lock.lock();
+        let sealed = inner.wal.rotate()?;
         let docs = inner.index.snapshot_docs();
         let meta = inner.index.meta_entries();
         (sealed, docs, meta)
@@ -391,10 +436,14 @@ fn compact_inner(inner: &LogInner) -> Result<CompactionStats, StoreError> {
 
     // Leave a marker in the live log, then garbage-collect everything
     // the snapshot supersedes.
-    {
-        let mut wal = inner.wal.lock();
-        wal.append(&Record::SnapshotMarker { covered_seq: sealed })?;
-        inner.log_bytes.store(wal.len(), Ordering::Relaxed);
+    let marker = {
+        let _writers = inner.write_lock.lock();
+        let ack = inner.wal.append(&Record::SnapshotMarker { covered_seq: sealed })?;
+        inner.log_bytes.store(inner.wal.live_len(), Ordering::Relaxed);
+        ack
+    };
+    if marker.needs_sync {
+        inner.wal.sync_to(marker.end)?;
     }
     let (segments, snapshots) = scan_dir(&inner.dir)?;
     let mut segments_removed = 0u64;
@@ -431,7 +480,7 @@ impl Drop for LogStore {
         }
         // Best-effort durability on clean shutdown.
         if !self.inner.poisoned.load(Ordering::SeqCst) {
-            let _ = self.inner.wal.lock().flush();
+            let _ = self.inner.wal.flush();
         }
     }
 }
@@ -455,24 +504,34 @@ impl DocStore for LogStore {
 
     fn create(&self, id: &str) -> Result<bool, StoreError> {
         self.check()?;
-        let mut wal = self.inner.wal.lock();
-        if self.inner.index.contains(id) {
-            return Ok(false);
-        }
-        self.commit_locked(&mut wal, &Record::Create { id: id.to_string() })?;
-        self.inner.index.apply_create(id);
+        let started = std::time::Instant::now();
+        let ack = {
+            let _writers = self.inner.write_lock.lock();
+            if self.inner.index.contains(id) {
+                return Ok(false);
+            }
+            let ack = self.commit_locked(&Record::Create { id: id.to_string() })?;
+            self.inner.index.apply_create(id);
+            ack
+        };
+        self.finish_commit(ack, started)?;
         Ok(true)
     }
 
     fn put_full(&self, id: &str, content: &[u8]) -> Result<u64, StoreError> {
         self.check()?;
-        let mut wal = self.inner.wal.lock();
-        let version = self.inner.index.version(id).unwrap_or(0) + 1;
-        let record =
-            Record::FullSave { id: id.to_string(), version, content: content.to_vec() };
-        self.commit_locked(&mut wal, &record)?;
-        let applied = self.inner.index.apply_save(id, content.to_vec());
-        debug_assert_eq!(applied, version);
+        let started = std::time::Instant::now();
+        let (ack, version) = {
+            let _writers = self.inner.write_lock.lock();
+            let version = self.inner.index.version(id).unwrap_or(0) + 1;
+            let record =
+                Record::FullSave { id: id.to_string(), version, content: content.to_vec() };
+            let ack = self.commit_locked(&record)?;
+            let applied = self.inner.index.apply_save(id, content.to_vec());
+            debug_assert_eq!(applied, version);
+            (ack, version)
+        };
+        self.finish_commit(ack, started)?;
         Ok(version)
     }
 
@@ -483,26 +542,36 @@ impl DocStore for LogStore {
         limits: DeltaLimits,
     ) -> Result<DocState, StoreError> {
         self.check()?;
-        let mut wal = self.inner.wal.lock();
-        let current = self.inner.index.content(id).ok_or(StoreError::NoSuchDocument)?;
-        let updated = apply_delta_checked(&current, delta, limits)?;
-        let version = self.inner.index.version(id).unwrap_or(0) + 1;
-        let record =
-            Record::Delta { id: id.to_string(), version, delta: delta.serialize() };
-        self.commit_locked(&mut wal, &record)?;
-        let applied = self.inner.index.apply_save(id, updated.clone());
-        debug_assert_eq!(applied, version);
+        let started = std::time::Instant::now();
+        let (ack, updated, version) = {
+            let _writers = self.inner.write_lock.lock();
+            let current = self.inner.index.content(id).ok_or(StoreError::NoSuchDocument)?;
+            let updated = apply_delta_checked(&current, delta, limits)?;
+            let version = self.inner.index.version(id).unwrap_or(0) + 1;
+            let record =
+                Record::Delta { id: id.to_string(), version, delta: delta.serialize() };
+            let ack = self.commit_locked(&record)?;
+            let applied = self.inner.index.apply_save(id, updated.clone());
+            debug_assert_eq!(applied, version);
+            (ack, updated, version)
+        };
+        self.finish_commit(ack, started)?;
         Ok(DocState { content: updated, version, revisions: Vec::new() })
     }
 
     fn remove(&self, id: &str) -> Result<bool, StoreError> {
         self.check()?;
-        let mut wal = self.inner.wal.lock();
-        if !self.inner.index.contains(id) {
-            return Ok(false);
-        }
-        self.commit_locked(&mut wal, &Record::Delete { id: id.to_string() })?;
-        self.inner.index.apply_remove(id);
+        let started = std::time::Instant::now();
+        let ack = {
+            let _writers = self.inner.write_lock.lock();
+            if !self.inner.index.contains(id) {
+                return Ok(false);
+            }
+            let ack = self.commit_locked(&Record::Delete { id: id.to_string() })?;
+            self.inner.index.apply_remove(id);
+            ack
+        };
+        self.finish_commit(ack, started)?;
         Ok(true)
     }
 
@@ -512,18 +581,28 @@ impl DocStore for LogStore {
 
     fn set_meta(&self, key: &str, value: u64) -> Result<(), StoreError> {
         self.check()?;
-        let mut wal = self.inner.wal.lock();
-        self.commit_locked(&mut wal, &Record::Meta { key: key.to_string(), value })?;
-        self.inner.index.meta_set(key, value);
+        let started = std::time::Instant::now();
+        let ack = {
+            let _writers = self.inner.write_lock.lock();
+            let ack = self.commit_locked(&Record::Meta { key: key.to_string(), value })?;
+            self.inner.index.meta_set(key, value);
+            ack
+        };
+        self.finish_commit(ack, started)?;
         Ok(())
     }
 
     fn bump_meta(&self, key: &str) -> Result<u64, StoreError> {
         self.check()?;
-        let mut wal = self.inner.wal.lock();
-        let value = self.inner.index.meta_get(key).unwrap_or(0) + 1;
-        self.commit_locked(&mut wal, &Record::Meta { key: key.to_string(), value })?;
-        self.inner.index.meta_set(key, value);
+        let started = std::time::Instant::now();
+        let (ack, value) = {
+            let _writers = self.inner.write_lock.lock();
+            let value = self.inner.index.meta_get(key).unwrap_or(0) + 1;
+            let ack = self.commit_locked(&Record::Meta { key: key.to_string(), value })?;
+            self.inner.index.meta_set(key, value);
+            (ack, value)
+        };
+        self.finish_commit(ack, started)?;
         Ok(value)
     }
 
@@ -533,7 +612,7 @@ impl DocStore for LogStore {
 
     fn flush(&self) -> Result<(), StoreError> {
         self.check()?;
-        self.inner.wal.lock().flush()
+        self.inner.wal.flush()
     }
 
     fn compact(&self) -> Result<CompactionStats, StoreError> {
@@ -582,17 +661,39 @@ pub struct FsckReport {
     pub errors: Vec<String>,
     /// Non-fatal notes (e.g. a recoverable torn tail).
     pub warnings: Vec<String>,
+    /// For a sharded root: one sub-report per shard (directory name,
+    /// findings). Empty for a legacy single-directory store.
+    pub shards: Vec<(String, FsckReport)>,
 }
 
 impl FsckReport {
     /// Whether the directory would open without data loss beyond a torn
     /// tail.
     pub fn is_healthy(&self) -> bool {
-        self.errors.is_empty()
+        self.errors.is_empty() && self.shards.iter().all(|(_, report)| report.is_healthy())
     }
 
     /// Human-readable rendering.
     pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, report) in &self.shards {
+            let _ = writeln!(out, "[{name}]");
+            for line in report.render_body().lines() {
+                let _ = writeln!(out, "  {line}");
+            }
+        }
+        out.push_str(&self.render_body());
+        let _ = write!(
+            out,
+            "{}",
+            if self.is_healthy() { "store healthy" } else { "STORE CORRUPT" }
+        );
+        out
+    }
+
+    /// Renders findings without the trailing verdict line.
+    fn render_body(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
         for snap in &self.snapshots {
@@ -624,17 +725,16 @@ impl FsckReport {
         for error in &self.errors {
             let _ = writeln!(out, "error: {error}");
         }
-        let _ = write!(
-            out,
-            "{}",
-            if self.is_healthy() { "store healthy" } else { "STORE CORRUPT" }
-        );
         out
     }
 }
 
 /// Read-only verification of a store directory: validates every
 /// snapshot's CRC and every WAL frame, without modifying anything.
+/// Understands both layouts: a legacy single-directory store is checked
+/// in place, while a sharded root (one carrying a
+/// [`crate::MANIFEST_NAME`] manifest) gets one sub-report per shard and
+/// is healthy only if every shard is.
 ///
 /// # Errors
 ///
@@ -642,6 +742,31 @@ impl FsckReport {
 /// in the error channel.
 pub fn fsck(dir: impl AsRef<Path>) -> Result<FsckReport, StoreError> {
     let dir = dir.as_ref();
+    let mut report = FsckReport::default();
+    if !dir.is_dir() {
+        report.errors.push(format!("{} is not a store directory", dir.display()));
+        return Ok(report);
+    }
+    if dir.join(crate::shard::MANIFEST_NAME).is_file() {
+        match crate::shard::read_manifest(dir) {
+            Ok(count) => {
+                for shard in 0..count {
+                    let sub = crate::shard::shard_dir(dir, shard);
+                    let name = format!("shard-{shard:03}");
+                    let shard_report = fsck_one(&sub)?;
+                    report.shards.push((name, shard_report));
+                }
+            }
+            Err(StoreError::Corrupt(msg)) => report.errors.push(msg),
+            Err(e) => return Err(e),
+        }
+        return Ok(report);
+    }
+    fsck_one(dir)
+}
+
+/// Verifies one physical store directory (a legacy root or one shard).
+fn fsck_one(dir: &Path) -> Result<FsckReport, StoreError> {
     let mut report = FsckReport::default();
     if !dir.is_dir() {
         report.errors.push(format!("{} is not a store directory", dir.display()));

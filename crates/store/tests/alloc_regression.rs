@@ -15,7 +15,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use pe_store::record::Record;
-use pe_store::wal::{replay_segment, segment_path, FsyncPolicy, SegmentWriter};
+use pe_store::wal::{replay_segment, segment_path, FsyncPolicy, GroupWal, SegmentWriter};
 
 struct CountingAlloc;
 
@@ -95,6 +95,82 @@ fn steady_state_append_does_not_allocate() {
     let mut seen = 0u64;
     let stats = replay_segment(&segment_path(&dir, 1), |_| seen += 1).unwrap();
     assert_eq!(seen, 9);
+    assert_eq!(stats.torn_bytes, 0);
+
+    // -----------------------------------------------------------------
+    // Phase 2: the group-commit path. Concurrent appenders encode into
+    // the shared double-buffered pending batch; in steady state (both
+    // batch buffers at their high-water capacity, metric cells
+    // initialized by the warm-up round) an append + group fsync touches
+    // the allocator zero times, from any number of threads.
+    // -----------------------------------------------------------------
+    const THREADS: usize = 4;
+    const PER_THREAD: usize = 24;
+    let gdir = dir.join("group");
+    std::fs::create_dir_all(&gdir).unwrap();
+    let wal = GroupWal::new(
+        SegmentWriter::open(&gdir, 1, 0, FsyncPolicy::Always, None).unwrap(),
+        FsyncPolicy::Always,
+        None,
+    );
+    // Per-thread record sets, built before measurement. 4 KiB payloads:
+    // even a worst-case batch (every thread's record pending at once)
+    // stays far below the batch buffer's initial capacity, so the
+    // buffers never need to grow.
+    let scripts: Vec<Vec<Record>> = (0..THREADS)
+        .map(|t| {
+            (0..2 * PER_THREAD)
+                .map(|i| Record::FullSave {
+                    id: format!("group-doc-{t}"),
+                    version: (i + 1) as u64,
+                    content: vec![(t as u8) ^ (i as u8); 4096],
+                })
+                .collect()
+        })
+        .collect();
+
+    let warm = std::sync::Barrier::new(THREADS + 1);
+    let start = std::sync::Barrier::new(THREADS + 1);
+    let done = std::sync::Barrier::new(THREADS + 1);
+    let measured = std::thread::scope(|scope| {
+        for script in &scripts {
+            let (wal, warm, start, done) = (&wal, &warm, &start, &done);
+            scope.spawn(move || {
+                let (warmup, steady) = script.split_at(PER_THREAD);
+                for record in warmup {
+                    let ack = wal.append(record).unwrap();
+                    wal.sync_to(ack.end).unwrap();
+                }
+                warm.wait();
+                start.wait();
+                for record in steady {
+                    let ack = wal.append(record).unwrap();
+                    wal.sync_to(ack.end).unwrap();
+                }
+                done.wait();
+            });
+        }
+        warm.wait();
+        // Only this thread runs here; every worker is parked in
+        // `start.wait()`, so the window below sees group-commit
+        // allocations alone.
+        let before = allocs();
+        start.wait();
+        done.wait();
+        allocs() - before
+    });
+    assert_eq!(
+        measured, 0,
+        "steady-state group-commit appends must not touch the allocator \
+         (got {measured} allocations over {} appends from {THREADS} threads)",
+        THREADS * PER_THREAD
+    );
+    let stats = wal.stats();
+    assert_eq!(stats.appends as usize, 2 * THREADS * PER_THREAD);
+    drop(wal);
+    let mut seen = 0u64;
+    let stats = replay_segment(&segment_path(&gdir, 1), |_| seen += 1).unwrap();
+    assert_eq!(seen as usize, 2 * THREADS * PER_THREAD);
     assert_eq!(stats.torn_bytes, 0);
     let _ = std::fs::remove_dir_all(&dir);
 }

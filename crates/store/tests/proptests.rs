@@ -153,3 +153,89 @@ proptest! {
         prop_assert_eq!(recovered, expected);
     }
 }
+
+/// One randomized step against both the sharded store and the model.
+#[derive(Debug, Clone)]
+enum ModelOp {
+    Create(String),
+    PutFull(String, Vec<u8>),
+    Remove(String),
+    BumpMeta(String),
+    SetMeta(String, u64),
+    Compact,
+}
+
+fn model_op_strategy() -> BoxedStrategy<ModelOp> {
+    let id = "[a-h]";
+    prop_oneof![
+        id.prop_map(ModelOp::Create),
+        (id, proptest::collection::vec(any::<u8>(), 0..60))
+            .prop_map(|(id, content)| ModelOp::PutFull(id, content)),
+        id.prop_map(ModelOp::Remove),
+        "[xy]".prop_map(ModelOp::BumpMeta),
+        ("[xy]", 0u64..100).prop_map(|(k, v)| ModelOp::SetMeta(k, v)),
+        proptest::strategy::Just(ModelOp::Compact),
+    ]
+    .boxed()
+}
+
+proptest! {
+    /// [`pe_store::ShardedLogStore`] and [`pe_store::MemStore`] agree as
+    /// models under random interleaved ops (including compactions), and
+    /// the agreement survives a reopen.
+    #[test]
+    fn sharded_store_agrees_with_memstore_model(
+        ops in proptest::collection::vec(model_op_strategy(), 1..40),
+        shards in 1usize..5,
+    ) {
+        use pe_store::{MemStore, ShardedLogStore};
+        let dir = TempDir::new("model");
+        let model = MemStore::new();
+        {
+            let store = ShardedLogStore::open(&dir.0, shards, StoreConfig::default()).unwrap();
+            prop_assert_eq!(store.shard_count(), shards);
+            for op in &ops {
+                match op {
+                    ModelOp::Create(id) => {
+                        prop_assert_eq!(store.create(id).unwrap(), model.create(id).unwrap());
+                    }
+                    ModelOp::PutFull(id, content) => {
+                        prop_assert_eq!(
+                            store.put_full(id, content).unwrap(),
+                            model.put_full(id, content).unwrap()
+                        );
+                    }
+                    ModelOp::Remove(id) => {
+                        prop_assert_eq!(store.remove(id).unwrap(), model.remove(id).unwrap());
+                    }
+                    ModelOp::BumpMeta(key) => {
+                        prop_assert_eq!(
+                            store.bump_meta(key).unwrap(),
+                            model.bump_meta(key).unwrap()
+                        );
+                    }
+                    ModelOp::SetMeta(key, value) => {
+                        store.set_meta(key, *value).unwrap();
+                        model.set_meta(key, *value).unwrap();
+                    }
+                    ModelOp::Compact => {
+                        store.compact().unwrap();
+                    }
+                }
+            }
+            prop_assert_eq!(store.list(), model.list());
+            prop_assert_eq!(store.meta_entries(), model.meta_entries());
+            for id in model.list() {
+                prop_assert_eq!(store.get(&id), model.get(&id));
+            }
+        }
+        // Same equality after crash-free recovery.
+        let store = ShardedLogStore::open(&dir.0, shards, StoreConfig::default()).unwrap();
+        prop_assert_eq!(store.shard_count(), shards);
+        prop_assert_eq!(store.list(), model.list());
+        prop_assert_eq!(store.meta_entries(), model.meta_entries());
+        for id in model.list() {
+            prop_assert_eq!(store.get(&id), model.get(&id));
+        }
+    }
+}

@@ -68,12 +68,15 @@ if report["aesni_supported"]:
 print(f"smoke report OK ({len(rows)} rows, backends: {sorted(seen)})")
 PY
 
-echo "== net_load smoke =="
+echo "== net_load smoke (mem + durable sharded store) =="
 # The network load bench must complete over real loopback sockets with
-# zero unrecovered errors and emit valid JSON.
+# zero unrecovered errors and emit valid JSON. --store adds a second
+# sweep over a durable sharded WAL store, so the report must carry both
+# mem and sharded-log rows.
 net_out="$(mktemp)"
-trap 'rm -f "$smoke_out" "$net_out"' EXIT
-./target/release/net_load --smoke --out "$net_out"
+net_store="$(mktemp -d)"
+trap 'rm -f "$smoke_out" "$net_out"; rm -rf "$net_store"' EXIT
+./target/release/net_load --smoke --store "$net_store" --shards 4 --out "$net_out"
 python3 - "$net_out" <<'PY'
 import json, sys
 with open(sys.argv[1]) as f:
@@ -81,19 +84,22 @@ with open(sys.argv[1]) as f:
 rows = report["rows"]
 assert report["bench"] == "net_load" and rows, "malformed net_load report"
 for row in rows:
-    for field in ("clients", "requests", "wall_s", "rps", "p50_ns",
+    for field in ("store", "clients", "requests", "wall_s", "rps", "p50_ns",
                   "p99_ns", "retries", "errors", "failed_sessions"):
         assert field in row, f"missing {field}: {row}"
     assert row["errors"] == 0 and row["failed_sessions"] == 0, row
     assert row["requests"] > 0 and row["p99_ns"] >= row["p50_ns"] > 0, row
-print(f"net_load report OK ({len(rows)} rows)")
+stores = {row["store"] for row in rows}
+assert "mem" in stores, f"mem rows missing: {stores}"
+assert any(s.startswith("sharded-log") for s in stores), f"durable rows missing: {stores}"
+print(f"net_load report OK ({len(rows)} rows, stores: {sorted(stores)})")
 PY
 
 echo "== store_recovery smoke =="
 # The durable-store bench must complete and emit valid JSON covering
 # both sweeps (append throughput per fsync policy, replay vs log size).
 store_out="$(mktemp)"
-trap 'rm -f "$smoke_out" "$net_out" "$store_out"' EXIT
+trap 'rm -f "$smoke_out" "$net_out" "$store_out"; rm -rf "$net_store"' EXIT
 ./target/release/store_recovery --smoke --out "$store_out"
 python3 - "$store_out" <<'PY'
 import json, sys
@@ -101,32 +107,44 @@ with open(sys.argv[1]) as f:
     report = json.load(f)
 assert report["bench"] == "store_recovery", "malformed store report"
 appends, replays = report["append_rows"], report["replay_rows"]
-assert appends and replays, "empty store report"
+groups, sharded = report["group_commit_rows"], report["sharded_replay_rows"]
+assert appends and replays and groups and sharded, "empty store report"
 policies = {row["policy"] for row in appends}
 assert {"always", "never"} <= policies, policies
 for row in appends:
     assert row["appends_per_s"] > 0 and row["records"] > 0, row
 for row in replays:
     assert row["replay_per_s"] > 0 and row["log_bytes"] > 0, row
-print(f"store report OK ({len(appends)} append rows, {len(replays)} replay rows)")
+for row in groups:
+    # Under fsync=always every append either led a group fsync or rode
+    # a neighbour's batch — the counters must account for all of them.
+    assert row["fsyncs"] + row["fsyncs_saved"] == row["records"], row
+    assert row["writers"] > 0 and row["shards"] > 0 and row["max_batch"] >= 1, row
+for row in sharded:
+    assert row["replay_per_s"] > 0 and row["docs"] == row["records"], row
+assert {row["shards"] for row in sharded} != {1}, "sharded sweep must cover multi-shard stores"
+print(f"store report OK ({len(appends)} append, {len(groups)} group-commit, "
+      f"{len(replays)} replay, {len(sharded)} sharded-replay rows)")
 PY
 
-echo "== pedit serve smoke =="
-# Serve a store on an ephemeral port, run a mediated edit over the real
-# socket, check the decrypted result and that the wire store holds only
-# ciphertext, then stop the server cleanly.
+echo "== pedit serve smoke (sharded store) =="
+# Serve a sharded store on an ephemeral port, run a mediated edit over
+# the real socket, check the decrypted result and that the wire store
+# holds only ciphertext, then stop the server cleanly. --shards 4 is
+# explicit: the default is the core count, which is 1 on small runners.
 serve_store="$(mktemp -u)"
 serve_addr="$(mktemp -u)"
 pedit() { ./target/release/pedit "$@"; }
 # Spawn the binary directly (not via the function) so $! is the server
 # itself — the crash drill's kill -9 must hit the real process, not a
 # wrapper subshell.
-./target/release/pedit --store "$serve_store" serve --addr 127.0.0.1:0 --addr-file "$serve_addr" &
+./target/release/pedit --store "$serve_store" serve --addr 127.0.0.1:0 \
+  --addr-file "$serve_addr" --shards 4 &
 serve_pid=$!
 cleanup_serve() {
   kill "$serve_pid" 2>/dev/null || true
   rm -f "$smoke_out" "$net_out" "$store_out" "$serve_addr"
-  rm -rf "$serve_store"
+  rm -rf "$serve_store" "$net_store"
 }
 trap cleanup_serve EXIT
 for _ in $(seq 1 100); do
@@ -154,16 +172,20 @@ case "$stats" in
   *) echo "live stats missing server gauge: $stats" >&2; exit 1;;
 esac
 
-echo "== crash-recovery drill =="
-# SIGKILL the running server mid-flight: every save it acknowledged
-# must be on disk, fsck must call the store healthy, and a restarted
-# server must pick up exactly where the dead one left off.
+echo "== crash-recovery drill (sharded) =="
+# SIGKILL the running sharded server mid-flight: every save it
+# acknowledged must be on disk, fsck must walk every shard and call the
+# store healthy, and a restarted server must pick up exactly where the
+# dead one left off.
 pedit --connect "$addr" save --doc "$doc" --password ci-pw --text "acked then killed"
 kill -9 "$serve_pid"
 wait "$serve_pid" 2>/dev/null || true
+[ -f "$serve_store/pe-shards" ] || { echo "serve did not create a sharded layout" >&2; exit 1; }
 recovered="$(pedit --store "$serve_store" show --doc "$doc" --password ci-pw)"
 [ "$recovered" = "acked then killed" ] || { echo "acknowledged save lost: $recovered" >&2; exit 1; }
-pedit fsck "$serve_store" | grep -q "store healthy" || { echo "fsck failed after kill" >&2; exit 1; }
+fsck_out="$(pedit fsck "$serve_store")"
+echo "$fsck_out" | grep -q "store healthy" || { echo "fsck failed after kill" >&2; exit 1; }
+echo "$fsck_out" | grep -q "\[shard-003\]" || { echo "fsck did not walk every shard" >&2; exit 1; }
 pedit compact "$serve_store" >/dev/null
 pedit fsck "$serve_store" | grep -q "store healthy" || { echo "fsck failed after compact" >&2; exit 1; }
 rm -f "$serve_addr"
@@ -180,5 +202,31 @@ survived="$(pedit --connect "$addr" show --doc "$doc" --password ci-pw)"
 pedit --connect "$addr" stop
 wait "$serve_pid"
 echo "serve + crash drill OK ($doc survived kill -9 and restart)"
+
+echo "== committed benchmark reports =="
+# The checked-in BENCH_*.json files must match the schema the current
+# binaries emit — a bench schema change without regenerated reports is
+# a CI failure, not a silent drift.
+python3 - <<'PY'
+import json
+with open("BENCH_store.json") as f:
+    store = json.load(f)
+assert store["bench"] == "store_recovery"
+for key in ("append_rows", "group_commit_rows", "replay_rows", "sharded_replay_rows"):
+    assert store[key], f"BENCH_store.json missing {key}"
+single = next(r for r in store["append_rows"] if r["policy"] == "always")
+best = max(r["appends_per_s"] for r in store["group_commit_rows"]
+           if r["policy"] == "always" and r["writers"] >= 8)
+assert best >= 5 * single["appends_per_s"], \
+    f"group commit {best:.0f}/s < 5x single-writer {single['appends_per_s']:.0f}/s"
+with open("BENCH_net.json") as f:
+    net = json.load(f)
+assert net["bench"] == "net_load"
+stores = {row["store"] for row in net["rows"]}
+assert "mem" in stores and any(s.startswith("sharded-log") for s in stores), stores
+assert all(row["errors"] == 0 and row["failed_sessions"] == 0 for row in net["rows"])
+print(f"committed reports OK (group commit {best / single['appends_per_s']:.1f}x "
+      f"over single-writer fsync=always)")
+PY
 
 echo "CI OK"
