@@ -20,6 +20,7 @@
 //! | Crypto fast-path throughput | [`crypto_bench::crypto_throughput`] | `crypto_throughput` |
 //! | Network load scaling | [`netload::net_load`] | `net_load` |
 //! | Durable store append + replay | [`storebench`] | `store_recovery` |
+//! | Tenant key wrap / grant / recovery | [`tenantbench`] | `tenant_bench` |
 //!
 //! Timing note: run the binaries with `--release`; the from-scratch AES
 //! is 30–50× slower unoptimized.
@@ -39,4 +40,5 @@ pub mod micro;
 pub mod netload;
 pub mod report;
 pub mod storebench;
+pub mod tenantbench;
 pub mod timing;

@@ -28,9 +28,11 @@ use std::sync::Arc;
 use pe_cloud::docs::DocsServer;
 use pe_cloud::{CloudService, Request};
 use pe_crypto::form;
+use pe_crypto::SystemRandom;
 use pe_delta::Delta;
 use pe_extension::{DocsMediator, ExtensionError, MediatorConfig};
 use pe_store::{DocStore, FsyncPolicy, ShardedLogStore, StoreConfig, StoreError};
+use pe_tenant::{ServiceRecords, TenantDirectory};
 
 /// A parsed command-line invocation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,8 +44,30 @@ pub struct CliOptions {
     /// Address of a running `pedit serve` instance to talk to over TCP
     /// instead of opening a local store file.
     pub connect: Option<String>,
+    /// PBKDF2 iteration override from `--kdf-iters` (the `PE_KDF_ITERS`
+    /// environment variable is consulted at run time when absent).
+    /// Existing documents open unchanged either way: each preamble and
+    /// each tenant user record carries its own salt, and derivation uses
+    /// the configured count only for *new* keys.
+    pub kdf_iters: Option<u32>,
     /// The subcommand.
     pub command: Command,
+}
+
+/// How a document command authenticates: the paper's per-document
+/// password, or a tenant login (per-user master key unwrapping a
+/// per-document data key from the directory).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Auth {
+    /// Legacy per-document password (`--password`).
+    Password(String),
+    /// Tenant login (`--user` + `--passphrase`).
+    Tenant {
+        /// User name in the tenant directory.
+        user: String,
+        /// The user's login passphrase.
+        passphrase: String,
+    },
 }
 
 /// One `pedit` subcommand.
@@ -51,8 +75,8 @@ pub struct CliOptions {
 pub enum Command {
     /// Create a new encrypted document.
     Create {
-        /// Document password.
-        password: String,
+        /// Per-document password or tenant login.
+        auth: Auth,
     },
     /// List document ids the provider stores.
     List,
@@ -60,15 +84,15 @@ pub enum Command {
     Show {
         /// Document id.
         doc: String,
-        /// Document password.
-        password: String,
+        /// Per-document password or tenant login.
+        auth: Auth,
     },
     /// Replace the whole document (full save).
     Save {
         /// Document id.
         doc: String,
-        /// Document password.
-        password: String,
+        /// Per-document password or tenant login.
+        auth: Auth,
         /// New content.
         text: String,
     },
@@ -76,8 +100,8 @@ pub enum Command {
     Insert {
         /// Document id.
         doc: String,
-        /// Document password.
-        password: String,
+        /// Per-document password or tenant login.
+        auth: Auth,
         /// Byte offset.
         at: usize,
         /// Text to insert.
@@ -87,8 +111,8 @@ pub enum Command {
     Delete {
         /// Document id.
         doc: String,
-        /// Document password.
-        password: String,
+        /// Per-document password or tenant login.
+        auth: Auth,
         /// Byte offset.
         at: usize,
         /// Bytes to delete.
@@ -98,8 +122,63 @@ pub enum Command {
     History {
         /// Document id.
         doc: String,
-        /// Document password.
-        password: String,
+        /// Per-document password or tenant login.
+        auth: Auth,
+    },
+    /// Register a tenant user (per-user master key, random salt).
+    UserRegister {
+        /// User name.
+        name: String,
+        /// Login passphrase.
+        passphrase: String,
+    },
+    /// Rotate a tenant user's passphrase: every wrapped key they hold is
+    /// rewrapped; document bodies are untouched.
+    UserPasswd {
+        /// User name.
+        name: String,
+        /// Current passphrase.
+        old: String,
+        /// New passphrase.
+        new: String,
+    },
+    /// List registered tenant users.
+    UserList,
+    /// Grant another user access to an owned document; prints the
+    /// one-time invite code (deliver it out of band).
+    Grant {
+        /// Document id.
+        doc: String,
+        /// Owner's user name.
+        user: String,
+        /// Owner's passphrase.
+        passphrase: String,
+        /// User being granted access.
+        to: String,
+    },
+    /// Redeem an invite code, storing the data key wrapped under the
+    /// accepting user's own master key.
+    Accept {
+        /// Document id.
+        doc: String,
+        /// Accepting user's name.
+        user: String,
+        /// Accepting user's passphrase.
+        passphrase: String,
+        /// The invite code from `grant`.
+        invite: String,
+    },
+    /// Revoke a user's access to an owned document (deletes their
+    /// wrapped key record; O(1), body bytes untouched).
+    Revoke {
+        /// Document id.
+        doc: String,
+        /// Owner's user name.
+        user: String,
+        /// Owner's passphrase.
+        passphrase: String,
+        /// User losing access.
+        to: String,
     },
     /// Rotate a document's password.
     Rotate {
@@ -205,26 +284,46 @@ impl From<ExtensionError> for CliError {
     }
 }
 
+impl From<pe_tenant::TenantError> for CliError {
+    fn from(e: pe_tenant::TenantError) -> CliError {
+        CliError::Extension(ExtensionError::Tenant(e))
+    }
+}
+
 /// Usage text shown for parse failures and `--help`.
 pub const USAGE: &str = "\
 pedit — private editing on an untrusted (file-simulated) cloud
 
-USAGE: pedit --store FILE [--rpc] COMMAND
-       pedit --connect HOST:PORT [--rpc] COMMAND
+USAGE: pedit --store FILE [--rpc] [--kdf-iters N] COMMAND
+       pedit --connect HOST:PORT [--rpc] [--kdf-iters N] COMMAND
 
 With --store, commands run against a local store file. With --connect,
 they run over a real TCP socket against a running `pedit serve`.
 
+Document commands authenticate with a per-document password
+(--password PW) or a tenant login (--user U --passphrase P) whose
+per-user master key unwraps the document's data key from the key
+directory stored on the same untrusted server. --kdf-iters (or the
+PE_KDF_ITERS environment variable) overrides the PBKDF2 iteration
+count for newly derived keys; existing documents open unchanged
+because every salt (and per-user iteration count) is recorded.
+
 COMMANDS:
-  create  --password PW
+  create  --password PW | --user U --passphrase P
   list
-  show    --doc ID --password PW
-  save    --doc ID --password PW --text TEXT
-  insert  --doc ID --password PW --at N --text TEXT
-  delete  --doc ID --password PW --at N --len N
-  history --doc ID --password PW
+  show    --doc ID (--password PW | --user U --passphrase P)
+  save    --doc ID (--password PW | --user U --passphrase P) --text TEXT
+  insert  --doc ID (--password PW | --user U --passphrase P) --at N --text TEXT
+  delete  --doc ID (--password PW | --user U --passphrase P) --at N --len N
+  history --doc ID (--password PW | --user U --passphrase P)
   rotate  --doc ID --old PW --new PW
   raw     --doc ID
+  user register --name U --passphrase P
+  user passwd   --name U --old P --new P     (rewraps keys; bodies untouched)
+  user list
+  grant   --doc ID --user OWNER --passphrase P --to USER   (prints invite code)
+  accept  --doc ID --user USER --passphrase P --invite CODE
+  revoke  --doc ID --user OWNER --passphrase P --to USER
   stats   [--format text|json]
   serve   [--addr HOST:PORT] [--workers N] [--max-conns N] [--addr-file PATH]
           [--fsync always|never|every=N] [--shards N]
@@ -248,6 +347,7 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, CliError> {
     let mut store: Option<PathBuf> = None;
     let mut rpc = false;
     let mut connect: Option<String> = None;
+    let mut kdf_iters: Option<u32> = None;
     let mut rest: Vec<String> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -261,6 +361,16 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, CliError> {
                 connect =
                     Some(iter.next().ok_or_else(|| usage("--connect needs a value"))?.clone());
             }
+            "--kdf-iters" => {
+                kdf_iters = Some(
+                    iter.next()
+                        .ok_or_else(|| usage("--kdf-iters needs a value"))?
+                        .parse::<u32>()
+                        .ok()
+                        .filter(|n| *n > 0)
+                        .ok_or_else(|| usage("--kdf-iters must be a positive number"))?,
+                );
+            }
             "--rpc" => rpc = true,
             "--help" | "-h" => return Err(CliError::Usage(USAGE.to_string())),
             _ => rest.push(arg.clone()),
@@ -268,6 +378,15 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, CliError> {
     }
     let mut rest = rest.into_iter();
     let verb = rest.next().ok_or_else(|| usage("missing command"))?;
+    // `user` takes a positional subcommand before its flags.
+    let user_sub = if verb == "user" {
+        Some(
+            rest.next()
+                .ok_or_else(|| usage("user needs a subcommand: register, passwd, or list"))?,
+        )
+    } else {
+        None
+    };
     if verb == "serve" && connect.is_some() {
         return Err(usage("serve runs a server locally; it cannot be combined with --connect"));
     }
@@ -296,7 +415,13 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, CliError> {
         } else {
             Command::Compact { dir, shards }
         };
-        return Ok(CliOptions { store: store.unwrap_or_default(), rpc, connect, command });
+        return Ok(CliOptions {
+            store: store.unwrap_or_default(),
+            rpc,
+            connect,
+            kdf_iters,
+            command,
+        });
     }
     // `stats` runs against its own in-memory cloud and `--connect` talks
     // to a remote server, so neither needs a store.
@@ -330,30 +455,70 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, CliError> {
             .parse::<usize>()
             .map_err(|_| usage(&format!("--{key} must be a number")))
     };
+    let auth = |flags: &std::collections::HashMap<String, String>| {
+        match (flags.get("password"), flags.get("user"), flags.get("passphrase")) {
+            (Some(password), None, None) => Ok(Auth::Password(password.clone())),
+            (None, Some(user), Some(passphrase)) => {
+                Ok(Auth::Tenant { user: user.clone(), passphrase: passphrase.clone() })
+            }
+            _ => Err(usage(&format!(
+                "{verb} needs --password PW or --user U --passphrase P"
+            ))),
+        }
+    };
     let command = match verb.as_str() {
-        "create" => Command::Create { password: take(&flags, "password")? },
+        "create" => Command::Create { auth: auth(&flags)? },
         "list" => Command::List,
-        "show" => Command::Show { doc: take(&flags, "doc")?, password: take(&flags, "password")? },
+        "show" => Command::Show { doc: take(&flags, "doc")?, auth: auth(&flags)? },
         "save" => Command::Save {
             doc: take(&flags, "doc")?,
-            password: take(&flags, "password")?,
+            auth: auth(&flags)?,
             text: take(&flags, "text")?,
         },
         "insert" => Command::Insert {
             doc: take(&flags, "doc")?,
-            password: take(&flags, "password")?,
+            auth: auth(&flags)?,
             at: number(&flags, "at")?,
             text: take(&flags, "text")?,
         },
         "delete" => Command::Delete {
             doc: take(&flags, "doc")?,
-            password: take(&flags, "password")?,
+            auth: auth(&flags)?,
             at: number(&flags, "at")?,
             len: number(&flags, "len")?,
         },
-        "history" => {
-            Command::History { doc: take(&flags, "doc")?, password: take(&flags, "password")? }
-        }
+        "history" => Command::History { doc: take(&flags, "doc")?, auth: auth(&flags)? },
+        "user" => match user_sub.as_deref().expect("set for the user verb") {
+            "register" => Command::UserRegister {
+                name: take(&flags, "name")?,
+                passphrase: take(&flags, "passphrase")?,
+            },
+            "passwd" => Command::UserPasswd {
+                name: take(&flags, "name")?,
+                old: take(&flags, "old")?,
+                new: take(&flags, "new")?,
+            },
+            "list" => Command::UserList,
+            other => return Err(usage(&format!("unknown user subcommand {other:?}"))),
+        },
+        "grant" => Command::Grant {
+            doc: take(&flags, "doc")?,
+            user: take(&flags, "user")?,
+            passphrase: take(&flags, "passphrase")?,
+            to: take(&flags, "to")?,
+        },
+        "accept" => Command::Accept {
+            doc: take(&flags, "doc")?,
+            user: take(&flags, "user")?,
+            passphrase: take(&flags, "passphrase")?,
+            invite: take(&flags, "invite")?,
+        },
+        "revoke" => Command::Revoke {
+            doc: take(&flags, "doc")?,
+            user: take(&flags, "user")?,
+            passphrase: take(&flags, "passphrase")?,
+            to: take(&flags, "to")?,
+        },
         "rotate" => Command::Rotate {
             doc: take(&flags, "doc")?,
             old: take(&flags, "old")?,
@@ -403,7 +568,20 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, CliError> {
         "stop" => Command::Stop,
         other => return Err(usage(&format!("unknown command {other:?}"))),
     };
-    Ok(CliOptions { store, rpc, connect, command })
+    Ok(CliOptions { store, rpc, connect, kdf_iters, command })
+}
+
+/// The PBKDF2 iteration count to use for newly derived keys: the
+/// `--kdf-iters` flag, else the `PE_KDF_ITERS` environment variable,
+/// else the mediator default. Never changes how existing material is
+/// opened — salts and per-user counts are recorded where they're used.
+fn effective_kdf_iters(options: &CliOptions) -> u32 {
+    options
+        .kdf_iters
+        .or_else(|| {
+            std::env::var("PE_KDF_ITERS").ok().and_then(|v| v.parse::<u32>().ok()).filter(|n| *n > 0)
+        })
+        .unwrap_or(MediatorConfig::default().kdf_iterations)
 }
 
 /// How the local store is persisted: the legacy whole-file text snapshot
@@ -473,9 +651,28 @@ fn persist_store(
     }
 }
 
-fn mediator<S: CloudService>(service: S, rpc: bool) -> DocsMediator<S> {
-    let config = if rpc { MediatorConfig::rpc(7) } else { MediatorConfig::recb(8) };
+fn mediator<S: CloudService>(service: S, rpc: bool, kdf_iters: u32) -> DocsMediator<S> {
+    let mut config = if rpc { MediatorConfig::rpc(7) } else { MediatorConfig::recb(8) };
+    config.kdf_iterations = kdf_iters;
     DocsMediator::new(service, config)
+}
+
+/// Builds a mediator with the document's credential installed: a
+/// per-document password is registered locally; a tenant login derives
+/// the user's master key against the directory on the service.
+fn authed_mediator<S: CloudService>(
+    service: S,
+    rpc: bool,
+    kdf_iters: u32,
+    doc: &str,
+    auth: &Auth,
+) -> Result<DocsMediator<S>, CliError> {
+    let mut mediator = mediator(service, rpc, kdf_iters);
+    match auth {
+        Auth::Password(password) => mediator.register_password(doc, password),
+        Auth::Tenant { user, passphrase } => mediator.tenant_login(user, passphrase)?,
+    }
+    Ok(mediator)
 }
 
 /// Runs one mediated document command against any [`CloudService`] — the
@@ -488,50 +685,52 @@ fn mediator<S: CloudService>(service: S, rpc: bool) -> DocsMediator<S> {
 fn doc_session<S: CloudService>(
     service: S,
     rpc: bool,
+    kdf_iters: u32,
     command: &Command,
 ) -> Result<String, CliError> {
     let mut output = String::new();
     match command {
-        Command::Create { password } => {
-            let mut mediator = mediator(service, rpc);
-            let doc_id = mediator.create_document(password)?;
+        Command::Create { auth } => {
+            let mut mediator = mediator(service, rpc, kdf_iters);
+            let doc_id = match auth {
+                Auth::Password(password) => mediator.create_document(password)?,
+                Auth::Tenant { user, passphrase } => {
+                    mediator.tenant_login(user, passphrase)?;
+                    mediator.tenant_create_document()?
+                }
+            };
             // An empty full save materializes the encrypted document.
             mediator.save_full(&doc_id, "")?;
             output.push_str(&format!("created {doc_id}"));
         }
-        Command::Show { doc, password } => {
-            let mut mediator = mediator(service, rpc);
-            mediator.register_password(doc, password);
+        Command::Show { doc, auth } => {
+            let mut mediator = authed_mediator(service, rpc, kdf_iters, doc, auth)?;
             output.push_str(&mediator.open_document(doc)?);
         }
-        Command::Save { doc, password, text } => {
-            let mut mediator = mediator(service, rpc);
-            mediator.register_password(doc, password);
+        Command::Save { doc, auth, text } => {
+            let mut mediator = authed_mediator(service, rpc, kdf_iters, doc, auth)?;
             mediator.open_document(doc)?;
             mediator.save_full(doc, text)?;
             output.push_str("saved");
         }
-        Command::Insert { doc, password, at, text } => {
-            let mut mediator = mediator(service, rpc);
-            mediator.register_password(doc, password);
+        Command::Insert { doc, auth, at, text } => {
+            let mut mediator = authed_mediator(service, rpc, kdf_iters, doc, auth)?;
             mediator.open_document(doc)?;
             let mut delta = Delta::builder();
             delta.retain(*at).insert(text);
             mediator.save_delta(doc, &delta.build())?;
             output.push_str("saved (incremental)");
         }
-        Command::Delete { doc, password, at, len } => {
-            let mut mediator = mediator(service, rpc);
-            mediator.register_password(doc, password);
+        Command::Delete { doc, auth, at, len } => {
+            let mut mediator = authed_mediator(service, rpc, kdf_iters, doc, auth)?;
             mediator.open_document(doc)?;
             let mut delta = Delta::builder();
             delta.retain(*at).delete(*len);
             mediator.save_delta(doc, &delta.build())?;
             output.push_str("saved (incremental)");
         }
-        Command::History { doc, password } => {
-            let mut mediator = mediator(service, rpc);
-            mediator.register_password(doc, password);
+        Command::History { doc, auth } => {
+            let mut mediator = authed_mediator(service, rpc, kdf_iters, doc, auth)?;
             mediator.open_document(doc)?;
             let count_resp =
                 mediator.intercept(&Request::get("/Doc/revisions", &[("docID", doc)]))?;
@@ -555,10 +754,53 @@ fn doc_session<S: CloudService>(
             }
         }
         Command::Rotate { doc, old, new } => {
-            let mut mediator = mediator(service, rpc);
+            let mut mediator = mediator(service, rpc, kdf_iters);
             mediator.register_password(doc, old);
             mediator.change_password(doc, new)?;
             output.push_str("password rotated (note: server-side history keeps old-key ciphertext)");
+        }
+        // Tenant directory operations: pure wrapped-key-record work
+        // against the `/tenant/*` endpoints of the same service; no
+        // document body is ever read or written.
+        Command::UserRegister { name, passphrase } => {
+            let directory = TenantDirectory::new(ServiceRecords::new(service));
+            directory.register(name, passphrase, kdf_iters, &mut SystemRandom::new())?;
+            output.push_str(&format!("registered user {name}"));
+        }
+        Command::UserPasswd { name, old, new } => {
+            let directory = TenantDirectory::new(ServiceRecords::new(service));
+            let rewrapped = directory.rewrap(name, old, new, kdf_iters, &mut SystemRandom::new())?;
+            output.push_str(&format!(
+                "passphrase rotated; {rewrapped} wrapped key(s) rewrapped, 0 bytes re-encrypted"
+            ));
+        }
+        Command::UserList => {
+            let directory = TenantDirectory::new(ServiceRecords::new(service));
+            let users = directory.list_users()?;
+            output.push_str(&if users.is_empty() { "(no users)".to_string() } else { users.join("\n") });
+        }
+        Command::Grant { doc, user, passphrase, to } => {
+            let directory = TenantDirectory::new(ServiceRecords::new(service));
+            let session = directory.login(user, passphrase)?;
+            let code = directory.grant(&session, doc, to, &mut SystemRandom::new())?;
+            // The code alone on the last line so scripts can capture it.
+            output.push_str(&format!("invite for {to} (deliver out of band):\n{code}"));
+        }
+        Command::Accept { doc, user, passphrase, invite } => {
+            let directory = TenantDirectory::new(ServiceRecords::new(service));
+            let session = directory.login(user, passphrase)?;
+            directory.accept(&session, doc, invite)?;
+            output.push_str(&format!("accepted: {user} now holds a wrapped key for {doc}"));
+        }
+        Command::Revoke { doc, user, passphrase, to } => {
+            let directory = TenantDirectory::new(ServiceRecords::new(service));
+            let session = directory.login(user, passphrase)?;
+            let existed = directory.revoke(&session, doc, to)?;
+            output.push_str(if existed {
+                "revoked (wrapped key record deleted; document bytes untouched)"
+            } else {
+                "no grant existed"
+            });
         }
         Command::List
         | Command::Raw { .. }
@@ -654,7 +896,9 @@ pub fn run(options: &CliOptions) -> Result<String, CliError> {
                 "stop needs --connect HOST:PORT\n\n{USAGE}"
             )))
         }
-        command => doc_session(Arc::clone(&server), options.rpc, command)?,
+        command => {
+            doc_session(Arc::clone(&server), options.rpc, effective_kdf_iters(options), command)?
+        }
     };
     persist_store(&options.store, &server, &backing)?;
     Ok(output)
@@ -897,7 +1141,9 @@ mod remote {
             Command::Serve { .. } | Command::Fsck { .. } | Command::Compact { .. } => {
                 unreachable!("handled before remote dispatch")
             }
-            command => doc_session(client, options.rpc, command),
+            command => {
+                doc_session(client, options.rpc, crate::effective_kdf_iters(options), command)
+            }
         }
     }
 }
@@ -1095,7 +1341,10 @@ mod tests {
             parse_args(&args(&["--store", "s.db", "create", "--password", "pw"])).unwrap();
         assert_eq!(options.store, PathBuf::from("s.db"));
         assert!(!options.rpc);
-        assert_eq!(options.command, Command::Create { password: "pw".into() });
+        assert_eq!(
+            options.command,
+            Command::Create { auth: Auth::Password("pw".into()) }
+        );
     }
 
     #[test]
@@ -1108,7 +1357,12 @@ mod tests {
         assert!(options.rpc);
         assert_eq!(
             options.command,
-            Command::Delete { doc: "doc1".into(), password: "pw".into(), at: 3, len: 7 }
+            Command::Delete {
+                doc: "doc1".into(),
+                auth: Auth::Password("pw".into()),
+                at: 3,
+                len: 7
+            }
         );
     }
 
@@ -1127,6 +1381,81 @@ mod tests {
             parse_args(&args(&["--store", "s", "show", "--doc"])),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn parses_tenant_auth_and_user_commands() {
+        let options = parse_args(&args(&[
+            "--store", "s.db", "show", "--doc", "doc1", "--user", "alice", "--passphrase", "pp",
+        ]))
+        .unwrap();
+        assert_eq!(
+            options.command,
+            Command::Show {
+                doc: "doc1".into(),
+                auth: Auth::Tenant { user: "alice".into(), passphrase: "pp".into() },
+            }
+        );
+        // Mixing both credential styles is rejected.
+        assert!(matches!(
+            parse_args(&args(&[
+                "--store", "s", "show", "--doc", "d", "--password", "pw", "--user", "u",
+                "--passphrase", "p",
+            ])),
+            Err(CliError::Usage(_))
+        ));
+        let options = parse_args(&args(&[
+            "--store", "s.db", "user", "register", "--name", "alice", "--passphrase", "pp",
+        ]))
+        .unwrap();
+        assert_eq!(
+            options.command,
+            Command::UserRegister { name: "alice".into(), passphrase: "pp".into() }
+        );
+        let options = parse_args(&args(&["--store", "s.db", "user", "list"])).unwrap();
+        assert_eq!(options.command, Command::UserList);
+        let options = parse_args(&args(&[
+            "--store", "s.db", "grant", "--doc", "d", "--user", "alice", "--passphrase", "pp",
+            "--to", "bob",
+        ]))
+        .unwrap();
+        assert_eq!(
+            options.command,
+            Command::Grant {
+                doc: "d".into(),
+                user: "alice".into(),
+                passphrase: "pp".into(),
+                to: "bob".into()
+            }
+        );
+        assert!(matches!(
+            parse_args(&args(&["--store", "s", "user", "teleport"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(&args(&["--store", "s", "user"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn parses_kdf_iters_override() {
+        let options = parse_args(&args(&[
+            "--store", "s.db", "--kdf-iters", "2000", "create", "--password", "pw",
+        ]))
+        .unwrap();
+        assert_eq!(options.kdf_iters, Some(2000));
+        assert!(matches!(
+            parse_args(&args(&["--store", "s", "--kdf-iters", "0", "list"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(&args(&["--store", "s", "--kdf-iters", "many", "list"])),
+            Err(CliError::Usage(_))
+        ));
+        // Default: no override recorded.
+        let options = parse_args(&args(&["--store", "s.db", "list"])).unwrap();
+        assert_eq!(options.kdf_iters, None);
     }
 
     #[test]

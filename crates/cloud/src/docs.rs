@@ -148,9 +148,14 @@ impl DocsServer {
         })
     }
 
-    /// Lists all document ids, sorted (tooling/tests).
+    /// Lists all document ids, sorted (tooling/tests). Tenant-directory
+    /// records (reserved `~tenant/` prefix) are internal and excluded.
     pub fn list_documents(&self) -> Vec<String> {
-        self.store.list()
+        self.store
+            .list()
+            .into_iter()
+            .filter(|id| !id.starts_with(crate::tenant::TENANT_PREFIX))
+            .collect()
     }
 
     /// Serializes the full server state into a line-oriented snapshot
@@ -424,6 +429,9 @@ impl CloudService for DocsServer {
                 Some(other) => Response::error(400, &format!("unknown command {other}")),
             },
             (crate::Method::Get, "/Doc/load") => self.load(doc_id),
+            (crate::Method::Get, "/tenant/record") => self.tenant_record_get(request),
+            (crate::Method::Post, "/tenant/record") => self.tenant_record_post(request),
+            (crate::Method::Get, "/tenant/list") => self.tenant_list(request),
             (crate::Method::Get, "/Doc/revisions") => {
                 self.revisions(doc_id, request.query_param("index"))
             }

@@ -44,6 +44,7 @@ mod http;
 pub mod meter;
 pub mod net;
 pub mod retry;
+pub mod tenant;
 
 pub use http::{Method, Request, Response};
 
@@ -60,6 +61,16 @@ pub trait CloudService: Send + Sync {
 }
 
 impl<T: CloudService + ?Sized> CloudService for std::sync::Arc<T> {
+    fn handle(&self, request: &Request) -> Response {
+        (**self).handle(request)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+impl<T: CloudService + ?Sized> CloudService for &T {
     fn handle(&self, request: &Request) -> Response {
         (**self).handle(request)
     }

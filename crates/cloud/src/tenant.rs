@@ -1,0 +1,209 @@
+//! Tenant-directory record endpoints.
+//!
+//! The multi-tenant layer (`pe-tenant`) keeps its directory — users,
+//! documents, grants, wrapped-key records — on the *untrusted* server, as
+//! opaque text records. The server only ever sees ciphertext-equivalent
+//! material: PBKDF2 salts, HKDF verifiers, and RFC 3394-wrapped keys; all
+//! key derivation and unwrapping happens client-side in the mediator.
+//!
+//! Records ride the same [`DocStore`](pe_store::DocStore) as documents,
+//! under the reserved id prefix [`TENANT_PREFIX`], so they shard, group
+//! commit, and survive `kill -9` exactly like document bodies, and the
+//! snapshot/restore path of the CLI's text-file store carries them for
+//! free. They are hidden from the user-facing document listing.
+//!
+//! Wire protocol (all bodies are plain text record payloads):
+//!
+//! * `GET  /tenant/record?key=K` — fetch one record (404 when absent).
+//! * `POST /tenant/record?key=K` — create-or-replace a record.
+//! * `POST /tenant/record?key=K&if_absent=1` — create; 409 when present
+//!   (registration uniqueness).
+//! * `POST /tenant/record?key=K&cmd=delete` — delete; body reports
+//!   `deleted=true|false`.
+//! * `GET  /tenant/list?prefix=P` — enumerate record keys under a prefix
+//!   (form-encoded repeated `key` fields, sorted).
+
+use pe_crypto::form;
+
+use crate::docs::DocsServer;
+use crate::{Request, Response};
+
+/// Reserved document-id prefix for tenant-directory records. Documents
+/// created through the normal protocol get `doc<N>` ids, so the prefix
+/// can never collide.
+pub const TENANT_PREFIX: &str = "~tenant/";
+
+/// Hard cap on a single directory record. Records are a few hundred
+/// bytes (a wrapped key is 40); the cap only exists to bound abuse.
+pub const MAX_RECORD_BYTES: usize = 64 * 1024;
+
+fn record_doc_id(key: &str) -> Option<String> {
+    if key.is_empty() || key.contains(|c: char| c.is_control()) {
+        return None;
+    }
+    Some(format!("{TENANT_PREFIX}{key}"))
+}
+
+impl DocsServer {
+    pub(crate) fn tenant_record_get(&self, request: &Request) -> Response {
+        let Some(id) = request.query_param("key").and_then(record_doc_id) else {
+            return Response::error(400, "missing or malformed record key");
+        };
+        pe_observe::static_counter!("tenant.records.get").inc();
+        match self.stored_content(&id) {
+            Some(value) => Response::ok(value),
+            None => Response::error(404, "no such record"),
+        }
+    }
+
+    pub(crate) fn tenant_record_post(&self, request: &Request) -> Response {
+        let Some(id) = request.query_param("key").and_then(record_doc_id) else {
+            return Response::error(400, "missing or malformed record key");
+        };
+        if request.query_param("cmd") == Some("delete") {
+            pe_observe::static_counter!("tenant.records.delete").inc();
+            let deleted = match self.store().remove(&id) {
+                Ok(deleted) => deleted,
+                Err(e) => return Response::error(500, &format!("storage failure: {e}")),
+            };
+            return Response::ok(form::encode_pairs(&[(
+                "deleted",
+                if deleted { "true" } else { "false" },
+            )]));
+        }
+        let Some(value) = request.body_text() else {
+            return Response::error(400, "record value must be UTF-8 text");
+        };
+        if value.len() > MAX_RECORD_BYTES {
+            return Response::error(413, "record too large");
+        }
+        pe_observe::static_counter!("tenant.records.put").inc();
+        let created = match self.store().create(&id) {
+            Ok(created) => created,
+            Err(e) => return Response::error(500, &format!("storage failure: {e}")),
+        };
+        if !created && request.query_param("if_absent").is_some() {
+            return Response::error(409, "record already exists");
+        }
+        if let Err(e) = self.store().put_full(&id, value.as_bytes()) {
+            return Response::error(500, &format!("storage failure: {e}"));
+        }
+        Response::ok("stored")
+    }
+
+    pub(crate) fn tenant_list(&self, request: &Request) -> Response {
+        let prefix = request.query_param("prefix").unwrap_or("");
+        if prefix.contains(|c: char| c.is_control()) {
+            return Response::error(400, "malformed prefix");
+        }
+        pe_observe::static_counter!("tenant.records.list").inc();
+        let keys: Vec<(&str, String)> = self
+            .store()
+            .list()
+            .into_iter()
+            .filter_map(|id| {
+                id.strip_prefix(TENANT_PREFIX)
+                    .filter(|key| key.starts_with(prefix))
+                    .map(|key| ("key", key.to_string()))
+            })
+            .collect();
+        Response::ok(form::encode_pairs(&keys))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CloudService;
+
+    fn get(server: &DocsServer, key: &str) -> Response {
+        server.handle(&Request::get("/tenant/record", &[("key", key)]))
+    }
+
+    fn put(server: &DocsServer, key: &str, value: &str) -> Response {
+        server.handle(&Request::post("/tenant/record", &[("key", key)], value.to_string()))
+    }
+
+    #[test]
+    fn record_crud_roundtrip() {
+        let server = DocsServer::new();
+        assert_eq!(get(&server, "u/alice").status, 404);
+        assert!(put(&server, "u/alice", "salt=00&iters=100").is_success());
+        assert_eq!(get(&server, "u/alice").body_text(), Some("salt=00&iters=100"));
+        assert!(put(&server, "u/alice", "salt=11&iters=200").is_success());
+        assert_eq!(get(&server, "u/alice").body_text(), Some("salt=11&iters=200"));
+        let del = server.handle(&Request::post(
+            "/tenant/record",
+            &[("key", "u/alice"), ("cmd", "delete")],
+            "",
+        ));
+        assert_eq!(del.body_text(), Some("deleted=true"));
+        assert_eq!(get(&server, "u/alice").status, 404);
+        let del = server.handle(&Request::post(
+            "/tenant/record",
+            &[("key", "u/alice"), ("cmd", "delete")],
+            "",
+        ));
+        assert_eq!(del.body_text(), Some("deleted=false"));
+    }
+
+    #[test]
+    fn if_absent_enforces_uniqueness() {
+        let server = DocsServer::new();
+        let first = server.handle(&Request::post(
+            "/tenant/record",
+            &[("key", "u/bob"), ("if_absent", "1")],
+            "v1",
+        ));
+        assert!(first.is_success());
+        let second = server.handle(&Request::post(
+            "/tenant/record",
+            &[("key", "u/bob"), ("if_absent", "1")],
+            "v2",
+        ));
+        assert_eq!(second.status, 409);
+        assert_eq!(get(&server, "u/bob").body_text(), Some("v1"));
+    }
+
+    #[test]
+    fn list_filters_by_prefix() {
+        let server = DocsServer::new();
+        put(&server, "u/alice", "a");
+        put(&server, "u/bob", "b");
+        put(&server, "g/doc1/alice", "w");
+        let resp = server.handle(&Request::get("/tenant/list", &[("prefix", "u/")]));
+        let pairs = form::parse_pairs(resp.body_text().unwrap()).unwrap();
+        let keys: Vec<&str> = pairs.iter().map(|(_, v)| v.as_str()).collect();
+        assert_eq!(keys, vec!["u/alice", "u/bob"]);
+        let resp = server.handle(&Request::get("/tenant/list", &[("prefix", "zz/")]));
+        assert_eq!(resp.body_text(), Some(""));
+    }
+
+    #[test]
+    fn records_hidden_from_document_listing_but_snapshotted() {
+        let server = DocsServer::new();
+        put(&server, "u/alice", "secret-salt");
+        let created = server.handle(&Request::post("/Doc", &[("cmd", "create")], ""));
+        assert!(created.is_success());
+        assert_eq!(server.list_documents(), vec!["doc1".to_string()]);
+        // The snapshot/restore path must still carry the records.
+        let restored = DocsServer::restore(&server.snapshot()).unwrap();
+        assert_eq!(get(&restored, "u/alice").body_text(), Some("secret-salt"));
+    }
+
+    #[test]
+    fn malformed_keys_rejected() {
+        let server = DocsServer::new();
+        assert_eq!(put(&server, "", "v").status, 400);
+        assert_eq!(put(&server, "a\nb", "v").status, 400);
+        assert_eq!(server.handle(&Request::get("/tenant/record", &[])).status, 400);
+        assert_eq!(get(&server, "bad\tkey").status, 400);
+    }
+
+    #[test]
+    fn oversized_record_rejected() {
+        let server = DocsServer::new();
+        let huge = "x".repeat(MAX_RECORD_BYTES + 1);
+        assert_eq!(put(&server, "u/huge", &huge).status, 413);
+    }
+}

@@ -130,11 +130,28 @@ impl DocumentKey {
     pub fn derive(password: &str, salt: &[u8; 16], iterations: u32) -> DocumentKey {
         let mut master = [0u8; 32];
         pbkdf2_sha256(password.as_bytes(), salt, iterations, &mut master);
+        let key = DocumentKey::from_master(&master, *salt);
+        pe_crypto::zeroize::wipe(&mut master);
+        key
+    }
+
+    /// Builds a document key directly from a 32-byte master secret.
+    ///
+    /// The multi-tenant layer generates a *random* master secret per
+    /// document (no password, no PBKDF2) and shares it with authorized
+    /// editors via RFC 3394 key wrap; this constructor applies the same
+    /// HKDF subkey separation as [`derive`](DocumentKey::derive), so a
+    /// tenant document's ciphertext is indistinguishable from a
+    /// password-derived one on the wire. The `salt` is whatever the
+    /// preamble records — for tenant documents it is decorative (the key
+    /// comes from the wrapped master secret, not from stretching a
+    /// password over the salt).
+    pub fn from_master(master: &[u8; 32], salt: [u8; 16]) -> DocumentKey {
         let mut key = [0u8; 16];
-        pe_crypto::hkdf::expand(&master, b"pe.v1.aes", &mut key);
+        pe_crypto::hkdf::expand(master, b"pe.v1.aes", &mut key);
         let mut mac_key = [0u8; 32];
-        pe_crypto::hkdf::expand(&master, b"pe.v1.mac", &mut mac_key);
-        DocumentKey { key, mac_key, salt: *salt }
+        pe_crypto::hkdf::expand(master, b"pe.v1.mac", &mut mac_key);
+        DocumentKey { key, mac_key, salt }
     }
 
     /// The MAC subkey for client-side integrity sidecars.
@@ -158,6 +175,16 @@ impl DocumentKey {
     /// Instantiates the AES cipher for this key.
     pub(crate) fn cipher(&self) -> Aes128 {
         Aes128::new(&self.key)
+    }
+}
+
+impl Drop for DocumentKey {
+    fn drop(&mut self) {
+        // Best-effort hygiene: each dropped copy wipes its own key bytes
+        // so derived keys do not linger in freed memory (the salt is
+        // public and stays readable for debugging).
+        pe_crypto::zeroize::wipe(&mut self.key);
+        pe_crypto::zeroize::wipe(&mut self.mac_key);
     }
 }
 
@@ -203,6 +230,18 @@ mod tests {
         // Deterministic per (password, salt).
         let again = DocumentKey::derive("pw", &[3u8; 16], 100);
         assert_eq!(key.mac_key(), again.mac_key());
+    }
+
+    #[test]
+    fn from_master_matches_derive_pipeline() {
+        let salt = [7u8; 16];
+        let mut master = [0u8; 32];
+        pbkdf2_sha256(b"pw", &salt, 100, &mut master);
+        let direct = DocumentKey::from_master(&master, salt);
+        let derived = DocumentKey::derive("pw", &salt, 100);
+        assert_eq!(direct.key, derived.key);
+        assert_eq!(direct.mac_key(), derived.mac_key());
+        assert_eq!(direct.salt(), derived.salt());
     }
 
     #[test]

@@ -33,6 +33,9 @@ pub enum CryptoError {
         /// Byte offset where the UTF-8 validation failed.
         position: usize,
     },
+    /// An authenticated unwrap/open recovered an integrity check value
+    /// that does not match: wrong key, or tampered ciphertext.
+    IntegrityCheckFailed,
 }
 
 impl fmt::Display for CryptoError {
@@ -51,6 +54,7 @@ impl fmt::Display for CryptoError {
             CryptoError::InvalidUtf8 { position } => {
                 write!(f, "invalid UTF-8 at byte {position}")
             }
+            CryptoError::IntegrityCheckFailed => write!(f, "integrity check failed"),
         }
     }
 }

@@ -1,0 +1,223 @@
+//! RFC 3394 AES Key Wrap.
+//!
+//! The multi-tenant layer stores one random data key per document and
+//! wraps it once per authorized editor under that editor's key-encryption
+//! key (KEK). AES Key Wrap is the standard deterministic construction for
+//! exactly this job: it needs no nonce (so a wrapped record is a pure
+//! function of KEK and key data, convenient for idempotent directory
+//! records), expands the payload by only 8 bytes, and its integrity check
+//! rejects both a wrong KEK and any ciphertext tampering.
+//!
+//! The implementation follows RFC 3394 §2.2.1/§2.2.2 (the index-based
+//! variant) over any [`BlockCipher`], and is validated against the RFC §4
+//! known-answer vectors.
+//!
+//! # Example
+//!
+//! ```
+//! use pe_crypto::aes::Aes128;
+//! use pe_crypto::kw;
+//!
+//! let kek = Aes128::new(&[7u8; 16]);
+//! let data_key = [42u8; 32];
+//! let wrapped = kw::wrap(&kek, &data_key)?;
+//! assert_eq!(wrapped.len(), data_key.len() + 8);
+//! assert_eq!(kw::unwrap(&kek, &wrapped)?, data_key);
+//! # Ok::<(), pe_crypto::CryptoError>(())
+//! ```
+
+use crate::error::CryptoError;
+use crate::BlockCipher;
+
+/// The fixed initial value from RFC 3394 §2.2.3.1; the unwrap side
+/// recovering anything else proves the KEK or ciphertext is wrong.
+const IV: u64 = 0xA6A6_A6A6_A6A6_A6A6;
+
+/// Smallest wrappable payload: two 64-bit halves (RFC 3394 requires
+/// `n >= 2`).
+pub const MIN_KEY_BYTES: usize = 16;
+
+fn check_key_len(len: usize) -> Result<usize, CryptoError> {
+    if len < MIN_KEY_BYTES || !len.is_multiple_of(8) {
+        return Err(CryptoError::InvalidLength { length: len });
+    }
+    Ok(len / 8)
+}
+
+/// Wraps `key_data` under `kek` per RFC 3394 §2.2.1.
+///
+/// `key_data` must be a multiple of 8 bytes and at least
+/// [`MIN_KEY_BYTES`]; the output is 8 bytes longer than the input.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::InvalidLength`] for an unacceptable input
+/// length.
+pub fn wrap<C: BlockCipher>(kek: &C, key_data: &[u8]) -> Result<Vec<u8>, CryptoError> {
+    let n = check_key_len(key_data.len())?;
+    let mut a = IV;
+    let mut r: Vec<u64> = key_data
+        .chunks_exact(8)
+        .map(|c| u64::from_be_bytes(c.try_into().expect("chunks_exact(8)")))
+        .collect();
+    let mut block = [0u8; 16];
+    for j in 0..6u64 {
+        for (i, ri) in r.iter_mut().enumerate() {
+            block[..8].copy_from_slice(&a.to_be_bytes());
+            block[8..].copy_from_slice(&ri.to_be_bytes());
+            kek.encrypt_block(&mut block);
+            let t = (n as u64) * j + (i as u64 + 1);
+            a = u64::from_be_bytes(block[..8].try_into().expect("8-byte half")) ^ t;
+            *ri = u64::from_be_bytes(block[8..].try_into().expect("8-byte half"));
+        }
+    }
+    let mut out = Vec::with_capacity(8 * (n + 1));
+    out.extend_from_slice(&a.to_be_bytes());
+    for ri in &r {
+        out.extend_from_slice(&ri.to_be_bytes());
+    }
+    Ok(out)
+}
+
+/// Unwraps `wrapped` under `kek` per RFC 3394 §2.2.2, verifying the
+/// integrity check value.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::InvalidLength`] for an unacceptable input
+/// length and [`CryptoError::IntegrityCheckFailed`] when the recovered
+/// initial value does not match — a wrong KEK, or any corruption of the
+/// wrapped bytes.
+pub fn unwrap<C: BlockCipher>(kek: &C, wrapped: &[u8]) -> Result<Vec<u8>, CryptoError> {
+    if wrapped.len() < MIN_KEY_BYTES + 8 || !wrapped.len().is_multiple_of(8) {
+        return Err(CryptoError::InvalidLength { length: wrapped.len() });
+    }
+    let n = wrapped.len() / 8 - 1;
+    let mut a = u64::from_be_bytes(wrapped[..8].try_into().expect("8-byte half"));
+    let mut r: Vec<u64> = wrapped[8..]
+        .chunks_exact(8)
+        .map(|c| u64::from_be_bytes(c.try_into().expect("chunks_exact(8)")))
+        .collect();
+    let mut block = [0u8; 16];
+    for j in (0..6u64).rev() {
+        for i in (0..n).rev() {
+            let t = (n as u64) * j + (i as u64 + 1);
+            block[..8].copy_from_slice(&(a ^ t).to_be_bytes());
+            block[8..].copy_from_slice(&r[i].to_be_bytes());
+            kek.decrypt_block(&mut block);
+            a = u64::from_be_bytes(block[..8].try_into().expect("8-byte half"));
+            r[i] = u64::from_be_bytes(block[8..].try_into().expect("8-byte half"));
+        }
+    }
+    if a != IV {
+        return Err(CryptoError::IntegrityCheckFailed);
+    }
+    let mut out = Vec::with_capacity(8 * n);
+    for ri in &r {
+        out.extend_from_slice(&ri.to_be_bytes());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aes::{Aes128, Aes256};
+    use crate::hex;
+
+    fn kek128(hex_key: &str) -> Aes128 {
+        let bytes = hex::decode(hex_key).unwrap();
+        Aes128::new(&bytes.try_into().unwrap())
+    }
+
+    #[test]
+    fn rfc3394_section_4_1_kat() {
+        // 4.1 Wrap 128 bits of Key Data with a 128-bit KEK.
+        let kek = kek128("000102030405060708090A0B0C0D0E0F");
+        let data = hex::decode("00112233445566778899AABBCCDDEEFF").unwrap();
+        let wrapped = wrap(&kek, &data).unwrap();
+        assert_eq!(
+            hex::encode(&wrapped).to_uppercase(),
+            "1FA68B0A8112B447AEF34BD8FB5A7B829D3E862371D2CFE5"
+        );
+        assert_eq!(unwrap(&kek, &wrapped).unwrap(), data);
+    }
+
+    #[test]
+    fn rfc3394_section_4_6_kat() {
+        // 4.6 Wrap 256 bits of Key Data with a 256-bit KEK — the shape the
+        // tenant layer uses for its 256-bit document data keys.
+        let kek_bytes =
+            hex::decode("000102030405060708090A0B0C0D0E0F101112131415161718191A1B1C1D1E1F")
+                .unwrap();
+        let kek = Aes256::new(&kek_bytes.try_into().unwrap());
+        let data =
+            hex::decode("00112233445566778899AABBCCDDEEFF000102030405060708090A0B0C0D0E0F")
+                .unwrap();
+        let wrapped = wrap(&kek, &data).unwrap();
+        assert_eq!(
+            hex::encode(&wrapped).to_uppercase(),
+            "28C9F404C4B810F4CBCCB35CFB87F8263F5786E2D80ED326CBC7F0E71A99F43BFB988B9B7A02DD21"
+        );
+        assert_eq!(unwrap(&kek, &wrapped).unwrap(), data);
+    }
+
+    #[test]
+    fn wrong_kek_fails_closed() {
+        let kek = kek128("000102030405060708090A0B0C0D0E0F");
+        let other = kek128("FF0102030405060708090A0B0C0D0E0F");
+        let wrapped = wrap(&kek, &[9u8; 32]).unwrap();
+        assert_eq!(unwrap(&other, &wrapped), Err(CryptoError::IntegrityCheckFailed));
+    }
+
+    #[test]
+    fn every_bit_flip_is_detected() {
+        let kek = kek128("000102030405060708090A0B0C0D0E0F");
+        let wrapped = wrap(&kek, &[0x5Au8; 32]).unwrap();
+        for byte in 0..wrapped.len() {
+            for bit in 0..8 {
+                let mut tampered = wrapped.clone();
+                tampered[byte] ^= 1 << bit;
+                assert_eq!(
+                    unwrap(&kek, &tampered),
+                    Err(CryptoError::IntegrityCheckFailed),
+                    "flip at byte {byte} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bad_lengths_rejected() {
+        let kek = kek128("000102030405060708090A0B0C0D0E0F");
+        for len in [0usize, 7, 8, 12, 15, 17] {
+            assert!(matches!(
+                wrap(&kek, &vec![0u8; len]),
+                Err(CryptoError::InvalidLength { .. })
+            ));
+        }
+        for len in [0usize, 8, 16, 23, 25] {
+            assert!(matches!(
+                unwrap(&kek, &vec![0u8; len]),
+                Err(CryptoError::InvalidLength { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn roundtrip_across_lengths_and_keks() {
+        let kek = kek128("00112233445566778899AABBCCDDEEFF");
+        for len in [16usize, 24, 32, 40, 64] {
+            let data: Vec<u8> = (0..len as u8).collect();
+            let wrapped = wrap(&kek, &data).unwrap();
+            assert_eq!(wrapped.len(), len + 8);
+            assert_eq!(unwrap(&kek, &wrapped).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn wrap_is_deterministic() {
+        let kek = kek128("00112233445566778899AABBCCDDEEFF");
+        assert_eq!(wrap(&kek, &[3u8; 32]).unwrap(), wrap(&kek, &[3u8; 32]).unwrap());
+    }
+}

@@ -16,7 +16,10 @@
 //! * [`hkdf`] — HKDF-SHA-256 subkey derivation (RFC 5869),
 //! * [`drbg`] — a deterministic AES-CTR random generator and the
 //!   [`NonceSource`] abstraction used everywhere nonces are needed,
+//! * [`kw`] — RFC 3394 AES Key Wrap, used by the multi-tenant layer to
+//!   wrap per-document data keys under per-user key-encryption keys,
 //! * [`base32`] — RFC 4648 Base32 text encoding,
+//! * [`zeroize`] — best-effort wiping of secret material,
 //! * [`hex`] — hexadecimal encoding,
 //! * [`form`] — percent-encoding and `application/x-www-form-urlencoded`
 //!   codecs used by the simulated wire protocol.
@@ -67,8 +70,10 @@ pub mod form;
 pub mod hex;
 pub mod hkdf;
 pub mod hmac;
+pub mod kw;
 pub mod pbkdf2;
 pub mod sha256;
+pub mod zeroize;
 
 pub use aes::{Aes128, Aes256, AesBackend};
 pub use drbg::{CtrDrbg, NonceSource, SystemRandom};

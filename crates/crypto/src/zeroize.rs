@@ -1,0 +1,89 @@
+//! Best-effort wiping of secret material.
+//!
+//! Rust gives no hard guarantee that a plain `for b in buf { *b = 0 }`
+//! survives dead-store elimination when the buffer is about to be freed.
+//! [`wipe`] writes the zeros and then routes the buffer through
+//! [`std::hint::black_box`] plus a compiler fence, which defeats the
+//! elimination on every compiler we target without reaching for `unsafe`
+//! volatile writes. This is *best-effort* hygiene — it shortens the
+//! lifetime of passwords and keys in process memory; it is not a defense
+//! against an attacker who can already read the live process.
+
+use std::sync::atomic::{compiler_fence, Ordering};
+
+/// Overwrites `buf` with zeros and discourages the compiler from
+/// optimizing the store away.
+pub fn wipe(buf: &mut [u8]) {
+    for b in buf.iter_mut() {
+        *b = 0;
+    }
+    // An opaque observation of the zeroed bytes: the optimizer must assume
+    // `black_box` reads them, so the stores above cannot be elided.
+    std::hint::black_box(&*buf);
+    compiler_fence(Ordering::SeqCst);
+}
+
+/// A `String` wrapper that wipes its bytes on drop.
+///
+/// Used by the extension keyring so registered passwords do not linger in
+/// freed heap memory for the rest of the process lifetime.
+#[derive(Default)]
+pub struct SecretString(String);
+
+impl SecretString {
+    /// Takes ownership of `value`; the backing bytes are wiped when the
+    /// wrapper is dropped.
+    ///
+    /// Note the caller's original copy (if any) is the caller's problem —
+    /// pass owned data, not a fresh clone of something kept elsewhere.
+    pub fn new(value: String) -> SecretString {
+        SecretString(value)
+    }
+
+    /// Read access to the secret.
+    pub fn expose(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for SecretString {
+    fn from(value: &str) -> SecretString {
+        SecretString(value.to_string())
+    }
+}
+
+impl Drop for SecretString {
+    fn drop(&mut self) {
+        // SAFETY-free wipe: take the buffer apart as bytes. `as_mut_vec`
+        // is unsafe, so instead replace the string and wipe the extracted
+        // byte vector.
+        let mut bytes = std::mem::take(&mut self.0).into_bytes();
+        wipe(&mut bytes);
+    }
+}
+
+impl std::fmt::Debug for SecretString {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print the secret itself.
+        write!(f, "SecretString({} bytes)", self.0.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wipe_zeroes_every_byte() {
+        let mut buf = [0xAAu8; 64];
+        wipe(&mut buf);
+        assert!(buf.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn secret_string_exposes_and_hides() {
+        let secret = SecretString::from("hunter2");
+        assert_eq!(secret.expose(), "hunter2");
+        assert!(!format!("{secret:?}").contains("hunter2"));
+    }
+}

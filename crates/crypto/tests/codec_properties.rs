@@ -106,3 +106,57 @@ proptest! {
         prop_assert_ne!(Sha256::digest(&tweaked), digest);
     }
 }
+
+proptest! {
+    #[test]
+    fn key_wrap_roundtrips(
+        kek in proptest::array::uniform16(any::<u8>()),
+        blocks in 2usize..9,
+        seed in any::<u64>(),
+    ) {
+        use pe_crypto::kw;
+        let mut rng = CtrDrbg::from_seed(seed);
+        let mut data = vec![0u8; blocks * 8];
+        rng.fill_bytes(&mut data);
+        let cipher = Aes128::new(&kek);
+        let wrapped = kw::wrap(&cipher, &data).unwrap();
+        prop_assert_eq!(wrapped.len(), data.len() + 8);
+        prop_assert_eq!(kw::unwrap(&cipher, &wrapped).unwrap(), data);
+    }
+
+    #[test]
+    fn key_wrap_detects_tampering(
+        kek in proptest::array::uniform16(any::<u8>()),
+        data in proptest::collection::vec(any::<u8>(), 32..33),
+        byte in 0usize..40,
+        bit in 0u8..8,
+    ) {
+        use pe_crypto::kw;
+        let cipher = Aes128::new(&kek);
+        let mut wrapped = kw::wrap(&cipher, &data).unwrap();
+        let at = byte % wrapped.len();
+        wrapped[at] ^= 1 << bit;
+        prop_assert_eq!(
+            kw::unwrap(&cipher, &wrapped),
+            Err(pe_crypto::CryptoError::IntegrityCheckFailed)
+        );
+    }
+
+    #[test]
+    fn key_wrap_rejects_wrong_kek(
+        kek in proptest::array::uniform16(any::<u8>()),
+        flip in 0usize..128,
+        data in proptest::collection::vec(any::<u8>(), 16..17),
+    ) {
+        use pe_crypto::kw;
+        let cipher = Aes128::new(&kek);
+        let mut other_key = kek;
+        other_key[flip / 8] ^= 1 << (flip % 8);
+        let other = Aes128::new(&other_key);
+        let wrapped = kw::wrap(&cipher, &data).unwrap();
+        prop_assert_eq!(
+            kw::unwrap(&other, &wrapped),
+            Err(pe_crypto::CryptoError::IntegrityCheckFailed)
+        );
+    }
+}

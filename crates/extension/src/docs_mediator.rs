@@ -13,6 +13,7 @@ use pe_crypto::form;
 use pe_crypto::sha256::Sha256;
 use pe_crypto::{hex, CtrDrbg, SystemRandom};
 use pe_delta::Delta;
+use pe_tenant::{ServiceRecords, Session, TenantDirectory};
 
 use crate::countermeasures;
 use crate::error::ExtensionError;
@@ -65,6 +66,8 @@ pub struct DocsMediator<S> {
     config: MediatorConfig,
     keyring: Keyring,
     docs: HashMap<String, DocState>,
+    /// Logged-in tenant user, when the multi-tenant key path is in use.
+    tenant: Option<Session>,
     rng: Box<dyn NonceSource + Send>,
 }
 
@@ -94,6 +97,7 @@ impl<S: CloudService> DocsMediator<S> {
             config,
             keyring: Keyring::new(config.kdf_iterations),
             docs: HashMap::new(),
+            tenant: None,
             rng: Box::new(rng),
         }
     }
@@ -146,6 +150,21 @@ impl<S: CloudService> DocsMediator<S> {
         })
     }
 
+    /// Fetches the document's data key from the tenant directory (the
+    /// logged-in user must hold a grant), derives the [`DocumentKey`] for
+    /// `salt`, and caches it in the keyring. Fails closed when the user
+    /// holds no grant — a revoked editor cannot rebuild the key.
+    fn tenant_key(&mut self, doc_id: &str, salt: [u8; 16]) -> Result<DocumentKey, ExtensionError> {
+        let Some(session) = self.tenant.as_ref() else {
+            return Err(ExtensionError::NoPassword { doc_id: doc_id.to_string() });
+        };
+        let data_key = TenantDirectory::new(ServiceRecords::new(&self.server))
+            .data_key(session, doc_id)?;
+        let key = data_key.document_key(salt);
+        self.keyring.register_key(doc_id, key.clone());
+        Ok(key)
+    }
+
     /// Ensures crypto state exists for a registered document, building it
     /// from `server_content` when that holds our ciphertext.
     fn ensure_state(
@@ -156,16 +175,16 @@ impl<S: CloudService> DocsMediator<S> {
         if self.docs.contains_key(doc_id) {
             return Ok(());
         }
-        if !self.keyring.has(doc_id) {
+        if !self.keyring.has(doc_id) && self.tenant.is_none() {
             return Err(ExtensionError::NoPassword { doc_id: doc_id.to_string() });
         }
         let state = match server_content {
             Some(content) if !content.is_empty() => {
                 let preamble = Preamble::parse(content)?;
-                let key = self
-                    .keyring
-                    .derive_existing(doc_id, &preamble.salt)
-                    .expect("has() checked above");
+                let key = match self.keyring.derive_existing(doc_id, &preamble.salt) {
+                    Some(key) => key,
+                    None => self.tenant_key(doc_id, preamble.salt)?,
+                };
                 let doc = self.open_doc(&key, content, preamble.mode)?;
                 let plaintext = String::from_utf8(doc.decrypt()?).map_err(|_| {
                     ExtensionError::BadResponse { detail: "document is not text".into() }
@@ -178,10 +197,14 @@ impl<S: CloudService> DocsMediator<S> {
             }
             _ => {
                 let mut rng = self.fork_rng();
-                let key = self
-                    .keyring
-                    .derive_new(doc_id, &mut rng)
-                    .expect("has() checked above");
+                let key = match self.keyring.derive_new(doc_id, &mut rng) {
+                    Some(key) => key,
+                    None => {
+                        let mut salt = [0u8; 16];
+                        rng.fill_bytes(&mut salt);
+                        self.tenant_key(doc_id, salt)?
+                    }
+                };
                 let doc = self.make_doc(&key, b"")?;
                 DocState {
                     transformer: DeltaTransformer::new(doc),
@@ -284,7 +307,7 @@ impl<S: CloudService> DocsMediator<S> {
             detail: format!("unparseable response form: {e}"),
         })?;
         let content = form::first_value(&pairs, "content").unwrap_or("");
-        if !self.keyring.has(doc_id) {
+        if !self.keyring.has(doc_id) && self.tenant.is_none() {
             // No password: the user sees raw ciphertext, as the paper
             // describes for parties without the password.
             return Ok(Mediated {
@@ -521,6 +544,13 @@ impl<S: CloudService> DocsMediator<S> {
     ///
     /// Fails when the server rejects the create or responds unparseably.
     pub fn create_document(&mut self, password: &str) -> Result<String, ExtensionError> {
+        let doc_id = self.create_on_server()?;
+        self.register_password(&doc_id, password);
+        Ok(doc_id)
+    }
+
+    /// Forwards the create command and parses the allocated document id.
+    fn create_on_server(&mut self) -> Result<String, ExtensionError> {
         let mediated = self.intercept(&Request::post("/Doc", &[("cmd", "create")], ""))?;
         let body = mediated.response.body_text().unwrap_or("");
         if !mediated.response.is_success() {
@@ -532,11 +562,9 @@ impl<S: CloudService> DocsMediator<S> {
         let pairs = form::parse_pairs(body).map_err(|e| ExtensionError::BadResponse {
             detail: format!("create response: {e}"),
         })?;
-        let doc_id = form::first_value(&pairs, "docID")
+        Ok(form::first_value(&pairs, "docID")
             .ok_or_else(|| ExtensionError::BadResponse { detail: "missing docID".into() })?
-            .to_string();
-        self.register_password(&doc_id, password);
-        Ok(doc_id)
+            .to_string())
     }
 
     /// Opens a document, returning its decrypted plaintext.
@@ -620,5 +648,144 @@ impl<S: CloudService> DocsMediator<S> {
                 message: mediated.response.body_text().unwrap_or("").to_string(),
             })
         }
+    }
+
+    // Multi-tenant key management (crate `pe-tenant`): per-user master
+    // keys, per-document data keys wrapped per authorized editor, and
+    // O(1) grant/revoke that never touches document bodies. The directory
+    // records travel through the same untrusted server this mediator
+    // fronts (its `/tenant/*` endpoints), so nothing here trusts the
+    // cloud with key material.
+
+    /// The tenant directory view over the wrapped server.
+    fn tenant_directory(&self) -> TenantDirectory<ServiceRecords<&S>> {
+        TenantDirectory::new(ServiceRecords::new(&self.server))
+    }
+
+    /// Registers a tenant user (fresh random salt, this mediator's
+    /// configured KDF iteration count) and logs them in.
+    ///
+    /// # Errors
+    ///
+    /// [`ExtensionError::Tenant`] when the name is taken or invalid.
+    pub fn tenant_register(&mut self, user: &str, passphrase: &str) -> Result<(), ExtensionError> {
+        let mut rng = self.fork_rng();
+        let iterations = self.config.kdf_iterations;
+        let session = self.tenant_directory().register(user, passphrase, iterations, &mut rng)?;
+        self.tenant = Some(session);
+        Ok(())
+    }
+
+    /// Logs a tenant user in: derives their KEK from the passphrase and
+    /// the salt in their directory record, and checks the verifier.
+    ///
+    /// # Errors
+    ///
+    /// [`ExtensionError::Tenant`] for unknown users or bad passphrases.
+    pub fn tenant_login(&mut self, user: &str, passphrase: &str) -> Result<(), ExtensionError> {
+        let session = self.tenant_directory().login(user, passphrase)?;
+        self.tenant = Some(session);
+        Ok(())
+    }
+
+    /// The logged-in tenant user, if any.
+    pub fn tenant_user(&self) -> Option<&str> {
+        self.tenant.as_ref().map(|s| s.user())
+    }
+
+    /// Creates a document owned by the logged-in user: the server
+    /// allocates the id, the directory stores the owner's wrapped copy of
+    /// a fresh random data key, and the derived document key lands in the
+    /// keyring — no per-document password exists.
+    ///
+    /// # Errors
+    ///
+    /// [`ExtensionError::NoSession`] without a login; server or directory
+    /// failures otherwise.
+    pub fn tenant_create_document(&mut self) -> Result<String, ExtensionError> {
+        if self.tenant.is_none() {
+            return Err(ExtensionError::NoSession);
+        }
+        let doc_id = self.create_on_server()?;
+        let mut rng = self.fork_rng();
+        let session = self.tenant.as_ref().expect("checked above");
+        let data_key = TenantDirectory::new(ServiceRecords::new(&self.server))
+            .create_document(session, &doc_id, &mut rng)?;
+        let mut salt = [0u8; 16];
+        rng.fill_bytes(&mut salt);
+        self.keyring.register_key(&doc_id, data_key.document_key(salt));
+        Ok(doc_id)
+    }
+
+    /// Grants another user access to a document the logged-in user owns.
+    /// Returns the one-time invite code, which travels out of band; the
+    /// grantee redeems it with [`Self::tenant_accept`]. O(1) in the
+    /// document size — the body is never touched.
+    ///
+    /// # Errors
+    ///
+    /// [`ExtensionError::NoSession`] without a login;
+    /// [`ExtensionError::Tenant`] when not the owner or the grantee is
+    /// unknown.
+    pub fn tenant_grant(&mut self, doc_id: &str, grantee: &str) -> Result<String, ExtensionError> {
+        let mut rng = self.fork_rng();
+        let session = self.tenant.as_ref().ok_or(ExtensionError::NoSession)?;
+        let code = TenantDirectory::new(ServiceRecords::new(&self.server))
+            .grant(session, doc_id, grantee, &mut rng)?;
+        Ok(code)
+    }
+
+    /// Redeems an invite code: rewraps the document's data key under the
+    /// logged-in user's KEK and burns the invite.
+    ///
+    /// # Errors
+    ///
+    /// [`ExtensionError::NoSession`] without a login;
+    /// [`ExtensionError::Tenant`] for wrong or spent codes.
+    pub fn tenant_accept(&mut self, doc_id: &str, code: &str) -> Result<(), ExtensionError> {
+        let session = self.tenant.as_ref().ok_or(ExtensionError::NoSession)?;
+        TenantDirectory::new(ServiceRecords::new(&self.server)).accept(session, doc_id, code)?;
+        Ok(())
+    }
+
+    /// Revokes a user's access to a document the logged-in user owns:
+    /// deletes their wrapped key record (and pending invites). Returns
+    /// whether a grant existed. O(1) in the document size.
+    ///
+    /// # Errors
+    ///
+    /// [`ExtensionError::NoSession`] without a login;
+    /// [`ExtensionError::Tenant`] when not the owner.
+    pub fn tenant_revoke(&mut self, doc_id: &str, user: &str) -> Result<bool, ExtensionError> {
+        let session = self.tenant.as_ref().ok_or(ExtensionError::NoSession)?;
+        let existed = TenantDirectory::new(ServiceRecords::new(&self.server))
+            .revoke(session, doc_id, user)?;
+        Ok(existed)
+    }
+
+    /// Rotates a tenant user's passphrase: new salt, new KEK, every
+    /// wrapped key they hold rewrapped — document bodies untouched.
+    /// Returns the number of grants rewrapped. Refreshes the login when
+    /// the rotated user is the one logged in here.
+    ///
+    /// # Errors
+    ///
+    /// [`ExtensionError::Tenant`] when the old passphrase is wrong.
+    pub fn tenant_passwd(
+        &mut self,
+        user: &str,
+        old_passphrase: &str,
+        new_passphrase: &str,
+    ) -> Result<usize, ExtensionError> {
+        let mut rng = self.fork_rng();
+        let iterations = self.config.kdf_iterations;
+        let count = self
+            .tenant_directory()
+            .rewrap(user, old_passphrase, new_passphrase, iterations, &mut rng)?;
+        if self.tenant.as_ref().is_some_and(|s| s.user() == user) {
+            let session = self.tenant_directory().login(user, new_passphrase)?;
+            self.tenant = Some(session);
+        }
+        Ok(count)
     }
 }

@@ -29,6 +29,10 @@ pub enum ExtensionError {
     Crypto(pe_core::CoreError),
     /// The delta protocol layer failed.
     Delta(pe_delta::DeltaError),
+    /// The multi-tenant key directory refused the operation.
+    Tenant(pe_tenant::TenantError),
+    /// A tenant operation was attempted with no logged-in user.
+    NoSession,
 }
 
 impl fmt::Display for ExtensionError {
@@ -45,6 +49,8 @@ impl fmt::Display for ExtensionError {
             }
             ExtensionError::Crypto(e) => write!(f, "crypto layer: {e}"),
             ExtensionError::Delta(e) => write!(f, "delta layer: {e}"),
+            ExtensionError::Tenant(e) => write!(f, "tenant directory: {e}"),
+            ExtensionError::NoSession => write!(f, "no tenant user is logged in"),
         }
     }
 }
@@ -54,6 +60,7 @@ impl Error for ExtensionError {
         match self {
             ExtensionError::Crypto(e) => Some(e),
             ExtensionError::Delta(e) => Some(e),
+            ExtensionError::Tenant(e) => Some(e),
             _ => None,
         }
     }
@@ -68,6 +75,12 @@ impl From<pe_core::CoreError> for ExtensionError {
 impl From<pe_delta::DeltaError> for ExtensionError {
     fn from(e: pe_delta::DeltaError) -> ExtensionError {
         ExtensionError::Delta(e)
+    }
+}
+
+impl From<pe_tenant::TenantError> for ExtensionError {
+    fn from(e: pe_tenant::TenantError) -> ExtensionError {
+        ExtensionError::Tenant(e)
     }
 }
 

@@ -1,62 +1,103 @@
-//! Per-document passwords and key derivation (§IV-C).
+//! Per-document credentials and key derivation (§IV-C).
 //!
 //! "Users control the security of their data using per-document
-//! passwords." The keyring stores passwords registered by the user and
-//! derives [`DocumentKey`]s: with a fresh random salt when creating a
-//! document, or with the salt found in an existing document's preamble
-//! when opening one.
+//! passwords." The keyring holds two kinds of credential:
+//!
+//! * **Passwords** — kept as [`SecretString`]s (wiped on forget/drop, never
+//!   printed). A password must be retained in memory because revision
+//!   history can carry preambles with *older* salts (from before a
+//!   password rotation), and each salt needs a fresh derivation.
+//! * **Derived [`DocumentKey`]s** — registered directly by the tenant path
+//!   ([`DocsMediator::tenant_login`](crate::DocsMediator)), where no
+//!   per-document password exists at all: the key comes from unwrapping
+//!   the document's data key. `DocumentKey` wipes its own material on
+//!   drop, so forgetting an entry (or dropping the keyring) erases it.
+//!
+//! Either credential satisfies [`Keyring::has`]; key lookups prefer a
+//! registered key whose salt matches, then fall back to deriving from the
+//! password.
 
 use std::collections::HashMap;
 
 use pe_core::DocumentKey;
 use pe_crypto::drbg::NonceSource;
+use pe_crypto::zeroize::SecretString;
 
-/// Registered per-document passwords.
+/// Registered per-document credentials (passwords and derived keys).
 #[derive(Default)]
 pub struct Keyring {
-    passwords: HashMap<String, String>,
+    passwords: HashMap<String, SecretString>,
+    keys: HashMap<String, Vec<DocumentKey>>,
     kdf_iterations: u32,
 }
 
 impl std::fmt::Debug for Keyring {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        // Never print passwords.
-        f.debug_struct("Keyring").field("documents", &self.passwords.len()).finish_non_exhaustive()
+        // Never print passwords or keys.
+        f.debug_struct("Keyring")
+            .field("passwords", &self.passwords.len())
+            .field("keys", &self.keys.len())
+            .finish_non_exhaustive()
     }
 }
 
 impl Keyring {
     /// Creates an empty keyring using the given PBKDF2 iteration count.
     pub fn new(kdf_iterations: u32) -> Keyring {
-        Keyring { passwords: HashMap::new(), kdf_iterations }
+        Keyring { passwords: HashMap::new(), keys: HashMap::new(), kdf_iterations }
     }
 
-    /// Registers (or replaces) the password for a document.
+    /// Registers (or replaces) the password for a document. Any directly
+    /// registered keys for the document are dropped (and thereby wiped):
+    /// after a rotation the old key must not shadow the new password.
     pub fn register(&mut self, doc_id: &str, password: &str) {
-        self.passwords.insert(doc_id.to_string(), password.to_string());
+        self.keys.remove(doc_id);
+        self.passwords.insert(doc_id.to_string(), SecretString::from(password));
     }
 
-    /// Removes a password (e.g. when the user closes the document).
+    /// Registers a derived key directly (the tenant path, where document
+    /// keys are unwrapped rather than password-derived). A key with the
+    /// same salt is replaced; keys with other salts are kept so older
+    /// revisions stay readable.
+    pub fn register_key(&mut self, doc_id: &str, key: DocumentKey) {
+        let keys = self.keys.entry(doc_id.to_string()).or_default();
+        keys.retain(|k| k.salt() != key.salt());
+        keys.push(key);
+    }
+
+    /// Removes every credential for a document (e.g. when the user closes
+    /// it). Dropped passwords and keys wipe their own material.
     pub fn forget(&mut self, doc_id: &str) {
         self.passwords.remove(doc_id);
+        self.keys.remove(doc_id);
     }
 
-    /// Whether a password is registered for the document.
+    /// Whether any credential is registered for the document.
     pub fn has(&self, doc_id: &str) -> bool {
-        self.passwords.contains_key(doc_id)
+        self.passwords.contains_key(doc_id) || self.keys.contains_key(doc_id)
     }
 
-    /// Derives a fresh key (new random salt) for a newly created document.
+    /// Derives a fresh key (new random salt) for a newly created document,
+    /// or returns the registered key when the tenant path installed one.
     pub fn derive_new<R: NonceSource>(&self, doc_id: &str, rng: &mut R) -> Option<DocumentKey> {
+        if let Some(key) = self.keys.get(doc_id).and_then(|keys| keys.last()) {
+            return Some(key.clone());
+        }
         let password = self.passwords.get(doc_id)?;
-        Some(DocumentKey::generate(password, self.kdf_iterations, rng))
+        Some(DocumentKey::generate(password.expose(), self.kdf_iterations, rng))
     }
 
     /// Derives the key for an existing document given the salt from its
-    /// preamble.
+    /// preamble: a registered key with that salt wins, else the password
+    /// is stretched over the salt.
     pub fn derive_existing(&self, doc_id: &str, salt: &[u8; 16]) -> Option<DocumentKey> {
+        if let Some(key) =
+            self.keys.get(doc_id).and_then(|keys| keys.iter().find(|k| k.salt() == salt))
+        {
+            return Some(key.clone());
+        }
         let password = self.passwords.get(doc_id)?;
-        Some(DocumentKey::derive(password, salt, self.kdf_iterations))
+        Some(DocumentKey::derive(password.expose(), salt, self.kdf_iterations))
     }
 }
 
@@ -83,6 +124,40 @@ mod tests {
         keyring.register("doc1", "pw");
         keyring.forget("doc1");
         assert!(!keyring.has("doc1"));
+    }
+
+    #[test]
+    fn registered_key_wins_and_survives_by_salt() {
+        let mut keyring = Keyring::new(100);
+        let mut rng = CtrDrbg::from_seed(2);
+        let key = DocumentKey::generate("source", 100, &mut rng);
+        keyring.register_key("doc1", key.clone());
+        assert!(keyring.has("doc1"));
+        // derive_new returns the registered key, no password needed.
+        let got = keyring.derive_new("doc1", &mut rng).unwrap();
+        assert_eq!(got.salt(), key.salt());
+        assert_eq!(got.mac_key(), key.mac_key());
+        // Exact-salt lookup works; unknown salts find nothing.
+        assert!(keyring.derive_existing("doc1", key.salt()).is_some());
+        assert!(keyring.derive_existing("doc1", &[0xEE; 16]).is_none());
+        // Registering a password clears the key (rotation semantics).
+        keyring.register("doc1", "new-pw");
+        let derived = keyring.derive_existing("doc1", key.salt()).unwrap();
+        assert_ne!(derived.mac_key(), key.mac_key());
+    }
+
+    #[test]
+    fn multiple_salts_coexist() {
+        let mut keyring = Keyring::new(100);
+        let mut rng = CtrDrbg::from_seed(3);
+        let old = DocumentKey::generate("a", 100, &mut rng);
+        let new = DocumentKey::generate("b", 100, &mut rng);
+        keyring.register_key("doc1", old.clone());
+        keyring.register_key("doc1", new.clone());
+        assert_eq!(keyring.derive_existing("doc1", old.salt()).unwrap().mac_key(), old.mac_key());
+        assert_eq!(keyring.derive_existing("doc1", new.salt()).unwrap().mac_key(), new.mac_key());
+        // Latest registration is what new documents use.
+        assert_eq!(keyring.derive_new("doc1", &mut rng).unwrap().salt(), new.salt());
     }
 
     #[test]

@@ -389,3 +389,83 @@ fn rotation_does_not_protect_old_revisions() {
     server.handle(&Request::post("/Doc", &[("docID", &scratch)], body));
     assert_eq!(old_holder.open_document(&scratch).unwrap(), "the old secret");
 }
+
+/// A config with a cheap KDF for tenant tests (PBKDF2 runs per login).
+fn tenant_config() -> MediatorConfig {
+    let mut config = MediatorConfig::recb(8);
+    config.kdf_iterations = 64;
+    config
+}
+
+#[test]
+fn tenant_share_edit_and_revoke() {
+    let server = Arc::new(DocsServer::new());
+    let mut alice =
+        DocsMediator::with_rng(Arc::clone(&server), tenant_config(), CtrDrbg::from_seed(40));
+    let mut bob =
+        DocsMediator::with_rng(Arc::clone(&server), tenant_config(), CtrDrbg::from_seed(41));
+
+    alice.tenant_register("alice", "alice's passphrase").unwrap();
+    bob.tenant_register("bob", "bob's passphrase").unwrap();
+    assert_eq!(alice.tenant_user(), Some("alice"));
+
+    // No per-document password anywhere in this test.
+    let doc_id = alice.tenant_create_document().unwrap();
+    alice.save_full(&doc_id, "tenant shared secret").unwrap();
+    assert_server_never_sees(&server, &doc_id, "secret");
+
+    // Before the grant, bob fails closed.
+    assert!(bob.open_document(&doc_id).is_err());
+
+    // Grant travels as an invite code; the stored ciphertext must not
+    // change by a single byte (zero re-encryption).
+    let before = server.stored_content(&doc_id).unwrap();
+    let code = alice.tenant_grant(&doc_id, "bob").unwrap();
+    bob.tenant_accept(&doc_id, &code).unwrap();
+    assert_eq!(server.stored_content(&doc_id).unwrap(), before);
+
+    // Bob reads and edits.
+    assert_eq!(bob.open_document(&doc_id).unwrap(), "tenant shared secret");
+    let mut delta = Delta::builder();
+    delta.retain(7).delete(6).insert("public");
+    bob.save_delta(&doc_id, &delta.build()).unwrap();
+    assert_eq!(bob.plaintext(&doc_id), Some("tenant public secret"));
+
+    // Revoke is also byte-preserving, and a fresh session for bob now
+    // fails closed (no cached key to fall back on).
+    let before = server.stored_content(&doc_id).unwrap();
+    assert!(alice.tenant_revoke(&doc_id, "bob").unwrap());
+    assert_eq!(server.stored_content(&doc_id).unwrap(), before);
+    let mut bob_later =
+        DocsMediator::with_rng(Arc::clone(&server), tenant_config(), CtrDrbg::from_seed(42));
+    bob_later.tenant_login("bob", "bob's passphrase").unwrap();
+    assert!(bob_later.open_document(&doc_id).is_err());
+
+    // Alice still reads the document bob edited.
+    let mut alice_later =
+        DocsMediator::with_rng(Arc::clone(&server), tenant_config(), CtrDrbg::from_seed(43));
+    alice_later.tenant_login("alice", "alice's passphrase").unwrap();
+    assert_eq!(alice_later.open_document(&doc_id).unwrap(), "tenant public secret");
+}
+
+#[test]
+fn tenant_passphrase_rotation_keeps_documents() {
+    let server = Arc::new(DocsServer::new());
+    let mut alice =
+        DocsMediator::with_rng(Arc::clone(&server), tenant_config(), CtrDrbg::from_seed(44));
+    alice.tenant_register("alice", "old words").unwrap();
+    let doc_id = alice.tenant_create_document().unwrap();
+    alice.save_full(&doc_id, "survives rotation").unwrap();
+
+    let before = server.stored_content(&doc_id).unwrap();
+    let rewrapped = alice.tenant_passwd("alice", "old words", "new words").unwrap();
+    assert_eq!(rewrapped, 1);
+    // Rotation rewraps 40-byte records; the body bytes are untouched.
+    assert_eq!(server.stored_content(&doc_id).unwrap(), before);
+
+    let mut later =
+        DocsMediator::with_rng(Arc::clone(&server), tenant_config(), CtrDrbg::from_seed(45));
+    assert!(later.tenant_login("alice", "old words").is_err());
+    later.tenant_login("alice", "new words").unwrap();
+    assert_eq!(later.open_document(&doc_id).unwrap(), "survives rotation");
+}

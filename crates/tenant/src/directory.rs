@@ -1,0 +1,663 @@
+//! The tenant directory: users, documents, grants, invites.
+//!
+//! All crypto happens on the client side of whatever [`RecordStore`] the
+//! directory runs over — against a remote server the directory only ever
+//! ships salts, verifiers, and AES-KW-wrapped keys. The server can deny
+//! service, but it can neither read a document key nor forge a grant
+//! that unwraps (AES-KW authenticates the KEK).
+//!
+//! ## Sharing model
+//!
+//! * The document **owner** (its creator) is the only user who may grant
+//!   or revoke access.
+//! * A grant is a *pending invite*: the data key wrapped under a fresh
+//!   one-time KEK whose bytes live in the returned invite code, which
+//!   travels out of band (the paper's §IV-C password-sharing assumption).
+//!   The grantee redeems the code with [`TenantDirectory::accept`],
+//!   which rewraps the key under their own KEK and burns the invite.
+//! * Revocation deletes the grantee's wrapped record (and any pending
+//!   invites for them) — an O(1) directory operation that never touches
+//!   the document body. *Lazy revocation caveat:* a revoked user may
+//!   have cached the data key while authorized; cryptographic re-lockout
+//!   requires rotating the data key and re-encrypting the body, which
+//!   this layer deliberately never does.
+//! * [`TenantDirectory::rewrap`] rotates a user's passphrase: new salt,
+//!   new KEK, and every grant they hold is unwrapped and rewrapped —
+//!   again without touching any document body.
+
+use pe_crypto::drbg::NonceSource;
+use pe_crypto::{base32, zeroize};
+
+use crate::error::TenantError;
+use crate::keys::{DataKey, MasterKey};
+use crate::records::{
+    validate_name, DocRecord, GrantRecord, InviteRecord, UserRecord, DOC_PREFIX, GRANT_PREFIX,
+    INVITE_PREFIX, USER_PREFIX,
+};
+use crate::store::RecordStore;
+
+/// Bytes of invite-id material in an invite code (base32: 8 chars).
+const INVITE_ID_BYTES: usize = 5;
+/// Total invite-code payload: invite id + one-time KEK.
+const INVITE_CODE_BYTES: usize = INVITE_ID_BYTES + 16;
+
+/// A logged-in user: the name plus the KEK derived from their
+/// passphrase. Key material is wiped on drop.
+pub struct Session {
+    user: String,
+    master: MasterKey,
+}
+
+impl Session {
+    /// The logged-in user name.
+    pub fn user(&self) -> &str {
+        &self.user
+    }
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session").field("user", &self.user).finish_non_exhaustive()
+    }
+}
+
+/// Directory record counts (tooling, benches, `pedit user list`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DirectoryStats {
+    /// Registered users.
+    pub users: usize,
+    /// Registered documents.
+    pub documents: usize,
+    /// Stored grants (wrapped keys).
+    pub grants: usize,
+    /// Pending invites.
+    pub invites: usize,
+}
+
+/// The multi-tenant key directory over any [`RecordStore`].
+#[derive(Debug)]
+pub struct TenantDirectory<R> {
+    records: R,
+}
+
+impl<R: RecordStore> TenantDirectory<R> {
+    /// Builds a directory over a record store.
+    pub fn new(records: R) -> TenantDirectory<R> {
+        TenantDirectory { records }
+    }
+
+    /// Registers a new user with a fresh random salt.
+    ///
+    /// # Errors
+    ///
+    /// [`TenantError::BadName`], [`TenantError::UserExists`], or a store
+    /// failure.
+    pub fn register<N: NonceSource>(
+        &self,
+        user: &str,
+        passphrase: &str,
+        iterations: u32,
+        rng: &mut N,
+    ) -> Result<Session, TenantError> {
+        validate_name(user)?;
+        if iterations == 0 {
+            return Err(TenantError::Corrupt("kdf iterations must be positive".into()));
+        }
+        let mut salt = [0u8; 16];
+        rng.fill_bytes(&mut salt);
+        let master = MasterKey::derive(passphrase, &salt, iterations);
+        let record = UserRecord {
+            user: user.to_string(),
+            salt,
+            iterations,
+            verifier: *master.verifier(),
+        };
+        if !self.records.put_if_absent(&UserRecord::key(user), &record.encode())? {
+            return Err(TenantError::UserExists(user.to_string()));
+        }
+        pe_observe::static_counter!("tenant.registers").inc();
+        Ok(Session { user: user.to_string(), master })
+    }
+
+    /// Logs a user in, deriving their KEK and checking the verifier.
+    ///
+    /// # Errors
+    ///
+    /// [`TenantError::NoSuchUser`], [`TenantError::BadPassphrase`], or a
+    /// store failure.
+    pub fn login(&self, user: &str, passphrase: &str) -> Result<Session, TenantError> {
+        let line = self
+            .records
+            .get(&UserRecord::key(user))?
+            .ok_or_else(|| TenantError::NoSuchUser(user.to_string()))?;
+        let record = UserRecord::decode(&line)?;
+        let master = MasterKey::derive(passphrase, &record.salt, record.iterations);
+        if !master.verifier_matches(&record.verifier) {
+            pe_observe::static_counter!("tenant.login_failures").inc();
+            return Err(TenantError::BadPassphrase);
+        }
+        pe_observe::static_counter!("tenant.logins").inc();
+        Ok(Session { user: user.to_string(), master })
+    }
+
+    /// Registers a document owned by `session`'s user, generating its
+    /// random data key and storing the owner's wrapped copy.
+    ///
+    /// # Errors
+    ///
+    /// [`TenantError::BadName`], [`TenantError::DocumentExists`], or a
+    /// store failure.
+    pub fn create_document<N: NonceSource>(
+        &self,
+        session: &Session,
+        doc: &str,
+        rng: &mut N,
+    ) -> Result<DataKey, TenantError> {
+        validate_name(doc)?;
+        let record = DocRecord { doc: doc.to_string(), owner: session.user.clone() };
+        if !self.records.put_if_absent(&DocRecord::key(doc), &record.encode())? {
+            return Err(TenantError::DocumentExists(doc.to_string()));
+        }
+        let key = DataKey::generate(rng);
+        let grant = GrantRecord {
+            doc: doc.to_string(),
+            user: session.user.clone(),
+            wrapped: key.wrap(&session.master),
+            granted_by: session.user.clone(),
+        };
+        self.records.put(&GrantRecord::key(doc, &session.user), &grant.encode())?;
+        pe_observe::static_counter!("tenant.docs_created").inc();
+        Ok(key)
+    }
+
+    /// Unwraps the data key `session`'s user holds for `doc`.
+    ///
+    /// # Errors
+    ///
+    /// [`TenantError::NoSuchDocument`] when the document is unknown,
+    /// [`TenantError::NotAuthorized`] when the user holds no grant,
+    /// [`TenantError::Corrupt`] when the stored record does not unwrap
+    /// under the user's KEK.
+    pub fn data_key(&self, session: &Session, doc: &str) -> Result<DataKey, TenantError> {
+        let Some(line) = self.records.get(&GrantRecord::key(doc, &session.user))? else {
+            pe_observe::static_counter!("tenant.denied").inc();
+            if self.records.get(&DocRecord::key(doc))?.is_none() {
+                return Err(TenantError::NoSuchDocument(doc.to_string()));
+            }
+            return Err(TenantError::NotAuthorized {
+                doc: doc.to_string(),
+                user: session.user.clone(),
+            });
+        };
+        let grant = GrantRecord::decode(&line)?;
+        DataKey::unwrap(&session.master, &grant.wrapped)
+    }
+
+    /// The owner grants access: wraps the data key under a fresh
+    /// one-time invite KEK and returns the invite code (base32, travels
+    /// out of band). The grantee redeems it with
+    /// [`accept`](TenantDirectory::accept).
+    ///
+    /// # Errors
+    ///
+    /// [`TenantError::NoSuchDocument`], [`TenantError::NotOwner`],
+    /// [`TenantError::NoSuchUser`] (unknown grantee), or a store
+    /// failure.
+    pub fn grant<N: NonceSource>(
+        &self,
+        session: &Session,
+        doc: &str,
+        grantee: &str,
+        rng: &mut N,
+    ) -> Result<String, TenantError> {
+        let owner = self.owner_of(doc)?;
+        if owner != session.user {
+            return Err(TenantError::NotOwner {
+                doc: doc.to_string(),
+                user: session.user.clone(),
+            });
+        }
+        if self.records.get(&UserRecord::key(grantee))?.is_none() {
+            return Err(TenantError::NoSuchUser(grantee.to_string()));
+        }
+        let key = self.data_key(session, doc)?;
+        let mut code = [0u8; INVITE_CODE_BYTES];
+        rng.fill_bytes(&mut code);
+        let invite_id = base32::encode_unpadded(&code[..INVITE_ID_BYTES]);
+        let mut kek = [0u8; 16];
+        kek.copy_from_slice(&code[INVITE_ID_BYTES..]);
+        let invite_master = MasterKey::from_kek(kek);
+        let record = InviteRecord {
+            doc: doc.to_string(),
+            invite_id: invite_id.clone(),
+            grantee: grantee.to_string(),
+            wrapped: key.wrap(&invite_master),
+            issued_by: session.user.clone(),
+        };
+        self.records.put(&InviteRecord::key(doc, &invite_id), &record.encode())?;
+        pe_observe::static_counter!("tenant.grants").inc();
+        let text = base32::encode_unpadded(&code);
+        zeroize::wipe(&mut code);
+        Ok(text)
+    }
+
+    /// The grantee redeems an invite code: unwraps the data key with the
+    /// one-time KEK from the code, rewraps it under their own KEK, and
+    /// burns the invite.
+    ///
+    /// # Errors
+    ///
+    /// [`TenantError::BadInvite`] for a code that is malformed, unknown,
+    /// already redeemed, addressed to someone else, or whose wrapped key
+    /// fails its integrity check.
+    pub fn accept(&self, session: &Session, doc: &str, code: &str) -> Result<(), TenantError> {
+        let bytes = base32::decode_unpadded(code.trim())
+            .map_err(|_| TenantError::BadInvite)?;
+        if bytes.len() != INVITE_CODE_BYTES {
+            return Err(TenantError::BadInvite);
+        }
+        let invite_id = base32::encode_unpadded(&bytes[..INVITE_ID_BYTES]);
+        let Some(line) = self.records.get(&InviteRecord::key(doc, &invite_id))? else {
+            return Err(TenantError::BadInvite);
+        };
+        let record = InviteRecord::decode(&line)?;
+        if record.grantee != session.user || record.doc != doc {
+            return Err(TenantError::BadInvite);
+        }
+        let mut kek = [0u8; 16];
+        kek.copy_from_slice(&bytes[INVITE_ID_BYTES..]);
+        let invite_master = MasterKey::from_kek(kek);
+        let key = DataKey::unwrap(&invite_master, &record.wrapped)
+            .map_err(|_| TenantError::BadInvite)?;
+        let grant = GrantRecord {
+            doc: doc.to_string(),
+            user: session.user.clone(),
+            wrapped: key.wrap(&session.master),
+            granted_by: record.issued_by,
+        };
+        self.records.put(&GrantRecord::key(doc, &session.user), &grant.encode())?;
+        self.records.delete(&InviteRecord::key(doc, &invite_id))?;
+        pe_observe::static_counter!("tenant.accepts").inc();
+        Ok(())
+    }
+
+    /// Grant-and-accept in one call when both sessions are at hand (CLI
+    /// local mode, tests, benches). Semantically identical to the
+    /// invite flow — it *is* the invite flow.
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`grant`](TenantDirectory::grant) and
+    /// [`accept`](TenantDirectory::accept) return.
+    pub fn grant_direct<N: NonceSource>(
+        &self,
+        owner: &Session,
+        doc: &str,
+        grantee: &Session,
+        rng: &mut N,
+    ) -> Result<(), TenantError> {
+        let code = self.grant(owner, doc, &grantee.user, rng)?;
+        self.accept(grantee, doc, &code)
+    }
+
+    /// The owner revokes a user's access: deletes their wrapped-key
+    /// record and any pending invites addressed to them. O(1) in the
+    /// document size — the body is never touched. Returns whether a
+    /// grant or invite actually existed.
+    ///
+    /// # Errors
+    ///
+    /// [`TenantError::NoSuchDocument`], [`TenantError::NotOwner`], or an
+    /// attempt to revoke the owner themselves.
+    pub fn revoke(&self, session: &Session, doc: &str, user: &str) -> Result<bool, TenantError> {
+        let owner = self.owner_of(doc)?;
+        if owner != session.user {
+            return Err(TenantError::NotOwner {
+                doc: doc.to_string(),
+                user: session.user.clone(),
+            });
+        }
+        if user == owner {
+            // The owner's grant is load-bearing (it holds the only
+            // guaranteed wrapped copy); surface the misuse crisply.
+            return Err(TenantError::NotOwner { doc: doc.to_string(), user: user.to_string() });
+        }
+        let mut existed = self.records.delete(&GrantRecord::key(doc, user))?;
+        for key in self.records.list(&InviteRecord::doc_prefix(doc))? {
+            if let Some(line) = self.records.get(&key)? {
+                if InviteRecord::decode(&line).is_ok_and(|r| r.grantee == user) {
+                    existed |= self.records.delete(&key)?;
+                }
+            }
+        }
+        pe_observe::static_counter!("tenant.revokes").inc();
+        Ok(existed)
+    }
+
+    /// Rotates a user's passphrase: verifies the old one, draws a fresh
+    /// salt, and rewraps every grant the user holds under the new KEK.
+    /// Returns the number of rewrapped grants. Document bodies are never
+    /// touched.
+    ///
+    /// # Errors
+    ///
+    /// [`TenantError::NoSuchUser`], [`TenantError::BadPassphrase`], or a
+    /// store failure.
+    pub fn rewrap<N: NonceSource>(
+        &self,
+        user: &str,
+        old_passphrase: &str,
+        new_passphrase: &str,
+        iterations: u32,
+        rng: &mut N,
+    ) -> Result<usize, TenantError> {
+        if iterations == 0 {
+            return Err(TenantError::Corrupt("kdf iterations must be positive".into()));
+        }
+        let old_session = self.login(user, old_passphrase)?;
+        let mut salt = [0u8; 16];
+        rng.fill_bytes(&mut salt);
+        let new_master = MasterKey::derive(new_passphrase, &salt, iterations);
+        // Rewrap grants first, user record last: a crash mid-way leaves
+        // the old passphrase valid for login; individual rewrapped
+        // grants are re-issuable by the owner.
+        let mut rewrapped = 0;
+        for key in self.grant_keys_for(user)? {
+            let Some(line) = self.records.get(&key)? else { continue };
+            let mut grant = GrantRecord::decode(&line)?;
+            let data_key = DataKey::unwrap(&old_session.master, &grant.wrapped)?;
+            grant.wrapped = data_key.wrap(&new_master);
+            self.records.put(&key, &grant.encode())?;
+            rewrapped += 1;
+        }
+        let record = UserRecord {
+            user: user.to_string(),
+            salt,
+            iterations,
+            verifier: *new_master.verifier(),
+        };
+        self.records.put(&UserRecord::key(user), &record.encode())?;
+        pe_observe::static_counter!("tenant.rewraps").inc();
+        Ok(rewrapped)
+    }
+
+    /// All registered user names, sorted.
+    ///
+    /// # Errors
+    ///
+    /// Store failures.
+    pub fn list_users(&self) -> Result<Vec<String>, TenantError> {
+        Ok(self
+            .records
+            .list(USER_PREFIX)?
+            .into_iter()
+            .filter_map(|k| k.strip_prefix(USER_PREFIX).map(str::to_string))
+            .collect())
+    }
+
+    /// All registered documents with their owners, sorted by id.
+    ///
+    /// # Errors
+    ///
+    /// Store failures or corrupt records.
+    pub fn list_documents(&self) -> Result<Vec<DocRecord>, TenantError> {
+        let mut docs = Vec::new();
+        for key in self.records.list(DOC_PREFIX)? {
+            if let Some(line) = self.records.get(&key)? {
+                docs.push(DocRecord::decode(&line)?);
+            }
+        }
+        Ok(docs)
+    }
+
+    /// The users holding a grant for `doc`, sorted.
+    ///
+    /// # Errors
+    ///
+    /// Store failures.
+    pub fn grants_for(&self, doc: &str) -> Result<Vec<String>, TenantError> {
+        let prefix = GrantRecord::doc_prefix(doc);
+        Ok(self
+            .records
+            .list(&prefix)?
+            .into_iter()
+            .filter_map(|k| k.strip_prefix(&prefix).map(str::to_string))
+            .collect())
+    }
+
+    /// The documents `user` holds a grant for, sorted.
+    ///
+    /// # Errors
+    ///
+    /// Store failures.
+    pub fn documents_for(&self, user: &str) -> Result<Vec<String>, TenantError> {
+        let suffix = format!("/{user}");
+        Ok(self
+            .records
+            .list(GRANT_PREFIX)?
+            .into_iter()
+            .filter_map(|k| {
+                k.strip_prefix(GRANT_PREFIX)
+                    .and_then(|rest| rest.strip_suffix(&suffix))
+                    .map(str::to_string)
+            })
+            .collect())
+    }
+
+    /// Record counts; also refreshes the `tenant.users` / `tenant.docs`
+    /// / `tenant.grant_records` gauges.
+    ///
+    /// # Errors
+    ///
+    /// Store failures.
+    pub fn stats(&self) -> Result<DirectoryStats, TenantError> {
+        let stats = DirectoryStats {
+            users: self.records.list(USER_PREFIX)?.len(),
+            documents: self.records.list(DOC_PREFIX)?.len(),
+            grants: self.records.list(GRANT_PREFIX)?.len(),
+            invites: self.records.list(INVITE_PREFIX)?.len(),
+        };
+        pe_observe::static_gauge!("tenant.users").set(stats.users as u64);
+        pe_observe::static_gauge!("tenant.docs").set(stats.documents as u64);
+        pe_observe::static_gauge!("tenant.grant_records").set(stats.grants as u64);
+        Ok(stats)
+    }
+
+    fn owner_of(&self, doc: &str) -> Result<String, TenantError> {
+        let line = self
+            .records
+            .get(&DocRecord::key(doc))?
+            .ok_or_else(|| TenantError::NoSuchDocument(doc.to_string()))?;
+        Ok(DocRecord::decode(&line)?.owner)
+    }
+
+    fn grant_keys_for(&self, user: &str) -> Result<Vec<String>, TenantError> {
+        let suffix = format!("/{user}");
+        Ok(self
+            .records
+            .list(GRANT_PREFIX)?
+            .into_iter()
+            .filter(|k| k.ends_with(&suffix))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemRecords;
+    use pe_crypto::CtrDrbg;
+
+    const ITERS: u32 = 32;
+
+    fn directory() -> TenantDirectory<MemRecords> {
+        TenantDirectory::new(MemRecords::new())
+    }
+
+    #[test]
+    fn register_login_roundtrip() {
+        let dir = directory();
+        let mut rng = CtrDrbg::from_seed(1);
+        dir.register("alice", "pw-a", ITERS, &mut rng).unwrap();
+        assert!(dir.login("alice", "pw-a").is_ok());
+        assert!(matches!(dir.login("alice", "wrong"), Err(TenantError::BadPassphrase)));
+        assert!(matches!(dir.login("bob", "pw"), Err(TenantError::NoSuchUser(_))));
+        assert!(matches!(
+            dir.register("alice", "again", ITERS, &mut rng),
+            Err(TenantError::UserExists(_))
+        ));
+        assert!(matches!(
+            dir.register("no spaces", "pw", ITERS, &mut rng),
+            Err(TenantError::BadName(_))
+        ));
+        assert_eq!(dir.list_users().unwrap(), vec!["alice"]);
+    }
+
+    #[test]
+    fn owner_creates_and_unwraps() {
+        let dir = directory();
+        let mut rng = CtrDrbg::from_seed(2);
+        let alice = dir.register("alice", "pw-a", ITERS, &mut rng).unwrap();
+        let key = dir.create_document(&alice, "doc1", &mut rng).unwrap();
+        let unwrapped = dir.data_key(&alice, "doc1").unwrap();
+        assert_eq!(key.bytes(), unwrapped.bytes());
+        // Same after a fresh login.
+        let alice2 = dir.login("alice", "pw-a").unwrap();
+        assert_eq!(dir.data_key(&alice2, "doc1").unwrap().bytes(), key.bytes());
+        assert!(matches!(
+            dir.create_document(&alice, "doc1", &mut rng),
+            Err(TenantError::DocumentExists(_))
+        ));
+    }
+
+    #[test]
+    fn invite_flow_shares_the_key() {
+        let dir = directory();
+        let mut rng = CtrDrbg::from_seed(3);
+        let alice = dir.register("alice", "pw-a", ITERS, &mut rng).unwrap();
+        let bob = dir.register("bob", "pw-b", ITERS, &mut rng).unwrap();
+        let key = dir.create_document(&alice, "doc1", &mut rng).unwrap();
+        assert!(matches!(
+            dir.data_key(&bob, "doc1"),
+            Err(TenantError::NotAuthorized { .. })
+        ));
+        let code = dir.grant(&alice, "doc1", "bob", &mut rng).unwrap();
+        // Pending: still no direct grant until accept.
+        assert!(dir.data_key(&bob, "doc1").is_err());
+        dir.accept(&bob, "doc1", &code).unwrap();
+        assert_eq!(dir.data_key(&bob, "doc1").unwrap().bytes(), key.bytes());
+        // The invite burned.
+        assert_eq!(dir.accept(&bob, "doc1", &code), Err(TenantError::BadInvite));
+        assert_eq!(dir.grants_for("doc1").unwrap(), vec!["alice", "bob"]);
+        assert_eq!(dir.documents_for("bob").unwrap(), vec!["doc1"]);
+    }
+
+    #[test]
+    fn invite_is_bound_to_grantee_and_doc() {
+        let dir = directory();
+        let mut rng = CtrDrbg::from_seed(4);
+        let alice = dir.register("alice", "pw-a", ITERS, &mut rng).unwrap();
+        let bob = dir.register("bob", "pw-b", ITERS, &mut rng).unwrap();
+        let eve = dir.register("eve", "pw-e", ITERS, &mut rng).unwrap();
+        dir.create_document(&alice, "doc1", &mut rng).unwrap();
+        dir.create_document(&alice, "doc2", &mut rng).unwrap();
+        let code = dir.grant(&alice, "doc1", "bob", &mut rng).unwrap();
+        // Eve intercepts the code but it is addressed to bob.
+        assert_eq!(dir.accept(&eve, "doc1", &code), Err(TenantError::BadInvite));
+        // Bob cannot redeem it against another document.
+        assert_eq!(dir.accept(&bob, "doc2", &code), Err(TenantError::BadInvite));
+        // Garbage codes are rejected.
+        assert_eq!(dir.accept(&bob, "doc1", "NOT A CODE"), Err(TenantError::BadInvite));
+        // The real redemption still works.
+        dir.accept(&bob, "doc1", &code).unwrap();
+    }
+
+    #[test]
+    fn revoke_removes_access_without_touching_others() {
+        let dir = directory();
+        let mut rng = CtrDrbg::from_seed(5);
+        let alice = dir.register("alice", "pw-a", ITERS, &mut rng).unwrap();
+        let bob = dir.register("bob", "pw-b", ITERS, &mut rng).unwrap();
+        let carol = dir.register("carol", "pw-c", ITERS, &mut rng).unwrap();
+        let key = dir.create_document(&alice, "doc1", &mut rng).unwrap();
+        dir.grant_direct(&alice, "doc1", &bob, &mut rng).unwrap();
+        dir.grant_direct(&alice, "doc1", &carol, &mut rng).unwrap();
+        assert!(dir.revoke(&alice, "doc1", "bob").unwrap());
+        assert!(matches!(dir.data_key(&bob, "doc1"), Err(TenantError::NotAuthorized { .. })));
+        // Carol and the owner are untouched.
+        assert_eq!(dir.data_key(&carol, "doc1").unwrap().bytes(), key.bytes());
+        assert_eq!(dir.data_key(&alice, "doc1").unwrap().bytes(), key.bytes());
+        // Revoking again reports nothing existed; revoking the owner and
+        // non-owner revokes are refused.
+        assert!(!dir.revoke(&alice, "doc1", "bob").unwrap());
+        assert!(dir.revoke(&alice, "doc1", "alice").is_err());
+        assert!(matches!(
+            dir.revoke(&carol, "doc1", "alice"),
+            Err(TenantError::NotOwner { .. })
+        ));
+    }
+
+    #[test]
+    fn revoke_burns_pending_invites() {
+        let dir = directory();
+        let mut rng = CtrDrbg::from_seed(6);
+        let alice = dir.register("alice", "pw-a", ITERS, &mut rng).unwrap();
+        let bob = dir.register("bob", "pw-b", ITERS, &mut rng).unwrap();
+        dir.create_document(&alice, "doc1", &mut rng).unwrap();
+        let code = dir.grant(&alice, "doc1", "bob", &mut rng).unwrap();
+        assert!(dir.revoke(&alice, "doc1", "bob").unwrap());
+        assert_eq!(dir.accept(&bob, "doc1", &code), Err(TenantError::BadInvite));
+    }
+
+    #[test]
+    fn rewrap_rotates_passphrase_and_keeps_keys() {
+        let dir = directory();
+        let mut rng = CtrDrbg::from_seed(7);
+        let alice = dir.register("alice", "old-pw", ITERS, &mut rng).unwrap();
+        let bob = dir.register("bob", "pw-b", ITERS, &mut rng).unwrap();
+        let k1 = dir.create_document(&alice, "doc1", &mut rng).unwrap();
+        let k2 = dir.create_document(&bob, "doc2", &mut rng).unwrap();
+        dir.grant_direct(&bob, "doc2", &alice, &mut rng).unwrap();
+        assert!(matches!(
+            dir.rewrap("alice", "wrong", "new-pw", ITERS, &mut rng),
+            Err(TenantError::BadPassphrase)
+        ));
+        let rewrapped = dir.rewrap("alice", "old-pw", "new-pw", 2 * ITERS, &mut rng).unwrap();
+        assert_eq!(rewrapped, 2, "alice holds grants on doc1 and doc2");
+        assert!(matches!(dir.login("alice", "old-pw"), Err(TenantError::BadPassphrase)));
+        let alice2 = dir.login("alice", "new-pw").unwrap();
+        assert_eq!(dir.data_key(&alice2, "doc1").unwrap().bytes(), k1.bytes());
+        assert_eq!(dir.data_key(&alice2, "doc2").unwrap().bytes(), k2.bytes());
+        // Bob is untouched.
+        assert_eq!(dir.data_key(&bob, "doc2").unwrap().bytes(), k2.bytes());
+    }
+
+    #[test]
+    fn stats_count_records() {
+        let dir = directory();
+        let mut rng = CtrDrbg::from_seed(8);
+        let alice = dir.register("alice", "pw", ITERS, &mut rng).unwrap();
+        dir.register("bob", "pw", ITERS, &mut rng).unwrap();
+        dir.create_document(&alice, "doc1", &mut rng).unwrap();
+        dir.grant(&alice, "doc1", "bob", &mut rng).unwrap();
+        assert_eq!(
+            dir.stats().unwrap(),
+            DirectoryStats { users: 2, documents: 1, grants: 1, invites: 1 }
+        );
+    }
+
+    #[test]
+    fn unknown_document_is_distinguished_from_denied() {
+        let dir = directory();
+        let mut rng = CtrDrbg::from_seed(9);
+        let alice = dir.register("alice", "pw", ITERS, &mut rng).unwrap();
+        assert!(matches!(
+            dir.data_key(&alice, "ghost"),
+            Err(TenantError::NoSuchDocument(_))
+        ));
+        assert!(matches!(
+            dir.grant(&alice, "ghost", "bob", &mut rng),
+            Err(TenantError::NoSuchDocument(_))
+        ));
+    }
+}

@@ -1,0 +1,108 @@
+//! Error type for the multi-tenant directory.
+
+use std::error::Error;
+use std::fmt;
+
+use pe_crypto::CryptoError;
+
+/// Errors from tenant-directory operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TenantError {
+    /// Registration with a user name that is already taken.
+    UserExists(String),
+    /// An operation referenced a user the directory does not know.
+    NoSuchUser(String),
+    /// Login (or rewrap) with a passphrase whose verifier did not match.
+    BadPassphrase,
+    /// A user or document name with characters the record keyspace does
+    /// not allow.
+    BadName(String),
+    /// Registering a document id that already has a directory record.
+    DocumentExists(String),
+    /// An operation referenced a document the directory does not know.
+    NoSuchDocument(String),
+    /// The acting user holds no grant for the document: unwrap denied.
+    NotAuthorized {
+        /// Document id.
+        doc: String,
+        /// Acting user.
+        user: String,
+    },
+    /// The operation (grant/revoke) is restricted to the document owner.
+    NotOwner {
+        /// Document id.
+        doc: String,
+        /// Acting user.
+        user: String,
+    },
+    /// An invite code that does not match a pending invite for this user
+    /// and document — wrong code, already redeemed, or revoked.
+    BadInvite,
+    /// A stored record failed to parse or failed its integrity check.
+    Corrupt(String),
+    /// The record store (local or over the wire) failed.
+    Store {
+        /// HTTP-style status code (0 for transport failures).
+        status: u16,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl fmt::Display for TenantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TenantError::UserExists(user) => write!(f, "user {user} already exists"),
+            TenantError::NoSuchUser(user) => write!(f, "no such user {user}"),
+            TenantError::BadPassphrase => write!(f, "bad passphrase"),
+            TenantError::BadName(name) => write!(
+                f,
+                "bad name {name:?}: use 1-64 characters from [A-Za-z0-9._-]"
+            ),
+            TenantError::DocumentExists(doc) => {
+                write!(f, "document {doc} already registered")
+            }
+            TenantError::NoSuchDocument(doc) => write!(f, "no such document {doc}"),
+            TenantError::NotAuthorized { doc, user } => {
+                write!(f, "user {user} holds no key for document {doc}")
+            }
+            TenantError::NotOwner { doc, user } => {
+                write!(f, "user {user} does not own document {doc}")
+            }
+            TenantError::BadInvite => write!(f, "invalid or expired invite"),
+            TenantError::Corrupt(detail) => write!(f, "corrupt directory record: {detail}"),
+            TenantError::Store { status, message } => {
+                write!(f, "record store failure (status {status}): {message}")
+            }
+        }
+    }
+}
+
+impl Error for TenantError {}
+
+impl From<CryptoError> for TenantError {
+    fn from(e: CryptoError) -> TenantError {
+        TenantError::Corrupt(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(TenantError::UserExists("a".into()).to_string(), "user a already exists");
+        assert_eq!(TenantError::BadPassphrase.to_string(), "bad passphrase");
+        assert!(TenantError::NotAuthorized { doc: "doc1".into(), user: "eve".into() }
+            .to_string()
+            .contains("no key"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<TenantError>();
+    }
+}

@@ -1,0 +1,243 @@
+//! Per-user master keys and per-document data keys.
+//!
+//! Key hierarchy (all client-side; the server never sees a usable key):
+//!
+//! ```text
+//! passphrase ──PBKDF2(salt, iters)──▶ master secret (32 B, transient)
+//!     master ──HKDF "pe.tenant.kek"────▶ KEK       (16 B, stays client-side)
+//!     master ──HKDF "pe.tenant.verify"─▶ verifier  (16 B, stored server-side)
+//!
+//! per-document: random data key (32 B)
+//!     stored per authorized user as AES-KW(KEK_user, data key)  (40 B)
+//!     data key ──HKDF "pe.v1.aes"/"pe.v1.mac"──▶ DocumentKey (via pe-core)
+//! ```
+//!
+//! The verifier lets a client reject a mistyped passphrase with a crisp
+//! error before touching any wrapped keys; it is HKDF-separated from the
+//! KEK, so the server learning it reveals nothing about the KEK (and it
+//! cannot be used to unwrap anything — AES-KW unwrap authenticates the
+//! KEK independently).
+
+use pe_core::DocumentKey;
+use pe_crypto::aes::Aes128;
+use pe_crypto::drbg::NonceSource;
+use pe_crypto::pbkdf2::pbkdf2_sha256;
+use pe_crypto::{kw, zeroize, CryptoError};
+
+use crate::error::TenantError;
+
+/// HKDF label separating the key-encryption key from the master secret.
+const KEK_LABEL: &[u8] = b"pe.tenant.kek";
+/// HKDF label separating the login verifier from the master secret.
+const VERIFIER_LABEL: &[u8] = b"pe.tenant.verify";
+
+/// Size of a wrapped [`DataKey`]: 32-byte key + 8-byte AES-KW header.
+pub const WRAPPED_KEY_BYTES: usize = 40;
+
+/// A user's login-derived key material: the KEK that wraps document data
+/// keys, and the public verifier stored in the user's directory record.
+pub struct MasterKey {
+    kek: [u8; 16],
+    verifier: [u8; 16],
+}
+
+impl MasterKey {
+    /// Stretches `passphrase` over `salt` and separates the KEK and
+    /// verifier subkeys.
+    pub fn derive(passphrase: &str, salt: &[u8; 16], iterations: u32) -> MasterKey {
+        let timer = std::time::Instant::now();
+        let mut master = [0u8; 32];
+        pbkdf2_sha256(passphrase.as_bytes(), salt, iterations, &mut master);
+        let mut kek = [0u8; 16];
+        pe_crypto::hkdf::expand(&master, KEK_LABEL, &mut kek);
+        let mut verifier = [0u8; 16];
+        pe_crypto::hkdf::expand(&master, VERIFIER_LABEL, &mut verifier);
+        zeroize::wipe(&mut master);
+        pe_observe::static_histogram!("tenant.kdf_ns")
+            .record(timer.elapsed().as_nanos() as u64);
+        MasterKey { kek, verifier }
+    }
+
+    /// Wraps raw KEK bytes directly — used for one-time invite KEKs,
+    /// which are random bytes carried inside the invite code rather than
+    /// passphrase-derived. The verifier half is unused (zero).
+    pub fn from_kek(kek: [u8; 16]) -> MasterKey {
+        MasterKey { kek, verifier: [0u8; 16] }
+    }
+
+    /// The public login verifier (stored in the user record).
+    pub fn verifier(&self) -> &[u8; 16] {
+        &self.verifier
+    }
+
+    /// Constant-shape verifier comparison.
+    pub fn verifier_matches(&self, stored: &[u8; 16]) -> bool {
+        // XOR-accumulate instead of early-exit comparison; with a 16-byte
+        // random-looking verifier this is belt and suspenders, not a
+        // load-bearing side-channel defense.
+        let diff = self
+            .verifier
+            .iter()
+            .zip(stored.iter())
+            .fold(0u8, |acc, (a, b)| acc | (a ^ b));
+        diff == 0
+    }
+
+    fn cipher(&self) -> Aes128 {
+        Aes128::new(&self.kek)
+    }
+}
+
+impl Drop for MasterKey {
+    fn drop(&mut self) {
+        zeroize::wipe(&mut self.kek);
+    }
+}
+
+impl std::fmt::Debug for MasterKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print the KEK.
+        f.debug_struct("MasterKey").finish_non_exhaustive()
+    }
+}
+
+/// A document's random 256-bit data key.
+///
+/// Generated once at document creation; every authorized editor holds a
+/// copy wrapped under their own KEK. The document body is encrypted under
+/// (subkeys of) this key, so granting and revoking access are pure
+/// wrapped-record operations — the body bytes are never touched.
+pub struct DataKey([u8; 32]);
+
+impl DataKey {
+    /// Draws a fresh random data key.
+    pub fn generate<R: NonceSource>(rng: &mut R) -> DataKey {
+        let mut key = [0u8; 32];
+        rng.fill_bytes(&mut key);
+        DataKey(key)
+    }
+
+    /// Test/bench constructor from explicit bytes.
+    pub fn from_bytes(bytes: [u8; 32]) -> DataKey {
+        DataKey(bytes)
+    }
+
+    /// Raw key bytes (needed to compare keys in tests).
+    pub fn bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Derives the `pe-core` [`DocumentKey`] (AES + MAC subkeys) this
+    /// data key encrypts the document with. `salt` is whatever the
+    /// ciphertext preamble records; for tenant documents it does not feed
+    /// the key derivation (the entropy is the data key itself).
+    pub fn document_key(&self, salt: [u8; 16]) -> DocumentKey {
+        DocumentKey::from_master(&self.0, salt)
+    }
+
+    /// Wraps this key under a user's KEK (RFC 3394): the 40-byte record
+    /// the directory stores per grant.
+    pub fn wrap(&self, master: &MasterKey) -> [u8; WRAPPED_KEY_BYTES] {
+        let timer = std::time::Instant::now();
+        let wrapped = kw::wrap(&master.cipher(), &self.0).expect("32 bytes is wrappable");
+        pe_observe::static_histogram!("tenant.wrap_ns")
+            .record(timer.elapsed().as_nanos() as u64);
+        wrapped.try_into().expect("wrap of 32 bytes is 40 bytes")
+    }
+
+    /// Unwraps a stored 40-byte record under a user's KEK.
+    ///
+    /// # Errors
+    ///
+    /// [`TenantError::NotAuthorized`]-adjacent failures surface as
+    /// [`TenantError::Corrupt`] via the AES-KW integrity check: a wrong
+    /// KEK and a tampered record are indistinguishable by design.
+    pub fn unwrap(master: &MasterKey, wrapped: &[u8]) -> Result<DataKey, TenantError> {
+        let timer = std::time::Instant::now();
+        let result = kw::unwrap(&master.cipher(), wrapped);
+        pe_observe::static_histogram!("tenant.unwrap_ns")
+            .record(timer.elapsed().as_nanos() as u64);
+        match result {
+            Ok(mut bytes) => {
+                let key =
+                    DataKey(bytes.as_slice().try_into().map_err(|_| {
+                        TenantError::Corrupt(format!("data key of {} bytes", bytes.len()))
+                    })?);
+                zeroize::wipe(&mut bytes);
+                Ok(key)
+            }
+            Err(CryptoError::IntegrityCheckFailed) => {
+                pe_observe::static_counter!("tenant.unwrap_failures").inc();
+                Err(TenantError::Corrupt("wrapped key failed its integrity check".into()))
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+}
+
+impl Drop for DataKey {
+    fn drop(&mut self) {
+        zeroize::wipe(&mut self.0);
+    }
+}
+
+impl std::fmt::Debug for DataKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print the key.
+        f.debug_struct("DataKey").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pe_crypto::CtrDrbg;
+
+    #[test]
+    fn derive_is_deterministic_and_separated() {
+        let a = MasterKey::derive("pw", &[1u8; 16], 50);
+        let b = MasterKey::derive("pw", &[1u8; 16], 50);
+        assert_eq!(a.kek, b.kek);
+        assert_eq!(a.verifier(), b.verifier());
+        assert_ne!(&a.kek[..], &a.verifier()[..], "HKDF labels must separate subkeys");
+        let c = MasterKey::derive("pw", &[2u8; 16], 50);
+        assert_ne!(a.kek, c.kek);
+    }
+
+    #[test]
+    fn verifier_matches_only_itself() {
+        let a = MasterKey::derive("pw", &[1u8; 16], 50);
+        let b = MasterKey::derive("other", &[1u8; 16], 50);
+        assert!(a.verifier_matches(a.verifier()));
+        assert!(!a.verifier_matches(b.verifier()));
+    }
+
+    #[test]
+    fn wrap_unwrap_roundtrip() {
+        let master = MasterKey::derive("pw", &[1u8; 16], 50);
+        let mut rng = CtrDrbg::from_seed(5);
+        let key = DataKey::generate(&mut rng);
+        let wrapped = key.wrap(&master);
+        let unwrapped = DataKey::unwrap(&master, &wrapped).unwrap();
+        assert_eq!(key.bytes(), unwrapped.bytes());
+        let wrong = MasterKey::derive("not-pw", &[1u8; 16], 50);
+        assert!(DataKey::unwrap(&wrong, &wrapped).is_err());
+    }
+
+    #[test]
+    fn document_key_matches_core_pipeline() {
+        let key = DataKey::from_bytes([9u8; 32]);
+        let salt = [4u8; 16];
+        let doc_key = key.document_key(salt);
+        let expected = DocumentKey::from_master(key.bytes(), salt);
+        assert_eq!(doc_key.mac_key(), expected.mac_key());
+        assert_eq!(doc_key.salt(), &salt);
+    }
+
+    #[test]
+    fn debug_hides_key_material() {
+        let master = MasterKey::derive("super-secret", &[1u8; 16], 50);
+        let data = DataKey::from_bytes([0xAB; 32]);
+        assert!(!format!("{master:?} {data:?}").contains("171")); // 0xAB
+    }
+}

@@ -1,0 +1,62 @@
+//! Multi-tenant key management for the private-editing system.
+//!
+//! The paper's prototype assumes one per-document password shared out of
+//! band (§IV-C). This crate builds the "millions of users" data model on
+//! top of that idea — the wrapped access-key design of PrivyDB and
+//! PrivateGrid translated to the mediator:
+//!
+//! * every **user** has a master key derived from a login passphrase
+//!   (PBKDF2, per-user random salt, configurable iterations), HKDF-split
+//!   into a key-encryption key (client-side only) and a login verifier
+//!   (stored server-side);
+//! * every **document** gets a random 256-bit data key at create time;
+//!   the body is encrypted under subkeys of it (via
+//!   [`pe_core::DocumentKey::from_master`]);
+//! * each authorized editor holds the data key **wrapped** (RFC 3394 AES
+//!   Key Wrap, [`pe_crypto::kw`]) under their own KEK — a 40-byte record
+//!   in the [`TenantDirectory`];
+//! * **grant** adds a wrapped record (via a one-time invite code),
+//!   **revoke** deletes one; both are O(1) in the document size and
+//!   never re-encrypt the body — preserving the O(edit) property the
+//!   paper proves for the ciphertext itself.
+//!
+//! The directory persists through the same [`DocStore`](pe_store::DocStore)
+//! path as document bodies (reserved `~tenant/` record ids behind the
+//! `/tenant/*` endpoints of [`pe_cloud::docs::DocsServer`]), so it
+//! shards, group-commits, and survives `kill -9` like everything else.
+//!
+//! # Example
+//!
+//! ```
+//! use pe_cloud::docs::DocsServer;
+//! use pe_crypto::CtrDrbg;
+//! use pe_tenant::{ServiceRecords, TenantDirectory};
+//!
+//! let server = DocsServer::new();
+//! let dir = TenantDirectory::new(ServiceRecords::new(&server));
+//! let mut rng = CtrDrbg::from_seed(7);
+//! let alice = dir.register("alice", "correct horse", 1_000, &mut rng)?;
+//! let bob = dir.register("bob", "battery staple", 1_000, &mut rng)?;
+//! let key = dir.create_document(&alice, "doc1", &mut rng)?;
+//! let code = dir.grant(&alice, "doc1", "bob", &mut rng)?; // travels out of band
+//! dir.accept(&bob, "doc1", &code)?;
+//! assert_eq!(dir.data_key(&bob, "doc1")?.bytes(), key.bytes());
+//! dir.revoke(&alice, "doc1", "bob")?;
+//! assert!(dir.data_key(&bob, "doc1").is_err());
+//! # Ok::<(), pe_tenant::TenantError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod directory;
+pub mod error;
+pub mod keys;
+pub mod records;
+pub mod store;
+
+pub use directory::{DirectoryStats, Session, TenantDirectory};
+pub use error::TenantError;
+pub use keys::{DataKey, MasterKey, WRAPPED_KEY_BYTES};
+pub use records::{DocRecord, GrantRecord, InviteRecord, UserRecord};
+pub use store::{MemRecords, RecordStore, ServiceRecords};

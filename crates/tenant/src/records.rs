@@ -1,0 +1,334 @@
+//! Directory record layouts and their text codecs.
+//!
+//! Every record is a single form-encoded line (`k=v&k=v`, the same codec
+//! the wire protocol uses), stored under a typed key in the record store:
+//!
+//! | key              | record                                   |
+//! |------------------|------------------------------------------|
+//! | `u/<user>`       | [`UserRecord`] — salt, KDF iterations, verifier |
+//! | `d/<doc>`        | [`DocRecord`] — owner                    |
+//! | `g/<doc>/<user>` | [`GrantRecord`] — 40-byte wrapped data key |
+//! | `i/<doc>/<id>`   | [`InviteRecord`] — pending wrapped key under a one-time invite KEK |
+//!
+//! User and document names are restricted to `[A-Za-z0-9._-]{1,64}` so
+//! the `/`-separated keyspace parses unambiguously. All values the
+//! server stores are public-by-design (salts, verifiers) or wrapped
+//! (AES-KW ciphertext); nothing in a record lets the server derive a
+//! usable key.
+
+use pe_crypto::{form, hex};
+
+use crate::error::TenantError;
+use crate::keys::WRAPPED_KEY_BYTES;
+
+/// Record-key prefix for user records.
+pub const USER_PREFIX: &str = "u/";
+/// Record-key prefix for document records.
+pub const DOC_PREFIX: &str = "d/";
+/// Record-key prefix for grant records.
+pub const GRANT_PREFIX: &str = "g/";
+/// Record-key prefix for pending invite records.
+pub const INVITE_PREFIX: &str = "i/";
+
+/// Validates a user or document name for the record keyspace.
+///
+/// # Errors
+///
+/// [`TenantError::BadName`] outside `[A-Za-z0-9._-]{1,64}`.
+pub fn validate_name(name: &str) -> Result<(), TenantError> {
+    let ok = !name.is_empty()
+        && name.len() <= 64
+        && name.bytes().all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-'));
+    if ok {
+        Ok(())
+    } else {
+        Err(TenantError::BadName(name.to_string()))
+    }
+}
+
+fn field<'a>(pairs: &'a [(String, String)], key: &str, what: &str) -> Result<&'a str, TenantError> {
+    form::first_value(pairs, key)
+        .ok_or_else(|| TenantError::Corrupt(format!("{what}: missing {key}")))
+}
+
+fn fixed_bytes<const N: usize>(text: &str, what: &str) -> Result<[u8; N], TenantError> {
+    let bytes = hex::decode(text).map_err(|e| TenantError::Corrupt(format!("{what}: {e}")))?;
+    bytes
+        .try_into()
+        .map_err(|_| TenantError::Corrupt(format!("{what}: wrong length")))
+}
+
+fn parse(line: &str, what: &str) -> Result<Vec<(String, String)>, TenantError> {
+    form::parse_pairs(line).map_err(|e| TenantError::Corrupt(format!("{what}: {e}")))
+}
+
+/// A registered user: public KDF parameters plus the login verifier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UserRecord {
+    /// User name (also the record key suffix).
+    pub user: String,
+    /// Per-user random PBKDF2 salt.
+    pub salt: [u8; 16],
+    /// PBKDF2 iteration count this user registered with.
+    pub iterations: u32,
+    /// HKDF-separated login verifier (see `keys` module docs).
+    pub verifier: [u8; 16],
+}
+
+impl UserRecord {
+    /// The record-store key for this user.
+    pub fn key(user: &str) -> String {
+        format!("{USER_PREFIX}{user}")
+    }
+
+    /// Serializes to the stored line format.
+    pub fn encode(&self) -> String {
+        form::encode_pairs(&[
+            ("user", self.user.as_str()),
+            ("salt", &hex::encode(&self.salt)),
+            ("iters", &self.iterations.to_string()),
+            ("verifier", &hex::encode(&self.verifier)),
+        ])
+    }
+
+    /// Parses a stored line.
+    ///
+    /// # Errors
+    ///
+    /// [`TenantError::Corrupt`] on any malformed field.
+    pub fn decode(line: &str) -> Result<UserRecord, TenantError> {
+        let pairs = parse(line, "user record")?;
+        let iterations = field(&pairs, "iters", "user record")?
+            .parse::<u32>()
+            .map_err(|_| TenantError::Corrupt("user record: bad iters".into()))?;
+        if iterations == 0 {
+            return Err(TenantError::Corrupt("user record: zero iters".into()));
+        }
+        Ok(UserRecord {
+            user: field(&pairs, "user", "user record")?.to_string(),
+            salt: fixed_bytes(field(&pairs, "salt", "user record")?, "user salt")?,
+            iterations,
+            verifier: fixed_bytes(field(&pairs, "verifier", "user record")?, "user verifier")?,
+        })
+    }
+}
+
+/// A registered document: who owns it. The wrapped keys live in the
+/// per-user [`GrantRecord`]s; the body lives in the ordinary doc store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DocRecord {
+    /// Document id.
+    pub doc: String,
+    /// Owner user name (the only user who may grant/revoke).
+    pub owner: String,
+}
+
+impl DocRecord {
+    /// The record-store key for this document.
+    pub fn key(doc: &str) -> String {
+        format!("{DOC_PREFIX}{doc}")
+    }
+
+    /// Serializes to the stored line format.
+    pub fn encode(&self) -> String {
+        form::encode_pairs(&[("doc", self.doc.as_str()), ("owner", self.owner.as_str())])
+    }
+
+    /// Parses a stored line.
+    ///
+    /// # Errors
+    ///
+    /// [`TenantError::Corrupt`] on any malformed field.
+    pub fn decode(line: &str) -> Result<DocRecord, TenantError> {
+        let pairs = parse(line, "doc record")?;
+        Ok(DocRecord {
+            doc: field(&pairs, "doc", "doc record")?.to_string(),
+            owner: field(&pairs, "owner", "doc record")?.to_string(),
+        })
+    }
+}
+
+/// One user's wrapped copy of one document's data key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GrantRecord {
+    /// Document id.
+    pub doc: String,
+    /// Grantee user name.
+    pub user: String,
+    /// AES-KW(KEK_user, data key) — 40 bytes.
+    pub wrapped: [u8; WRAPPED_KEY_BYTES],
+    /// Who issued the grant (the owner; `user` itself for the owner's
+    /// own grant).
+    pub granted_by: String,
+}
+
+impl GrantRecord {
+    /// The record-store key for a grant.
+    pub fn key(doc: &str, user: &str) -> String {
+        format!("{GRANT_PREFIX}{doc}/{user}")
+    }
+
+    /// The record-store key prefix for all of a document's grants.
+    pub fn doc_prefix(doc: &str) -> String {
+        format!("{GRANT_PREFIX}{doc}/")
+    }
+
+    /// Serializes to the stored line format.
+    pub fn encode(&self) -> String {
+        form::encode_pairs(&[
+            ("doc", self.doc.as_str()),
+            ("user", self.user.as_str()),
+            ("wrapped", &hex::encode(&self.wrapped)),
+            ("by", self.granted_by.as_str()),
+        ])
+    }
+
+    /// Parses a stored line.
+    ///
+    /// # Errors
+    ///
+    /// [`TenantError::Corrupt`] on any malformed field.
+    pub fn decode(line: &str) -> Result<GrantRecord, TenantError> {
+        let pairs = parse(line, "grant record")?;
+        Ok(GrantRecord {
+            doc: field(&pairs, "doc", "grant record")?.to_string(),
+            user: field(&pairs, "user", "grant record")?.to_string(),
+            wrapped: fixed_bytes(field(&pairs, "wrapped", "grant record")?, "wrapped key")?,
+            granted_by: field(&pairs, "by", "grant record")?.to_string(),
+        })
+    }
+}
+
+/// A pending grant: the data key wrapped under a one-time random invite
+/// KEK whose bytes travel out of band inside the invite code (the paper's
+/// password-sharing assumption, §IV-C, translated to the wrapped-key
+/// model). Redeeming the invite rewraps under the grantee's own KEK and
+/// deletes this record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InviteRecord {
+    /// Document id.
+    pub doc: String,
+    /// Public invite id (the lookup half of the invite code).
+    pub invite_id: String,
+    /// The user name the invite is addressed to.
+    pub grantee: String,
+    /// AES-KW(invite KEK, data key) — 40 bytes.
+    pub wrapped: [u8; WRAPPED_KEY_BYTES],
+    /// Who issued the invite.
+    pub issued_by: String,
+}
+
+impl InviteRecord {
+    /// The record-store key for an invite.
+    pub fn key(doc: &str, invite_id: &str) -> String {
+        format!("{INVITE_PREFIX}{doc}/{invite_id}")
+    }
+
+    /// The record-store key prefix for all of a document's invites.
+    pub fn doc_prefix(doc: &str) -> String {
+        format!("{INVITE_PREFIX}{doc}/")
+    }
+
+    /// Serializes to the stored line format.
+    pub fn encode(&self) -> String {
+        form::encode_pairs(&[
+            ("doc", self.doc.as_str()),
+            ("invite", self.invite_id.as_str()),
+            ("grantee", self.grantee.as_str()),
+            ("wrapped", &hex::encode(&self.wrapped)),
+            ("by", self.issued_by.as_str()),
+        ])
+    }
+
+    /// Parses a stored line.
+    ///
+    /// # Errors
+    ///
+    /// [`TenantError::Corrupt`] on any malformed field.
+    pub fn decode(line: &str) -> Result<InviteRecord, TenantError> {
+        let pairs = parse(line, "invite record")?;
+        Ok(InviteRecord {
+            doc: field(&pairs, "doc", "invite record")?.to_string(),
+            invite_id: field(&pairs, "invite", "invite record")?.to_string(),
+            grantee: field(&pairs, "grantee", "invite record")?.to_string(),
+            wrapped: fixed_bytes(field(&pairs, "wrapped", "invite record")?, "wrapped key")?,
+            issued_by: field(&pairs, "by", "invite record")?.to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_validation() {
+        assert!(validate_name("alice").is_ok());
+        assert!(validate_name("doc42").is_ok());
+        assert!(validate_name("a.b_c-d").is_ok());
+        assert!(validate_name("").is_err());
+        assert!(validate_name("a/b").is_err());
+        assert!(validate_name("a b").is_err());
+        assert!(validate_name(&"x".repeat(65)).is_err());
+    }
+
+    #[test]
+    fn user_record_roundtrip() {
+        let record = UserRecord {
+            user: "alice".into(),
+            salt: [7u8; 16],
+            iterations: 12_345,
+            verifier: [9u8; 16],
+        };
+        assert_eq!(UserRecord::decode(&record.encode()).unwrap(), record);
+        assert_eq!(UserRecord::key("alice"), "u/alice");
+    }
+
+    #[test]
+    fn grant_record_roundtrip() {
+        let record = GrantRecord {
+            doc: "doc3".into(),
+            user: "bob".into(),
+            wrapped: [0xAB; WRAPPED_KEY_BYTES],
+            granted_by: "alice".into(),
+        };
+        assert_eq!(GrantRecord::decode(&record.encode()).unwrap(), record);
+        assert_eq!(GrantRecord::key("doc3", "bob"), "g/doc3/bob");
+        assert_eq!(GrantRecord::doc_prefix("doc3"), "g/doc3/");
+    }
+
+    #[test]
+    fn doc_and_invite_roundtrip() {
+        let doc = DocRecord { doc: "doc1".into(), owner: "alice".into() };
+        assert_eq!(DocRecord::decode(&doc.encode()).unwrap(), doc);
+        let invite = InviteRecord {
+            doc: "doc1".into(),
+            invite_id: "ABCDEF".into(),
+            grantee: "bob".into(),
+            wrapped: [1u8; WRAPPED_KEY_BYTES],
+            issued_by: "alice".into(),
+        };
+        assert_eq!(InviteRecord::decode(&invite.encode()).unwrap(), invite);
+    }
+
+    #[test]
+    fn corrupt_records_rejected() {
+        assert!(matches!(UserRecord::decode("user=a"), Err(TenantError::Corrupt(_))));
+        assert!(matches!(
+            UserRecord::decode("user=a&salt=zz&iters=10&verifier=00"),
+            Err(TenantError::Corrupt(_))
+        ));
+        assert!(matches!(
+            UserRecord::decode(&format!(
+                "user=a&salt={}&iters=0&verifier={}",
+                hex::encode(&[0u8; 16]),
+                hex::encode(&[0u8; 16])
+            )),
+            Err(TenantError::Corrupt(_))
+        ));
+        assert!(matches!(
+            GrantRecord::decode("doc=d&user=u&wrapped=00&by=o"),
+            Err(TenantError::Corrupt(_))
+        ));
+    }
+}

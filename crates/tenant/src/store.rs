@@ -1,0 +1,244 @@
+//! Record-store abstraction the directory runs on.
+//!
+//! The [`TenantDirectory`](crate::TenantDirectory) only needs five tiny
+//! operations over `(key, text)` records. Two implementations:
+//!
+//! * [`ServiceRecords`] — speaks the `/tenant/record` + `/tenant/list`
+//!   wire protocol against any [`CloudService`]: the in-process
+//!   [`DocsServer`](pe_cloud::docs::DocsServer) (records land in its
+//!   `DocStore`, durable when the store is), or an HTTP client against a
+//!   live `pedit serve`. This is the production path.
+//! * [`MemRecords`] — a plain in-memory map for unit tests.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use pe_cloud::{CloudService, Request, Response};
+
+use crate::error::TenantError;
+
+/// Minimal keyed text-record storage.
+pub trait RecordStore {
+    /// Fetches a record, `None` when absent.
+    ///
+    /// # Errors
+    ///
+    /// [`TenantError::Store`] on storage/transport failure.
+    fn get(&self, key: &str) -> Result<Option<String>, TenantError>;
+
+    /// Creates or replaces a record.
+    ///
+    /// # Errors
+    ///
+    /// [`TenantError::Store`] on storage/transport failure.
+    fn put(&self, key: &str, value: &str) -> Result<(), TenantError>;
+
+    /// Creates a record only if absent; returns `false` (storing
+    /// nothing) when the key already exists.
+    ///
+    /// # Errors
+    ///
+    /// [`TenantError::Store`] on storage/transport failure.
+    fn put_if_absent(&self, key: &str, value: &str) -> Result<bool, TenantError>;
+
+    /// Deletes a record; returns whether it existed.
+    ///
+    /// # Errors
+    ///
+    /// [`TenantError::Store`] on storage/transport failure.
+    fn delete(&self, key: &str) -> Result<bool, TenantError>;
+
+    /// Lists record keys under a prefix, sorted.
+    ///
+    /// # Errors
+    ///
+    /// [`TenantError::Store`] on storage/transport failure.
+    fn list(&self, prefix: &str) -> Result<Vec<String>, TenantError>;
+}
+
+/// Record storage over the `/tenant/*` endpoints of any [`CloudService`].
+#[derive(Debug, Clone)]
+pub struct ServiceRecords<S> {
+    service: S,
+}
+
+impl<S: CloudService> ServiceRecords<S> {
+    /// Wraps a service (an in-process server, an `Arc` of one, a
+    /// reference to one, or an HTTP client).
+    pub fn new(service: S) -> ServiceRecords<S> {
+        ServiceRecords { service }
+    }
+}
+
+fn store_error(what: &str, response: &Response) -> TenantError {
+    TenantError::Store {
+        status: response.status,
+        message: format!(
+            "{what}: {}",
+            response.body_text().unwrap_or("(non-text response)")
+        ),
+    }
+}
+
+impl<S: CloudService> RecordStore for ServiceRecords<S> {
+    fn get(&self, key: &str) -> Result<Option<String>, TenantError> {
+        let response = self.service.handle(&Request::get("/tenant/record", &[("key", key)]));
+        match response.status {
+            200 => Ok(Some(response.body_text().unwrap_or("").to_string())),
+            404 => Ok(None),
+            _ => Err(store_error("get", &response)),
+        }
+    }
+
+    fn put(&self, key: &str, value: &str) -> Result<(), TenantError> {
+        let response = self.service.handle(&Request::post(
+            "/tenant/record",
+            &[("key", key)],
+            value.to_string(),
+        ));
+        if response.is_success() {
+            Ok(())
+        } else {
+            Err(store_error("put", &response))
+        }
+    }
+
+    fn put_if_absent(&self, key: &str, value: &str) -> Result<bool, TenantError> {
+        let response = self.service.handle(&Request::post(
+            "/tenant/record",
+            &[("key", key), ("if_absent", "1")],
+            value.to_string(),
+        ));
+        match response.status {
+            200 => Ok(true),
+            409 => Ok(false),
+            _ => Err(store_error("put_if_absent", &response)),
+        }
+    }
+
+    fn delete(&self, key: &str) -> Result<bool, TenantError> {
+        let response = self.service.handle(&Request::post(
+            "/tenant/record",
+            &[("key", key), ("cmd", "delete")],
+            "",
+        ));
+        if !response.is_success() {
+            return Err(store_error("delete", &response));
+        }
+        Ok(response.body_text() == Some("deleted=true"))
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>, TenantError> {
+        let response =
+            self.service.handle(&Request::get("/tenant/list", &[("prefix", prefix)]));
+        if !response.is_success() {
+            return Err(store_error("list", &response));
+        }
+        let body = response.body_text().unwrap_or("");
+        let pairs = pe_crypto::form::parse_pairs(body)
+            .map_err(|e| TenantError::Corrupt(format!("list response: {e}")))?;
+        Ok(pairs.into_iter().filter(|(k, _)| k == "key").map(|(_, v)| v).collect())
+    }
+}
+
+/// In-memory record storage for unit tests.
+#[derive(Debug, Default)]
+pub struct MemRecords {
+    records: Mutex<BTreeMap<String, String>>,
+}
+
+impl MemRecords {
+    /// Creates an empty store.
+    pub fn new() -> MemRecords {
+        MemRecords::default()
+    }
+}
+
+impl RecordStore for MemRecords {
+    fn get(&self, key: &str) -> Result<Option<String>, TenantError> {
+        Ok(self.records.lock().unwrap().get(key).cloned())
+    }
+
+    fn put(&self, key: &str, value: &str) -> Result<(), TenantError> {
+        self.records.lock().unwrap().insert(key.to_string(), value.to_string());
+        Ok(())
+    }
+
+    fn put_if_absent(&self, key: &str, value: &str) -> Result<bool, TenantError> {
+        let mut records = self.records.lock().unwrap();
+        if records.contains_key(key) {
+            return Ok(false);
+        }
+        records.insert(key.to_string(), value.to_string());
+        Ok(true)
+    }
+
+    fn delete(&self, key: &str) -> Result<bool, TenantError> {
+        Ok(self.records.lock().unwrap().remove(key).is_some())
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>, TenantError> {
+        Ok(self
+            .records
+            .lock()
+            .unwrap()
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .cloned()
+            .collect())
+    }
+}
+
+impl<R: RecordStore + ?Sized> RecordStore for &R {
+    fn get(&self, key: &str) -> Result<Option<String>, TenantError> {
+        (**self).get(key)
+    }
+    fn put(&self, key: &str, value: &str) -> Result<(), TenantError> {
+        (**self).put(key, value)
+    }
+    fn put_if_absent(&self, key: &str, value: &str) -> Result<bool, TenantError> {
+        (**self).put_if_absent(key, value)
+    }
+    fn delete(&self, key: &str) -> Result<bool, TenantError> {
+        (**self).delete(key)
+    }
+    fn list(&self, prefix: &str) -> Result<Vec<String>, TenantError> {
+        (**self).list(prefix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pe_cloud::docs::DocsServer;
+
+    fn check_store<R: RecordStore>(records: R) {
+        assert_eq!(records.get("u/alice").unwrap(), None);
+        records.put("u/alice", "v1").unwrap();
+        assert_eq!(records.get("u/alice").unwrap().as_deref(), Some("v1"));
+        assert!(!records.put_if_absent("u/alice", "v2").unwrap());
+        assert_eq!(records.get("u/alice").unwrap().as_deref(), Some("v1"));
+        assert!(records.put_if_absent("u/bob", "b").unwrap());
+        records.put("g/doc1/alice", "w").unwrap();
+        assert_eq!(records.list("u/").unwrap(), vec!["u/alice", "u/bob"]);
+        assert!(records.delete("u/bob").unwrap());
+        assert!(!records.delete("u/bob").unwrap());
+        assert_eq!(records.list("u/").unwrap(), vec!["u/alice"]);
+    }
+
+    #[test]
+    fn mem_records_semantics() {
+        check_store(MemRecords::new());
+    }
+
+    #[test]
+    fn service_records_semantics() {
+        check_store(ServiceRecords::new(DocsServer::new()));
+    }
+
+    #[test]
+    fn service_records_by_reference() {
+        let server = DocsServer::new();
+        check_store(ServiceRecords::new(&server));
+    }
+}

@@ -1,0 +1,186 @@
+//! Model-based test: random sequences of directory operations checked
+//! against an in-memory ACL oracle.
+//!
+//! Invariants enforced after every step:
+//!
+//! * `data_key` succeeds exactly for the users the oracle says are
+//!   authorized, and every authorized user unwraps the *same* key.
+//! * A revoked user can never recover the data key through the
+//!   directory again (until re-granted).
+//! * Stored document bodies are byte-identical across every grant,
+//!   revoke, and passphrase rotation — membership changes never touch
+//!   content.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use proptest::prelude::*;
+
+use pe_cloud::docs::DocsServer;
+use pe_crypto::CtrDrbg;
+use pe_store::DocStore;
+use pe_tenant::{ServiceRecords, Session, TenantDirectory, TenantError};
+
+const ITERS: u32 = 16;
+const USERS: &[&str] = &["alice", "bob", "carol", "dave"];
+const DOCS: &[&str] = &["doc-a", "doc-b", "doc-c"];
+
+#[derive(Debug, Clone)]
+enum Op {
+    Register(usize),
+    Create(usize, usize),
+    Grant(usize, usize, usize),
+    Revoke(usize, usize, usize),
+    Rewrap(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let u = 0..USERS.len();
+    let d = 0..DOCS.len();
+    prop_oneof![
+        u.clone().prop_map(Op::Register),
+        (u.clone(), d.clone()).prop_map(|(a, b)| Op::Create(a, b)),
+        (u.clone(), d.clone(), 0..USERS.len()).prop_map(|(a, b, c)| Op::Grant(a, b, c)),
+        (u.clone(), d, 0..USERS.len()).prop_map(|(a, b, c)| Op::Revoke(a, b, c)),
+        u.prop_map(Op::Rewrap),
+    ]
+}
+
+/// The oracle: who is registered, which docs exist and who owns them,
+/// and which (doc, user) pairs currently hold a wrapped key.
+#[derive(Default)]
+struct Oracle {
+    passphrases: BTreeMap<String, String>,
+    owners: BTreeMap<String, String>,
+    acl: BTreeMap<String, BTreeSet<String>>,
+}
+
+fn passphrase(user: &str, generation: u32) -> String {
+    format!("pw-{user}-{generation}")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn directory_matches_acl_oracle(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        let server = DocsServer::new();
+        let dir = TenantDirectory::new(ServiceRecords::new(&server));
+        let mut rng = CtrDrbg::from_seed(0xace5);
+
+        let mut oracle = Oracle::default();
+        let mut sessions: BTreeMap<String, Session> = BTreeMap::new();
+        let mut generations: BTreeMap<String, u32> = BTreeMap::new();
+        let mut bodies: BTreeMap<String, Vec<u8>> = BTreeMap::new();
+
+        for op in ops {
+            match op {
+                Op::Register(u) => {
+                    let user = USERS[u];
+                    let pw = passphrase(user, 0);
+                    let result = dir.register(user, &pw, ITERS, &mut rng);
+                    if oracle.passphrases.contains_key(user) {
+                        prop_assert!(matches!(result, Err(TenantError::UserExists(_))));
+                    } else {
+                        let session = result.expect("fresh register succeeds");
+                        sessions.insert(user.to_string(), session);
+                        generations.insert(user.to_string(), 0);
+                        oracle.passphrases.insert(user.to_string(), pw);
+                    }
+                }
+                Op::Create(u, d) => {
+                    let (user, doc) = (USERS[u], DOCS[d]);
+                    let Some(session) = sessions.get(user) else { continue };
+                    let result = dir.create_document(session, doc, &mut rng);
+                    if oracle.owners.contains_key(doc) {
+                        prop_assert!(matches!(result, Err(TenantError::DocumentExists(_))));
+                    } else {
+                        result.expect("fresh create succeeds");
+                        oracle.owners.insert(doc.to_string(), user.to_string());
+                        oracle.acl.entry(doc.to_string()).or_default().insert(user.to_string());
+                        // A stand-in ciphertext body whose bytes must
+                        // survive every later membership change.
+                        let body = format!("sealed-body-of-{doc}").into_bytes();
+                        server.store().put_full(doc, &body).expect("store body");
+                        bodies.insert(doc.to_string(), body);
+                    }
+                }
+                Op::Grant(o, d, g) => {
+                    let (owner, doc, grantee) = (USERS[o], DOCS[d], USERS[g]);
+                    let (Some(owner_s), Some(grantee_s)) =
+                        (sessions.get(owner), sessions.get(grantee)) else { continue };
+                    let result = dir.grant_direct(owner_s, doc, grantee_s, &mut rng);
+                    let is_owner = oracle.owners.get(doc).is_some_and(|w| w == owner);
+                    if is_owner {
+                        result.expect("owner grant succeeds");
+                        oracle.acl.entry(doc.to_string()).or_default().insert(grantee.to_string());
+                    } else {
+                        prop_assert!(result.is_err());
+                    }
+                }
+                Op::Revoke(o, d, g) => {
+                    let (owner, doc, revokee) = (USERS[o], DOCS[d], USERS[g]);
+                    let Some(owner_s) = sessions.get(owner) else { continue };
+                    let result = dir.revoke(owner_s, doc, revokee);
+                    let is_owner = oracle.owners.get(doc).is_some_and(|w| w == owner);
+                    if is_owner && owner != revokee {
+                        let had = oracle
+                            .acl
+                            .get_mut(doc)
+                            .expect("owned doc has an acl")
+                            .remove(revokee);
+                        prop_assert_eq!(result.expect("owner revoke succeeds"), had);
+                    } else {
+                        prop_assert!(result.is_err());
+                    }
+                }
+                Op::Rewrap(u) => {
+                    let user = USERS[u];
+                    let Some(generation) = generations.get(user).copied() else { continue };
+                    let old = passphrase(user, generation);
+                    let new = passphrase(user, generation + 1);
+                    dir.rewrap(user, &old, &new, ITERS, &mut rng).expect("rewrap succeeds");
+                    generations.insert(user.to_string(), generation + 1);
+                    oracle.passphrases.insert(user.to_string(), new.clone());
+                    let session = dir.login(user, &new).expect("login after rewrap");
+                    sessions.insert(user.to_string(), session);
+                    prop_assert!(matches!(
+                        dir.login(user, &old),
+                        Err(TenantError::BadPassphrase)
+                    ));
+                }
+            }
+
+            // Invariant sweep after every operation.
+            for doc in DOCS {
+                if let Some(body) = bodies.get(*doc) {
+                    prop_assert_eq!(
+                        server.store().content(doc).as_deref(),
+                        Some(&body[..]),
+                        "stored bytes changed for {}", doc
+                    );
+                }
+                let authorized = oracle.acl.get(*doc);
+                let mut key_bytes: Option<[u8; 32]> = None;
+                for user in USERS {
+                    let Some(session) = sessions.get(*user) else { continue };
+                    let allowed = authorized.is_some_and(|s| s.contains(*user));
+                    match dir.data_key(session, doc) {
+                        Ok(key) => {
+                            prop_assert!(allowed, "{} unwrapped {} while revoked", user, doc);
+                            match key_bytes {
+                                None => key_bytes = Some(*key.bytes()),
+                                Some(expected) => prop_assert_eq!(
+                                    *key.bytes(), expected,
+                                    "divergent data keys for {}", doc
+                                ),
+                            }
+                        }
+                        Err(e) => {
+                            prop_assert!(!allowed, "{} denied on {}: {}", user, doc, e);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -127,6 +127,37 @@ print(f"store report OK ({len(appends)} append, {len(groups)} group-commit, "
       f"{len(replays)} replay, {len(sharded)} sharded-replay rows)")
 PY
 
+echo "== tenant_bench smoke =="
+# The multi-tenant key bench must complete and emit valid JSON: wrap and
+# unwrap rows, grant/revoke rows whose stored bodies never changed, and
+# a recovery row. Flatness is asserted loosely here (noisy CI hosts);
+# the committed full run is held to the tight bar below.
+tenant_out="$(mktemp)"
+trap 'rm -f "$smoke_out" "$net_out" "$store_out" "$tenant_out"; rm -rf "$net_store"' EXIT
+./target/release/tenant_bench --smoke --out "$tenant_out"
+python3 - "$tenant_out" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+assert report["bench"] == "tenant_bench", "malformed tenant report"
+wraps, grants, recs = report["wrap_rows"], report["grant_rows"], report["recovery_rows"]
+assert wraps and grants and recs, "empty tenant report"
+ops = {row["op"] for row in wraps}
+assert "wrap" in ops and "unwrap" in ops, ops
+for row in wraps:
+    assert row["mean_ns"] > 0 and row["reps"] > 0, row
+for row in grants:
+    assert row["body_unchanged"] is True, f"membership change touched a body: {row}"
+    assert row["grant_us"] > 0 and row["accept_us"] > 0 and row["revoke_us"] > 0, row
+sizes = [row["body_bytes"] for row in grants]
+assert max(sizes) >= 64 * min(sizes), f"size sweep too narrow: {sizes}"
+lo, hi = min(r["grant_us"] for r in grants), max(r["grant_us"] for r in grants)
+assert hi <= 10 * lo, f"grant cost grew with body size: {lo:.1f}..{hi:.1f} us"
+for row in recs:
+    assert row["users"] > 0 and row["docs"] > 0 and row["grants"] == row["docs"], row
+print(f"tenant report OK ({len(grants)} sizes, grant {lo:.1f}..{hi:.1f} us)")
+PY
+
 echo "== pedit serve smoke (sharded store) =="
 # Serve a sharded store on an ephemeral port, run a mediated edit over
 # the real socket, check the decrypted result and that the wire store
@@ -143,7 +174,7 @@ pedit() { ./target/release/pedit "$@"; }
 serve_pid=$!
 cleanup_serve() {
   kill "$serve_pid" 2>/dev/null || true
-  rm -f "$smoke_out" "$net_out" "$store_out" "$serve_addr"
+  rm -f "$smoke_out" "$net_out" "$store_out" "$tenant_out" "$serve_addr"
   rm -rf "$serve_store" "$net_store"
 }
 trap cleanup_serve EXIT
@@ -199,6 +230,43 @@ done
 addr="$(cat "$serve_addr")"
 survived="$(pedit --connect "$addr" show --doc "$doc" --password ci-pw)"
 [ "$survived" = "acked then killed" ] || { echo "restart lost the save: $survived" >&2; exit 1; }
+
+echo "== multi-tenant drill (live serve) =="
+# Two users against the restarted server: alice creates a document under
+# a wrapped per-document key, bob can read only between grant and
+# revoke, and the provider-side ciphertext is byte-identical across both
+# membership changes — grant/revoke are wrapped-key-record operations,
+# never a re-encryption.
+tpedit() { pedit --connect "$addr" --kdf-iters 64 "$@"; }
+tpedit user register --name drill-alice --passphrase apw
+tpedit user register --name drill-bob --passphrase bpw
+tdoc="$(tpedit create --user drill-alice --passphrase apw | sed 's/^created //')"
+tpedit save --doc "$tdoc" --user drill-alice --passphrase apw --text "tenant wire secret"
+if tpedit show --doc "$tdoc" --user drill-bob --passphrase bpw >/dev/null 2>&1; then
+  echo "unauthorized tenant read did not fail closed" >&2; exit 1
+fi
+traw="$(pedit --connect "$addr" raw --doc "$tdoc")"
+case "$traw" in *secret*) echo "tenant plaintext leaked to the provider" >&2; exit 1;; esac
+# The invite code is the last line of the grant output.
+invite="$(tpedit grant --doc "$tdoc" --user drill-alice --passphrase apw --to drill-bob | tail -n 1)"
+[ "$(pedit --connect "$addr" raw --doc "$tdoc")" = "$traw" ] \
+  || { echo "grant re-encrypted the body" >&2; exit 1; }
+tpedit accept --doc "$tdoc" --user drill-bob --passphrase bpw --invite "$invite"
+bobread="$(tpedit show --doc "$tdoc" --user drill-bob --passphrase bpw)"
+[ "$bobread" = "tenant wire secret" ] || { echo "granted tenant read failed: $bobread" >&2; exit 1; }
+tpedit insert --doc "$tdoc" --user drill-bob --passphrase bpw --at 0 --text "shared: " >/dev/null
+traw="$(pedit --connect "$addr" raw --doc "$tdoc")"
+tpedit revoke --doc "$tdoc" --user drill-alice --passphrase apw --to drill-bob >/dev/null
+[ "$(pedit --connect "$addr" raw --doc "$tdoc")" = "$traw" ] \
+  || { echo "revoke re-encrypted the body" >&2; exit 1; }
+if tpedit show --doc "$tdoc" --user drill-bob --passphrase bpw >/dev/null 2>&1; then
+  echo "revoked tenant read did not fail closed" >&2; exit 1
+fi
+aliceread="$(tpedit show --doc "$tdoc" --user drill-alice --passphrase apw)"
+[ "$aliceread" = "shared: tenant wire secret" ] \
+  || { echo "owner read broken after revoke: $aliceread" >&2; exit 1; }
+echo "tenant drill OK ($tdoc shared and revoked with zero re-encryption)"
+
 pedit --connect "$addr" stop
 wait "$serve_pid"
 echo "serve + crash drill OK ($doc survived kill -9 and restart)"
@@ -225,8 +293,27 @@ assert net["bench"] == "net_load"
 stores = {row["store"] for row in net["rows"]}
 assert "mem" in stores and any(s.startswith("sharded-log") for s in stores), stores
 assert all(row["errors"] == 0 and row["failed_sessions"] == 0 for row in net["rows"])
+with open("BENCH_tenant.json") as f:
+    tenant = json.load(f)
+assert tenant["bench"] == "tenant_bench"
+grants = tenant["grant_rows"]
+assert grants and all(r["body_unchanged"] for r in grants), "a membership change touched a body"
+sizes = [r["body_bytes"] for r in grants]
+assert min(sizes) <= 1024 and max(sizes) >= 1024 * 1024, \
+    f"committed sweep must span 1 KiB..1 MiB: {sizes}"
+# The paper-level claim: grant/revoke cost is independent of document
+# size. Over a 1024x size range the committed numbers must stay within
+# a small constant factor.
+for field in ("grant_us", "revoke_us"):
+    lo = min(r[field] for r in grants)
+    hi = max(r[field] for r in grants)
+    assert hi <= 5 * lo, f"{field} not flat across sizes: {lo:.1f}..{hi:.1f} us"
+rec = tenant["recovery_rows"][0]
+assert rec["users"] >= 10_000 and rec["docs"] >= 10_000, rec
+assert rec["reopen_wall_s"] < 5.0, f"directory recovery too slow: {rec}"
 print(f"committed reports OK (group commit {best / single['appends_per_s']:.1f}x "
-      f"over single-writer fsync=always)")
+      f"over single-writer fsync=always; tenant grant flat over "
+      f"{max(sizes) // min(sizes)}x body sizes)")
 PY
 
 echo "CI OK"

@@ -60,6 +60,7 @@ pub use pe_delta as delta;
 pub use pe_extension as extension;
 pub use pe_indexlist as indexlist;
 pub use pe_net as net;
+pub use pe_tenant as tenant;
 
 /// The most common imports, for examples and applications.
 pub mod prelude {
@@ -77,4 +78,5 @@ pub mod prelude {
         BespinMediator, BuzzwordMediator, DocsMediator, MediatorConfig, Outcome,
     };
     pub use pe_net::{HttpClient, HttpServer, NetError, Router, Service, Transport};
+    pub use pe_tenant::{ServiceRecords, TenantDirectory, TenantError};
 }

@@ -1,0 +1,116 @@
+//! Full-stack multi-tenant flow over a real `pe-net` socket: register
+//! two users, share a document by wrapped key, revoke, and prove the
+//! provider never sees plaintext and never re-encrypts a body on a
+//! membership change.
+
+use std::sync::Arc;
+
+use private_editing::prelude::*;
+
+fn tenant_config() -> MediatorConfig {
+    let mut config = MediatorConfig::recb(8);
+    // Low stretching so the test measures the flow, not PBKDF2.
+    config.kdf_iterations = 64;
+    config
+}
+
+#[test]
+fn tenant_share_and_revoke_over_a_real_socket() {
+    let backend = Arc::new(DocsServer::new());
+    let server = HttpServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&backend) as Arc<dyn Service>,
+        Default::default(),
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // Alice registers, creates a document under a wrapped per-document
+    // key, and writes through the mediator — over the live socket.
+    let mut alice =
+        DocsMediator::with_rng(HttpClient::new(addr), tenant_config(), CtrDrbg::from_seed(0xa11));
+    alice.tenant_register("alice", "alice-pass").unwrap();
+    let doc_id = alice.tenant_create_document().unwrap();
+    let secret = "the merger closes friday at nine";
+    alice.save_full(&doc_id, secret).unwrap();
+
+    // The provider holds ciphertext only (and the wrapped-key records,
+    // which are useless without a user passphrase).
+    let stored = backend.stored_content(&doc_id).unwrap();
+    assert!(!stored.contains("merger"), "provider saw plaintext");
+    assert!(!stored.contains("friday"), "provider saw plaintext");
+
+    // Bob registers but holds no grant: the directory refuses the key
+    // and the document stays closed.
+    let mut bob =
+        DocsMediator::with_rng(HttpClient::new(addr), tenant_config(), CtrDrbg::from_seed(0xb0b));
+    bob.tenant_register("bob", "bob-pass").unwrap();
+    assert!(bob.open_document(&doc_id).is_err(), "unauthorized read must fail closed");
+
+    // Alice grants bob: one invite code out of band, zero body bytes
+    // touched on the server.
+    let before = backend.stored_content(&doc_id).unwrap();
+    let code = alice.tenant_grant(&doc_id, "bob").unwrap();
+    bob.tenant_accept(&doc_id, &code).unwrap();
+    assert_eq!(backend.stored_content(&doc_id).unwrap(), before, "grant re-encrypted the body");
+    assert_eq!(bob.open_document(&doc_id).unwrap(), secret);
+
+    // Bob edits through his own mediator; alice reads the edit back.
+    let mut delta = Delta::builder();
+    delta.retain(secret.len()).insert(" (signed, bob)");
+    bob.save_delta(&doc_id, &delta.build()).unwrap();
+    assert_eq!(
+        alice.open_document(&doc_id).unwrap(),
+        "the merger closes friday at nine (signed, bob)"
+    );
+
+    // Revoke: deletes bob's wrapped-key record, body again untouched. A
+    // fresh session for bob fails closed (his old mediator may still
+    // hold the cached key — revocation is lazy, as the README documents).
+    let before = backend.stored_content(&doc_id).unwrap();
+    assert!(alice.tenant_revoke(&doc_id, "bob").unwrap());
+    assert_eq!(backend.stored_content(&doc_id).unwrap(), before, "revoke re-encrypted the body");
+    let mut bob_later =
+        DocsMediator::with_rng(HttpClient::new(addr), tenant_config(), CtrDrbg::from_seed(0xb0c));
+    bob_later.tenant_login("bob", "bob-pass").unwrap();
+    assert!(bob_later.open_document(&doc_id).is_err(), "revoked read must fail closed");
+
+    // Alice is untouched by the revocation.
+    assert!(alice.open_document(&doc_id).unwrap().starts_with("the merger"));
+
+    server.shutdown();
+}
+
+#[test]
+fn passphrase_rotation_over_a_real_socket_rewraps_without_reencryption() {
+    let backend = Arc::new(DocsServer::new());
+    let server = HttpServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&backend) as Arc<dyn Service>,
+        Default::default(),
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    let mut carol =
+        DocsMediator::with_rng(HttpClient::new(addr), tenant_config(), CtrDrbg::from_seed(0xca1));
+    carol.tenant_register("carol", "old-pass").unwrap();
+    let doc_id = carol.tenant_create_document().unwrap();
+    carol.save_full(&doc_id, "rotating soon").unwrap();
+
+    let before = backend.stored_content(&doc_id).unwrap();
+    let rewrapped = carol.tenant_passwd("carol", "old-pass", "new-pass").unwrap();
+    assert_eq!(rewrapped, 1, "one wrapped key record to rewrap");
+    assert_eq!(backend.stored_content(&doc_id).unwrap(), before, "rotation touched the body");
+
+    // Old passphrase is dead; the new one opens the same ciphertext.
+    let mut stale =
+        DocsMediator::with_rng(HttpClient::new(addr), tenant_config(), CtrDrbg::from_seed(0xca2));
+    assert!(stale.tenant_login("carol", "old-pass").is_err());
+    let mut fresh =
+        DocsMediator::with_rng(HttpClient::new(addr), tenant_config(), CtrDrbg::from_seed(0xca3));
+    fresh.tenant_login("carol", "new-pass").unwrap();
+    assert_eq!(fresh.open_document(&doc_id).unwrap(), "rotating soon");
+
+    server.shutdown();
+}
