@@ -80,6 +80,9 @@ const DICTIONARY: &[&str] = &[
 /// ```
 pub struct DocsServer {
     store: Arc<dyn DocStore>,
+    /// Serializes tenant-record mutations so their check-then-put pairs
+    /// (registration uniqueness, ownership checks) are atomic.
+    tenant_lock: std::sync::Mutex<()>,
 }
 
 impl std::fmt::Debug for DocsServer {
@@ -115,7 +118,12 @@ impl DocsServer {
     /// [`pe_store::LogStore`] makes every acknowledged save survive a
     /// crash; documents already in the store are served as-is.
     pub fn with_store(store: Arc<dyn DocStore>) -> DocsServer {
-        DocsServer { store }
+        DocsServer { store, tenant_lock: std::sync::Mutex::new(()) }
+    }
+
+    /// Guard held for the duration of any tenant-record mutation.
+    pub(crate) fn tenant_mutation_lock(&self) -> std::sync::MutexGuard<'_, ()> {
+        self.tenant_lock.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
     /// The backing store (tooling: flush/compact/inspect).
@@ -431,6 +439,7 @@ impl CloudService for DocsServer {
             (crate::Method::Get, "/Doc/load") => self.load(doc_id),
             (crate::Method::Get, "/tenant/record") => self.tenant_record_get(request),
             (crate::Method::Post, "/tenant/record") => self.tenant_record_post(request),
+            (crate::Method::Post, "/tenant/verify") => self.tenant_verify(request),
             (crate::Method::Get, "/tenant/list") => self.tenant_list(request),
             (crate::Method::Get, "/Doc/revisions") => {
                 self.revisions(doc_id, request.query_param("index"))

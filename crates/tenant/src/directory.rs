@@ -4,7 +4,12 @@
 //! directory runs over — against a remote server the directory only ever
 //! ships salts, verifiers, and AES-KW-wrapped keys. The server can deny
 //! service, but it can neither read a document key nor forge a grant
-//! that unwraps (AES-KW authenticates the KEK).
+//! that unwraps (AES-KW authenticates the KEK). Mutating operations
+//! additionally carry an [`Auth`] proof (the user's login verifier), so
+//! a server that enforces it — [`pe_cloud`]'s `/tenant/record` endpoint
+//! does — refuses directory writes from clients that never derived the
+//! user's passphrase; the ownership checks in this module are then
+//! enforced on both sides of the wire, not just in honest clients.
 //!
 //! ## Sharing model
 //!
@@ -15,6 +20,11 @@
 //!   travels out of band (the paper's §IV-C password-sharing assumption).
 //!   The grantee redeems the code with [`TenantDirectory::accept`],
 //!   which rewraps the key under their own KEK and burns the invite.
+//!   **The invite code is a bearer secret**: the invite record is
+//!   readable, so anyone who learns the code can unwrap the data key
+//!   without calling `accept` — the grantee addressing only routes the
+//!   grant and stops honest mix-ups. Protect the code exactly like the
+//!   shared password it replaces.
 //! * Revocation deletes the grantee's wrapped record (and any pending
 //!   invites for them) — an O(1) directory operation that never touches
 //!   the document body. *Lazy revocation caveat:* a revoked user may
@@ -23,10 +33,15 @@
 //!   this layer deliberately never does.
 //! * [`TenantDirectory::rewrap`] rotates a user's passphrase: new salt,
 //!   new KEK, and every grant they hold is unwrapped and rewrapped —
-//!   again without touching any document body.
+//!   again without touching any document body. Rotation is crash-safe:
+//!   the new salt and verifier are parked in a pending record (`p/<user>`)
+//!   **before** the first grant is rewrapped, so no grant is ever wrapped
+//!   under a KEK whose salt isn't persisted. An interrupted rotation is
+//!   finished by calling `rewrap` again with the same passphrase pair;
+//!   until then the old passphrase keeps logging in and nothing is lost.
 
 use pe_crypto::drbg::NonceSource;
-use pe_crypto::{base32, zeroize};
+use pe_crypto::{base32, hex, zeroize};
 
 use crate::error::TenantError;
 use crate::keys::{DataKey, MasterKey};
@@ -34,7 +49,7 @@ use crate::records::{
     validate_name, DocRecord, GrantRecord, InviteRecord, UserRecord, DOC_PREFIX, GRANT_PREFIX,
     INVITE_PREFIX, USER_PREFIX,
 };
-use crate::store::RecordStore;
+use crate::store::{Auth, RecordStore};
 
 /// Bytes of invite-id material in an invite code (base32: 8 chars).
 const INVITE_ID_BYTES: usize = 5;
@@ -53,12 +68,26 @@ impl Session {
     pub fn user(&self) -> &str {
         &self.user
     }
+
+    /// The mutation proof this session presents to an enforcing record
+    /// store: the user name plus their hex-encoded login verifier.
+    pub fn auth(&self) -> Auth {
+        Auth { user: self.user.clone(), proof: hex::encode(self.master.verifier()) }
+    }
 }
 
 impl std::fmt::Debug for Session {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Session").field("user", &self.user).finish_non_exhaustive()
     }
+}
+
+/// Staged credentials of an in-flight passphrase rotation: the derived
+/// master key plus the user record (salt, iterations, verifier) that is
+/// parked in `p/<user>` and promoted at the commit point.
+struct RotationMaster {
+    master: MasterKey,
+    record: UserRecord,
 }
 
 /// Directory record counts (tooling, benches, `pedit user list`).
@@ -110,16 +139,24 @@ impl<R: RecordStore> TenantDirectory<R> {
             user: user.to_string(),
             salt,
             iterations,
-            verifier: *master.verifier(),
+            verifier: Some(*master.verifier()),
         };
-        if !self.records.put_if_absent(&UserRecord::key(user), &record.encode())? {
+        if !self.records.put_if_absent(&UserRecord::key(user), &record.encode(), None)? {
             return Err(TenantError::UserExists(user.to_string()));
         }
         pe_observe::static_counter!("tenant.registers").inc();
         Ok(Session { user: user.to_string(), master })
     }
 
-    /// Logs a user in, deriving their KEK and checking the verifier.
+    /// Logs a user in, deriving their KEK and checking the verifier —
+    /// locally when the store serves it, through
+    /// [`RecordStore::verify`] when the store redacts it.
+    ///
+    /// When the primary credentials fail but a pending rotation record
+    /// matches, the login also fails ([`TenantError::BadPassphrase`]):
+    /// an interrupted rotation is completed by [`rewrap`](Self::rewrap)
+    /// (which holds both passphrases), not by login. A *stale* pending
+    /// record from a completed rotation is swept here.
     ///
     /// # Errors
     ///
@@ -132,12 +169,47 @@ impl<R: RecordStore> TenantDirectory<R> {
             .ok_or_else(|| TenantError::NoSuchUser(user.to_string()))?;
         let record = UserRecord::decode(&line)?;
         let master = MasterKey::derive(passphrase, &record.salt, record.iterations);
-        if !master.verifier_matches(&record.verifier) {
+        if !self.master_matches(&UserRecord::key(user), &record, &master)? {
             pe_observe::static_counter!("tenant.login_failures").inc();
             return Err(TenantError::BadPassphrase);
         }
+        let session = Session { user: user.to_string(), master };
+        self.sweep_stale_pending(&session);
         pe_observe::static_counter!("tenant.logins").inc();
-        Ok(Session { user: user.to_string(), master })
+        Ok(session)
+    }
+
+    /// Checks `master` against a user record: locally via its verifier
+    /// field, or through the store's verify protocol when redacted.
+    fn master_matches(
+        &self,
+        key: &str,
+        record: &UserRecord,
+        master: &MasterKey,
+    ) -> Result<bool, TenantError> {
+        match &record.verifier {
+            Some(stored) => Ok(master.verifier_matches(stored)),
+            None => self.records.verify(key, &hex::encode(master.verifier())),
+        }
+    }
+
+    /// Deletes a leftover `p/<user>` record whose credentials match the
+    /// live session — the residue of a rotation that promoted its new
+    /// user record but crashed before cleaning up. A pending record with
+    /// *different* credentials (a genuinely interrupted rotation) is
+    /// left for [`rewrap`](Self::rewrap) to finish. Best-effort: a store
+    /// failure here never fails the login.
+    fn sweep_stale_pending(&self, session: &Session) {
+        let pending_key = UserRecord::pending_key(&session.user);
+        let Ok(Some(line)) = self.records.get(&pending_key) else { return };
+        let Ok(pending) = UserRecord::decode(&line) else { return };
+        let matches = match self.master_matches(&pending_key, &pending, &session.master) {
+            Ok(matches) => matches,
+            Err(_) => return,
+        };
+        if matches {
+            let _ = self.records.delete(&pending_key, Some(&session.auth()));
+        }
     }
 
     /// Registers a document owned by `session`'s user, generating its
@@ -154,8 +226,9 @@ impl<R: RecordStore> TenantDirectory<R> {
         rng: &mut N,
     ) -> Result<DataKey, TenantError> {
         validate_name(doc)?;
+        let auth = session.auth();
         let record = DocRecord { doc: doc.to_string(), owner: session.user.clone() };
-        if !self.records.put_if_absent(&DocRecord::key(doc), &record.encode())? {
+        if !self.records.put_if_absent(&DocRecord::key(doc), &record.encode(), Some(&auth))? {
             return Err(TenantError::DocumentExists(doc.to_string()));
         }
         let key = DataKey::generate(rng);
@@ -165,7 +238,7 @@ impl<R: RecordStore> TenantDirectory<R> {
             wrapped: key.wrap(&session.master),
             granted_by: session.user.clone(),
         };
-        self.records.put(&GrantRecord::key(doc, &session.user), &grant.encode())?;
+        self.records.put(&GrantRecord::key(doc, &session.user), &grant.encode(), Some(&auth))?;
         pe_observe::static_counter!("tenant.docs_created").inc();
         Ok(key)
     }
@@ -234,7 +307,7 @@ impl<R: RecordStore> TenantDirectory<R> {
             wrapped: key.wrap(&invite_master),
             issued_by: session.user.clone(),
         };
-        self.records.put(&InviteRecord::key(doc, &invite_id), &record.encode())?;
+        self.records.put(&InviteRecord::key(doc, &invite_id), &record.encode(), Some(&session.auth()))?;
         pe_observe::static_counter!("tenant.grants").inc();
         let text = base32::encode_unpadded(&code);
         zeroize::wipe(&mut code);
@@ -269,14 +342,15 @@ impl<R: RecordStore> TenantDirectory<R> {
         let invite_master = MasterKey::from_kek(kek);
         let key = DataKey::unwrap(&invite_master, &record.wrapped)
             .map_err(|_| TenantError::BadInvite)?;
+        let auth = session.auth();
         let grant = GrantRecord {
             doc: doc.to_string(),
             user: session.user.clone(),
             wrapped: key.wrap(&session.master),
             granted_by: record.issued_by,
         };
-        self.records.put(&GrantRecord::key(doc, &session.user), &grant.encode())?;
-        self.records.delete(&InviteRecord::key(doc, &invite_id))?;
+        self.records.put(&GrantRecord::key(doc, &session.user), &grant.encode(), Some(&auth))?;
+        self.records.delete(&InviteRecord::key(doc, &invite_id), Some(&auth))?;
         pe_observe::static_counter!("tenant.accepts").inc();
         Ok(())
     }
@@ -322,11 +396,12 @@ impl<R: RecordStore> TenantDirectory<R> {
             // guaranteed wrapped copy); surface the misuse crisply.
             return Err(TenantError::NotOwner { doc: doc.to_string(), user: user.to_string() });
         }
-        let mut existed = self.records.delete(&GrantRecord::key(doc, user))?;
+        let auth = session.auth();
+        let mut existed = self.records.delete(&GrantRecord::key(doc, user), Some(&auth))?;
         for key in self.records.list(&InviteRecord::doc_prefix(doc))? {
             if let Some(line) = self.records.get(&key)? {
                 if InviteRecord::decode(&line).is_ok_and(|r| r.grantee == user) {
-                    existed |= self.records.delete(&key)?;
+                    existed |= self.records.delete(&key, Some(&auth))?;
                 }
             }
         }
@@ -334,15 +409,33 @@ impl<R: RecordStore> TenantDirectory<R> {
         Ok(existed)
     }
 
-    /// Rotates a user's passphrase: verifies the old one, draws a fresh
-    /// salt, and rewraps every grant the user holds under the new KEK.
-    /// Returns the number of rewrapped grants. Document bodies are never
-    /// touched.
+    /// Rotates a user's passphrase: verifies the old one, persists the
+    /// new credentials, and rewraps every grant the user holds under the
+    /// new KEK. Returns the number of rewrapped grants. Document bodies
+    /// are never touched.
+    ///
+    /// Crash safety — the rotation is staged so that every wrapped key
+    /// remains recoverable from persisted salts at every instant:
+    ///
+    /// 1. the new salt/iterations/verifier are written to a *pending*
+    ///    record (`p/<user>`) **before** any grant is touched — no grant
+    ///    is ever wrapped under a KEK whose salt only lives in memory;
+    /// 2. each grant is rewrapped old→new (a grant that already unwraps
+    ///    under the new KEK — an interrupted earlier run of this same
+    ///    rotation — is left as-is and counted);
+    /// 3. the pending record is promoted to the primary user record (the
+    ///    commit point: the new passphrase now logs in), then deleted
+    ///    (best-effort; [`login`](Self::login) sweeps leftovers).
+    ///
+    /// A crash anywhere before step 3 leaves the old passphrase valid;
+    /// rerunning `rewrap` with the same passphrase pair resumes and
+    /// finishes the rotation.
     ///
     /// # Errors
     ///
-    /// [`TenantError::NoSuchUser`], [`TenantError::BadPassphrase`], or a
-    /// store failure.
+    /// [`TenantError::NoSuchUser`], [`TenantError::BadPassphrase`],
+    /// [`TenantError::RotationPending`] when a *different* interrupted
+    /// rotation holds rewrapped grants, or a store failure.
     pub fn rewrap<N: NonceSource>(
         &self,
         user: &str,
@@ -355,30 +448,91 @@ impl<R: RecordStore> TenantDirectory<R> {
             return Err(TenantError::Corrupt("kdf iterations must be positive".into()));
         }
         let old_session = self.login(user, old_passphrase)?;
-        let mut salt = [0u8; 16];
-        rng.fill_bytes(&mut salt);
-        let new_master = MasterKey::derive(new_passphrase, &salt, iterations);
-        // Rewrap grants first, user record last: a crash mid-way leaves
-        // the old passphrase valid for login; individual rewrapped
-        // grants are re-issuable by the owner.
+        let auth = old_session.auth();
+        let pending_key = UserRecord::pending_key(user);
+        let new_master = self.rotation_master(
+            user,
+            new_passphrase,
+            iterations,
+            &old_session,
+            &pending_key,
+            rng,
+        )?;
         let mut rewrapped = 0;
         for key in self.grant_keys_for(user)? {
             let Some(line) = self.records.get(&key)? else { continue };
             let mut grant = GrantRecord::decode(&line)?;
-            let data_key = DataKey::unwrap(&old_session.master, &grant.wrapped)?;
-            grant.wrapped = data_key.wrap(&new_master);
-            self.records.put(&key, &grant.encode())?;
+            match DataKey::unwrap(&old_session.master, &grant.wrapped) {
+                Ok(data_key) => {
+                    grant.wrapped = data_key.wrap(&new_master.master);
+                    self.records.put(&key, &grant.encode(), Some(&auth))?;
+                }
+                // Already rewrapped by an interrupted run of this same
+                // rotation — verify it unwraps under the new KEK.
+                Err(_) => {
+                    DataKey::unwrap(&new_master.master, &grant.wrapped)?;
+                }
+            }
             rewrapped += 1;
         }
+        // Commit point: promote the new credentials, then clean up the
+        // pending record (best-effort — login sweeps stale leftovers).
+        self.records.put(&UserRecord::key(user), &new_master.record.encode(), Some(&auth))?;
+        let new_auth =
+            Auth { user: user.to_string(), proof: hex::encode(new_master.master.verifier()) };
+        let _ = self.records.delete(&pending_key, Some(&new_auth));
+        pe_observe::static_counter!("tenant.rewraps").inc();
+        Ok(rewrapped)
+    }
+
+    /// Stages (or resumes) the new credentials of a passphrase rotation:
+    /// reuses the pending record when its verifier matches the requested
+    /// new passphrase, otherwise draws a fresh salt — refusing to
+    /// overwrite a mismatched pending record while any grant is still
+    /// wrapped under its KEK. The returned credentials are persisted in
+    /// `p/<user>` before this function returns.
+    fn rotation_master<N: NonceSource>(
+        &self,
+        user: &str,
+        new_passphrase: &str,
+        iterations: u32,
+        old_session: &Session,
+        pending_key: &str,
+        rng: &mut N,
+    ) -> Result<RotationMaster, TenantError> {
+        if let Some(line) = self.records.get(pending_key)? {
+            let pending = UserRecord::decode(&line)?;
+            let master = MasterKey::derive(new_passphrase, &pending.salt, pending.iterations);
+            if self.master_matches(pending_key, &pending, &master)? {
+                // Resume: the pending credentials are already persisted.
+                // Re-derive the verifier locally — the store may have
+                // redacted it from the read.
+                let record = UserRecord { verifier: Some(*master.verifier()), ..pending };
+                return Ok(RotationMaster { master, record });
+            }
+            // A different rotation was interrupted. Its salt may be the
+            // only way to unwrap grants it already rewrapped; overwrite
+            // it only once every grant provably unwraps under the old
+            // KEK (i.e. the interrupted run touched nothing).
+            for key in self.grant_keys_for(user)? {
+                let Some(line) = self.records.get(&key)? else { continue };
+                let grant = GrantRecord::decode(&line)?;
+                if DataKey::unwrap(&old_session.master, &grant.wrapped).is_err() {
+                    return Err(TenantError::RotationPending(user.to_string()));
+                }
+            }
+        }
+        let mut salt = [0u8; 16];
+        rng.fill_bytes(&mut salt);
+        let master = MasterKey::derive(new_passphrase, &salt, iterations);
         let record = UserRecord {
             user: user.to_string(),
             salt,
             iterations,
-            verifier: *new_master.verifier(),
+            verifier: Some(*master.verifier()),
         };
-        self.records.put(&UserRecord::key(user), &record.encode())?;
-        pe_observe::static_counter!("tenant.rewraps").inc();
-        Ok(rewrapped)
+        self.records.put(pending_key, &record.encode(), Some(&old_session.auth()))?;
+        Ok(RotationMaster { master, record })
     }
 
     /// All registered user names, sorted.
@@ -562,7 +716,11 @@ mod tests {
         dir.create_document(&alice, "doc1", &mut rng).unwrap();
         dir.create_document(&alice, "doc2", &mut rng).unwrap();
         let code = dir.grant(&alice, "doc1", "bob", &mut rng).unwrap();
-        // Eve intercepts the code but it is addressed to bob.
+        // The grantee binding is advisory, not cryptographic: the code
+        // itself wraps the data key, so anyone holding it holds the key
+        // (it is a bearer secret — keep the channel private). What the
+        // binding buys is that the *directory* refuses to mint a grant
+        // record for anyone but bob, so eve cannot enroll herself.
         assert_eq!(dir.accept(&eve, "doc1", &code), Err(TenantError::BadInvite));
         // Bob cannot redeem it against another document.
         assert_eq!(dir.accept(&bob, "doc2", &code), Err(TenantError::BadInvite));
@@ -630,6 +788,145 @@ mod tests {
         assert_eq!(dir.data_key(&alice2, "doc2").unwrap().bytes(), k2.bytes());
         // Bob is untouched.
         assert_eq!(dir.data_key(&bob, "doc2").unwrap().bytes(), k2.bytes());
+    }
+
+    /// A store that injects a failure after a budget of successful puts
+    /// — simulates a crash mid-rotation at any chosen write.
+    struct FailingRecords<'a> {
+        inner: &'a MemRecords,
+        puts_left: std::cell::Cell<u32>,
+    }
+
+    impl RecordStore for FailingRecords<'_> {
+        fn get(&self, key: &str) -> Result<Option<String>, TenantError> {
+            self.inner.get(key)
+        }
+        fn put(&self, key: &str, value: &str, auth: Option<&Auth>) -> Result<(), TenantError> {
+            if self.puts_left.get() == 0 {
+                return Err(TenantError::Store { status: 0, message: "injected crash".into() });
+            }
+            self.puts_left.set(self.puts_left.get() - 1);
+            self.inner.put(key, value, auth)
+        }
+        fn put_if_absent(
+            &self,
+            key: &str,
+            value: &str,
+            auth: Option<&Auth>,
+        ) -> Result<bool, TenantError> {
+            self.inner.put_if_absent(key, value, auth)
+        }
+        fn delete(&self, key: &str, auth: Option<&Auth>) -> Result<bool, TenantError> {
+            self.inner.delete(key, auth)
+        }
+        fn verify(&self, key: &str, proof: &str) -> Result<bool, TenantError> {
+            self.inner.verify(key, proof)
+        }
+        fn list(&self, prefix: &str) -> Result<Vec<String>, TenantError> {
+            self.inner.list(prefix)
+        }
+    }
+
+    /// Registers alice with three documents and returns the data keys.
+    fn three_doc_setup(mem: &MemRecords, rng: &mut CtrDrbg) -> [[u8; 32]; 3] {
+        let dir = TenantDirectory::new(mem);
+        let alice = dir.register("alice", "old-pw", ITERS, rng).unwrap();
+        let mut keys = [[0u8; 32]; 3];
+        for (i, doc) in ["doc1", "doc2", "doc3"].iter().enumerate() {
+            keys[i] = *dir.create_document(&alice, doc, rng).unwrap().bytes();
+        }
+        keys
+    }
+
+    fn assert_all_keys(dir: &TenantDirectory<&MemRecords>, session: &Session, keys: &[[u8; 32]; 3]) {
+        for (i, doc) in ["doc1", "doc2", "doc3"].iter().enumerate() {
+            assert_eq!(dir.data_key(session, doc).unwrap().bytes(), &keys[i]);
+        }
+    }
+
+    #[test]
+    fn rewrap_crash_mid_loop_is_resumable_with_no_key_loss() {
+        let mem = MemRecords::new();
+        let mut rng = CtrDrbg::from_seed(10);
+        let keys = three_doc_setup(&mem, &mut rng);
+        // Crash budget: pending write + one grant rewrap succeed, the
+        // second grant write fails — the worst case the review flagged
+        // (a grant wrapped under a KEK whose salt used to be in memory
+        // only).
+        let failing = FailingRecords { inner: &mem, puts_left: std::cell::Cell::new(2) };
+        let dir_f = TenantDirectory::new(failing);
+        assert!(matches!(
+            dir_f.rewrap("alice", "old-pw", "new-pw", ITERS, &mut rng),
+            Err(TenantError::Store { .. })
+        ));
+        let dir = TenantDirectory::new(&mem);
+        // The old passphrase still logs in (primary record untouched)...
+        let old_session = dir.login("alice", "old-pw").unwrap();
+        // ...and the new salt survived the crash in the pending record,
+        // so resuming the same rotation recovers every key.
+        assert!(mem.get("p/alice").unwrap().is_some(), "pending credentials persisted");
+        let rewrapped = dir.rewrap("alice", "old-pw", "new-pw", ITERS, &mut rng).unwrap();
+        assert_eq!(rewrapped, 3);
+        drop(old_session);
+        assert!(matches!(dir.login("alice", "old-pw"), Err(TenantError::BadPassphrase)));
+        let session = dir.login("alice", "new-pw").unwrap();
+        assert_all_keys(&dir, &session, &keys);
+        assert_eq!(mem.get("p/alice").unwrap(), None, "pending record cleaned up");
+    }
+
+    #[test]
+    fn interrupted_rotation_refuses_a_different_new_passphrase() {
+        let mem = MemRecords::new();
+        let mut rng = CtrDrbg::from_seed(11);
+        let keys = three_doc_setup(&mem, &mut rng);
+        let failing = FailingRecords { inner: &mem, puts_left: std::cell::Cell::new(2) };
+        let dir_f = TenantDirectory::new(failing);
+        dir_f.rewrap("alice", "old-pw", "interim-pw", ITERS, &mut rng).unwrap_err();
+        // One grant is wrapped under the interim KEK; starting a rotation
+        // to a different passphrase would have to discard the interim
+        // salt and strand that grant — it must be refused.
+        let dir = TenantDirectory::new(&mem);
+        assert!(matches!(
+            dir.rewrap("alice", "old-pw", "other-pw", ITERS, &mut rng),
+            Err(TenantError::RotationPending(_))
+        ));
+        // Finishing the interrupted rotation recovers everything.
+        assert_eq!(dir.rewrap("alice", "old-pw", "interim-pw", ITERS, &mut rng).unwrap(), 3);
+        let session = dir.login("alice", "interim-pw").unwrap();
+        assert_all_keys(&dir, &session, &keys);
+    }
+
+    #[test]
+    fn untouched_interrupted_rotation_allows_a_fresh_one() {
+        let mem = MemRecords::new();
+        let mut rng = CtrDrbg::from_seed(12);
+        let keys = three_doc_setup(&mem, &mut rng);
+        // Crash right after the pending write: no grant was rewrapped,
+        // so the parked credentials are safely discardable.
+        let failing = FailingRecords { inner: &mem, puts_left: std::cell::Cell::new(1) };
+        let dir_f = TenantDirectory::new(failing);
+        dir_f.rewrap("alice", "old-pw", "interim-pw", ITERS, &mut rng).unwrap_err();
+        assert!(mem.get("p/alice").unwrap().is_some());
+        let dir = TenantDirectory::new(&mem);
+        assert_eq!(dir.rewrap("alice", "old-pw", "other-pw", ITERS, &mut rng).unwrap(), 3);
+        let session = dir.login("alice", "other-pw").unwrap();
+        assert_all_keys(&dir, &session, &keys);
+    }
+
+    #[test]
+    fn login_sweeps_residue_of_a_completed_rotation() {
+        let mem = MemRecords::new();
+        let mut rng = CtrDrbg::from_seed(13);
+        let keys = three_doc_setup(&mem, &mut rng);
+        let dir = TenantDirectory::new(&mem);
+        dir.rewrap("alice", "old-pw", "new-pw", ITERS, &mut rng).unwrap();
+        // Simulate a crash between promotion and pending cleanup: the
+        // pending record (same content as the new primary) lingers.
+        let primary = mem.get("u/alice").unwrap().unwrap();
+        mem.put("p/alice", &primary, None).unwrap();
+        let session = dir.login("alice", "new-pw").unwrap();
+        assert_eq!(mem.get("p/alice").unwrap(), None, "stale pending swept on login");
+        assert_all_keys(&dir, &session, &keys);
     }
 
     #[test]

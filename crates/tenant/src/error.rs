@@ -39,6 +39,11 @@ pub enum TenantError {
     /// An invite code that does not match a pending invite for this user
     /// and document — wrong code, already redeemed, or revoked.
     BadInvite,
+    /// A passphrase rotation was interrupted mid-way under *different*
+    /// new credentials than the ones now requested; it must be finished
+    /// (rerun `rewrap` with the same new passphrase as the interrupted
+    /// attempt) before a fresh rotation can start.
+    RotationPending(String),
     /// A stored record failed to parse or failed its integrity check.
     Corrupt(String),
     /// The record store (local or over the wire) failed.
@@ -71,6 +76,11 @@ impl fmt::Display for TenantError {
                 write!(f, "user {user} does not own document {doc}")
             }
             TenantError::BadInvite => write!(f, "invalid or expired invite"),
+            TenantError::RotationPending(user) => write!(
+                f,
+                "an interrupted passphrase rotation is pending for {user}; \
+                 rerun the rotation with the same new passphrase to finish it"
+            ),
             TenantError::Corrupt(detail) => write!(f, "corrupt directory record: {detail}"),
             TenantError::Store { status, message } => {
                 write!(f, "record store failure (status {status}): {message}")

@@ -59,4 +59,4 @@ pub use directory::{DirectoryStats, Session, TenantDirectory};
 pub use error::TenantError;
 pub use keys::{DataKey, MasterKey, WRAPPED_KEY_BYTES};
 pub use records::{DocRecord, GrantRecord, InviteRecord, UserRecord};
-pub use store::{MemRecords, RecordStore, ServiceRecords};
+pub use store::{Auth, MemRecords, RecordStore, ServiceRecords};

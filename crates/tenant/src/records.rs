@@ -6,15 +6,21 @@
 //! | key              | record                                   |
 //! |------------------|------------------------------------------|
 //! | `u/<user>`       | [`UserRecord`] — salt, KDF iterations, verifier |
+//! | `p/<user>`       | [`UserRecord`] — *pending* credentials during a passphrase rotation |
 //! | `d/<doc>`        | [`DocRecord`] — owner                    |
 //! | `g/<doc>/<user>` | [`GrantRecord`] — 40-byte wrapped data key |
 //! | `i/<doc>/<id>`   | [`InviteRecord`] — pending wrapped key under a one-time invite KEK |
 //!
 //! User and document names are restricted to `[A-Za-z0-9._-]{1,64}` so
-//! the `/`-separated keyspace parses unambiguously. All values the
-//! server stores are public-by-design (salts, verifiers) or wrapped
-//! (AES-KW ciphertext); nothing in a record lets the server derive a
-//! usable key.
+//! the `/`-separated keyspace parses unambiguously. Nothing in a record
+//! lets the server derive a usable key: salts and iteration counts are
+//! public by design, wrapped keys are AES-KW ciphertext, and the login
+//! verifier — while useless for unwrapping — is kept server-side and
+//! never served back over the wire (the server *redacts* it from `u/`
+//! and `p/` reads, so a network peer cannot mount an offline dictionary
+//! attack against it; see the `pe_cloud::tenant` module docs). A
+//! [`UserRecord`] read back through such a store therefore decodes with
+//! `verifier: None`.
 
 use pe_crypto::{form, hex};
 
@@ -23,6 +29,9 @@ use crate::keys::WRAPPED_KEY_BYTES;
 
 /// Record-key prefix for user records.
 pub const USER_PREFIX: &str = "u/";
+/// Record-key prefix for pending user records (in-flight passphrase
+/// rotations — see [`TenantDirectory::rewrap`](crate::TenantDirectory::rewrap)).
+pub const PENDING_PREFIX: &str = "p/";
 /// Record-key prefix for document records.
 pub const DOC_PREFIX: &str = "d/";
 /// Record-key prefix for grant records.
@@ -63,6 +72,11 @@ fn parse(line: &str, what: &str) -> Result<Vec<(String, String)>, TenantError> {
 }
 
 /// A registered user: public KDF parameters plus the login verifier.
+///
+/// The verifier is `None` when the record was read back through a store
+/// that redacts it (the untrusted server never serves verifiers); login
+/// then checks the passphrase through
+/// [`RecordStore::verify`](crate::RecordStore::verify) instead.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UserRecord {
     /// User name (also the record key suffix).
@@ -71,8 +85,9 @@ pub struct UserRecord {
     pub salt: [u8; 16],
     /// PBKDF2 iteration count this user registered with.
     pub iterations: u32,
-    /// HKDF-separated login verifier (see `keys` module docs).
-    pub verifier: [u8; 16],
+    /// HKDF-separated login verifier (see `keys` module docs); `None`
+    /// when the store redacted it.
+    pub verifier: Option<[u8; 16]>,
 }
 
 impl UserRecord {
@@ -81,17 +96,27 @@ impl UserRecord {
         format!("{USER_PREFIX}{user}")
     }
 
-    /// Serializes to the stored line format.
-    pub fn encode(&self) -> String {
-        form::encode_pairs(&[
-            ("user", self.user.as_str()),
-            ("salt", &hex::encode(&self.salt)),
-            ("iters", &self.iterations.to_string()),
-            ("verifier", &hex::encode(&self.verifier)),
-        ])
+    /// The record-store key for this user's pending (mid-rotation)
+    /// credentials.
+    pub fn pending_key(user: &str) -> String {
+        format!("{PENDING_PREFIX}{user}")
     }
 
-    /// Parses a stored line.
+    /// Serializes to the stored line format.
+    pub fn encode(&self) -> String {
+        let mut pairs = vec![
+            ("user", self.user.clone()),
+            ("salt", hex::encode(&self.salt)),
+            ("iters", self.iterations.to_string()),
+        ];
+        if let Some(verifier) = &self.verifier {
+            pairs.push(("verifier", hex::encode(verifier)));
+        }
+        form::encode_pairs(&pairs)
+    }
+
+    /// Parses a stored line. A missing verifier is legal (redacted by
+    /// the store); everything else must be well-formed.
     ///
     /// # Errors
     ///
@@ -104,11 +129,15 @@ impl UserRecord {
         if iterations == 0 {
             return Err(TenantError::Corrupt("user record: zero iters".into()));
         }
+        let verifier = match form::first_value(&pairs, "verifier") {
+            Some(text) => Some(fixed_bytes(text, "user verifier")?),
+            None => None,
+        };
         Ok(UserRecord {
             user: field(&pairs, "user", "user record")?.to_string(),
             salt: fixed_bytes(field(&pairs, "salt", "user record")?, "user salt")?,
             iterations,
-            verifier: fixed_bytes(field(&pairs, "verifier", "user record")?, "user verifier")?,
+            verifier,
         })
     }
 }
@@ -204,6 +233,13 @@ impl GrantRecord {
 /// password-sharing assumption, §IV-C, translated to the wrapped-key
 /// model). Redeeming the invite rewraps under the grantee's own KEK and
 /// deletes this record.
+///
+/// **The invite code is a bearer secret for the document key**: this
+/// record is fetchable by anyone, so whoever learns the code can unwrap
+/// `wrapped` directly. The `grantee` field routes the grant and lets the
+/// directory refuse redemption by honest non-addressees; it is not a
+/// cryptographic binding. Treat the code like the shared password of the
+/// paper's §IV-C — the channel it travels over is the security boundary.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InviteRecord {
     /// Document id.
@@ -278,10 +314,16 @@ mod tests {
             user: "alice".into(),
             salt: [7u8; 16],
             iterations: 12_345,
-            verifier: [9u8; 16],
+            verifier: Some([9u8; 16]),
         };
         assert_eq!(UserRecord::decode(&record.encode()).unwrap(), record);
         assert_eq!(UserRecord::key("alice"), "u/alice");
+        assert_eq!(UserRecord::pending_key("alice"), "p/alice");
+        // A redacted record (no verifier) still decodes — login falls
+        // back to store-side verification.
+        let redacted = UserRecord { verifier: None, ..record };
+        assert!(!redacted.encode().contains("verifier"));
+        assert_eq!(UserRecord::decode(&redacted.encode()).unwrap(), redacted);
     }
 
     #[test]

@@ -14,10 +14,29 @@ use std::collections::BTreeMap;
 use std::sync::Mutex;
 
 use pe_cloud::{CloudService, Request, Response};
+use pe_crypto::hex;
 
 use crate::error::TenantError;
+use crate::records::UserRecord;
+
+/// Proof of identity attached to mutating record operations: the acting
+/// user plus the hex of their login verifier. The server compares the
+/// proof against the verifier it stored at registration (and never
+/// serves back), so only a client that derived the verifier from the
+/// passphrase can mutate that user's directory state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Auth {
+    /// Acting user name.
+    pub user: String,
+    /// Hex-encoded login verifier.
+    pub proof: String,
+}
 
 /// Minimal keyed text-record storage.
+///
+/// Mutations carry an optional [`Auth`]; stores fronting an untrusted
+/// server forward it for server-side enforcement, while trusted local
+/// stores ([`MemRecords`]) may ignore it.
 pub trait RecordStore {
     /// Fetches a record, `None` when absent.
     ///
@@ -30,8 +49,9 @@ pub trait RecordStore {
     ///
     /// # Errors
     ///
-    /// [`TenantError::Store`] on storage/transport failure.
-    fn put(&self, key: &str, value: &str) -> Result<(), TenantError>;
+    /// [`TenantError::Store`] on storage/transport failure (including
+    /// an authorization refusal).
+    fn put(&self, key: &str, value: &str, auth: Option<&Auth>) -> Result<(), TenantError>;
 
     /// Creates a record only if absent; returns `false` (storing
     /// nothing) when the key already exists.
@@ -39,14 +59,20 @@ pub trait RecordStore {
     /// # Errors
     ///
     /// [`TenantError::Store`] on storage/transport failure.
-    fn put_if_absent(&self, key: &str, value: &str) -> Result<bool, TenantError>;
+    fn put_if_absent(
+        &self,
+        key: &str,
+        value: &str,
+        auth: Option<&Auth>,
+    ) -> Result<bool, TenantError>;
 
     /// Deletes a record; returns whether it existed.
     ///
     /// # Errors
     ///
-    /// [`TenantError::Store`] on storage/transport failure.
-    fn delete(&self, key: &str) -> Result<bool, TenantError>;
+    /// [`TenantError::Store`] on storage/transport failure (including
+    /// an authorization refusal).
+    fn delete(&self, key: &str, auth: Option<&Auth>) -> Result<bool, TenantError>;
 
     /// Lists record keys under a prefix, sorted.
     ///
@@ -54,6 +80,16 @@ pub trait RecordStore {
     ///
     /// [`TenantError::Store`] on storage/transport failure.
     fn list(&self, prefix: &str) -> Result<Vec<String>, TenantError>;
+
+    /// Checks a hex-encoded verifier proof against the verifier stored
+    /// in the user record at `key` (a `u/` or `p/` key). Used by login
+    /// when the store redacts verifiers from reads.
+    ///
+    /// # Errors
+    ///
+    /// [`TenantError::Store`] on storage/transport failure;
+    /// [`TenantError::NoSuchUser`] when no record exists at `key`.
+    fn verify(&self, key: &str, proof: &str) -> Result<bool, TenantError>;
 }
 
 /// Record storage over the `/tenant/*` endpoints of any [`CloudService`].
@@ -80,6 +116,24 @@ fn store_error(what: &str, response: &Response) -> TenantError {
     }
 }
 
+/// Query parameters for a record mutation, with auth appended when
+/// present.
+fn mutation_query<'a>(
+    key: &'a str,
+    extra: Option<(&'a str, &'a str)>,
+    auth: Option<&'a Auth>,
+) -> Vec<(&'a str, &'a str)> {
+    let mut query = vec![("key", key)];
+    if let Some(pair) = extra {
+        query.push(pair);
+    }
+    if let Some(auth) = auth {
+        query.push(("auth", auth.user.as_str()));
+        query.push(("proof", auth.proof.as_str()));
+    }
+    query
+}
+
 impl<S: CloudService> RecordStore for ServiceRecords<S> {
     fn get(&self, key: &str) -> Result<Option<String>, TenantError> {
         let response = self.service.handle(&Request::get("/tenant/record", &[("key", key)]));
@@ -90,10 +144,10 @@ impl<S: CloudService> RecordStore for ServiceRecords<S> {
         }
     }
 
-    fn put(&self, key: &str, value: &str) -> Result<(), TenantError> {
+    fn put(&self, key: &str, value: &str, auth: Option<&Auth>) -> Result<(), TenantError> {
         let response = self.service.handle(&Request::post(
             "/tenant/record",
-            &[("key", key)],
+            &mutation_query(key, None, auth),
             value.to_string(),
         ));
         if response.is_success() {
@@ -103,10 +157,15 @@ impl<S: CloudService> RecordStore for ServiceRecords<S> {
         }
     }
 
-    fn put_if_absent(&self, key: &str, value: &str) -> Result<bool, TenantError> {
+    fn put_if_absent(
+        &self,
+        key: &str,
+        value: &str,
+        auth: Option<&Auth>,
+    ) -> Result<bool, TenantError> {
         let response = self.service.handle(&Request::post(
             "/tenant/record",
-            &[("key", key), ("if_absent", "1")],
+            &mutation_query(key, Some(("if_absent", "1")), auth),
             value.to_string(),
         ));
         match response.status {
@@ -116,16 +175,29 @@ impl<S: CloudService> RecordStore for ServiceRecords<S> {
         }
     }
 
-    fn delete(&self, key: &str) -> Result<bool, TenantError> {
+    fn delete(&self, key: &str, auth: Option<&Auth>) -> Result<bool, TenantError> {
         let response = self.service.handle(&Request::post(
             "/tenant/record",
-            &[("key", key), ("cmd", "delete")],
+            &mutation_query(key, Some(("cmd", "delete")), auth),
             "",
         ));
         if !response.is_success() {
             return Err(store_error("delete", &response));
         }
         Ok(response.body_text() == Some("deleted=true"))
+    }
+
+    fn verify(&self, key: &str, proof: &str) -> Result<bool, TenantError> {
+        let response = self.service.handle(&Request::post(
+            "/tenant/verify",
+            &[("key", key), ("proof", proof)],
+            "",
+        ));
+        match response.status {
+            200 => Ok(response.body_text() == Some("ok=true")),
+            404 => Err(TenantError::NoSuchUser(key.to_string())),
+            _ => Err(store_error("verify", &response)),
+        }
     }
 
     fn list(&self, prefix: &str) -> Result<Vec<String>, TenantError> {
@@ -159,12 +231,19 @@ impl RecordStore for MemRecords {
         Ok(self.records.lock().unwrap().get(key).cloned())
     }
 
-    fn put(&self, key: &str, value: &str) -> Result<(), TenantError> {
+    // Trusted local backend: auth is not enforced (there is no server to
+    // defend against — the map lives in the client process).
+    fn put(&self, key: &str, value: &str, _auth: Option<&Auth>) -> Result<(), TenantError> {
         self.records.lock().unwrap().insert(key.to_string(), value.to_string());
         Ok(())
     }
 
-    fn put_if_absent(&self, key: &str, value: &str) -> Result<bool, TenantError> {
+    fn put_if_absent(
+        &self,
+        key: &str,
+        value: &str,
+        _auth: Option<&Auth>,
+    ) -> Result<bool, TenantError> {
         let mut records = self.records.lock().unwrap();
         if records.contains_key(key) {
             return Ok(false);
@@ -173,8 +252,18 @@ impl RecordStore for MemRecords {
         Ok(true)
     }
 
-    fn delete(&self, key: &str) -> Result<bool, TenantError> {
+    fn delete(&self, key: &str, _auth: Option<&Auth>) -> Result<bool, TenantError> {
         Ok(self.records.lock().unwrap().remove(key).is_some())
+    }
+
+    fn verify(&self, key: &str, proof: &str) -> Result<bool, TenantError> {
+        let Some(line) = self.get(key)? else {
+            return Err(TenantError::NoSuchUser(key.to_string()));
+        };
+        let record = UserRecord::decode(&line)?;
+        let Some(stored) = record.verifier else { return Ok(false) };
+        let Ok(presented) = hex::decode(proof) else { return Ok(false) };
+        Ok(presented.as_slice() == stored.as_slice())
     }
 
     fn list(&self, prefix: &str) -> Result<Vec<String>, TenantError> {
@@ -193,14 +282,22 @@ impl<R: RecordStore + ?Sized> RecordStore for &R {
     fn get(&self, key: &str) -> Result<Option<String>, TenantError> {
         (**self).get(key)
     }
-    fn put(&self, key: &str, value: &str) -> Result<(), TenantError> {
-        (**self).put(key, value)
+    fn put(&self, key: &str, value: &str, auth: Option<&Auth>) -> Result<(), TenantError> {
+        (**self).put(key, value, auth)
     }
-    fn put_if_absent(&self, key: &str, value: &str) -> Result<bool, TenantError> {
-        (**self).put_if_absent(key, value)
+    fn put_if_absent(
+        &self,
+        key: &str,
+        value: &str,
+        auth: Option<&Auth>,
+    ) -> Result<bool, TenantError> {
+        (**self).put_if_absent(key, value, auth)
     }
-    fn delete(&self, key: &str) -> Result<bool, TenantError> {
-        (**self).delete(key)
+    fn delete(&self, key: &str, auth: Option<&Auth>) -> Result<bool, TenantError> {
+        (**self).delete(key, auth)
+    }
+    fn verify(&self, key: &str, proof: &str) -> Result<bool, TenantError> {
+        (**self).verify(key, proof)
     }
     fn list(&self, prefix: &str) -> Result<Vec<String>, TenantError> {
         (**self).list(prefix)
@@ -212,28 +309,51 @@ mod tests {
     use super::*;
     use pe_cloud::docs::DocsServer;
 
+    // Keys outside the reserved directory prefixes: the server enforces
+    // schema + auth on u/ p/ d/ g/ i/, which the directory tests cover.
     fn check_store<R: RecordStore>(records: R) {
-        assert_eq!(records.get("u/alice").unwrap(), None);
-        records.put("u/alice", "v1").unwrap();
-        assert_eq!(records.get("u/alice").unwrap().as_deref(), Some("v1"));
-        assert!(!records.put_if_absent("u/alice", "v2").unwrap());
-        assert_eq!(records.get("u/alice").unwrap().as_deref(), Some("v1"));
-        assert!(records.put_if_absent("u/bob", "b").unwrap());
-        records.put("g/doc1/alice", "w").unwrap();
-        assert_eq!(records.list("u/").unwrap(), vec!["u/alice", "u/bob"]);
-        assert!(records.delete("u/bob").unwrap());
-        assert!(!records.delete("u/bob").unwrap());
-        assert_eq!(records.list("u/").unwrap(), vec!["u/alice"]);
+        assert_eq!(records.get("x/alice").unwrap(), None);
+        records.put("x/alice", "v1", None).unwrap();
+        assert_eq!(records.get("x/alice").unwrap().as_deref(), Some("v1"));
+        assert!(!records.put_if_absent("x/alice", "v2", None).unwrap());
+        assert_eq!(records.get("x/alice").unwrap().as_deref(), Some("v1"));
+        assert!(records.put_if_absent("x/bob", "b", None).unwrap());
+        records.put("y/doc1/alice", "w", None).unwrap();
+        assert_eq!(records.list("x/").unwrap(), vec!["x/alice", "x/bob"]);
+        assert!(records.delete("x/bob", None).unwrap());
+        assert!(!records.delete("x/bob", None).unwrap());
+        assert_eq!(records.list("x/").unwrap(), vec!["x/alice"]);
+    }
+
+    fn check_verify<R: RecordStore>(records: R) {
+        let record = UserRecord {
+            user: "alice".into(),
+            salt: [3u8; 16],
+            iterations: 10,
+            verifier: Some([0xC4; 16]),
+        };
+        records.put_if_absent("u/alice", &record.encode(), None).unwrap();
+        let good = hex::encode(&[0xC4u8; 16]);
+        let bad = hex::encode(&[0xC5u8; 16]);
+        assert!(records.verify("u/alice", &good).unwrap());
+        assert!(!records.verify("u/alice", &bad).unwrap());
+        assert!(!records.verify("u/alice", "not hex").unwrap());
+        assert!(matches!(
+            records.verify("u/ghost", &good),
+            Err(TenantError::NoSuchUser(_))
+        ));
     }
 
     #[test]
     fn mem_records_semantics() {
         check_store(MemRecords::new());
+        check_verify(MemRecords::new());
     }
 
     #[test]
     fn service_records_semantics() {
         check_store(ServiceRecords::new(DocsServer::new()));
+        check_verify(ServiceRecords::new(DocsServer::new()));
     }
 
     #[test]
