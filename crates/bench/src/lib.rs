@@ -19,6 +19,7 @@
 //! | "typical use" keystroke throughput | — | `typing_throughput` |
 //! | Crypto fast-path throughput | [`crypto_bench::crypto_throughput`] | `crypto_throughput` |
 //! | Network load scaling | [`netload::net_load`] | `net_load` |
+//! | Live collaboration fan-out | [`collab::collab_load`] | `collab_load` |
 //! | Durable store append + replay | [`storebench`] | `store_recovery` |
 //! | Tenant key wrap / grant / recovery | [`tenantbench`] | `tenant_bench` |
 //!
@@ -30,6 +31,7 @@
 
 pub mod ablation;
 pub mod blowup;
+pub mod collab;
 pub mod crypto_bench;
 pub mod prepr_drbg;
 pub mod prepr_list;

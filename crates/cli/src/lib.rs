@@ -125,6 +125,40 @@ pub enum Command {
         /// Per-document password or tenant login.
         auth: Auth,
     },
+    /// Subscribe to a document's live change stream (requires
+    /// `--connect`): long-polls `GET /Doc/changes`, decrypts each pushed
+    /// update through the mediator, and prints it.
+    Watch {
+        /// Document id.
+        doc: String,
+        /// Per-document password or tenant login.
+        auth: Auth,
+        /// How many long-poll rounds to run before exiting.
+        rounds: usize,
+        /// Long-poll wait per round, in milliseconds.
+        wait_ms: u64,
+    },
+    /// Apply a scripted sequence of edit operations. With `--live`
+    /// (requires `--connect`) the session holds a change-stream
+    /// subscription open and rebases concurrent foreign edits between
+    /// operations; without it the ops are one-shot incremental saves.
+    Edit {
+        /// Document id.
+        doc: String,
+        /// Per-document password or tenant login.
+        auth: Auth,
+        /// Hold a live subscription and rebase concurrent edits.
+        live: bool,
+        /// Comma-separated ops: `i:AT:TEXT`, `d:AT:LEN`, `a:TEXT`
+        /// (byte offsets).
+        ops: String,
+        /// Extra long-poll rounds after the ops (live mode only).
+        rounds: usize,
+        /// Long-poll wait per round, in milliseconds (live mode only).
+        wait_ms: u64,
+        /// Editor name shown in sealed presence.
+        editor: String,
+    },
     /// Register a tenant user (per-user master key, random salt).
     UserRegister {
         /// User name.
@@ -316,6 +350,15 @@ COMMANDS:
   insert  --doc ID (--password PW | --user U --passphrase P) --at N --text TEXT
   delete  --doc ID (--password PW | --user U --passphrase P) --at N --len N
   history --doc ID (--password PW | --user U --passphrase P)
+  watch   --doc ID (--password PW | --user U --passphrase P)
+          [--rounds N] [--wait-ms MS]
+          (requires --connect; long-polls the server's change stream over
+           a dedicated connection and prints each decrypted update)
+  edit    --doc ID (--password PW | --user U --passphrase P) --ops SPEC
+          [--live] [--editor NAME] [--rounds N] [--wait-ms MS]
+          (SPEC is comma-separated i:AT:TEXT | d:AT:LEN | a:TEXT with
+           byte offsets; --live, with --connect, holds a change-stream
+           subscription open and rebases concurrent edits between ops)
   rotate  --doc ID --old PW --new PW
   raw     --doc ID
   user register --name U --passphrase P
@@ -438,6 +481,12 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, CliError> {
         let key = remaining[i]
             .strip_prefix("--")
             .ok_or_else(|| usage(&format!("unexpected argument {:?}", remaining[i])))?;
+        // `--live` is a bare boolean; everything else takes a value.
+        if key == "live" {
+            flags.insert("live".to_string(), "true".to_string());
+            i += 1;
+            continue;
+        }
         let value = remaining
             .get(i + 1)
             .ok_or_else(|| usage(&format!("--{key} needs a value")))?;
@@ -488,6 +537,41 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, CliError> {
             len: number(&flags, "len")?,
         },
         "history" => Command::History { doc: take(&flags, "doc")?, auth: auth(&flags)? },
+        "watch" => Command::Watch {
+            doc: take(&flags, "doc")?,
+            auth: auth(&flags)?,
+            rounds: match flags.get("rounds") {
+                Some(value) => value
+                    .parse::<usize>()
+                    .map_err(|_| usage("--rounds must be a number"))?,
+                None => 5,
+            },
+            wait_ms: match flags.get("wait-ms") {
+                Some(value) => value
+                    .parse::<u64>()
+                    .map_err(|_| usage("--wait-ms must be a number"))?,
+                None => 2000,
+            },
+        },
+        "edit" => Command::Edit {
+            doc: take(&flags, "doc")?,
+            auth: auth(&flags)?,
+            live: flags.contains_key("live"),
+            ops: take(&flags, "ops")?,
+            rounds: match flags.get("rounds") {
+                Some(value) => value
+                    .parse::<usize>()
+                    .map_err(|_| usage("--rounds must be a number"))?,
+                None => 3,
+            },
+            wait_ms: match flags.get("wait-ms") {
+                Some(value) => value
+                    .parse::<u64>()
+                    .map_err(|_| usage("--wait-ms must be a number"))?,
+                None => 1000,
+            },
+            editor: flags.get("editor").cloned().unwrap_or_else(|| "pedit".to_string()),
+        },
         "user" => match user_sub.as_deref().expect("set for the user verb") {
             "register" => Command::UserRegister {
                 name: take(&flags, "name")?,
@@ -753,6 +837,20 @@ fn doc_session<S: CloudService>(
                 output.push_str(&format!("\n[{index}] {shown}"));
             }
         }
+        Command::Edit { doc, auth, live: false, ops, .. } => {
+            let mut mediator = authed_mediator(service, rpc, kdf_iters, doc, auth)?;
+            let mut content = mediator.open_document(doc)?;
+            let ops = live_cli::parse_ops(ops)?;
+            let count = ops.len();
+            for op in &ops {
+                let delta = live_cli::op_delta(&content, op)?;
+                content = delta
+                    .apply(&content)
+                    .map_err(|e| CliError::Usage(format!("op does not fit document: {e}")))?;
+                mediator.save_delta(doc, &delta)?;
+            }
+            output.push_str(&format!("applied {count} op(s)\n{content}"));
+        }
         Command::Rotate { doc, old, new } => {
             let mut mediator = mediator(service, rpc, kdf_iters);
             mediator.register_password(doc, old);
@@ -808,7 +906,9 @@ fn doc_session<S: CloudService>(
         | Command::Serve { .. }
         | Command::Stop
         | Command::Fsck { .. }
-        | Command::Compact { .. } => {
+        | Command::Compact { .. }
+        | Command::Watch { .. }
+        | Command::Edit { live: true, .. } => {
             unreachable!("non-document command routed to doc_session")
         }
     }
@@ -877,6 +977,14 @@ pub fn run(options: &CliOptions) -> Result<String, CliError> {
     if let Some(target) = &options.connect {
         return remote::run_remote(target, options);
     }
+    if matches!(
+        options.command,
+        Command::Watch { .. } | Command::Edit { live: true, .. }
+    ) {
+        return Err(CliError::Usage(format!(
+            "watch and edit --live subscribe to a running server; use --connect HOST:PORT\n\n{USAGE}"
+        )));
+    }
     let (server, backing) = load_store(&options.store)?;
     let output = match &options.command {
         Command::List => {
@@ -928,6 +1036,7 @@ mod serve {
 
     use pe_cloud::docs::DocsServer;
     use pe_cloud::{CloudService, Method, Request, Response};
+    use pe_collab::{LiveDocs, LiveService};
     use pe_net::{HttpServer, Router, ServerConfig};
     use pe_store::{DocStore, FsyncPolicy, ShardedLogStore};
 
@@ -1045,9 +1154,13 @@ mod serve {
             store: Arc::clone(&store),
             stop: Arc::clone(&stop),
         };
+        // The document protocol mounts wrapped in the live front-end:
+        // every accepted save fans out to parked `/Doc/changes`
+        // subscribers, and all other routes pass straight through.
+        let live = LiveDocs::new(Arc::clone(&server));
         let router = Router::new()
             .mount("/admin", Arc::new(admin))
-            .mount("", Arc::clone(&server) as Arc<dyn pe_net::Service>);
+            .mount("", Arc::new(LiveService(live)) as Arc<dyn pe_net::Service>);
         let mut config = ServerConfig::default();
         if let Some(workers) = workers {
             config.workers = workers;
@@ -1138,6 +1251,26 @@ mod remote {
                 };
                 admin_get(&client, "/admin/stats", &[("format", format)])
             }
+            Command::Watch { doc, auth, rounds, wait_ms } => crate::live_cli::run_watch(
+                addr,
+                options,
+                doc,
+                auth,
+                *rounds,
+                *wait_ms,
+            ),
+            Command::Edit { live: true, doc, auth, ops, rounds, wait_ms, editor } => {
+                crate::live_cli::run_live_edit(
+                    addr,
+                    options,
+                    doc,
+                    auth,
+                    ops,
+                    *rounds,
+                    *wait_ms,
+                    editor,
+                )
+            }
             Command::Serve { .. } | Command::Fsck { .. } | Command::Compact { .. } => {
                 unreachable!("handled before remote dispatch")
             }
@@ -1145,6 +1278,223 @@ mod remote {
                 doc_session(client, options.rpc, crate::effective_kdf_iters(options), command)
             }
         }
+    }
+}
+
+mod live_cli {
+    //! The `watch` and `edit --live` modes: a [`LiveSession`] over a
+    //! real socket — pooled connections for requests, one dedicated
+    //! connection for the long-poll subscription — with the privacy
+    //! mediator *shared* between both paths so its ciphertext mirror
+    //! sees every direction of traffic.
+
+    use std::net::SocketAddr;
+    use std::time::Duration;
+
+    use pe_client::{DocsClient, PrivateChannel, SaveOutcome};
+    use pe_collab::{CollabError, LiveSession, LiveTransport, SharedChannel};
+    use pe_core::PresenceSealer;
+    use pe_delta::Delta;
+    use pe_net::HttpClient;
+
+    use crate::{authed_mediator, Auth, CliError, CliOptions};
+
+    type LiveChannel = SharedChannel<PrivateChannel<LiveTransport>>;
+    type Session = LiveSession<LiveChannel, LiveChannel>;
+
+    /// One scripted edit operation (byte offsets).
+    pub(crate) enum EditOp {
+        /// `i:AT:TEXT`
+        Insert { at: usize, text: String },
+        /// `d:AT:LEN`
+        Delete { at: usize, len: usize },
+        /// `a:TEXT`
+        Append { text: String },
+    }
+
+    /// Parses a comma-separated `--ops` spec. An empty spec is a valid
+    /// empty script (useful for a watch-like live session that only
+    /// merges foreign edits).
+    pub(crate) fn parse_ops(spec: &str) -> Result<Vec<EditOp>, CliError> {
+        let bad = |entry: &str| {
+            CliError::Usage(format!(
+                "bad op {entry:?}: expected i:AT:TEXT, d:AT:LEN, or a:TEXT"
+            ))
+        };
+        let mut ops = Vec::new();
+        for entry in spec.split(',').filter(|e| !e.is_empty()) {
+            let (kind, rest) = entry.split_once(':').ok_or_else(|| bad(entry))?;
+            let op = match kind {
+                "i" => {
+                    let (at, text) = rest.split_once(':').ok_or_else(|| bad(entry))?;
+                    EditOp::Insert {
+                        at: at.parse().map_err(|_| bad(entry))?,
+                        text: text.to_string(),
+                    }
+                }
+                "d" => {
+                    let (at, len) = rest.split_once(':').ok_or_else(|| bad(entry))?;
+                    EditOp::Delete {
+                        at: at.parse().map_err(|_| bad(entry))?,
+                        len: len.parse().map_err(|_| bad(entry))?,
+                    }
+                }
+                "a" => EditOp::Append { text: rest.to_string() },
+                _ => return Err(bad(entry)),
+            };
+            ops.push(op);
+        }
+        Ok(ops)
+    }
+
+    /// Builds the char-based [`Delta`] an op denotes against `content`
+    /// (ops use byte offsets, deltas count characters).
+    pub(crate) fn op_delta(content: &str, op: &EditOp) -> Result<Delta, CliError> {
+        let chars_at = |at: usize| {
+            content
+                .get(..at)
+                .map(|prefix| prefix.chars().count())
+                .ok_or_else(|| CliError::Usage(format!("offset {at} is out of range")))
+        };
+        let mut builder = Delta::builder();
+        match op {
+            EditOp::Insert { at, text } => {
+                builder.retain(chars_at(*at)?).insert(text);
+            }
+            EditOp::Delete { at, len } => {
+                let span = content
+                    .get(*at..*at + *len)
+                    .map(|s| s.chars().count())
+                    .ok_or_else(|| {
+                        CliError::Usage(format!("range {at}+{len} is out of range"))
+                    })?;
+                builder.retain(chars_at(*at)?).delete(span);
+            }
+            EditOp::Append { text } => {
+                builder.retain(content.chars().count()).insert(text);
+            }
+        }
+        Ok(builder.build())
+    }
+
+    fn net(e: CollabError) -> CliError {
+        CliError::Net(e.to_string())
+    }
+
+    /// Opens the document and joins the live session. The edit path and
+    /// the poll path share ONE mediator (via [`SharedChannel`]): foreign
+    /// ciphertext deltas advance the same mirror the next save diffs
+    /// against.
+    fn join(
+        addr: SocketAddr,
+        options: &CliOptions,
+        doc: &str,
+        auth: &Auth,
+        editor: &str,
+        wait_ms: u64,
+    ) -> Result<Session, CliError> {
+        let kdf_iters = crate::effective_kdf_iters(options);
+        // The subscription read timeout must outlast the server's poll
+        // window or an idle long-poll looks like a dead connection.
+        let read_timeout = Duration::from_millis(wait_ms) + Duration::from_secs(30);
+        let transport = LiveTransport::new(HttpClient::new(addr), read_timeout);
+        let mediator = authed_mediator(transport, options.rpc, kdf_iters, doc, auth)?;
+        let channel = SharedChannel::new(PrivateChannel(mediator));
+        let client = DocsClient::open(channel.clone(), doc)
+            .map_err(|e| CliError::Net(format!("open {doc}: {e:?}")))?;
+        let sealer = match auth {
+            Auth::Password(password) => {
+                Some(PresenceSealer::from_password(doc, password, kdf_iters))
+            }
+            // A tenant presence sealer would need the unwrapped data key;
+            // presence stays unpublished for tenant logins for now.
+            Auth::Tenant { .. } => None,
+        };
+        LiveSession::start(client, channel, editor, sealer).map_err(net)
+    }
+
+    pub(crate) fn run_watch(
+        addr: SocketAddr,
+        options: &CliOptions,
+        doc: &str,
+        auth: &Auth,
+        rounds: usize,
+        wait_ms: u64,
+    ) -> Result<String, CliError> {
+        let mut session = join(addr, options, doc, auth, "watcher", wait_ms)?;
+        println!("watching {doc} from seq {}", session.since());
+        let wait = Duration::from_millis(wait_ms);
+        let mut applied = 0usize;
+        for _ in 0..rounds {
+            let outcome = session.step(wait).map_err(net)?;
+            applied += outcome.applied;
+            if outcome.applied > 0 || outcome.resynced {
+                // Stream updates as they land; run() prints the summary.
+                println!("[seq {}] {}", outcome.head, session.content());
+            }
+            for peer in session.peers().values() {
+                println!("[presence] {} at {}", peer.editor, peer.cursor);
+            }
+        }
+        Ok(format!(
+            "watched {rounds} round(s): {applied} change(s), {} resync(s); final seq {}\n{}",
+            session.resyncs(),
+            session.since(),
+            session.content(),
+        ))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_live_edit(
+        addr: SocketAddr,
+        options: &CliOptions,
+        doc: &str,
+        auth: &Auth,
+        ops: &str,
+        rounds: usize,
+        wait_ms: u64,
+        editor: &str,
+    ) -> Result<String, CliError> {
+        let ops = parse_ops(ops)?;
+        let mut session = join(addr, options, doc, auth, editor, wait_ms)?;
+        let wait = Duration::from_millis(wait_ms);
+        let mut merged = 0usize;
+        for op in &ops {
+            {
+                let editor = session.client().editor();
+                match op {
+                    EditOp::Insert { at, text } => editor.insert(*at, text),
+                    EditOp::Delete { at, len } => editor.delete(*at, *len),
+                    EditOp::Append { text } => {
+                        let len = editor.len();
+                        editor.insert(len, text);
+                    }
+                }
+            }
+            if session.save() == SaveOutcome::Conflict {
+                return Err(CliError::Net(format!("live save of {doc} failed")));
+            }
+            // Drain anything that landed while we were typing without
+            // blocking; the trailing rounds below do the real waiting.
+            merged += session.step(Duration::ZERO).map_err(net)?.applied;
+        }
+        for _ in 0..rounds {
+            let outcome = session.step(wait).map_err(net)?;
+            merged += outcome.applied;
+            if outcome.applied > 0 || outcome.resynced {
+                // A foreign edit may have been rebased under pending
+                // local state; push the converged text back.
+                if session.save() == SaveOutcome::Conflict {
+                    return Err(CliError::Net(format!("live save of {doc} failed")));
+                }
+            }
+        }
+        Ok(format!(
+            "applied {} op(s); merged {merged} foreign change(s), {} resync(s)\n{}",
+            ops.len(),
+            session.resyncs(),
+            session.content(),
+        ))
     }
 }
 

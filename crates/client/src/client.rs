@@ -6,7 +6,7 @@ use pe_cloud::{CloudService, Request, Response};
 use pe_crypto::form;
 use pe_crypto::hex;
 use pe_crypto::sha256::Sha256;
-use pe_delta::{diff, Side};
+use pe_delta::{diff, Delta, Side};
 use pe_extension::{DocsMediator, ExtensionError};
 
 use crate::editor::Editor;
@@ -76,6 +76,20 @@ pub struct DocsClient<C> {
     synced: String,
     sent_full_save: bool,
     conflicts: usize,
+    /// Server version carried by the last successful save Ack — the
+    /// change-stream sequence of the client's own save, used by live
+    /// sessions to suppress the echo of their own change.
+    last_ack_version: Option<u64>,
+    /// Server version `synced` is known to correspond to, when armed.
+    /// Sent as the `baseVersion` precondition on delta saves so a save
+    /// racing a collaborator is rejected (409) instead of landing on a
+    /// base it was not computed against. Arming is **opt-in** via
+    /// [`DocsClient::note_server_version`] (live sessions do this):
+    /// classic plaintext sessions stay on the paper's Ack-hash conflict
+    /// detection and never send the precondition, so their observable
+    /// protocol is unchanged. Once armed, every sync point (fetch, save
+    /// ack) refreshes it.
+    base_version: Option<u64>,
     /// Delay schedule between failed save attempts in
     /// [`DocsClient::save_with_retry`] and [`DocsClient::save_merging`].
     /// Hammering a struggling server with zero-delay retries only feeds
@@ -105,6 +119,8 @@ impl<C: Channel> DocsClient<C> {
             synced: content,
             sent_full_save: false,
             conflicts: 0,
+            last_ack_version: None,
+            base_version: None,
             backoff: BackoffPolicy::client_default(0),
         })
     }
@@ -149,6 +165,90 @@ impl<C: Channel> DocsClient<C> {
         self.channel
     }
 
+    /// The document this session edits.
+    pub fn doc_id(&self) -> &str {
+        &self.doc_id
+    }
+
+    /// Borrows the channel (live sessions route out-of-band requests —
+    /// change polls, presence — through the same mediator/transport).
+    pub fn channel(&mut self) -> &mut C {
+        &mut self.channel
+    }
+
+    /// Server version acknowledged for this client's most recent save,
+    /// if the server reports versions.
+    pub fn last_ack_version(&self) -> Option<u64> {
+        self.last_ack_version
+    }
+
+    /// Applies a *foreign* delta pushed from the change stream: local
+    /// unsent edits are rebased over it with operational transformation,
+    /// so the buffer keeps the user's intent on top of the collaborator's
+    /// change and the sync point advances to the server's new content.
+    ///
+    /// # Errors
+    ///
+    /// Returns the delta error when `foreign` does not apply to the sync
+    /// point (the stream and the session disagree about the base — the
+    /// caller should fall back to a full resync).
+    pub fn apply_foreign_delta(&mut self, foreign: &Delta) -> Result<(), pe_delta::DeltaError> {
+        let new_synced = foreign.apply(&self.synced)?;
+        let local = diff(&self.synced, self.editor.content());
+        let base_len = self.synced.chars().count();
+        let rebased = local.transform(foreign, base_len, Side::Right)?;
+        pe_observe::static_counter!("client.foreign_deltas").inc();
+        self.editor.reset(&new_synced);
+        if !rebased.is_identity() {
+            self.editor.apply(rebased);
+        }
+        self.synced = new_synced;
+        // The server already holds the new base; stay incremental. Its
+        // version is unknown until the caller reports it.
+        self.sent_full_save = true;
+        self.base_version = None;
+        Ok(())
+    }
+
+    /// Records the server version the current sync point corresponds to.
+    /// Live sessions call this after folding stream changes at a known
+    /// sequence, re-arming the `baseVersion` save precondition that
+    /// [`DocsClient::apply_foreign_delta`] and
+    /// [`DocsClient::merge_server_content`] conservatively clear.
+    pub fn note_server_version(&mut self, version: u64) {
+        self.base_version = Some(version);
+    }
+
+    /// Resynchronizes on authoritative server content (the change
+    /// stream's full-content fallback) while preserving unsent local
+    /// edits, rebasing them over whatever changed server-side.
+    pub fn merge_server_content(&mut self, server_content: &str) {
+        if server_content == self.synced {
+            return;
+        }
+        let local = diff(&self.synced, self.editor.content());
+        let foreign = diff(&self.synced, server_content);
+        let base_len = self.synced.chars().count();
+        pe_observe::static_counter!("client.merges").inc();
+        let rebased = match local.transform(&foreign, base_len, Side::Right) {
+            Ok(rebased) => rebased,
+            // Transform of two well-formed deltas over their common base
+            // cannot fail; defensively drop local edits rather than
+            // diverging from the server.
+            Err(_) => {
+                pe_observe::static_counter!("client.merge_transform_failures").inc();
+                diff(server_content, server_content)
+            }
+        };
+        self.editor.reset(server_content);
+        if !rebased.is_identity() {
+            self.editor.apply(rebased);
+        }
+        self.synced = server_content.to_string();
+        self.sent_full_save = true;
+        self.base_version = None;
+    }
+
     fn local_hash(&self) -> String {
         hex::encode(&Sha256::digest(self.editor.content().as_bytes())[..8])
     }
@@ -168,7 +268,14 @@ impl<C: Channel> DocsClient<C> {
         pe_observe::static_counter!("client.save_attempts").inc();
         let response = if self.sent_full_save {
             let delta = self.editor.take_pending();
-            let body = form::encode_pairs(&[("delta", delta.serialize().as_str())]);
+            let serialized = delta.serialize();
+            let mut fields: Vec<(&str, String)> = vec![("delta", serialized)];
+            if let Some(base) = self.base_version {
+                fields.push(("baseVersion", base.to_string()));
+            }
+            let pairs: Vec<(&str, &str)> =
+                fields.iter().map(|(k, v)| (*k, v.as_str())).collect();
+            let body = form::encode_pairs(&pairs);
             self.channel.exchange(&Request::post("/Doc", &[("docID", &self.doc_id)], body))
         } else {
             self.editor.take_pending(); // folded into the full save
@@ -185,12 +292,20 @@ impl<C: Channel> DocsClient<C> {
         let body = response.body_text().unwrap_or("");
         let pairs = form::parse_pairs(body).unwrap_or_default();
         let ack_hash = form::first_value(&pairs, "contentFromServerHash").unwrap_or("");
+        if let Some(version) = form::first_value(&pairs, "version").and_then(|v| v.parse().ok())
+        {
+            self.last_ack_version = Some(version);
+        }
         if ack_hash == "0" || ack_hash == self.local_hash() {
             self.synced = self.editor.content().to_string();
+            if self.base_version.is_some() {
+                self.base_version = self.last_ack_version;
+            }
             (SaveOutcome::Saved, response.status)
         } else {
             self.conflicts += 1;
             pe_observe::static_counter!("client.save_conflicts").inc();
+            pe_observe::static_counter!("client.save_ack_divergence").inc();
             (SaveOutcome::Conflict, response.status)
         }
     }
@@ -205,6 +320,13 @@ impl<C: Channel> DocsClient<C> {
         }
         let body = response.body_text().unwrap_or("");
         let pairs = form::parse_pairs(body).unwrap_or_default();
+        if self.base_version.is_some() {
+            if let Some(version) =
+                form::first_value(&pairs, "version").and_then(|v| v.parse().ok())
+            {
+                self.base_version = Some(version);
+            }
+        }
         form::first_value(&pairs, "content").map(str::to_string)
     }
 
@@ -428,6 +550,81 @@ mod tests {
             DocsClient::open(DirectChannel(Arc::clone(&server)), &doc_id).unwrap();
         client.editor().insert(0, "x");
         assert_eq!(client.save(), SaveOutcome::Saved);
+        assert_eq!(client.save(), SaveOutcome::Clean);
+    }
+
+    #[test]
+    fn save_ack_carries_the_server_version() {
+        let server = Arc::new(DocsServer::new());
+        let doc_id = new_doc(&server);
+        let mut client =
+            DocsClient::open(DirectChannel(Arc::clone(&server)), &doc_id).unwrap();
+        assert_eq!(client.last_ack_version(), None);
+        client.editor().insert(0, "v1");
+        assert_eq!(client.save(), SaveOutcome::Saved);
+        let first = client.last_ack_version().expect("version in ack");
+        client.editor().insert(2, " v2");
+        assert_eq!(client.save(), SaveOutcome::Saved);
+        let second = client.last_ack_version().expect("version in ack");
+        assert!(second > first, "sequence advances per accepted save");
+    }
+
+    #[test]
+    fn foreign_delta_rebases_pending_local_edits() {
+        let server = Arc::new(DocsServer::new());
+        let doc_id = new_doc(&server);
+        let mut client =
+            DocsClient::open(DirectChannel(Arc::clone(&server)), &doc_id).unwrap();
+        client.editor().insert(0, "shared base");
+        assert_eq!(client.save(), SaveOutcome::Saved);
+        // A collaborator lands a change on the server…
+        let mut other =
+            DocsClient::open(DirectChannel(Arc::clone(&server)), &doc_id).unwrap();
+        other.editor().replace(0, 6, "SHARED");
+        assert_eq!(other.save(), SaveOutcome::Saved);
+        // …while this client holds a pending local edit on the old base.
+        client.editor().insert(11, " +local");
+        let foreign = diff("shared base", "SHARED base");
+        client.apply_foreign_delta(&foreign).unwrap();
+        assert_eq!(client.content(), "SHARED base +local");
+        // Saving after the merge converges without conflict.
+        assert_eq!(client.save(), SaveOutcome::Saved);
+        assert_eq!(server.stored_content(&doc_id).unwrap(), "SHARED base +local");
+    }
+
+    #[test]
+    fn foreign_delta_with_wrong_base_is_an_error() {
+        let server = Arc::new(DocsServer::new());
+        let doc_id = new_doc(&server);
+        let mut client =
+            DocsClient::open(DirectChannel(Arc::clone(&server)), &doc_id).unwrap();
+        client.editor().insert(0, "abc");
+        assert_eq!(client.save(), SaveOutcome::Saved);
+        // A delta built against a much longer document cannot apply.
+        let foreign = diff("a much longer base document", "a much longer base documentX");
+        assert!(client.apply_foreign_delta(&foreign).is_err());
+        // State is untouched — the caller resyncs instead.
+        assert_eq!(client.content(), "abc");
+    }
+
+    #[test]
+    fn merge_server_content_preserves_local_intent() {
+        let server = Arc::new(DocsServer::new());
+        let doc_id = new_doc(&server);
+        let mut client =
+            DocsClient::open(DirectChannel(Arc::clone(&server)), &doc_id).unwrap();
+        client.editor().insert(0, "line one");
+        assert_eq!(client.save(), SaveOutcome::Saved);
+        let mut other =
+            DocsClient::open(DirectChannel(Arc::clone(&server)), &doc_id).unwrap();
+        other.editor().replace(0, 4, "LINE");
+        assert_eq!(other.save(), SaveOutcome::Saved);
+        client.editor().insert(8, " local-tail");
+        client.merge_server_content("LINE one");
+        assert_eq!(client.content(), "LINE one local-tail");
+        assert_eq!(client.save(), SaveOutcome::Saved);
+        // Identical content is a no-op that keeps pending edits pending.
+        client.merge_server_content("LINE one local-tail");
         assert_eq!(client.save(), SaveOutcome::Clean);
     }
 }

@@ -38,6 +38,32 @@ use crate::{CloudService, Request, Response};
 /// Maximum stored document size in bytes (Google's 2011 limit).
 pub const MAX_DOC_BYTES: usize = 500 * 1024;
 
+/// One accepted save, as observed by a [`SaveListener`].
+///
+/// The payload is whatever the client shipped — ciphertext when the
+/// privacy extension is active. The server fans it out without ever
+/// interpreting it.
+#[derive(Debug, Clone)]
+pub enum SaveChange {
+    /// A full `docContents` save: the complete new stored content.
+    Full(String),
+    /// An incremental `delta` save: the serialized delta text.
+    Delta(String),
+}
+
+/// Observer of accepted saves — the hook the live-collaboration layer
+/// (`pe-collab`) uses to fan changes out to parked subscribers.
+///
+/// `seq` is the document's post-save version counter: monotonic, durable
+/// (it rides the WAL), and therefore a valid resume cursor across server
+/// restarts. Called synchronously after the store accepted the save and
+/// before the Ack is returned; implementations must be fast and must not
+/// call back into the server.
+pub trait SaveListener: Send + Sync {
+    /// One accepted save on `doc_id`, now at version `seq`.
+    fn on_save(&self, doc_id: &str, seq: u64, change: &SaveChange);
+}
+
 /// Metadata key for the document id counter.
 const META_NEXT_DOC: &str = "next_doc";
 /// Metadata key for the session id counter.
@@ -83,6 +109,8 @@ pub struct DocsServer {
     /// Serializes tenant-record mutations so their check-then-put pairs
     /// (registration uniqueness, ownership checks) are atomic.
     tenant_lock: std::sync::Mutex<()>,
+    /// Fan-out hook for accepted saves (live collaboration).
+    save_listener: std::sync::RwLock<Option<Arc<dyn SaveListener>>>,
 }
 
 impl std::fmt::Debug for DocsServer {
@@ -118,7 +146,25 @@ impl DocsServer {
     /// [`pe_store::LogStore`] makes every acknowledged save survive a
     /// crash; documents already in the store are served as-is.
     pub fn with_store(store: Arc<dyn DocStore>) -> DocsServer {
-        DocsServer { store, tenant_lock: std::sync::Mutex::new(()) }
+        DocsServer {
+            store,
+            tenant_lock: std::sync::Mutex::new(()),
+            save_listener: std::sync::RwLock::new(None),
+        }
+    }
+
+    /// Installs the observer notified after every accepted save (at most
+    /// one; a second call replaces the first). Used by `pe-collab` to
+    /// wake parked `/Doc/changes` subscribers.
+    pub fn set_save_listener(&self, listener: Arc<dyn SaveListener>) {
+        *self.save_listener.write().unwrap_or_else(|p| p.into_inner()) = Some(listener);
+    }
+
+    fn publish_save(&self, doc_id: &str, seq: u64, change: &SaveChange) {
+        let guard = self.save_listener.read().unwrap_or_else(|p| p.into_inner());
+        if let Some(listener) = guard.as_ref() {
+            listener.on_save(doc_id, seq, change);
+        }
     }
 
     /// Guard held for the duration of any tenant-record mutation.
@@ -307,14 +353,16 @@ impl DocsServer {
             Ok(n) => format!("s{n}"),
             Err(e) => return store_error(&e),
         };
-        let Some(content) = self.stored_content(doc_id) else {
+        let Some(doc) = self.store.get(doc_id) else {
             return Response::error(404, "no such document");
         };
+        let content = String::from_utf8_lossy(&doc.content).into_owned();
         let hash = Self::content_hash(&content);
         Response::ok(form::encode_pairs(&[
             ("sessionID", session.as_str()),
             ("content", content.as_str()),
             ("contentHash", hash.as_str()),
+            ("version", doc.version.to_string().as_str()),
         ]))
     }
 
@@ -325,45 +373,78 @@ impl DocsServer {
         if !self.store.contains(doc_id) {
             return Response::error(404, "no such document");
         }
-        let new_content = if let Some(contents) = form::first_value(&pairs, "docContents") {
-            if contents.len() > MAX_DOC_BYTES {
-                return Response::error(413, "document exceeds 500kB limit");
-            }
-            if let Err(e) = self.store.put_full(doc_id, contents.as_bytes()) {
-                return store_error(&e);
-            }
-            contents.to_string()
-        } else if let Some(delta_text) = form::first_value(&pairs, "delta") {
-            let Ok(delta) = Delta::parse(delta_text) else {
-                return Response::error(400, "malformed delta");
+        let (new_content, version, change) =
+            if let Some(contents) = form::first_value(&pairs, "docContents") {
+                if contents.len() > MAX_DOC_BYTES {
+                    return Response::error(413, "document exceeds 500kB limit");
+                }
+                let version = match self.store.put_full(doc_id, contents.as_bytes()) {
+                    Ok(v) => v,
+                    Err(e) => return store_error(&e),
+                };
+                (contents.to_string(), version, SaveChange::Full(contents.to_string()))
+            } else if let Some(delta_text) = form::first_value(&pairs, "delta") {
+                let Ok(delta) = Delta::parse(delta_text) else {
+                    return Response::error(400, "malformed delta");
+                };
+                // `baseVersion` is the client's optimistic-concurrency
+                // precondition: reject the delta (409) unless the document
+                // is still at the version it was computed against. Checked
+                // atomically with the apply — a racing save cannot slip
+                // between check and write.
+                let base_version = form::first_value(&pairs, "baseVersion")
+                    .and_then(|v| v.parse::<u64>().ok());
+                let limits = DeltaLimits {
+                    max_len: MAX_DOC_BYTES,
+                    require_utf8: true,
+                    base_version,
+                };
+                match self.store.apply_delta(doc_id, &delta, limits) {
+                    Ok(state) => (
+                        String::from_utf8_lossy(&state.content).into_owned(),
+                        state.version,
+                        SaveChange::Delta(delta_text.to_string()),
+                    ),
+                    Err(e) => return store_error(&e),
+                }
+            } else {
+                return Response::error(400, "save needs docContents or delta");
             };
-            let limits = DeltaLimits { max_len: MAX_DOC_BYTES, require_utf8: true };
-            match self.store.apply_delta(doc_id, &delta, limits) {
-                Ok(state) => String::from_utf8_lossy(&state.content).into_owned(),
-                Err(e) => return store_error(&e),
-            }
-        } else {
-            return Response::error(400, "save needs docContents or delta");
-        };
+        self.publish_save(doc_id, version, &change);
         // The Ack conveys "the current content to the best of the
         // server's knowledge" (§IV-A). Like the real service, the content
         // field stays empty on ordinary saves (the client already holds
         // the content); the hash is what collaboration coordination uses.
+        // `version` is the change-stream sequence this save landed at.
         let hash = Self::content_hash(&new_content);
         Response::ok(form::encode_pairs(&[
             ("contentFromServer", ""),
             ("contentFromServerHash", hash.as_str()),
+            ("version", version.to_string().as_str()),
         ]))
     }
 
-    fn load(&self, doc_id: &str) -> Response {
-        let Some(content) = self.stored_content(doc_id) else {
+    fn load(&self, doc_id: &str, caller_hash: Option<&str>) -> Response {
+        let Some(doc) = self.store.get(doc_id) else {
             return Response::error(404, "no such document");
         };
+        let content = String::from_utf8_lossy(&doc.content).into_owned();
         let hash = Self::content_hash(&content);
+        let version = doc.version.to_string();
+        // 304-style fast path for passive readers: when the caller already
+        // holds the current content (hashes match), skip the body.
+        if caller_hash == Some(hash.as_str()) {
+            pe_observe::static_counter!("docs.load_unchanged").inc();
+            return Response::ok(form::encode_pairs(&[
+                ("unchanged", "1"),
+                ("contentHash", hash.as_str()),
+                ("version", version.as_str()),
+            ]));
+        }
         Response::ok(form::encode_pairs(&[
             ("content", content.as_str()),
             ("contentHash", hash.as_str()),
+            ("version", version.as_str()),
         ]))
     }
 
@@ -436,7 +517,9 @@ impl CloudService for DocsServer {
                 }
                 Some(other) => Response::error(400, &format!("unknown command {other}")),
             },
-            (crate::Method::Get, "/Doc/load") => self.load(doc_id),
+            (crate::Method::Get, "/Doc/load") => {
+                self.load(doc_id, request.query_param("hash"))
+            }
             (crate::Method::Get, "/tenant/record") => self.tenant_record_get(request),
             (crate::Method::Post, "/tenant/record") => self.tenant_record_post(request),
             (crate::Method::Post, "/tenant/verify") => self.tenant_verify(request),
@@ -655,6 +738,70 @@ mod tests {
         save_delta(&server, &doc, "+x");
         save_delta(&server, &doc, "+y");
         assert_eq!(server.stored_version(&doc), Some(3));
+    }
+
+    #[test]
+    fn ack_and_load_carry_version() {
+        let server = DocsServer::new();
+        let doc = create_doc(&server);
+        let resp = save_contents(&server, &doc, "v1");
+        let pairs = form::parse_pairs(resp.body_text().unwrap()).unwrap();
+        assert_eq!(form::first_value(&pairs, "version"), Some("1"));
+        let resp = save_delta(&server, &doc, "+x");
+        let pairs = form::parse_pairs(resp.body_text().unwrap()).unwrap();
+        assert_eq!(form::first_value(&pairs, "version"), Some("2"));
+        let resp = server.handle(&Request::get("/Doc/load", &[("docID", &doc)]));
+        let pairs = form::parse_pairs(resp.body_text().unwrap()).unwrap();
+        assert_eq!(form::first_value(&pairs, "version"), Some("2"));
+    }
+
+    #[test]
+    fn load_with_matching_hash_skips_body() {
+        let server = DocsServer::new();
+        let doc = create_doc(&server);
+        save_contents(&server, &doc, "cached content");
+        let hash = DocsServer::content_hash("cached content");
+        let resp =
+            server.handle(&Request::get("/Doc/load", &[("docID", &doc), ("hash", &hash)]));
+        let pairs = form::parse_pairs(resp.body_text().unwrap()).unwrap();
+        assert_eq!(form::first_value(&pairs, "unchanged"), Some("1"));
+        assert_eq!(form::first_value(&pairs, "contentHash"), Some(hash.as_str()));
+        assert_eq!(form::first_value(&pairs, "content"), None, "body must be skipped");
+        // A stale hash still gets the full body.
+        let resp =
+            server.handle(&Request::get("/Doc/load", &[("docID", &doc), ("hash", "stale")]));
+        let pairs = form::parse_pairs(resp.body_text().unwrap()).unwrap();
+        assert_eq!(form::first_value(&pairs, "content"), Some("cached content"));
+        assert_eq!(form::first_value(&pairs, "unchanged"), None);
+    }
+
+    #[test]
+    fn save_listener_sees_accepted_saves_only() {
+        struct Recorder(std::sync::Mutex<Vec<(String, u64, String)>>);
+        impl SaveListener for Recorder {
+            fn on_save(&self, doc_id: &str, seq: u64, change: &SaveChange) {
+                let kind = match change {
+                    SaveChange::Full(c) => format!("full:{c}"),
+                    SaveChange::Delta(d) => format!("delta:{d}"),
+                };
+                self.0.lock().unwrap().push((doc_id.to_string(), seq, kind));
+            }
+        }
+        let server = DocsServer::new();
+        let recorder = Arc::new(Recorder(std::sync::Mutex::new(Vec::new())));
+        server.set_save_listener(recorder.clone());
+        let doc = create_doc(&server);
+        save_contents(&server, &doc, "v1");
+        save_delta(&server, &doc, "+x");
+        save_delta(&server, &doc, "=100\t-1"); // conflict: must not publish
+        let events = recorder.0.lock().unwrap().clone();
+        assert_eq!(
+            events,
+            vec![
+                (doc.clone(), 1, "full:v1".to_string()),
+                (doc.clone(), 2, "delta:+x".to_string()),
+            ]
+        );
     }
 
     #[test]

@@ -1,0 +1,39 @@
+//! `pe-collab`: real-time collaborative editing over encrypted deltas.
+//!
+//! The paper's privacy extension makes saves incremental and encrypted;
+//! this crate adds the missing half of collaboration — *seeing other
+//! people's edits as they happen* — without widening what the untrusted
+//! server learns:
+//!
+//! * [`ChangeBus`] — per-document fan-out of accepted saves, keyed by
+//!   the store's durable version counter (the *change sequence*), with a
+//!   bounded retention ring and an explicit resync signal for cursors
+//!   that fall behind;
+//! * [`LiveDocs`] / [`LiveService`] — the server front-end: long-poll
+//!   `GET /Doc/changes` that parks subscriber connections in the
+//!   `pe-net` event loop (no thread pinned per idle subscriber), woken
+//!   by the next accepted save; sealed-presence relay on
+//!   `/Doc/presence`;
+//! * [`LiveSession`] — the client loop: subscribes from a cursor,
+//!   rebases pending local edits over pushed foreign deltas with
+//!   operational transformation, skips its own save echoes, falls back
+//!   to full-content merge on resync, and publishes its cursor as a
+//!   sealed blob the server cannot read.
+//!
+//! The server fans out exactly the bytes clients upload — ciphertext
+//! under the extension — so the fan-out path learns nothing beyond
+//! timing and sizes, the same leakage the save path already has.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bus;
+pub mod live;
+pub mod session;
+
+pub use bus::{ChangeBus, Collected, DEFAULT_RING_CAPACITY};
+pub use live::{LiveDocs, LiveService, DEFAULT_WAIT, MAX_WAIT};
+pub use session::{
+    changes_request, parse_changes, ChangesUpdate, CollabError, LiveSession, LiveTransport,
+    SharedChannel, StepOutcome, SubscriptionTransport,
+};

@@ -65,6 +65,7 @@ mod error;
 pub mod guard;
 mod keys;
 mod pack;
+pub mod presence;
 mod recb;
 mod rpc;
 mod splice;
@@ -75,6 +76,7 @@ pub use error::CoreError;
 pub use guard::MerkleGuard;
 pub use keys::{DocumentKey, Mode, SchemeParams};
 pub use pack::SealedBlock;
+pub use presence::{Presence, PresenceSealer};
 pub use recb::RecbDocument;
 pub use rpc::RpcDocument;
 pub use transform::{patches_to_delta, update_wire_len, DeltaTransformer};

@@ -12,7 +12,7 @@ use pe_crypto::drbg::NonceSource;
 use pe_crypto::form;
 use pe_crypto::sha256::Sha256;
 use pe_crypto::{hex, CtrDrbg, SystemRandom};
-use pe_delta::Delta;
+use pe_delta::{diff, Delta};
 use pe_tenant::{ServiceRecords, Session, TenantDirectory};
 
 use crate::countermeasures;
@@ -56,6 +56,13 @@ struct DocState {
     /// Whether the server currently holds our ciphertext (the first save
     /// of a session must be a full `docContents` save).
     synced: bool,
+    /// Server version the mirror corresponds to, when known. Attached to
+    /// delta saves as the `baseVersion` precondition: the ciphertext
+    /// delta was computed against exactly this version of the server
+    /// copy, so the server must reject it (409) if a collaborator's save
+    /// landed in between — a stale ciphertext delta that still happens to
+    /// *apply* would silently destroy the concurrent change.
+    version: Option<u64>,
 }
 
 /// The privacy mediator for the Google-Documents-style service.
@@ -193,6 +200,7 @@ impl<S: CloudService> DocsMediator<S> {
                     transformer: DeltaTransformer::new(doc),
                     plaintext,
                     synced: true,
+                    version: None,
                 }
             }
             _ => {
@@ -210,6 +218,7 @@ impl<S: CloudService> DocsMediator<S> {
                     transformer: DeltaTransformer::new(doc),
                     plaintext: String::new(),
                     synced: false,
+                    version: None,
                 }
             }
         };
@@ -250,6 +259,13 @@ impl<S: CloudService> DocsMediator<S> {
                 Some(_) => Ok(self.blocked()),
             },
             (Method::Get, "/Doc/load") => self.handle_load(request),
+            (Method::Get, "/Doc/changes") => self.handle_changes(request),
+            // Presence is sealed client-side (the live session encrypts
+            // editor name and cursor before it ever reaches this layer),
+            // so the mediator forwards the opaque blobs unchanged.
+            (Method::Post, "/Doc/presence") | (Method::Get, "/Doc/presence") => {
+                Ok(self.passthrough(request))
+            }
             (Method::Get, "/Doc/revisions") => self.handle_revisions(request),
             // Content-oblivious feature requests: forwarding reveals
             // nothing beyond the stored ciphertext. The features simply
@@ -322,6 +338,10 @@ impl<S: CloudService> DocsMediator<S> {
         {
             let _timed = pe_observe::static_histogram!("mediator.decrypt_ns").span();
             self.ensure_state(doc_id, Some(content))?;
+        }
+        let version = form::first_value(&pairs, "version").and_then(|v| v.parse().ok());
+        if let Some(state) = self.docs.get_mut(doc_id) {
+            state.version = version;
         }
         let plaintext = self.docs[doc_id].plaintext.clone();
         let hash = hex::encode(&Sha256::digest(plaintext.as_bytes())[..8]);
@@ -409,6 +429,211 @@ impl<S: CloudService> DocsMediator<S> {
         }
     }
 
+    /// Translates a `/Doc/changes` answer from the ciphertext stream the
+    /// server fans out to the plaintext stream the live session expects.
+    ///
+    /// The mediator mirrors the server's ciphertext: each foreign
+    /// ciphertext delta is applied to the cached ciphertext, the result
+    /// is decrypted (MAC-checked), and the *plaintext* delta emitted to
+    /// the client is the diff of the two decryptions — so the client's
+    /// OT rebase works on exactly the change a plaintext server would
+    /// have pushed. Anything that does not line up (no cached state, a
+    /// delta that does not apply, a failed integrity check) degrades to
+    /// a full-content resync rather than guessing.
+    fn handle_changes(&mut self, request: &Request) -> Result<Mediated, ExtensionError> {
+        let doc_id = request.query_param("docID").unwrap_or("").to_string();
+        let response = self.server.handle(request);
+        if !response.is_success() {
+            return Ok(Mediated {
+                response,
+                outcome: Outcome::PassedThrough,
+                suggested_delay: Duration::ZERO,
+            });
+        }
+        if !self.keyring.has(&doc_id) && self.tenant.is_none() {
+            // Without the password the stream is raw ciphertext, exactly
+            // like an unkeyed open/load.
+            return Ok(Mediated {
+                response,
+                outcome: Outcome::PassedThrough,
+                suggested_delay: Duration::ZERO,
+            });
+        }
+        let body = response.body_text().ok_or_else(|| ExtensionError::BadResponse {
+            detail: "changes response is not text".into(),
+        })?;
+        let pairs = form::parse_pairs(body).map_err(|e| ExtensionError::BadResponse {
+            detail: format!("unparseable changes form: {e}"),
+        })?;
+        let _timed = pe_observe::static_histogram!("mediator.decrypt_ns").span();
+        if form::first_value(&pairs, "resync") == Some("1") {
+            let content = form::first_value(&pairs, "content").unwrap_or("").to_string();
+            self.docs.remove(&doc_id);
+            self.ensure_state(&doc_id, Some(&content))?;
+            let seq = form::first_value(&pairs, "seq").and_then(|v| v.parse().ok());
+            if let Some(state) = self.docs.get_mut(&doc_id) {
+                state.version = seq;
+            }
+            let plaintext = self.docs[&doc_id].plaintext.clone();
+            let hash = hex::encode(&Sha256::digest(plaintext.as_bytes())[..8]);
+            let rewritten: Vec<(String, String)> = pairs
+                .into_iter()
+                .map(|(k, v)| match k.as_str() {
+                    "content" => (k, plaintext.clone()),
+                    "contentHash" => (k, hash.clone()),
+                    _ => (k, v),
+                })
+                .collect();
+            pe_observe::static_counter!("mediator.changes_resyncs").inc();
+            return Ok(Mediated {
+                response: Response::ok(form::encode_pairs(&rewritten)),
+                outcome: Outcome::Decrypted,
+                suggested_delay: Duration::ZERO,
+            });
+        }
+        let mut rewritten: Vec<(String, String)> = Vec::with_capacity(pairs.len());
+        for (k, v) in &pairs {
+            if k != "change" {
+                rewritten.push((k.clone(), v.clone()));
+                continue;
+            }
+            match self.translate_change(&doc_id, v) {
+                Ok(entry) => rewritten.push((k.clone(), entry)),
+                Err(_) => {
+                    // Could not track the stream incrementally: degrade
+                    // to an authoritative full-content resync.
+                    pe_observe::static_counter!("mediator.changes_fallbacks").inc();
+                    return self.changes_resync_fallback(&doc_id, &pairs);
+                }
+            }
+        }
+        pe_observe::static_counter!("mediator.changes_translated").inc();
+        Ok(Mediated {
+            response: Response::ok(form::encode_pairs(&rewritten)),
+            outcome: Outcome::Decrypted,
+            suggested_delay: Duration::ZERO,
+        })
+    }
+
+    /// Translates one `"{seq}:{kind}:{payload}"` ciphertext stream entry
+    /// into its plaintext counterpart, advancing the cached mirror.
+    fn translate_change(&mut self, doc_id: &str, entry: &str) -> Result<String, ExtensionError> {
+        let mut parts = entry.splitn(3, ':');
+        let (seq, kind, payload) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(seq), Some(kind), Some(payload)) => (seq, kind, payload),
+            _ => {
+                return Err(ExtensionError::BadResponse {
+                    detail: format!("malformed change entry: {entry}"),
+                })
+            }
+        };
+        match kind {
+            "full" => {
+                // A collaborator's full save: rebuild the mirror from it
+                // and hand the client the decrypted content.
+                let payload = payload.to_string();
+                self.docs.remove(doc_id);
+                self.ensure_state(doc_id, Some(&payload))?;
+                if let Some(state) = self.docs.get_mut(doc_id) {
+                    state.version = seq.parse().ok();
+                }
+                let plaintext = self.docs[doc_id].plaintext.clone();
+                Ok(format!("{seq}:full:{plaintext}"))
+            }
+            "delta" => {
+                let cdelta = Delta::parse(payload)?;
+                let (old_plain, new_cipher) = {
+                    let state = self.docs.get(doc_id).ok_or_else(|| {
+                        ExtensionError::BadResponse {
+                            detail: "ciphertext delta without cached state".into(),
+                        }
+                    })?;
+                    let updated =
+                        cdelta.apply_bytes(state.transformer.ciphertext().as_bytes())?;
+                    let new_cipher = String::from_utf8(updated).map_err(|_| {
+                        ExtensionError::BadResponse {
+                            detail: "foreign delta produced invalid ciphertext".into(),
+                        }
+                    })?;
+                    (state.plaintext.clone(), new_cipher)
+                };
+                let preamble = Preamble::parse(&new_cipher)?;
+                let key = match self.keyring.derive_existing(doc_id, &preamble.salt) {
+                    Some(key) => key,
+                    None => self.tenant_key(doc_id, preamble.salt)?,
+                };
+                let doc = self.open_doc(&key, &new_cipher, preamble.mode)?;
+                let new_plain = String::from_utf8(doc.decrypt()?).map_err(|_| {
+                    ExtensionError::BadResponse { detail: "document is not text".into() }
+                })?;
+                let pdelta = diff(&old_plain, &new_plain);
+                let state = self.docs.get_mut(doc_id).expect("state checked above");
+                state.transformer = DeltaTransformer::new(doc);
+                state.plaintext = new_plain;
+                state.synced = true;
+                state.version = seq.parse().ok();
+                Ok(format!("{seq}:delta:{}", pdelta.serialize()))
+            }
+            other => Err(ExtensionError::BadResponse {
+                detail: format!("unknown change kind: {other}"),
+            }),
+        }
+    }
+
+    /// Fallback when the ciphertext stream cannot be tracked: fetch the
+    /// authoritative content, decrypt it, and answer the poll as a
+    /// resync at the stream's head.
+    fn changes_resync_fallback(
+        &mut self,
+        doc_id: &str,
+        pairs: &[(String, String)],
+    ) -> Result<Mediated, ExtensionError> {
+        let load =
+            self.server.handle(&Request::get("/Doc/load", &[("docID", doc_id)]));
+        if !load.is_success() {
+            return Ok(Mediated {
+                response: load,
+                outcome: Outcome::PassedThrough,
+                suggested_delay: Duration::ZERO,
+            });
+        }
+        let body = load.body_text().ok_or_else(|| ExtensionError::BadResponse {
+            detail: "load response is not text".into(),
+        })?;
+        let load_pairs = form::parse_pairs(body).map_err(|e| ExtensionError::BadResponse {
+            detail: format!("unparseable load form: {e}"),
+        })?;
+        let content = form::first_value(&load_pairs, "content").unwrap_or("").to_string();
+        self.docs.remove(doc_id);
+        self.ensure_state(doc_id, Some(&content))?;
+        // Resume from the *loaded* version when the server reports one —
+        // the load may already include changes past the stream's head.
+        let seq = form::first_value(&load_pairs, "version")
+            .or_else(|| form::first_value(pairs, "seq"))
+            .unwrap_or("0");
+        if let Some(state) = self.docs.get_mut(doc_id) {
+            state.version = seq.parse().ok();
+        }
+        let plaintext = self.docs[doc_id].plaintext.clone();
+        let hash = hex::encode(&Sha256::digest(plaintext.as_bytes())[..8]);
+        let mut rewritten: Vec<(&str, &str)> = vec![
+            ("resync", "1"),
+            ("seq", seq),
+            ("contentHash", &hash),
+            ("content", &plaintext),
+        ];
+        for (k, v) in pairs {
+            if k == "presence" {
+                rewritten.push(("presence", v));
+            }
+        }
+        Ok(Mediated {
+            response: Response::ok(form::encode_pairs(&rewritten)),
+            outcome: Outcome::Decrypted,
+            suggested_delay: Duration::ZERO,
+        })
+    }
+
     fn handle_save(&mut self, request: &Request) -> Result<Mediated, ExtensionError> {
         let doc_id = request.query_param("docID").unwrap_or("").to_string();
         let Some(body) = request.body_text() else {
@@ -464,6 +689,17 @@ impl<S: CloudService> DocsMediator<S> {
             form::encode_pairs(&fields),
         );
         let response = self.server.handle(&rewritten);
+        if response.is_success() {
+            let version = Self::response_version(&response);
+            if let Some(state) = self.docs.get_mut(doc_id) {
+                state.version = version;
+            }
+        } else {
+            // The mirror already absorbed content the server never
+            // stored: drop it so the next load rebuilds from the
+            // authoritative copy instead of diverging.
+            self.docs.remove(doc_id);
+        }
         Ok(self.rewrite_ack(response))
     }
 
@@ -474,17 +710,40 @@ impl<S: CloudService> DocsMediator<S> {
         delta: &Delta,
     ) -> Result<Mediated, ExtensionError> {
         if !self.docs.get(doc_id).map(|s| s.synced).unwrap_or(false) {
-            // Protocol: the first save of a session is always a full
-            // save. An incremental save without a synced ciphertext would
-            // desynchronize; perform the full save of the delta result.
-            let base = self.docs.get(doc_id).map(|s| s.plaintext.clone()).unwrap_or_default();
-            let updated = delta.apply_bytes(base.as_bytes())?;
-            let updated = String::from_utf8(updated).map_err(|_| {
-                ExtensionError::BadResponse { detail: "delta produced invalid text".into() }
-            })?;
-            return self.full_save(doc_id, request, &updated);
+            // No synced ciphertext mirror. Ask the server what it holds:
+            // with a collaborator's content already stored, the old
+            // behaviour — a blind full save of the delta result — would
+            // overwrite their changes wholesale (put_full is
+            // last-writer-wins). Resync the mirror and continue on the
+            // incremental path instead; only a genuinely empty document
+            // takes the full-save route (protocol: the first save of a
+            // fresh document is always a full save).
+            match self.load_server_state(doc_id)? {
+                Some((content, version)) if !content.is_empty() => {
+                    self.docs.remove(doc_id);
+                    self.ensure_state(doc_id, Some(&content))?;
+                    if let Some(state) = self.docs.get_mut(doc_id) {
+                        state.version = version;
+                    }
+                }
+                _ => {
+                    let base = self
+                        .docs
+                        .get(doc_id)
+                        .map(|s| s.plaintext.clone())
+                        .unwrap_or_default();
+                    let updated = delta.apply_bytes(base.as_bytes())?;
+                    let updated = String::from_utf8(updated).map_err(|_| {
+                        ExtensionError::BadResponse {
+                            detail: "delta produced invalid text".into(),
+                        }
+                    })?;
+                    return self.full_save(doc_id, request, &updated);
+                }
+            }
         }
         let state = self.docs.get_mut(doc_id).expect("synced implies state");
+        let base_version = state.version;
         let effective = if self.config.canonicalize_deltas {
             delta.canonicalize(&state.plaintext)?
         } else {
@@ -505,6 +764,11 @@ impl<S: CloudService> DocsMediator<S> {
         }
         let mut fields: Vec<(String, String)> =
             vec![("delta".into(), cdelta.serialize())];
+        if let Some(base) = base_version {
+            // Precondition: this ciphertext delta is only valid against
+            // the mirror's version; a concurrent save must 409 it.
+            fields.push(("baseVersion".into(), base.to_string()));
+        }
         if self.config.pad_updates {
             fields.push(countermeasures::padding_field(&mut self.rng));
         }
@@ -519,18 +783,75 @@ impl<S: CloudService> DocsMediator<S> {
             form::encode_pairs(&fields),
         );
         let response = self.server.handle(&rewritten);
+        if response.is_success() {
+            let version = Self::response_version(&response);
+            if let Some(state) = self.docs.get_mut(doc_id) {
+                state.version = version;
+            }
+        } else {
+            // The mirror was mutated above but the server rejected the
+            // save (stale base, conflict, …): the mirror now holds
+            // content the server never accepted. Drop it so the next
+            // load resyncs from the authoritative copy.
+            self.docs.remove(doc_id);
+        }
         Ok(self.rewrite_ack(response))
+    }
+
+    /// Fetches the authoritative server copy: `Some((content, version))`
+    /// on success, `None` when the load failed (the caller falls back to
+    /// its legacy behaviour).
+    fn load_server_state(
+        &mut self,
+        doc_id: &str,
+    ) -> Result<Option<(String, Option<u64>)>, ExtensionError> {
+        let response =
+            self.server.handle(&Request::get("/Doc/load", &[("docID", doc_id)]));
+        if !response.is_success() {
+            return Ok(None);
+        }
+        let Some(body) = response.body_text() else {
+            return Ok(None);
+        };
+        let Ok(pairs) = form::parse_pairs(body) else {
+            return Ok(None);
+        };
+        Ok(Some((
+            form::first_value(&pairs, "content").unwrap_or("").to_string(),
+            form::first_value(&pairs, "version").and_then(|v| v.parse().ok()),
+        )))
+    }
+
+    /// Parses the `version` field from a save ack / load response.
+    fn response_version(response: &Response) -> Option<u64> {
+        response
+            .body_text()
+            .and_then(|body| form::parse_pairs(body).ok())
+            .and_then(|pairs| {
+                form::first_value(&pairs, "version").and_then(|v| v.parse().ok())
+            })
     }
 
     /// §IV-A: "the client works flawlessly when the values are replaced
     /// with an empty string for contentFromServer, and 0 for
-    /// contentFromServerHash".
+    /// contentFromServerHash". The server's `version` (the change-stream
+    /// sequence of this save) is content-free and carries through so live
+    /// sessions can skip their own echo.
     fn rewrite_ack(&mut self, response: Response) -> Mediated {
         let delay = self.delay();
         if !response.is_success() {
             return Mediated { response, outcome: Outcome::Encrypted, suggested_delay: delay };
         }
-        let ack = form::encode_pairs(&[("contentFromServer", ""), ("contentFromServerHash", "0")]);
+        let version = response
+            .body_text()
+            .and_then(|body| form::parse_pairs(body).ok())
+            .and_then(|pairs| form::first_value(&pairs, "version").map(str::to_string));
+        let mut fields: Vec<(&str, &str)> =
+            vec![("contentFromServer", ""), ("contentFromServerHash", "0")];
+        if let Some(version) = version.as_deref() {
+            fields.push(("version", version));
+        }
+        let ack = form::encode_pairs(&fields);
         Mediated { response: Response::ok(ack), outcome: Outcome::Encrypted, suggested_delay: delay }
     }
 

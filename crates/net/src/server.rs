@@ -52,6 +52,13 @@ pub struct ServerConfig {
     pub read_timeout: Duration,
     /// How long a response flush may remain unfinished.
     pub write_timeout: Duration,
+    /// Budget for a *parked* long-poll subscription (a service returned
+    /// [`Served::Parked`](crate::Served::Parked)). Deliberately separate
+    /// from `read_timeout`: a parked subscriber has already delivered a
+    /// complete request and is not a slow-loris, so it may outlive the
+    /// request deadline; when this budget expires the service's timeout
+    /// response is sent and the connection continues normally.
+    pub subscription_timeout: Duration,
     /// Whether to honor keep-alive (false forces one request per
     /// connection).
     pub keep_alive: bool,
@@ -75,6 +82,7 @@ impl Default for ServerConfig {
             accept_backlog: 128,
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
+            subscription_timeout: Duration::from_secs(30),
             keep_alive: true,
             max_conns: 8192,
             force_poll: std::env::var_os("PE_NET_FORCE_POLL").is_some(),
@@ -147,6 +155,7 @@ impl HttpServer {
         let loop_config = LoopConfig {
             read_timeout: config.read_timeout,
             write_timeout: config.write_timeout,
+            subscription_timeout: config.subscription_timeout,
             max_conns: config.max_conns.max(1),
             queue: config.accept_backlog.max(1),
             workers: config.workers,
@@ -284,6 +293,134 @@ mod tests {
         let resp =
             raw_exchange(server.local_addr(), &Request::post("/Doc", &[("cmd", "create")], ""), false);
         assert!(resp.is_success());
+        server.shutdown();
+    }
+
+    /// A service that parks `/wait` requests. Wakers are stashed so the
+    /// test controls exactly when (or whether) a subscriber is woken; on
+    /// re-dispatch after a wake it answers immediately.
+    struct ParkingService {
+        wakers: std::sync::Mutex<Vec<crate::Waker>>,
+        release: std::sync::atomic::AtomicBool,
+    }
+
+    impl ParkingService {
+        fn new() -> ParkingService {
+            ParkingService {
+                wakers: std::sync::Mutex::new(Vec::new()),
+                release: std::sync::atomic::AtomicBool::new(false),
+            }
+        }
+    }
+
+    impl crate::Service for ParkingService {
+        fn call(&self, _request: &Request) -> Response {
+            Response::ok("immediate")
+        }
+
+        fn call_deferred(&self, request: &Request, waker: crate::Waker) -> crate::Served {
+            if request.path == "/wait" {
+                if self.release.load(std::sync::atomic::Ordering::SeqCst) {
+                    return crate::Served::Response(Response::ok("woken"));
+                }
+                self.wakers.lock().unwrap().push(waker);
+                return crate::Served::Parked {
+                    on_timeout: Response::ok("poll-timeout"),
+                    wait: None,
+                };
+            }
+            crate::Served::Response(self.call(request))
+        }
+    }
+
+    #[test]
+    fn parked_subscriber_outlives_request_deadline_while_slow_loris_dies() {
+        let service = Arc::new(ParkingService::new());
+        let server = HttpServer::bind(
+            "127.0.0.1:0",
+            service.clone(),
+            ServerConfig {
+                read_timeout: Duration::from_millis(300),
+                subscription_timeout: Duration::from_secs(5),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr();
+
+        // The subscriber: a complete /wait request that the service parks.
+        let mut sub = TcpStream::connect(addr).unwrap();
+        sub.write_all(&codec::request_bytes(&Request::get("/wait", &[]), true).unwrap())
+            .unwrap();
+
+        // The slow-loris: dribbles a partial request and stalls.
+        let mut loris = TcpStream::connect(addr).unwrap();
+        loris.write_all(b"GET /wait HTT").unwrap();
+
+        // Well past the 300 ms request deadline.
+        std::thread::sleep(Duration::from_millis(900));
+
+        // The slow-loris connection is dead: its write eventually fails
+        // or its read returns EOF without a response.
+        loris.set_read_timeout(Some(Duration::from_millis(500))).unwrap();
+        let mut buf = [0u8; 16];
+        use std::io::Read;
+        match loris.read(&mut buf) {
+            Ok(0) => {} // clean close, no response bytes
+            Ok(n) => panic!("slow-loris got {n} response bytes instead of a close"),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                panic!("slow-loris connection still open past the request deadline")
+            }
+            Err(_) => {} // reset — also closed
+        }
+
+        // The parked subscriber is still open; wake it and get the data.
+        service.release.store(true, std::sync::atomic::Ordering::SeqCst);
+        for waker in service.wakers.lock().unwrap().drain(..) {
+            waker.wake();
+        }
+        sub.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut reader = BufReader::new(sub);
+        let parsed = codec::read_response(&mut reader).unwrap();
+        assert_eq!(parsed.response.body_text(), Some("woken"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn subscription_deadline_sends_timeout_response_and_keeps_the_connection() {
+        let service = Arc::new(ParkingService::new());
+        let server = HttpServer::bind(
+            "127.0.0.1:0",
+            service.clone(),
+            ServerConfig {
+                read_timeout: Duration::from_secs(5),
+                subscription_timeout: Duration::from_millis(200),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        writer
+            .write_all(&codec::request_bytes(&Request::get("/wait", &[]), true).unwrap())
+            .unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut reader = BufReader::new(stream);
+        let parsed = codec::read_response(&mut reader).unwrap();
+        assert_eq!(parsed.response.body_text(), Some("poll-timeout"));
+        assert!(parsed.keep_alive, "connection survives a poll timeout");
+        // The same connection serves an ordinary request afterwards.
+        writer
+            .write_all(&codec::request_bytes(&Request::get("/other", &[]), true).unwrap())
+            .unwrap();
+        let parsed = codec::read_response(&mut reader).unwrap();
+        assert_eq!(parsed.response.body_text(), Some("immediate"));
         server.shutdown();
     }
 

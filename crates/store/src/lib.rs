@@ -83,12 +83,26 @@ pub struct DeltaLimits {
     /// Require the resulting bytes to be valid UTF-8 (the Docs protocol
     /// stores text; Bespin/Buzzword callers pass `false`).
     pub require_utf8: bool,
+    /// Optimistic-concurrency precondition: the version the delta was
+    /// computed against. When set, the apply is rejected with
+    /// [`StoreError::Conflict`] unless the document is still at exactly
+    /// this version — checked under the same lock as the write, so a
+    /// concurrent save cannot slip in between. `None` skips the check
+    /// (a delta's positional fit is then the only guard, which cannot
+    /// catch every race: a stale delta may still *apply* cleanly while
+    /// silently dropping a concurrent writer's change).
+    pub base_version: Option<u64>,
 }
 
 impl DeltaLimits {
-    /// No limits: any length, any bytes.
+    /// No limits: any length, any bytes, no version precondition.
     pub fn none() -> DeltaLimits {
-        DeltaLimits { max_len: usize::MAX, require_utf8: false }
+        DeltaLimits { max_len: usize::MAX, require_utf8: false, base_version: None }
+    }
+
+    /// Adds a version precondition to these limits.
+    pub fn at_version(self, base_version: u64) -> DeltaLimits {
+        DeltaLimits { base_version: Some(base_version), ..self }
     }
 }
 

@@ -38,7 +38,7 @@ use std::time::Duration;
 use parking_lot::Mutex;
 
 use crate::index::{Index, DEFAULT_SHARDS};
-use crate::mem::apply_delta_checked;
+use crate::mem::{apply_delta_checked, check_base_version};
 use crate::record::Record;
 use crate::snapfile;
 use crate::wal::{self, AppendAck, FsyncPolicy, GroupWal, SegmentWriter};
@@ -546,6 +546,7 @@ impl DocStore for LogStore {
         let (ack, updated, version) = {
             let _writers = self.inner.write_lock.lock();
             let current = self.inner.index.content(id).ok_or(StoreError::NoSuchDocument)?;
+            check_base_version(self.inner.index.version(id).unwrap_or(0), limits)?;
             let updated = apply_delta_checked(&current, delta, limits)?;
             let version = self.inner.index.version(id).unwrap_or(0) + 1;
             let record =

@@ -11,18 +11,34 @@ use crate::{DeltaLimits, DocState, DocStore, StoreError};
 #[derive(Debug)]
 pub struct MemStore {
     index: Index,
+    /// Serializes writers so the read-check-apply of a delta (and its
+    /// [`DeltaLimits::base_version`] precondition) is atomic against
+    /// concurrent saves, matching [`crate::LogStore`]'s write lock.
+    write_lock: parking_lot::Mutex<()>,
 }
 
 impl MemStore {
     /// Creates an empty store with the default shard count.
     pub fn new() -> MemStore {
-        MemStore { index: Index::new(DEFAULT_SHARDS) }
+        MemStore { index: Index::new(DEFAULT_SHARDS), write_lock: parking_lot::Mutex::new(()) }
     }
 }
 
 impl Default for MemStore {
     fn default() -> MemStore {
         MemStore::new()
+    }
+}
+
+/// Rejects the apply when a [`DeltaLimits::base_version`] precondition
+/// does not match the document's current version. Callers must hold
+/// their writer lock so the check is atomic with the write.
+pub(crate) fn check_base_version(current: u64, limits: DeltaLimits) -> Result<(), StoreError> {
+    match limits.base_version {
+        Some(base) if base != current => Err(StoreError::Conflict(format!(
+            "delta base version {base} is stale (document at {current})"
+        ))),
+        _ => Ok(()),
     }
 }
 
@@ -66,6 +82,7 @@ impl DocStore for MemStore {
     }
 
     fn put_full(&self, id: &str, content: &[u8]) -> Result<u64, StoreError> {
+        let _writers = self.write_lock.lock();
         Ok(self.index.apply_save(id, content.to_vec()))
     }
 
@@ -75,7 +92,9 @@ impl DocStore for MemStore {
         delta: &pe_delta::Delta,
         limits: DeltaLimits,
     ) -> Result<DocState, StoreError> {
+        let _writers = self.write_lock.lock();
         let current = self.index.content(id).ok_or(StoreError::NoSuchDocument)?;
+        check_base_version(self.index.version(id).unwrap_or(0), limits)?;
         let updated = apply_delta_checked(&current, delta, limits)?;
         let version = self.index.apply_save(id, updated.clone());
         Ok(DocState { content: updated, version, revisions: Vec::new() })
@@ -142,7 +161,7 @@ mod tests {
         store.put_full("d", b"base").unwrap();
         let grow = Delta::parse("=4\t+xxxxxxxx").unwrap();
         let err = store
-            .apply_delta("d", &grow, DeltaLimits { max_len: 8, require_utf8: false })
+            .apply_delta("d", &grow, DeltaLimits { max_len: 8, ..DeltaLimits::none() })
             .unwrap_err();
         assert!(matches!(err, StoreError::TooLarge { len: 12, max: 8 }));
         assert_eq!(store.content("d").unwrap(), b"base", "nothing committed");
@@ -166,11 +185,26 @@ mod tests {
         // Delete one byte of the two-byte é.
         let split = Delta::parse("=1\t-1\t=4").unwrap();
         let err = store
-            .apply_delta("d", &split, DeltaLimits { max_len: usize::MAX, require_utf8: true })
+            .apply_delta("d", &split, DeltaLimits { require_utf8: true, ..DeltaLimits::none() })
             .unwrap_err();
         assert!(matches!(err, StoreError::InvalidUtf8));
         // Without the requirement the same delta commits.
         assert!(store.apply_delta("d", &split, DeltaLimits::none()).is_ok());
+    }
+
+    #[test]
+    fn base_version_precondition_rejects_stale_writers() {
+        let store = MemStore::new();
+        store.put_full("d", b"one").unwrap();
+        let delta = Delta::parse("=3\t+ two").unwrap();
+        // Fresh precondition commits and bumps the version.
+        let state = store.apply_delta("d", &delta, DeltaLimits::none().at_version(1)).unwrap();
+        assert_eq!(state.version, 2);
+        // The same precondition is now stale: nothing commits.
+        let err =
+            store.apply_delta("d", &delta, DeltaLimits::none().at_version(1)).unwrap_err();
+        assert!(matches!(err, StoreError::Conflict(_)));
+        assert_eq!(store.content("d").unwrap(), b"one two");
     }
 
     #[test]

@@ -95,11 +95,31 @@ assert any(s.startswith("sharded-log") for s in stores), f"durable rows missing:
 print(f"net_load report OK ({len(rows)} rows, stores: {sorted(stores)})")
 PY
 
+echo "== collab_load smoke (live fan-out over a durable store) =="
+# The live-collaboration bench must complete over real sockets with
+# byte-for-byte convergence, zero unrecovered errors, and valid JSON.
+collab_out="$(mktemp)"
+collab_store="$(mktemp -d)"
+trap 'rm -f "$smoke_out" "$net_out" "$collab_out"; rm -rf "$net_store" "$collab_store"' EXIT
+./target/release/collab_load --smoke --store "$collab_store" --out "$collab_out"
+python3 - "$collab_out" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+rows = report["rows"]
+assert report["bench"] == "collab_load" and rows, "malformed collab report"
+for row in rows:
+    assert row["errors"] == 0, f"unrecovered session errors: {row}"
+    assert row["converged"] is True, f"editors diverged: {row}"
+    assert row["saves"] > 0 and row["deliveries"] > 0, row
+print(f"collab_load report OK ({len(rows)} rows)")
+PY
+
 echo "== store_recovery smoke =="
 # The durable-store bench must complete and emit valid JSON covering
 # both sweeps (append throughput per fsync policy, replay vs log size).
 store_out="$(mktemp)"
-trap 'rm -f "$smoke_out" "$net_out" "$store_out"; rm -rf "$net_store"' EXIT
+trap 'rm -f "$smoke_out" "$net_out" "$collab_out" "$store_out"; rm -rf "$net_store" "$collab_store"' EXIT
 ./target/release/store_recovery --smoke --out "$store_out"
 python3 - "$store_out" <<'PY'
 import json, sys
@@ -133,7 +153,7 @@ echo "== tenant_bench smoke =="
 # a recovery row. Flatness is asserted loosely here (noisy CI hosts);
 # the committed full run is held to the tight bar below.
 tenant_out="$(mktemp)"
-trap 'rm -f "$smoke_out" "$net_out" "$store_out" "$tenant_out"; rm -rf "$net_store"' EXIT
+trap 'rm -f "$smoke_out" "$net_out" "$collab_out" "$store_out" "$tenant_out"; rm -rf "$net_store" "$collab_store"' EXIT
 ./target/release/tenant_bench --smoke --out "$tenant_out"
 python3 - "$tenant_out" <<'PY'
 import json, sys
@@ -174,8 +194,8 @@ pedit() { ./target/release/pedit "$@"; }
 serve_pid=$!
 cleanup_serve() {
   kill "$serve_pid" 2>/dev/null || true
-  rm -f "$smoke_out" "$net_out" "$store_out" "$tenant_out" "$serve_addr"
-  rm -rf "$serve_store" "$net_store"
+  rm -f "$smoke_out" "$net_out" "$collab_out" "$store_out" "$tenant_out" "$serve_addr"
+  rm -rf "$serve_store" "$net_store" "$collab_store"
 }
 trap cleanup_serve EXIT
 for _ in $(seq 1 100); do
@@ -202,6 +222,34 @@ case "$stats" in
   *net.server.conns_open*) ;;
   *) echo "live stats missing server gauge: $stats" >&2; exit 1;;
 esac
+
+echo "== live collaboration drill (two editors, change-stream push) =="
+# Two concurrent `edit --live` sessions on one encrypted document, each
+# holding a change-stream subscription and rebasing the other's pushed
+# changes between ops. Both must exit zero and the merged document must
+# contain every editor's contribution; `watch` then reads the stream
+# head over its own dedicated subscription.
+ldoc="$(pedit --connect "$addr" create --password live-pw | sed 's/^created //')"
+pedit --connect "$addr" save --doc "$ldoc" --password live-pw --text "base"
+pedit --connect "$addr" edit --live --doc "$ldoc" --password live-pw \
+  --editor drill-a --ops "a: from-a1,a: from-a2" --rounds 4 --wait-ms 200 >/dev/null &
+live_a=$!
+pedit --connect "$addr" edit --live --doc "$ldoc" --password live-pw \
+  --editor drill-b --ops "a: from-b1,a: from-b2" --rounds 4 --wait-ms 200 >/dev/null &
+live_b=$!
+wait "$live_a" || { echo "live editor A failed" >&2; exit 1; }
+wait "$live_b" || { echo "live editor B failed" >&2; exit 1; }
+merged="$(pedit --connect "$addr" show --doc "$ldoc" --password live-pw)"
+for token in from-a1 from-a2 from-b1 from-b2; do
+  case "$merged" in
+    *"$token"*) ;;
+    *) echo "live merge lost $token: $merged" >&2; exit 1;;
+  esac
+done
+pedit --connect "$addr" watch --doc "$ldoc" --password live-pw --rounds 1 --wait-ms 100 \
+  | grep -q "watched 1 round" || { echo "watch failed on the live doc" >&2; exit 1; }
+lraw="$(pedit --connect "$addr" raw --doc "$ldoc")"
+case "$lraw" in *from-a1*|*from-b1*) echo "live plaintext leaked to the provider" >&2; exit 1;; esac
 
 echo "== crash-recovery drill (sharded) =="
 # SIGKILL the running sharded server mid-flight: every save it
@@ -230,6 +278,11 @@ done
 addr="$(cat "$serve_addr")"
 survived="$(pedit --connect "$addr" show --doc "$doc" --password ci-pw)"
 [ "$survived" = "acked then killed" ] || { echo "restart lost the save: $survived" >&2; exit 1; }
+# The collaboratively merged document must ride out the kill -9 too:
+# every accepted live save was WAL-durable before its ack.
+live_survived="$(pedit --connect "$addr" show --doc "$ldoc" --password live-pw)"
+[ "$live_survived" = "$merged" ] \
+  || { echo "kill -9 lost the merged live doc: $live_survived" >&2; exit 1; }
 
 echo "== multi-tenant drill (live serve) =="
 # Two users against the restarted server: alice creates a document under
@@ -293,6 +346,21 @@ assert net["bench"] == "net_load"
 stores = {row["store"] for row in net["rows"]}
 assert "mem" in stores and any(s.startswith("sharded-log") for s in stores), stores
 assert all(row["errors"] == 0 and row["failed_sessions"] == 0 for row in net["rows"])
+with open("BENCH_collab.json") as f:
+    collab = json.load(f)
+assert collab["bench"] == "collab_load"
+crows = collab["rows"]
+assert crows and {r["editors"] for r in crows} >= {2, 8, 32}, \
+    f"committed collab sweep must cover K=2,8,32: {[r['editors'] for r in crows]}"
+for row in crows:
+    assert row["errors"] == 0, f"unrecovered collab errors: {row}"
+    assert row["converged"] is True, f"collab editors diverged: {row}"
+    assert row["saves"] > 0 and row["deliveries"] > 0 and row["doc_bytes"] > 0, row
+    assert row["push_p99_ns"] > 0 and row["poll_p50_ns"] > 0, row
+    # The change-stream claim: pushed delivery beats the poll interval
+    # even at the p99, at every fan-out level.
+    assert row["push_p99_ns"] < row["poll_interval_ms"] * 1_000_000, \
+        f"push p99 {row['push_p99_ns']}ns >= {row['poll_interval_ms']}ms poll interval: {row}"
 with open("BENCH_tenant.json") as f:
     tenant = json.load(f)
 assert tenant["bench"] == "tenant_bench"
